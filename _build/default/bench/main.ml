@@ -1,0 +1,361 @@
+(* Micro-benchmarks backing the paper's overhead claims, one Bechamel test
+   per claim:
+
+   §4.6  "the PRE is two times slower than native code"
+         -> native_rtt_update vs pre_rtt_update
+   §4.6  "our get/set API is five times slower compared to direct memory
+         accesses"
+         -> direct_field_access vs getset_via_api
+   §4.6  "instantiation of PREs ... major contributor to the loading time";
+         "reuse its PREs ... to load the plugin in less than 30 us"
+         -> plugin_load_fresh vs plugin_load_cached
+   §B.3  proof-of-consistency check ~ the cost of hashing the binding
+         -> merkle_verify_proof vs hmac_sign_binding, sha256_binding
+   plus the substrate primitives: eBPF dispatch rate, GF(256) vector ops,
+   LZSS compression of a plugin, the Θ(1) plugin memory pool, and one full
+   simulated transfer as a macro reference. *)
+
+open Bechamel
+open Toolkit
+
+(* ---- §4.6: PRE vs native ------------------------------------------- *)
+
+(* The workload: an EWMA RTT update folded over 64 samples — the paper's
+   running example of a protocol operation. *)
+let native_rtt_update () =
+  let srtt = ref 100_000_000L and rttvar = ref 50_000_000L in
+  for k = 1 to 64 do
+    let sample = Int64.of_int (1_000_000 * k) in
+    let diff = Int64.abs (Int64.sub !srtt sample) in
+    rttvar := Int64.add (Int64.div (Int64.mul !rttvar 3L) 4L) (Int64.div diff 4L);
+    srtt := Int64.add (Int64.div (Int64.mul !srtt 7L) 8L) (Int64.div sample 8L)
+  done;
+  Int64.add !srtt !rttvar
+
+let pre_rtt_program =
+  let open Plc.Ast in
+  let f =
+    {
+      name = "bench_rtt";
+      params = [];
+      body =
+        [
+          Let ("srtt", Const 100_000_000L);
+          Let ("rttvar", Const 50_000_000L);
+          For
+            ( "k",
+              i 1,
+              i 65,
+              [
+                Let ("sample", v "k" *: i 1_000_000);
+                Let ("diff", v "srtt" -: v "sample");
+                If
+                  ( Bin (Slt, v "diff", i 0),
+                    [ Assign ("diff", i 0 -: v "diff") ],
+                    [] );
+                Assign ("rttvar", (v "rttvar" *: i 3 /: i 4) +: (v "diff" /: i 4));
+                Assign ("srtt", (v "srtt" *: i 7 /: i 8) +: (v "sample" /: i 8));
+              ] );
+          Return (v "srtt" +: v "rttvar");
+        ];
+    }
+  in
+  Plc.Compile.compile ~helpers:Pquic.Api.helper_names f
+
+let pre_vm =
+  let prog, stack = pre_rtt_program in
+  let vm = Ebpf.Vm.create ~stack_size:stack () in
+  (vm, prog)
+
+let pre_rtt_update () =
+  let vm, prog = pre_vm in
+  Ebpf.Vm.run vm prog
+
+(* ---- §4.6: get/set API vs direct access ----------------------------- *)
+
+type direct_state = { mutable cwnd : int64; mutable srtt : int64 }
+
+let direct_state = { cwnd = 16384L; srtt = 100_000_000L }
+
+let direct_field_access () =
+  let acc = ref 0L in
+  for _ = 1 to 64 do
+    acc := Int64.add !acc (Int64.add direct_state.cwnd direct_state.srtt)
+  done;
+  !acc
+
+(* the same reads done by bytecode dereferencing a mapped region directly —
+   the baseline the paper compares its get/set API against *)
+let bytecode_direct_vm =
+  let open Plc.Ast in
+  let f =
+    {
+      name = "bench_direct";
+      params = [ "base" ];
+      body =
+        [
+          Let ("acc", i 0);
+          For
+            ( "k",
+              i 0,
+              i 64,
+              [
+                Assign
+                  ( "acc",
+                    v "acc"
+                    +: Load (Ebpf.Insn.W64, v "base")
+                    +: Load (Ebpf.Insn.W64, v "base" +: i 8) );
+              ] );
+          Return (v "acc");
+        ];
+    }
+  in
+  let prog, stack = Plc.Compile.compile ~helpers:Pquic.Api.helper_names f in
+  let vm = Ebpf.Vm.create ~stack_size:stack () in
+  let region =
+    Ebpf.Vm.map_region vm ~name:"state" ~perm:Ebpf.Vm.Rw (Bytes.make 16 '\x07')
+  in
+  (vm, prog, region.Ebpf.Vm.base)
+
+let bytecode_direct_load () =
+  let vm, prog, base = bytecode_direct_vm in
+  Ebpf.Vm.run vm ~args:[| base |] prog
+
+(* a VM whose get helper reads the same state through the API indirection *)
+let getset_vm =
+  let open Plc.Ast in
+  let f =
+    {
+      name = "bench_getset";
+      params = [];
+      body =
+        [
+          Let ("acc", i 0);
+          For
+            ( "k",
+              i 0,
+              i 64,
+              [
+                Assign
+                  ( "acc",
+                    v "acc"
+                    +: Call ("get", [ i Pquic.Api.f_cwnd; i 0 ])
+                    +: Call ("get", [ i Pquic.Api.f_srtt; i 0 ]) );
+              ] );
+          Return (v "acc");
+        ];
+    }
+  in
+  let prog, stack = Plc.Compile.compile ~helpers:Pquic.Api.helper_names f in
+  let vm = Ebpf.Vm.create ~stack_size:stack () in
+  Ebpf.Vm.register_helper vm Pquic.Api.h_get (fun _ a ->
+      if Int64.to_int a.(0) = Pquic.Api.f_cwnd then direct_state.cwnd
+      else direct_state.srtt);
+  (vm, prog)
+
+let getset_via_api () =
+  let vm, prog = getset_vm in
+  Ebpf.Vm.run vm prog
+
+(* ---- §4.6: plugin loading, fresh vs cached --------------------------- *)
+
+let load_conn () =
+  let topo = Netsim.Topology.fast_link ~seed:99L in
+  let ep =
+    Pquic.Endpoint.create ~sim:topo.Netsim.Topology.sim
+      ~net:topo.Netsim.Topology.net ~addr:topo.Netsim.Topology.server_addr
+      ~seed:9L ()
+  in
+  Pquic.Endpoint.listen ep;
+  Pquic.Endpoint.connect ep ~remote_addr:topo.Netsim.Topology.server_addr
+
+let fresh_conn = load_conn ()
+
+let plugin_load_fresh () =
+  (* full pipeline: compile every pluglet, verify, create PREs, attach *)
+  let inst = Pquic.Connection.build_instance Plugins.Monitoring.plugin in
+  ignore (Pquic.Connection.attach_instance fresh_conn inst);
+  Pquic.Connection.remove_plugin fresh_conn Plugins.Monitoring.name
+
+let cached_instance = Pquic.Connection.build_instance Plugins.Monitoring.plugin
+
+let plugin_load_cached () =
+  (* Section 2.5 fast path: reuse the PREs, wipe the heap, rebind helpers *)
+  ignore (Pquic.Connection.attach_instance fresh_conn cached_instance);
+  Pquic.Connection.remove_plugin fresh_conn Plugins.Monitoring.name
+
+(* ---- §B.3: proof of consistency vs signatures ------------------------ *)
+
+let merkle_tree, merkle_root, merkle_proof, binding_code =
+  let t = Trust.Merkle.create ~empty_constant:(Trust.Sha256.digest "c") () in
+  let code = Pquic.Plugin.serialize Plugins.Fec.rlc_full in
+  for k = 0 to 199 do
+    Trust.Merkle.add t
+      { Trust.Merkle.name = Printf.sprintf "plugin-%d" k; code = "code" }
+  done;
+  Trust.Merkle.add t { Trust.Merkle.name = "target"; code };
+  (t, Trust.Merkle.root t, Trust.Merkle.prove t "target", code)
+
+let merkle_verify_proof () =
+  Trust.Merkle.verify_present ~root:merkle_root ~depth:16 ~name:"target"
+    ~code:binding_code merkle_proof
+
+let merkle_generate_proof () = Trust.Merkle.prove merkle_tree "target"
+
+let hmac_sign_binding () = Trust.Sha256.hmac ~key:"signing-key" binding_code
+
+let sha256_binding () = Trust.Sha256.digest binding_code
+
+(* ---- substrate primitives -------------------------------------------- *)
+
+let dispatch_vm =
+  (* a tight arithmetic loop: measures raw interpreter dispatch *)
+  let open Plc.Ast in
+  let f =
+    {
+      name = "bench_dispatch";
+      params = [];
+      body =
+        [
+          Let ("acc", i 1);
+          For ("k", i 1, i 257, [ Assign ("acc", v "acc" *: v "k" +: i 7) ]);
+          Return (v "acc");
+        ];
+    }
+  in
+  let prog, stack = Plc.Compile.compile ~helpers:Pquic.Api.helper_names f in
+  (Ebpf.Vm.create ~stack_size:stack (), prog)
+
+let ebpf_dispatch () =
+  let vm, prog = dispatch_vm in
+  Ebpf.Vm.run vm prog
+
+let gf_a = Bytes.make 1300 'a'
+let gf_b = Bytes.make 1300 'b'
+
+let gf256_mulvec_1300 () =
+  (* the per-repair-symbol work of the RLC FEC code *)
+  for k = 0 to 1299 do
+    Bytes.set_uint8 gf_a k
+      (Bytes.get_uint8 gf_a k
+       lxor Pquic.Connection.Gf.mul 0x53 (Bytes.get_uint8 gf_b k))
+  done
+
+let plugin_bytes = Pquic.Plugin.serialize Plugins.Fec.rlc_full
+
+let lzss_compress_plugin () = Compress.Lzss.compress plugin_bytes
+
+let pool = Pquic.Memory_pool.create ~size:(256 * 1024) ()
+
+let pool_alloc_free () =
+  match Pquic.Memory_pool.alloc pool 1300 with
+  | Some off -> ignore (Pquic.Memory_pool.free pool off)
+  | None -> ()
+
+let verify_fec_plugin () =
+  (* the admission cost a PRE pays per pluglet *)
+  List.iter
+    (fun (p : Pquic.Plugin.pluglet) ->
+      let prog, stack_size = Pquic.Plugin.compiled p in
+      match
+        Ebpf.Verifier.verify ~stack_size ~known_helper:Pquic.Api.is_known_helper
+          prog
+      with
+      | Ok () -> ()
+      | Error _ -> assert false)
+    (Plugins.Fec.rlc_full : Pquic.Plugin.t).Pquic.Plugin.pluglets
+
+let compile_fec_plugin () =
+  (* clang's role in the paper: plc source -> eBPF bytecode *)
+  List.iter
+    (fun (p : Pquic.Plugin.pluglet) ->
+      match p.Pquic.Plugin.code with
+      | Pquic.Plugin.Source f ->
+        ignore (Plc.Compile.compile ~helpers:Pquic.Api.helper_names f)
+      | Pquic.Plugin.Bytecode _ -> ())
+    (Plugins.Fec.rlc_full : Pquic.Plugin.t).Pquic.Plugin.pluglets
+
+let transfer_1mb () =
+  (* macro reference: a complete 1 MB PQUIC transfer over the simulator *)
+  let topo =
+    Netsim.Topology.single_path ~seed:5L
+      { Netsim.Topology.d_ms = 5.; bw_mbps = 100.; loss = 0. }
+  in
+  ignore (Exp.Runner.quic_transfer ~topo ~size:1_000_000 ())
+
+(* ---------------------------------------------------------------------- *)
+
+let tests =
+  [
+    Test.make ~name:"native_rtt_update" (Staged.stage native_rtt_update);
+    Test.make ~name:"pre_rtt_update" (Staged.stage pre_rtt_update);
+    Test.make ~name:"direct_field_access" (Staged.stage direct_field_access);
+    Test.make ~name:"bytecode_direct_load" (Staged.stage bytecode_direct_load);
+    Test.make ~name:"getset_via_api" (Staged.stage getset_via_api);
+    Test.make ~name:"plugin_load_fresh" (Staged.stage plugin_load_fresh);
+    Test.make ~name:"plugin_load_cached" (Staged.stage plugin_load_cached);
+    Test.make ~name:"merkle_verify_proof" (Staged.stage merkle_verify_proof);
+    Test.make ~name:"merkle_generate_proof" (Staged.stage merkle_generate_proof);
+    Test.make ~name:"hmac_sign_binding" (Staged.stage hmac_sign_binding);
+    Test.make ~name:"sha256_binding" (Staged.stage sha256_binding);
+    Test.make ~name:"ebpf_dispatch_1k_insns" (Staged.stage ebpf_dispatch);
+    Test.make ~name:"gf256_mulvec_1300B" (Staged.stage gf256_mulvec_1300);
+    Test.make ~name:"lzss_compress_plugin" (Staged.stage lzss_compress_plugin);
+    Test.make ~name:"verify_fec_plugin" (Staged.stage verify_fec_plugin);
+    Test.make ~name:"compile_fec_plugin" (Staged.stage compile_fec_plugin);
+    Test.make ~name:"pool_alloc_free" (Staged.stage pool_alloc_free);
+    Test.make ~name:"transfer_1MB_e2e" (Staged.stage transfer_1mb);
+  ]
+
+let () =
+  let quota = Time.second 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~stabilize:true () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  Printf.printf "%-26s %16s\n" "benchmark" "time per run";
+  Printf.printf "%s\n" (String.make 44 '-');
+  let ratios : (string * float) list ref = ref [] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            ratios := (name, est) :: !ratios;
+            let pretty =
+              if est > 1e6 then Printf.sprintf "%10.3f ms" (est /. 1e6)
+              else if est > 1e3 then Printf.sprintf "%10.3f us" (est /. 1e3)
+              else Printf.sprintf "%10.1f ns" est
+            in
+            Printf.printf "%-26s %16s\n" name pretty
+          | _ -> Printf.printf "%-26s %16s\n" name "n/a")
+        analysis)
+    tests;
+  let find name = List.assoc_opt name !ratios in
+  (match (find "pre_rtt_update", find "native_rtt_update") with
+  | Some p, Some n when n > 0. ->
+    Printf.printf
+      "\nPRE / native slowdown: %.0fx (paper: ~2x with a JITed VM; this PRE\n\
+      \  is an interpreter, so two orders of magnitude are expected)\n"
+      (p /. n)
+  | _ -> ());
+  (match (find "getset_via_api", find "bytecode_direct_load") with
+  | Some g, Some d when d > 0. ->
+    Printf.printf
+      "get/set API / direct bytecode loads: %.1fx (paper: ~5x)\n" (g /. d)
+  | _ -> ());
+  (match (find "plugin_load_fresh", find "plugin_load_cached") with
+  | Some f, Some c when c > 0. ->
+    Printf.printf "fresh / cached plugin load: %.1fx (cached %.1f us)\n" (f /. c)
+      (c /. 1e3)
+  | _ -> ());
+  match (find "merkle_verify_proof", find "hmac_sign_binding") with
+  | Some m, Some h when h > 0. ->
+    Printf.printf
+      "Merkle proof check / binding MAC: %.2fx (B.3 predicts ~the hash cost)\n"
+      (m /. h)
+  | _ -> ()

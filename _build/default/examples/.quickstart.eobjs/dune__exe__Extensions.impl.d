@@ -1,0 +1,1 @@
+examples/extensions.ml: Exp Int64 List Netsim Plugins Pquic Printf

@@ -1,0 +1,1 @@
+examples/fec_lossy.ml: Exp List Netsim Plugins Pquic Printf

@@ -1,0 +1,1 @@
+examples/fec_lossy.mli:

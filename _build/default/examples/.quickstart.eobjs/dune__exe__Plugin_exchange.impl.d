@@ -1,0 +1,1 @@
+examples/plugin_exchange.ml: List Logs Netsim Plugins Pquic Printf String Trust

@@ -1,0 +1,1 @@
+examples/plugin_exchange.mli:

@@ -1,0 +1,1 @@
+examples/vpn.ml: Exp List Netsim Printf

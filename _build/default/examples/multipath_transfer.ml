@@ -1,0 +1,41 @@
+(* Multipath QUIC as a protocol plugin (Section 4.3): the same download
+   runs over one path, then over two symmetric paths with the multipath
+   plugin injected on both endpoints. The plugin exchanges host addresses
+   with an ADD_ADDRESS frame, opens a second path, schedules packets
+   round-robin and feeds per-path RTT estimates from MP_ACK frames. The
+   speedup ratio approaching 2 on large files reproduces Figure 9. *)
+
+let p = { Netsim.Topology.d_ms = 10.; bw_mbps = 20.; loss = 0. }
+
+let run ~multipath ~size =
+  let topo =
+    if multipath then Netsim.Topology.dual_path ~seed:3L p p
+    else Netsim.Topology.single_path ~seed:3L p
+  in
+  let plugins, to_inject =
+    if multipath then ([ Plugins.Multipath.plugin ], [ Plugins.Multipath.name ])
+    else ([], [])
+  in
+  match
+    Exp.Runner.quic_transfer ~plugins ~to_inject ~multipath ~topo ~size ()
+  with
+  | Some r -> r.Exp.Runner.dct
+  | None -> nan
+
+let () =
+  Printf.printf
+    "Multipath plugin over two symmetric %.0f Mbps paths (%.0f ms one-way)\n\n"
+    p.Netsim.Topology.bw_mbps p.Netsim.Topology.d_ms;
+  Printf.printf "%10s %14s %14s %10s\n" "size" "single path" "two paths" "speedup";
+  List.iter
+    (fun size ->
+      let single = run ~multipath:false ~size in
+      let multi = run ~multipath:true ~size in
+      Printf.printf "%10s %12.3f s %12.3f s %9.2fx\n"
+        (if size >= 1_000_000 then Printf.sprintf "%d MB" (size / 1_000_000)
+         else Printf.sprintf "%d kB" (size / 1_000))
+        single multi (single /. multi))
+    [ 10_000; 50_000; 1_000_000; 10_000_000 ];
+  Printf.printf
+    "\nSmall transfers gain little (each path is limited by its initial\n\
+     congestion window); large transfers aggregate both paths.\n"

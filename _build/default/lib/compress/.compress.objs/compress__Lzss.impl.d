@@ -1,0 +1,1 @@
+lib/compress/lzss.ml: Buffer Bytes Char Hashtbl List Option String

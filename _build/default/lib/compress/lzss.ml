@@ -1,0 +1,119 @@
+(* LZSS compression, used to shrink plugins before exchanging them over a
+   connection (Section 4.6 / Table 2: pluglets of a plugin share duplicated
+   code, which dictionary compression exploits, like the paper's ZIP).
+
+   Format: a stream of flag bytes, each governing the next 8 items, LSB
+   first; flag bit 0 = literal byte, 1 = back-reference of 2 bytes
+   [offset:12 | length-3:4] into a 4 KiB window (match length 3..18). *)
+
+let window_size = 4096
+let min_match = 3
+let max_match = 18
+
+let compress input =
+  let n = String.length input in
+  let out = Buffer.create (n / 2 + 16) in
+  (* index of 3-byte sequences -> recent positions *)
+  let table : (int, int list) Hashtbl.t = Hashtbl.create 4096 in
+  let key i =
+    Char.code input.[i] lor (Char.code input.[i + 1] lsl 8)
+    lor (Char.code input.[i + 2] lsl 16)
+  in
+  let find_match i =
+    if i + min_match > n then None
+    else
+      match Hashtbl.find_opt table (key i) with
+      | None -> None
+      | Some candidates ->
+        let best = ref None in
+        List.iter
+          (fun j ->
+            if i - j <= window_size && i - j > 0 then begin
+              let len = ref 0 in
+              let limit = min max_match (n - i) in
+              while !len < limit && input.[j + !len] = input.[i + !len] do
+                incr len
+              done;
+              match !best with
+              | Some (_, blen) when blen >= !len -> ()
+              | _ -> if !len >= min_match then best := Some (j, !len)
+            end)
+          candidates;
+        !best
+  in
+  let remember i =
+    if i + min_match <= n then
+      let k = key i in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt table k) in
+      let prev = if List.length prev > 16 then List.filteri (fun i _ -> i < 16) prev else prev in
+      Hashtbl.replace table k (i :: prev)
+  in
+  let flags = ref 0 in
+  let nflags = ref 0 in
+  let pending = Buffer.create 64 in
+  let flush_group () =
+    if !nflags > 0 then begin
+      Buffer.add_uint8 out !flags;
+      Buffer.add_buffer out pending;
+      Buffer.clear pending;
+      flags := 0;
+      nflags := 0
+    end
+  in
+  let add_item is_ref bytes =
+    if is_ref then flags := !flags lor (1 lsl !nflags);
+    Buffer.add_string pending bytes;
+    incr nflags;
+    if !nflags = 8 then flush_group ()
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match find_match !i with
+    | Some (j, len) ->
+      let offset = !i - j in
+      let word = (offset lsl 4) lor (len - min_match) in
+      let b = Bytes.create 2 in
+      Bytes.set_uint16_be b 0 word;
+      add_item true (Bytes.to_string b);
+      for k = !i to !i + len - 1 do
+        remember k
+      done;
+      i := !i + len
+    | None ->
+      add_item false (String.make 1 input.[!i]);
+      remember !i;
+      incr i)
+  done;
+  flush_group ();
+  Buffer.contents out
+
+exception Corrupt
+
+let decompress input =
+  let n = String.length input in
+  let out = Buffer.create (n * 3) in
+  let pos = ref 0 in
+  while !pos < n do
+    let flags = Char.code input.[!pos] in
+    incr pos;
+    let k = ref 0 in
+    while !k < 8 && !pos < n do
+      if flags land (1 lsl !k) <> 0 then begin
+        if !pos + 2 > n then raise Corrupt;
+        let word = String.get_uint16_be input !pos in
+        pos := !pos + 2;
+        let offset = word lsr 4 and len = (word land 0xf) + min_match in
+        let start = Buffer.length out - offset in
+        if start < 0 then raise Corrupt;
+        for j = 0 to len - 1 do
+          Buffer.add_char out (Buffer.nth out (start + j))
+        done
+      end
+      else begin
+        Buffer.add_char out input.[!pos];
+        incr pos
+      end;
+      incr k
+    done
+  done;
+  Buffer.contents out

@@ -1,0 +1,17 @@
+(** LZSS compression, used to shrink serialized plugins before exchanging
+    them over a connection (Table 2's "compressed size": pluglets of a
+    plugin share duplicated code, which dictionary compression exploits
+    like the paper's ZIP).
+
+    Format: flag bytes each governing the next 8 items, LSB first; bit 0 =
+    literal byte, bit 1 = 2-byte back-reference [offset:12 | length-3:4]
+    into a 4 KiB window. *)
+
+val compress : string -> string
+
+exception Corrupt
+
+val decompress : string -> string
+(** Inverse of {!compress}.
+    @raise Corrupt when a back-reference points outside the produced
+    output. *)

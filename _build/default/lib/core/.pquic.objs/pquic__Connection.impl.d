@@ -1,0 +1,1 @@
+lib/core/connection.ml: Api Array Buffer Bytes Char Compress Ebpf Fmt Hashtbl Int32 Int64 List Logs Memory_pool Netsim Plc Plugin Pre Printf Protoop Queue Quic Scheduler String

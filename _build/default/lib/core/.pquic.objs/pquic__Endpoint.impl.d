@@ -1,0 +1,1 @@
+lib/core/endpoint.ml: Char Compress Connection Hashtbl List Logs Netsim Plc Plugin Pre Queue Quic String

@@ -1,0 +1,1 @@
+lib/core/plugin.ml: Api Buffer Char Ebpf Int32 List Plc Printf Protoop String

@@ -1,0 +1,1 @@
+lib/core/plugin.mli: Ebpf Plc Protoop

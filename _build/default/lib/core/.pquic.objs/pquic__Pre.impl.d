@@ -1,0 +1,1 @@
+lib/core/pre.ml: Api Ebpf Int64 List Plugin Protoop String

@@ -1,0 +1,1 @@
+lib/core/pre.mli: Bytes Ebpf Plugin Protoop

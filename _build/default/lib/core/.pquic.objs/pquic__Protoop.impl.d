@@ -1,0 +1,1 @@
+lib/core/protoop.ml: List Printf

@@ -1,0 +1,220 @@
+(* A PQUIC endpoint: binds network addresses, demultiplexes incoming
+   packets to connections by destination connection ID, accepts new
+   connections (server role), and owns the node-local plugin machinery —
+   the *local cache* of available plugins and the cross-connection PRE
+   cache of Section 2.5 (cached instances are reused without verifying or
+   compiling the pluglets again; their heap is wiped before reuse). *)
+
+module Sim = Netsim.Sim
+module Net = Netsim.Net
+module TP = Quic.Transport_params
+
+let src = Logs.Src.create "pquic.endpoint"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  sim : Sim.t;
+  net : Net.t;
+  cfg : Connection.config;
+  addr : Net.addr;
+  mutable extra_addrs : Net.addr list;
+  conns : (int64, Connection.t) Hashtbl.t;
+  available : (string, Plugin.t) Hashtbl.t;
+  pre_cache : (string, Connection.instance Queue.t) Hashtbl.t;
+  mutable outstanding : (Connection.t * Connection.instance) list;
+  rng : Netsim.Rng.t;
+  mutable prover : name:string -> formula:string -> string option;
+  mutable verifier : name:string -> bytes:string -> proof:string -> bool;
+  mutable on_connection : Connection.t -> unit;
+  mutable plugins_to_inject : string list;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+let create ?(cfg = Connection.default_config) ?(extra_addrs = []) ~sim ~net
+    ~addr ~seed () =
+  let t =
+    {
+      sim;
+      net;
+      cfg;
+      addr;
+      extra_addrs;
+      conns = Hashtbl.create 8;
+      available = Hashtbl.create 8;
+      pre_cache = Hashtbl.create 8;
+      outstanding = [];
+      rng = Netsim.Rng.create seed;
+      prover = (fun ~name:_ ~formula:_ -> None);
+      verifier = (fun ~name:_ ~bytes:_ ~proof:_ -> false);
+      on_connection = ignore;
+      plugins_to_inject = [];
+      cache_hits = 0;
+      cache_misses = 0;
+    }
+  in
+  t
+
+let fresh_cid t = Netsim.Rng.next_int64 t.rng
+
+(* Make a plugin available in the node's local plugin cache: it can be
+   injected locally and served to peers that request it. *)
+let add_plugin t (plugin : Plugin.t) = Hashtbl.replace t.available plugin.Plugin.name plugin
+
+let has_plugin t name = Hashtbl.mem t.available name
+
+let supported_plugins t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.available []
+  |> List.sort compare
+
+(* Reclaim instances whose connection finished; killed (failed) connections
+   do not recycle, so a misbehaving plugin's PREs are discarded. *)
+let recycle t =
+  let keep, recyclable =
+    List.partition
+      (fun (c, _) ->
+        match Connection.state c with
+        | Connection.Closed -> false
+        | Connection.Failed _ -> false
+        | _ -> true)
+      t.outstanding
+  in
+  t.outstanding <- keep;
+  List.iter
+    (fun (c, inst) ->
+      match Connection.state c with
+      | Connection.Failed _ -> ()
+      | _ ->
+        let name = (inst.Connection.plugin : Plugin.t).Plugin.name in
+        let q =
+          match Hashtbl.find_opt t.pre_cache name with
+          | Some q -> q
+          | None ->
+            let q = Queue.create () in
+            Hashtbl.replace t.pre_cache name q;
+            q
+        in
+        Queue.push inst q)
+    recyclable
+
+(* Fetch an injectable instance: cached PREs when available (no
+   verification, no compilation — the Section 2.5 fast path), otherwise a
+   fresh build of a locally available plugin. *)
+let acquire_instance t name =
+  recycle t;
+  match Hashtbl.find_opt t.pre_cache name with
+  | Some q when not (Queue.is_empty q) ->
+    t.cache_hits <- t.cache_hits + 1;
+    Some (Queue.pop q)
+  | _ -> (
+    match Hashtbl.find_opt t.available name with
+    | None -> None
+    | Some plugin -> (
+      t.cache_misses <- t.cache_misses + 1;
+      try Some (Connection.build_instance plugin) with
+      | Pre.Rejected msg ->
+        Log.warn (fun m -> m "plugin %s rejected: %s" name msg);
+        None
+      | Plc.Compile.Error msg ->
+        Log.warn (fun m -> m "plugin %s failed to compile: %s" name msg);
+        None))
+
+let provide_plugin t name ~formula =
+  match Hashtbl.find_opt t.available name with
+  | None -> None
+  | Some plugin -> (
+    match t.prover ~name ~formula with
+    | None -> None
+    | Some proof ->
+      let compressed = Compress.Lzss.compress (Plugin.serialize plugin) in
+      Some (compressed, proof))
+
+let setup_conn t c =
+  Hashtbl.replace t.conns (Connection.local_cid c) c;
+  c.Connection.provide_plugin <- provide_plugin t;
+  c.Connection.verify_plugin <- (fun ~name ~bytes ~proof -> t.verifier ~name ~bytes ~proof);
+  c.Connection.on_plugin_received <- (fun plugin -> add_plugin t plugin);
+  c.Connection.acquire_instance <-
+    (fun name ->
+      match acquire_instance t name with
+      | Some inst ->
+        t.outstanding <- (c, inst) :: t.outstanding;
+        Some inst
+      | None -> None)
+
+let base_params t =
+  {
+    TP.default with
+    TP.supported_plugins = supported_plugins t;
+    TP.plugins_to_inject = t.plugins_to_inject;
+    TP.active_paths = t.extra_addrs;
+  }
+
+(* Wire-format peek at the destination CID for demultiplexing. *)
+let dcid_of_wire wire =
+  if String.length wire >= 9 then Some (String.get_int64_be wire 1) else None
+
+let scid_of_wire wire =
+  if String.length wire >= 17 && Char.code wire.[0] land 0x80 <> 0 then
+    Some (String.get_int64_be wire 9)
+  else None
+
+let handle_datagram t (dg : Net.datagram) =
+  (* CE-marked datagrams arrive with their payload wrapped; route on the
+     inner packet, the connection reads the mark itself *)
+  let inner = match dg.Net.payload with Net.Ce p -> p | p -> p in
+  match inner with
+  | Connection.Quic_packet wire -> (
+    match dcid_of_wire wire with
+    | None -> ()
+    | Some dcid -> (
+      match Hashtbl.find_opt t.conns dcid with
+      | Some c -> Connection.receive_datagram c dg
+      | None ->
+        (* a long-header packet to an unknown CID starts a new connection *)
+        if Char.code wire.[0] land 0x80 <> 0 then begin
+          match scid_of_wire wire with
+          | None -> ()
+          | Some scid ->
+            let c =
+              Connection.create ~sim:t.sim ~net:t.net ~cfg:t.cfg
+                ~role:Connection.Server ~local_addr:dg.Net.dst
+                ~remote_addr:dg.Net.src ~local_cid:dcid ~remote_cid:scid
+                ~local_params:(base_params t) ()
+            in
+            c.Connection.key <-
+              Quic.Packet.derive_key ~client_cid:scid ~server_cid:dcid;
+            setup_conn t c;
+            Connection.inject_local_plugins c;
+            t.on_connection c;
+            Connection.receive_datagram c dg
+        end))
+  | _ -> ()
+
+(* Bind all our addresses so packets reach the demultiplexer. *)
+let listen t =
+  List.iter
+    (fun addr -> Net.attach t.net addr (handle_datagram t))
+    (t.addr :: t.extra_addrs)
+
+let connect ?(plugins_to_inject = []) t ~remote_addr =
+  let local_cid = fresh_cid t in
+  let remote_cid = fresh_cid t in
+  let params =
+    { (base_params t) with TP.plugins_to_inject =
+        (match plugins_to_inject with [] -> t.plugins_to_inject | l -> l) }
+  in
+  let c =
+    Connection.create ~sim:t.sim ~net:t.net ~cfg:t.cfg ~role:Connection.Client
+      ~local_addr:t.addr ~remote_addr ~local_cid ~remote_cid
+      ~local_params:params ()
+  in
+  c.Connection.key <-
+    Quic.Packet.derive_key ~client_cid:local_cid ~server_cid:remote_cid;
+  setup_conn t c;
+  Connection.inject_local_plugins c;
+  Connection.start_client c;
+  c
+
+let connection_count t = Hashtbl.length t.conns

@@ -1,0 +1,29 @@
+(** Plugin memory allocator (Section 2.3): a fixed-size area split into
+    constant-size blocks with Θ(1) allocation and release while limiting
+    fragmentation (after Kenwright's fixed-size pools). Offsets are
+    relative to the area start; the PRE maps the area as a VM region so
+    offsets translate directly to bytecode addresses. *)
+
+type t
+
+val create : ?block_size:int -> size:int -> unit -> t
+(** [block_size] defaults to 64 bytes. Allocations larger than one block
+    take contiguous blocks. *)
+
+val area : t -> Bytes.t
+val size : t -> int
+
+val alloc : t -> int -> int option
+(** Byte offset of a fresh allocation, or [None] when the pool is
+    exhausted — which only hurts the plugin itself. *)
+
+val free : t -> int -> bool
+(** [false] when the offset is not the head of a live allocation (double
+    free, interior pointer): the caller treats it as an API violation. *)
+
+val reset : t -> unit
+(** Wipe contents and allocation state — used when a cached plugin is
+    reused on a new connection so nothing leaks between connections
+    (Section 2.5). *)
+
+val allocated_bytes : t -> int

@@ -1,0 +1,39 @@
+(** Pluglet Runtime Environment (Section 2.1): one per inserted pluglet.
+
+    Each PRE owns its registers and stack (a fresh {!Ebpf.Vm}); its heap
+    points to the area shared by all pluglets of the plugin, mapped first
+    so heap pointers have the same value in every PRE of an instance. The
+    admission pipeline — compile if needed, static verification — runs at
+    creation; runtime memory monitoring lives in the VM. *)
+
+exception Rejected of string
+(** The verifier refused the bytecode: the whole plugin is rejected. *)
+
+type t = {
+  plugin_name : string;
+  op : Protoop.id;
+  param : int option;
+  anchor : Protoop.anchor;
+  prog : Ebpf.Insn.t array;
+  vm : Ebpf.Vm.t;
+  heap_base : int64;
+}
+
+val create : plugin_name:string -> pluglet:Plugin.pluglet -> heap:Bytes.t -> t
+(** @raise Rejected when verification fails
+    @raise Plc.Compile.Error when source compilation fails *)
+
+val register_helper : t -> int -> Ebpf.Vm.helper -> unit
+
+val heap_addr : t -> int -> int64
+(** Translate a plugin-heap offset to the address pluglets see. *)
+
+val heap_offset : t -> int64 -> int
+
+val with_regions :
+  t -> (string * Bytes.t * Ebpf.Vm.perm) list -> (int64 list -> 'a) -> 'a
+(** Map transient regions (packet buffers, protoop inputs) for the duration
+    of the callback, which receives their base addresses in order. *)
+
+val run : t -> args:int64 array -> int64
+val executed_insns : t -> int

@@ -1,0 +1,203 @@
+(** Protocol operations: the named subroutines into which the PQUIC
+    connection workflow is decomposed (Section 2.2) — 72 of them, as in the
+    paper. Each has a human-readable identifier and anchor points:
+    {!Replace} (at most one pluglet, overrides the built-in behaviour),
+    {!Pre} and {!Post} (any number of passive, read-only observers), and
+    {!External} (callable only by the application, Section 2.4). Four
+    operations take a parameter — the frame type — giving plugins a generic
+    entry point for new frame types without changing the caller.
+
+    Plugins may also register operations absent from this table (ids from
+    {!first_plugin_op} up), as the FEC plugin does with its flush
+    operation. *)
+
+type anchor = Replace | Pre | Post | External
+
+type id = int
+(** Numeric operation id, usable from bytecode via run_protoop. *)
+
+type param = int option
+(** The frame type, for the four parameterized operations. *)
+
+val parse_frame : id
+(** parameterized: consume a plugin frame body, returning the byte count (bit 28 set marks the frame non-ack-eliciting) *)
+
+val process_frame : id
+(** parameterized: act on a parsed frame *)
+
+val write_frame : id
+(** parameterized: serialize a reserved frame slot into the packet being built *)
+
+val notify_frame : id
+(** parameterized: a frame of this type was acknowledged (arg 1) or lost (arg 0) *)
+
+val update_rtt : id
+(** fold a new RTT sample into the path estimator — the paper's running example *)
+
+val process_ack_range : id
+
+val detect_lost_packets : id
+(** per-path gap/time-threshold loss detection *)
+
+val set_loss_timer : id
+(** arm the retransmission alarm *)
+
+val on_loss_timer : id
+(** the alarm fired: probe or declare losses *)
+
+val retransmission_timeout : id
+(** full RTO: everything in flight is declared lost *)
+
+val send_probe : id
+
+val cc_on_packet_sent : id
+(** congestion control: a packet entered flight *)
+
+val cc_on_packet_acked : id
+(** congestion-control window growth (bytes-in-flight stays native so CC plugins only own policy) *)
+
+val cc_on_packet_lost : id
+(** congestion-control multiplicative decrease *)
+
+val cc_on_rto : id
+(** congestion-control collapse after an RTO *)
+
+val schedule_next_stream : id
+(** pick the stream that sends next (round robin by default) *)
+
+val flow_control_check : id
+
+val update_max_data : id
+
+val update_max_stream_data : id
+
+val stream_opened : id
+
+val stream_closed : id
+
+val data_received : id
+
+val data_consumed : id
+
+val process_transport_params : id
+(** the peer's transport parameters were decoded *)
+
+val write_transport_params : id
+
+val update_ack_needed : id
+
+val compute_ack_delay : id
+(** the delay reported in outgoing ACK frames *)
+
+val get_retransmission_delay : id
+(** compute the alarm timeout (what the Tail Loss Probe plugin replaces) *)
+
+val stream_bytes_max : id
+(** cap the stream bytes of the packet being built (the FEC plugin shrinks it to leave room for repair symbols) *)
+
+val update_pacing : id
+
+val congestion_window_check : id
+
+val select_path : id
+(** pick the sending path (the multipath plugin replaces this with round robin / lowest RTT) *)
+
+val prepare_packet : id
+
+val predict_packet_header_size : id
+
+val schedule_frames_on_sending : id
+
+val finalize_and_protect_packet : id
+
+val packet_was_sent : id
+(** a packet left, with its payload available to pluglets (FEC captures source symbols here) *)
+
+val incoming_datagram : id
+
+val decode_packet_header : id
+
+val unprotect_packet : id
+
+val received_packet : id
+(** an authenticated packet arrived, before its frames are processed *)
+
+val set_spin_bit : id
+(** compute the Spin Bit of the outgoing packet *)
+
+val get_spin_bit : id
+
+val get_destination_cid : id
+
+val next_packet_number : id
+
+val packet_acknowledged : id
+
+val packet_lost : id
+
+val path_challenge_response : id
+
+val create_new_path : id
+
+val validate_path : id
+
+val packet_number_space : id
+
+val connection_init : id
+
+val connection_established : id
+(** empty anchor: the handshake completed *)
+
+val connection_closing : id
+
+val connection_closed : id
+(** empty anchor: the connection ended (monitoring exports its PI block here) *)
+
+val idle_timeout_event : id
+
+val handshake_complete : id
+
+val after_decode_frames : id
+
+val before_sending_packet : id
+
+val after_packet_lost : id
+
+val plugin_injected : id
+
+val plugin_removed : id
+
+val plugin_negotiated : id
+
+val cache_lookup : id
+
+val wake_event : id
+
+val new_connection_id : id
+
+val half_open_event : id
+
+val stateless_reset : id
+
+val update_idle_timeout : id
+(** bookkeeping on every received packet *)
+
+val stream_data_blocked : id
+
+val set_next_wake_time : id
+
+val header_prepared : id
+
+val first_plugin_op : id
+(** Ids from here up are free for plugin-defined operations. *)
+
+val names : (id * string) list
+
+val name : id -> string
+(** Human-readable identifier; plugin-defined ids print as plugin_op_N. *)
+
+val count : int
+(** 72, as reported in Section 2.2. *)
+
+val parameterized : id list
+(** The four operations taking a frame-type parameter. *)

@@ -1,0 +1,34 @@
+(** Frame scheduler (Section 2.3): plugins book frame slots with
+    reserve_frames; when a packet is built, core frames keep a guaranteed
+    fraction of the payload budget whenever application data is pending,
+    and a deficit round robin distributes the remaining budget between the
+    plugins — no plugin can starve application data or the others. *)
+
+type reservation = {
+  ftype : int;           (** frame type the write_frame protoop receives *)
+  size : int;            (** worst-case wire size *)
+  retransmittable : bool;
+  ack_eliciting : bool;  (** MP_ACK-style frames are not *)
+  cookie : int64;        (** opaque value handed back to the pluglet *)
+  plugin : string;
+}
+
+type t
+
+val create : ?quantum:int -> ?core_fraction:float -> unit -> t
+(** [quantum] (default 600 bytes) is the DRR credit per round;
+    [core_fraction] (default 0.5) the share guaranteed to core frames. *)
+
+val reserve : t -> reservation -> unit
+val pending : t -> int
+val has_pending : t -> bool
+
+val plugin_budget : t -> budget:int -> core_has_data:bool -> int
+
+val take :
+  ?max_frame:int -> t -> budget:int -> core_has_data:bool -> reservation list
+(** Pop reservations fitting [budget] bytes, deficit-round-robin across
+    plugins. Reservations larger than [max_frame] (default 1400) can never
+    ride in any packet and are dropped rather than blocking their queue. *)
+
+val drop_plugin : t -> string -> unit

@@ -1,0 +1,1 @@
+lib/ebpf/insn.ml: Array Buffer Fmt Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/ebpf/verifier.ml: Array Fmt Hashtbl Insn List

@@ -1,0 +1,1 @@
+lib/ebpf/verifier.mli: Fmt Hashtbl Insn

@@ -1,0 +1,1 @@
+lib/ebpf/vm.ml: Array Bytes Char Hashtbl Insn Int32 Int64 List Printf Verifier

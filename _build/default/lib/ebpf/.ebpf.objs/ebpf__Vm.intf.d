@@ -1,0 +1,1 @@
+lib/ebpf/vm.mli: Bytes Insn

@@ -1,0 +1,261 @@
+(* Interpreting eBPF virtual machine with runtime memory monitoring.
+
+   The paper's PRE injects bounds-checking instructions when JITing pluglet
+   bytecode; this interpreter performs the same checks on every load and
+   store instead. Memory is organized as disjoint *regions* (pluglet stack,
+   plugin heap, host-provided input/output buffers) mapped at synthetic
+   64-bit base addresses. Any access outside a mapped region, or a write to
+   a read-only region, raises [Memory_violation] — the host reacts by
+   removing the plugin and terminating the connection (Section 2.1). *)
+
+type perm = Ro | Rw
+
+type region = {
+  rid : int;
+  rname : string;
+  base : int64;
+  mem : Bytes.t;
+  perm : perm;
+}
+
+exception Memory_violation of string
+exception Fuel_exhausted
+exception Helper_failure of string
+
+type t = {
+  mutable regions : region list;
+  helpers : (int, helper) Hashtbl.t;
+  stack_size : int;
+  mutable next_rid : int;
+  mutable next_base : int64;
+  max_insns : int;
+  mutable executed : int; (* instructions executed over the VM lifetime *)
+}
+
+and helper = t -> int64 array -> int64
+
+let region_alignment = 0x0001_0000_0000L (* 4 GiB of address space per region *)
+
+let create ?(stack_size = 512) ?(max_insns = 4_000_000) () =
+  {
+    regions = [];
+    helpers = Hashtbl.create 16;
+    stack_size;
+    next_rid = 0;
+    next_base = region_alignment;
+    max_insns;
+    executed = 0;
+  }
+
+let register_helper vm id f = Hashtbl.replace vm.helpers id f
+
+let map_region vm ~name ~perm mem =
+  let r =
+    { rid = vm.next_rid; rname = name; base = vm.next_base; mem; perm }
+  in
+  vm.next_rid <- vm.next_rid + 1;
+  vm.next_base <- Int64.add vm.next_base region_alignment;
+  vm.regions <- r :: vm.regions;
+  r
+
+let unmap_region vm r =
+  vm.regions <- List.filter (fun r' -> r'.rid <> r.rid) vm.regions
+
+let find_region vm addr len =
+  let fits r =
+    let open Int64 in
+    unsigned_compare addr r.base >= 0
+    && unsigned_compare
+         (add addr (of_int len))
+         (add r.base (of_int (Bytes.length r.mem)))
+       <= 0
+    (* guard against wrap-around *)
+    && unsigned_compare (add addr (of_int len)) addr >= 0
+  in
+  List.find_opt fits vm.regions
+
+let resolve vm ~write addr len =
+  match find_region vm addr len with
+  | None ->
+    raise
+      (Memory_violation
+         (Printf.sprintf "access of %d bytes at 0x%Lx outside any region" len
+            addr))
+  | Some r ->
+    if write && r.perm = Ro then
+      raise
+        (Memory_violation
+           (Printf.sprintf "write of %d bytes at 0x%Lx in read-only region %s"
+              len addr r.rname));
+    (r, Int64.to_int (Int64.sub addr r.base))
+
+let load vm addr sz =
+  let len = Insn.size_bytes sz in
+  let r, off = resolve vm ~write:false addr len in
+  match sz with
+  | Insn.W8 -> Int64.of_int (Char.code (Bytes.get r.mem off))
+  | Insn.W16 -> Int64.of_int (Bytes.get_uint16_le r.mem off)
+  | Insn.W32 ->
+    Int64.logand (Int64.of_int32 (Bytes.get_int32_le r.mem off)) 0xffffffffL
+  | Insn.W64 -> Bytes.get_int64_le r.mem off
+
+let store vm addr sz v =
+  let len = Insn.size_bytes sz in
+  let r, off = resolve vm ~write:true addr len in
+  match sz with
+  | Insn.W8 -> Bytes.set_uint8 r.mem off (Int64.to_int v land 0xff)
+  | Insn.W16 -> Bytes.set_uint16_le r.mem off (Int64.to_int v land 0xffff)
+  | Insn.W32 -> Bytes.set_int32_le r.mem off (Int64.to_int32 v)
+  | Insn.W64 -> Bytes.set_int64_le r.mem off v
+
+(* Reads [len] bytes crossing no region boundary; used by helpers
+   (pl_memcpy & co) which must obey the same monitor as bytecode. *)
+let read_bytes vm addr len =
+  let r, off = resolve vm ~write:false addr len in
+  Bytes.sub r.mem off len
+
+let write_bytes vm addr b =
+  let len = Bytes.length b in
+  let r, off = resolve vm ~write:true addr len in
+  Bytes.blit b 0 r.mem off len
+
+let fill_bytes vm addr len c =
+  let r, off = resolve vm ~write:true addr len in
+  Bytes.fill r.mem off len c
+
+let u64_of_i32 v = Int64.logand (Int64.of_int32 v) 0xffffffffL
+
+let alu64 op a b =
+  let open Int64 in
+  match op with
+  | Insn.Add -> add a b
+  | Insn.Sub -> sub a b
+  | Insn.Mul -> mul a b
+  | Insn.Div -> if b = 0L then 0L else unsigned_div a b
+  | Insn.Mod -> if b = 0L then a else unsigned_rem a b
+  | Insn.Or -> logor a b
+  | Insn.And -> logand a b
+  | Insn.Xor -> logxor a b
+  | Insn.Lsh -> shift_left a (to_int (logand b 63L))
+  | Insn.Rsh -> shift_right_logical a (to_int (logand b 63L))
+  | Insn.Arsh -> shift_right a (to_int (logand b 63L))
+  | Insn.Mov -> b
+  | Insn.Neg -> neg a
+
+let alu32 op a b =
+  let a32 = Int64.to_int32 a and b32 = Int64.to_int32 b in
+  let open Int32 in
+  let r =
+    match op with
+    | Insn.Add -> add a32 b32
+    | Insn.Sub -> sub a32 b32
+    | Insn.Mul -> mul a32 b32
+    | Insn.Div -> if b32 = 0l then 0l else unsigned_div a32 b32
+    | Insn.Mod -> if b32 = 0l then a32 else unsigned_rem a32 b32
+    | Insn.Or -> logor a32 b32
+    | Insn.And -> logand a32 b32
+    | Insn.Xor -> logxor a32 b32
+    | Insn.Lsh -> shift_left a32 (Int32.to_int (logand b32 31l))
+    | Insn.Rsh -> shift_right_logical a32 (Int32.to_int (logand b32 31l))
+    | Insn.Arsh -> shift_right a32 (Int32.to_int (logand b32 31l))
+    | Insn.Mov -> b32
+    | Insn.Neg -> neg a32
+  in
+  u64_of_i32 r
+
+let jump_taken c a b =
+  let u = Int64.unsigned_compare a b and s = Int64.compare a b in
+  match c with
+  | Insn.Jeq -> a = b
+  | Insn.Jne -> a <> b
+  | Insn.Jgt -> u > 0
+  | Insn.Jge -> u >= 0
+  | Insn.Jlt -> u < 0
+  | Insn.Jle -> u <= 0
+  | Insn.Jsgt -> s > 0
+  | Insn.Jsge -> s >= 0
+  | Insn.Jslt -> s < 0
+  | Insn.Jsle -> s <= 0
+  | Insn.Jset -> Int64.logand a b <> 0L
+
+(* Execute [prog] with up to five arguments in r1..r5. A fresh stack region
+   is mapped for the run and unmapped afterwards, so stack contents never
+   leak between runs. Returns r0. *)
+let run vm ?(args = [||]) prog =
+  let stack = Bytes.make vm.stack_size '\000' in
+  let stack_region = map_region vm ~name:"stack" ~perm:Rw stack in
+  let pos, of_slot, _total = Verifier.slot_maps prog in
+  let regs = Array.make 11 0L in
+  Array.iteri (fun i v -> if i < 5 then regs.(i + 1) <- v) args;
+  regs.(Insn.fp) <-
+    Int64.add stack_region.base (Int64.of_int vm.stack_size);
+  let operand_value = function
+    | Insn.Reg r -> regs.(r)
+    | Insn.Imm v -> Int64.of_int32 v
+  in
+  let fuel = ref vm.max_insns in
+  let pc = ref 0 in
+  let result = ref 0L in
+  let finished = ref false in
+  (try
+     while not !finished do
+       if !fuel <= 0 then raise Fuel_exhausted;
+       decr fuel;
+       vm.executed <- vm.executed + 1;
+       let insn = prog.(!pc) in
+       let next = !pc + 1 in
+       let goto off =
+         let target_slot = pos.(!pc) + Insn.slots insn + off in
+         match Hashtbl.find_opt of_slot target_slot with
+         | Some i -> pc := i
+         | None ->
+           (* Unreachable for verified programs. *)
+           raise (Memory_violation "jump to invalid slot")
+       in
+       (match insn with
+        | Insn.Alu64 (op, dst, operand) ->
+          regs.(dst) <- alu64 op regs.(dst) (operand_value operand);
+          pc := next
+        | Insn.Alu32 (op, dst, operand) ->
+          regs.(dst) <- alu32 op regs.(dst) (operand_value operand);
+          pc := next
+        | Insn.Ld_imm64 (dst, v) ->
+          regs.(dst) <- v;
+          pc := next
+        | Insn.Ldx (sz, dst, src, off) ->
+          regs.(dst) <- load vm (Int64.add regs.(src) (Int64.of_int off)) sz;
+          pc := next
+        | Insn.Stx (sz, dst, off, src) ->
+          store vm (Int64.add regs.(dst) (Int64.of_int off)) sz regs.(src);
+          pc := next
+        | Insn.St (sz, dst, off, imm) ->
+          store vm
+            (Int64.add regs.(dst) (Int64.of_int off))
+            sz (Int64.of_int32 imm);
+          pc := next
+        | Insn.Ja off -> goto off
+        | Insn.Jcond (c, dst, operand, off) ->
+          if jump_taken c regs.(dst) (operand_value operand) then goto off
+          else pc := next
+        | Insn.Call id -> (
+          match Hashtbl.find_opt vm.helpers id with
+          | None -> raise (Helper_failure (Printf.sprintf "helper %d missing" id))
+          | Some f ->
+            let call_args = Array.sub regs 1 5 in
+            regs.(0) <- f vm call_args;
+            (* r1-r5 are clobbered by calls, per the eBPF convention. *)
+            for r = 1 to 5 do
+              regs.(r) <- 0L
+            done;
+            pc := next)
+        | Insn.Exit ->
+          result := regs.(0);
+          finished := true)
+     done
+   with e ->
+     unmap_region vm stack_region;
+     raise e);
+  unmap_region vm stack_region;
+  !result
+
+let executed vm = vm.executed

@@ -1,0 +1,65 @@
+(** Interpreting eBPF virtual machine with runtime memory monitoring.
+
+    The paper's PRE injects bounds-checking instructions when JITing
+    pluglet bytecode; this interpreter performs the same checks on every
+    load and store instead. Memory is organized as disjoint {e regions}
+    (pluglet stack, plugin heap, host-provided buffers) mapped at synthetic
+    64-bit base addresses; any access outside a mapped region, or a write
+    to a read-only region, raises {!Memory_violation} — the host reacts by
+    removing the plugin and terminating the connection. *)
+
+type perm = Ro | Rw
+
+type region = {
+  rid : int;
+  rname : string;
+  base : int64;   (** address pluglets use to reach the region *)
+  mem : Bytes.t;
+  perm : perm;
+}
+
+exception Memory_violation of string
+exception Fuel_exhausted
+(** The per-run instruction budget ran out — the backstop against pluglets
+    whose termination could not be proven. *)
+
+exception Helper_failure of string
+(** A host helper rejected the call (missing helper, bad arguments, policy
+    violation such as writing a read-only connection field). *)
+
+type t
+
+(** A host function callable from bytecode: receives the VM (for
+    region-checked memory access) and the five argument registers. *)
+type helper = t -> int64 array -> int64
+
+val create : ?stack_size:int -> ?max_insns:int -> unit -> t
+(** [stack_size] defaults to 512 bytes, [max_insns] (the per-run fuel) to
+    4,000,000. *)
+
+val register_helper : t -> int -> helper -> unit
+
+val map_region : t -> name:string -> perm:perm -> Bytes.t -> region
+(** Make [mem] addressable from bytecode; each region gets its own 4 GiB
+    window of synthetic address space, so regions never abut. *)
+
+val unmap_region : t -> region -> unit
+
+val read_bytes : t -> int64 -> int -> Bytes.t
+(** Region-checked read used by helpers (pl_memcpy & co.): the access must
+    lie inside one mapped region.
+    @raise Memory_violation otherwise. *)
+
+val write_bytes : t -> int64 -> Bytes.t -> unit
+val fill_bytes : t -> int64 -> int -> char -> unit
+
+val run : t -> ?args:int64 array -> Insn.t array -> int64
+(** Execute a program with up to five arguments in r1..r5; returns r0. A
+    fresh zeroed stack region is mapped for the run and unmapped afterwards,
+    so stack contents never leak between runs.
+    @raise Memory_violation on an out-of-region or read-only access
+    @raise Fuel_exhausted when the instruction budget is spent
+    @raise Helper_failure when a helper rejects a call *)
+
+val executed : t -> int
+(** Instructions executed over the VM's lifetime (overhead accounting). *)

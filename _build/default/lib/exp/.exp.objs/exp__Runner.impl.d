@@ -1,0 +1,1 @@
+lib/exp/runner.ml: Array Float Int64 List Netsim Option Plugins Pquic String Tcpsim Wsp

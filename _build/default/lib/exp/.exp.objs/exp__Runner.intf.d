@@ -1,0 +1,1 @@
+lib/exp/runner.mli: Netsim Pquic

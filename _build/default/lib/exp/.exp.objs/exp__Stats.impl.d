@@ -1,0 +1,1 @@
+lib/exp/stats.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/exp/wsp.ml: Array List Netsim

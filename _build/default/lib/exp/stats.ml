@@ -1,0 +1,54 @@
+(* Small statistics toolkit for the experiment harness: medians,
+   percentiles, empirical CDFs printed as the series behind the paper's
+   figures. *)
+
+let sorted values = List.sort compare values
+
+let percentile p values =
+  match sorted values with
+  | [] -> nan
+  | s ->
+    let arr = Array.of_list s in
+    let n = Array.length arr in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    if lo = hi then arr.(lo)
+    else
+      let w = rank -. float_of_int lo in
+      (arr.(lo) *. (1. -. w)) +. (arr.(hi) *. w)
+
+let median values = percentile 50. values
+
+let mean values =
+  match values with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+
+let stddev values =
+  let m = mean values in
+  match values with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    sqrt
+      (List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. values
+       /. float_of_int (List.length values - 1))
+
+(* Empirical CDF as (value, fraction <= value) points. *)
+let cdf values =
+  let s = sorted values in
+  let n = float_of_int (List.length s) in
+  List.mapi (fun i x -> (x, float_of_int (i + 1) /. n)) s
+
+(* Print a CDF as aligned columns, one series per call. *)
+let print_cdf ~label values =
+  Printf.printf "# CDF %s (%d samples)\n" label (List.length values);
+  List.iter (fun (x, p) -> Printf.printf "%12.6f %8.4f\n" x p) (cdf values)
+
+(* Summarize a CDF on one line with the quartiles that matter for reading
+   the paper's figures. *)
+let summarize ~label values =
+  Printf.printf
+    "%-24s n=%4d  p10=%8.4f  p25=%8.4f  median=%8.4f  p75=%8.4f  p90=%8.4f\n"
+    label (List.length values) (percentile 10. values)
+    (percentile 25. values) (median values) (percentile 75. values)
+    (percentile 90. values)

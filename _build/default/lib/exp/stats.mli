@@ -1,0 +1,14 @@
+(** Statistics for the experiment harness: medians, percentiles and
+    empirical CDFs printed as the series behind the paper's figures. *)
+
+val percentile : float -> float list -> float
+val median : float list -> float
+val mean : float list -> float
+val stddev : float list -> float
+
+val cdf : float list -> (float * float) list
+(** Sorted [(value, fraction <= value)] points. *)
+
+val print_cdf : label:string -> float list -> unit
+val summarize : label:string -> float list -> unit
+(** One line with n and the p10/p25/median/p75/p90 quartile summary. *)

@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Int64 Rng Sim

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Hashtbl Link Sim

@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Link Net Rng Sim

@@ -1,0 +1,90 @@
+(* A unidirectional link fed by a drop-tail router queue, reproducing the
+   paper's NetEm (delay, seeded random loss) + HTB (rate limit) setup.
+
+   A packet entering the link is first subjected to the random loss draw
+   (NetEm-style, before the queue). It then waits for the transmitter: the
+   queue holds at most [buffer] bytes beyond the packet in service —
+   arrivals that would overflow it are congestion losses, which the paper
+   notes "can still be observed due to the limited bandwidth and router
+   buffers" even on lossless links. Serialization takes size*8/rate and
+   propagation adds the one-way delay. *)
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable random_losses : int;
+  mutable queue_drops : int;
+  mutable bytes_delivered : int;
+  mutable ce_marked : int;
+}
+
+type t = {
+  sim : Sim.t;
+  delay : Sim.time;               (* one-way propagation delay *)
+  rate_bps : float;               (* 0. means infinite *)
+  loss : float;                   (* uniform loss probability *)
+  buffer : int;                   (* queue capacity in bytes *)
+  ecn_threshold : int;            (* mark CE above this backlog; 0 = off *)
+  rng : Rng.t;
+  mutable busy_until : Sim.time;
+  mutable queued_bytes : int;
+  stats : stats;
+}
+
+let create ~sim ~delay_ms ~rate_mbps ~loss ~rng ?(buffer = 64 * 1024)
+    ?(ecn_threshold = 0) () =
+  {
+    sim;
+    delay = Sim.of_ms delay_ms;
+    rate_bps = rate_mbps *. 1e6;
+    loss;
+    buffer;
+    ecn_threshold;
+    rng;
+    busy_until = 0L;
+    queued_bytes = 0;
+    stats =
+      { sent = 0; delivered = 0; random_losses = 0; queue_drops = 0;
+        bytes_delivered = 0; ce_marked = 0 };
+  }
+
+let tx_time t size =
+  if t.rate_bps <= 0. then 0L
+  else Int64.of_float (float_of_int (size * 8) /. t.rate_bps *. 1e9)
+
+(* Submit a packet of [size] bytes; [deliver ~ce] runs at the far end when
+   the packet survives, with [ce] set when the router marked it Congestion
+   Experienced (queue backlog above the ECN threshold) instead of having
+   room to spare. *)
+let send_ecn t ~size deliver =
+  t.stats.sent <- t.stats.sent + 1;
+  if t.loss > 0. && Rng.bool t.rng t.loss then
+    t.stats.random_losses <- t.stats.random_losses + 1
+  else begin
+    let now = Sim.now t.sim in
+    let in_service = t.busy_until > now in
+    let backlog = if in_service then t.queued_bytes else 0 in
+    if in_service && backlog + size > t.buffer then
+      t.stats.queue_drops <- t.stats.queue_drops + 1
+    else begin
+      let ce = t.ecn_threshold > 0 && backlog + size > t.ecn_threshold in
+      if ce then t.stats.ce_marked <- t.stats.ce_marked + 1;
+      let start = if in_service then t.busy_until else now in
+      let tx_done = Int64.add start (tx_time t size) in
+      t.queued_bytes <- (if in_service then t.queued_bytes else 0) + size;
+      t.busy_until <- tx_done;
+      let arrival = Int64.add tx_done t.delay in
+      ignore
+        (Sim.schedule t.sim ~delay:(Int64.sub tx_done now) (fun () ->
+             t.queued_bytes <- t.queued_bytes - size));
+      ignore
+        (Sim.schedule t.sim ~delay:(Int64.sub arrival now) (fun () ->
+             t.stats.delivered <- t.stats.delivered + 1;
+             t.stats.bytes_delivered <- t.stats.bytes_delivered + size;
+             deliver ~ce))
+    end
+  end
+
+let send t ~size deliver = send_ecn t ~size (fun ~ce:_ -> deliver ())
+
+let stats t = t.stats

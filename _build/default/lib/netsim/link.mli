@@ -1,0 +1,41 @@
+(** A unidirectional link fed by a drop-tail router queue — the paper's
+    NetEm (delay, seeded random loss) + HTB (rate limit) lab setup.
+
+    A packet first takes the random-loss draw; it then needs queue room
+    ([buffer] bytes behind the packet in service — overflow is a
+    congestion loss), is serialized at the link rate and propagated after
+    the one-way delay. With [ecn_threshold] > 0 the queue marks packets
+    Congestion Experienced instead of waiting for overflow. *)
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable random_losses : int;
+  mutable queue_drops : int;
+  mutable bytes_delivered : int;
+  mutable ce_marked : int;
+}
+
+type t
+
+val create :
+  sim:Sim.t ->
+  delay_ms:float ->
+  rate_mbps:float ->
+  loss:float ->
+  rng:Rng.t ->
+  ?buffer:int ->
+  ?ecn_threshold:int ->
+  unit ->
+  t
+(** [rate_mbps <= 0.] means infinite bandwidth; [buffer] defaults to
+    64 KiB; [ecn_threshold = 0] (default) disables marking. *)
+
+val send_ecn : t -> size:int -> (ce:bool -> unit) -> unit
+(** Submit a packet; the callback runs at the far end if it survives, with
+    [ce] set when the router marked it. *)
+
+val send : t -> size:int -> (unit -> unit) -> unit
+(** {!send_ecn} without the mark. *)
+
+val stats : t -> stats

@@ -1,0 +1,49 @@
+(* Datagram network: addresses, static routes (lists of links) and delivery
+   to per-address handlers. Payloads use an extensible variant so each
+   protocol stacks its own packet type on the simulator without the
+   simulator knowing about it. *)
+
+type addr = int
+
+type payload = ..
+type payload += Raw of string
+
+(* A datagram that crossed a router whose queue was past the ECN marking
+   threshold arrives with its payload wrapped in [Ce]. *)
+type payload += Ce of payload
+
+type datagram = { src : addr; dst : addr; size : int; payload : payload }
+
+type t = {
+  sim : Sim.t;
+  routes : (addr * addr, Link.t list) Hashtbl.t;
+  handlers : (addr, datagram -> unit) Hashtbl.t;
+}
+
+let create sim = { sim; routes = Hashtbl.create 16; handlers = Hashtbl.create 16 }
+
+let sim t = t.sim
+
+let add_route t ~src ~dst links = Hashtbl.replace t.routes (src, dst) links
+
+let attach t addr handler = Hashtbl.replace t.handlers addr handler
+
+let detach t addr = Hashtbl.remove t.handlers addr
+
+(* Send a datagram; it traverses every link of the route in order and is
+   dropped silently if any link loses it or no route/handler exists —
+   exactly a best-effort IP/UDP service. *)
+let send t dg =
+  match Hashtbl.find_opt t.routes (dg.src, dg.dst) with
+  | None -> ()
+  | Some links ->
+    let rec hop marked = function
+      | [] -> (
+        match Hashtbl.find_opt t.handlers dg.dst with
+        | Some handler ->
+          handler (if marked then { dg with payload = Ce dg.payload } else dg)
+        | None -> ())
+      | link :: rest ->
+        Link.send_ecn link ~size:dg.size (fun ~ce -> hop (marked || ce) rest)
+    in
+    hop false links

@@ -1,0 +1,29 @@
+(** Datagram network: addresses, static routes (lists of links) and
+    delivery to per-address handlers — a best-effort IP/UDP service.
+    Payloads are an extensible variant so each protocol stacks its own
+    packet type on the simulator. *)
+
+type addr = int
+
+type payload = ..
+type payload += Raw of string
+
+type payload += Ce of payload
+(** Wraps the payload of a datagram that crossed a router whose queue was
+    past the ECN marking threshold. *)
+
+type datagram = { src : addr; dst : addr; size : int; payload : payload }
+
+type t
+
+val create : Sim.t -> t
+val sim : t -> Sim.t
+
+val add_route : t -> src:addr -> dst:addr -> Link.t list -> unit
+(** Datagrams from [src] to [dst] traverse exactly these links, in order. *)
+
+val attach : t -> addr -> (datagram -> unit) -> unit
+val detach : t -> addr -> unit
+
+val send : t -> datagram -> unit
+(** Dropped silently when any link loses it or no route/handler exists. *)

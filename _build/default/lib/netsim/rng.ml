@@ -1,0 +1,33 @@
+(* Deterministic SplitMix64 PRNG. Every stochastic element of the simulator
+   (loss draws, jitter) derives from explicit seeds so that, as in the
+   paper's lab setup, "the same loss pattern is applied when an experiment
+   is replayed". *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state golden;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.unsigned_rem (next_int64 t) (Int64.of_int bound))
+
+let bool t p = float t < p
+
+(* Derive an independent stream, e.g. one per link. *)
+let split t = create (next_int64 t)

@@ -1,0 +1,20 @@
+(** Deterministic SplitMix64 PRNG. Every stochastic element of the
+    simulator (loss draws, sampling designs) derives from explicit seeds,
+    so — as in the paper's NetEm setup — "the same loss pattern is applied
+    when an experiment is replayed". *)
+
+type t
+
+val create : int64 -> t
+val next_int64 : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val split : t -> t
+(** Derive an independent stream, e.g. one per link. *)

@@ -1,0 +1,67 @@
+(* The experimental topology of Figure 7: a client reaching a server over
+   one or two paths through routers R1/R2 converging at R3. Each direction
+   of the R1–R3 / R2–R3 segment carries the configured {delay, bandwidth,
+   loss}; access segments are fast and lossless. *)
+
+type path_params = { d_ms : float; bw_mbps : float; loss : float }
+
+type t = {
+  sim : Sim.t;
+  net : Net.t;
+  client_addrs : Net.addr list; (* one address per available path *)
+  server_addr : Net.addr;
+  mid_links : (Link.t * Link.t) list; (* (up, down) middle segment per path *)
+}
+
+let client_addr_1 = 1
+let client_addr_2 = 2
+let server_addr = 100
+
+let default_buffer = 100 * 1500 (* a 100-packet drop-tail router queue *)
+
+let access_link ~sim ~rng () =
+  Link.create ~sim ~delay_ms:0.05 ~rate_mbps:1000. ~loss:0. ~rng
+    ~buffer:(1024 * 1024) ()
+
+(* Build a bidirectional path between [client] and [server] with the middle
+   segment set to [p]. *)
+let add_path ~sim ~net ~rng ?(buffer = default_buffer) ?(ecn_threshold = 0)
+    ~client ~server p =
+  let mk_mid () =
+    Link.create ~sim ~delay_ms:p.d_ms ~rate_mbps:p.bw_mbps ~loss:p.loss
+      ~rng:(Rng.split rng) ~buffer ~ecn_threshold ()
+  in
+  let up_mid = mk_mid () and down_mid = mk_mid () in
+  let up = [ access_link ~sim ~rng (); up_mid; access_link ~sim ~rng () ] in
+  let down = [ access_link ~sim ~rng (); down_mid; access_link ~sim ~rng () ] in
+  Net.add_route net ~src:client ~dst:server up;
+  Net.add_route net ~src:server ~dst:client down;
+  (up_mid, down_mid)
+
+let single_path ?buffer ?ecn_threshold ~seed p =
+  let sim = Sim.create () in
+  let net = Net.create sim in
+  let rng = Rng.create seed in
+  let mids =
+    add_path ~sim ~net ~rng ?buffer ?ecn_threshold ~client:client_addr_1
+      ~server:server_addr p
+  in
+  { sim; net; client_addrs = [ client_addr_1 ]; server_addr; mid_links = [ mids ] }
+
+let dual_path ?buffer ~seed p1 p2 =
+  let sim = Sim.create () in
+  let net = Net.create sim in
+  let rng = Rng.create seed in
+  let m1 =
+    add_path ~sim ~net ~rng ?buffer ~client:client_addr_1 ~server:server_addr p1
+  in
+  let m2 =
+    add_path ~sim ~net ~rng ?buffer ~client:client_addr_2 ~server:server_addr p2
+  in
+  { sim; net; client_addrs = [ client_addr_1; client_addr_2 ]; server_addr;
+    mid_links = [ m1; m2 ] }
+
+(* The 10 Gbps back-to-back servers of the Table 3 benchmark. *)
+let fast_link ~seed =
+  single_path ~buffer:(4 * 1024 * 1024) ~seed
+    { d_ms = 0.05; bw_mbps = 10_000.; loss = 0. }

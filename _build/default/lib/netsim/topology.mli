@@ -1,0 +1,31 @@
+(** The experimental topology of the paper's Figure 7: a client reaching a
+    server over one or two paths through routers R1/R2 converging at R3.
+    Each direction of the middle segment carries the configured
+    {delay, bandwidth, loss}; access segments are fast and lossless. *)
+
+type path_params = { d_ms : float; bw_mbps : float; loss : float }
+(** One-way delay in ms, bandwidth in Mbit/s, uniform loss probability. *)
+
+type t = {
+  sim : Sim.t;
+  net : Net.t;
+  client_addrs : Net.addr list; (** one address per available path *)
+  server_addr : Net.addr;
+  mid_links : (Link.t * Link.t) list; (** (up, down) middle segment per path *)
+}
+
+val client_addr_1 : Net.addr
+val client_addr_2 : Net.addr
+val server_addr : Net.addr
+
+val default_buffer : int
+(** A 100-packet drop-tail router queue, as a Linux default qdisc. *)
+
+val single_path : ?buffer:int -> ?ecn_threshold:int -> seed:int64 -> path_params -> t
+
+val dual_path : ?buffer:int -> seed:int64 -> path_params -> path_params -> t
+(** Two paths: the client owns {!client_addr_1} (via R1) and
+    {!client_addr_2} (via R2). *)
+
+val fast_link : seed:int64 -> t
+(** The 10 Gbps back-to-back servers of the Table 3 benchmark. *)

@@ -1,0 +1,1 @@
+lib/plc/ast.ml: Ebpf Fmt Int64 List String

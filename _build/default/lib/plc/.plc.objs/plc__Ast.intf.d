@@ -1,0 +1,1 @@
+lib/plc/ast.mli: Ebpf Fmt

@@ -1,0 +1,1 @@
+lib/plc/compile.ml: Array Ast Ebpf Fmt Hashtbl Int64 List Printf

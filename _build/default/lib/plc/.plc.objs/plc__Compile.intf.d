@@ -1,0 +1,1 @@
+lib/plc/compile.mli: Ast Ebpf

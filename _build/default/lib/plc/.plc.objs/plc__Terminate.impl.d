@@ -1,0 +1,1 @@
+lib/plc/terminate.ml: Ast Fmt List Printf

@@ -1,0 +1,1 @@
+lib/plc/terminate.mli: Ast Fmt

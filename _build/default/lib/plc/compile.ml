@@ -1,0 +1,269 @@
+module Insn = Ebpf.Insn
+(* Stack-machine compilation of the plugin language to eBPF bytecode.
+
+   Locals live in fixed frame-pointer-relative slots; expression temporaries
+   in slots above them (depth is known statically, so the Verifier's static
+   stack check covers every access). Results are produced in r0; helper
+   calls follow the eBPF convention (args r1..r5, result r0, r1-r5
+   clobbered). Jumps are emitted against symbolic labels and resolved to
+   slot-relative offsets at the end, since Ld_imm64 occupies two slots. *)
+
+exception Error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type jitem =
+  | Ins of Insn.t
+  | Lbl of int
+  | Ja_l of int
+  | Jcond_l of Insn.cond * Insn.reg * Insn.operand * int
+
+type env = {
+  helpers : (string * int) list;        (* helper name -> id *)
+  mutable locals : (string * int) list; (* name -> slot index *)
+  mutable nlocals : int;
+  mutable max_depth : int;
+  mutable next_label : int;
+  buf : jitem list ref;
+}
+
+let emit env it = env.buf := it :: !(env.buf)
+let fresh_label env =
+  let l = env.next_label in
+  env.next_label <- l + 1;
+  l
+
+let local_offset slot = -8 * (slot + 1)
+
+let temp_offset env depth =
+  let off = -8 * (env.nlocals + depth + 1) in
+  if depth + 1 > env.max_depth then env.max_depth <- depth + 1;
+  off
+
+let lookup_local env x =
+  match List.assoc_opt x env.locals with
+  | Some slot -> slot
+  | None -> err "unbound variable %s" x
+
+(* Scoping is flat per function: re-declaring a name (e.g. the induction
+   variable of two successive For loops) reuses its slot. *)
+let declare_local env x =
+  match List.assoc_opt x env.locals with
+  | Some slot -> slot
+  | None ->
+    let slot = env.nlocals in
+    env.locals <- (x, slot) :: env.locals;
+    env.nlocals <- env.nlocals + 1;
+    slot
+
+let imm_fits_i32 v = v >= -0x8000_0000L && v <= 0x7fff_ffffL
+
+let load_const env r vv =
+  if imm_fits_i32 vv then
+    emit env (Ins (Insn.Alu64 (Insn.Mov, r, Insn.Imm (Int64.to_int32 vv))))
+  else emit env (Ins (Insn.Ld_imm64 (r, vv)))
+
+let cond_of_binop = function
+  | Ast.Eq -> Some Insn.Jeq
+  | Ast.Ne -> Some Insn.Jne
+  | Ast.Lt -> Some Insn.Jlt
+  | Ast.Le -> Some Insn.Jle
+  | Ast.Gt -> Some Insn.Jgt
+  | Ast.Ge -> Some Insn.Jge
+  | Ast.Slt -> Some Insn.Jslt
+  | Ast.Sle -> Some Insn.Jsle
+  | Ast.Sgt -> Some Insn.Jsgt
+  | Ast.Sge -> Some Insn.Jsge
+  | _ -> None
+
+let alu_of_binop = function
+  | Ast.Add -> Insn.Add
+  | Ast.Sub -> Insn.Sub
+  | Ast.Mul -> Insn.Mul
+  | Ast.Div -> Insn.Div
+  | Ast.Mod -> Insn.Mod
+  | Ast.And -> Insn.And
+  | Ast.Or -> Insn.Or
+  | Ast.Xor -> Insn.Xor
+  | Ast.Shl -> Insn.Lsh
+  | Ast.Shr -> Insn.Rsh
+  | op -> err "binop %s is not an ALU operation" (Ast.binop_name op)
+
+(* Evaluate [e]; result in r0. [depth] temporaries are live below. *)
+let rec compile_expr env depth e =
+  match e with
+  | Ast.Const vv -> load_const env 0 vv
+  | Ast.Var x ->
+    let slot = lookup_local env x in
+    emit env (Ins (Insn.Ldx (Insn.W64, 0, Insn.fp, local_offset slot)))
+  | Ast.Bin (op, a, b) -> (
+    compile_expr env depth a;
+    let tmp = temp_offset env depth in
+    emit env (Ins (Insn.Stx (Insn.W64, Insn.fp, tmp, 0)));
+    compile_expr env (depth + 1) b;
+    emit env (Ins (Insn.Alu64 (Insn.Mov, 1, Insn.Reg 0)));
+    emit env (Ins (Insn.Ldx (Insn.W64, 0, Insn.fp, tmp)));
+    (* r0 = a, r1 = b *)
+    match cond_of_binop op with
+    | Some c ->
+      let l_true = fresh_label env and l_end = fresh_label env in
+      emit env (Jcond_l (c, 0, Insn.Reg 1, l_true));
+      emit env (Ins (Insn.Alu64 (Insn.Mov, 0, Insn.Imm 0l)));
+      emit env (Ja_l l_end);
+      emit env (Lbl l_true);
+      emit env (Ins (Insn.Alu64 (Insn.Mov, 0, Insn.Imm 1l)));
+      emit env (Lbl l_end)
+    | None -> emit env (Ins (Insn.Alu64 (alu_of_binop op, 0, Insn.Reg 1))))
+  | Ast.Not e ->
+    compile_expr env depth e;
+    let l_zero = fresh_label env and l_end = fresh_label env in
+    emit env (Jcond_l (Insn.Jeq, 0, Insn.Imm 0l, l_zero));
+    emit env (Ins (Insn.Alu64 (Insn.Mov, 0, Insn.Imm 0l)));
+    emit env (Ja_l l_end);
+    emit env (Lbl l_zero);
+    emit env (Ins (Insn.Alu64 (Insn.Mov, 0, Insn.Imm 1l)));
+    emit env (Lbl l_end)
+  | Ast.Load (sz, addr) ->
+    compile_expr env depth addr;
+    emit env (Ins (Insn.Ldx (sz, 0, 0, 0)))
+  | Ast.Call (fname, args) ->
+    let nargs = List.length args in
+    if nargs > 5 then err "helper %s called with %d arguments (max 5)" fname nargs;
+    let id =
+      match List.assoc_opt fname env.helpers with
+      | Some id -> id
+      | None -> err "unknown helper %s" fname
+    in
+    List.iteri
+      (fun k arg ->
+        compile_expr env (depth + k) arg;
+        emit env (Ins (Insn.Stx (Insn.W64, Insn.fp, temp_offset env (depth + k), 0))))
+      args;
+    List.iteri
+      (fun k _ ->
+        emit env
+          (Ins (Insn.Ldx (Insn.W64, k + 1, Insn.fp, temp_offset env (depth + k)))))
+      args;
+    emit env (Ins (Insn.Call id))
+
+let rec compile_stmt env s =
+  match s with
+  | Ast.Let (x, e) ->
+    compile_expr env 0 e;
+    let slot = declare_local env x in
+    emit env (Ins (Insn.Stx (Insn.W64, Insn.fp, local_offset slot, 0)))
+  | Ast.Assign (x, e) ->
+    let slot = lookup_local env x in
+    compile_expr env 0 e;
+    emit env (Ins (Insn.Stx (Insn.W64, Insn.fp, local_offset slot, 0)))
+  | Ast.Store (sz, addr, value) ->
+    compile_expr env 0 addr;
+    let tmp = temp_offset env 0 in
+    emit env (Ins (Insn.Stx (Insn.W64, Insn.fp, tmp, 0)));
+    compile_expr env 1 value;
+    emit env (Ins (Insn.Alu64 (Insn.Mov, 1, Insn.Reg 0)));
+    emit env (Ins (Insn.Ldx (Insn.W64, 0, Insn.fp, tmp)));
+    emit env (Ins (Insn.Stx (sz, 0, 0, 1)))
+  | Ast.If (c, t, f) ->
+    let l_else = fresh_label env and l_end = fresh_label env in
+    compile_expr env 0 c;
+    emit env (Jcond_l (Insn.Jeq, 0, Insn.Imm 0l, l_else));
+    List.iter (compile_stmt env) t;
+    emit env (Ja_l l_end);
+    emit env (Lbl l_else);
+    List.iter (compile_stmt env) f;
+    emit env (Lbl l_end)
+  | Ast.While (c, body) ->
+    let l_loop = fresh_label env and l_end = fresh_label env in
+    emit env (Lbl l_loop);
+    compile_expr env 0 c;
+    emit env (Jcond_l (Insn.Jeq, 0, Insn.Imm 0l, l_end));
+    List.iter (compile_stmt env) body;
+    emit env (Ja_l l_loop);
+    emit env (Lbl l_end)
+  | Ast.For (x, lo, hi, body) ->
+    (* The bound is evaluated once into a hidden local the program cannot
+       name, so the trip count is fixed before the loop starts. *)
+    let bound = Printf.sprintf "%s#bound" x in
+    compile_stmt env (Ast.Let (bound, hi));
+    compile_stmt env (Ast.Let (x, lo));
+    let xslot = lookup_local env x and bslot = lookup_local env bound in
+    let l_loop = fresh_label env and l_end = fresh_label env in
+    emit env (Lbl l_loop);
+    emit env (Ins (Insn.Ldx (Insn.W64, 0, Insn.fp, local_offset xslot)));
+    emit env (Ins (Insn.Ldx (Insn.W64, 1, Insn.fp, local_offset bslot)));
+    emit env (Jcond_l (Insn.Jge, 0, Insn.Reg 1, l_end));
+    List.iter (compile_stmt env) body;
+    emit env (Ins (Insn.Ldx (Insn.W64, 0, Insn.fp, local_offset xslot)));
+    emit env (Ins (Insn.Alu64 (Insn.Add, 0, Insn.Imm 1l)));
+    emit env (Ins (Insn.Stx (Insn.W64, Insn.fp, local_offset xslot, 0)));
+    emit env (Ja_l l_loop);
+    emit env (Lbl l_end)
+  | Ast.Return e ->
+    compile_expr env 0 e;
+    emit env (Ins Insn.Exit)
+  | Ast.Expr e -> compile_expr env 0 e
+
+(* Resolve labels to slot-relative offsets. *)
+let resolve items =
+  let slot_of_label = Hashtbl.create 16 in
+  let pos = ref 0 in
+  List.iter
+    (fun it ->
+      match it with
+      | Lbl l -> Hashtbl.replace slot_of_label l !pos
+      | Ins i -> pos := !pos + Insn.slots i
+      | Ja_l _ | Jcond_l _ -> incr pos)
+    items;
+  let out = ref [] in
+  let pos = ref 0 in
+  let target l =
+    match Hashtbl.find_opt slot_of_label l with
+    | Some s -> s
+    | None -> err "unresolved label %d" l
+  in
+  List.iter
+    (fun it ->
+      match it with
+      | Lbl _ -> ()
+      | Ins i ->
+        out := i :: !out;
+        pos := !pos + Insn.slots i
+      | Ja_l l ->
+        out := Insn.Ja (target l - (!pos + 1)) :: !out;
+        incr pos
+      | Jcond_l (c, r, o, l) ->
+        out := Insn.Jcond (c, r, o, target l - (!pos + 1)) :: !out;
+        incr pos)
+    items;
+  Array.of_list (List.rev !out)
+
+(* Compile a pluglet function. Parameters arrive in r1..r5 and are spilled
+   into locals immediately (helper calls clobber r1-r5). *)
+let compile ~helpers (f : Ast.func) =
+  if List.length f.params > 5 then err "%s: too many parameters" f.name;
+  let env =
+    {
+      helpers;
+      locals = [];
+      nlocals = 0;
+      max_depth = 0;
+      next_label = 0;
+      buf = ref [];
+    }
+  in
+  List.iteri
+    (fun k p ->
+      let slot = declare_local env p in
+      emit env (Ins (Insn.Stx (Insn.W64, Insn.fp, local_offset slot, k + 1))))
+    f.params;
+  List.iter (compile_stmt env) f.body;
+  (* Guarantee the exit instruction the verifier requires. *)
+  emit env (Ins (Insn.Alu64 (Insn.Mov, 0, Insn.Imm 0l)));
+  emit env (Ins Insn.Exit);
+  let prog = resolve (List.rev !(env.buf)) in
+  let stack_size =
+    let words = env.nlocals + env.max_depth + 1 in
+    max 512 (((words * 8) + 511) / 512 * 512)
+  in
+  (prog, stack_size)

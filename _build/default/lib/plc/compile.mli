@@ -1,0 +1,17 @@
+(** Compilation of the plugin language to eBPF bytecode.
+
+    A stack-machine strategy: locals live in fixed frame-pointer-relative
+    slots, expression temporaries in slots above them, so every memory
+    access the compiler emits is statically checkable by the
+    {!Ebpf.Verifier}. Results are produced in r0; helper calls follow the
+    eBPF convention (args r1..r5, result r0). *)
+
+exception Error of string
+
+val compile : helpers:(string * int) list -> Ast.func -> Ebpf.Insn.t array * int
+(** [compile ~helpers f] resolves helper names against [helpers] and
+    returns the program plus the stack size it needs (a multiple of 512
+    covering locals and the deepest expression). The generated program
+    always ends in an [Exit] (an implicit [return 0]).
+    @raise Error on unbound variables, unknown helpers, more than five
+    parameters or arguments. *)

@@ -1,0 +1,1 @@
+lib/plugins/datagram.ml: Bytes Dsl Int64 Pquic Quic String

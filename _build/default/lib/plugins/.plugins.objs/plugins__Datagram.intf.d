@@ -1,0 +1,1 @@
+lib/plugins/datagram.mli: Pquic

@@ -1,0 +1,1 @@
+lib/plugins/dsl.ml: Ebpf Plc Pquic

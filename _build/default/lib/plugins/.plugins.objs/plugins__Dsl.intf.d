@@ -1,0 +1,1 @@
+lib/plugins/dsl.mli: Plc Pquic

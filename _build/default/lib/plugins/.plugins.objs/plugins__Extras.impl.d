@@ -1,0 +1,1 @@
+lib/plugins/extras.ml: Dsl Pquic

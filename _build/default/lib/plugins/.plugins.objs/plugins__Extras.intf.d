@@ -1,0 +1,1 @@
+lib/plugins/extras.mli: Pquic

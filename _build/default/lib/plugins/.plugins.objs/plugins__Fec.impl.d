@@ -1,0 +1,1 @@
+lib/plugins/fec.ml: Dsl Plc Pquic Printf Quic

@@ -1,0 +1,1 @@
+lib/plugins/fec.mli: Pquic

@@ -1,0 +1,1 @@
+lib/plugins/monitoring.ml: Dsl Int64 Pquic Quic String

@@ -1,0 +1,1 @@
+lib/plugins/monitoring.mli: Pquic

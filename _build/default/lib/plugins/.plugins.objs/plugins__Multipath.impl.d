@@ -1,0 +1,1 @@
+lib/plugins/multipath.ml: Dsl Int64 Plc Pquic Quic

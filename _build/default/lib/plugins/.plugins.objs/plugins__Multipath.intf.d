@@ -1,0 +1,1 @@
+lib/plugins/multipath.mli: Pquic

@@ -1,0 +1,132 @@
+(* The Datagram plugin (Section 4.2): a new DATAGRAM frame carrying
+   unreliable messages, plus two *external* protocol operations (Section
+   2.4) extending the API PQUIC offers to the application — a message
+   socket. Frames keep data boundaries but are neither ordered nor
+   retransmitted; received messages are pushed asynchronously to the
+   application, which is how the QUIC VPN moves IP packets. *)
+
+open Dsl
+
+let name = "org.pquic.datagram"
+
+let frame_type = Quic.Frame.type_datagram
+
+(* External protocol operations added by this plugin. *)
+let op_send_message = 100
+let op_max_message_size = 101
+
+(* Ring of pending outgoing messages, opaque-data id 2:
+   0: monotonic slot counter, 8: (reserved), 16: 64 slots of (addr, len). *)
+let slots = 256
+let state_size = 16 + (slots * 16)
+let state body = with_state ~id:2 ~size:state_size body
+
+let slot_addr slot_expr = v "st" +: i 16 +: (slot_expr *: i 16)
+
+(* send_message(buf, len): queue a copy of the message in plugin memory and
+   book a DATAGRAM frame slot. Drops (returns -1) when the ring is full,
+   like a saturated tun queue — datagrams are allowed to be lost. *)
+let send_message =
+  func "dg_send_message" [ "buf"; "len" ]
+    (state
+       [
+         If
+           ( (v "len" >: i 1400) ||: (v "len" =: i 0),
+             [ ret (i (-1)) ],
+             [] );
+         Let ("slot", fld 0 %: i slots);
+         Let ("entry", slot_addr (v "slot"));
+         If (ld64 (v "entry") <>: i 0, [ ret (i (-1)) ], []);
+         Let ("m", pl_malloc (v "len"));
+         If (v "m" =: i 0, [ ret (i (-1)) ], []);
+         pl_memcpy (v "m") (v "buf") (v "len");
+         st64 (v "entry") (v "m");
+         st64 (v "entry" +: i 8) (v "len");
+         set_fld 0 (fld 0 +: i 1);
+         reserve frame_type (v "len" +: i 4) 0 (v "slot");
+         ret0;
+       ])
+
+(* write_frame[DATAGRAM](buf, maxlen, cookie): body = u16 length, payload. *)
+let write_frame =
+  func "dg_write_frame" [ "buf"; "maxlen"; "cookie" ]
+    (state
+       [
+         Let ("entry", slot_addr (v "cookie" %: i slots));
+         Let ("m", ld64 (v "entry"));
+         If (v "m" =: i 0, [ ret0 ], []);
+         Let ("len", ld64 (v "entry" +: i 8));
+         If (v "len" +: i 2 >: v "maxlen", [ ret0 ], []);
+         st16 (v "buf") (v "len");
+         pl_memcpy (v "buf" +: i 2) (v "m") (v "len");
+         pl_free (v "m");
+         st64 (v "entry") (i 0);
+         ret (v "len" +: i 2);
+       ])
+
+(* parse_frame[DATAGRAM](buf, buflen) -> consumed bytes. *)
+let parse_frame =
+  func "dg_parse_frame" [ "buf"; "buflen" ]
+    [
+      If (v "buflen" <: i 2, [ ret0 ], []);
+      Let ("len", ld16 (v "buf"));
+      If (v "len" +: i 2 >: v "buflen", [ ret0 ], []);
+      ret (v "len" +: i 2);
+    ]
+
+(* process_frame[DATAGRAM]: push the message straight to the application
+   (the asynchronous channel of Section 2.4). *)
+let process_frame =
+  func "dg_process_frame" [ "buf"; "consumed"; "pn" ]
+    [
+      Let ("len", ld16 (v "buf"));
+      push_message (v "buf" +: i 2) (v "len");
+      ret0;
+    ]
+
+(* notify_frame[DATAGRAM]: datagrams maintain boundaries but neither order
+   nor reliability — a lost frame is simply gone. *)
+let notify_frame =
+  func "dg_notify_frame" [ "acked"; "cookie"; "buf" ] [ ret0 ]
+
+(* max_message_size(): what fits in one DATAGRAM frame on this connection. *)
+let max_message_size =
+  func "dg_max_message_size" []
+    [ ret (get Pquic.Api.f_mtu (i 0) -: i 64) ]
+
+let plugin : Pquic.Plugin.t =
+  {
+    Pquic.Plugin.name;
+    pluglets =
+      [
+        pluglet ~op:op_send_message ~anchor:Pquic.Protoop.External send_message;
+        pluglet ~op:op_max_message_size ~anchor:Pquic.Protoop.External
+          max_message_size;
+        pluglet ~op:Pquic.Protoop.write_frame ~param:frame_type
+          ~anchor:Pquic.Protoop.Replace write_frame;
+        pluglet ~op:Pquic.Protoop.parse_frame ~param:frame_type
+          ~anchor:Pquic.Protoop.Replace parse_frame;
+        pluglet ~op:Pquic.Protoop.process_frame ~param:frame_type
+          ~anchor:Pquic.Protoop.Replace process_frame;
+        pluglet ~op:Pquic.Protoop.notify_frame ~param:frame_type
+          ~anchor:Pquic.Protoop.Replace notify_frame;
+      ];
+  }
+
+(* Application-side wrappers over the external operations. *)
+let send conn msg =
+  match
+    Pquic.Connection.call_external conn op_send_message
+      [|
+        Pquic.Connection.Buf (Bytes.of_string msg, `Ro);
+        Pquic.Connection.I (Int64.of_int (String.length msg));
+      |]
+  with
+  | Some 0L -> Ok ()
+  | Some _ -> Error `Would_block
+  | None -> Error `No_plugin
+
+let max_size conn =
+  match Pquic.Connection.call_external conn op_max_message_size [||] with
+  | Some v -> Some (Int64.to_int v)
+  | None -> None

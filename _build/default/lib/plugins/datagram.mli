@@ -1,0 +1,22 @@
+(** The Datagram plugin (Section 4.2): a new DATAGRAM frame carrying
+    unreliable messages, plus two {e external} protocol operations
+    (Section 2.4) extending the API PQUIC offers to the application — a
+    message socket. Frames keep data boundaries but are neither ordered
+    nor retransmitted; received messages are pushed asynchronously through
+    the connection's [on_message] channel. The QUIC VPN moves raw IP
+    packets exactly this way. *)
+
+val name : string
+val plugin : Pquic.Plugin.t
+
+val op_send_message : Pquic.Protoop.id
+val op_max_message_size : Pquic.Protoop.id
+
+val send :
+  Pquic.Connection.t -> string -> (unit, [ `Would_block | `No_plugin ]) result
+(** Queue a message (max ~1400 bytes). [`Would_block] when the plugin's
+    ring is full — a saturated tun queue drops packets the same way. *)
+
+val max_size : Pquic.Connection.t -> int option
+(** What fits in one DATAGRAM frame on this connection; [None] without the
+    plugin. *)

@@ -1,0 +1,71 @@
+(* Shorthand for writing pluglets: thin wrappers over the plc AST that read
+   like the C sources of the paper's plugins. All pluglets obtain their
+   persistent state from get_opaque_data and address it with 64-bit loads
+   and stores relative to the returned base. *)
+
+open Plc.Ast
+
+let i = i
+let v = v
+let ( +: ) = ( +: )
+let ( -: ) = ( -: )
+let ( *: ) = ( *: )
+let ( /: ) = ( /: )
+let ( %: ) = ( %: )
+let ( =: ) = ( =: )
+let ( <>: ) = ( <>: )
+let ( <: ) = ( <: )
+let ( <=: ) = ( <=: )
+let ( >: ) = ( >: )
+let ( >=: ) = ( >=: )
+let ( &&: ) = ( &&: )
+let ( ||: ) = ( ||: )
+
+let call f args = Call (f, args)
+let callv f args = Expr (Call (f, args))
+
+(* state base pointer bound to a local *)
+let with_state ~id ~size body =
+  Let ("st", call "get_opaque_data" [ i id; i size ]) :: body
+
+(* 64-bit field access relative to the state base *)
+let fld off = Load (Ebpf.Insn.W64, v "st" +: i off)
+let set_fld off e = Store (Ebpf.Insn.W64, v "st" +: i off, e)
+let bump off = set_fld off (fld off +: i 1)
+let add_fld off e = set_fld off (fld off +: e)
+
+(* byte/halfword/word access at an arbitrary address *)
+let ld8 a = Load (Ebpf.Insn.W8, a)
+let ld16 a = Load (Ebpf.Insn.W16, a)
+let ld32 a = Load (Ebpf.Insn.W32, a)
+let ld64 a = Load (Ebpf.Insn.W64, a)
+let st8 a e = Store (Ebpf.Insn.W8, a, e)
+let st16 a e = Store (Ebpf.Insn.W16, a, e)
+let st32 a e = Store (Ebpf.Insn.W32, a, e)
+let st64 a e = Store (Ebpf.Insn.W64, a, e)
+
+(* the PQUIC API of Table 1 *)
+let get f idx = call "get" [ i f; idx ]
+let set f idx value = callv "set" [ i f; idx; value ]
+let pl_malloc size = call "pl_malloc" [ size ]
+let pl_free a = callv "pl_free" [ a ]
+let pl_memcpy dst src len = callv "pl_memcpy" [ dst; src; len ]
+let pl_memset dst c len = callv "pl_memset" [ dst; c; len ]
+let run_protoop op param a b c = call "run_protoop" [ i op; param; a; b; c ]
+let reserve ftype size flags cookie =
+  callv "reserve_frames" [ i ftype; size; i flags; cookie ]
+let get_time () = call "get_time" []
+let push_message addr len = callv "push_message" [ addr; len ]
+
+let ret e = Return e
+let ret0 = Return (i 0)
+
+let func name params body : Plc.Ast.func = { name; params; body }
+
+let pluglet ?param ~op ~anchor f : Pquic.Plugin.pluglet =
+  { Pquic.Plugin.op; param; anchor; code = Pquic.Plugin.Source f }
+
+(* reserve_frames flag bits (Api): bit0 retransmittable, bit1 NOT
+   ack-eliciting *)
+let fl_retransmittable = 1
+let fl_non_ack_eliciting = 2

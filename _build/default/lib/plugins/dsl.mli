@@ -1,0 +1,84 @@
+(** Shorthand for writing pluglets: thin wrappers over the plc AST that
+    read like the C sources of the paper's plugins. All pluglets obtain
+    their persistent state from get_opaque_data and address it with 64-bit
+    loads and stores relative to the returned base, conventionally bound to
+    the local ["st"]. *)
+
+open Plc.Ast
+
+val i : int -> expr
+val v : string -> expr
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( %: ) : expr -> expr -> expr
+val ( =: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( &&: ) : expr -> expr -> expr
+val ( ||: ) : expr -> expr -> expr
+
+val call : string -> expr list -> expr
+val callv : string -> expr list -> stmt
+(** A helper call evaluated for effect. *)
+
+val with_state : id:int -> size:int -> block -> block
+(** Prefix a body with [let st = get_opaque_data(id, size)]. *)
+
+val fld : int -> expr
+(** 64-bit field at a byte offset from [st]. *)
+
+val set_fld : int -> expr -> stmt
+val bump : int -> stmt
+(** [fld off <- fld off + 1]. *)
+
+val add_fld : int -> expr -> stmt
+
+val ld8 : expr -> expr
+val ld16 : expr -> expr
+val ld32 : expr -> expr
+val ld64 : expr -> expr
+val st8 : expr -> expr -> stmt
+val st16 : expr -> expr -> stmt
+val st32 : expr -> expr -> stmt
+val st64 : expr -> expr -> stmt
+
+(** {2 The Table 1 API} *)
+
+val get : int -> expr -> expr
+(** [get field index]. *)
+
+val set : int -> expr -> expr -> stmt
+val pl_malloc : expr -> expr
+val pl_free : expr -> stmt
+val pl_memcpy : expr -> expr -> expr -> stmt
+val pl_memset : expr -> expr -> expr -> stmt
+val run_protoop : int -> expr -> expr -> expr -> expr -> expr
+(** [run_protoop op param a b c]; pass [Const (-1L)] for no parameter. *)
+
+val reserve : int -> expr -> int -> expr -> stmt
+(** [reserve ftype size flags cookie] books a frame slot. *)
+
+val get_time : unit -> expr
+val push_message : expr -> expr -> stmt
+
+val ret : expr -> stmt
+val ret0 : stmt
+
+val func : string -> string list -> block -> Plc.Ast.func
+
+val pluglet :
+  ?param:int ->
+  op:Pquic.Protoop.id ->
+  anchor:Pquic.Protoop.anchor ->
+  Plc.Ast.func ->
+  Pquic.Plugin.pluglet
+
+(** reserve_frames flag bits *)
+
+val fl_retransmittable : int
+val fl_non_ack_eliciting : int

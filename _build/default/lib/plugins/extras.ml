@@ -1,0 +1,197 @@
+(* The small extension plugins the paper's Section 4 opens with: "With less
+   than 100 lines of C code a PQUIC plugin can add the equivalent of Tail
+   Loss Probe in TCP, or support for Explicit Congestion Notification" —
+   plus the new-congestion-controller plugin Section 6 mentions. Each is a
+   handful of pluglets over the get/set API and the retransmission /
+   congestion protocol operations. *)
+
+open Dsl
+
+(* ------------------------- Tail Loss Probe ---------------------------- *)
+
+(* Replaces get_retransmission_delay: when only a packet or two remain in
+   flight (a tail), the timer shrinks to max(2*srtt, 10 ms) so a lost tail
+   is probed long before the full PTO — Flach et al.'s gentle aggression. *)
+module Tlp = struct
+  let name = "org.pquic.tlp"
+
+  let probe_delay =
+    func "tlp_retransmission_delay" [ "base"; "path" ]
+      [
+        Let ("inflight", get Pquic.Api.f_bytes_in_flight (v "path"));
+        If
+          ( (v "inflight" >: i 0) &&: (v "inflight" <=: i 4200),
+            [
+              Let
+                ( "probe",
+                  (get Pquic.Api.f_srtt (v "path") *: i 2) +: i 10_000_000 );
+              If (v "probe" <: v "base", [ ret (v "probe") ], []);
+            ],
+            [] );
+        ret (v "base");
+      ]
+
+  (* passive bookkeeping: count how often the shortened timer fired *)
+  let count_probes =
+    func "tlp_count_probes" []
+      (with_state ~id:6 ~size:16 [ bump 0; ret0 ])
+
+  let plugin : Pquic.Plugin.t =
+    {
+      Pquic.Plugin.name;
+      pluglets =
+        [
+          pluglet ~op:Pquic.Protoop.get_retransmission_delay
+            ~anchor:Pquic.Protoop.Replace probe_delay;
+          pluglet ~op:Pquic.Protoop.on_loss_timer ~anchor:Pquic.Protoop.Post
+            count_probes;
+        ];
+    }
+end
+
+(* ------------------------------- ECN ----------------------------------- *)
+
+(* Explicit Congestion Notification: the receiver counts CE-marked packets
+   and reports the counter in a new ECN_ACK frame; the sender halves the
+   path's congestion window at most once per RTT when the counter grows —
+   reacting to congestion without waiting for a loss. State (opaque 5):
+   0 ce_seen (receiver) | 8 last_reported | 16 last_processed (sender) |
+   24 last_reduction_time. *)
+module Ecn = struct
+  let name = "org.pquic.ecn"
+
+  let frame_type = 0x43
+
+  let state body = with_state ~id:5 ~size:32 body
+
+  let on_received_packet =
+    func "ecn_received_packet" [ "pn"; "path" ]
+      (state
+         [
+           If
+             ( get Pquic.Api.f_ecn_ce (i 0) =: i 1,
+               [
+                 bump 0;
+                 reserve frame_type (i 8) fl_non_ack_eliciting (i 0);
+               ],
+               [] );
+           ret0;
+         ])
+
+  let write_frame =
+    func "ecn_write_frame" [ "buf"; "maxlen"; "cookie" ]
+      (state
+         [
+           If (v "maxlen" <: i 4, [ ret0 ], []);
+           (* coalesce: a frame already reporting this count is enough *)
+           If (fld 0 =: fld 8, [ ret0 ], []);
+           set_fld 8 (fld 0);
+           st32 (v "buf") (fld 0);
+           ret (i 4);
+         ])
+
+  let parse_frame =
+    func "ecn_parse_frame" [ "buf"; "buflen" ]
+      [
+        If (v "buflen" <: i 4, [ ret0 ], []);
+        ret (i 4 +: i 0x10000000);
+      ]
+
+  let process_frame =
+    func "ecn_process_frame" [ "buf"; "consumed"; "pn" ]
+      (state
+         [
+           Let ("count", ld32 (v "buf"));
+           If
+             ( v "count" >: fld 16,
+               [
+                 set_fld 16 (v "count");
+                 Let ("path", get Pquic.Api.f_last_path_recv (i 0));
+                 Let ("srtt", get Pquic.Api.f_srtt (v "path"));
+                 (* congestion response at most once per RTT *)
+                 If
+                   ( get_time () -: fld 24 >: v "srtt",
+                     [
+                       set_fld 24 (get_time ());
+                       Let ("cwnd", get Pquic.Api.f_cwnd (v "path"));
+                       set Pquic.Api.f_cwnd (v "path") (v "cwnd" /: i 2);
+                     ],
+                     [] );
+               ],
+               [] );
+           ret0;
+         ])
+
+  let notify_frame =
+    func "ecn_notify_frame" [ "acked"; "cookie"; "buf" ] [ ret0 ]
+
+  let plugin : Pquic.Plugin.t =
+    {
+      Pquic.Plugin.name;
+      pluglets =
+        [
+          pluglet ~op:Pquic.Protoop.received_packet ~anchor:Pquic.Protoop.Post
+            on_received_packet;
+          pluglet ~op:Pquic.Protoop.write_frame ~param:frame_type
+            ~anchor:Pquic.Protoop.Replace write_frame;
+          pluglet ~op:Pquic.Protoop.parse_frame ~param:frame_type
+            ~anchor:Pquic.Protoop.Replace parse_frame;
+          pluglet ~op:Pquic.Protoop.process_frame ~param:frame_type
+            ~anchor:Pquic.Protoop.Replace process_frame;
+          pluglet ~op:Pquic.Protoop.notify_frame ~param:frame_type
+            ~anchor:Pquic.Protoop.Replace notify_frame;
+        ];
+    }
+end
+
+(* ----------------------- pluggable congestion control ------------------ *)
+
+(* The Section 6 sketch: "a new congestion controller could easily be
+   implemented as a protocol plugin". Pure AIMD: additive increase of one
+   MSS per congestion window of acknowledged data, multiplicative decrease
+   on loss, collapse on RTO — replacing the three cc protocol operations
+   through the get/set API. The engine keeps bytes-in-flight accounting, so
+   the plugin only owns the window policy. *)
+module Aimd = struct
+  let name = "org.pquic.cc-aimd"
+
+  let mss = 1252
+
+  let on_acked =
+    func "aimd_on_acked" [ "pn"; "size"; "path" ]
+      [
+        Let ("cwnd", get Pquic.Api.f_cwnd (v "path"));
+        set Pquic.Api.f_cwnd (v "path")
+          (v "cwnd" +: (i mss *: v "size" /: v "cwnd"));
+        ret0;
+      ]
+
+  let on_lost =
+    func "aimd_on_lost" [ "pn"; "size"; "path" ]
+      [
+        Let ("cwnd", get Pquic.Api.f_cwnd (v "path"));
+        set Pquic.Api.f_cwnd (v "path") (v "cwnd" /: i 2);
+        ret0;
+      ]
+
+  let on_rto =
+    func "aimd_on_rto" [ "path" ]
+      [
+        set Pquic.Api.f_cwnd (v "path") (i (2 * mss));
+        ret0;
+      ]
+
+  let plugin : Pquic.Plugin.t =
+    {
+      Pquic.Plugin.name;
+      pluglets =
+        [
+          pluglet ~op:Pquic.Protoop.cc_on_packet_acked
+            ~anchor:Pquic.Protoop.Replace on_acked;
+          pluglet ~op:Pquic.Protoop.cc_on_packet_lost
+            ~anchor:Pquic.Protoop.Replace on_lost;
+          pluglet ~op:Pquic.Protoop.cc_on_rto ~anchor:Pquic.Protoop.Replace
+            on_rto;
+        ];
+    }
+end

@@ -1,0 +1,34 @@
+(** The small extension plugins the paper's Section 4 opens with — "with
+    less than 100 lines of C code a PQUIC plugin can add the equivalent of
+    Tail Loss Probe in TCP, or support for Explicit Congestion
+    Notification" — plus the new-congestion-controller plugin Section 6
+    sketches. All pluglets are proven terminating and well under 100
+    lines. *)
+
+(** Tail Loss Probe: replaces the get_retransmission_delay operation so
+    that when only a packet or two remain in flight the timer shrinks to
+    max(2*srtt, 10 ms) — a lost tail is probed long before the full PTO. *)
+module Tlp : sig
+  val name : string
+  val plugin : Pquic.Plugin.t
+end
+
+(** Explicit Congestion Notification: the receiver counts CE-marked
+    packets (see {!Netsim.Link} marking) and reports the counter in a new
+    ECN_ACK frame; the sender halves the path's congestion window at most
+    once per RTT when the counter grows — backing off without waiting for
+    a loss. *)
+module Ecn : sig
+  val name : string
+  val frame_type : int
+  val plugin : Pquic.Plugin.t
+end
+
+(** A pluggable congestion controller: pure AIMD replacing the three
+    cc_on_* protocol operations through the get/set API. The engine keeps
+    bytes-in-flight accounting native, so the plugin owns only the window
+    policy. *)
+module Aimd : sig
+  val name : string
+  val plugin : Pquic.Plugin.t
+end

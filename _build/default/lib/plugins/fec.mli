@@ -1,0 +1,38 @@
+(** The Forward Erasure Correction plugin (Section 4.4), after QUIC-FEC.
+
+    The sender captures stream-carrying packets as source symbols
+    (pn || payload); when the window fills — or, in EOS mode, when a stream
+    tail is reached — a plugin-defined flush operation computes Repair
+    Symbols and books FEC_RS frames. A repair symbol is either the XOR of
+    the window (recovers one loss, cheap) or a Random Linear Combination
+    over GF(256) (recovers up to [r] losses; Gauss-Jordan elimination runs
+    in bytecode with gf256_* helpers for the byte-vector arithmetic — and
+    its while loop makes that pluglet's termination unprovable, as in the
+    paper). The receiver resurrects missing packets via recover_packet,
+    skipping the retransmission round-trip. *)
+
+type code = Xor | Rlc
+type mode =
+  | Full (** protect the whole stream: flush every [k] source symbols *)
+  | Eos  (** protect stream tails only: flush when a FIN tail is reached *)
+
+val op_fec_flush : Pquic.Protoop.id
+(** The plugin-defined protocol operation computing repair symbols. *)
+
+val frame_type : int
+
+val default_k : int
+(** 25 source symbols per window. *)
+
+val default_r : int
+(** 5 repair symbols (RLC); XOR always sends 1. *)
+
+val plugin_name : ?k:int -> ?r:int -> code:code -> mode:mode -> unit -> string
+
+val build : ?k:int -> ?r:int -> code:code -> mode:mode -> unit -> Pquic.Plugin.t
+(** @raise Invalid_argument outside k in [2,50], r in [1,5]. *)
+
+val xor_full : Pquic.Plugin.t
+val xor_eos : Pquic.Plugin.t
+val rlc_full : Pquic.Plugin.t
+val rlc_eos : Pquic.Plugin.t

@@ -1,0 +1,208 @@
+(* The monitoring plugin (Section 4.1): passive pluglets hooked to the pre
+   and post anchors of protocol operations record performance indicators
+   (PI) in plugin memory by reading connection state variables through the
+   get API; on connection close the PI block is exported to the local
+   daemon — here, the application's message channel, which the experiment
+   harness uses as the UDP collector. *)
+
+open Dsl
+
+let name = "org.pquic.monitoring"
+
+(* PI block layout (all u64), opaque-data id 1. *)
+let pi_size = 160
+let o_pkts_received = 0
+let o_pkts_sent = 8
+let o_bytes_received = 16
+let o_bytes_sent = 24
+let o_pkts_lost = 32
+let o_rtt_samples = 40
+let o_rtt_sum = 48
+let o_rtt_last = 56
+let o_pkts_retransmitted = 64
+let o_handshake_time = 72
+let o_streams_opened = 80
+let o_streams_closed = 88
+let o_data_received = 96
+let o_acks_received = 104
+let o_out_of_order = 112
+let o_datagrams_in = 120
+let o_loss_timer_fires = 128
+let o_established = 136
+let o_ack_frames_seen = 144
+let o_rto_events = 152
+
+let state body = with_state ~id:1 ~size:pi_size body
+
+(* Each pluglet mirrors a state variable into the PI block or counts an
+   event; this is the "collects statistics by reading state variables"
+   style of Web100 / TCP_INFO. *)
+
+let on_received_packet =
+  func "mon_received_packet" [ "pn"; "path" ]
+    (state
+       [
+         set_fld o_pkts_received (get Pquic.Api.f_pkts_received (i 0));
+         set_fld o_bytes_received (get Pquic.Api.f_bytes_received (i 0));
+         set_fld o_out_of_order (get Pquic.Api.f_pkts_out_of_order (i 0));
+         ret0;
+       ])
+
+let on_packet_sent =
+  func "mon_packet_sent" [ "pn"; "path"; "size" ]
+    (state
+       [
+         set_fld o_pkts_sent (get Pquic.Api.f_pkts_sent (i 0));
+         set_fld o_bytes_sent (get Pquic.Api.f_bytes_sent (i 0));
+         ret0;
+       ])
+
+let on_packet_lost =
+  func "mon_packet_lost" [ "pn"; "path" ]
+    (state
+       [
+         set_fld o_pkts_lost (get Pquic.Api.f_pkts_lost (i 0));
+         set_fld o_pkts_retransmitted (get Pquic.Api.f_pkts_retransmitted (i 0));
+         ret0;
+       ])
+
+let on_update_rtt =
+  func "mon_update_rtt" [ "sample"; "path" ]
+    (state
+       [
+         bump o_rtt_samples;
+         add_fld o_rtt_sum (v "sample");
+         set_fld o_rtt_last (v "sample");
+         ret0;
+       ])
+
+let on_established =
+  func "mon_established" []
+    (state
+       [
+         set_fld o_established (i 1);
+         set_fld o_handshake_time (get Pquic.Api.f_handshake_rtt (i 0));
+         ret0;
+       ])
+
+let on_stream_opened =
+  func "mon_stream_opened" [ "id" ]
+    (state [ set_fld o_streams_opened (get Pquic.Api.f_streams_open (i 0)); ret0 ])
+
+let on_stream_closed =
+  func "mon_stream_closed" [ "id" ] (state [ bump o_streams_closed; ret0 ])
+
+let on_data_received =
+  func "mon_data_received" [ "id"; "len" ]
+    (state [ set_fld o_data_received (get Pquic.Api.f_data_received (i 0)); ret0 ])
+
+let on_packet_acknowledged =
+  func "mon_packet_acked" [ "pn" ] (state [ bump o_acks_received; ret0 ])
+
+let on_incoming_datagram =
+  func "mon_incoming_datagram" [ "size" ] (state [ bump o_datagrams_in; ret0 ])
+
+let on_loss_timer =
+  func "mon_loss_timer" [] (state [ bump o_loss_timer_fires; ret0 ])
+
+let on_rto =
+  func "mon_rto" [] (state [ bump o_rto_events; ret0 ])
+
+(* A parameterized passive pluglet: counts ACK frames as they are
+   processed (pre anchor on process_frame[ACK]). *)
+let on_ack_frame =
+  func "mon_ack_frame" [ "pn" ] (state [ bump o_ack_frames_seen; ret0 ])
+
+(* Export the PI block to the collector when the connection ends. *)
+let on_closed =
+  func "mon_closed" [] (state [ push_message (v "st") (i pi_size); ret0 ])
+
+let plugin : Pquic.Plugin.t =
+  {
+    Pquic.Plugin.name;
+    pluglets =
+      [
+        pluglet ~op:Pquic.Protoop.received_packet ~anchor:Pquic.Protoop.Post
+          on_received_packet;
+        pluglet ~op:Pquic.Protoop.packet_was_sent ~anchor:Pquic.Protoop.Post
+          on_packet_sent;
+        pluglet ~op:Pquic.Protoop.packet_lost ~anchor:Pquic.Protoop.Post
+          on_packet_lost;
+        pluglet ~op:Pquic.Protoop.update_rtt ~anchor:Pquic.Protoop.Post
+          on_update_rtt;
+        pluglet ~op:Pquic.Protoop.connection_established
+          ~anchor:Pquic.Protoop.Post on_established;
+        pluglet ~op:Pquic.Protoop.stream_opened ~anchor:Pquic.Protoop.Post
+          on_stream_opened;
+        pluglet ~op:Pquic.Protoop.stream_closed ~anchor:Pquic.Protoop.Post
+          on_stream_closed;
+        pluglet ~op:Pquic.Protoop.data_received ~anchor:Pquic.Protoop.Post
+          on_data_received;
+        pluglet ~op:Pquic.Protoop.packet_acknowledged
+          ~anchor:Pquic.Protoop.Post on_packet_acknowledged;
+        pluglet ~op:Pquic.Protoop.incoming_datagram ~anchor:Pquic.Protoop.Pre
+          on_incoming_datagram;
+        pluglet ~op:Pquic.Protoop.on_loss_timer ~anchor:Pquic.Protoop.Post
+          on_loss_timer;
+        pluglet ~op:Pquic.Protoop.retransmission_timeout
+          ~anchor:Pquic.Protoop.Post on_rto;
+        pluglet ~op:Pquic.Protoop.process_frame
+          ~param:Quic.Frame.type_ack ~anchor:Pquic.Protoop.Pre on_ack_frame;
+        pluglet ~op:Pquic.Protoop.connection_closed ~anchor:Pquic.Protoop.Post
+          on_closed;
+      ];
+  }
+
+(* Collector-side decoding of an exported PI block. *)
+type report = {
+  pkts_received : int64;
+  pkts_sent : int64;
+  bytes_received : int64;
+  bytes_sent : int64;
+  pkts_lost : int64;
+  rtt_samples : int64;
+  rtt_avg_ns : int64;
+  rtt_last_ns : int64;
+  pkts_retransmitted : int64;
+  handshake_time_ns : int64;
+  streams_opened : int64;
+  streams_closed : int64;
+  data_received : int64;
+  acks_received : int64;
+  out_of_order : int64;
+  datagrams_in : int64;
+  loss_timer_fires : int64;
+  established : bool;
+  ack_frames_seen : int64;
+  rto_events : int64;
+}
+
+let decode_report msg =
+  if String.length msg < pi_size then None
+  else
+    let f off = String.get_int64_le msg off in
+    let samples = f o_rtt_samples in
+    Some
+      {
+        pkts_received = f o_pkts_received;
+        pkts_sent = f o_pkts_sent;
+        bytes_received = f o_bytes_received;
+        bytes_sent = f o_bytes_sent;
+        pkts_lost = f o_pkts_lost;
+        rtt_samples = samples;
+        rtt_avg_ns =
+          (if samples = 0L then 0L else Int64.div (f o_rtt_sum) samples);
+        rtt_last_ns = f o_rtt_last;
+        pkts_retransmitted = f o_pkts_retransmitted;
+        handshake_time_ns = f o_handshake_time;
+        streams_opened = f o_streams_opened;
+        streams_closed = f o_streams_closed;
+        data_received = f o_data_received;
+        acks_received = f o_acks_received;
+        out_of_order = f o_out_of_order;
+        datagrams_in = f o_datagrams_in;
+        loss_timer_fires = f o_loss_timer_fires;
+        established = f o_established <> 0L;
+        ack_frames_seen = f o_ack_frames_seen;
+        rto_events = f o_rto_events;
+      }

@@ -1,0 +1,39 @@
+(** The monitoring plugin (Section 4.1): passive pluglets hooked to the pre
+    and post anchors of protocol operations record performance indicators
+    (PI) in plugin memory by reading connection state variables through the
+    get API; on connection close the PI block is exported to the local
+    daemon — the application's message channel. 14 pluglets, all proven
+    terminating. *)
+
+val name : string
+val plugin : Pquic.Plugin.t
+
+(** A decoded PI export. *)
+type report = {
+  pkts_received : int64;
+  pkts_sent : int64;
+  bytes_received : int64;
+  bytes_sent : int64;
+  pkts_lost : int64;
+  rtt_samples : int64;
+  rtt_avg_ns : int64;
+  rtt_last_ns : int64;
+  pkts_retransmitted : int64;
+  handshake_time_ns : int64;
+  streams_opened : int64;
+  streams_closed : int64;
+  data_received : int64;
+  acks_received : int64;
+  out_of_order : int64;
+  datagrams_in : int64;
+  loss_timer_fires : int64;
+  established : bool;
+  ack_frames_seen : int64;
+  rto_events : int64;
+}
+
+val pi_size : int
+
+val decode_report : string -> report option
+(** Collector-side decoding of a message pushed by the plugin; [None] when
+    the message is not a PI block. *)

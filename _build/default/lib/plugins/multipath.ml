@@ -1,0 +1,251 @@
+(* The Multipath plugin (Section 4.3): exchanges host addresses
+   (ADD_ADDRESS frame), associates a path id with each pair of addresses,
+   schedules packets round-robin across the active paths once the
+   connection is established, and acknowledges per-path performance with a
+   new MP_ACK frame so each path keeps its own RTT estimate — mirroring the
+   design of the Multipath QUIC extensions. A second scheduler pluglet
+   implementing the lowest-RTT policy of Multipath TCP is provided as the
+   [plugin_lowest_rtt] variant (built, not evaluated, as in the paper). *)
+
+open Dsl
+
+let name = "org.pquic.multipath"
+let name_lowest_rtt = "org.pquic.multipath-rtt"
+
+let t_add_address = Quic.Frame.type_add_address
+let t_mp_ack = Quic.Frame.type_mp_ack
+
+let max_paths = 4
+
+(* opaque 3: round-robin scheduler state (last path used). *)
+let sched_state body = with_state ~id:3 ~size:16 body
+
+(* opaque 4: per-path receive bookkeeping for MP_ACK: 32 bytes per path
+   (last pn, receive time, packet count). *)
+let recv_state body = with_state ~id:4 ~size:(max_paths * 32) body
+
+let path_entry path = v "st" +: (path *: i 32)
+
+(* Path manager, client side: once established, open a path from our
+   second address and announce that address to the peer. *)
+let on_established =
+  func "mp_establish" []
+    [
+      Let ("extra", get Pquic.Api.f_own_extra_addr (i 0));
+      If
+        ( (get Pquic.Api.f_role (i 0) =: i 0)
+          &&: (v "extra" <>: Const (-1L)),
+        [
+          Let ("remote", get Pquic.Api.f_path_remote_addr (i 0));
+          Let ("pid", call "create_path" [ v "remote" ]);
+          callv "pl_log" [ v "pid"; v "extra" ];
+          reserve t_add_address (i 4) fl_retransmittable (v "extra");
+        ],
+          [] );
+      ret0;
+    ]
+
+(* Path manager, server side: the client may also announce its address in
+   its transport parameters. create_path deduplicates by remote address. *)
+let on_transport_params =
+  func "mp_transport_params" []
+    [
+      Let ("peer", get Pquic.Api.f_peer_extra_addr (i 0));
+      If
+        ( (v "peer" <>: Const (-1L)) &&: (get Pquic.Api.f_role (i 0) =: i 1),
+          [ Expr (call "create_path" [ v "peer" ]) ],
+          [] );
+      ret0;
+    ]
+
+let write_add_address =
+  func "mp_write_add_address" [ "buf"; "maxlen"; "cookie" ]
+    [
+      If (v "maxlen" <: i 2, [ ret0 ], []);
+      st16 (v "buf") (v "cookie");
+      ret (i 2);
+    ]
+
+let parse_add_address =
+  func "mp_parse_add_address" [ "buf"; "buflen" ]
+    [ If (v "buflen" <: i 2, [ ret0 ], []); ret (i 2) ]
+
+let process_add_address =
+  func "mp_process_add_address" [ "buf"; "consumed"; "pn" ]
+    [
+      Let ("addr", ld16 (v "buf"));
+      Expr (call "create_path" [ v "addr" ]);
+      ret0;
+    ]
+
+(* ADD_ADDRESS is retransmittable control state: re-book it when lost. *)
+let notify_add_address =
+  func "mp_notify_add_address" [ "acked"; "cookie"; "buf" ]
+    [
+      If
+        (v "acked" =: i 0,
+         [ reserve t_add_address (i 4) fl_retransmittable (v "cookie") ],
+         []);
+      ret0;
+    ]
+
+(* Round-robin packet scheduler: replaces select_path. Picks the next
+   active path with congestion window headroom; if every path is blocked
+   the turn still advances so no path is favoured. *)
+let select_path_rr =
+  func "mp_select_path_rr" []
+    (sched_state
+       [
+         Let ("n", get Pquic.Api.f_nb_paths (i 0));
+         If (v "n" <=: i 1, [ ret0 ], []);
+         Let ("last", fld 0);
+         For
+           ( "k",
+             i 0,
+             v "n",
+             [
+               Let ("cand", (v "last" +: i 1 +: v "k") %: v "n");
+               If
+                 ( (get Pquic.Api.f_path_active (v "cand") =: i 1)
+                   &&: (get Pquic.Api.f_cwnd (v "cand")
+                        >: get Pquic.Api.f_bytes_in_flight (v "cand") +: i 1400),
+                   [ set_fld 0 (v "cand"); ret (v "cand") ],
+                   [] );
+             ] );
+         Let ("next", (v "last" +: i 1) %: v "n");
+         set_fld 0 (v "next");
+         ret (v "next");
+       ])
+
+(* Alternative scheduler: lowest smoothed RTT among paths with headroom,
+   mimicking the default Multipath TCP scheduler. *)
+let select_path_lowest_rtt =
+  func "mp_select_path_rtt" []
+    [
+      Let ("n", get Pquic.Api.f_nb_paths (i 0));
+      If (v "n" <=: i 1, [ ret0 ], []);
+      Let ("best", i 0);
+      Let ("best_rtt", Const Int64.max_int);
+      For
+        ( "k",
+          i 0,
+          v "n",
+          [
+            Let ("rtt", get Pquic.Api.f_srtt (v "k"));
+            If
+              ( (get Pquic.Api.f_path_active (v "k") =: i 1)
+                &&: (get Pquic.Api.f_cwnd (v "k")
+                     >: get Pquic.Api.f_bytes_in_flight (v "k") +: i 1400)
+                &&: (v "rtt" <: v "best_rtt"),
+                [ Assign ("best", v "k"); Assign ("best_rtt", v "rtt") ],
+                [] );
+          ] );
+      ret (v "best");
+    ]
+
+(* Record arrivals per path; every second packet on a path books an MP_ACK
+   (path-specific acknowledgment, not itself ack-eliciting). *)
+let on_received_packet =
+  func "mp_received_packet" [ "pn"; "path" ]
+    (recv_state
+       [
+         If (v "path" >=: i max_paths, [ ret0 ], []);
+         Let ("e", path_entry (v "path"));
+         st64 (v "e") (v "pn");
+         st64 (v "e" +: i 8) (get_time ());
+         st64 (v "e" +: i 16) (ld64 (v "e" +: i 16) +: i 1);
+         If
+           ( ld64 (v "e" +: i 16) %: i 2 =: i 0,
+             [ reserve t_mp_ack (i 12) fl_non_ack_eliciting (v "path") ],
+             [] );
+         ret0;
+       ])
+
+(* MP_ACK body: u8 path, u32 packet number, u32 ack delay (us). *)
+let write_mp_ack =
+  func "mp_write_mp_ack" [ "buf"; "maxlen"; "cookie" ]
+    (recv_state
+       [
+         If ((v "maxlen" <: i 9) ||: (v "cookie" >=: i max_paths), [ ret0 ], []);
+         Let ("e", path_entry (v "cookie"));
+         Let ("delay", (get_time () -: ld64 (v "e" +: i 8)) /: i 1000);
+         st8 (v "buf") (v "cookie");
+         st32 (v "buf" +: i 1) (ld64 (v "e"));
+         st32 (v "buf" +: i 5) (v "delay");
+         ret (i 9);
+       ])
+
+let parse_mp_ack =
+  func "mp_parse_mp_ack" [ "buf"; "buflen" ]
+    [
+      If (v "buflen" <: i 9, [ ret0 ], []);
+      (* length 9, flagged non-ack-eliciting (bit 28) *)
+      ret (i 9 +: i 0x10000000);
+    ]
+
+(* Feed a per-path RTT sample from an MP_ACK. *)
+let process_mp_ack =
+  func "mp_process_mp_ack" [ "buf"; "consumed"; "pn" ]
+    [
+      Let ("path", ld8 (v "buf"));
+      Let ("rpn", ld32 (v "buf" +: i 1));
+      Let ("delay_us", ld32 (v "buf" +: i 5));
+      Let ("ts", call "sent_time" [ v "rpn" ]);
+      If
+        ( Bin (Plc.Ast.Sge, v "ts", i 0),
+          [
+            Let ("sample", get_time () -: v "ts" -: (v "delay_us" *: i 1000));
+            If
+              ( Bin (Plc.Ast.Sgt, v "sample", i 0),
+                [ set Pquic.Api.f_rtt_sample (v "path") (v "sample") ],
+                [] );
+          ],
+          [] );
+      ret0;
+    ]
+
+let common_pluglets =
+  [
+    pluglet ~op:Pquic.Protoop.connection_established ~anchor:Pquic.Protoop.Post
+      on_established;
+    pluglet ~op:Pquic.Protoop.process_transport_params
+      ~anchor:Pquic.Protoop.Post on_transport_params;
+    pluglet ~op:Pquic.Protoop.write_frame ~param:t_add_address
+      ~anchor:Pquic.Protoop.Replace write_add_address;
+    pluglet ~op:Pquic.Protoop.parse_frame ~param:t_add_address
+      ~anchor:Pquic.Protoop.Replace parse_add_address;
+    pluglet ~op:Pquic.Protoop.process_frame ~param:t_add_address
+      ~anchor:Pquic.Protoop.Replace process_add_address;
+    pluglet ~op:Pquic.Protoop.notify_frame ~param:t_add_address
+      ~anchor:Pquic.Protoop.Replace notify_add_address;
+    pluglet ~op:Pquic.Protoop.received_packet ~anchor:Pquic.Protoop.Post
+      on_received_packet;
+    pluglet ~op:Pquic.Protoop.write_frame ~param:t_mp_ack
+      ~anchor:Pquic.Protoop.Replace write_mp_ack;
+    pluglet ~op:Pquic.Protoop.parse_frame ~param:t_mp_ack
+      ~anchor:Pquic.Protoop.Replace parse_mp_ack;
+    pluglet ~op:Pquic.Protoop.process_frame ~param:t_mp_ack
+      ~anchor:Pquic.Protoop.Replace process_mp_ack;
+  ]
+
+let plugin : Pquic.Plugin.t =
+  {
+    Pquic.Plugin.name;
+    pluglets =
+      common_pluglets
+      @ [
+          pluglet ~op:Pquic.Protoop.select_path ~anchor:Pquic.Protoop.Replace
+            select_path_rr;
+        ];
+  }
+
+let plugin_lowest_rtt : Pquic.Plugin.t =
+  {
+    Pquic.Plugin.name = name_lowest_rtt;
+    pluglets =
+      common_pluglets
+      @ [
+          pluglet ~op:Pquic.Protoop.select_path ~anchor:Pquic.Protoop.Replace
+            select_path_lowest_rtt;
+        ];
+  }

@@ -1,0 +1,16 @@
+(** The Multipath plugin (Section 4.3): exchanges host addresses
+    (ADD_ADDRESS frame), associates a path id with each address pair,
+    schedules packets round-robin across the active paths, and reports
+    per-path acknowledgments with MP_ACK frames feeding each path's RTT
+    estimator. {!plugin_lowest_rtt} swaps the scheduler for Multipath
+    TCP's lowest-RTT policy. *)
+
+val name : string
+val name_lowest_rtt : string
+
+val plugin : Pquic.Plugin.t
+(** Round-robin packet scheduler, as evaluated in Figure 9. *)
+
+val plugin_lowest_rtt : Pquic.Plugin.t
+(** Lowest-smoothed-RTT scheduler — built but not evaluated, as in the
+    paper. *)

@@ -1,0 +1,1 @@
+lib/quic/ackranges.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/quic/frame.ml: Buffer Fmt Int64 List String Varint

@@ -1,0 +1,1 @@
+lib/quic/frame.mli: Buffer Fmt

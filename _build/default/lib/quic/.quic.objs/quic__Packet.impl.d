@@ -1,0 +1,1 @@
+lib/quic/packet.ml: Buffer Char Int64 String

@@ -1,0 +1,1 @@
+lib/quic/rtt.mli:

@@ -1,0 +1,1 @@
+lib/quic/sendbuf.ml: Buffer List

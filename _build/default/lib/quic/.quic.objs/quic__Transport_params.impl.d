@@ -1,0 +1,1 @@
+lib/quic/transport_params.ml: Buffer Int64 List String Varint

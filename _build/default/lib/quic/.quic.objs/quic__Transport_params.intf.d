@@ -1,0 +1,1 @@
+lib/quic/transport_params.mli:

@@ -1,0 +1,1 @@
+lib/quic/varint.ml: Buffer Char Int32 Int64 String

@@ -1,0 +1,65 @@
+(* Receiver-side record of received packet numbers, kept as a sorted list of
+   disjoint inclusive ranges (largest first), which is the shape ACK frames
+   need. Bounded to [max_ranges] to cap frame size, dropping the oldest
+   ranges — as real QUIC stacks do. *)
+
+type range = { first : int64; last : int64 } (* inclusive, first <= last *)
+
+type t = { mutable ranges : range list; max_ranges : int }
+
+let create ?(max_ranges = 256) () = { ranges = []; max_ranges }
+
+let largest t = match t.ranges with [] -> None | r :: _ -> Some r.last
+
+(* Insert packet number [pn], merging adjacent ranges. *)
+let add t pn =
+  let rec insert = function
+    | [] -> [ { first = pn; last = pn } ]
+    | r :: rest ->
+      if pn > Int64.add r.last 1L then { first = pn; last = pn } :: r :: rest
+      else if pn = Int64.add r.last 1L then (
+        (* extend upwards; may now touch the previous (larger) range, but
+           since we process descending, upward merge is local *)
+        { r with last = pn } :: rest)
+      else if pn >= r.first then r :: rest (* duplicate *)
+      else if pn = Int64.sub r.first 1L then (
+        match rest with
+        | next :: tail when Int64.add next.last 1L = pn ->
+          { first = next.first; last = r.last } :: tail
+        | _ -> { r with first = pn } :: rest)
+      else r :: insert rest
+  in
+  let merged =
+    match insert t.ranges with
+    | r1 :: r2 :: rest when Int64.add r2.last 1L >= r1.first ->
+      { first = r2.first; last = r1.last } :: rest
+    | l -> l
+  in
+  t.ranges <-
+    (if List.length merged > t.max_ranges then
+       List.filteri (fun i _ -> i < t.max_ranges) merged
+     else merged)
+
+let contains t pn =
+  List.exists (fun r -> pn >= r.first && pn <= r.last) t.ranges
+
+let ranges t = t.ranges
+
+let is_empty t = t.ranges = []
+
+(* Total count of packet numbers covered (for tests). *)
+let cardinal t =
+  List.fold_left
+    (fun acc r -> Int64.add acc (Int64.add (Int64.sub r.last r.first) 1L))
+    0L t.ranges
+
+(* Iterate over every covered packet number, descending. *)
+let iter t f =
+  List.iter
+    (fun r ->
+      let pn = ref r.last in
+      while !pn >= r.first do
+        f !pn;
+        pn := Int64.sub !pn 1L
+      done)
+    t.ranges

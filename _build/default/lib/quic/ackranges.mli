@@ -1,0 +1,22 @@
+(** Receiver-side record of received packet numbers, kept as disjoint
+    inclusive ranges sorted largest-first — the shape ACK frames need.
+    Losses leave permanent holes (retransmissions take fresh packet
+    numbers), so the set is bounded to [max_ranges], dropping the oldest
+    ranges. *)
+
+type range = { first : int64; last : int64 }
+
+type t
+
+val create : ?max_ranges:int -> unit -> t
+(** [max_ranges] defaults to 256. *)
+
+val add : t -> int64 -> unit
+(** Insert a packet number, merging adjacent ranges. *)
+
+val contains : t -> int64 -> bool
+val largest : t -> int64 option
+val ranges : t -> range list
+val is_empty : t -> bool
+val cardinal : t -> int64
+val iter : t -> (int64 -> unit) -> unit

@@ -1,0 +1,260 @@
+(* QUIC frames: typed representation and wire codec (draft-14 shapes).
+
+   Only *core* frames are known here. Frame types reserved by protocol
+   plugins (DATAGRAM, MP_ACK, FEC_*, ...) parse as [Unknown]: the PQUIC
+   engine then routes them to the parse_frame[type] protocol operation so a
+   pluglet can consume them — the paper's "generic entry point allowing the
+   definition of new behaviors without changing the caller". The plugin
+   exchange frames (PLUGIN_VALIDATE, PLUGIN_PROOF, PLUGIN) belong to the
+   PQUIC core (Section 3.4) and are parsed natively. *)
+
+type ack = {
+  largest : int64;
+  delay_us : int64;
+  ranges : (int64 * int64) list; (* (first, last) inclusive, descending *)
+}
+
+type t =
+  | Padding of int
+  | Ping
+  | Ack of ack
+  | Crypto of { offset : int64; data : string }
+  | Stream of { id : int; offset : int64; fin : bool; data : string }
+  | Max_data of int64
+  | Max_stream_data of { id : int; max : int64 }
+  | Connection_close of { code : int; reason : string }
+  | Handshake_done
+  | Path_challenge of int64
+  | Path_response of int64
+  | Plugin_validate of { plugin : string; formula : string }
+  | Plugin_proof of { plugin : string; proof : string }
+  | Plugin_chunk of { plugin : string; offset : int64; fin : bool; data : string }
+  | Unknown of { ftype : int; raw : string }
+      (* [raw] is the rest of the packet payload; a plugin's parse protoop
+         decides how many bytes the frame actually consumed. *)
+
+let type_padding = 0x00
+let type_ping = 0x01
+let type_ack = 0x02
+let type_crypto = 0x06
+let type_stream = 0x0f (* always encoded with offset, length and fin bit set *)
+let type_stream_nofin = 0x0e
+let type_max_data = 0x10
+let type_max_stream_data = 0x11
+let type_connection_close = 0x1c
+let type_handshake_done = 0x1e
+let type_path_challenge = 0x1a
+let type_path_response = 0x1b
+let type_plugin_validate = 0x60
+let type_plugin_proof = 0x61
+let type_plugin_chunk = 0x62
+
+(* Frame types reserved for protocol plugins in this implementation. *)
+let type_datagram = 0x30
+let type_add_address = 0x40
+let type_mp_ack = 0x42
+let type_fec_id = 0x50
+let type_fec_rs = 0x51
+
+let frame_type = function
+  | Padding _ -> type_padding
+  | Ping -> type_ping
+  | Ack _ -> type_ack
+  | Crypto _ -> type_crypto
+  | Stream { fin; _ } -> if fin then type_stream else type_stream_nofin
+  | Max_data _ -> type_max_data
+  | Max_stream_data _ -> type_max_stream_data
+  | Connection_close _ -> type_connection_close
+  | Handshake_done -> type_handshake_done
+  | Path_challenge _ -> type_path_challenge
+  | Path_response _ -> type_path_response
+  | Plugin_validate _ -> type_plugin_validate
+  | Plugin_proof _ -> type_plugin_proof
+  | Plugin_chunk _ -> type_plugin_chunk
+  | Unknown { ftype; _ } -> ftype
+
+(* Frames that elicit an acknowledgment from the peer. *)
+let is_ack_eliciting = function
+  | Padding _ | Ack _ | Connection_close _ -> false
+  | _ -> true
+
+let write_string_16 buf s =
+  Buffer.add_uint16_be buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string_16 s pos =
+  if pos + 2 > String.length s then raise Varint.Truncated;
+  let len = String.get_uint16_be s pos in
+  if pos + 2 + len > String.length s then raise Varint.Truncated;
+  (String.sub s (pos + 2) len, pos + 2 + len)
+
+let serialize buf frame =
+  Varint.write_int buf (frame_type frame);
+  match frame with
+  | Padding n -> for _ = 2 to n do Buffer.add_uint8 buf 0 done
+  | Ping | Handshake_done -> ()
+  | Ack { largest; delay_us; ranges } ->
+    Varint.write buf largest;
+    Varint.write buf delay_us;
+    (match ranges with
+     | [] -> invalid_arg "Ack with no ranges"
+     | (first, last) :: rest ->
+       assert (last = largest);
+       Varint.write_int buf (List.length rest);
+       Varint.write buf (Int64.sub last first);
+       let prev_first = ref first in
+       List.iter
+         (fun (first, last) ->
+           (* gap = prev_first - last - 2, per the draft's encoding *)
+           Varint.write buf (Int64.sub (Int64.sub !prev_first last) 2L);
+           Varint.write buf (Int64.sub last first);
+           prev_first := first)
+         rest)
+  | Crypto { offset; data } ->
+    Varint.write buf offset;
+    Varint.write_int buf (String.length data);
+    Buffer.add_string buf data
+  | Stream { id; offset; fin = _; data } ->
+    Varint.write_int buf id;
+    Varint.write buf offset;
+    Varint.write_int buf (String.length data);
+    Buffer.add_string buf data
+  | Max_data v -> Varint.write buf v
+  | Max_stream_data { id; max } ->
+    Varint.write_int buf id;
+    Varint.write buf max
+  | Connection_close { code; reason } ->
+    Varint.write_int buf code;
+    write_string_16 buf reason
+  | Path_challenge v | Path_response v -> Buffer.add_int64_be buf v
+  | Plugin_validate { plugin; formula } ->
+    write_string_16 buf plugin;
+    write_string_16 buf formula
+  | Plugin_proof { plugin; proof } ->
+    write_string_16 buf plugin;
+    write_string_16 buf proof
+  | Plugin_chunk { plugin; offset; fin; data } ->
+    write_string_16 buf plugin;
+    Varint.write buf offset;
+    Buffer.add_uint8 buf (if fin then 1 else 0);
+    write_string_16 buf data
+  | Unknown { raw; _ } -> Buffer.add_string buf raw
+
+let to_string frame =
+  let buf = Buffer.create 64 in
+  serialize buf frame;
+  Buffer.contents buf
+
+(* Wire size of a frame. *)
+let wire_size frame = String.length (to_string frame)
+
+(* Parse one frame at [pos]. For unknown types the remainder of the payload
+   is captured raw and the returned position is the end of the buffer; the
+   engine re-adjusts it from the plugin's parse protoop result. *)
+let parse s pos =
+  let ftype, pos = Varint.read_int s pos in
+  if ftype = type_padding then begin
+    (* swallow the run of padding *)
+    let p = ref pos in
+    while !p < String.length s && s.[!p] = '\000' do incr p done;
+    (Padding (!p - pos + 1), !p)
+  end
+  else if ftype = type_ping then (Ping, pos)
+  else if ftype = type_handshake_done then (Handshake_done, pos)
+  else if ftype = type_ack then begin
+    let largest, pos = Varint.read s pos in
+    let delay_us, pos = Varint.read s pos in
+    let count, pos = Varint.read_int s pos in
+    let first_len, pos = Varint.read s pos in
+    let first_range = (Int64.sub largest first_len, largest) in
+    let rec ranges k prev_first pos acc =
+      if k = 0 then (List.rev acc, pos)
+      else
+        let gap, pos = Varint.read s pos in
+        let len, pos = Varint.read s pos in
+        let last = Int64.sub (Int64.sub prev_first gap) 2L in
+        let first = Int64.sub last len in
+        ranges (k - 1) first pos ((first, last) :: acc)
+    in
+    let rest, pos = ranges count (fst first_range) pos [] in
+    (Ack { largest; delay_us; ranges = first_range :: rest }, pos)
+  end
+  else if ftype = type_crypto then begin
+    let offset, pos = Varint.read s pos in
+    let len, pos = Varint.read_int s pos in
+    if pos + len > String.length s then raise Varint.Truncated;
+    (Crypto { offset; data = String.sub s pos len }, pos + len)
+  end
+  else if ftype = type_stream || ftype = type_stream_nofin then begin
+    let id, pos = Varint.read_int s pos in
+    let offset, pos = Varint.read s pos in
+    let len, pos = Varint.read_int s pos in
+    if pos + len > String.length s then raise Varint.Truncated;
+    ( Stream
+        { id; offset; fin = ftype = type_stream; data = String.sub s pos len },
+      pos + len )
+  end
+  else if ftype = type_max_data then
+    let v, pos = Varint.read s pos in
+    (Max_data v, pos)
+  else if ftype = type_max_stream_data then begin
+    let id, pos = Varint.read_int s pos in
+    let max, pos = Varint.read s pos in
+    (Max_stream_data { id; max }, pos)
+  end
+  else if ftype = type_connection_close then begin
+    let code, pos = Varint.read_int s pos in
+    let reason, pos = read_string_16 s pos in
+    (Connection_close { code; reason }, pos)
+  end
+  else if ftype = type_path_challenge || ftype = type_path_response then begin
+    if pos + 8 > String.length s then raise Varint.Truncated;
+    let v = String.get_int64_be s pos in
+    ((if ftype = type_path_challenge then Path_challenge v else Path_response v),
+     pos + 8)
+  end
+  else if ftype = type_plugin_validate then begin
+    let plugin, pos = read_string_16 s pos in
+    let formula, pos = read_string_16 s pos in
+    (Plugin_validate { plugin; formula }, pos)
+  end
+  else if ftype = type_plugin_proof then begin
+    let plugin, pos = read_string_16 s pos in
+    let proof, pos = read_string_16 s pos in
+    (Plugin_proof { plugin; proof }, pos)
+  end
+  else if ftype = type_plugin_chunk then begin
+    let plugin, pos = read_string_16 s pos in
+    let offset, pos = Varint.read s pos in
+    if pos >= String.length s then raise Varint.Truncated;
+    let fin = s.[pos] <> '\000' in
+    let data, pos = read_string_16 s (pos + 1) in
+    (Plugin_chunk { plugin; offset; fin; data }, pos)
+  end
+  else
+    (Unknown { ftype; raw = String.sub s pos (String.length s - pos) },
+     String.length s)
+
+let pp ppf = function
+  | Padding n -> Fmt.pf ppf "PADDING(%d)" n
+  | Ping -> Fmt.string ppf "PING"
+  | Ack { largest; ranges; _ } ->
+    Fmt.pf ppf "ACK(largest=%Ld, %d ranges)" largest (List.length ranges)
+  | Crypto { offset; data } ->
+    Fmt.pf ppf "CRYPTO(off=%Ld, len=%d)" offset (String.length data)
+  | Stream { id; offset; fin; data } ->
+    Fmt.pf ppf "STREAM(id=%d, off=%Ld, len=%d%s)" id offset (String.length data)
+      (if fin then ", fin" else "")
+  | Max_data v -> Fmt.pf ppf "MAX_DATA(%Ld)" v
+  | Max_stream_data { id; max } -> Fmt.pf ppf "MAX_STREAM_DATA(%d, %Ld)" id max
+  | Connection_close { code; reason } ->
+    Fmt.pf ppf "CONNECTION_CLOSE(%d, %s)" code reason
+  | Handshake_done -> Fmt.string ppf "HANDSHAKE_DONE"
+  | Path_challenge _ -> Fmt.string ppf "PATH_CHALLENGE"
+  | Path_response _ -> Fmt.string ppf "PATH_RESPONSE"
+  | Plugin_validate { plugin; _ } -> Fmt.pf ppf "PLUGIN_VALIDATE(%s)" plugin
+  | Plugin_proof { plugin; _ } -> Fmt.pf ppf "PLUGIN_PROOF(%s)" plugin
+  | Plugin_chunk { plugin; offset; fin; data } ->
+    Fmt.pf ppf "PLUGIN(%s, off=%Ld, len=%d%s)" plugin offset (String.length data)
+      (if fin then ", fin" else "")
+  | Unknown { ftype; raw } -> Fmt.pf ppf "UNKNOWN(0x%x, %d bytes)" ftype (String.length raw)

@@ -1,0 +1,83 @@
+(** QUIC frames: typed representation and wire codec (draft-14 shapes).
+
+    Only {e core} frames are known here. Frame types reserved by protocol
+    plugins (DATAGRAM, MP_ACK, FEC_*, ...) parse as {!Unknown}: the PQUIC
+    engine then routes them to the parse_frame[type] protocol operation so
+    a pluglet can consume them — the paper's "generic entry point allowing
+    the definition of new behaviors without changing the caller". The
+    plugin-exchange frames (PLUGIN_VALIDATE, PLUGIN_PROOF, PLUGIN) belong
+    to the PQUIC core (Section 3.4) and are parsed natively. *)
+
+type ack = {
+  largest : int64;
+  delay_us : int64;
+  ranges : (int64 * int64) list;
+      (** (first, last) inclusive, descending; head must end at [largest] *)
+}
+
+type t =
+  | Padding of int
+  | Ping
+  | Ack of ack
+  | Crypto of { offset : int64; data : string }
+  | Stream of { id : int; offset : int64; fin : bool; data : string }
+  | Max_data of int64
+  | Max_stream_data of { id : int; max : int64 }
+  | Connection_close of { code : int; reason : string }
+  | Handshake_done
+  | Path_challenge of int64
+  | Path_response of int64
+  | Plugin_validate of { plugin : string; formula : string }
+      (** request a plugin, pinning the required validation formula *)
+  | Plugin_proof of { plugin : string; proof : string }
+      (** announces/refuses a transfer; large proof bundles travel framed at
+          the head of the PLUGIN stream instead *)
+  | Plugin_chunk of { plugin : string; offset : int64; fin : bool; data : string }
+      (** PLUGIN frames: the bytecode stream, akin to the crypto stream *)
+  | Unknown of { ftype : int; raw : string }
+      (** a plugin-defined frame; [raw] is the rest of the packet payload —
+          the plugin's parse protoop decides how much it consumed *)
+
+(** {2 Frame type numbers} *)
+
+val type_padding : int
+val type_ping : int
+val type_ack : int
+val type_crypto : int
+val type_stream : int
+val type_stream_nofin : int
+val type_max_data : int
+val type_max_stream_data : int
+val type_connection_close : int
+val type_handshake_done : int
+val type_path_challenge : int
+val type_path_response : int
+val type_plugin_validate : int
+val type_plugin_proof : int
+val type_plugin_chunk : int
+
+(** Types reserved for the protocol plugins shipped in this repository. *)
+
+val type_datagram : int
+val type_add_address : int
+val type_mp_ack : int
+val type_fec_id : int
+val type_fec_rs : int
+
+val frame_type : t -> int
+
+val is_ack_eliciting : t -> bool
+(** Everything except PADDING, ACK and CONNECTION_CLOSE. Plugin frames use
+    the reservation's flag instead (e.g. MP_ACK is not ack-eliciting). *)
+
+val serialize : Buffer.t -> t -> unit
+val to_string : t -> string
+val wire_size : t -> int
+
+val parse : string -> int -> t * int
+(** Parse one frame; returns it and the next position. For unknown types
+    the remainder of the payload is captured raw and the position is the
+    buffer end — the engine re-adjusts from the plugin's parse result.
+    @raise Varint.Truncated on malformed input. *)
+
+val pp : t Fmt.t

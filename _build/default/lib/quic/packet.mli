@@ -1,0 +1,39 @@
+(** QUIC packets with simulated packet protection.
+
+    Headers keep the properties the paper relies on: a first byte carrying
+    form, type and the Spin Bit; an 8-byte destination connection ID
+    (packets route to connections by CID, {e not} by 4-tuple — what makes
+    multipath possible); a 4-byte packet number. Protection is an 8-byte
+    keyed tag over header and payload: tampering or a wrong key fails
+    authentication exactly like a real AEAD — what shields PQUIC from
+    middlebox interference. Not real cryptography. *)
+
+type ptype = Initial | Handshake | One_rtt
+
+type header = {
+  ptype : ptype;
+  spin : bool;
+  dcid : int64;
+  scid : int64; (** meaningful on long headers only *)
+  pn : int64;
+}
+
+type t = { header : header; payload : string }
+
+val tag_len : int
+val header_size : header -> int
+val overhead : header -> int
+
+val protect : key:int64 -> t -> string
+
+exception Authentication_failed
+exception Malformed
+
+val unprotect : key:int64 -> string -> t * int
+(** Parse and verify; returns the packet and bytes consumed.
+    @raise Authentication_failed on tampering or a wrong key
+    @raise Malformed on a truncated packet *)
+
+val derive_key : client_cid:int64 -> server_cid:int64 -> int64
+(** The 1-RTT key both peers derive from the connection IDs exchanged in
+    the (simulated) handshake. *)

@@ -1,0 +1,67 @@
+(* Receiver-side stream reassembly: out-of-order segments are held until the
+   contiguous prefix grows; the application reads in order. *)
+
+type t = {
+  mutable segments : (int * string) list; (* (offset, data), sorted by offset *)
+  mutable read_offset : int;              (* delivered to the application *)
+  mutable fin_offset : int option;        (* final size once FIN is seen *)
+  mutable highest : int;                  (* highest contiguous offset received *)
+}
+
+let create () =
+  { segments = []; read_offset = 0; fin_offset = None; highest = 0 }
+
+let insert t ~offset ~fin data =
+  if fin then begin
+    let final = offset + String.length data in
+    match t.fin_offset with
+    | Some f when f <> final -> invalid_arg "Recvbuf.insert: inconsistent FIN"
+    | _ -> t.fin_offset <- Some final
+  end;
+  if String.length data > 0 && offset + String.length data > t.read_offset then begin
+    let rec ins = function
+      | [] -> [ (offset, data) ]
+      | (o, d) :: rest ->
+        if offset < o then (offset, data) :: (o, d) :: rest else (o, d) :: ins rest
+    in
+    t.segments <- ins t.segments
+  end;
+  (* advance the contiguous frontier *)
+  let rec frontier pos = function
+    | [] -> pos
+    | (o, d) :: rest ->
+      if o > pos then pos else frontier (max pos (o + String.length d)) rest
+  in
+  t.highest <- frontier (max t.highest t.read_offset) t.segments
+
+(* Read all contiguous data available past the read offset. *)
+let read t =
+  if t.highest <= t.read_offset then ""
+  else begin
+    let want_from = t.read_offset and want_to = t.highest in
+    let out = Bytes.create (want_to - want_from) in
+    List.iter
+      (fun (o, d) ->
+        let seg_end = o + String.length d in
+        if seg_end > want_from && o < want_to then begin
+          let src_start = max 0 (want_from - o) in
+          let dst_start = max 0 (o - want_from) in
+          let len = min seg_end want_to - max o want_from in
+          Bytes.blit_string d src_start out dst_start len
+        end)
+      t.segments;
+    t.read_offset <- want_to;
+    (* drop fully consumed segments *)
+    t.segments <-
+      List.filter (fun (o, d) -> o + String.length d > t.read_offset) t.segments;
+    Bytes.to_string out
+  end
+
+let contiguous t = t.highest
+
+let is_finished t =
+  match t.fin_offset with Some f -> t.highest >= f && t.read_offset >= f | None -> false
+
+let fin_seen t = t.fin_offset <> None
+
+let final_size t = t.fin_offset

@@ -1,0 +1,17 @@
+(** Receiver-side stream reassembly: out-of-order segments are held until
+    the contiguous prefix grows; the application reads in order. *)
+
+type t
+
+val create : unit -> t
+
+val insert : t -> offset:int -> fin:bool -> string -> unit
+(** @raise Invalid_argument on a FIN inconsistent with an earlier one. *)
+
+val read : t -> string
+(** All contiguous data past what was already read (possibly ""). *)
+
+val contiguous : t -> int
+val is_finished : t -> bool
+val fin_seen : t -> bool
+val final_size : t -> int option

@@ -1,0 +1,52 @@
+(* RTT estimation per the QUIC recovery draft (EWMA smoothed RTT and mean
+   deviation, latest and minimum samples). Times are simulator nanoseconds.
+   [update] is invoked from the update_rtt protocol operation — the paper's
+   running example of a pluggable subroutine. *)
+
+type t = {
+  mutable latest : int64;
+  mutable min : int64;
+  mutable smoothed : int64;
+  mutable variance : int64;
+  mutable samples : int;
+}
+
+let create () =
+  { latest = 0L; min = Int64.max_int; smoothed = 0L; variance = 0L; samples = 0 }
+
+let update t ~sample =
+  let sample = Int64.max 1L sample in
+  t.latest <- sample;
+  if sample < t.min then t.min <- sample;
+  if t.samples = 0 then begin
+    t.smoothed <- sample;
+    t.variance <- Int64.div sample 2L
+  end
+  else begin
+    let diff = Int64.abs (Int64.sub t.smoothed sample) in
+    (* rttvar = 3/4 rttvar + 1/4 |srtt - sample| *)
+    t.variance <-
+      Int64.add
+        (Int64.div (Int64.mul t.variance 3L) 4L)
+        (Int64.div diff 4L);
+    (* srtt = 7/8 srtt + 1/8 sample *)
+    t.smoothed <-
+      Int64.add
+        (Int64.div (Int64.mul t.smoothed 7L) 8L)
+        (Int64.div sample 8L)
+  end;
+  t.samples <- t.samples + 1
+
+let smoothed t = if t.samples = 0 then 100_000_000L (* 100 ms default *) else t.smoothed
+
+let latest t = t.latest
+
+let min_rtt t = if t.samples = 0 then smoothed t else t.min
+
+let variance t = if t.samples = 0 then 50_000_000L else t.variance
+
+let samples t = t.samples
+
+(* Probe timeout: srtt + max(4*rttvar, 1ms), as in the recovery draft. *)
+let pto t =
+  Int64.add (smoothed t) (Int64.max (Int64.mul 4L (variance t)) 1_000_000L)

@@ -1,0 +1,19 @@
+(** RTT estimation per the QUIC recovery draft: EWMA smoothed RTT and mean
+    deviation, latest and minimum samples; times in simulator nanoseconds.
+    [update] is what the update_rtt protocol operation drives — the
+    paper's running example of a pluggable subroutine. *)
+
+type t
+
+val create : unit -> t
+val update : t -> sample:int64 -> unit
+val smoothed : t -> int64
+(** 100 ms before the first sample. *)
+
+val latest : t -> int64
+val min_rtt : t -> int64
+val variance : t -> int64
+val samples : t -> int
+
+val pto : t -> int64
+(** Probe timeout: [srtt + max(4*rttvar, 1ms)]. *)

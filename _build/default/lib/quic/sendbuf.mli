@@ -1,0 +1,26 @@
+(** Sender-side stream buffer: application data queued at increasing
+    offsets, chunked for transmission, retransmitted on loss and released
+    once acknowledged. Offsets are absolute from the stream start. *)
+
+type t
+
+val create : unit -> t
+val write : t -> string -> unit
+val finish : t -> unit
+(** Mark the stream end; the FIN rides on (or after) the last chunk. *)
+
+val total_written : t -> int
+val has_pending : t -> bool
+val has_retransmissions : t -> bool
+val has_new : t -> bool
+val pending_bytes : t -> int
+
+val next_chunk : t -> max_len:int -> (int * string * bool) option
+(** [(offset, bytes, fin)] of the next chunk to put on the wire;
+    retransmissions take priority over new data. *)
+
+val on_acked : t -> offset:int -> len:int -> fin:bool -> unit
+val on_lost : t -> offset:int -> len:int -> fin:bool -> unit
+(** Requeues the range unless a later acknowledgment already covered it. *)
+
+val all_acked : t -> bool

@@ -1,0 +1,92 @@
+(* QUIC transport parameters exchanged in the handshake CRYPTO data.
+
+   PQUIC adds two parameters (Section 3.4): [supported_plugins], the plugins
+   a peer already holds in its local cache, and [plugins_to_inject], the
+   plugins it wants active on the connection — both ordered lists of
+   globally unique plugin names. *)
+
+type t = {
+  initial_max_data : int64;
+  initial_max_stream_data : int64;
+  max_streams : int;
+  idle_timeout_ms : int;
+  active_paths : int list;       (* extra client addresses, used by multipath *)
+  supported_plugins : string list;
+  plugins_to_inject : string list;
+}
+
+let default =
+  {
+    initial_max_data = 1_048_576L;
+    initial_max_stream_data = 262_144L;
+    max_streams = 100;
+    idle_timeout_ms = 30_000;
+    active_paths = [];
+    supported_plugins = [];
+    plugins_to_inject = [];
+  }
+
+let id_initial_max_data = 0
+let id_initial_max_stream_data = 1
+let id_max_streams = 2
+let id_idle_timeout = 3
+let id_active_paths = 4
+let id_supported_plugins = 5
+let id_plugins_to_inject = 6
+
+let join = String.concat ","
+
+let split s = if s = "" then [] else String.split_on_char ',' s
+
+let encode t =
+  let buf = Buffer.create 128 in
+  let param id value =
+    Varint.write_int buf id;
+    Varint.write_int buf (String.length value);
+    Buffer.add_string buf value
+  in
+  let varint_value v =
+    let b = Buffer.create 8 in
+    Varint.write b v;
+    Buffer.contents b
+  in
+  param id_initial_max_data (varint_value t.initial_max_data);
+  param id_initial_max_stream_data (varint_value t.initial_max_stream_data);
+  param id_max_streams (varint_value (Int64.of_int t.max_streams));
+  param id_idle_timeout (varint_value (Int64.of_int t.idle_timeout_ms));
+  if t.active_paths <> [] then
+    param id_active_paths (join (List.map string_of_int t.active_paths));
+  if t.supported_plugins <> [] then
+    param id_supported_plugins (join t.supported_plugins);
+  if t.plugins_to_inject <> [] then
+    param id_plugins_to_inject (join t.plugins_to_inject);
+  Buffer.contents buf
+
+let decode s =
+  let t = ref default in
+  let pos = ref 0 in
+  let n = String.length s in
+  while !pos < n do
+    let id, p = Varint.read_int s !pos in
+    let len, p = Varint.read_int s p in
+    if p + len > n then raise Varint.Truncated;
+    let value = String.sub s p len in
+    pos := p + len;
+    let varint_value () = fst (Varint.read value 0) in
+    if id = id_initial_max_data then
+      t := { !t with initial_max_data = varint_value () }
+    else if id = id_initial_max_stream_data then
+      t := { !t with initial_max_stream_data = varint_value () }
+    else if id = id_max_streams then
+      t := { !t with max_streams = Int64.to_int (varint_value ()) }
+    else if id = id_idle_timeout then
+      t := { !t with idle_timeout_ms = Int64.to_int (varint_value ()) }
+    else if id = id_active_paths then
+      t := { !t with active_paths = List.map int_of_string (split value) }
+    else if id = id_supported_plugins then
+      t := { !t with supported_plugins = split value }
+    else if id = id_plugins_to_inject then
+      t := { !t with plugins_to_inject = split value }
+    (* unknown parameters are skipped, as the spec requires *)
+  done;
+  !t

@@ -1,0 +1,20 @@
+(** QUIC transport parameters exchanged in the handshake CRYPTO data,
+    including PQUIC's two additions (Section 3.4): [supported_plugins]
+    (what a peer holds in its local cache) and [plugins_to_inject] (what it
+    wants active on the connection), both ordered lists of globally unique
+    plugin names. *)
+
+type t = {
+  initial_max_data : int64;
+  initial_max_stream_data : int64;
+  max_streams : int;
+  idle_timeout_ms : int;
+  active_paths : int list; (** extra client addresses, used by multipath *)
+  supported_plugins : string list;
+  plugins_to_inject : string list;
+}
+
+val default : t
+val encode : t -> string
+val decode : string -> t
+(** Unknown parameters are skipped, as the spec requires. *)

@@ -1,0 +1,1 @@
+lib/tcpsim/cubic.ml: Float

@@ -1,0 +1,1 @@
+lib/tcpsim/tcp.ml: Bytes Cubic Float Hashtbl Int32 Int64 List Netsim String

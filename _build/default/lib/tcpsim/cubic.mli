@@ -1,0 +1,23 @@
+(** TCP Cubic congestion control (RFC 8312) with a HyStart-style
+    delay-based slow-start exit — the TCPCubic the paper runs inside and
+    outside its VPN tunnels. Windows are in bytes, times in seconds. *)
+
+type t
+
+val create : ?mss:int -> ?initial_window_segments:int -> unit -> t
+(** Defaults: 1460-byte MSS, 10-segment initial window. *)
+
+val cwnd : t -> int
+val in_slow_start : t -> bool
+
+val on_ack : t -> now:float -> acked_bytes:int -> rtt:float -> unit
+(** Slow start adds the acked bytes (leaving early when the RTT rises a
+    third above its minimum); congestion avoidance follows the cubic curve
+    with the TCP-friendly lower bound. *)
+
+val on_loss : t -> now:float -> unit
+(** Fast-retransmit loss: multiplicative decrease (beta = 0.7) and a new
+    cubic epoch. *)
+
+val on_rto : t -> unit
+(** Retransmission timeout: collapse to one segment. *)

@@ -1,0 +1,1 @@
+lib/trust/merkle.ml: Array Buffer Char Hashtbl List Option Sha256 String

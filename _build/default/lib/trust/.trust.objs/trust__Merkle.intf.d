@@ -1,0 +1,1 @@
+lib/trust/merkle.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/trust/policy.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/trust/pvsystem.ml: Buffer Int32 List Merkle Policy Pquic Repository String Validator

@@ -1,0 +1,1 @@
+lib/trust/pvsystem.mli: Merkle Pquic Repository Validator

@@ -1,0 +1,1 @@
+lib/trust/repository.ml: Hashtbl List Option Pquic Printf Sha256 String Validator

@@ -1,0 +1,1 @@
+lib/trust/repository.mli: Pquic Validator

@@ -1,0 +1,1 @@
+lib/trust/sha256.mli:

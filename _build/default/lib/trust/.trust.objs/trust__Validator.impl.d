@@ -1,0 +1,1 @@
+lib/trust/validator.ml: Ebpf Hashtbl List Merkle Option Plc Pquic Printf Sha256 String

@@ -1,0 +1,1 @@
+lib/trust/validator.mli: Merkle Pquic

@@ -1,0 +1,252 @@
+(* Merkle prefix tree (Section 3.3): a fixed-depth binary tree where the
+   binding (pluginname || plugincode) of each validated plugin sits at the
+   leaf addressed by the truncated bits of H(pluginname). Empty leaves take
+   a per-validator constant c; interior nodes hash H(h_left || h_right);
+   leaves holding several colliding bindings hash the concatenation of the
+   bindings' hashes. Authentication paths are Θ(log n + α) and are the
+   proofs of consistency PQUIC peers check before accepting a plugin;
+   proofs of absence show either the empty constant or a binding list
+   without the queried name (the developer-lookup side of Appendix B). *)
+
+type binding = { name : string; code : string }
+
+let binding_bytes b = b.name ^ "||" ^ b.code
+
+let binding_hash b = Sha256.digest (binding_bytes b)
+
+type t = {
+  depth : int;
+  empty_leaf : string; (* the constant c, distinct per validator *)
+  leaves : (string, binding list) Hashtbl.t; (* prefix bits -> bindings *)
+}
+
+let create ?(depth = 16) ~empty_constant () =
+  { depth; empty_leaf = empty_constant; leaves = Hashtbl.create 64 }
+
+let prefix_of t name = Sha256.bit_prefix (Sha256.digest name) t.depth
+
+(* Insert or replace the binding for [b.name]. Bindings whose name hashes
+   to the same truncated prefix share a leaf (a linked list in the paper);
+   within a leaf they are ordered by name so the leaf hash is canonical. *)
+let add t b =
+  let p = prefix_of t b.name in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.leaves p) in
+  let others = List.filter (fun b' -> b'.name <> b.name) existing in
+  let bindings = List.sort (fun a b -> compare a.name b.name) (b :: others) in
+  Hashtbl.replace t.leaves p bindings
+
+let remove t name =
+  let p = prefix_of t name in
+  match Hashtbl.find_opt t.leaves p with
+  | None -> ()
+  | Some bs -> (
+    match List.filter (fun b -> b.name <> name) bs with
+    | [] -> Hashtbl.remove t.leaves p
+    | bs' -> Hashtbl.replace t.leaves p bs')
+
+let find t name =
+  match Hashtbl.find_opt t.leaves (prefix_of t name) with
+  | None -> None
+  | Some bs -> List.find_opt (fun b -> b.name = name) bs
+
+let leaf_hash t = function
+  | [] -> t.empty_leaf
+  | [ b ] -> binding_hash b
+  | bs -> Sha256.digest (String.concat "" (List.map binding_hash bs))
+
+(* Hash of an all-empty subtree whose leaves are [levels] below. *)
+let empty_hash t =
+  let memo = Array.make (t.depth + 1) "" in
+  memo.(0) <- t.empty_leaf;
+  for k = 1 to t.depth do
+    memo.(k) <- Sha256.digest (memo.(k - 1) ^ memo.(k - 1))
+  done;
+  fun levels -> memo.(levels)
+
+(* Value of the node at [prefix] (length gives the level). *)
+let rec node_hash t empties prefix =
+  let level = String.length prefix in
+  if level = t.depth then
+    leaf_hash t (Option.value ~default:[] (Hashtbl.find_opt t.leaves prefix))
+  else begin
+    (* prune: no occupied leaf under this prefix -> precomputed empty hash *)
+    let occupied =
+      Hashtbl.fold
+        (fun p _ acc -> acc || String.length p >= level && String.sub p 0 level = prefix)
+        t.leaves false
+    in
+    if not occupied then empties (t.depth - level)
+    else
+      Sha256.digest
+        (node_hash t empties (prefix ^ "0") ^ node_hash t empties (prefix ^ "1"))
+  end
+
+let root t = node_hash t (empty_hash t) ""
+
+(* ------------------------------------------------------------------ *)
+(* Authentication paths                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type leaf_statement =
+  | Present of { before : string list; after : string list }
+    (* hashes of the other bindings sharing the leaf, in canonical order *)
+  | Absent_empty
+  | Absent_occupied of string list (* all binding hashes at the leaf *)
+
+type proof = {
+  prefix : string;        (* bit path, root to leaf *)
+  siblings : string list; (* sibling hashes, leaf level first *)
+  statement : leaf_statement;
+}
+
+(* Build the authentication path for [name]: the red values of Figure 5. *)
+let prove t name =
+  let p = prefix_of t name in
+  let empties = empty_hash t in
+  let siblings =
+    List.init t.depth (fun i ->
+        (* sibling of the node at level depth-i (leaf level first) *)
+        let level = t.depth - i in
+        let node_prefix = String.sub p 0 level in
+        let parent = String.sub p 0 (level - 1) in
+        let sibling_prefix =
+          parent ^ if node_prefix.[level - 1] = '0' then "1" else "0"
+        in
+        node_hash t empties sibling_prefix)
+  in
+  let bindings = Option.value ~default:[] (Hashtbl.find_opt t.leaves p) in
+  let statement =
+    match bindings with
+    | [] -> Absent_empty
+    | bs ->
+      if List.exists (fun b -> b.name = name) bs then begin
+        let rec split before = function
+          | [] -> (List.rev before, [])
+          | b :: rest ->
+            if b.name = name then (List.rev before, List.map binding_hash rest)
+            else split (binding_hash b :: before) rest
+        in
+        let before, after = split [] bs in
+        Present { before; after }
+      end
+      else Absent_occupied (List.map binding_hash bs)
+  in
+  { prefix = p; siblings; statement }
+
+(* Fold a leaf value up to the root along [prefix] using [siblings]. *)
+let climb ~prefix ~siblings leaf_value =
+  let value = ref leaf_value in
+  List.iteri
+    (fun i sibling ->
+      let level = String.length prefix - i in
+      let bit = prefix.[level - 1] in
+      value :=
+        if bit = '0' then Sha256.digest (!value ^ sibling)
+        else Sha256.digest (sibling ^ !value))
+    siblings;
+  !value
+
+(* Verify a proof of presence: recompute the leaf from the binding and the
+   co-located binding hashes, then the root (green values of Figure 5). *)
+let verify_present ~root ~depth ~name ~code proof =
+  String.length proof.prefix = depth
+  && proof.prefix = Sha256.bit_prefix (Sha256.digest name) depth
+  && List.length proof.siblings = depth
+  &&
+  match proof.statement with
+  | Present { before; after } ->
+    let bh = binding_hash { name; code } in
+    let leaf_value =
+      match (before, after) with
+      | [], [] -> bh
+      | _ -> Sha256.digest (String.concat "" (before @ [ bh ] @ after))
+    in
+    climb ~prefix:proof.prefix ~siblings:proof.siblings leaf_value = root
+  | Absent_empty | Absent_occupied _ -> false
+
+(* Verify a proof of absence (developer lookup finding no spurious
+   binding): the leaf is empty, or occupied only by other bindings. *)
+let verify_absent ~root ~depth ~empty_constant ~name proof =
+  String.length proof.prefix = depth
+  && proof.prefix = Sha256.bit_prefix (Sha256.digest name) depth
+  &&
+  match proof.statement with
+  | Present _ -> false
+  | Absent_empty ->
+    climb ~prefix:proof.prefix ~siblings:proof.siblings empty_constant = root
+  | Absent_occupied hashes ->
+    hashes <> []
+    && climb ~prefix:proof.prefix ~siblings:proof.siblings
+         (match hashes with
+          | [ h ] -> h
+          | hs -> Sha256.digest (String.concat "" hs))
+       = root
+
+let size t = Hashtbl.fold (fun _ bs acc -> acc + List.length bs) t.leaves 0
+
+(* ------------------------------------------------------------------ *)
+(* Proof wire format                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let write_str16 buf s =
+  Buffer.add_uint16_be buf (String.length s);
+  Buffer.add_string buf s
+
+let read_str16 s pos =
+  let len = String.get_uint16_be s pos in
+  (String.sub s (pos + 2) len, pos + 2 + len)
+
+let serialize_proof p =
+  let buf = Buffer.create 1024 in
+  write_str16 buf p.prefix;
+  Buffer.add_uint16_be buf (List.length p.siblings);
+  List.iter (write_str16 buf) p.siblings;
+  (match p.statement with
+  | Present { before; after } ->
+    Buffer.add_uint8 buf 0;
+    Buffer.add_uint16_be buf (List.length before);
+    List.iter (write_str16 buf) before;
+    Buffer.add_uint16_be buf (List.length after);
+    List.iter (write_str16 buf) after
+  | Absent_empty -> Buffer.add_uint8 buf 1
+  | Absent_occupied hs ->
+    Buffer.add_uint8 buf 2;
+    Buffer.add_uint16_be buf (List.length hs);
+    List.iter (write_str16 buf) hs);
+  Buffer.contents buf
+
+exception Malformed_proof
+
+let deserialize_proof s =
+  try
+    let prefix, pos = read_str16 s 0 in
+    let n = String.get_uint16_be s pos in
+    let pos = ref (pos + 2) in
+    let siblings =
+      List.init n (fun _ ->
+          let v, p = read_str16 s !pos in
+          pos := p;
+          v)
+    in
+    let tag = Char.code s.[!pos] in
+    incr pos;
+    let read_list () =
+      let n = String.get_uint16_be s !pos in
+      pos := !pos + 2;
+      List.init n (fun _ ->
+          let v, p = read_str16 s !pos in
+          pos := p;
+          v)
+    in
+    let statement =
+      match tag with
+      | 0 ->
+        let before = read_list () in
+        let after = read_list () in
+        Present { before; after }
+      | 1 -> Absent_empty
+      | 2 -> Absent_occupied (read_list ())
+      | _ -> raise Malformed_proof
+    in
+    { prefix; siblings; statement }
+  with Invalid_argument _ | Failure _ -> raise Malformed_proof

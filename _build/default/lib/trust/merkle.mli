@@ -1,0 +1,64 @@
+(** Merkle prefix tree (Section 3.3): the binding (pluginname ||
+    plugincode) of each validated plugin sits at the leaf addressed by the
+    truncated bits of H(pluginname). Empty leaves take a per-validator
+    constant c; interior nodes hash H(h_left || h_right); leaves holding
+    several colliding bindings hash the concatenation of the bindings'
+    hashes. Authentication paths are Θ(log n + α) — the proofs of
+    consistency PQUIC peers check before accepting a plugin; proofs of
+    absence serve the developer lookup of Appendix B. *)
+
+type binding = { name : string; code : string }
+
+val binding_bytes : binding -> string
+val binding_hash : binding -> string
+
+type t = {
+  depth : int;
+  empty_leaf : string; (** the constant c, distinct per validator *)
+  leaves : (string, binding list) Hashtbl.t;
+}
+
+val create : ?depth:int -> empty_constant:string -> unit -> t
+(** [depth] defaults to 16 — collisions are rare below millions of
+    plugins yet exercised in tests with tiny depths. *)
+
+val prefix_of : t -> string -> string
+val add : t -> binding -> unit
+(** Insert or replace the binding for the name; colliding bindings share a
+    leaf in canonical (name) order. *)
+
+val remove : t -> string -> unit
+val find : t -> string -> binding option
+val root : t -> string
+val size : t -> int
+
+type leaf_statement =
+  | Present of { before : string list; after : string list }
+    (** hashes of the other bindings sharing the leaf, in order *)
+  | Absent_empty
+  | Absent_occupied of string list
+
+type proof = {
+  prefix : string;        (** bit path, root to leaf *)
+  siblings : string list; (** sibling hashes, leaf level first *)
+  statement : leaf_statement;
+}
+
+val prove : t -> string -> proof
+(** The authentication path for a name — the red values of Figure 5;
+    doubles as a proof of absence when the name is not in the tree. *)
+
+val verify_present :
+  root:string -> depth:int -> name:string -> code:string -> proof -> bool
+(** Recompute the leaf from the binding and the co-located hashes, then the
+    root along the path (the green values of Figure 5). *)
+
+val verify_absent :
+  root:string -> depth:int -> empty_constant:string -> name:string ->
+  proof -> bool
+
+val serialize_proof : proof -> string
+
+exception Malformed_proof
+
+val deserialize_proof : string -> proof

@@ -1,0 +1,81 @@
+(* Validation-requirement formulas (Section 3.1): a PQUIC peer pins its
+   safety requirement as a logical expression over plugin validators, e.g.
+   "PV1&(PV2|PV3)". Grammar: or := and ('|' and)*, and := atom ('&' atom)*,
+   atom := ident | '(' or ')'. *)
+
+type t = Pv of string | And of t * t | Or of t * t
+
+exception Parse_error of string
+
+let parse input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (input.[!pos] = ' ' || input.[!pos] = '\t') do incr pos done
+  in
+  let ident () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      && (match input.[!pos] with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+          | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then raise (Parse_error (Printf.sprintf "identifier expected at %d" start));
+    String.sub input start (!pos - start)
+  in
+  let rec parse_or () =
+    let left = parse_and () in
+    skip_ws ();
+    match peek () with
+    | Some '|' ->
+      incr pos;
+      Or (left, parse_or ())
+    | _ -> left
+  and parse_and () =
+    let left = parse_atom () in
+    skip_ws ();
+    match peek () with
+    | Some '&' ->
+      incr pos;
+      And (left, parse_and ())
+    | _ -> left
+  and parse_atom () =
+    skip_ws ();
+    match peek () with
+    | Some '(' ->
+      incr pos;
+      let e = parse_or () in
+      skip_ws ();
+      (match peek () with
+      | Some ')' -> incr pos; e
+      | _ -> raise (Parse_error "missing closing parenthesis"))
+    | _ -> Pv (ident ())
+  in
+  let e = parse_or () in
+  skip_ws ();
+  if !pos <> n then raise (Parse_error (Printf.sprintf "trailing input at %d" !pos));
+  e
+
+(* Does the set of validators for which we hold valid proofs satisfy the
+   formula? *)
+let rec satisfied formula ~valid =
+  match formula with
+  | Pv id -> valid id
+  | And (a, b) -> satisfied a ~valid && satisfied b ~valid
+  | Or (a, b) -> satisfied a ~valid || satisfied b ~valid
+
+(* All validator ids mentioned — what a prover must gather paths from. *)
+let rec validators = function
+  | Pv id -> [ id ]
+  | And (a, b) | Or (a, b) ->
+    validators a @ List.filter (fun v -> not (List.mem v (validators a))) (validators b)
+
+let rec to_string = function
+  | Pv id -> id
+  | And (a, b) -> Printf.sprintf "(%s&%s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s|%s)" (to_string a) (to_string b)

@@ -1,0 +1,21 @@
+(** Validation-requirement formulas (Section 3.1): a PQUIC peer pins its
+    safety requirement as a logical expression over plugin validators,
+    e.g. ["PV1&(PV2|PV3)"]. *)
+
+type t = Pv of string | And of t * t | Or of t * t
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Grammar: or := and ('|' and)*, and := atom ('&' atom)*,
+    atom := ident | '(' or ')'.
+    @raise Parse_error on malformed input. *)
+
+val satisfied : t -> valid:(string -> bool) -> bool
+(** Does the set of validators for which we hold valid proofs satisfy the
+    formula? *)
+
+val validators : t -> string list
+(** Every validator id mentioned — what a prover must gather paths from. *)
+
+val to_string : t -> string

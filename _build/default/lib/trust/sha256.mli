@@ -1,0 +1,16 @@
+(** SHA-256 (FIPS 180-4), from scratch — the collision-resistant hash H
+    underlying the plugin management system's Merkle prefix trees and
+    bindings (Section 3). *)
+
+val digest : string -> string
+(** 32-byte digest. *)
+
+val hex : string -> string
+val digest_hex : string -> string
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA256, used to simulate STR signatures (a keyed MAC over the
+    root; the repository's key registry plays the PKI's role). *)
+
+val bit_prefix : string -> int -> string
+(** First [n] bits as a '0'/'1' string — prefix-tree paths. *)

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest List Test_anchors Test_ebpf Test_engine Test_extras Test_misc Test_netsim Test_plc Test_plugins Test_pquic Test_quic Test_tcpsim Test_trust

@@ -1,0 +1,1 @@
+test/test_anchors.ml: Alcotest Array Ebpf Exp Int64 List Netsim Plc Plugins Pquic Quic String

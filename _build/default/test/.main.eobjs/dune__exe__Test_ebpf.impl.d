@@ -1,0 +1,1 @@
+test/test_ebpf.ml: Alcotest Array Bytes Char Ebpf Int32 Int64 List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Char Hashtbl List Netsim Option Pquic Printf Quic String

@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Exp Int64 List Netsim Plugins Pquic Printf Quic

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Compress Exp Int64 List Plugins Pquic Printf QCheck2 QCheck_alcotest String

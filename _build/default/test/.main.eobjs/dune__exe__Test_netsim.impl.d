@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Fun Int64 List Netsim QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_plc.ml: Alcotest Array Bytes Ebpf Hashtbl Int64 List Plc QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_plugins.ml: Alcotest Array Buffer Char Exp Int64 List Netsim Plugins Pquic Printf Quic String

@@ -1,0 +1,1 @@
+test/test_pquic.ml: Alcotest Buffer Bytes Char Ebpf Exp Int64 List Netsim Option Plc Plugins Pquic QCheck2 QCheck_alcotest Quic String Trust

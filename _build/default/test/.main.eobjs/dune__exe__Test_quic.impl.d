@@ -1,0 +1,1 @@
+test/test_quic.ml: Alcotest Buffer Char Int64 List QCheck2 QCheck_alcotest Quic String

@@ -1,0 +1,1 @@
+test/test_tcpsim.ml: Alcotest Exp Int64 List Netsim Printf QCheck2 QCheck_alcotest String Tcpsim

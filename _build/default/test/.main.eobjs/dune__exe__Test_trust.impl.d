@@ -1,0 +1,1 @@
+test/test_trust.ml: Alcotest Ebpf Hashtbl List Plugins Pquic Printf QCheck2 QCheck_alcotest String Trust

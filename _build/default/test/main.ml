@@ -1,0 +1,19 @@
+(* Aggregated test entry point: `dune runtest` runs every suite. *)
+
+let prefixed prefix suites =
+  List.map (fun (name, cases) -> (prefix ^ "." ^ name, cases)) suites
+
+let () =
+  Alcotest.run "pquic-repro"
+    (prefixed "ebpf" Test_ebpf.tests
+    @ prefixed "plc" Test_plc.tests
+    @ prefixed "netsim" Test_netsim.tests
+    @ prefixed "quic" Test_quic.tests
+    @ prefixed "pquic" Test_pquic.tests
+    @ prefixed "plugins" Test_plugins.tests
+    @ prefixed "trust" Test_trust.tests
+    @ prefixed "tcpsim" Test_tcpsim.tests
+    @ prefixed "misc" Test_misc.tests
+    @ prefixed "extras" Test_extras.tests
+    @ prefixed "anchors" Test_anchors.tests
+    @ prefixed "engine" Test_engine.tests)

@@ -1,0 +1,440 @@
+(* eBPF substrate tests: wire encoding, static verifier, interpreter
+   semantics and the runtime memory monitor. *)
+
+module I = Ebpf.Insn
+module V = Ebpf.Verifier
+module Vm = Ebpf.Vm
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let i64 = Alcotest.int64
+
+(* --------------------------- generators ----------------------------- *)
+
+let gen_reg = QCheck2.Gen.int_range 0 10
+let gen_wreg = QCheck2.Gen.int_range 0 9 (* writable registers *)
+
+let gen_alu_op =
+  QCheck2.Gen.oneofl
+    [ I.Add; I.Sub; I.Mul; I.Div; I.Or; I.And; I.Lsh; I.Rsh; I.Neg; I.Mod;
+      I.Xor; I.Mov; I.Arsh ]
+
+let gen_cond =
+  QCheck2.Gen.oneofl
+    [ I.Jeq; I.Jgt; I.Jge; I.Jset; I.Jne; I.Jsgt; I.Jsge; I.Jlt; I.Jle;
+      I.Jslt; I.Jsle ]
+
+let gen_size = QCheck2.Gen.oneofl [ I.W8; I.W16; I.W32; I.W64 ]
+
+let gen_operand =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun r -> I.Reg r) gen_reg;
+        map (fun v -> I.Imm (Int32.of_int v)) (int_range (-10000) 10000) ])
+
+let gen_insn =
+  QCheck2.Gen.(
+    oneof
+      [
+        map3 (fun op d o -> I.Alu64 (op, d, o)) gen_alu_op gen_wreg gen_operand;
+        map3 (fun op d o -> I.Alu32 (op, d, o)) gen_alu_op gen_wreg gen_operand;
+        map2 (fun d v -> I.Ld_imm64 (d, v)) gen_wreg
+          (map Int64.of_int (int_range min_int max_int));
+        map3 (fun sz d (s, off) -> I.Ldx (sz, d, s, off)) gen_size gen_wreg
+          (pair gen_reg (int_range (-256) 255));
+        map3 (fun sz d (off, s) -> I.Stx (sz, d, off, s)) gen_size gen_reg
+          (pair (int_range (-256) 255) gen_reg);
+        map3 (fun sz d (off, v) -> I.St (sz, d, off, Int32.of_int v)) gen_size
+          gen_reg (pair (int_range (-256) 255) (int_range (-1000) 1000));
+        map (fun off -> I.Ja off) (int_range (-100) 100);
+        map (fun ((c, d), (o, off)) -> I.Jcond (c, d, o, off))
+          (pair (pair gen_cond gen_reg) (pair gen_operand (int_range (-100) 100)));
+        map (fun id -> I.Call id) (int_range 0 30);
+        return I.Exit;
+      ])
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* ----------------------------- encoding ----------------------------- *)
+
+let encode_roundtrip =
+  qcheck "encode/decode roundtrip" QCheck2.Gen.(list_size (int_range 1 64) gen_insn)
+    (fun insns ->
+      let prog = Array.of_list insns in
+      let decoded = I.decode (I.encode prog) in
+      decoded = prog)
+
+let test_slots () =
+  check int "lddw takes two slots" 2 (I.slots (I.Ld_imm64 (0, 42L)));
+  check int "alu takes one slot" 1 (I.slots (I.Alu64 (I.Add, 0, I.Imm 1l)));
+  check int "program slots" 3
+    (I.program_slots [| I.Ld_imm64 (0, 1L); I.Exit |])
+
+let test_decode_garbage () =
+  Alcotest.check_raises "odd length rejected" (I.Decode_error "bytecode length not a multiple of 8")
+    (fun () -> ignore (I.decode "abc"));
+  (* an unknown opcode byte *)
+  let bad = String.make 8 '\xff' in
+  (match I.decode bad with
+  | exception I.Decode_error _ -> ()
+  | _ -> Alcotest.fail "garbage accepted")
+
+(* ----------------------------- verifier ----------------------------- *)
+
+let verify prog = V.verify ~known_helper:(fun id -> id < 100) (Array.of_list prog)
+
+let test_verifier_no_exit () =
+  match verify [ I.Alu64 (I.Mov, 0, I.Imm 0l) ] with
+  | Error errs -> check bool "no-exit reported" true (List.mem V.No_exit errs)
+  | Ok () -> Alcotest.fail "program without exit accepted"
+
+let test_verifier_write_fp () =
+  match verify [ I.Alu64 (I.Mov, 10, I.Imm 0l); I.Exit ] with
+  | Error errs ->
+    check bool "read-only register write reported" true
+      (List.exists (function V.Write_read_only _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "write to r10 accepted"
+
+let test_verifier_div_zero () =
+  match verify [ I.Alu64 (I.Div, 0, I.Imm 0l); I.Exit ] with
+  | Error errs ->
+    check bool "div by zero reported" true
+      (List.exists (function V.Div_by_zero _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "constant division by zero accepted"
+
+let test_verifier_bad_jump () =
+  match verify [ I.Ja 100; I.Exit ] with
+  | Error errs ->
+    check bool "out-of-range jump reported" true
+      (List.exists (function V.Bad_jump _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "jump out of program accepted"
+
+let test_verifier_jump_into_lddw () =
+  (* slot 1 is the second half of the lddw: not an instruction start *)
+  match verify [ I.Ja 1; I.Ld_imm64 (0, 42L); I.Exit ] with
+  | Error errs ->
+    check bool "jump into lddw reported" true
+      (List.exists (function V.Bad_jump _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "jump into lddw immediate accepted"
+
+let test_verifier_stack_oob () =
+  match
+    V.verify ~stack_size:512
+      [| I.Stx (I.W64, I.fp, -520, 0); I.Exit |]
+  with
+  | Error errs ->
+    check bool "stack out of bounds reported" true
+      (List.exists (function V.Bad_stack_access _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "stack access below frame accepted"
+
+let test_verifier_stack_above_fp () =
+  match V.verify ~stack_size:512 [| I.Stx (I.W64, I.fp, -4, 0); I.Exit |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "store crossing the frame pointer accepted"
+
+let test_verifier_unknown_helper () =
+  match verify [ I.Call 999; I.Exit ] with
+  | Error errs ->
+    check bool "unknown helper reported" true
+      (List.exists (function V.Unknown_helper _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "unknown helper accepted"
+
+let test_verifier_accepts_loop () =
+  (* the relaxed verifier allows backward jumps, unlike the kernel's *)
+  match
+    verify
+      [
+        I.Alu64 (I.Mov, 0, I.Imm 10l);
+        I.Alu64 (I.Sub, 0, I.Imm 1l);
+        I.Jcond (I.Jne, 0, I.Imm 0l, -2);
+        I.Exit;
+      ]
+  with
+  | Ok () -> ()
+  | Error errs ->
+    Alcotest.failf "loop rejected: %s"
+      (String.concat "; " (List.map V.error_to_string errs))
+
+(* verifier must reject or the VM must survive any random mutation *)
+let fuzz_mutations =
+  qcheck ~count:300 "random bytecode is rejected or runs safely"
+    QCheck2.Gen.(list_size (int_range 8 200) (int_range 0 255))
+    (fun byte_list ->
+      let n = List.length byte_list - (List.length byte_list mod 8) in
+      let bytes =
+        String.init n (fun i -> Char.chr (List.nth byte_list i))
+      in
+      match I.decode bytes with
+      | exception I.Decode_error _ -> true
+      | prog -> (
+        match V.verify ~known_helper:(fun _ -> false) prog with
+        | Error _ -> true
+        | Ok () -> (
+          let vm = Vm.create ~max_insns:10_000 () in
+          match Vm.run vm prog with
+          | _ -> true
+          | exception
+              ( Vm.Memory_violation _ | Vm.Fuel_exhausted
+              | Vm.Helper_failure _ ) ->
+            true)))
+
+(* --------------------------- interpreter ----------------------------- *)
+
+let run ?(args = [||]) prog =
+  let vm = Vm.create () in
+  Vm.run vm ~args (Array.of_list prog)
+
+let test_arith () =
+  check i64 "mov+add" 7L
+    (run [ I.Alu64 (I.Mov, 0, I.Imm 3l); I.Alu64 (I.Add, 0, I.Imm 4l); I.Exit ]);
+  check i64 "mul" 12L
+    (run [ I.Alu64 (I.Mov, 0, I.Imm 3l); I.Alu64 (I.Mul, 0, I.Imm 4l); I.Exit ]);
+  check i64 "div by zero yields 0" 0L
+    (run
+       [
+         I.Alu64 (I.Mov, 0, I.Imm 7l);
+         I.Alu64 (I.Mov, 1, I.Imm 0l);
+         I.Alu64 (I.Div, 0, I.Reg 1);
+         I.Exit;
+       ]);
+  check i64 "mod by zero keeps dst" 7L
+    (run
+       [
+         I.Alu64 (I.Mov, 0, I.Imm 7l);
+         I.Alu64 (I.Mov, 1, I.Imm 0l);
+         I.Alu64 (I.Mod, 0, I.Reg 1);
+         I.Exit;
+       ])
+
+let test_alu32_zero_extends () =
+  check i64 "alu32 add wraps and zero-extends" 0L
+    (run
+       [
+         I.Ld_imm64 (0, 0xFFFFFFFFL);
+         I.Alu32 (I.Add, 0, I.Imm 1l);
+         I.Exit;
+       ]);
+  check i64 "mov32 truncates" 0xFFFFFFFFL
+    (run [ I.Ld_imm64 (0, -1L); I.Alu32 (I.Mov, 0, I.Reg 0); I.Exit ])
+
+(* 64-bit ALU semantics against the OCaml Int64 reference *)
+let alu64_reference =
+  qcheck ~count:500 "alu64 matches Int64 reference"
+    QCheck2.Gen.(
+      triple gen_alu_op
+        (map Int64.of_int (int_range min_int max_int))
+        (map Int64.of_int (int_range min_int max_int)))
+    (fun (op, a, b) ->
+      let expected =
+        let open Int64 in
+        match op with
+        | I.Add -> add a b
+        | I.Sub -> sub a b
+        | I.Mul -> mul a b
+        | I.Div -> if b = 0L then 0L else unsigned_div a b
+        | I.Mod -> if b = 0L then a else unsigned_rem a b
+        | I.Or -> logor a b
+        | I.And -> logand a b
+        | I.Xor -> logxor a b
+        | I.Lsh -> shift_left a (to_int (logand b 63L))
+        | I.Rsh -> shift_right_logical a (to_int (logand b 63L))
+        | I.Arsh -> shift_right a (to_int (logand b 63L))
+        | I.Mov -> b
+        | I.Neg -> neg a
+      in
+      let got =
+        run
+          [
+            I.Ld_imm64 (0, a);
+            I.Ld_imm64 (1, b);
+            I.Alu64 (op, 0, I.Reg 1);
+            I.Exit;
+          ]
+      in
+      got = expected)
+
+let jump_reference =
+  qcheck ~count:500 "conditional jumps match comparison reference"
+    QCheck2.Gen.(
+      triple gen_cond
+        (map Int64.of_int (int_range min_int max_int))
+        (map Int64.of_int (int_range min_int max_int)))
+    (fun (c, a, b) ->
+      let expected =
+        let u = Int64.unsigned_compare a b and s = Int64.compare a b in
+        match c with
+        | I.Jeq -> a = b
+        | I.Jne -> a <> b
+        | I.Jgt -> u > 0
+        | I.Jge -> u >= 0
+        | I.Jlt -> u < 0
+        | I.Jle -> u <= 0
+        | I.Jsgt -> s > 0
+        | I.Jsge -> s >= 0
+        | I.Jslt -> s < 0
+        | I.Jsle -> s <= 0
+        | I.Jset -> Int64.logand a b <> 0L
+      in
+      let got =
+        run
+          [
+            I.Ld_imm64 (0, a);
+            I.Ld_imm64 (1, b);
+            I.Jcond (c, 0, I.Reg 1, 2);
+            I.Alu64 (I.Mov, 0, I.Imm 0l);
+            I.Exit;
+            I.Alu64 (I.Mov, 0, I.Imm 1l);
+            I.Exit;
+          ]
+      in
+      (* careful: Jcond offset counts slots; Ld_imm64 above are before it *)
+      got = if expected then 1L else 0L)
+
+let test_loop_sum () =
+  (* sum 1..10 with a backward jump *)
+  check i64 "loop sum" 55L
+    (run
+       [
+         I.Alu64 (I.Mov, 0, I.Imm 0l);
+         I.Alu64 (I.Mov, 1, I.Imm 10l);
+         I.Alu64 (I.Add, 0, I.Reg 1);
+         I.Alu64 (I.Sub, 1, I.Imm 1l);
+         I.Jcond (I.Jne, 1, I.Imm 0l, -3);
+         I.Exit;
+       ])
+
+let test_stack_memory () =
+  check i64 "stack store/load" 99L
+    (run
+       [
+         I.Alu64 (I.Mov, 1, I.Imm 99l);
+         I.Stx (I.W64, I.fp, -8, 1);
+         I.Ldx (I.W64, 0, I.fp, -8);
+         I.Exit;
+       ])
+
+let test_fuel () =
+  let vm = Vm.create ~max_insns:100 () in
+  match Vm.run vm [| I.Ja (-1); I.Exit |] with
+  | exception Vm.Fuel_exhausted -> ()
+  | _ -> Alcotest.fail "infinite loop not stopped"
+
+let test_memory_violation () =
+  let vm = Vm.create () in
+  match
+    Vm.run vm [| I.Ld_imm64 (1, 0xDEAD0000L); I.Ldx (I.W64, 0, 1, 0); I.Exit |]
+  with
+  | exception Vm.Memory_violation _ -> ()
+  | _ -> Alcotest.fail "unmapped load allowed"
+
+let test_readonly_region () =
+  let vm = Vm.create () in
+  let r = Vm.map_region vm ~name:"ro" ~perm:Vm.Ro (Bytes.make 64 'x') in
+  let prog =
+    [| I.Ld_imm64 (1, r.Vm.base); I.Stx (I.W64, 1, 0, 0); I.Exit |]
+  in
+  (match Vm.run vm prog with
+  | exception Vm.Memory_violation _ -> ()
+  | _ -> Alcotest.fail "write to read-only region allowed");
+  (* reading is fine *)
+  let prog = [| I.Ld_imm64 (1, r.Vm.base); I.Ldx (I.W8, 0, 1, 0); I.Exit |] in
+  check i64 "read-only read works" (Int64.of_int (Char.code 'x')) (Vm.run vm prog)
+
+let test_region_bounds () =
+  let vm = Vm.create () in
+  let r = Vm.map_region vm ~name:"buf" ~perm:Vm.Rw (Bytes.make 16 '\000') in
+  (* access straddling the end of the region *)
+  let prog =
+    [| I.Ld_imm64 (1, Int64.add r.Vm.base 12L); I.Ldx (I.W64, 0, 1, 0); I.Exit |]
+  in
+  match Vm.run vm prog with
+  | exception Vm.Memory_violation _ -> ()
+  | _ -> Alcotest.fail "straddling access allowed"
+
+let test_helper_call () =
+  let vm = Vm.create () in
+  Vm.register_helper vm 1 (fun _ args -> Int64.add args.(0) args.(1));
+  let prog =
+    [|
+      I.Alu64 (I.Mov, 1, I.Imm 20l);
+      I.Alu64 (I.Mov, 2, I.Imm 22l);
+      I.Call 1;
+      I.Exit;
+    |]
+  in
+  check i64 "helper result in r0" 42L (Vm.run vm prog)
+
+let test_helper_clobbers () =
+  let vm = Vm.create () in
+  Vm.register_helper vm 1 (fun _ _ -> 0L);
+  (* r1 must not survive a call *)
+  let prog =
+    [|
+      I.Alu64 (I.Mov, 1, I.Imm 55l);
+      I.Call 1;
+      I.Alu64 (I.Mov, 0, I.Reg 1);
+      I.Exit;
+    |]
+  in
+  check i64 "r1 clobbered by call" 0L (Vm.run vm prog)
+
+let test_missing_helper () =
+  let vm = Vm.create () in
+  match Vm.run vm [| I.Call 1; I.Exit |] with
+  | exception Vm.Helper_failure _ -> ()
+  | _ -> Alcotest.fail "missing helper did not fail"
+
+let test_args_passed () =
+  let vm = Vm.create () in
+  let prog = [| I.Alu64 (I.Mov, 0, I.Reg 3); I.Exit |] in
+  check i64 "third argument reaches r3" 33L
+    (Vm.run vm ~args:[| 11L; 22L; 33L |] prog)
+
+let test_stack_isolated_between_runs () =
+  let vm = Vm.create () in
+  (* write to the stack, return the value read on a *second* run *)
+  let write = [| I.St (I.W64, I.fp, -8, 77l); I.Exit |] in
+  let read = [| I.Ldx (I.W64, 0, I.fp, -8); I.Exit |] in
+  ignore (Vm.run vm write);
+  check i64 "fresh stack per run" 0L (Vm.run vm read)
+
+let tests =
+  [
+    ("encoding", [
+      Alcotest.test_case "slots" `Quick test_slots;
+      Alcotest.test_case "garbage rejected" `Quick test_decode_garbage;
+      encode_roundtrip;
+    ]);
+    ("verifier", [
+      Alcotest.test_case "no exit" `Quick test_verifier_no_exit;
+      Alcotest.test_case "write r10" `Quick test_verifier_write_fp;
+      Alcotest.test_case "div by zero" `Quick test_verifier_div_zero;
+      Alcotest.test_case "bad jump" `Quick test_verifier_bad_jump;
+      Alcotest.test_case "jump into lddw" `Quick test_verifier_jump_into_lddw;
+      Alcotest.test_case "stack oob" `Quick test_verifier_stack_oob;
+      Alcotest.test_case "stack above fp" `Quick test_verifier_stack_above_fp;
+      Alcotest.test_case "unknown helper" `Quick test_verifier_unknown_helper;
+      Alcotest.test_case "loops allowed" `Quick test_verifier_accepts_loop;
+      fuzz_mutations;
+    ]);
+    ("vm", [
+      Alcotest.test_case "arith" `Quick test_arith;
+      Alcotest.test_case "alu32 zero-extends" `Quick test_alu32_zero_extends;
+      Alcotest.test_case "loop sum" `Quick test_loop_sum;
+      Alcotest.test_case "stack memory" `Quick test_stack_memory;
+      Alcotest.test_case "fuel" `Quick test_fuel;
+      Alcotest.test_case "memory violation" `Quick test_memory_violation;
+      Alcotest.test_case "read-only region" `Quick test_readonly_region;
+      Alcotest.test_case "region bounds" `Quick test_region_bounds;
+      Alcotest.test_case "helper call" `Quick test_helper_call;
+      Alcotest.test_case "helper clobbers r1-r5" `Quick test_helper_clobbers;
+      Alcotest.test_case "missing helper" `Quick test_missing_helper;
+      Alcotest.test_case "args in r1-r5" `Quick test_args_passed;
+      Alcotest.test_case "stack isolation" `Quick test_stack_isolated_between_runs;
+      alu64_reference;
+      jump_reference;
+    ]);
+  ]

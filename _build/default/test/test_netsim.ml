@@ -1,0 +1,220 @@
+(* Simulator tests: event ordering, cancellation, link timing/loss/queue
+   semantics and PRNG determinism. *)
+
+module Sim = Netsim.Sim
+module Link = Netsim.Link
+module Rng = Netsim.Rng
+module Net = Netsim.Net
+
+let check = Alcotest.check
+
+let test_event_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule sim ~delay:30L (fun () -> log := 3 :: !log));
+  ignore (Sim.schedule sim ~delay:10L (fun () -> log := 1 :: !log));
+  ignore (Sim.schedule sim ~delay:20L (fun () -> log := 2 :: !log));
+  ignore (Sim.run sim);
+  check (Alcotest.list Alcotest.int) "chronological" [ 1; 2; 3 ] (List.rev !log)
+
+let test_fifo_ties () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for k = 1 to 5 do
+    ignore (Sim.schedule sim ~delay:10L (fun () -> log := k :: !log))
+  done;
+  ignore (Sim.run sim);
+  check (Alcotest.list Alcotest.int) "insertion order on ties" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let ev = Sim.schedule sim ~delay:10L (fun () -> fired := true) in
+  Sim.cancel ev;
+  ignore (Sim.run sim);
+  check Alcotest.bool "cancelled event skipped" false !fired
+
+let test_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  ignore (Sim.schedule sim ~delay:10L (fun () -> incr fired));
+  ignore (Sim.schedule sim ~delay:100L (fun () -> incr fired));
+  ignore (Sim.run ~until:50L sim);
+  check Alcotest.int "only events before the horizon" 1 !fired;
+  check Alcotest.int64 "clock at horizon" 50L (Sim.now sim);
+  ignore (Sim.run sim);
+  check Alcotest.int "remaining event runs later" 2 !fired
+
+let test_clock_advances () =
+  let sim = Sim.create () in
+  let at = ref 0L in
+  ignore (Sim.schedule sim ~delay:12345L (fun () -> at := Sim.now sim));
+  ignore (Sim.run sim);
+  check Alcotest.int64 "now() inside handler" 12345L !at
+
+let heap_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"events always fire in time order"
+       QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 100000))
+       (fun delays ->
+         let sim = Sim.create () in
+         let fired = ref [] in
+         List.iter
+           (fun d ->
+             ignore
+               (Sim.schedule sim ~delay:(Int64.of_int d) (fun () ->
+                    fired := Sim.now sim :: !fired)))
+           delays;
+         ignore (Sim.run sim);
+         let fired = List.rev !fired in
+         List.length fired = List.length delays
+         && fired = List.sort compare fired))
+
+(* ------------------------------ rng ---------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  let seq r = List.init 50 (fun _ -> Rng.next_int64 r) in
+  check Alcotest.bool "same seed, same stream" true (seq a = seq b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 42L in
+  let c = Rng.split a in
+  check Alcotest.bool "split stream differs" true
+    (Rng.next_int64 a <> Rng.next_int64 c)
+
+let rng_float_range =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"rng floats in [0,1)"
+       QCheck2.Gen.(map Int64.of_int (int_range min_int max_int))
+       (fun seed ->
+         let r = Rng.create seed in
+         List.for_all
+           (fun _ ->
+             let f = Rng.float r in
+             f >= 0. && f < 1.)
+           (List.init 100 Fun.id)))
+
+(* ------------------------------ link --------------------------------- *)
+
+let mk_link ?(delay_ms = 10.) ?(rate_mbps = 8.) ?(loss = 0.) ?(buffer = 10_000) sim =
+  Link.create ~sim ~delay_ms ~rate_mbps ~loss ~rng:(Rng.create 1L) ~buffer ()
+
+let test_link_delay_and_serialization () =
+  let sim = Sim.create () in
+  (* 8 Mbps -> 1000 bytes take 1 ms serialization + 10 ms propagation *)
+  let link = mk_link sim in
+  let arrival = ref 0L in
+  Link.send link ~size:1000 (fun () -> arrival := Sim.now sim);
+  ignore (Sim.run sim);
+  check Alcotest.int64 "1ms tx + 10ms prop" (Sim.of_ms 11.) !arrival
+
+let test_link_queueing () =
+  let sim = Sim.create () in
+  let link = mk_link sim in
+  let arrivals = ref [] in
+  for _ = 1 to 3 do
+    Link.send link ~size:1000 (fun () -> arrivals := Sim.now sim :: !arrivals)
+  done;
+  ignore (Sim.run sim);
+  check
+    (Alcotest.list Alcotest.int64)
+    "back-to-back serialization"
+    [ Sim.of_ms 11.; Sim.of_ms 12.; Sim.of_ms 13. ]
+    (List.rev !arrivals)
+
+let test_link_queue_drop () =
+  let sim = Sim.create () in
+  let link = mk_link ~buffer:2500 sim in
+  let delivered = ref 0 in
+  for _ = 1 to 5 do
+    Link.send link ~size:1000 (fun () -> incr delivered)
+  done;
+  ignore (Sim.run sim);
+  let stats = Link.stats link in
+  check Alcotest.int "drop-tail kicked in" 3 stats.Link.queue_drops;
+  check Alcotest.int "survivors delivered" 2 !delivered
+
+let test_link_loss_deterministic () =
+  let run () =
+    let sim = Sim.create () in
+    let link =
+      Link.create ~sim ~delay_ms:1. ~rate_mbps:1000. ~loss:0.3
+        ~rng:(Rng.create 7L) ()
+    in
+    let delivered = ref 0 in
+    for _ = 1 to 100 do
+      Link.send link ~size:100 (fun () -> incr delivered)
+    done;
+    ignore (Sim.run sim);
+    !delivered
+  in
+  let a = run () and b = run () in
+  check Alcotest.int "same seed, same losses" a b;
+  check Alcotest.bool "some but not all lost" true (a > 0 && a < 100)
+
+let test_net_routing () =
+  let sim = Sim.create () in
+  let net = Net.create sim in
+  let l = mk_link ~delay_ms:1. sim in
+  Net.add_route net ~src:1 ~dst:2 [ l ];
+  let got = ref None in
+  Net.attach net 2 (fun dg -> got := Some dg.Net.payload);
+  Net.send net { Net.src = 1; dst = 2; size = 100; payload = Net.Raw "hello" };
+  (* no route in the other direction: silently dropped *)
+  Net.send net { Net.src = 2; dst = 1; size = 100; payload = Net.Raw "nope" };
+  ignore (Sim.run sim);
+  (match !got with
+  | Some (Net.Raw "hello") -> ()
+  | _ -> Alcotest.fail "payload not delivered");
+  check Alcotest.int "no pending events" 0 (Sim.pending sim)
+
+let test_topology_fig7 () =
+  let topo =
+    Netsim.Topology.dual_path ~seed:1L
+      { Netsim.Topology.d_ms = 10.; bw_mbps = 10.; loss = 0. }
+      { Netsim.Topology.d_ms = 20.; bw_mbps = 5.; loss = 0. }
+  in
+  check Alcotest.int "two client addresses" 2
+    (List.length topo.Netsim.Topology.client_addrs);
+  check Alcotest.int "two mid-link pairs" 2
+    (List.length topo.Netsim.Topology.mid_links);
+  (* both paths reach the server *)
+  let sim = topo.Netsim.Topology.sim in
+  let net = topo.Netsim.Topology.net in
+  let hits = ref 0 in
+  Net.attach net topo.Netsim.Topology.server_addr (fun _ -> incr hits);
+  List.iter
+    (fun src ->
+      Net.send net
+        { Net.src; dst = topo.Netsim.Topology.server_addr; size = 100;
+          payload = Net.Raw "x" })
+    topo.Netsim.Topology.client_addrs;
+  ignore (Sim.run sim);
+  check Alcotest.int "both paths deliver" 2 !hits
+
+let tests =
+  [
+    ("sim", [
+      Alcotest.test_case "event order" `Quick test_event_order;
+      Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+      Alcotest.test_case "cancel" `Quick test_cancel;
+      Alcotest.test_case "run until" `Quick test_until;
+      Alcotest.test_case "clock advances" `Quick test_clock_advances;
+      heap_property;
+    ]);
+    ("rng", [
+      Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+      Alcotest.test_case "split" `Quick test_rng_split_independent;
+      rng_float_range;
+    ]);
+    ("link", [
+      Alcotest.test_case "delay+serialization" `Quick test_link_delay_and_serialization;
+      Alcotest.test_case "queueing" `Quick test_link_queueing;
+      Alcotest.test_case "queue drop" `Quick test_link_queue_drop;
+      Alcotest.test_case "seeded loss" `Quick test_link_loss_deterministic;
+      Alcotest.test_case "routing" `Quick test_net_routing;
+      Alcotest.test_case "figure 7 topology" `Quick test_topology_fig7;
+    ]);
+  ]

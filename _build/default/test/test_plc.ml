@@ -1,0 +1,333 @@
+(* Plugin-language tests: the compiler is validated against a reference
+   interpreter of the AST over randomly generated programs, plus targeted
+   control-flow and termination-checker cases. *)
+
+open Plc.Ast
+
+let i64 = Alcotest.int64
+let check = Alcotest.check
+
+let compile_and_run ?(helpers = []) ?(args = [||]) f =
+  let helper_table = List.map (fun (name, id, _) -> (name, id)) helpers in
+  let prog, stack_size = Plc.Compile.compile ~helpers:helper_table f in
+  let vm = Ebpf.Vm.create ~stack_size () in
+  List.iter (fun (_, id, fn) -> Ebpf.Vm.register_helper vm id fn) helpers;
+  (match
+     Ebpf.Verifier.verify ~stack_size
+       ~known_helper:(fun id -> List.exists (fun (_, i, _) -> i = id) helpers)
+       prog
+   with
+  | Ok () -> ()
+  | Error errs ->
+    Alcotest.failf "compiled program rejected: %s"
+      (String.concat "; " (List.map Ebpf.Verifier.error_to_string errs)));
+  Ebpf.Vm.run vm ~args prog
+
+(* ------------------- reference interpreter --------------------------- *)
+
+exception Returned of int64
+
+let rec eval_expr env e =
+  let open Int64 in
+  match e with
+  | Const v -> v
+  | Var x -> Hashtbl.find env x
+  | Not e -> if eval_expr env e = 0L then 1L else 0L
+  | Load _ | Call _ -> failwith "not in pure fragment"
+  | Bin (op, a, b) ->
+    let a = eval_expr env a and b = eval_expr env b in
+    let bool v = if v then 1L else 0L in
+    let u = unsigned_compare a b and s = compare a b in
+    (match op with
+    | Add -> add a b
+    | Sub -> sub a b
+    | Mul -> mul a b
+    | Div -> if b = 0L then 0L else unsigned_div a b
+    | Mod -> if b = 0L then a else unsigned_rem a b
+    | And -> logand a b
+    | Or -> logor a b
+    | Xor -> logxor a b
+    | Shl -> shift_left a (to_int (logand b 63L))
+    | Shr -> shift_right_logical a (to_int (logand b 63L))
+    | Eq -> bool (a = b)
+    | Ne -> bool (a <> b)
+    | Lt -> bool (u < 0)
+    | Le -> bool (u <= 0)
+    | Gt -> bool (u > 0)
+    | Ge -> bool (u >= 0)
+    | Slt -> bool (s < 0)
+    | Sle -> bool (s <= 0)
+    | Sgt -> bool (s > 0)
+    | Sge -> bool (s >= 0))
+
+let rec eval_block env b = List.iter (eval_stmt env) b
+
+and eval_stmt env = function
+  | Let (x, e) | Assign (x, e) -> Hashtbl.replace env x (eval_expr env e)
+  | Store _ | Expr _ -> failwith "not in pure fragment"
+  | If (c, t, f) -> if eval_expr env c <> 0L then eval_block env t else eval_block env f
+  | While (c, body) ->
+    while eval_expr env c <> 0L do
+      eval_block env body
+    done
+  | For (x, lo, hi, body) ->
+    let lo = eval_expr env lo and hi = eval_expr env hi in
+    Hashtbl.replace env x lo;
+    let k = ref lo in
+    while Int64.unsigned_compare !k hi < 0 do
+      Hashtbl.replace env x !k;
+      eval_block env body;
+      k := Int64.add !k 1L
+    done
+  | Return e -> raise (Returned (eval_expr env e))
+
+let eval_func f =
+  let env = Hashtbl.create 16 in
+  try
+    eval_block env f.body;
+    0L
+  with Returned v -> v
+
+(* random pure programs: expressions over two locals, if/for nesting *)
+let gen_pure_expr =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [ map (fun v -> Const (Int64.of_int v)) (int_range (-1000) 1000);
+        oneofl [ Var "x"; Var "y" ] ]
+  in
+  let binop =
+    oneofl [ Add; Sub; Mul; Div; Mod; And; Or; Xor; Eq; Ne; Lt; Le; Gt; Ge;
+             Slt; Sle; Sgt; Sge ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           oneof
+             [ leaf;
+               map3 (fun op a b -> Bin (op, a, b)) binop (self (n / 2)) (self (n / 2));
+               map (fun e -> Not e) (self (n - 1)) ])
+
+let gen_pure_stmts =
+  let open QCheck2.Gen in
+  let stmt =
+    oneof
+      [
+        map (fun e -> Assign ("x", e)) gen_pure_expr;
+        map (fun e -> Assign ("y", e)) gen_pure_expr;
+        map3 (fun c a b -> If (c, [ Assign ("x", a) ], [ Assign ("y", b) ]))
+          gen_pure_expr gen_pure_expr gen_pure_expr;
+        map2 (fun n e -> For ("k", i 0, i (abs n mod 8), [ Assign ("x", Bin (Add, Var "x", e)) ]))
+          (int_range 0 8) gen_pure_expr;
+      ]
+  in
+  list_size (int_range 1 8) stmt
+
+let compiler_vs_reference =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"compiled = reference interpreter"
+       QCheck2.Gen.(pair gen_pure_stmts gen_pure_expr)
+       (fun (stmts, result) ->
+         let f =
+           {
+             name = "prop";
+             params = [];
+             body = (Let ("x", i 1) :: Let ("y", i 2) :: stmts) @ [ Return result ];
+           }
+         in
+         compile_and_run f = eval_func f))
+
+(* ------------------------- targeted cases ----------------------------- *)
+
+let test_arith () =
+  let f = { name = "t"; params = []; body = [ Return ((i 2 +: i 3) *: i 7) ] } in
+  check i64 "arith" 35L (compile_and_run f)
+
+let test_params () =
+  let f = { name = "t"; params = [ "a"; "b" ]; body = [ Return (v "a" -: v "b") ] } in
+  check i64 "params" 5L (compile_and_run ~args:[| 12L; 7L |] f)
+
+let test_if_else () =
+  let f cond =
+    { name = "t"; params = [];
+      body = [ If (cond, [ Return (i 1) ], [ Return (i 2) ]) ] }
+  in
+  check i64 "then" 1L (compile_and_run (f (i 3 <: i 5)));
+  check i64 "else" 2L (compile_and_run (f (i 5 <: i 3)))
+
+let test_for_loop () =
+  let f =
+    { name = "t"; params = [];
+      body =
+        [
+          Let ("acc", i 0);
+          For ("k", i 1, i 11, [ Assign ("acc", v "acc" +: v "k") ]);
+          Return (v "acc");
+        ] }
+  in
+  check i64 "sum 1..10" 55L (compile_and_run f)
+
+let test_nested_for () =
+  let f =
+    { name = "t"; params = [];
+      body =
+        [
+          Let ("acc", i 0);
+          For ("a", i 0, i 5,
+               [ For ("b", i 0, i 5, [ Assign ("acc", v "acc" +: i 1) ]) ]);
+          Return (v "acc");
+        ] }
+  in
+  check i64 "5x5 nested loop" 25L (compile_and_run f)
+
+let test_while_loop () =
+  let f =
+    { name = "t"; params = [];
+      body =
+        [
+          Let ("n", i 100);
+          Let ("steps", i 0);
+          While (v "n" >: i 1,
+                 [
+                   If (v "n" %: i 2 =: i 0,
+                       [ Assign ("n", v "n" /: i 2) ],
+                       [ Assign ("n", (v "n" *: i 3) +: i 1) ]);
+                   Assign ("steps", v "steps" +: i 1);
+                 ]);
+          Return (v "steps");
+        ] }
+  in
+  check i64 "collatz(100)" 25L (compile_and_run f)
+
+let test_memory_ops () =
+  (* write then read through a mapped region passed as a parameter *)
+  let f =
+    { name = "t"; params = [ "buf" ];
+      body =
+        [
+          Store (Ebpf.Insn.W32, v "buf", i 0xCAFE);
+          Store (Ebpf.Insn.W8, v "buf" +: i 6, i 0x7F);
+          Return (Load (Ebpf.Insn.W32, v "buf") +: Load (Ebpf.Insn.W8, v "buf" +: i 6));
+        ] }
+  in
+  let prog, stack = Plc.Compile.compile ~helpers:[] f in
+  let vm = Ebpf.Vm.create ~stack_size:stack () in
+  let r = Ebpf.Vm.map_region vm ~name:"buf" ~perm:Ebpf.Vm.Rw (Bytes.make 16 '\000') in
+  check i64 "store/load" (Int64.of_int (0xCAFE + 0x7F))
+    (Ebpf.Vm.run vm ~args:[| r.Ebpf.Vm.base |] prog)
+
+let test_helper_call () =
+  let f =
+    { name = "t"; params = [];
+      body = [ Return (Call ("double", [ i 21 ])) ] }
+  in
+  check i64 "helper" 42L
+    (compile_and_run
+       ~helpers:[ ("double", 5, fun _ a -> Int64.mul a.(0) 2L) ]
+       f)
+
+let test_call_arg_order () =
+  let f =
+    { name = "t"; params = [];
+      body = [ Return (Call ("sub", [ i 50; i 8 ])) ] }
+  in
+  check i64 "argument order" 42L
+    (compile_and_run
+       ~helpers:[ ("sub", 5, fun _ a -> Int64.sub a.(0) a.(1)) ]
+       f)
+
+let test_unknown_helper_error () =
+  let f = { name = "t"; params = []; body = [ Return (Call ("nope", [])) ] } in
+  match Plc.Compile.compile ~helpers:[] f with
+  | exception Plc.Compile.Error _ -> ()
+  | _ -> Alcotest.fail "unknown helper compiled"
+
+let test_unbound_variable_error () =
+  let f = { name = "t"; params = []; body = [ Return (v "ghost") ] } in
+  match Plc.Compile.compile ~helpers:[] f with
+  | exception Plc.Compile.Error _ -> ()
+  | _ -> Alcotest.fail "unbound variable compiled"
+
+let test_too_many_params () =
+  let f =
+    { name = "t"; params = [ "a"; "b"; "c"; "d"; "e"; "f" ];
+      body = [ Return (i 0) ] }
+  in
+  match Plc.Compile.compile ~helpers:[] f with
+  | exception Plc.Compile.Error _ -> ()
+  | _ -> Alcotest.fail "six parameters compiled"
+
+let test_implicit_return () =
+  let f = { name = "t"; params = []; body = [ Let ("x", i 9) ] } in
+  check i64 "falls through to return 0" 0L (compile_and_run f)
+
+(* ------------------------- termination ------------------------------- *)
+
+let test_terminate_for () =
+  let f =
+    { name = "t"; params = [];
+      body = [ For ("k", i 0, i 10, []); Return (i 0) ] }
+  in
+  Alcotest.(check bool) "for loop proven" true (Plc.Terminate.is_proven f)
+
+let test_terminate_while () =
+  let f =
+    { name = "t"; params = [];
+      body = [ While (i 1, []); Return (i 0) ] }
+  in
+  Alcotest.(check bool) "while loop unproven" false (Plc.Terminate.is_proven f)
+
+let test_terminate_reassigned_var () =
+  let f =
+    { name = "t"; params = [];
+      body = [ For ("k", i 0, i 10, [ Assign ("k", i 0) ]); Return (i 0) ] }
+  in
+  Alcotest.(check bool) "reassigned induction var unproven" false
+    (Plc.Terminate.is_proven f)
+
+let test_terminate_nested () =
+  let f =
+    { name = "t"; params = [];
+      body =
+        [
+          For ("a", i 0, i 10,
+               [ If (v "a" =: i 5, [ While (i 1, []) ], []) ]);
+          Return (i 0);
+        ] }
+  in
+  Alcotest.(check bool) "nested while found" false (Plc.Terminate.is_proven f)
+
+let test_loc_counts_lines () =
+  let f =
+    { name = "t"; params = [];
+      body = [ Let ("x", i 1); Return (v "x") ] }
+  in
+  Alcotest.(check bool) "loc positive" true (Plc.Ast.lines_of_code f >= 3)
+
+let tests =
+  [
+    ("compile", [
+      Alcotest.test_case "arith" `Quick test_arith;
+      Alcotest.test_case "params" `Quick test_params;
+      Alcotest.test_case "if/else" `Quick test_if_else;
+      Alcotest.test_case "for loop" `Quick test_for_loop;
+      Alcotest.test_case "nested for" `Quick test_nested_for;
+      Alcotest.test_case "while loop" `Quick test_while_loop;
+      Alcotest.test_case "memory ops" `Quick test_memory_ops;
+      Alcotest.test_case "helper call" `Quick test_helper_call;
+      Alcotest.test_case "call arg order" `Quick test_call_arg_order;
+      Alcotest.test_case "unknown helper" `Quick test_unknown_helper_error;
+      Alcotest.test_case "unbound variable" `Quick test_unbound_variable_error;
+      Alcotest.test_case "too many params" `Quick test_too_many_params;
+      Alcotest.test_case "implicit return" `Quick test_implicit_return;
+      compiler_vs_reference;
+    ]);
+    ("terminate", [
+      Alcotest.test_case "for proven" `Quick test_terminate_for;
+      Alcotest.test_case "while unproven" `Quick test_terminate_while;
+      Alcotest.test_case "reassignment unproven" `Quick test_terminate_reassigned_var;
+      Alcotest.test_case "nested while" `Quick test_terminate_nested;
+      Alcotest.test_case "loc" `Quick test_loc_counts_lines;
+    ]);
+  ]

@@ -1,0 +1,609 @@
+(* PQUIC core tests: the memory pool, the frame scheduler, protocol
+   operation dispatch (anchors, loop detection, misbehaviour sanctions),
+   plugin injection/rollback, end-to-end transfers under loss and the
+   PRE cache semantics. *)
+
+module Topology = Netsim.Topology
+module Sim = Netsim.Sim
+
+let check = Alcotest.check
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --------------------------- memory pool ------------------------------ *)
+
+let pool_no_overlap =
+  qtest ~count:200 "pool allocations never overlap"
+    QCheck2.Gen.(list_size (int_range 1 60) (int_range 1 2000))
+    (fun sizes ->
+      let pool = Pquic.Memory_pool.create ~size:(256 * 1024) () in
+      let allocs =
+        List.filter_map
+          (fun size ->
+            Option.map (fun off -> (off, size)) (Pquic.Memory_pool.alloc pool size))
+          sizes
+      in
+      let disjoint (o1, s1) (o2, s2) = o1 + s1 <= o2 || o2 + s2 <= o1 in
+      List.for_all
+        (fun a -> List.for_all (fun b -> a == b || disjoint a b) allocs)
+        allocs)
+
+let pool_free_reuse =
+  qtest ~count:100 "freed blocks are reusable"
+    QCheck2.Gen.(int_range 1 4000)
+    (fun size ->
+      let pool = Pquic.Memory_pool.create ~size:8192 () in
+      match Pquic.Memory_pool.alloc pool size with
+      | None -> size > 8192
+      | Some off ->
+        Pquic.Memory_pool.free pool off
+        &&
+        (* after freeing everything, the same allocation succeeds again *)
+        Pquic.Memory_pool.alloc pool size <> None)
+
+let test_pool_exhaustion () =
+  let pool = Pquic.Memory_pool.create ~size:1024 () in
+  (match Pquic.Memory_pool.alloc pool 2048 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "oversized allocation succeeded");
+  let a = Pquic.Memory_pool.alloc pool 512 in
+  let b = Pquic.Memory_pool.alloc pool 512 in
+  let c = Pquic.Memory_pool.alloc pool 64 in
+  check Alcotest.bool "pool fills up" true (a <> None && b <> None && c = None)
+
+let test_pool_double_free () =
+  let pool = Pquic.Memory_pool.create ~size:1024 () in
+  match Pquic.Memory_pool.alloc pool 100 with
+  | None -> Alcotest.fail "alloc failed"
+  | Some off ->
+    check Alcotest.bool "first free ok" true (Pquic.Memory_pool.free pool off);
+    check Alcotest.bool "double free rejected" false (Pquic.Memory_pool.free pool off);
+    check Alcotest.bool "interior free rejected" false
+      (Pquic.Memory_pool.free pool (off + 64))
+
+let test_pool_reset_wipes () =
+  let pool = Pquic.Memory_pool.create ~size:1024 () in
+  (match Pquic.Memory_pool.alloc pool 100 with
+  | Some off -> Bytes.set (Pquic.Memory_pool.area pool) off 'S'
+  | None -> Alcotest.fail "alloc failed");
+  Pquic.Memory_pool.reset pool;
+  check Alcotest.char "contents wiped" '\000' (Bytes.get (Pquic.Memory_pool.area pool) 0);
+  check Alcotest.int "allocation state cleared" 0
+    (Pquic.Memory_pool.allocated_bytes pool)
+
+(* ---------------------------- scheduler ------------------------------- *)
+
+let reservation ?(size = 100) ?(plugin = "p") ?(ae = true) cookie =
+  { Pquic.Scheduler.ftype = 0x30; size; retransmittable = false;
+    ack_eliciting = ae; cookie = Int64.of_int cookie; plugin }
+
+let test_scheduler_fifo_per_plugin () =
+  let s = Pquic.Scheduler.create () in
+  List.iter (fun k -> Pquic.Scheduler.reserve s (reservation k)) [ 1; 2; 3 ];
+  let taken = Pquic.Scheduler.take s ~budget:1000 ~core_has_data:false in
+  check (Alcotest.list Alcotest.int) "fifo order" [ 1; 2; 3 ]
+    (List.map (fun r -> Int64.to_int r.Pquic.Scheduler.cookie) taken)
+
+let test_scheduler_core_guarantee () =
+  let s = Pquic.Scheduler.create ~core_fraction:0.5 () in
+  List.iter (fun k -> Pquic.Scheduler.reserve s (reservation ~size:400 k)) [ 1; 2; 3 ];
+  (* with core data pending, plugins only get half the 1000-byte budget *)
+  let taken = Pquic.Scheduler.take s ~budget:1000 ~core_has_data:true in
+  check Alcotest.int "only one 400B frame fits the plugin share" 1
+    (List.length taken)
+
+let test_scheduler_drr_fairness () =
+  let s = Pquic.Scheduler.create () in
+  (* plugin a floods; plugin b reserves a little: b must not starve *)
+  for k = 0 to 19 do
+    Pquic.Scheduler.reserve s (reservation ~plugin:"a" ~size:500 k)
+  done;
+  Pquic.Scheduler.reserve s (reservation ~plugin:"b" ~size:500 100);
+  let rec drain acc n =
+    if n = 0 then acc
+    else
+      let taken = Pquic.Scheduler.take s ~budget:1200 ~core_has_data:false in
+      drain (acc @ taken) (n - 1)
+  in
+  let taken = drain [] 4 in
+  check Alcotest.bool "plugin b served within the first rounds" true
+    (List.exists (fun r -> r.Pquic.Scheduler.plugin = "b") taken)
+
+let test_scheduler_oversize_dropped () =
+  let s = Pquic.Scheduler.create () in
+  Pquic.Scheduler.reserve s (reservation ~size:5000 1);
+  Pquic.Scheduler.reserve s (reservation ~size:100 2);
+  let taken = Pquic.Scheduler.take s ~max_frame:1400 ~budget:1200 ~core_has_data:false in
+  check (Alcotest.list Alcotest.int) "oversize dropped, next served" [ 2 ]
+    (List.map (fun r -> Int64.to_int r.Pquic.Scheduler.cookie) taken)
+
+(* ------------------------ plugin serialization ------------------------ *)
+
+let plugin_serialize_roundtrip () =
+  List.iter
+    (fun (p : Pquic.Plugin.t) ->
+      let p' = Pquic.Plugin.deserialize (Pquic.Plugin.serialize p) in
+      check Alcotest.string "name" p.Pquic.Plugin.name p'.Pquic.Plugin.name;
+      check Alcotest.int "pluglet count"
+        (List.length p.Pquic.Plugin.pluglets)
+        (List.length p'.Pquic.Plugin.pluglets);
+      List.iter2
+        (fun (a : Pquic.Plugin.pluglet) (b : Pquic.Plugin.pluglet) ->
+          check Alcotest.int "op" a.Pquic.Plugin.op b.Pquic.Plugin.op;
+          check Alcotest.bool "anchor" true (a.Pquic.Plugin.anchor = b.Pquic.Plugin.anchor);
+          check Alcotest.bool "param" true (a.Pquic.Plugin.param = b.Pquic.Plugin.param);
+          (* compiled code identical through the roundtrip *)
+          let pa, sa = Pquic.Plugin.compiled a and pb, sb = Pquic.Plugin.compiled b in
+          check Alcotest.bool "bytecode" true (pa = pb);
+          check Alcotest.int "stack" sa sb)
+        p.Pquic.Plugin.pluglets p'.Pquic.Plugin.pluglets;
+      (* a second serialization is byte-identical (deterministic bindings) *)
+      check Alcotest.string "deterministic" (Pquic.Plugin.serialize p)
+        (Pquic.Plugin.serialize p'))
+    [ Plugins.Monitoring.plugin; Plugins.Datagram.plugin;
+      Plugins.Multipath.plugin; Plugins.Fec.rlc_full ]
+
+let test_plugin_malformed () =
+  (match Pquic.Plugin.deserialize "garbage" with
+  | exception Pquic.Plugin.Malformed _ -> ()
+  | _ -> Alcotest.fail "garbage accepted");
+  let truncated =
+    String.sub (Pquic.Plugin.serialize Plugins.Datagram.plugin) 0 20
+  in
+  match Pquic.Plugin.deserialize truncated with
+  | exception Pquic.Plugin.Malformed _ -> ()
+  | _ -> Alcotest.fail "truncated plugin accepted"
+
+(* -------------------------- live connections --------------------------- *)
+
+let transfer ?(size = 200_000) ?(loss = 0.) ?(plugins = []) ?(to_inject = []) ?(seed = 5L) () =
+  let topo =
+    Topology.single_path ~seed { Topology.d_ms = 10.; bw_mbps = 20.; loss }
+  in
+  Exp.Runner.quic_transfer ~plugins ~to_inject ~topo ~size ()
+
+let test_transfer_clean () =
+  match transfer () with
+  | Some r ->
+    check Alcotest.bool "completes quickly" true (r.Exp.Runner.dct < 1.0);
+    check Alcotest.int "no losses" 0 r.Exp.Runner.client_stats.Pquic.Connection.pkts_lost
+  | None -> Alcotest.fail "transfer failed"
+
+let test_transfer_lossy_delivers_exact_bytes () =
+  (* the runner already checks fin delivery; verify content integrity here *)
+  let topo =
+    Topology.single_path ~seed:9L { Topology.d_ms = 10.; bw_mbps = 10.; loss = 0.05 }
+  in
+  let sim = topo.Topology.sim and net = topo.Topology.net in
+  let server = Pquic.Endpoint.create ~sim ~net ~addr:topo.Topology.server_addr ~seed:1L () in
+  let client =
+    Pquic.Endpoint.create ~sim ~net ~addr:(List.hd topo.Topology.client_addrs) ~seed:2L ()
+  in
+  Pquic.Endpoint.listen server;
+  Pquic.Endpoint.listen client;
+  let payload = String.init 100_000 (fun i -> Char.chr (i * 31 mod 256)) in
+  server.Pquic.Endpoint.on_connection <-
+    (fun c ->
+      c.Pquic.Connection.on_stream_data <-
+        (fun id _ ~fin ->
+          if fin then Pquic.Connection.write_stream c ~id ~fin:true payload));
+  let conn = Pquic.Endpoint.connect client ~remote_addr:topo.Topology.server_addr in
+  let received = Buffer.create 100_000 in
+  let finished = ref false in
+  conn.Pquic.Connection.on_established <-
+    (fun () -> Pquic.Connection.write_stream conn ~id:0 ~fin:true "GET");
+  conn.Pquic.Connection.on_stream_data <-
+    (fun _ data ~fin ->
+      Buffer.add_string received data;
+      if fin then finished := true);
+  ignore (Sim.run ~until:(Sim.of_sec 120.) sim);
+  check Alcotest.bool "finished" true !finished;
+  check Alcotest.bool "bytes identical despite losses" true
+    (Buffer.contents received = payload)
+
+let lossy_seeds =
+  qtest ~count:12 "transfers survive arbitrary loss patterns"
+    QCheck2.Gen.(pair (map Int64.of_int (int_range 1 1_000_000)) (int_range 0 12))
+    (fun (seed, loss_pct) ->
+      match transfer ~size:60_000 ~loss:(float_of_int loss_pct /. 100.) ~seed () with
+      | Some _ -> true
+      | None -> false)
+
+let test_handshake_sets_params () =
+  match transfer () with
+  | Some r -> (
+    match Pquic.Connection.peer_params r.Exp.Runner.client_conn with
+    | Some tp ->
+      check Alcotest.bool "peer max data positive" true
+        (tp.Quic.Transport_params.initial_max_data > 0L)
+    | None -> Alcotest.fail "no peer params")
+  | None -> Alcotest.fail "transfer failed"
+
+(* a plugin whose pluglet reads out of bounds must be removed and the
+   connection terminated (Section 2.1) *)
+let evil_plugin =
+  let open Plc.Ast in
+  {
+    Pquic.Plugin.name = "org.test.evil";
+    pluglets =
+      [
+        {
+          Pquic.Plugin.op = Pquic.Protoop.received_packet;
+          param = None;
+          anchor = Pquic.Protoop.Post;
+          code =
+            Pquic.Plugin.Source
+              {
+                name = "evil";
+                params = [ "pn"; "path" ];
+                body = [ Return (Load (Ebpf.Insn.W64, Const 0xDEAD_0000L)) ];
+              };
+        };
+      ];
+  }
+
+let test_memory_violation_kills_connection () =
+  match
+    transfer ~plugins:[ evil_plugin ] ~to_inject:[ "org.test.evil" ] ()
+  with
+  | Some _ -> Alcotest.fail "transfer with evil plugin completed"
+  | None -> () (* connection was terminated, as required *)
+
+(* a plugin that loops forever is stopped by the instruction budget *)
+let spinning_plugin =
+  let open Plc.Ast in
+  {
+    Pquic.Plugin.name = "org.test.spin";
+    pluglets =
+      [
+        {
+          Pquic.Plugin.op = Pquic.Protoop.received_packet;
+          param = None;
+          anchor = Pquic.Protoop.Post;
+          code =
+            Pquic.Plugin.Source
+              { name = "spin"; params = []; body = [ While (i 1, []) ] };
+        };
+      ];
+  }
+
+let test_runaway_plugin_stopped () =
+  match transfer ~plugins:[ spinning_plugin ] ~to_inject:[ "org.test.spin" ] () with
+  | Some _ -> Alcotest.fail "spinning plugin did not kill the connection"
+  | None -> ()
+
+(* two plugins that replace the same protocol operation: the second one
+   must be rolled back (Section 2.2), the first keeps working *)
+let replace_plugin name =
+  let open Plc.Ast in
+  {
+    Pquic.Plugin.name;
+    pluglets =
+      [
+        {
+          Pquic.Plugin.op = Pquic.Protoop.select_path;
+          param = None;
+          anchor = Pquic.Protoop.Replace;
+          code =
+            Pquic.Plugin.Source
+              { name = "sp"; params = []; body = [ Return (i 0) ] };
+        };
+      ];
+  }
+
+let test_replace_conflict_rolls_back () =
+  let p1 = replace_plugin "org.test.replace1" in
+  let p2 = replace_plugin "org.test.replace2" in
+  match
+    transfer ~plugins:[ p1; p2 ]
+      ~to_inject:[ "org.test.replace1"; "org.test.replace2" ] ()
+  with
+  | Some r ->
+    let names = Pquic.Connection.plugin_names r.Exp.Runner.client_conn in
+    check Alcotest.bool "first injected" true (List.mem "org.test.replace1" names);
+    check Alcotest.bool "second rolled back" false (List.mem "org.test.replace2" names)
+  | None -> Alcotest.fail "transfer failed"
+
+(* protocol operation loop detection (Figure 3): a replace pluglet that
+   re-invokes its own operation through run_protoop *)
+let looping_plugin =
+  let open Plc.Ast in
+  {
+    Pquic.Plugin.name = "org.test.loop";
+    pluglets =
+      [
+        {
+          Pquic.Plugin.op = Pquic.Protoop.select_path;
+          param = None;
+          anchor = Pquic.Protoop.Replace;
+          code =
+            Pquic.Plugin.Source
+              {
+                name = "loop";
+                params = [];
+                body =
+                  [
+                    Return
+                      (Call
+                         ( "run_protoop",
+                           [ i Pquic.Protoop.select_path; Const (-1L); i 0; i 0; i 0 ] ));
+                  ];
+              };
+        };
+      ];
+  }
+
+let test_protoop_loop_detected () =
+  match transfer ~plugins:[ looping_plugin ] ~to_inject:[ "org.test.loop" ] () with
+  | Some _ -> Alcotest.fail "protocol operation loop not detected"
+  | None -> ()
+
+(* forbidden set() field: policy violation kills the plugin *)
+let setter_plugin =
+  let open Plc.Ast in
+  {
+    Pquic.Plugin.name = "org.test.setter";
+    pluglets =
+      [
+        {
+          Pquic.Plugin.op = Pquic.Protoop.received_packet;
+          param = None;
+          anchor = Pquic.Protoop.Post;
+          code =
+            Pquic.Plugin.Source
+              {
+                name = "setter";
+                params = [];
+                body =
+                  [
+                    Expr (Call ("set", [ i Pquic.Api.f_pkts_sent; i 0; i 999 ]));
+                    Return (i 0);
+                  ];
+              };
+        };
+      ];
+  }
+
+let test_readonly_field_write_sanctioned () =
+  match transfer ~plugins:[ setter_plugin ] ~to_inject:[ "org.test.setter" ] () with
+  | Some _ -> Alcotest.fail "read-only field write not sanctioned"
+  | None -> ()
+
+(* PRE cache (Section 2.5): second connection reuses instances and the
+   plugin memory starts cleanly *)
+let test_cache_reuse_and_isolation () =
+  let topo =
+    Topology.single_path ~seed:4L { Topology.d_ms = 5.; bw_mbps = 50.; loss = 0. }
+  in
+  let sim = topo.Topology.sim and net = topo.Topology.net in
+  let server = Pquic.Endpoint.create ~sim ~net ~addr:topo.Topology.server_addr ~seed:1L () in
+  let client =
+    Pquic.Endpoint.create ~sim ~net ~addr:(List.hd topo.Topology.client_addrs) ~seed:2L ()
+  in
+  Pquic.Endpoint.add_plugin server Plugins.Monitoring.plugin;
+  Pquic.Endpoint.add_plugin client Plugins.Monitoring.plugin;
+  Pquic.Endpoint.listen server;
+  Pquic.Endpoint.listen client;
+  server.Pquic.Endpoint.on_connection <-
+    (fun c ->
+      c.Pquic.Connection.on_stream_data <-
+        (fun id _ ~fin ->
+          if fin then Pquic.Connection.write_stream c ~id ~fin:true (String.make 5_000 'x')));
+  let reports = ref [] in
+  let run_one () =
+    let conn =
+      Pquic.Endpoint.connect client ~remote_addr:topo.Topology.server_addr
+        ~plugins_to_inject:[ Plugins.Monitoring.name ]
+    in
+    conn.Pquic.Connection.on_message <-
+      (fun m ->
+        match Plugins.Monitoring.decode_report m with
+        | Some r -> reports := r :: !reports
+        | None -> ());
+    conn.Pquic.Connection.on_established <-
+      (fun () -> Pquic.Connection.write_stream conn ~id:0 ~fin:true "GET");
+    conn.Pquic.Connection.on_stream_data <-
+      (fun _ _ ~fin -> if fin then Pquic.Connection.close conn ~reason:"done");
+    ignore (Sim.run ~until:(Int64.add (Sim.now sim) (Sim.of_sec 30.)) sim)
+  in
+  run_one ();
+  run_one ();
+  check Alcotest.int "cache hits on the second connection" 1
+    client.Pquic.Endpoint.cache_hits;
+  check Alcotest.int "both connections reported" 2 (List.length !reports);
+  (* isolation: the second connection's counters restart from zero *)
+  match !reports with
+  | [ second; first ] ->
+    check Alcotest.bool "second report independent of first" true
+      (second.Plugins.Monitoring.pkts_received
+       <= first.Plugins.Monitoring.pkts_received)
+  | _ -> Alcotest.fail "missing reports"
+
+(* in-connection plugin exchange with the trust system *)
+let test_plugin_exchange_end_to_end () =
+  let repo = Trust.Repository.create () in
+  let pvs =
+    List.map
+      (fun id ->
+        let v = Trust.Validator.create ~id ~signing_key:("k" ^ id) () in
+        Trust.Repository.register_pv repo ~id ~key:("k" ^ id);
+        (id, v))
+      [ "PV1"; "PV2" ]
+  in
+  let system = Trust.Pvsystem.create ~repo ~validators:pvs () in
+  let plugin = Plugins.Datagram.plugin in
+  ignore (Trust.Pvsystem.publish_and_validate system ~developer:"dev" plugin);
+  Trust.Pvsystem.publish_epoch system;
+  let topo =
+    Topology.single_path ~seed:8L { Topology.d_ms = 10.; bw_mbps = 20.; loss = 0. }
+  in
+  let sim = topo.Topology.sim and net = topo.Topology.net in
+  let cfg = { Pquic.Connection.default_config with trust_formula = "PV1|PV2" } in
+  let server = Pquic.Endpoint.create ~cfg ~sim ~net ~addr:topo.Topology.server_addr ~seed:1L () in
+  let client =
+    Pquic.Endpoint.create ~cfg ~sim ~net ~addr:(List.hd topo.Topology.client_addrs) ~seed:2L ()
+  in
+  Pquic.Endpoint.add_plugin server plugin;
+  server.Pquic.Endpoint.prover <-
+    (fun ~name ~formula -> Trust.Pvsystem.prover system ~name ~formula);
+  client.Pquic.Endpoint.verifier <- Trust.Pvsystem.verifier system ~formula:"PV1|PV2";
+  server.Pquic.Endpoint.plugins_to_inject <- [ plugin.Pquic.Plugin.name ];
+  Pquic.Endpoint.listen server;
+  Pquic.Endpoint.listen client;
+  let conn = Pquic.Endpoint.connect client ~remote_addr:topo.Topology.server_addr in
+  conn.Pquic.Connection.on_established <-
+    (fun () -> Pquic.Connection.write_stream conn ~id:0 ~fin:true "GET");
+  server.Pquic.Endpoint.on_connection <-
+    (fun c ->
+      c.Pquic.Connection.on_stream_data <-
+        (fun id _ ~fin ->
+          if fin then Pquic.Connection.write_stream c ~id ~fin:true "resp"));
+  ignore (Sim.run ~until:(Sim.of_sec 30.) sim);
+  check Alcotest.bool "client cached the plugin" true
+    (Pquic.Endpoint.has_plugin client plugin.Pquic.Plugin.name);
+  check Alcotest.bool "not active on the fetching connection" false
+    (Pquic.Connection.has_plugin conn plugin.Pquic.Plugin.name)
+
+let test_plugin_exchange_survives_loss () =
+  (* the PLUGIN stream is reliable: the transfer completes over a lossy
+     link and the cached plugin is byte-identical *)
+  let repo = Trust.Repository.create () in
+  let v = Trust.Validator.create ~id:"PV1" ~signing_key:"k" () in
+  Trust.Repository.register_pv repo ~id:"PV1" ~key:"k";
+  let system = Trust.Pvsystem.create ~repo ~validators:[ ("PV1", v) ] () in
+  let plugin = Plugins.Fec.rlc_full in
+  ignore (Trust.Pvsystem.publish_and_validate system ~developer:"dev" plugin);
+  Trust.Pvsystem.publish_epoch system;
+  let topo =
+    Topology.single_path ~seed:77L
+      { Topology.d_ms = 30.; bw_mbps = 5.; loss = 0.06 }
+  in
+  let sim = topo.Topology.sim and net = topo.Topology.net in
+  let cfg = { Pquic.Connection.default_config with trust_formula = "PV1" } in
+  let server = Pquic.Endpoint.create ~cfg ~sim ~net ~addr:topo.Topology.server_addr ~seed:1L () in
+  let client =
+    Pquic.Endpoint.create ~cfg ~sim ~net ~addr:(List.hd topo.Topology.client_addrs) ~seed:2L ()
+  in
+  Pquic.Endpoint.add_plugin server plugin;
+  server.Pquic.Endpoint.prover <-
+    (fun ~name ~formula -> Trust.Pvsystem.prover system ~name ~formula);
+  client.Pquic.Endpoint.verifier <- Trust.Pvsystem.verifier system ~formula:"PV1";
+  server.Pquic.Endpoint.plugins_to_inject <- [ plugin.Pquic.Plugin.name ];
+  Pquic.Endpoint.listen server;
+  Pquic.Endpoint.listen client;
+  let conn = Pquic.Endpoint.connect client ~remote_addr:topo.Topology.server_addr in
+  conn.Pquic.Connection.on_established <-
+    (fun () -> Pquic.Connection.write_stream conn ~id:0 ~fin:true "GET");
+  server.Pquic.Endpoint.on_connection <-
+    (fun c ->
+      c.Pquic.Connection.on_stream_data <-
+        (fun id _ ~fin ->
+          if fin then Pquic.Connection.write_stream c ~id ~fin:true "resp"));
+  ignore (Sim.run ~until:(Sim.of_sec 120.) sim);
+  check Alcotest.bool "plugin cached through a lossy transfer" true
+    (Pquic.Endpoint.has_plugin client plugin.Pquic.Plugin.name)
+
+let fec_integrity_multi_seed =
+  (* end-to-end property: whatever the loss pattern, recovered packets
+     never corrupt the stream *)
+  qtest ~count:6 "FEC recovery preserves stream integrity across seeds"
+    QCheck2.Gen.(map Int64.of_int (int_range 1 100000))
+    (fun seed ->
+      let topo =
+        Topology.single_path ~seed
+          { Topology.d_ms = 60.; bw_mbps = 5.; loss = 0.05 }
+      in
+      let sim = topo.Topology.sim and net = topo.Topology.net in
+      let server = Pquic.Endpoint.create ~sim ~net ~addr:topo.Topology.server_addr ~seed:1L () in
+      let client =
+        Pquic.Endpoint.create ~sim ~net ~addr:(List.hd topo.Topology.client_addrs) ~seed:2L ()
+      in
+      Pquic.Endpoint.add_plugin server Plugins.Fec.rlc_full;
+      Pquic.Endpoint.add_plugin client Plugins.Fec.rlc_full;
+      Pquic.Endpoint.listen server;
+      Pquic.Endpoint.listen client;
+      let payload = String.init 150_000 (fun i -> Char.chr ((i * 7) mod 256)) in
+      server.Pquic.Endpoint.on_connection <-
+        (fun c ->
+          c.Pquic.Connection.on_stream_data <-
+            (fun id _ ~fin ->
+              if fin then Pquic.Connection.write_stream c ~id ~fin:true payload));
+      let conn =
+        Pquic.Endpoint.connect client ~remote_addr:topo.Topology.server_addr
+          ~plugins_to_inject:
+            [ (Plugins.Fec.rlc_full : Pquic.Plugin.t).Pquic.Plugin.name ]
+      in
+      let received = Buffer.create 150_000 in
+      let finished = ref false in
+      conn.Pquic.Connection.on_established <-
+        (fun () -> Pquic.Connection.write_stream conn ~id:0 ~fin:true "GET");
+      conn.Pquic.Connection.on_stream_data <-
+        (fun _ data ~fin ->
+          Buffer.add_string received data;
+          if fin then finished := true);
+      ignore (Sim.run ~until:(Sim.of_sec 300.) sim);
+      !finished && Buffer.contents received = payload)
+
+let test_plugin_exchange_refused_without_proof () =
+  (* the server cannot prove validity: the client must not cache *)
+  let topo =
+    Topology.single_path ~seed:8L { Topology.d_ms = 10.; bw_mbps = 20.; loss = 0. }
+  in
+  let sim = topo.Topology.sim and net = topo.Topology.net in
+  let server = Pquic.Endpoint.create ~sim ~net ~addr:topo.Topology.server_addr ~seed:1L () in
+  let client =
+    Pquic.Endpoint.create ~sim ~net ~addr:(List.hd topo.Topology.client_addrs) ~seed:2L ()
+  in
+  Pquic.Endpoint.add_plugin server Plugins.Datagram.plugin;
+  server.Pquic.Endpoint.plugins_to_inject <- [ Plugins.Datagram.name ];
+  (* default prover returns None; default verifier refuses *)
+  Pquic.Endpoint.listen server;
+  Pquic.Endpoint.listen client;
+  let conn = Pquic.Endpoint.connect client ~remote_addr:topo.Topology.server_addr in
+  conn.Pquic.Connection.on_established <-
+    (fun () -> Pquic.Connection.write_stream conn ~id:0 ~fin:true "GET");
+  ignore (Sim.run ~until:(Sim.of_sec 10.) sim);
+  check Alcotest.bool "unproven plugin not cached" false
+    (Pquic.Endpoint.has_plugin client Plugins.Datagram.name)
+
+let tests =
+  [
+    ("memory_pool", [
+      Alcotest.test_case "exhaustion" `Quick test_pool_exhaustion;
+      Alcotest.test_case "double free" `Quick test_pool_double_free;
+      Alcotest.test_case "reset wipes" `Quick test_pool_reset_wipes;
+      pool_no_overlap;
+      pool_free_reuse;
+    ]);
+    ("scheduler", [
+      Alcotest.test_case "fifo per plugin" `Quick test_scheduler_fifo_per_plugin;
+      Alcotest.test_case "core guarantee" `Quick test_scheduler_core_guarantee;
+      Alcotest.test_case "drr fairness" `Quick test_scheduler_drr_fairness;
+      Alcotest.test_case "oversize dropped" `Quick test_scheduler_oversize_dropped;
+    ]);
+    ("plugin_format", [
+      Alcotest.test_case "serialize roundtrip" `Quick plugin_serialize_roundtrip;
+      Alcotest.test_case "malformed rejected" `Quick test_plugin_malformed;
+    ]);
+    ("connection", [
+      Alcotest.test_case "clean transfer" `Quick test_transfer_clean;
+      Alcotest.test_case "lossy integrity" `Quick test_transfer_lossy_delivers_exact_bytes;
+      Alcotest.test_case "handshake params" `Quick test_handshake_sets_params;
+      lossy_seeds;
+    ]);
+    ("sanctions", [
+      Alcotest.test_case "memory violation" `Quick test_memory_violation_kills_connection;
+      Alcotest.test_case "runaway pluglet" `Quick test_runaway_plugin_stopped;
+      Alcotest.test_case "replace conflict" `Quick test_replace_conflict_rolls_back;
+      Alcotest.test_case "protoop loop" `Quick test_protoop_loop_detected;
+      Alcotest.test_case "read-only field" `Quick test_readonly_field_write_sanctioned;
+    ]);
+    ("cache_exchange", [
+      Alcotest.test_case "cache reuse + isolation" `Quick test_cache_reuse_and_isolation;
+      Alcotest.test_case "exchange end-to-end" `Quick test_plugin_exchange_end_to_end;
+      Alcotest.test_case "exchange under loss" `Quick test_plugin_exchange_survives_loss;
+      Alcotest.test_case "exchange refused" `Quick test_plugin_exchange_refused_without_proof;
+      fec_integrity_multi_seed;
+    ]);
+  ]
