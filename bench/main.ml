@@ -238,7 +238,7 @@ let gf256_mulvec_1300 () =
   for k = 0 to 1299 do
     Bytes.set_uint8 gf_a k
       (Bytes.get_uint8 gf_a k
-       lxor Pquic.Connection.Gf.mul 0x53 (Bytes.get_uint8 gf_b k))
+       lxor Gf.mul 0x53 (Bytes.get_uint8 gf_b k))
   done
 
 let plugin_bytes = Pquic.Plugin.serialize Plugins.Fec.rlc_full

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repo check: formatting (when an ocamlformat setup exists), full build,
+# full test suite. Exits non-zero on the first failure.
+set -e
+cd "$(dirname "$0")/.."
+
+if [ -f .ocamlformat ] && command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== skipping @fmt (no .ocamlformat or ocamlformat binary)"
+fi
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== OK"

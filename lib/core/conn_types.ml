@@ -1,0 +1,247 @@
+(* Shared record types of the connection engine.
+
+   Every layer of the engine — protoop dispatch ([Dispatch]), the PRE↔host
+   boundary ([Host_api]), loss recovery ([Recovery]), plugin lifecycle
+   ([Plugin_host]), packet assembly ([Sender]) and the orchestration core
+   ([Connection]) — operates on the same connection record [t]. This module
+   owns the type definitions, the tiny state accessors, and the forward
+   references the lower layers use to call back up into the orchestrator
+   without a dependency cycle. *)
+
+module F = Quic.Frame
+module TP = Quic.Transport_params
+module Sim = Netsim.Sim
+module Net = Netsim.Net
+
+let src = Logs.Src.create "pquic" ~doc:"PQUIC connection engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type Net.payload += Quic_packet of string
+
+let ip_udp_overhead = 28
+
+type role = Client | Server
+
+type state = Handshaking | Established | Closing | Closed | Failed of string
+
+type config = {
+  mtu : int;                (* max QUIC packet size (before IP/UDP) *)
+  initial_window : int;
+  ack_delay_ms : float;
+  trust_formula : string;   (* validation requirement sent with PLUGIN_VALIDATE *)
+  core_fraction : float;    (* share of the window guaranteed to core frames
+                               when plugins compete (Section 2.3) *)
+}
+
+let default_config =
+  { mtu = 1280; initial_window = Quic.Cc.default_initial_window;
+    ack_delay_ms = 25.; trust_formula = "PV1"; core_fraction = 0.5 }
+
+type path = {
+  path_id : int;
+  mutable local_addr : Net.addr;
+  mutable remote_addr : Net.addr;
+  cc : Quic.Cc.t;
+  rtt : Quic.Rtt.t;
+  mutable active : bool;
+}
+
+type frame_record = {
+  frame : F.t;
+  reservation : Scheduler.reservation option; (* set for plugin frames *)
+}
+
+type sent_packet = {
+  pn : int64;
+  sent_at : Sim.time;
+  size : int;
+  records : frame_record list;
+  path_id : int;
+  path_seq : int64; (* per-path send order, for reordering-safe loss detection *)
+  ack_eliciting : bool;
+}
+
+type stream = {
+  stream_id : int;
+  sendb : Quic.Sendbuf.t;
+  recvb : Quic.Recvbuf.t;
+  mutable max_stream_data_remote : int64;
+  mutable max_stream_data_local : int64;
+  mutable fin_delivered : bool;
+  mutable flow_sent : int; (* highest offset+len ever put on the wire *)
+}
+
+type stats = {
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mutable pkts_sent : int;
+  mutable pkts_received : int;
+  mutable pkts_lost : int;
+  mutable pkts_retransmitted : int;
+  mutable pkts_out_of_order : int;
+  mutable frames_recovered : int; (* packets resurrected by FEC *)
+}
+
+(* Protoop arguments: plain integers or byte buffers. Buffers are mapped as
+   VM regions for pluglet implementations; native implementations access
+   the bytes directly. *)
+type arg = I of int64 | Buf of Bytes.t * [ `Ro | `Rw ]
+
+type impl = Native of string * native | Pluglet of Pre.t
+and native = t -> arg array -> int64
+
+and op_entry = {
+  mutable replace : impl option;
+  mutable pre : impl list;
+  mutable post : impl list;
+  mutable ext : impl option;
+}
+
+and instance = {
+  plugin : Plugin.t;
+  pool : Memory_pool.t;
+  mutable pres : Pre.t list;
+  opaque : (int, int) Hashtbl.t; (* opaque-data id -> heap offset *)
+  mutable bound : t option;      (* connection the instance is bound to *)
+}
+
+and t = {
+  sim : Sim.t;
+  net : Net.t;
+  cfg : config;
+  role : role;
+  mutable state : state;
+  local_cid : int64;
+  mutable remote_cid : int64;
+  initial_key : int64;
+  mutable key : int64;
+  mutable paths : path array;
+  (* recovery *)
+  mutable next_pn : int64;
+  sent : (int64, sent_packet) Hashtbl.t;
+  mutable largest_acked : int64;
+  mutable largest_acked_per_path : int64 array; (* per-path largest path_seq acked *)
+  mutable next_path_seq : int64 array;
+  mutable largest_sent_at : Sim.time;
+  sent_times : (int64, Sim.time) Hashtbl.t; (* retained past c.sent removal *)
+  mutable pto_backoff : int;
+  mutable loss_alarm : Sim.event option;
+  mutable ack_alarm : Sim.event option;
+  mutable idle_alarm : Sim.event option;
+  mutable last_activity : Sim.time;
+  (* receiving *)
+  acks : Quic.Ackranges.t;
+  mutable ack_needed : bool;
+  mutable ae_since_ack : int;
+  mutable largest_recv : int64;
+  mutable largest_recv_at : Sim.time; (* for the ACK delay field *)
+  mutable last_spin_received : bool;
+  mutable spin : bool;
+  (* streams *)
+  streams : (int, stream) Hashtbl.t;
+  mutable stream_order : int list;
+  crypto_send : Quic.Sendbuf.t;
+  crypto_recv : Quic.Recvbuf.t;
+  crypto_acc : Buffer.t; (* contiguous crypto bytes read so far *)
+  mutable crypto_done : bool;
+  (* flow control *)
+  mutable max_data_local : int64;
+  mutable max_data_remote : int64;
+  mutable data_sent : int64;
+  mutable data_received : int64;
+  mutable max_data_frame_pending : bool;
+  (* transport parameters *)
+  mutable local_params : TP.t;
+  mutable peer_params : TP.t option;
+  (* control frames queued for the next packets *)
+  ctrl : F.t Queue.t;
+  (* plugin machinery: built-in (unparameterized, id < first_plugin_op)
+     operations dispatch through a dense array so the per-packet hot path
+     never hashes; parameterized and plugin-registered ids live in the
+     hashtable *)
+  builtin_ops : op_entry option array;
+  ops : (int * int option, op_entry) Hashtbl.t;
+  mutable op_stack : (int * int option) list;
+  plugins : (string, instance) Hashtbl.t;
+  mutable plugin_order : string list;
+  sched : Scheduler.t;
+  mutable plugin_turn : bool; (* alternate plugin-first packets *)
+  (* scratch for the packet currently processed or built *)
+  mutable cur_pn : int64;
+  mutable cur_path : int;
+  mutable cur_size : int;
+  mutable cur_payload : string;
+  mutable cur_has_stream : bool;
+  mutable cur_ecn_ce : bool;
+  mutable recover_depth : int;
+  (* plugin exchange *)
+  plugin_out : (string, Quic.Sendbuf.t) Hashtbl.t;
+  plugin_in : (string, Quic.Recvbuf.t) Hashtbl.t;
+  mutable plugin_proofs : (string * string) list; (* name -> received proof *)
+  mutable provide_plugin : string -> formula:string -> (string * string) option;
+  mutable verify_plugin : name:string -> bytes:string -> proof:string -> bool;
+  mutable on_plugin_received : Plugin.t -> unit;
+  mutable acquire_instance : string -> instance option;
+      (* endpoint-provided: a cached instance (Section 2.5) or a freshly
+         built one for a locally available plugin; None if unavailable *)
+  (* app interface *)
+  mutable on_stream_data : int -> string -> fin:bool -> unit;
+  mutable on_message : string -> unit;
+  mutable on_established : unit -> unit;
+  mutable on_closed : unit -> unit;
+  stats : stats;
+  created_at : Sim.time;
+  mutable established_at : Sim.time option;
+  mutable wake_pending : bool;
+  mutable negotiated : bool;
+  mutable close_reason : string;
+}
+
+let initial_key = 0x1_5151_5151L
+
+let i64 = Int64.of_int
+let to_i = Int64.to_int
+
+let state_code c =
+  match c.state with
+  | Handshaking -> 0L
+  | Established -> 1L
+  | Closing -> 2L
+  | Closed -> 3L
+  | Failed _ -> 4L
+
+let path c id = if id >= 0 && id < Array.length c.paths then Some c.paths.(id) else None
+
+let default_path c = c.paths.(0)
+
+let is_open c = match c.state with Handshaking | Established -> true | _ -> false
+
+let fail_connection c reason =
+  if c.state <> Closed then begin
+    Log.warn (fun m -> m "connection failed: %s" reason);
+    c.state <- Failed reason;
+    c.close_reason <- reason
+  end
+
+let make_stats () =
+  {
+    bytes_sent = 0;
+    bytes_received = 0;
+    pkts_sent = 0;
+    pkts_received = 0;
+    pkts_lost = 0;
+    pkts_retransmitted = 0;
+    pkts_out_of_order = 0;
+    frames_recovered = 0;
+  }
+
+(* Forward references into the orchestration layer: lower layers (helpers,
+   recovery) must wake the sender or hand back a recovered packet, but the
+   implementations live above them in the module graph. [Connection] and
+   [Sender] fill these in at load time. *)
+
+let wake_ref : (t -> unit) ref = ref (fun _ -> ())
+let wake c = !wake_ref c
+
+let process_recovered_ref : (t -> string -> unit) ref = ref (fun _ _ -> ())

@@ -1,0 +1,215 @@
+(** Shared record types of the layered connection engine.
+
+    All engine layers ([Dispatch], [Host_api], [Recovery], [Plugin_host],
+    [Sender], [Connection]) operate on the connection record {!t} defined
+    here. [Connection] re-exports everything in this interface, so external
+    code keeps addressing the engine through [Pquic.Connection]. *)
+
+module Log : Logs.LOG
+(** The shared "pquic" log source of the engine. *)
+
+type Netsim.Net.payload += Quic_packet of string
+
+val ip_udp_overhead : int
+
+type role = Client | Server
+
+type state = Handshaking | Established | Closing | Closed | Failed of string
+
+type config = {
+  mtu : int;                (** max QUIC packet size (before IP/UDP) *)
+  initial_window : int;
+  ack_delay_ms : float;
+  trust_formula : string;   (** validation requirement sent with PLUGIN_VALIDATE *)
+  core_fraction : float;    (** share of the window guaranteed to core frames
+                                when plugins compete (Section 2.3) *)
+}
+
+val default_config : config
+
+type path = {
+  path_id : int;
+  mutable local_addr : Netsim.Net.addr;
+  mutable remote_addr : Netsim.Net.addr;
+  cc : Quic.Cc.t;
+  rtt : Quic.Rtt.t;
+  mutable active : bool;
+}
+
+type frame_record = {
+  frame : Quic.Frame.t;
+  reservation : Scheduler.reservation option; (** set for plugin frames *)
+}
+
+type sent_packet = {
+  pn : int64;
+  sent_at : Netsim.Sim.time;
+  size : int;
+  records : frame_record list;
+  path_id : int;
+  path_seq : int64;
+      (** per-path send order, for reordering-safe loss detection *)
+  ack_eliciting : bool;
+}
+
+type stream = {
+  stream_id : int;
+  sendb : Quic.Sendbuf.t;
+  recvb : Quic.Recvbuf.t;
+  mutable max_stream_data_remote : int64;
+  mutable max_stream_data_local : int64;
+  mutable fin_delivered : bool;
+  mutable flow_sent : int; (** highest offset+len ever put on the wire *)
+}
+
+type stats = {
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mutable pkts_sent : int;
+  mutable pkts_received : int;
+  mutable pkts_lost : int;
+  mutable pkts_retransmitted : int;
+  mutable pkts_out_of_order : int;
+  mutable frames_recovered : int; (** packets resurrected by FEC *)
+}
+
+(** Protoop arguments: plain integers or byte buffers. Buffers are mapped
+    as VM regions for pluglet implementations; native implementations
+    access the bytes directly. *)
+type arg = I of int64 | Buf of Bytes.t * [ `Ro | `Rw ]
+
+type impl = Native of string * native | Pluglet of Pre.t
+and native = t -> arg array -> int64
+
+and op_entry = {
+  mutable replace : impl option;
+  mutable pre : impl list;
+  mutable post : impl list;
+  mutable ext : impl option;
+}
+
+and instance = {
+  plugin : Plugin.t;
+  pool : Memory_pool.t;
+  mutable pres : Pre.t list;
+  opaque : (int, int) Hashtbl.t; (** opaque-data id -> heap offset *)
+  mutable bound : t option;      (** connection the instance is bound to *)
+}
+
+and t = {
+  sim : Netsim.Sim.t;
+  net : Netsim.Net.t;
+  cfg : config;
+  role : role;
+  mutable state : state;
+  local_cid : int64;
+  mutable remote_cid : int64;
+  initial_key : int64;
+  mutable key : int64;
+  mutable paths : path array;
+  (* recovery *)
+  mutable next_pn : int64;
+  sent : (int64, sent_packet) Hashtbl.t;
+  mutable largest_acked : int64;
+  mutable largest_acked_per_path : int64 array;
+  mutable next_path_seq : int64 array;
+  mutable largest_sent_at : Netsim.Sim.time;
+  sent_times : (int64, Netsim.Sim.time) Hashtbl.t;
+  mutable pto_backoff : int;
+  mutable loss_alarm : Netsim.Sim.event option;
+  mutable ack_alarm : Netsim.Sim.event option;
+  mutable idle_alarm : Netsim.Sim.event option;
+  mutable last_activity : Netsim.Sim.time;
+  (* receiving *)
+  acks : Quic.Ackranges.t;
+  mutable ack_needed : bool;
+  mutable ae_since_ack : int;
+  mutable largest_recv : int64;
+  mutable largest_recv_at : Netsim.Sim.time;
+  mutable last_spin_received : bool;
+  mutable spin : bool;
+  (* streams *)
+  streams : (int, stream) Hashtbl.t;
+  mutable stream_order : int list;
+  crypto_send : Quic.Sendbuf.t;
+  crypto_recv : Quic.Recvbuf.t;
+  crypto_acc : Buffer.t;
+  mutable crypto_done : bool;
+  (* flow control *)
+  mutable max_data_local : int64;
+  mutable max_data_remote : int64;
+  mutable data_sent : int64;
+  mutable data_received : int64;
+  mutable max_data_frame_pending : bool;
+  (* transport parameters *)
+  mutable local_params : Quic.Transport_params.t;
+  mutable peer_params : Quic.Transport_params.t option;
+  (* control frames queued for the next packets *)
+  ctrl : Quic.Frame.t Queue.t;
+  (* plugin machinery: built-in (unparameterized, id < first_plugin_op)
+     operations dispatch through a dense array so the per-packet hot path
+     never hashes; parameterized and plugin-registered ids live in the
+     hashtable *)
+  builtin_ops : op_entry option array;
+  ops : (int * int option, op_entry) Hashtbl.t;
+  mutable op_stack : (int * int option) list;
+  plugins : (string, instance) Hashtbl.t;
+  mutable plugin_order : string list;
+  sched : Scheduler.t;
+  mutable plugin_turn : bool;
+  (* scratch for the packet currently processed or built *)
+  mutable cur_pn : int64;
+  mutable cur_path : int;
+  mutable cur_size : int;
+  mutable cur_payload : string;
+  mutable cur_has_stream : bool;
+  mutable cur_ecn_ce : bool;
+  mutable recover_depth : int;
+  (* plugin exchange *)
+  plugin_out : (string, Quic.Sendbuf.t) Hashtbl.t;
+  plugin_in : (string, Quic.Recvbuf.t) Hashtbl.t;
+  mutable plugin_proofs : (string * string) list;
+  mutable provide_plugin : string -> formula:string -> (string * string) option;
+  mutable verify_plugin : name:string -> bytes:string -> proof:string -> bool;
+  mutable on_plugin_received : Plugin.t -> unit;
+  mutable acquire_instance : string -> instance option;
+  (* app interface *)
+  mutable on_stream_data : int -> string -> fin:bool -> unit;
+  mutable on_message : string -> unit;
+  mutable on_established : unit -> unit;
+  mutable on_closed : unit -> unit;
+  stats : stats;
+  created_at : Netsim.Sim.time;
+  mutable established_at : Netsim.Sim.time option;
+  mutable wake_pending : bool;
+  mutable negotiated : bool;
+  mutable close_reason : string;
+}
+
+val initial_key : int64
+
+val i64 : int -> int64
+val to_i : int64 -> int
+
+val state_code : t -> int64
+val path : t -> int -> path option
+val default_path : t -> path
+val is_open : t -> bool
+
+val fail_connection : t -> string -> unit
+(** Mark the connection failed (unless already closed). *)
+
+val make_stats : unit -> stats
+
+(** {2 Forward references}
+
+    Filled in by the upper layers at load time; lower layers call through
+    them to avoid dependency cycles. *)
+
+val wake_ref : (t -> unit) ref
+val wake : t -> unit
+(** Schedule a send pass (implemented by [Sender]). *)
+
+val process_recovered_ref : (t -> string -> unit) ref
+(** Hand a FEC-recovered packet (pn || payload) back to the receive path
+    (implemented by [Connection]). *)

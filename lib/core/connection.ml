@@ -1,12 +1,17 @@
-(* The PQUIC connection engine.
+(* The PQUIC connection engine — orchestration core.
 
    A QUIC connection whose workflow is expressed as a succession of
    protocol operations ([Protoop]); each operation dispatches through a
    registry where protocol plugins may have replaced the default behaviour
-   or attached passive pre/post pluglets. The engine owns packets, paths,
-   streams, recovery and congestion control; everything observable is
-   reachable from bytecode through the [Api] helpers installed on each
-   pluglet's PRE.
+   or attached passive pre/post pluglets. The engine is layered:
+   [Conn_types] owns the shared records, [Dispatch] the protoop registry
+   and hot-path dispatch, [Host_api] the PRE↔host helper boundary,
+   [Recovery] RTT/ACK/loss handling, [Plugin_host] the plugin lifecycle
+   and exchange, [Sender] the packet assembly loop. This module wires the
+   layers together: construction, handshake, the receive path and the
+   application interface. It re-exports the shared types and the plugin
+   entry points, so external code addresses the whole engine as
+   [Pquic.Connection].
 
    Simplifications versus draft-14 are documented in DESIGN.md; the main
    one is a single packet-number space shared by all paths (per-path
@@ -18,733 +23,25 @@ module TP = Quic.Transport_params
 module Sim = Netsim.Sim
 module Net = Netsim.Net
 
-let src = Logs.Src.create "pquic" ~doc:"PQUIC connection engine"
+include Conn_types
 
-module Log = (val Logs.src_log src : Logs.LOG)
+(* Layered engine entry points re-exported on the connection facade. *)
+let run_op = Dispatch.run_op
+let register_native = Dispatch.register_native
+let call_external = Dispatch.call_external
 
-type Net.payload += Quic_packet of string
+exception Injection_failed = Plugin_host.Injection_failed
 
-let ip_udp_overhead = 28
-
-type role = Client | Server
-
-type state = Handshaking | Established | Closing | Closed | Failed of string
-
-type config = {
-  mtu : int;                (* max QUIC packet size (before IP/UDP) *)
-  initial_window : int;
-  ack_delay_ms : float;
-  trust_formula : string;   (* validation requirement sent with PLUGIN_VALIDATE *)
-  core_fraction : float;    (* share of the window guaranteed to core frames
-                               when plugins compete (Section 2.3) *)
-}
-
-let default_config =
-  { mtu = 1280; initial_window = Quic.Cc.default_initial_window;
-    ack_delay_ms = 25.; trust_formula = "PV1"; core_fraction = 0.5 }
-
-type path = {
-  path_id : int;
-  mutable local_addr : Net.addr;
-  mutable remote_addr : Net.addr;
-  cc : Quic.Cc.t;
-  rtt : Quic.Rtt.t;
-  mutable active : bool;
-}
-
-type frame_record = {
-  frame : F.t;
-  reservation : Scheduler.reservation option; (* set for plugin frames *)
-}
-
-type sent_packet = {
-  pn : int64;
-  sent_at : Sim.time;
-  size : int;
-  records : frame_record list;
-  path_id : int;
-  path_seq : int64; (* per-path send order, for reordering-safe loss detection *)
-  ack_eliciting : bool;
-}
-
-type stream = {
-  stream_id : int;
-  sendb : Quic.Sendbuf.t;
-  recvb : Quic.Recvbuf.t;
-  mutable max_stream_data_remote : int64;
-  mutable max_stream_data_local : int64;
-  mutable fin_delivered : bool;
-  mutable flow_sent : int; (* highest offset+len ever put on the wire *)
-}
-
-type stats = {
-  mutable bytes_sent : int;
-  mutable bytes_received : int;
-  mutable pkts_sent : int;
-  mutable pkts_received : int;
-  mutable pkts_lost : int;
-  mutable pkts_retransmitted : int;
-  mutable pkts_out_of_order : int;
-  mutable frames_recovered : int; (* packets resurrected by FEC *)
-}
-
-(* Protoop arguments: plain integers or byte buffers. Buffers are mapped as
-   VM regions for pluglet implementations; native implementations access
-   the bytes directly. *)
-type arg = I of int64 | Buf of Bytes.t * [ `Ro | `Rw ]
-
-type impl = Native of string * native | Pluglet of Pre.t
-and native = t -> arg array -> int64
-
-and op_entry = {
-  mutable replace : impl option;
-  mutable pre : impl list;
-  mutable post : impl list;
-  mutable ext : impl option;
-}
-
-and instance = {
-  plugin : Plugin.t;
-  pool : Memory_pool.t;
-  mutable pres : Pre.t list;
-  opaque : (int, int) Hashtbl.t; (* opaque-data id -> heap offset *)
-  mutable bound : t option;      (* connection the instance is bound to *)
-}
-
-and t = {
-  sim : Sim.t;
-  net : Net.t;
-  cfg : config;
-  role : role;
-  mutable state : state;
-  local_cid : int64;
-  mutable remote_cid : int64;
-  initial_key : int64;
-  mutable key : int64;
-  mutable paths : path array;
-  (* recovery *)
-  mutable next_pn : int64;
-  sent : (int64, sent_packet) Hashtbl.t;
-  mutable largest_acked : int64;
-  mutable largest_acked_per_path : int64 array; (* per-path largest path_seq acked *)
-  mutable next_path_seq : int64 array;
-  mutable largest_sent_at : Sim.time;
-  sent_times : (int64, Sim.time) Hashtbl.t; (* retained past c.sent removal *)
-  mutable pto_backoff : int;
-  mutable loss_alarm : Sim.event option;
-  mutable ack_alarm : Sim.event option;
-  mutable idle_alarm : Sim.event option;
-  mutable last_activity : Sim.time;
-  (* receiving *)
-  acks : Quic.Ackranges.t;
-  mutable ack_needed : bool;
-  mutable ae_since_ack : int;
-  mutable largest_recv : int64;
-  mutable largest_recv_at : Sim.time; (* for the ACK delay field *)
-  mutable last_spin_received : bool;
-  mutable spin : bool;
-  (* streams *)
-  streams : (int, stream) Hashtbl.t;
-  mutable stream_order : int list;
-  crypto_send : Quic.Sendbuf.t;
-  crypto_recv : Quic.Recvbuf.t;
-  crypto_acc : Buffer.t; (* contiguous crypto bytes read so far *)
-  mutable crypto_done : bool;
-  (* flow control *)
-  mutable max_data_local : int64;
-  mutable max_data_remote : int64;
-  mutable data_sent : int64;
-  mutable data_received : int64;
-  mutable max_data_frame_pending : bool;
-  (* transport parameters *)
-  mutable local_params : TP.t;
-  mutable peer_params : TP.t option;
-  (* control frames queued for the next packets *)
-  ctrl : F.t Queue.t;
-  (* plugin machinery *)
-  ops : (int * int option, op_entry) Hashtbl.t;
-  mutable op_stack : (int * int option) list;
-  plugins : (string, instance) Hashtbl.t;
-  mutable plugin_order : string list;
-  sched : Scheduler.t;
-  mutable plugin_turn : bool; (* alternate plugin-first packets *)
-  (* scratch for the packet currently processed or built *)
-  mutable cur_pn : int64;
-  mutable cur_path : int;
-  mutable cur_size : int;
-  mutable cur_payload : string;
-  mutable cur_has_stream : bool;
-  mutable cur_ecn_ce : bool;
-  mutable recover_depth : int;
-  (* plugin exchange *)
-  plugin_out : (string, Quic.Sendbuf.t) Hashtbl.t;
-  plugin_in : (string, Quic.Recvbuf.t) Hashtbl.t;
-  mutable plugin_proofs : (string * string) list; (* name -> received proof *)
-  mutable provide_plugin : string -> formula:string -> (string * string) option;
-  mutable verify_plugin : name:string -> bytes:string -> proof:string -> bool;
-  mutable on_plugin_received : Plugin.t -> unit;
-  mutable acquire_instance : string -> instance option;
-      (* endpoint-provided: a cached instance (Section 2.5) or a freshly
-         built one for a locally available plugin; None if unavailable *)
-  (* app interface *)
-  mutable on_stream_data : int -> string -> fin:bool -> unit;
-  mutable on_message : string -> unit;
-  mutable on_established : unit -> unit;
-  mutable on_closed : unit -> unit;
-  stats : stats;
-  created_at : Sim.time;
-  mutable established_at : Sim.time option;
-  mutable wake_pending : bool;
-  mutable negotiated : bool;
-  mutable close_reason : string;
-}
-
-
-
-let initial_key = 0x1_5151_5151L
-
-let state_code c =
-  match c.state with
-  | Handshaking -> 0L
-  | Established -> 1L
-  | Closing -> 2L
-  | Closed -> 3L
-  | Failed _ -> 4L
-
-let path c id = if id >= 0 && id < Array.length c.paths then Some c.paths.(id) else None
-
-let default_path c = c.paths.(0)
-
-let is_open c = match c.state with Handshaking | Established -> true | _ -> false
-
-(* ------------------------------------------------------------------ *)
-(* Protocol operation registry                                         *)
-(* ------------------------------------------------------------------ *)
-
-let entry c op param =
-  match Hashtbl.find_opt c.ops (op, param) with
-  | Some e -> e
-  | None ->
-    let e = { replace = None; pre = []; post = []; ext = None } in
-    Hashtbl.replace c.ops (op, param) e;
-    e
-
-let register_native c op name fn = (entry c op None).replace <- Some (Native (name, fn))
-
-let fail_connection c reason =
-  if c.state <> Closed then begin
-    Log.warn (fun m -> m "connection failed: %s" reason);
-    c.state <- Failed reason;
-    c.close_reason <- reason
-  end
-
-(* Remove a plugin's pluglets from the registry and scheduler. The paper's
-   sanction for a misbehaving pluglet is the removal of its plugin and the
-   termination of the connection. *)
-let remove_plugin c name =
-  (match Hashtbl.find_opt c.plugins name with
-  | None -> ()
-  | Some inst ->
-    inst.bound <- None;
-    Hashtbl.remove c.plugins name;
-    c.plugin_order <- List.filter (fun n -> n <> name) c.plugin_order;
-    Scheduler.drop_plugin c.sched name;
-    let belongs = function
-      | Pluglet pre -> pre.Pre.plugin_name = name
-      | Native _ -> false
-    in
-    Hashtbl.iter
-      (fun _ e ->
-        (match e.replace with Some i when belongs i -> e.replace <- None | _ -> ());
-        (match e.ext with Some i when belongs i -> e.ext <- None | _ -> ());
-        e.pre <- List.filter (fun i -> not (belongs i)) e.pre;
-        e.post <- List.filter (fun i -> not (belongs i)) e.post)
-      c.ops)
-
-let kill_plugin c name reason =
-  Log.warn (fun m -> m "killing plugin %s: %s" name reason);
-  remove_plugin c name;
-  fail_connection c (Printf.sprintf "plugin %s misbehaved: %s" name reason)
-
-(* Execute one pluglet implementation with the given arguments. Buffers are
-   mapped into the PRE for the duration of the call; pre/post pluglets get
-   read-only views (the paper grants passive pluglets no write access). *)
-let exec_pluglet c pre ~read_only (args : arg array) =
-  let regions, arg_specs =
-    Array.fold_left
-      (fun (regions, specs) a ->
-        match a with
-        | I v -> (regions, `I v :: specs)
-        | Buf (b, perm) ->
-          let perm = if read_only then `Ro else perm in
-          let name = Printf.sprintf "arg%d" (List.length regions) in
-          ((name, b, (match perm with `Ro -> Ebpf.Vm.Ro | `Rw -> Ebpf.Vm.Rw))
-           :: regions,
-            `R (List.length regions) :: specs))
-      ([], []) args
-  in
-  let regions = List.rev regions and arg_specs = List.rev arg_specs in
-  try
-    Pre.with_regions pre regions (fun bases ->
-        let bases = Array.of_list bases in
-        let vm_args =
-          List.map
-            (function `I v -> v | `R idx -> bases.(idx))
-            arg_specs
-        in
-        Pre.run pre ~args:(Array.of_list vm_args))
-  with
-  | Ebpf.Vm.Memory_violation msg ->
-    kill_plugin c pre.Pre.plugin_name ("memory violation: " ^ msg);
-    0L
-  | Ebpf.Vm.Fuel_exhausted ->
-    kill_plugin c pre.Pre.plugin_name "instruction budget exhausted";
-    0L
-  | Ebpf.Vm.Helper_failure msg ->
-    kill_plugin c pre.Pre.plugin_name ("API violation: " ^ msg);
-    0L
-
-let run_impl c impl ~read_only args =
-  match impl with
-  | Native (_, fn) -> fn c args
-  | Pluglet pre -> exec_pluglet c pre ~read_only args
-
-(* Run a protocol operation: pre anchors, then the replace anchor (pluglet
-   override or built-in behaviour), then post anchors. The call stack of
-   running operations is tracked; re-entering a running operation would
-   create a loop in the call graph (Fig. 3) and terminates the connection. *)
-let run_op c op ?param ?(default = fun _ _ -> 0L) (args : arg array) =
-  let key = (op, param) in
-  if List.mem key c.op_stack then begin
-    fail_connection c
-      (Printf.sprintf "protocol operation loop detected on %s" (Protoop.name op));
-    0L
-  end
-  else begin
-    c.op_stack <- key :: c.op_stack;
-    let e =
-      match Hashtbl.find_opt c.ops key with
-      | Some e -> e
-      | None -> (
-        (* parameterized op with no specific entry: fall back to the
-           unparameterized default entry *)
-        match param with
-        | Some _ -> (
-          match Hashtbl.find_opt c.ops (op, None) with
-          | Some e -> e
-          | None -> entry c op None)
-        | None -> entry c op None)
-    in
-    List.iter (fun i -> ignore (run_impl c i ~read_only:true args)) (List.rev e.pre);
-    let result =
-      match e.replace with
-      | Some i -> run_impl c i ~read_only:false args
-      | None -> default c args
-    in
-    List.iter (fun i -> ignore (run_impl c i ~read_only:true args)) (List.rev e.post);
-    c.op_stack <- List.tl c.op_stack;
-    result
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Field access (get/set API)                                          *)
-(* ------------------------------------------------------------------ *)
-
-let get_field c field index =
-  let open Api in
-  let pathf f = match path c index with Some p -> f p | None -> -1L in
-  if field = f_cwnd then pathf (fun p -> Int64.of_int (Quic.Cc.cwnd p.cc))
-  else if field = f_bytes_in_flight then
-    pathf (fun p -> Int64.of_int (Quic.Cc.bytes_in_flight p.cc))
-  else if field = f_srtt then pathf (fun p -> Quic.Rtt.smoothed p.rtt)
-  else if field = f_rtt_min then pathf (fun p -> Quic.Rtt.min_rtt p.rtt)
-  else if field = f_latest_rtt then pathf (fun p -> Quic.Rtt.latest p.rtt)
-  else if field = f_rtt_var then pathf (fun p -> Quic.Rtt.variance p.rtt)
-  else if field = f_path_active then pathf (fun p -> if p.active then 1L else 0L)
-  else if field = f_path_remote_addr then
-    pathf (fun p -> Int64.of_int p.remote_addr)
-  else if field = f_nb_paths then Int64.of_int (Array.length c.paths)
-  else if field = f_next_pn then c.next_pn
-  else if field = f_largest_acked then c.largest_acked
-  else if field = f_state then state_code c
-  else if field = f_role then match c.role with Client -> 0L | Server -> 1L
-  else if field = f_bytes_sent then Int64.of_int c.stats.bytes_sent
-  else if field = f_bytes_received then Int64.of_int c.stats.bytes_received
-  else if field = f_pkts_sent then Int64.of_int c.stats.pkts_sent
-  else if field = f_pkts_received then Int64.of_int c.stats.pkts_received
-  else if field = f_pkts_lost then Int64.of_int c.stats.pkts_lost
-  else if field = f_pkts_retransmitted then
-    Int64.of_int c.stats.pkts_retransmitted
-  else if field = f_pkts_out_of_order then
-    Int64.of_int c.stats.pkts_out_of_order
-  else if field = f_ack_needed then if c.ack_needed then 1L else 0L
-  else if field = f_spin_bit then if c.spin then 1L else 0L
-  else if field = f_max_data_local then c.max_data_local
-  else if field = f_max_data_remote then c.max_data_remote
-  else if field = f_data_sent then c.data_sent
-  else if field = f_data_received then c.data_received
-  else if field = f_mtu then Int64.of_int c.cfg.mtu
-  else if field = f_current_pn then c.cur_pn
-  else if field = f_current_path then Int64.of_int c.cur_path
-  else if field = f_current_packet_size then Int64.of_int c.cur_size
-  else if field = f_streams_open then Int64.of_int (Hashtbl.length c.streams)
-  else if field = f_streams_closed then
-    Int64.of_int
-      (Hashtbl.fold
-         (fun _ s acc -> if s.fin_delivered then acc + 1 else acc)
-         c.streams 0)
-  else if field = f_handshake_rtt then (
-    match c.established_at with
-    | Some at -> Int64.sub at c.created_at
-    | None -> -1L)
-  else if field = f_last_path_recv then Int64.of_int c.cur_path
-  else if field = f_fin_sent then
-    if
-      Hashtbl.fold
-        (fun _ s acc ->
-          acc
-          || (Quic.Sendbuf.has_new s.sendb = false
-              && Quic.Sendbuf.has_retransmissions s.sendb = false
-              && Quic.Sendbuf.total_written s.sendb > 0))
-        c.streams false
-    then 1L
-    else 0L
-  else if field = f_peer_extra_addr then (
-    match c.peer_params with
-    | Some { Quic.Transport_params.active_paths = a :: _; _ } -> Int64.of_int a
-    | _ -> -1L)
-  else if field = f_current_packet_has_stream then
-    if c.cur_has_stream then 1L else 0L
-  else if field = f_own_extra_addr then (
-    match c.local_params.TP.active_paths with
-    | a :: _ -> Int64.of_int a
-    | [] -> -1L)
-  else if field = f_ecn_ce then if c.cur_ecn_ce then 1L else 0L
-  else raise (Ebpf.Vm.Helper_failure (Printf.sprintf "get: unknown field %d" field))
-
-let set_field c field index value =
-  let open Api in
-  if not (List.mem field writable_fields) then
-    raise (Ebpf.Vm.Helper_failure (Printf.sprintf "set: field %d is read-only" field));
-  match path c index with
-  | None -> raise (Ebpf.Vm.Helper_failure "set: bad path index")
-  | Some p ->
-    if field = f_rtt_sample then Quic.Rtt.update p.rtt ~sample:value
-    else if field = f_spin_bit then c.spin <- value <> 0L
-    else if field = f_path_active then p.active <- value <> 0L
-    else if field = f_cwnd then Quic.Cc.set_cwnd p.cc (Int64.to_int value)
-
-(* ------------------------------------------------------------------ *)
-(* Forward declarations for the send machinery                         *)
-(* ------------------------------------------------------------------ *)
-
-let wake_ref : (t -> unit) ref = ref (fun _ -> ())
-let wake c = !wake_ref c
-
-let process_recovered_ref : (t -> string -> unit) ref = ref (fun _ _ -> ())
-
-(* ------------------------------------------------------------------ *)
-(* Helper (Table 1 API) installation                                   *)
-(* ------------------------------------------------------------------ *)
-
-let helper_fail fmt = Fmt.kstr (fun s -> raise (Ebpf.Vm.Helper_failure s)) fmt
-
-let i64 = Int64.of_int
-let to_i = Int64.to_int
-
-(* GF(256) arithmetic (AES polynomial 0x11b), shared with the FEC plugin. *)
-module Gf = struct
-  let mul a b =
-    let a = ref a and b = ref b and p = ref 0 in
-    for _ = 0 to 7 do
-      if !b land 1 <> 0 then p := !p lxor !a;
-      let hi = !a land 0x80 in
-      a := (!a lsl 1) land 0xff;
-      if hi <> 0 then a := !a lxor 0x1b;
-      b := !b lsr 1
-    done;
-    !p
-
-  let pow a n =
-    let rec go acc a n =
-      if n = 0 then acc
-      else go (if n land 1 = 1 then mul acc a else acc) (mul a a) (n lsr 1)
-    in
-    go 1 a n
-
-  let inv a = if a = 0 then 0 else pow a 254
-end
-
-(* Deterministic RLC coefficient in 1..255, identical on both peers. *)
-let rlc_coef ~seed ~sid ~row =
-  let h = ref 0xcbf29ce484222325L in
-  let mix v =
-    h := Int64.mul (Int64.logxor !h v) 0x100000001b3L
-  in
-  mix seed; mix sid; mix (Int64.of_int row);
-  let v = Int64.to_int (Int64.logand !h 0xffL) in
-  if v = 0 then 1 else v
-
-let install_helpers c inst (pre : Pre.t) =
-  let heap = Memory_pool.area inst.pool in
-  let heap_off vm_addr =
-    let off = Pre.heap_offset pre vm_addr in
-    if off < 0 || off > Bytes.length heap then
-      helper_fail "address 0x%Lx outside plugin memory" vm_addr;
-    off
-  in
-  let reg id f = Pre.register_helper pre id f in
-  reg Api.h_get (fun _ a -> get_field c (to_i a.(0)) (to_i a.(1)));
-  reg Api.h_set (fun _ a ->
-      set_field c (to_i a.(0)) (to_i a.(1)) a.(2);
-      0L);
-  reg Api.h_pl_malloc (fun _ a ->
-      match Memory_pool.alloc inst.pool (to_i a.(0)) with
-      | Some off -> Pre.heap_addr pre off
-      | None -> 0L);
-  reg Api.h_pl_free (fun _ a ->
-      if Memory_pool.free inst.pool (heap_off a.(0)) then 0L
-      else helper_fail "pl_free: invalid address 0x%Lx" a.(0));
-  reg Api.h_get_opaque_data (fun _ a ->
-      let id = to_i a.(0) and size = to_i a.(1) in
-      match Hashtbl.find_opt inst.opaque id with
-      | Some off -> Pre.heap_addr pre off
-      | None -> (
-        match Memory_pool.alloc inst.pool size with
-        | Some off ->
-          (* opaque areas start zeroed even when the pool recycles blocks *)
-          Bytes.fill (Memory_pool.area inst.pool) off size '\000';
-          Hashtbl.replace inst.opaque id off;
-          Pre.heap_addr pre off
-        | None -> 0L));
-  reg Api.h_pl_memcpy (fun vm a ->
-      let len = to_i a.(2) in
-      if len < 0 || len > 65536 then helper_fail "pl_memcpy: bad length %d" len;
-      let data = Ebpf.Vm.read_bytes vm a.(1) len in
-      let dst = a.(0) in
-      Ebpf.Vm.write_bytes vm dst data;
-      0L);
-  reg Api.h_pl_memset (fun vm a ->
-      let len = to_i a.(2) in
-      if len < 0 || len > 65536 then helper_fail "pl_memset: bad length %d" len;
-      Ebpf.Vm.fill_bytes vm a.(0) len (Char.chr (to_i a.(1) land 0xff));
-      0L);
-  reg Api.h_run_protoop (fun _ a ->
-      let op = to_i a.(0) in
-      let param = if a.(1) < 0L then None else Some (to_i a.(1)) in
-      run_op c op ?param [| I a.(2); I a.(3); I a.(4) |]);
-  reg Api.h_reserve_frames (fun _ a ->
-      let flags = to_i a.(2) in
-      Scheduler.reserve c.sched
-        {
-          Scheduler.ftype = to_i a.(0);
-          size = to_i a.(1);
-          retransmittable = flags land 1 <> 0;
-          ack_eliciting = flags land 2 = 0;
-          cookie = a.(3);
-          plugin = inst.plugin.Plugin.name;
-        };
-      wake c;
-      0L);
-  reg Api.h_get_time (fun _ _ -> Sim.now c.sim);
-  reg Api.h_push_message (fun vm a ->
-      let len = to_i a.(1) in
-      if len < 0 || len > 65536 then helper_fail "push_message: bad length %d" len;
-      let data = Ebpf.Vm.read_bytes vm a.(0) len in
-      c.on_message (Bytes.to_string data);
-      0L);
-  reg Api.h_pl_log (fun _ a ->
-      Log.debug (fun m ->
-          m "[plugin %s] %Ld %Ld" inst.plugin.Plugin.name a.(0) a.(1));
-      0L);
-  reg Api.h_sent_time (fun _ a ->
-      match Hashtbl.find_opt c.sent_times a.(0) with
-      | Some at -> at
-      | None -> -1L);
-  reg Api.h_cmp_bytes (fun vm a ->
-      let len = to_i a.(2) in
-      if len < 0 || len > 65536 then helper_fail "cmp_bytes: bad length %d" len;
-      let x = Ebpf.Vm.read_bytes vm a.(0) len in
-      let y = Ebpf.Vm.read_bytes vm a.(1) len in
-      if Bytes.equal x y then 0L else 1L);
-  reg Api.h_gf256_mulvec (fun vm a ->
-      (* dst ^= coef * src over len bytes *)
-      let len = to_i a.(3) in
-      if len < 0 || len > 65536 then helper_fail "gf256_mulvec: bad length %d" len;
-      let coef = to_i a.(2) land 0xff in
-      let dst = Ebpf.Vm.read_bytes vm a.(0) len in
-      let src = Ebpf.Vm.read_bytes vm a.(1) len in
-      for k = 0 to len - 1 do
-        Bytes.set_uint8 dst k
-          (Bytes.get_uint8 dst k lxor Gf.mul coef (Bytes.get_uint8 src k))
-      done;
-      Ebpf.Vm.write_bytes vm a.(0) dst;
-      0L);
-  reg Api.h_gf256_scalevec (fun vm a ->
-      let len = to_i a.(2) in
-      if len < 0 || len > 65536 then helper_fail "gf256_scalevec: bad length %d" len;
-      let coef = to_i a.(1) land 0xff in
-      let dst = Ebpf.Vm.read_bytes vm a.(0) len in
-      for k = 0 to len - 1 do
-        Bytes.set_uint8 dst k (Gf.mul coef (Bytes.get_uint8 dst k))
-      done;
-      Ebpf.Vm.write_bytes vm a.(0) dst;
-      0L);
-  reg Api.h_gf256_mul (fun _ a -> i64 (Gf.mul (to_i a.(0) land 0xff) (to_i a.(1) land 0xff)));
-  reg Api.h_gf256_inv (fun _ a -> i64 (Gf.inv (to_i a.(0) land 0xff)));
-  reg Api.h_rng_coef (fun _ a -> i64 (rlc_coef ~seed:a.(0) ~sid:a.(1) ~row:(to_i a.(2))));
-  reg Api.h_recover_packet (fun vm a ->
-      let len = to_i a.(1) in
-      if len < 4 || len > 65536 then helper_fail "recover_packet: bad length %d" len;
-      let data = Ebpf.Vm.read_bytes vm a.(0) len in
-      !process_recovered_ref c (Bytes.to_string data);
-      0L);
-  reg Api.h_packet_bytes (fun vm a ->
-      let max = to_i a.(1) in
-      let payload = c.cur_payload in
-      let pn_prefix = Bytes.create 4 in
-      Bytes.set_int32_be pn_prefix 0 (Int64.to_int32 c.cur_pn);
-      let total = 4 + String.length payload in
-      if total > max then 0L
-      else begin
-        Ebpf.Vm.write_bytes vm a.(0) pn_prefix;
-        Ebpf.Vm.write_bytes vm (Int64.add a.(0) 4L)
-          (Bytes.of_string payload);
-        i64 total
-      end);
-  reg Api.h_create_path (fun _ a ->
-      let remote = to_i a.(0) in
-      (* reuse an existing path to the same remote if present *)
-      let existing = ref (-1) in
-      Array.iter
-        (fun p -> if p.remote_addr = remote then existing := p.path_id)
-        c.paths;
-      if !existing >= 0 then i64 !existing
-      else begin
-        let local =
-          (* second client address if we own one, else our primary *)
-          let primary = (default_path c).local_addr in
-          match c.local_params.TP.active_paths with
-          | a :: _ when c.role = Client -> a
-          | _ -> primary
-        in
-        let p =
-          {
-            path_id = Array.length c.paths;
-            local_addr = local;
-            remote_addr = remote;
-            cc = Quic.Cc.create ~initial_window:c.cfg.initial_window ();
-            rtt = Quic.Rtt.create ();
-            active = true;
-          }
-        in
-        c.paths <- Array.append c.paths [| p |];
-        ignore (run_op c Protoop.create_new_path [| I (i64 p.path_id) |]);
-        i64 p.path_id
-      end)
-
-(* ------------------------------------------------------------------ *)
-(* Plugin injection                                                    *)
-(* ------------------------------------------------------------------ *)
-
-exception Injection_failed of string
-
-let plugin_heap_size = 256 * 1024
-
-(* Build a fresh instance (PREs verified and compiled) for [plugin]. *)
-let build_instance (plugin : Plugin.t) =
-  let pool = Memory_pool.create ~size:plugin_heap_size () in
-  let inst = { plugin; pool; pres = []; opaque = Hashtbl.create 8; bound = None } in
-  let pres =
-    List.map
-      (fun pluglet ->
-        Pre.create ~plugin_name:plugin.Plugin.name ~pluglet
-          ~heap:(Memory_pool.area pool))
-      plugin.Plugin.pluglets
-  in
-  inst.pres <- pres;
-  inst
-
-(* Attach a built instance to this connection. Rolls the whole plugin back
-   if a replace anchor is already taken (Section 2.2). *)
-let attach_instance c inst =
-  let name = inst.plugin.Plugin.name in
-  if Hashtbl.mem c.plugins name then raise (Injection_failed (name ^ " already injected"));
-  Memory_pool.reset inst.pool;
-  Hashtbl.reset inst.opaque;
-  inst.bound <- Some c;
-  List.iter (fun pre -> install_helpers c inst pre) inst.pres;
-  let attached = ref [] in
-  let rollback () =
-    List.iter
-      (fun (e, pre, anchor) ->
-        match (anchor : Protoop.anchor) with
-        | Protoop.Replace -> e.replace <- None
-        | Protoop.External -> e.ext <- None
-        | Protoop.Pre -> e.pre <- List.filter (fun i -> i != Pluglet pre) e.pre
-        | Protoop.Post -> e.post <- List.filter (fun i -> i != Pluglet pre) e.post)
-      !attached
-  in
-  (try
-     List.iter
-       (fun pre ->
-         let e = entry c pre.Pre.op pre.Pre.param in
-         (match pre.Pre.anchor with
-         | Protoop.Replace ->
-           (match e.replace with
-           | Some (Pluglet other) ->
-             raise
-               (Injection_failed
-                  (Printf.sprintf
-                     "replace anchor for %s already taken by plugin %s"
-                     (Protoop.name pre.Pre.op) other.Pre.plugin_name))
-           | _ -> e.replace <- Some (Pluglet pre))
-         | Protoop.External -> e.ext <- Some (Pluglet pre)
-         | Protoop.Pre -> e.pre <- Pluglet pre :: e.pre
-         | Protoop.Post -> e.post <- Pluglet pre :: e.post);
-         attached := (e, pre, pre.Pre.anchor) :: !attached)
-       inst.pres
-   with Injection_failed _ as e ->
-     rollback ();
-     inst.bound <- None;
-     raise e);
-  Hashtbl.replace c.plugins name inst;
-  c.plugin_order <- c.plugin_order @ [ name ];
-  ignore (run_op c Protoop.plugin_injected [||]);
-  inst
-
-let inject_plugin c plugin =
-  try
-    let inst = build_instance plugin in
-    ignore (attach_instance c inst);
-    Ok ()
-  with
-  | Injection_failed msg -> Error msg
-  | Pre.Rejected msg -> Error ("verifier rejected pluglet: " ^ msg)
-  | Plc.Compile.Error msg -> Error ("pluglet compilation failed: " ^ msg)
-
-(* Call a plugin-defined external operation (Section 2.4): only the
-   application may invoke these. *)
-let call_external c op (args : arg array) =
-  match Hashtbl.find_opt c.ops (op, None) with
-  | Some { ext = Some impl; _ } -> Some (run_impl c impl ~read_only:false args)
-  | _ -> None
+let build_instance = Plugin_host.build_instance
+let attach_instance = Plugin_host.attach_instance
+let inject_plugin = Plugin_host.inject_plugin
+let remove_plugin = Plugin_host.remove_plugin
+let kill_plugin = Plugin_host.kill_plugin
+let inject_local_plugins = Plugin_host.inject_local_plugins
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
-
-let make_stats () =
-  {
-    bytes_sent = 0;
-    bytes_received = 0;
-    pkts_sent = 0;
-    pkts_received = 0;
-    pkts_lost = 0;
-    pkts_retransmitted = 0;
-    pkts_out_of_order = 0;
-    frames_recovered = 0;
-  }
 
 let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
     ~local_params () =
@@ -803,7 +100,8 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
       local_params;
       peer_params = None;
       ctrl = Queue.create ();
-      ops = Hashtbl.create 128;
+      builtin_ops = Array.make Protoop.first_plugin_op None;
+      ops = Hashtbl.create 64;
       op_stack = [];
       plugins = Hashtbl.create 4;
       plugin_order = [];
@@ -839,347 +137,8 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
   c
 
 (* ------------------------------------------------------------------ *)
-(* Packet building blocks                                              *)
+(* Handshake                                                           *)
 (* ------------------------------------------------------------------ *)
-
-let header_overhead c =
-  ignore c;
-  (* short header + tag; long headers add 8, accounted when used *)
-  1 + 8 + 4 + Quic.Packet.tag_len
-
-let payload_capacity c ~long =
-  c.cfg.mtu - header_overhead c - (if long then 8 else 0)
-
-(* ACK frames carry at most this many ranges on the wire; the receiver
-   tracks more internally (losses leave permanent holes since
-   retransmissions take fresh packet numbers). Too small a cap starves the
-   sender of ack information during burst-loss episodes and produces
-   spurious retransmissions. *)
-let max_wire_ack_ranges = 64
-
-let ack_frame_of c =
-  match Quic.Ackranges.ranges c.acks with
-  | [] -> None
-  | all ->
-    let ranges = List.filteri (fun i _ -> i < max_wire_ack_ranges) all in
-    let largest = (List.hd ranges).Quic.Ackranges.last in
-    (* how long we sat on the largest packet before acknowledging it, so
-       the peer's RTT sample excludes our delayed-ack timer *)
-    let delay_us =
-      let default c _ =
-        Int64.div (Int64.sub (Sim.now c.sim) c.largest_recv_at) 1000L
-      in
-      run_op c Protoop.compute_ack_delay ~default [||]
-    in
-    Some
-      (F.Ack
-         {
-           largest;
-           delay_us = Int64.max 0L delay_us;
-           ranges =
-             List.map
-               (fun r -> (r.Quic.Ackranges.first, r.Quic.Ackranges.last))
-               ranges;
-         })
-
-let total_stream_written c =
-  Hashtbl.fold (fun _ s acc -> acc + Quic.Sendbuf.total_written s.sendb) c.streams 0
-
-let stream_has_pending c =
-  Hashtbl.fold (fun _ s acc -> acc || Quic.Sendbuf.has_pending s.sendb) c.streams false
-
-let plugin_chunks_pending c =
-  Hashtbl.fold (fun _ sb acc -> acc || Quic.Sendbuf.has_pending sb) c.plugin_out false
-
-let core_has_data c =
-  stream_has_pending c
-  || Quic.Sendbuf.has_pending c.crypto_send
-  || plugin_chunks_pending c
-  || (not (Queue.is_empty c.ctrl))
-  || c.max_data_frame_pending
-
-let something_to_send c =
-  c.ack_needed || core_has_data c || Scheduler.has_pending c.sched
-
-(* ------------------------------------------------------------------ *)
-(* Loss detection timers                                                *)
-(* ------------------------------------------------------------------ *)
-
-let oldest_in_flight c =
-  Hashtbl.fold
-    (fun _ sp acc ->
-      match acc with
-      | None -> Some sp
-      | Some best -> if sp.sent_at < best.sent_at then Some sp else Some best)
-    c.sent None
-
-let on_loss_alarm_ref : (t -> unit) ref = ref (fun _ -> ())
-
-let set_loss_alarm c =
-  let default c _ =
-    (match c.loss_alarm with Some ev -> Sim.cancel ev | None -> ());
-    c.loss_alarm <- None;
-    (match oldest_in_flight c with
-    | None -> ()
-    | Some sp ->
-      let p = c.paths.(min sp.path_id (Array.length c.paths - 1)) in
-      let pto = Quic.Rtt.pto p.rtt in
-      let base_timeout =
-        Int64.add
-          (Int64.mul pto (Int64.of_int (1 lsl min c.pto_backoff 6)))
-          (Sim.of_ms c.cfg.ack_delay_ms)
-      in
-      (* retransmission-policy plugins (e.g. Tail Loss Probe) replace this
-         operation to shorten or reshape the timer *)
-      let timeout =
-        let v =
-          run_op c Protoop.get_retransmission_delay
-            ~default:(fun _ args -> match args.(0) with I v -> v | _ -> 0L)
-            [| I base_timeout; I (i64 sp.path_id) |]
-        in
-        if v > 0L then v else base_timeout
-      in
-      let fire_at =
-        Int64.max
-          (Int64.add sp.sent_at timeout)
-          (Int64.add (Sim.now c.sim) 1_000_000L)
-      in
-      c.loss_alarm <-
-        Some
-          (Sim.schedule_at c.sim ~at:fire_at (fun () ->
-               c.loss_alarm <- None;
-               !on_loss_alarm_ref c)));
-    0L
-  in
-  ignore (run_op c Protoop.set_loss_timer ~default [||])
-
-(* ------------------------------------------------------------------ *)
-(* Frame acknowledgment / loss notifications                            *)
-(* ------------------------------------------------------------------ *)
-
-let notify_frame_fate c (fr : frame_record) ~acked =
-  let lost = not acked in
-  let run_plugin_notify ftype raw reservation =
-    let args =
-      [|
-        I (if acked then 1L else 0L);
-        I reservation.Scheduler.cookie;
-        Buf (Bytes.of_string raw, `Ro);
-      |]
-    in
-    ignore (run_op c Protoop.notify_frame ~param:ftype args)
-  in
-  match fr.frame with
-  | F.Stream { id; offset; fin; data } -> (
-    match Hashtbl.find_opt c.streams id with
-    | None -> ()
-    | Some s ->
-      let len = String.length data in
-      if acked then
-        Quic.Sendbuf.on_acked s.sendb ~offset:(Int64.to_int offset) ~len ~fin
-      else begin
-        Quic.Sendbuf.on_lost s.sendb ~offset:(Int64.to_int offset) ~len ~fin;
-        c.stats.pkts_retransmitted <- c.stats.pkts_retransmitted + 1
-      end)
-  | F.Crypto { offset; data } ->
-    let len = String.length data in
-    if acked then
-      Quic.Sendbuf.on_acked c.crypto_send ~offset:(Int64.to_int offset) ~len
-        ~fin:false
-    else
-      Quic.Sendbuf.on_lost c.crypto_send ~offset:(Int64.to_int offset) ~len
-        ~fin:false
-  | F.Plugin_chunk { plugin; offset; fin; data } -> (
-    match Hashtbl.find_opt c.plugin_out plugin with
-    | None -> ()
-    | Some sb ->
-      let len = String.length data in
-      if acked then Quic.Sendbuf.on_acked sb ~offset:(Int64.to_int offset) ~len ~fin
-      else Quic.Sendbuf.on_lost sb ~offset:(Int64.to_int offset) ~len ~fin)
-  | F.Max_data _ -> if lost then c.max_data_frame_pending <- true
-  | F.Plugin_validate _ | F.Plugin_proof _ | F.Handshake_done
-  | F.Path_response _ ->
-    if lost then Queue.push fr.frame c.ctrl
-  | F.Unknown { ftype; raw } -> (
-    match fr.reservation with
-    | Some r -> run_plugin_notify ftype raw r
-    | None -> ())
-  | _ -> ()
-
-let declare_lost c sp =
-  Hashtbl.remove c.sent sp.pn;
-  let p = c.paths.(min sp.path_id (Array.length c.paths - 1)) in
-  Quic.Cc.forget_in_flight p.cc ~size:sp.size;
-  let default c _ =
-    Quic.Cc.shrink_on_loss p.cc ~pn:sp.pn ~largest_sent:(Int64.sub c.next_pn 1L);
-    0L
-  in
-  ignore
-    (run_op c Protoop.cc_on_packet_lost ~default
-       [| I sp.pn; I (i64 sp.size); I (i64 sp.path_id) |]);
-  c.stats.pkts_lost <- c.stats.pkts_lost + 1;
-  c.cur_pn <- sp.pn;
-  ignore (run_op c Protoop.packet_lost [| I sp.pn; I (i64 sp.path_id) |]);
-  List.iter (fun fr -> notify_frame_fate c fr ~acked:false) sp.records;
-  ignore (run_op c Protoop.after_packet_lost [| I sp.pn |])
-
-let detect_losses c =
-  let default c _ =
-    let now = Sim.now c.sim in
-    let lost = ref [] in
-    Hashtbl.iter
-      (fun _pn sp ->
-        (* loss detection is per path, on per-path send order: with a shared
-           packet-number space, cross-path reordering must not be mistaken
-           for loss (kSkipped packets on the other path are not gaps) *)
-        let path_largest =
-          if sp.path_id < Array.length c.largest_acked_per_path then
-            c.largest_acked_per_path.(sp.path_id)
-          else -1L
-        in
-        if sp.path_seq < path_largest then begin
-          let p = c.paths.(min sp.path_id (Array.length c.paths - 1)) in
-          (* time threshold: 9/8 * (srtt + 4*rttvar) absorbs the queueing
-             variance that plain 9/8*srtt mistakes for loss under
-             bufferbloat *)
-          let window =
-            Int64.add (Quic.Rtt.smoothed p.rtt)
-              (Int64.mul 4L (Quic.Rtt.variance p.rtt))
-          in
-          let threshold =
-            Int64.sub now (Int64.div (Int64.mul window 9L) 8L)
-          in
-          if Int64.sub path_largest sp.path_seq >= 3L || sp.sent_at <= threshold
-          then lost := sp :: !lost
-        end)
-      c.sent;
-    List.iter (declare_lost c) !lost;
-    i64 (List.length !lost)
-  in
-  ignore (run_op c Protoop.detect_lost_packets ~default [||])
-
-let process_ack c (ack : F.ack) =
-  let now = Sim.now c.sim in
-  let newly = ref [] in
-  List.iter
-    (fun (first, last) ->
-      let pn = ref last in
-      while !pn >= first do
-        (match Hashtbl.find_opt c.sent !pn with
-        | Some sp -> newly := sp :: !newly
-        | None -> ());
-        pn := Int64.sub !pn 1L
-      done)
-    ack.F.ranges;
-  let newly = List.sort (fun a b -> compare a.pn b.pn) !newly in
-  if newly <> [] then begin
-    let largest_newly = List.nth newly (List.length newly - 1) in
-    if largest_newly.pn > c.largest_acked then c.largest_acked <- largest_newly.pn;
-    (* RTT sample from the largest newly acked, if ack-eliciting *)
-    if largest_newly.ack_eliciting && largest_newly.pn = ack.F.largest then begin
-      let sample =
-        Int64.sub (Int64.sub now largest_newly.sent_at)
-          (Int64.mul ack.F.delay_us 1000L)
-      in
-      let p = c.paths.(min largest_newly.path_id (Array.length c.paths - 1)) in
-      let default _ _ =
-        Quic.Rtt.update p.rtt ~sample;
-        0L
-      in
-      ignore
-        (run_op c Protoop.update_rtt ~default
-           [| I sample; I (i64 largest_newly.path_id) |])
-    end;
-    List.iter
-      (fun sp ->
-        Hashtbl.remove c.sent sp.pn;
-        if sp.path_id < Array.length c.largest_acked_per_path
-           && sp.path_seq > c.largest_acked_per_path.(sp.path_id)
-        then c.largest_acked_per_path.(sp.path_id) <- sp.path_seq;
-        let p = c.paths.(min sp.path_id (Array.length c.paths - 1)) in
-        Quic.Cc.forget_in_flight p.cc ~size:sp.size;
-        let default _ _ =
-          Quic.Cc.grow_on_ack p.cc ~pn:sp.pn ~size:sp.size;
-          0L
-        in
-        ignore
-          (run_op c Protoop.cc_on_packet_acked ~default
-             [| I sp.pn; I (i64 sp.size); I (i64 sp.path_id) |]);
-        List.iter (fun fr -> notify_frame_fate c fr ~acked:true) sp.records;
-        ignore (run_op c Protoop.packet_acknowledged [| I sp.pn |]))
-      newly;
-    c.pto_backoff <- 0;
-    detect_losses c;
-    set_loss_alarm c;
-    wake c
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Handshake and plugin negotiation                                     *)
-(* ------------------------------------------------------------------ *)
-
-let request_plugin_transfer c name =
-  Log.info (fun m -> m "requesting plugin %s from peer" name);
-  Queue.push
-    (F.Plugin_validate { plugin = name; formula = c.cfg.trust_formula })
-    c.ctrl
-
-let negotiate_plugins c =
-  (* requires both the handshake completion and the peer's transport
-     parameters; runs exactly once per connection *)
-  match c.peer_params with
-  | None -> ()
-  | Some _ when c.state <> Established || c.negotiated -> ()
-  | Some peer ->
-    c.negotiated <- true;
-    let wanted =
-      let mine = c.local_params.TP.plugins_to_inject in
-      let theirs = peer.TP.plugins_to_inject in
-      List.fold_left
-        (fun acc n -> if List.mem n acc then acc else acc @ [ n ])
-        [] (mine @ theirs)
-    in
-    List.iter
-      (fun name ->
-        (* a plugin is activated on the connection only when both peers
-           hold it (Section 3.4, outcome (a)); otherwise it is transferred
-           for use on subsequent connections (outcome (b)) *)
-        let peer_has = List.mem name peer.TP.supported_plugins in
-        if Hashtbl.mem c.plugins name then begin
-          if not peer_has then begin
-            Log.info (fun m ->
-                m "rolling back plugin %s: peer does not hold it" name);
-            remove_plugin c name
-          end
-        end
-        else if peer_has then
-          match c.acquire_instance name with
-          | Some inst -> (
-            match attach_instance c inst with
-            | _ -> Log.info (fun m -> m "injected local plugin %s" name)
-            | exception Injection_failed e ->
-              Log.warn (fun m -> m "failed to inject %s: %s" name e))
-          | None ->
-            (* not cached locally: ask the peer to provide it *)
-            request_plugin_transfer c name)
-      wanted;
-    ignore (run_op c Protoop.plugin_negotiated [||])
-
-(* Inject the locally available plugins this host wants on the connection
-   (its own plugins_to_inject): local plugins are active from the start so
-   e.g. the monitoring plugin records handshake PIs (Section 4.1). Peer
-   requests are handled at negotiation time. *)
-let inject_local_plugins c =
-  List.iter
-    (fun name ->
-      if not (Hashtbl.mem c.plugins name) then
-        match c.acquire_instance name with
-        | Some inst -> (
-          try ignore (attach_instance c inst)
-          with Injection_failed e ->
-            Log.warn (fun m -> m "failed to inject %s: %s" name e))
-        | None -> ())
-    c.local_params.TP.plugins_to_inject
 
 let establish c =
   if c.state = Handshaking then begin
@@ -1187,7 +146,7 @@ let establish c =
     c.established_at <- Some (Sim.now c.sim);
     ignore (run_op c Protoop.handshake_complete [||]);
     ignore (run_op c Protoop.connection_established [||]);
-    negotiate_plugins c;
+    Plugin_host.negotiate_plugins c;
     c.on_established ();
     wake c
   end
@@ -1220,121 +179,15 @@ let try_handshake_progress c =
             Quic.Sendbuf.write c.crypto_send blob;
             Queue.push F.Handshake_done c.ctrl;
             establish c
-          | Client -> negotiate_plugins c
+          | Client -> Plugin_host.negotiate_plugins c
         end
       end
     end
   end
 
 (* ------------------------------------------------------------------ *)
-(* Plugin exchange over the connection (Section 3.4)                    *)
-(* ------------------------------------------------------------------ *)
-
-let handle_plugin_validate c ~name ~formula =
-  match c.provide_plugin name ~formula with
-  | Some (compressed, proof) ->
-    Log.info (fun m ->
-        m "providing plugin %s (%d bytes compressed, %d bytes of proofs)" name
-          (String.length compressed) (String.length proof));
-    (* authentication paths are longer than an MTU, so the proof bundle
-       travels on the plugin stream ahead of the bytecode: a small
-       PLUGIN_PROOF frame announces it *)
-    Queue.push
-      (F.Plugin_proof { plugin = name; proof = "stream" })
-      c.ctrl;
-    let sb = Quic.Sendbuf.create () in
-    let framed = Buffer.create (String.length proof + String.length compressed + 4) in
-    Buffer.add_int32_be framed (Int32.of_int (String.length proof));
-    Buffer.add_string framed proof;
-    Buffer.add_string framed compressed;
-    Quic.Sendbuf.write sb (Buffer.contents framed);
-    Quic.Sendbuf.finish sb;
-    Hashtbl.replace c.plugin_out name sb;
-    wake c
-  | None ->
-    Queue.push (F.Plugin_proof { plugin = name; proof = "" }) c.ctrl;
-    wake c
-
-let plugin_in_buffers : (string, Buffer.t) Hashtbl.t = Hashtbl.create 8
-
-let buffer_key c name = Printf.sprintf "%Lx/%s" c.local_cid name
-
-let handle_plugin_chunk c ~name ~offset ~fin ~data =
-  let rb =
-    match Hashtbl.find_opt c.plugin_in name with
-    | Some rb -> rb
-    | None ->
-      let rb = Quic.Recvbuf.create () in
-      Hashtbl.replace c.plugin_in name rb;
-      rb
-  in
-  Quic.Recvbuf.insert rb ~offset:(Int64.to_int offset) ~fin data;
-  let acc =
-    match Hashtbl.find_opt plugin_in_buffers (buffer_key c name) with
-    | Some b -> b
-    | None ->
-      let b = Buffer.create 4096 in
-      Hashtbl.replace plugin_in_buffers (buffer_key c name) b;
-      b
-  in
-  Buffer.add_string acc (Quic.Recvbuf.read rb);
-  if Quic.Recvbuf.is_finished rb then begin
-    Hashtbl.remove plugin_in_buffers (buffer_key c name);
-    Hashtbl.remove c.plugin_in name;
-    let blob = Buffer.contents acc in
-    let proof, compressed =
-      if String.length blob >= 4 then begin
-        let plen = Int32.to_int (String.get_int32_be blob 0) in
-        if plen >= 0 && 4 + plen <= String.length blob then
-          ( String.sub blob 4 plen,
-            String.sub blob (4 + plen) (String.length blob - 4 - plen) )
-        else ("", blob)
-      end
-      else ("", blob)
-    in
-    match Compress.Lzss.decompress compressed with
-    | exception Compress.Lzss.Corrupt ->
-      Log.warn (fun m -> m "plugin %s: corrupt transfer" name)
-    | bytes -> (
-      match Plugin.deserialize bytes with
-      | exception Plugin.Malformed msg ->
-        Log.warn (fun m -> m "plugin %s: malformed (%s)" name msg)
-      | plugin ->
-        if plugin.Plugin.name <> name then
-          Log.warn (fun m -> m "plugin name mismatch in transfer")
-        else if c.verify_plugin ~name ~bytes ~proof then begin
-          Log.info (fun m ->
-              m "plugin %s verified and stored in the local cache" name);
-          (* Remote plugins are not activated on the current connection but
-             offered to subsequent ones (Section 3.4). *)
-          c.on_plugin_received plugin
-        end
-        else Log.warn (fun m -> m "plugin %s failed proof verification" name))
-  end
-
-(* ------------------------------------------------------------------ *)
 (* Frame processing                                                     *)
 (* ------------------------------------------------------------------ *)
-
-let get_stream c id =
-  match Hashtbl.find_opt c.streams id with
-  | Some s -> s
-  | None ->
-    let s =
-      {
-        stream_id = id;
-        sendb = Quic.Sendbuf.create ();
-        recvb = Quic.Recvbuf.create ();
-        max_stream_data_remote = c.local_params.TP.initial_max_stream_data;
-        max_stream_data_local = c.local_params.TP.initial_max_stream_data;
-        fin_delivered = false;
-        flow_sent = 0;
-      }
-    in
-    Hashtbl.replace c.streams id s;
-    c.stream_order <- c.stream_order @ [ id ];
-    ignore (run_op c Protoop.stream_opened [| I (i64 id) |]);
-    s
 
 let deliver_stream_data c s =
   let data = Quic.Recvbuf.read s.recvb in
@@ -1365,14 +218,14 @@ let maybe_update_max_data c =
 let process_core_frame c frame =
   match frame with
   | F.Padding _ | F.Ping -> ()
-  | F.Ack ack -> process_ack c ack
+  | F.Ack ack -> Recovery.process_ack c ack
   | F.Crypto { offset; data } ->
     Quic.Recvbuf.insert c.crypto_recv ~offset:(Int64.to_int offset) ~fin:false
       data;
     try_handshake_progress c
   | F.Stream { id; offset; fin; data } ->
     c.cur_has_stream <- true;
-    let s = get_stream c id in
+    let s = Sender.get_stream c id in
     let before = Quic.Recvbuf.contiguous s.recvb in
     Quic.Recvbuf.insert s.recvb ~offset:(Int64.to_int offset) ~fin data;
     let after = Quic.Recvbuf.contiguous s.recvb in
@@ -1381,7 +234,7 @@ let process_core_frame c frame =
     maybe_update_max_data c
   | F.Max_data v -> if v > c.max_data_remote then c.max_data_remote <- v
   | F.Max_stream_data { id; max } ->
-    let s = get_stream c id in
+    let s = Sender.get_stream c id in
     if max > s.max_stream_data_remote then s.max_stream_data_remote <- max
   | F.Connection_close { reason; _ } ->
     if c.state <> Closed then begin
@@ -1396,386 +249,12 @@ let process_core_frame c frame =
   | F.Path_challenge v -> Queue.push (F.Path_response v) c.ctrl
   | F.Path_response _ -> ignore (run_op c Protoop.validate_path [||])
   | F.Plugin_validate { plugin; formula } ->
-    handle_plugin_validate c ~name:plugin ~formula
+    Plugin_host.handle_plugin_validate c ~name:plugin ~formula
   | F.Plugin_proof { plugin; proof } ->
     c.plugin_proofs <- (plugin, proof) :: c.plugin_proofs
   | F.Plugin_chunk { plugin; offset; fin; data } ->
-    handle_plugin_chunk c ~name:plugin ~offset ~fin ~data
+    Plugin_host.handle_plugin_chunk c ~name:plugin ~offset ~fin ~data
   | F.Unknown _ -> assert false (* handled by the caller via protoops *)
-
-(* ------------------------------------------------------------------ *)
-(* Packet sending                                                       *)
-(* ------------------------------------------------------------------ *)
-
-let native_select_path c _ =
-  (* lowest-id active path with congestion window available, else path 0 *)
-  let n = Array.length c.paths in
-  let rec find k =
-    if k >= n then 0
-    else
-      let p = c.paths.(k) in
-      if p.active && Quic.Cc.available p.cc > header_overhead c then k
-      else find (k + 1)
-  in
-  i64 (find 0)
-
-let conn_flow_allowance c = Int64.to_int (Int64.sub c.max_data_remote c.data_sent)
-
-let native_schedule_next_stream c _ =
-  let allowed_new = conn_flow_allowance c > 0 in
-  let eligible id =
-    match Hashtbl.find_opt c.streams id with
-    | None -> false
-    | Some s ->
-      Quic.Sendbuf.has_retransmissions s.sendb
-      || (Quic.Sendbuf.has_new s.sendb && allowed_new)
-  in
-  let rec rotate tried order =
-    match order with
-    | [] -> -1
-    | id :: rest ->
-      if eligible id then begin
-        c.stream_order <- rest @ tried @ [ id ];
-        id
-      end
-      else rotate (tried @ [ id ]) rest
-  in
-  i64 (rotate [] c.stream_order)
-
-let native_set_spin_bit c _ =
-  (* client inverts the last received spin value, server echoes it — the
-     Spin Bit of [Trammell & Kuehlewind] that monitoring boxes observe *)
-  (match c.role with
-  | Client -> c.spin <- not c.last_spin_received
-  | Server -> c.spin <- c.last_spin_received);
-  0L
-
-(* Stream frame wire overhead estimate: type + id + offset + length. *)
-let stream_frame_overhead = 14
-
-let build_and_send_packet c =
-  let pid = to_i (run_op c Protoop.select_path ~default:native_select_path [||]) in
-  let p =
-    match path c pid with Some p when p.active -> p | _ -> default_path c
-  in
-  let long = c.state = Handshaking in
-  let capacity = payload_capacity c ~long in
-  let overhead = header_overhead c + if long then 8 else 0 in
-  let cc_room = Quic.Cc.available p.cc - overhead in
-  (* Avoid runt packets: when the congestion window has less than a full
-     packet of room and more data than that is waiting, hold ack-eliciting
-     data until acknowledgments free window space. *)
-  let pending_bytes =
-    Hashtbl.fold
-      (fun _ s acc -> acc + Quic.Sendbuf.pending_bytes s.sendb)
-      c.streams
-      (Quic.Sendbuf.pending_bytes c.crypto_send)
-  in
-  let ae_room =
-    if cc_room >= capacity || pending_bytes <= max 0 cc_room then
-      min capacity (max 0 cc_room)
-    else 0
-  in
-  let room = ref capacity in
-  let room_ae = ref ae_room in
-  let frames = ref [] in
-  let records = ref [] in
-  let any_ae = ref false in
-  let add ?reservation frame =
-    let sz = F.wire_size frame in
-    frames := frame :: !frames;
-    records := { frame; reservation } :: !records;
-    room := !room - sz;
-    let ae =
-      match reservation with
-      | Some r -> r.Scheduler.ack_eliciting
-      | None -> F.is_ack_eliciting frame
-    in
-    if ae then begin
-      room_ae := !room_ae - sz;
-      any_ae := true
-    end
-  in
-  c.cur_has_stream <- false;
-  ignore (run_op c Protoop.before_sending_packet [||]);
-  (* acknowledgments ride along whenever owed *)
-  let ack_included = ref false in
-  if c.ack_needed then (
-    match ack_frame_of c with
-    | Some f when F.wire_size f <= !room ->
-      add f;
-      ack_included := true
-    | _ -> ());
-  (* control frames *)
-  let rec drain_ctrl () =
-    if not (Queue.is_empty c.ctrl) then begin
-      let f = Queue.peek c.ctrl in
-      let sz = F.wire_size f in
-      let fits =
-        if F.is_ack_eliciting f then sz <= !room_ae && sz <= !room
-        else sz <= !room
-      in
-      if fits then begin
-        ignore (Queue.pop c.ctrl);
-        add f;
-        drain_ctrl ()
-      end
-    end
-  in
-  drain_ctrl ();
-  (* handshake data *)
-  let rec drain_crypto () =
-    if !room_ae > 16 && Quic.Sendbuf.has_pending c.crypto_send then begin
-      match Quic.Sendbuf.next_chunk c.crypto_send ~max_len:(!room_ae - 12) with
-      | Some (off, data, _fin) ->
-        add (F.Crypto { offset = i64 off; data });
-        drain_crypto ()
-      | None -> ()
-    end
-  in
-  drain_crypto ();
-  if c.max_data_frame_pending && !room_ae > 12 then begin
-    add (F.Max_data c.max_data_local);
-    c.max_data_frame_pending <- false
-  end;
-  (* plugin bytecode transfer (PLUGIN frames) *)
-  let drain_plugin_chunks () =
-    Hashtbl.iter
-      (fun name sb ->
-        let continue = ref true in
-        while !continue && !room_ae > 64 && Quic.Sendbuf.has_pending sb do
-          match
-            Quic.Sendbuf.next_chunk sb
-              ~max_len:(!room_ae - 32 - String.length name)
-          with
-          | Some (off, data, fin) ->
-            add (F.Plugin_chunk { plugin = name; offset = i64 off; fin; data })
-          | None -> continue := false
-        done)
-      c.plugin_out
-  in
-  drain_plugin_chunks ();
-  (* plugin-reserved frames and stream data, interleaved so core frames
-     keep their guaranteed share while plugins cannot be starved either *)
-  let fill_plugins () =
-    let budget = min !room !room_ae in
-    if budget > 0 && Scheduler.has_pending c.sched then
-      let taken =
-        Scheduler.take c.sched ~max_frame:capacity ~budget ~core_has_data:false
-      in
-      List.iter
-        (fun (r : Scheduler.reservation) ->
-          let out = Bytes.make r.size '\000' in
-          let written =
-            to_i
-              (run_op c Protoop.write_frame ~param:r.ftype
-                 [| Buf (out, `Rw); I (i64 r.size); I r.cookie |])
-          in
-          Log.debug (fun m ->
-              m "write_frame 0x%x wrote %d of %d" r.Scheduler.ftype written
-                r.Scheduler.size);
-          if written > 0 && written <= r.size then
-            add ~reservation:r
-              (F.Unknown { ftype = r.ftype; raw = Bytes.sub_string out 0 written }))
-        taken
-  in
-  let fill_streams () =
-    let continue = ref true in
-    while !continue && !room_ae > stream_frame_overhead + 1 do
-      let sid =
-        to_i
-          (run_op c Protoop.schedule_next_stream ~default:native_schedule_next_stream
-             [||])
-      in
-      if sid < 0 then continue := false
-      else begin
-        let s = get_stream c sid in
-        let cap = !room_ae - stream_frame_overhead in
-        let cap =
-          to_i
-            (run_op c Protoop.stream_bytes_max
-               ~default:(fun _ args -> match args.(0) with I v -> v | _ -> 0L)
-               [| I (i64 cap) |])
-        in
-        let cap =
-          if Quic.Sendbuf.has_retransmissions s.sendb then cap
-          else min cap (conn_flow_allowance c)
-        in
-        if cap <= 0 then begin
-          if conn_flow_allowance c <= 0 then
-            ignore (run_op c Protoop.stream_data_blocked [| I (i64 sid) |]);
-          continue := false
-        end
-        else
-          match Quic.Sendbuf.next_chunk s.sendb ~max_len:cap with
-          | None -> continue := false
-          | Some (off, data, fin) ->
-            add (F.Stream { id = sid; offset = i64 off; fin; data });
-            c.cur_has_stream <- true;
-            let sent_end = off + String.length data in
-            if sent_end > s.flow_sent then begin
-              c.data_sent <-
-                Int64.add c.data_sent (i64 (sent_end - s.flow_sent));
-              s.flow_sent <- sent_end
-            end;
-            if String.length data = 0 && not fin then continue := false
-      end
-    done
-  in
-  let plugin_pending = Scheduler.has_pending c.sched in
-  let core_data = stream_has_pending c in
-  if plugin_pending && (c.plugin_turn || not core_data) then begin
-    fill_plugins ();
-    c.plugin_turn <- false
-  end;
-  fill_streams ();
-  if Scheduler.has_pending c.sched then begin
-    if core_data then c.plugin_turn <- true;
-    fill_plugins ()
-  end;
-  let frames = List.rev !frames in
-  if frames = [] then false
-  else begin
-    let payload =
-      let buf = Buffer.create capacity in
-      List.iter (F.serialize buf) frames;
-      Buffer.contents buf
-    in
-    let pn = c.next_pn in
-    c.next_pn <- Int64.add c.next_pn 1L;
-    ignore (run_op c Protoop.set_spin_bit ~default:native_set_spin_bit [||]);
-    ignore (run_op c Protoop.header_prepared [| I pn |]);
-    let header =
-      {
-        Quic.Packet.ptype = (if long then Quic.Packet.Initial else Quic.Packet.One_rtt);
-        spin = c.spin;
-        dcid = c.remote_cid;
-        scid = c.local_cid;
-        pn;
-      }
-    in
-    let key = if long then c.initial_key else c.key in
-    let wire = Quic.Packet.protect ~key { header; payload } in
-    let size = String.length wire in
-    c.cur_pn <- pn;
-    c.cur_path <- p.path_id;
-    c.cur_size <- size;
-    c.cur_payload <- payload;
-    c.stats.pkts_sent <- c.stats.pkts_sent + 1;
-    c.stats.bytes_sent <- c.stats.bytes_sent + size;
-    c.last_activity <- Sim.now c.sim;
-    c.largest_sent_at <- Sim.now c.sim;
-    let ack_eliciting = !any_ae in
-    if ack_eliciting then begin
-      Hashtbl.replace c.sent_times pn (Sim.now c.sim);
-      if Int64.rem pn 4096L = 0L then begin
-        (* bound the retained history *)
-        let horizon = Int64.sub pn 8192L in
-        Hashtbl.iter
-          (fun k _ -> if k < horizon then Hashtbl.remove c.sent_times k)
-          (Hashtbl.copy c.sent_times)
-      end;
-      let path_seq =
-        if p.path_id < Array.length c.next_path_seq then begin
-          let s = c.next_path_seq.(p.path_id) in
-          c.next_path_seq.(p.path_id) <- Int64.add s 1L;
-          s
-        end
-        else pn
-      in
-      Hashtbl.replace c.sent pn
-        {
-          pn;
-          sent_at = Sim.now c.sim;
-          size;
-          records = List.rev !records;
-          path_id = p.path_id;
-          path_seq;
-          ack_eliciting;
-        };
-      let default _ _ =
-        Quic.Cc.on_packet_sent p.cc ~size;
-        0L
-      in
-      ignore (run_op c Protoop.cc_on_packet_sent ~default [| I (i64 size) |]);
-      set_loss_alarm c
-    end;
-    if !ack_included then begin
-      c.ack_needed <- false;
-      c.ae_since_ack <- 0;
-      (match c.ack_alarm with Some ev -> Sim.cancel ev | None -> ());
-      c.ack_alarm <- None
-    end;
-    Net.send c.net
-      {
-        Net.src = p.local_addr;
-        dst = p.remote_addr;
-        size = size + ip_udp_overhead;
-        payload = Quic_packet wire;
-      };
-    ignore
-      (run_op c Protoop.packet_was_sent
-         [| I pn; I (i64 p.path_id); I (i64 size) |]);
-    true
-  end
-
-let send_pending c =
-  if is_open c then begin
-    let budget = ref 512 in
-    while !budget > 0 && is_open c && build_and_send_packet c do
-      decr budget
-    done
-  end
-
-let wake_impl c =
-  if (not c.wake_pending) && is_open c then begin
-    ignore (run_op c Protoop.set_next_wake_time [||]);
-    c.wake_pending <- true;
-    ignore
-      (Sim.schedule c.sim ~delay:0L (fun () ->
-           c.wake_pending <- false;
-           send_pending c))
-  end
-
-let () = wake_ref := wake_impl
-
-(* ------------------------------------------------------------------ *)
-(* Loss alarm behaviour                                                 *)
-(* ------------------------------------------------------------------ *)
-
-let on_loss_alarm c =
-  let default c _ =
-    if Hashtbl.length c.sent > 0 then begin
-      c.pto_backoff <- c.pto_backoff + 1;
-      if c.pto_backoff <= 1 then begin
-        (* tail-probe style: retransmit the oldest in-flight packet *)
-        ignore (run_op c Protoop.send_probe [||]);
-        match oldest_in_flight c with
-        | Some sp -> declare_lost c sp
-        | None -> ()
-      end
-      else begin
-        (* full retransmission timeout *)
-        ignore (run_op c Protoop.retransmission_timeout [||]);
-        let all = Hashtbl.fold (fun _ sp acc -> sp :: acc) c.sent [] in
-        List.iter (declare_lost c) all;
-        Array.iter
-          (fun p ->
-            let default _ _ =
-              Quic.Cc.on_retransmission_timeout p.cc;
-              0L
-            in
-            ignore (run_op c Protoop.cc_on_rto ~default [| I (i64 p.path_id) |]))
-          c.paths
-      end;
-      set_loss_alarm c;
-      wake c
-    end;
-    0L
-  in
-  ignore (run_op c Protoop.on_loss_timer ~default [||])
-
-let () = on_loss_alarm_ref := on_loss_alarm
 
 (* ------------------------------------------------------------------ *)
 (* Receiving                                                            *)
@@ -1795,7 +274,7 @@ let process_payload c ~pn payload =
       fail_connection c "malformed frame";
       pos := len
     | F.Unknown { ftype; raw }, _ ->
-      if not (Hashtbl.mem c.ops (Protoop.parse_frame, Some ftype)) then begin
+      if not (Dispatch.has_entry c Protoop.parse_frame (Some ftype)) then begin
         fail_connection c (Printf.sprintf "unknown frame type 0x%x" ftype);
         pos := len
       end
@@ -1905,7 +384,7 @@ let schedule_ack_alarm c =
       Some
         (Sim.schedule c.sim ~delay:(Sim.of_ms c.cfg.ack_delay_ms) (fun () ->
              c.ack_alarm <- None;
-             if c.ack_needed && is_open c then send_pending c))
+             if c.ack_needed && is_open c then Sender.send_pending c))
 
 let receive_datagram c (dg : Net.datagram) =
   if is_open c then begin
@@ -1978,7 +457,7 @@ let receive_datagram c (dg : Net.datagram) =
               in
               ignore (run_op c Protoop.update_ack_needed ~default [||])
             end;
-            if is_open c && something_to_send c then wake c
+            if is_open c && Sender.something_to_send c then wake c
           end
         end)
     | _ -> ()
@@ -1989,7 +468,7 @@ let receive_datagram c (dg : Net.datagram) =
 (* ------------------------------------------------------------------ *)
 
 let write_stream c ~id ?(fin = false) data =
-  let s = get_stream c id in
+  let s = Sender.get_stream c id in
   Quic.Sendbuf.write s.sendb data;
   if fin then Quic.Sendbuf.finish s.sendb;
   wake c

@@ -1,0 +1,79 @@
+(** The PQUIC connection engine facade.
+
+    A QUIC connection whose workflow is a succession of protocol
+    operations; protocol plugins may replace or observe each operation
+    (see {!Dispatch}). This module re-exports the shared engine types of
+    {!Conn_types} plus the plugin entry points, so a connection is
+    addressed as [Pquic.Connection] regardless of which layer implements
+    the behaviour. *)
+
+include module type of struct include Conn_types end
+
+(** {2 Construction and lifecycle} *)
+
+val create :
+  sim:Netsim.Sim.t ->
+  net:Netsim.Net.t ->
+  cfg:config ->
+  role:role ->
+  local_addr:Netsim.Net.addr ->
+  remote_addr:Netsim.Net.addr ->
+  local_cid:int64 ->
+  remote_cid:int64 ->
+  local_params:Quic.Transport_params.t ->
+  unit ->
+  t
+
+val start_client : t -> unit
+(** Kick off the client side of the handshake. *)
+
+val receive_datagram : t -> Netsim.Net.datagram -> unit
+(** Entry point for a datagram demultiplexed to this connection. *)
+
+val close : t -> reason:string -> unit
+(** Graceful close: CONNECTION_CLOSE now, fully closed after 3 PTO. *)
+
+val rebind : t -> new_local:Netsim.Net.addr -> unit
+(** Simulate a NAT rebinding: move the default path to [new_local]. *)
+
+(** {2 Streams} *)
+
+val write_stream : t -> id:int -> ?fin:bool -> string -> unit
+val stream_fully_acked : t -> id:int -> bool
+
+(** {2 Protocol operations} *)
+
+val run_op :
+  t -> Protoop.id -> ?param:int -> ?default:(t -> arg array -> int64) ->
+  arg array -> int64
+(** See {!Dispatch.run_op}. *)
+
+val register_native : t -> Protoop.id -> string -> native -> unit
+val call_external : t -> Protoop.id -> arg array -> int64 option
+
+(** {2 Plugins} *)
+
+exception Injection_failed of string
+
+val build_instance : Plugin.t -> instance
+val attach_instance : t -> instance -> instance
+val inject_plugin : t -> Plugin.t -> (unit, string) result
+val remove_plugin : t -> string -> unit
+val kill_plugin : t -> string -> string -> unit
+val inject_local_plugins : t -> unit
+val plugin_names : t -> string list
+val has_plugin : t -> string -> bool
+
+(** {2 Accessors} *)
+
+val local_cid : t -> int64
+val state : t -> state
+val stats : t -> stats
+val role : t -> role
+val now : t -> Netsim.Sim.time
+val peer_params : t -> Quic.Transport_params.t option
+
+(**/**)
+
+val process_recovered : t -> string -> unit
+(** FEC hook: re-process a recovered packet ([pn] (4 bytes) || payload). *)

@@ -1,0 +1,128 @@
+(* Protocol-operation dispatch (Section 2.2).
+
+   Every step of the connection workflow funnels through [run_op]: pre
+   anchors, then the replace anchor (pluglet override or built-in
+   behaviour), then post anchors. [run_op] sits on every packet's hot
+   path, so the built-in unparameterized operations resolve through a
+   dense array indexed by protoop id — no hashing, no allocation on the
+   lookup. Parameterized operations (frame types) and plugin-registered
+   ids go through the hashtable. *)
+
+open Conn_types
+
+(* Set by [Plugin_host] at load time; dispatch sanctions a misbehaving
+   pluglet but the removal machinery lives above it in the module graph. *)
+let kill_plugin_ref : (t -> string -> string -> unit) ref =
+  ref (fun c name reason ->
+      fail_connection c (Printf.sprintf "plugin %s misbehaved: %s" name reason))
+
+let is_builtin c op param =
+  param = None && op >= 0 && op < Array.length c.builtin_ops
+
+let find_entry c op param =
+  if is_builtin c op param then c.builtin_ops.(op)
+  else Hashtbl.find_opt c.ops (op, param)
+
+let entry c op param =
+  match find_entry c op param with
+  | Some e -> e
+  | None ->
+    let e = { replace = None; pre = []; post = []; ext = None } in
+    if is_builtin c op param then c.builtin_ops.(op) <- Some e
+    else Hashtbl.replace c.ops (op, param) e;
+    e
+
+let has_entry c op param = find_entry c op param <> None
+
+let iter_entries c f =
+  Array.iter (function Some e -> f e | None -> ()) c.builtin_ops;
+  Hashtbl.iter (fun _ e -> f e) c.ops
+
+let register_native c op name fn = (entry c op None).replace <- Some (Native (name, fn))
+
+(* Execute one pluglet implementation with the given arguments. Buffers are
+   mapped into the PRE for the duration of the call; pre/post pluglets get
+   read-only views (the paper grants passive pluglets no write access). *)
+let exec_pluglet c pre ~read_only (args : arg array) =
+  let regions, arg_specs =
+    Array.fold_left
+      (fun (regions, specs) a ->
+        match a with
+        | I v -> (regions, `I v :: specs)
+        | Buf (b, perm) ->
+          let perm = if read_only then `Ro else perm in
+          let name = Printf.sprintf "arg%d" (List.length regions) in
+          ((name, b, (match perm with `Ro -> Ebpf.Vm.Ro | `Rw -> Ebpf.Vm.Rw))
+           :: regions,
+            `R (List.length regions) :: specs))
+      ([], []) args
+  in
+  let regions = List.rev regions and arg_specs = List.rev arg_specs in
+  try
+    Pre.with_regions pre regions (fun bases ->
+        let bases = Array.of_list bases in
+        let vm_args =
+          List.map
+            (function `I v -> v | `R idx -> bases.(idx))
+            arg_specs
+        in
+        Pre.run pre ~args:(Array.of_list vm_args))
+  with
+  | Ebpf.Vm.Memory_violation msg ->
+    !kill_plugin_ref c pre.Pre.plugin_name ("memory violation: " ^ msg);
+    0L
+  | Ebpf.Vm.Fuel_exhausted ->
+    !kill_plugin_ref c pre.Pre.plugin_name "instruction budget exhausted";
+    0L
+  | Ebpf.Vm.Helper_failure msg ->
+    !kill_plugin_ref c pre.Pre.plugin_name ("API violation: " ^ msg);
+    0L
+
+let run_impl c impl ~read_only args =
+  match impl with
+  | Native (_, fn) -> fn c args
+  | Pluglet pre -> exec_pluglet c pre ~read_only args
+
+(* Run a protocol operation: pre anchors, then the replace anchor (pluglet
+   override or built-in behaviour), then post anchors. The call stack of
+   running operations is tracked; re-entering a running operation would
+   create a loop in the call graph (Fig. 3) and terminates the connection. *)
+let run_op c op ?param ?(default = fun _ _ -> 0L) (args : arg array) =
+  let key = (op, param) in
+  if List.mem key c.op_stack then begin
+    fail_connection c
+      (Printf.sprintf "protocol operation loop detected on %s" (Protoop.name op));
+    0L
+  end
+  else begin
+    c.op_stack <- key :: c.op_stack;
+    let e =
+      match find_entry c op param with
+      | Some e -> e
+      | None -> (
+        (* parameterized op with no specific entry: fall back to the
+           unparameterized default entry *)
+        match param with
+        | Some _ -> (
+          match find_entry c op None with
+          | Some e -> e
+          | None -> entry c op None)
+        | None -> entry c op None)
+    in
+    List.iter (fun i -> ignore (run_impl c i ~read_only:true args)) (List.rev e.pre);
+    let result =
+      match e.replace with
+      | Some i -> run_impl c i ~read_only:false args
+      | None -> default c args
+    in
+    List.iter (fun i -> ignore (run_impl c i ~read_only:true args)) (List.rev e.post);
+    c.op_stack <- List.tl c.op_stack;
+    result
+  end
+
+(* Call a plugin-defined external operation (Section 2.4): only the
+   application may invoke these. *)
+let call_external c op (args : arg array) =
+  match find_entry c op None with
+  | Some { ext = Some impl; _ } -> Some (run_impl c impl ~read_only:false args)
+  | _ -> None

@@ -1,0 +1,44 @@
+(** Protocol-operation dispatch (Section 2.2): the registry of anchor
+    points and the [run_op] engine every workflow step funnels through.
+
+    Built-in unparameterized operations resolve through a dense array
+    indexed by protoop id, so the per-packet hot path performs no hashtable
+    lookup; parameterized operations (frame types) and plugin-registered
+    ids use the hashtable. *)
+
+open Conn_types
+
+val entry : t -> Protoop.id -> int option -> op_entry
+(** Get (or create) the anchor entry for an operation. *)
+
+val find_entry : t -> Protoop.id -> int option -> op_entry option
+(** Like {!entry} but without creating a missing entry. *)
+
+val has_entry : t -> Protoop.id -> int option -> bool
+
+val iter_entries : t -> (op_entry -> unit) -> unit
+(** Iterate every registered entry (dense array and hashtable). *)
+
+val register_native : t -> Protoop.id -> string -> native -> unit
+(** Install a native implementation on the replace anchor. *)
+
+val exec_pluglet : t -> Pre.t -> read_only:bool -> arg array -> int64
+(** Execute one pluglet with the given arguments; buffers are mapped into
+    the PRE for the duration of the call ([read_only] for passive anchors).
+    A VM sanction (memory violation, fuel, API misuse) kills the plugin. *)
+
+val run_impl : t -> impl -> read_only:bool -> arg array -> int64
+
+val run_op :
+  t -> Protoop.id -> ?param:int -> ?default:(t -> arg array -> int64) ->
+  arg array -> int64
+(** Run a protocol operation: pre anchors, then the replace anchor (pluglet
+    override or [default]), then post anchors. Re-entering a running
+    operation is the Figure 3 loop and terminates the connection. *)
+
+val call_external : t -> Protoop.id -> arg array -> int64 option
+(** Call a plugin-defined external operation (Section 2.4); [None] when no
+    pluglet sits on the external anchor. *)
+
+val kill_plugin_ref : (t -> string -> string -> unit) ref
+(** Sanction hook, bound by [Plugin_host] at load time. *)

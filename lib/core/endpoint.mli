@@ -1,0 +1,58 @@
+(** A PQUIC endpoint: binds network addresses, demultiplexes incoming
+    packets to connections by destination CID, accepts new connections
+    (server role) and owns the node-local plugin machinery — the local
+    cache of available plugins and the cross-connection PRE cache of
+    Section 2.5. *)
+
+type t = {
+  sim : Netsim.Sim.t;
+  net : Netsim.Net.t;
+  cfg : Connection.config;
+  addr : Netsim.Net.addr;
+  mutable extra_addrs : Netsim.Net.addr list;
+  conns : (int64, Connection.t) Hashtbl.t;
+  available : (string, Plugin.t) Hashtbl.t;
+  pre_cache : (string, Connection.instance Queue.t) Hashtbl.t;
+  mutable outstanding : (Connection.t * Connection.instance) list;
+  rng : Netsim.Rng.t;
+  mutable prover : name:string -> formula:string -> string option;
+  mutable verifier : name:string -> bytes:string -> proof:string -> bool;
+  mutable on_connection : Connection.t -> unit;
+  mutable plugins_to_inject : string list;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+val create :
+  ?cfg:Connection.config ->
+  ?extra_addrs:Netsim.Net.addr list ->
+  sim:Netsim.Sim.t ->
+  net:Netsim.Net.t ->
+  addr:Netsim.Net.addr ->
+  seed:int64 ->
+  unit ->
+  t
+
+val add_plugin : t -> Plugin.t -> unit
+(** Make a plugin available in the node's local plugin cache. *)
+
+val has_plugin : t -> string -> bool
+val supported_plugins : t -> string list
+
+val acquire_instance : t -> string -> Connection.instance option
+(** Fetch an injectable instance: cached PREs when available (the
+    Section 2.5 fast path), otherwise a fresh build. *)
+
+val provide_plugin : t -> string -> formula:string -> (string * string) option
+(** Serve a plugin to a requesting peer: (compressed bytecode, proof). *)
+
+val handle_datagram : t -> Netsim.Net.datagram -> unit
+
+val listen : t -> unit
+(** Bind all our addresses so packets reach the demultiplexer. *)
+
+val connect :
+  ?plugins_to_inject:string list -> t -> remote_addr:Netsim.Net.addr ->
+  Connection.t
+
+val connection_count : t -> int

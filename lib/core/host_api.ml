@@ -1,0 +1,253 @@
+(* The PRE↔host boundary (Section 2.3): the get/set field accessors and the
+   Table 1 helper implementations installed on each pluglet's PRE when an
+   instance is attached. Getters and setters abstract the connection
+   internals from pluglets: bytecode never hard-codes structure offsets,
+   and the host monitors (and refuses) access to specific fields. *)
+
+module TP = Quic.Transport_params
+module Sim = Netsim.Sim
+open Conn_types
+
+let helper_fail fmt = Fmt.kstr (fun s -> raise (Ebpf.Vm.Helper_failure s)) fmt
+
+let get_field c field index =
+  let open Api in
+  let pathf f = match path c index with Some p -> f p | None -> -1L in
+  if field = f_cwnd then pathf (fun p -> Int64.of_int (Quic.Cc.cwnd p.cc))
+  else if field = f_bytes_in_flight then
+    pathf (fun p -> Int64.of_int (Quic.Cc.bytes_in_flight p.cc))
+  else if field = f_srtt then pathf (fun p -> Quic.Rtt.smoothed p.rtt)
+  else if field = f_rtt_min then pathf (fun p -> Quic.Rtt.min_rtt p.rtt)
+  else if field = f_latest_rtt then pathf (fun p -> Quic.Rtt.latest p.rtt)
+  else if field = f_rtt_var then pathf (fun p -> Quic.Rtt.variance p.rtt)
+  else if field = f_path_active then pathf (fun p -> if p.active then 1L else 0L)
+  else if field = f_path_remote_addr then
+    pathf (fun p -> Int64.of_int p.remote_addr)
+  else if field = f_nb_paths then Int64.of_int (Array.length c.paths)
+  else if field = f_next_pn then c.next_pn
+  else if field = f_largest_acked then c.largest_acked
+  else if field = f_state then state_code c
+  else if field = f_role then match c.role with Client -> 0L | Server -> 1L
+  else if field = f_bytes_sent then Int64.of_int c.stats.bytes_sent
+  else if field = f_bytes_received then Int64.of_int c.stats.bytes_received
+  else if field = f_pkts_sent then Int64.of_int c.stats.pkts_sent
+  else if field = f_pkts_received then Int64.of_int c.stats.pkts_received
+  else if field = f_pkts_lost then Int64.of_int c.stats.pkts_lost
+  else if field = f_pkts_retransmitted then
+    Int64.of_int c.stats.pkts_retransmitted
+  else if field = f_pkts_out_of_order then
+    Int64.of_int c.stats.pkts_out_of_order
+  else if field = f_ack_needed then if c.ack_needed then 1L else 0L
+  else if field = f_spin_bit then if c.spin then 1L else 0L
+  else if field = f_max_data_local then c.max_data_local
+  else if field = f_max_data_remote then c.max_data_remote
+  else if field = f_data_sent then c.data_sent
+  else if field = f_data_received then c.data_received
+  else if field = f_mtu then Int64.of_int c.cfg.mtu
+  else if field = f_current_pn then c.cur_pn
+  else if field = f_current_path then Int64.of_int c.cur_path
+  else if field = f_current_packet_size then Int64.of_int c.cur_size
+  else if field = f_streams_open then Int64.of_int (Hashtbl.length c.streams)
+  else if field = f_streams_closed then
+    Int64.of_int
+      (Hashtbl.fold
+         (fun _ s acc -> if s.fin_delivered then acc + 1 else acc)
+         c.streams 0)
+  else if field = f_handshake_rtt then (
+    match c.established_at with
+    | Some at -> Int64.sub at c.created_at
+    | None -> -1L)
+  else if field = f_last_path_recv then Int64.of_int c.cur_path
+  else if field = f_fin_sent then
+    if
+      Hashtbl.fold
+        (fun _ s acc ->
+          acc
+          || (Quic.Sendbuf.has_new s.sendb = false
+              && Quic.Sendbuf.has_retransmissions s.sendb = false
+              && Quic.Sendbuf.total_written s.sendb > 0))
+        c.streams false
+    then 1L
+    else 0L
+  else if field = f_peer_extra_addr then (
+    match c.peer_params with
+    | Some { Quic.Transport_params.active_paths = a :: _; _ } -> Int64.of_int a
+    | _ -> -1L)
+  else if field = f_current_packet_has_stream then
+    if c.cur_has_stream then 1L else 0L
+  else if field = f_own_extra_addr then (
+    match c.local_params.TP.active_paths with
+    | a :: _ -> Int64.of_int a
+    | [] -> -1L)
+  else if field = f_ecn_ce then if c.cur_ecn_ce then 1L else 0L
+  else raise (Ebpf.Vm.Helper_failure (Printf.sprintf "get: unknown field %d" field))
+
+let set_field c field index value =
+  let open Api in
+  if not (List.mem field writable_fields) then
+    raise (Ebpf.Vm.Helper_failure (Printf.sprintf "set: field %d is read-only" field));
+  match path c index with
+  | None -> raise (Ebpf.Vm.Helper_failure "set: bad path index")
+  | Some p ->
+    if field = f_rtt_sample then Quic.Rtt.update p.rtt ~sample:value
+    else if field = f_spin_bit then c.spin <- value <> 0L
+    else if field = f_path_active then p.active <- value <> 0L
+    else if field = f_cwnd then Quic.Cc.set_cwnd p.cc (Int64.to_int value)
+
+let install_helpers c inst (pre : Pre.t) =
+  let heap = Memory_pool.area inst.pool in
+  let heap_off vm_addr =
+    let off = Pre.heap_offset pre vm_addr in
+    if off < 0 || off > Bytes.length heap then
+      helper_fail "address 0x%Lx outside plugin memory" vm_addr;
+    off
+  in
+  let reg id f = Pre.register_helper pre id f in
+  reg Api.h_get (fun _ a -> get_field c (to_i a.(0)) (to_i a.(1)));
+  reg Api.h_set (fun _ a ->
+      set_field c (to_i a.(0)) (to_i a.(1)) a.(2);
+      0L);
+  reg Api.h_pl_malloc (fun _ a ->
+      match Memory_pool.alloc inst.pool (to_i a.(0)) with
+      | Some off -> Pre.heap_addr pre off
+      | None -> 0L);
+  reg Api.h_pl_free (fun _ a ->
+      if Memory_pool.free inst.pool (heap_off a.(0)) then 0L
+      else helper_fail "pl_free: invalid address 0x%Lx" a.(0));
+  reg Api.h_get_opaque_data (fun _ a ->
+      let id = to_i a.(0) and size = to_i a.(1) in
+      match Hashtbl.find_opt inst.opaque id with
+      | Some off -> Pre.heap_addr pre off
+      | None -> (
+        match Memory_pool.alloc inst.pool size with
+        | Some off ->
+          (* opaque areas start zeroed even when the pool recycles blocks *)
+          Bytes.fill (Memory_pool.area inst.pool) off size '\000';
+          Hashtbl.replace inst.opaque id off;
+          Pre.heap_addr pre off
+        | None -> 0L));
+  reg Api.h_pl_memcpy (fun vm a ->
+      let len = to_i a.(2) in
+      if len < 0 || len > 65536 then helper_fail "pl_memcpy: bad length %d" len;
+      let data = Ebpf.Vm.read_bytes vm a.(1) len in
+      let dst = a.(0) in
+      Ebpf.Vm.write_bytes vm dst data;
+      0L);
+  reg Api.h_pl_memset (fun vm a ->
+      let len = to_i a.(2) in
+      if len < 0 || len > 65536 then helper_fail "pl_memset: bad length %d" len;
+      Ebpf.Vm.fill_bytes vm a.(0) len (Char.chr (to_i a.(1) land 0xff));
+      0L);
+  reg Api.h_run_protoop (fun _ a ->
+      let op = to_i a.(0) in
+      let param = if a.(1) < 0L then None else Some (to_i a.(1)) in
+      Dispatch.run_op c op ?param [| I a.(2); I a.(3); I a.(4) |]);
+  reg Api.h_reserve_frames (fun _ a ->
+      let flags = to_i a.(2) in
+      Scheduler.reserve c.sched
+        {
+          Scheduler.ftype = to_i a.(0);
+          size = to_i a.(1);
+          retransmittable = flags land 1 <> 0;
+          ack_eliciting = flags land 2 = 0;
+          cookie = a.(3);
+          plugin = inst.plugin.Plugin.name;
+        };
+      wake c;
+      0L);
+  reg Api.h_get_time (fun _ _ -> Sim.now c.sim);
+  reg Api.h_push_message (fun vm a ->
+      let len = to_i a.(1) in
+      if len < 0 || len > 65536 then helper_fail "push_message: bad length %d" len;
+      let data = Ebpf.Vm.read_bytes vm a.(0) len in
+      c.on_message (Bytes.to_string data);
+      0L);
+  reg Api.h_pl_log (fun _ a ->
+      Log.debug (fun m ->
+          m "[plugin %s] %Ld %Ld" inst.plugin.Plugin.name a.(0) a.(1));
+      0L);
+  reg Api.h_sent_time (fun _ a ->
+      match Hashtbl.find_opt c.sent_times a.(0) with
+      | Some at -> at
+      | None -> -1L);
+  reg Api.h_cmp_bytes (fun vm a ->
+      let len = to_i a.(2) in
+      if len < 0 || len > 65536 then helper_fail "cmp_bytes: bad length %d" len;
+      let x = Ebpf.Vm.read_bytes vm a.(0) len in
+      let y = Ebpf.Vm.read_bytes vm a.(1) len in
+      if Bytes.equal x y then 0L else 1L);
+  reg Api.h_gf256_mulvec (fun vm a ->
+      (* dst ^= coef * src over len bytes *)
+      let len = to_i a.(3) in
+      if len < 0 || len > 65536 then helper_fail "gf256_mulvec: bad length %d" len;
+      let coef = to_i a.(2) land 0xff in
+      let dst = Ebpf.Vm.read_bytes vm a.(0) len in
+      let src = Ebpf.Vm.read_bytes vm a.(1) len in
+      for k = 0 to len - 1 do
+        Bytes.set_uint8 dst k
+          (Bytes.get_uint8 dst k lxor Gf.mul coef (Bytes.get_uint8 src k))
+      done;
+      Ebpf.Vm.write_bytes vm a.(0) dst;
+      0L);
+  reg Api.h_gf256_scalevec (fun vm a ->
+      let len = to_i a.(2) in
+      if len < 0 || len > 65536 then helper_fail "gf256_scalevec: bad length %d" len;
+      let coef = to_i a.(1) land 0xff in
+      let dst = Ebpf.Vm.read_bytes vm a.(0) len in
+      for k = 0 to len - 1 do
+        Bytes.set_uint8 dst k (Gf.mul coef (Bytes.get_uint8 dst k))
+      done;
+      Ebpf.Vm.write_bytes vm a.(0) dst;
+      0L);
+  reg Api.h_gf256_mul (fun _ a -> i64 (Gf.mul (to_i a.(0) land 0xff) (to_i a.(1) land 0xff)));
+  reg Api.h_gf256_inv (fun _ a -> i64 (Gf.inv (to_i a.(0) land 0xff)));
+  reg Api.h_rng_coef (fun _ a -> i64 (Gf.rlc_coef ~seed:a.(0) ~sid:a.(1) ~row:(to_i a.(2))));
+  reg Api.h_recover_packet (fun vm a ->
+      let len = to_i a.(1) in
+      if len < 4 || len > 65536 then helper_fail "recover_packet: bad length %d" len;
+      let data = Ebpf.Vm.read_bytes vm a.(0) len in
+      !process_recovered_ref c (Bytes.to_string data);
+      0L);
+  reg Api.h_packet_bytes (fun vm a ->
+      let max = to_i a.(1) in
+      let payload = c.cur_payload in
+      let pn_prefix = Bytes.create 4 in
+      Bytes.set_int32_be pn_prefix 0 (Int64.to_int32 c.cur_pn);
+      let total = 4 + String.length payload in
+      if total > max then 0L
+      else begin
+        Ebpf.Vm.write_bytes vm a.(0) pn_prefix;
+        Ebpf.Vm.write_bytes vm (Int64.add a.(0) 4L)
+          (Bytes.of_string payload);
+        i64 total
+      end);
+  reg Api.h_create_path (fun _ a ->
+      let remote = to_i a.(0) in
+      (* reuse an existing path to the same remote if present *)
+      let existing = ref (-1) in
+      Array.iter
+        (fun p -> if p.remote_addr = remote then existing := p.path_id)
+        c.paths;
+      if !existing >= 0 then i64 !existing
+      else begin
+        let local =
+          (* second client address if we own one, else our primary *)
+          let primary = (default_path c).local_addr in
+          match c.local_params.TP.active_paths with
+          | a :: _ when c.role = Client -> a
+          | _ -> primary
+        in
+        let p =
+          {
+            path_id = Array.length c.paths;
+            local_addr = local;
+            remote_addr = remote;
+            cc = Quic.Cc.create ~initial_window:c.cfg.initial_window ();
+            rtt = Quic.Rtt.create ();
+            active = true;
+          }
+        in
+        c.paths <- Array.append c.paths [| p |];
+        ignore (Dispatch.run_op c Protoop.create_new_path [| I (i64 p.path_id) |]);
+        i64 p.path_id
+      end)

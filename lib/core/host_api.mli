@@ -1,0 +1,20 @@
+(** The PRE↔host boundary (Section 2.3): get/set field accessors and the
+    Table 1 helper implementations installed on each pluglet's PRE. *)
+
+open Conn_types
+
+val helper_fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Ebpf.Vm.Helper_failure} with a formatted message. *)
+
+val get_field : t -> int -> int -> int64
+(** [get_field c field index] — read a connection field ({!Api} ids); path
+    fields take the path id as index.
+    @raise Ebpf.Vm.Helper_failure on an unknown field. *)
+
+val set_field : t -> int -> int -> int64 -> unit
+(** Write one of {!Api.writable_fields}; any other field is a policy
+    violation. @raise Ebpf.Vm.Helper_failure on a read-only field. *)
+
+val install_helpers : t -> instance -> Pre.t -> unit
+(** Install the full helper table on a PRE, closing over the connection and
+    the plugin instance (its memory pool and opaque-data table). *)

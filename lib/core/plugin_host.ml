@@ -1,0 +1,273 @@
+(* Plugin lifecycle on a connection: building instances (PREs verified and
+   compiled), attaching them to the protoop registry, sanctioning
+   misbehaving plugins, and the over-the-connection plugin exchange of
+   Section 3.4 (PLUGIN_VALIDATE / PLUGIN_PROOF / PLUGIN chunk transfer)
+   together with the both-sides plugin negotiation. *)
+
+module F = Quic.Frame
+module TP = Quic.Transport_params
+open Conn_types
+
+(* Remove a plugin's pluglets from the registry and scheduler. The paper's
+   sanction for a misbehaving pluglet is the removal of its plugin and the
+   termination of the connection. *)
+let remove_plugin c name =
+  (match Hashtbl.find_opt c.plugins name with
+  | None -> ()
+  | Some inst ->
+    inst.bound <- None;
+    Hashtbl.remove c.plugins name;
+    c.plugin_order <- List.filter (fun n -> n <> name) c.plugin_order;
+    Scheduler.drop_plugin c.sched name;
+    let belongs = function
+      | Pluglet pre -> pre.Pre.plugin_name = name
+      | Native _ -> false
+    in
+    Dispatch.iter_entries c
+      (fun e ->
+        (match e.replace with Some i when belongs i -> e.replace <- None | _ -> ());
+        (match e.ext with Some i when belongs i -> e.ext <- None | _ -> ());
+        e.pre <- List.filter (fun i -> not (belongs i)) e.pre;
+        e.post <- List.filter (fun i -> not (belongs i)) e.post))
+
+let kill_plugin c name reason =
+  Log.warn (fun m -> m "killing plugin %s: %s" name reason);
+  remove_plugin c name;
+  fail_connection c (Printf.sprintf "plugin %s misbehaved: %s" name reason)
+
+(* [Dispatch.exec_pluglet] sanctions through this hook: removal lives here,
+   above dispatch in the module graph. *)
+let () = Dispatch.kill_plugin_ref := kill_plugin
+
+(* ------------------------------------------------------------------ *)
+(* Plugin injection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Injection_failed of string
+
+let plugin_heap_size = 256 * 1024
+
+(* Build a fresh instance (PREs verified and compiled) for [plugin]. *)
+let build_instance (plugin : Plugin.t) =
+  let pool = Memory_pool.create ~size:plugin_heap_size () in
+  let inst = { plugin; pool; pres = []; opaque = Hashtbl.create 8; bound = None } in
+  let pres =
+    List.map
+      (fun pluglet ->
+        Pre.create ~plugin_name:plugin.Plugin.name ~pluglet
+          ~heap:(Memory_pool.area pool))
+      plugin.Plugin.pluglets
+  in
+  inst.pres <- pres;
+  inst
+
+(* Attach a built instance to this connection. Rolls the whole plugin back
+   if a replace anchor is already taken (Section 2.2). *)
+let attach_instance c inst =
+  let name = inst.plugin.Plugin.name in
+  if Hashtbl.mem c.plugins name then raise (Injection_failed (name ^ " already injected"));
+  Memory_pool.reset inst.pool;
+  Hashtbl.reset inst.opaque;
+  inst.bound <- Some c;
+  List.iter (fun pre -> Host_api.install_helpers c inst pre) inst.pres;
+  let attached = ref [] in
+  let rollback () =
+    List.iter
+      (fun (e, pre, anchor) ->
+        match (anchor : Protoop.anchor) with
+        | Protoop.Replace -> e.replace <- None
+        | Protoop.External -> e.ext <- None
+        | Protoop.Pre -> e.pre <- List.filter (fun i -> i != Pluglet pre) e.pre
+        | Protoop.Post -> e.post <- List.filter (fun i -> i != Pluglet pre) e.post)
+      !attached
+  in
+  (try
+     List.iter
+       (fun pre ->
+         let e = Dispatch.entry c pre.Pre.op pre.Pre.param in
+         (match pre.Pre.anchor with
+         | Protoop.Replace ->
+           (match e.replace with
+           | Some (Pluglet other) ->
+             raise
+               (Injection_failed
+                  (Printf.sprintf
+                     "replace anchor for %s already taken by plugin %s"
+                     (Protoop.name pre.Pre.op) other.Pre.plugin_name))
+           | _ -> e.replace <- Some (Pluglet pre))
+         | Protoop.External -> e.ext <- Some (Pluglet pre)
+         | Protoop.Pre -> e.pre <- Pluglet pre :: e.pre
+         | Protoop.Post -> e.post <- Pluglet pre :: e.post);
+         attached := (e, pre, pre.Pre.anchor) :: !attached)
+       inst.pres
+   with Injection_failed _ as e ->
+     rollback ();
+     inst.bound <- None;
+     raise e);
+  Hashtbl.replace c.plugins name inst;
+  c.plugin_order <- c.plugin_order @ [ name ];
+  ignore (Dispatch.run_op c Protoop.plugin_injected [||]);
+  inst
+
+let inject_plugin c plugin =
+  try
+    let inst = build_instance plugin in
+    ignore (attach_instance c inst);
+    Ok ()
+  with
+  | Injection_failed msg -> Error msg
+  | Pre.Rejected msg -> Error ("verifier rejected pluglet: " ^ msg)
+  | Plc.Compile.Error msg -> Error ("pluglet compilation failed: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Plugin negotiation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let request_plugin_transfer c name =
+  Log.info (fun m -> m "requesting plugin %s from peer" name);
+  Queue.push
+    (F.Plugin_validate { plugin = name; formula = c.cfg.trust_formula })
+    c.ctrl
+
+let negotiate_plugins c =
+  (* requires both the handshake completion and the peer's transport
+     parameters; runs exactly once per connection *)
+  match c.peer_params with
+  | None -> ()
+  | Some _ when c.state <> Established || c.negotiated -> ()
+  | Some peer ->
+    c.negotiated <- true;
+    let wanted =
+      let mine = c.local_params.TP.plugins_to_inject in
+      let theirs = peer.TP.plugins_to_inject in
+      List.fold_left
+        (fun acc n -> if List.mem n acc then acc else acc @ [ n ])
+        [] (mine @ theirs)
+    in
+    List.iter
+      (fun name ->
+        (* a plugin is activated on the connection only when both peers
+           hold it (Section 3.4, outcome (a)); otherwise it is transferred
+           for use on subsequent connections (outcome (b)) *)
+        let peer_has = List.mem name peer.TP.supported_plugins in
+        if Hashtbl.mem c.plugins name then begin
+          if not peer_has then begin
+            Log.info (fun m ->
+                m "rolling back plugin %s: peer does not hold it" name);
+            remove_plugin c name
+          end
+        end
+        else if peer_has then
+          match c.acquire_instance name with
+          | Some inst -> (
+            match attach_instance c inst with
+            | _ -> Log.info (fun m -> m "injected local plugin %s" name)
+            | exception Injection_failed e ->
+              Log.warn (fun m -> m "failed to inject %s: %s" name e))
+          | None ->
+            (* not cached locally: ask the peer to provide it *)
+            request_plugin_transfer c name)
+      wanted;
+    ignore (Dispatch.run_op c Protoop.plugin_negotiated [||])
+
+(* Inject the locally available plugins this host wants on the connection
+   (its own plugins_to_inject): local plugins are active from the start so
+   e.g. the monitoring plugin records handshake PIs (Section 4.1). Peer
+   requests are handled at negotiation time. *)
+let inject_local_plugins c =
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem c.plugins name) then
+        match c.acquire_instance name with
+        | Some inst -> (
+          try ignore (attach_instance c inst)
+          with Injection_failed e ->
+            Log.warn (fun m -> m "failed to inject %s: %s" name e))
+        | None -> ())
+    c.local_params.TP.plugins_to_inject
+
+(* ------------------------------------------------------------------ *)
+(* Plugin exchange over the connection (Section 3.4)                    *)
+(* ------------------------------------------------------------------ *)
+
+let handle_plugin_validate c ~name ~formula =
+  match c.provide_plugin name ~formula with
+  | Some (compressed, proof) ->
+    Log.info (fun m ->
+        m "providing plugin %s (%d bytes compressed, %d bytes of proofs)" name
+          (String.length compressed) (String.length proof));
+    (* authentication paths are longer than an MTU, so the proof bundle
+       travels on the plugin stream ahead of the bytecode: a small
+       PLUGIN_PROOF frame announces it *)
+    Queue.push
+      (F.Plugin_proof { plugin = name; proof = "stream" })
+      c.ctrl;
+    let sb = Quic.Sendbuf.create () in
+    let framed = Buffer.create (String.length proof + String.length compressed + 4) in
+    Buffer.add_int32_be framed (Int32.of_int (String.length proof));
+    Buffer.add_string framed proof;
+    Buffer.add_string framed compressed;
+    Quic.Sendbuf.write sb (Buffer.contents framed);
+    Quic.Sendbuf.finish sb;
+    Hashtbl.replace c.plugin_out name sb;
+    wake c
+  | None ->
+    Queue.push (F.Plugin_proof { plugin = name; proof = "" }) c.ctrl;
+    wake c
+
+let plugin_in_buffers : (string, Buffer.t) Hashtbl.t = Hashtbl.create 8
+
+let buffer_key c name = Printf.sprintf "%Lx/%s" c.local_cid name
+
+let handle_plugin_chunk c ~name ~offset ~fin ~data =
+  let rb =
+    match Hashtbl.find_opt c.plugin_in name with
+    | Some rb -> rb
+    | None ->
+      let rb = Quic.Recvbuf.create () in
+      Hashtbl.replace c.plugin_in name rb;
+      rb
+  in
+  Quic.Recvbuf.insert rb ~offset:(Int64.to_int offset) ~fin data;
+  let acc =
+    match Hashtbl.find_opt plugin_in_buffers (buffer_key c name) with
+    | Some b -> b
+    | None ->
+      let b = Buffer.create 4096 in
+      Hashtbl.replace plugin_in_buffers (buffer_key c name) b;
+      b
+  in
+  Buffer.add_string acc (Quic.Recvbuf.read rb);
+  if Quic.Recvbuf.is_finished rb then begin
+    Hashtbl.remove plugin_in_buffers (buffer_key c name);
+    Hashtbl.remove c.plugin_in name;
+    let blob = Buffer.contents acc in
+    let proof, compressed =
+      if String.length blob >= 4 then begin
+        let plen = Int32.to_int (String.get_int32_be blob 0) in
+        if plen >= 0 && 4 + plen <= String.length blob then
+          ( String.sub blob 4 plen,
+            String.sub blob (4 + plen) (String.length blob - 4 - plen) )
+        else ("", blob)
+      end
+      else ("", blob)
+    in
+    match Compress.Lzss.decompress compressed with
+    | exception Compress.Lzss.Corrupt ->
+      Log.warn (fun m -> m "plugin %s: corrupt transfer" name)
+    | bytes -> (
+      match Plugin.deserialize bytes with
+      | exception Plugin.Malformed msg ->
+        Log.warn (fun m -> m "plugin %s: malformed (%s)" name msg)
+      | plugin ->
+        if plugin.Plugin.name <> name then
+          Log.warn (fun m -> m "plugin name mismatch in transfer")
+        else if c.verify_plugin ~name ~bytes ~proof then begin
+          Log.info (fun m ->
+              m "plugin %s verified and stored in the local cache" name);
+          (* Remote plugins are not activated on the current connection but
+             offered to subsequent ones (Section 3.4). *)
+          c.on_plugin_received plugin
+        end
+        else Log.warn (fun m -> m "plugin %s failed proof verification" name))
+  end

@@ -1,0 +1,51 @@
+(** Plugin lifecycle on a connection: instance construction, attachment to
+    the protoop registry, sanctions, negotiation and the over-the-connection
+    plugin exchange of Section 3.4. *)
+
+open Conn_types
+
+exception Injection_failed of string
+
+val plugin_heap_size : int
+
+val build_instance : Plugin.t -> instance
+(** Build a fresh instance: every pluglet compiled (if needed) and
+    statically verified, its PRE created over the shared heap.
+    @raise Pre.Rejected when verification fails
+    @raise Plc.Compile.Error when source compilation fails *)
+
+val attach_instance : t -> instance -> instance
+(** Attach a built instance: wipe its heap, install the helper table on
+    every PRE, and bind the pluglets to their anchors. Rolls the whole
+    plugin back if a replace anchor is already taken.
+    @raise Injection_failed on anchor conflicts or double injection. *)
+
+val inject_plugin : t -> Plugin.t -> (unit, string) result
+(** [build_instance] + [attach_instance], with failures as [Error]. *)
+
+val remove_plugin : t -> string -> unit
+(** Remove a plugin's pluglets from the registry and scheduler. *)
+
+val kill_plugin : t -> string -> string -> unit
+(** Sanction a misbehaving plugin: remove it and fail the connection. *)
+
+val inject_local_plugins : t -> unit
+(** Inject the locally available plugins this host wants on the connection
+    (its own plugins_to_inject). *)
+
+val negotiate_plugins : t -> unit
+(** Once per connection, after handshake + peer transport parameters:
+    activate plugins both peers hold, roll back one-sided ones, request
+    transfer of the missing ones (Section 3.4). *)
+
+val request_plugin_transfer : t -> string -> unit
+
+val handle_plugin_validate : t -> name:string -> formula:string -> unit
+(** Peer asked for a plugin with a validation formula: serve the compressed
+    bytecode + proof bundle on the plugin stream, or answer with an empty
+    PLUGIN_PROOF. *)
+
+val handle_plugin_chunk :
+  t -> name:string -> offset:int64 -> fin:bool -> data:string -> unit
+(** Reassemble an incoming plugin transfer; on completion decompress,
+    deserialize, verify the proof and hand the plugin to the local cache. *)

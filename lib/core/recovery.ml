@@ -1,0 +1,257 @@
+(* Loss recovery: RTT estimation, ACK-range processing, loss detection and
+   the PTO/loss-timer machinery. Every decision point dispatches through a
+   protocol operation so retransmission-policy plugins (e.g. Tail Loss
+   Probe) can reshape the behaviour. *)
+
+module F = Quic.Frame
+module Sim = Netsim.Sim
+open Conn_types
+
+let run_op = Dispatch.run_op
+
+let oldest_in_flight c =
+  Hashtbl.fold
+    (fun _ sp acc ->
+      match acc with
+      | None -> Some sp
+      | Some best -> if sp.sent_at < best.sent_at then Some sp else Some best)
+    c.sent None
+
+let on_loss_alarm_ref : (t -> unit) ref = ref (fun _ -> ())
+
+let set_loss_alarm c =
+  let default c _ =
+    (match c.loss_alarm with Some ev -> Sim.cancel ev | None -> ());
+    c.loss_alarm <- None;
+    (match oldest_in_flight c with
+    | None -> ()
+    | Some sp ->
+      let p = c.paths.(min sp.path_id (Array.length c.paths - 1)) in
+      let pto = Quic.Rtt.pto p.rtt in
+      let base_timeout =
+        Int64.add
+          (Int64.mul pto (Int64.of_int (1 lsl min c.pto_backoff 6)))
+          (Sim.of_ms c.cfg.ack_delay_ms)
+      in
+      (* retransmission-policy plugins (e.g. Tail Loss Probe) replace this
+         operation to shorten or reshape the timer *)
+      let timeout =
+        let v =
+          run_op c Protoop.get_retransmission_delay
+            ~default:(fun _ args -> match args.(0) with I v -> v | _ -> 0L)
+            [| I base_timeout; I (i64 sp.path_id) |]
+        in
+        if v > 0L then v else base_timeout
+      in
+      let fire_at =
+        Int64.max
+          (Int64.add sp.sent_at timeout)
+          (Int64.add (Sim.now c.sim) 1_000_000L)
+      in
+      c.loss_alarm <-
+        Some
+          (Sim.schedule_at c.sim ~at:fire_at (fun () ->
+               c.loss_alarm <- None;
+               !on_loss_alarm_ref c)));
+    0L
+  in
+  ignore (run_op c Protoop.set_loss_timer ~default [||])
+
+(* ------------------------------------------------------------------ *)
+(* Frame acknowledgment / loss notifications                            *)
+(* ------------------------------------------------------------------ *)
+
+let notify_frame_fate c (fr : frame_record) ~acked =
+  let lost = not acked in
+  let run_plugin_notify ftype raw reservation =
+    let args =
+      [|
+        I (if acked then 1L else 0L);
+        I reservation.Scheduler.cookie;
+        Buf (Bytes.of_string raw, `Ro);
+      |]
+    in
+    ignore (run_op c Protoop.notify_frame ~param:ftype args)
+  in
+  match fr.frame with
+  | F.Stream { id; offset; fin; data } -> (
+    match Hashtbl.find_opt c.streams id with
+    | None -> ()
+    | Some s ->
+      let len = String.length data in
+      if acked then
+        Quic.Sendbuf.on_acked s.sendb ~offset:(Int64.to_int offset) ~len ~fin
+      else begin
+        Quic.Sendbuf.on_lost s.sendb ~offset:(Int64.to_int offset) ~len ~fin;
+        c.stats.pkts_retransmitted <- c.stats.pkts_retransmitted + 1
+      end)
+  | F.Crypto { offset; data } ->
+    let len = String.length data in
+    if acked then
+      Quic.Sendbuf.on_acked c.crypto_send ~offset:(Int64.to_int offset) ~len
+        ~fin:false
+    else
+      Quic.Sendbuf.on_lost c.crypto_send ~offset:(Int64.to_int offset) ~len
+        ~fin:false
+  | F.Plugin_chunk { plugin; offset; fin; data } -> (
+    match Hashtbl.find_opt c.plugin_out plugin with
+    | None -> ()
+    | Some sb ->
+      let len = String.length data in
+      if acked then Quic.Sendbuf.on_acked sb ~offset:(Int64.to_int offset) ~len ~fin
+      else Quic.Sendbuf.on_lost sb ~offset:(Int64.to_int offset) ~len ~fin)
+  | F.Max_data _ -> if lost then c.max_data_frame_pending <- true
+  | F.Plugin_validate _ | F.Plugin_proof _ | F.Handshake_done
+  | F.Path_response _ ->
+    if lost then Queue.push fr.frame c.ctrl
+  | F.Unknown { ftype; raw } -> (
+    match fr.reservation with
+    | Some r -> run_plugin_notify ftype raw r
+    | None -> ())
+  | _ -> ()
+
+let declare_lost c sp =
+  Hashtbl.remove c.sent sp.pn;
+  let p = c.paths.(min sp.path_id (Array.length c.paths - 1)) in
+  Quic.Cc.forget_in_flight p.cc ~size:sp.size;
+  let default c _ =
+    Quic.Cc.shrink_on_loss p.cc ~pn:sp.pn ~largest_sent:(Int64.sub c.next_pn 1L);
+    0L
+  in
+  ignore
+    (run_op c Protoop.cc_on_packet_lost ~default
+       [| I sp.pn; I (i64 sp.size); I (i64 sp.path_id) |]);
+  c.stats.pkts_lost <- c.stats.pkts_lost + 1;
+  c.cur_pn <- sp.pn;
+  ignore (run_op c Protoop.packet_lost [| I sp.pn; I (i64 sp.path_id) |]);
+  List.iter (fun fr -> notify_frame_fate c fr ~acked:false) sp.records;
+  ignore (run_op c Protoop.after_packet_lost [| I sp.pn |])
+
+let detect_losses c =
+  let default c _ =
+    let now = Sim.now c.sim in
+    let lost = ref [] in
+    Hashtbl.iter
+      (fun _pn sp ->
+        (* loss detection is per path, on per-path send order: with a shared
+           packet-number space, cross-path reordering must not be mistaken
+           for loss (kSkipped packets on the other path are not gaps) *)
+        let path_largest =
+          if sp.path_id < Array.length c.largest_acked_per_path then
+            c.largest_acked_per_path.(sp.path_id)
+          else -1L
+        in
+        if sp.path_seq < path_largest then begin
+          let p = c.paths.(min sp.path_id (Array.length c.paths - 1)) in
+          (* time threshold: 9/8 * (srtt + 4*rttvar) absorbs the queueing
+             variance that plain 9/8*srtt mistakes for loss under
+             bufferbloat *)
+          let window =
+            Int64.add (Quic.Rtt.smoothed p.rtt)
+              (Int64.mul 4L (Quic.Rtt.variance p.rtt))
+          in
+          let threshold =
+            Int64.sub now (Int64.div (Int64.mul window 9L) 8L)
+          in
+          if Int64.sub path_largest sp.path_seq >= 3L || sp.sent_at <= threshold
+          then lost := sp :: !lost
+        end)
+      c.sent;
+    List.iter (declare_lost c) !lost;
+    i64 (List.length !lost)
+  in
+  ignore (run_op c Protoop.detect_lost_packets ~default [||])
+
+let process_ack c (ack : F.ack) =
+  let now = Sim.now c.sim in
+  let newly = ref [] in
+  List.iter
+    (fun (first, last) ->
+      let pn = ref last in
+      while !pn >= first do
+        (match Hashtbl.find_opt c.sent !pn with
+        | Some sp -> newly := sp :: !newly
+        | None -> ());
+        pn := Int64.sub !pn 1L
+      done)
+    ack.F.ranges;
+  let newly = List.sort (fun a b -> compare a.pn b.pn) !newly in
+  if newly <> [] then begin
+    let largest_newly = List.nth newly (List.length newly - 1) in
+    if largest_newly.pn > c.largest_acked then c.largest_acked <- largest_newly.pn;
+    (* RTT sample from the largest newly acked, if ack-eliciting *)
+    if largest_newly.ack_eliciting && largest_newly.pn = ack.F.largest then begin
+      let sample =
+        Int64.sub (Int64.sub now largest_newly.sent_at)
+          (Int64.mul ack.F.delay_us 1000L)
+      in
+      let p = c.paths.(min largest_newly.path_id (Array.length c.paths - 1)) in
+      let default _ _ =
+        Quic.Rtt.update p.rtt ~sample;
+        0L
+      in
+      ignore
+        (run_op c Protoop.update_rtt ~default
+           [| I sample; I (i64 largest_newly.path_id) |])
+    end;
+    List.iter
+      (fun sp ->
+        Hashtbl.remove c.sent sp.pn;
+        if sp.path_id < Array.length c.largest_acked_per_path
+           && sp.path_seq > c.largest_acked_per_path.(sp.path_id)
+        then c.largest_acked_per_path.(sp.path_id) <- sp.path_seq;
+        let p = c.paths.(min sp.path_id (Array.length c.paths - 1)) in
+        Quic.Cc.forget_in_flight p.cc ~size:sp.size;
+        let default _ _ =
+          Quic.Cc.grow_on_ack p.cc ~pn:sp.pn ~size:sp.size;
+          0L
+        in
+        ignore
+          (run_op c Protoop.cc_on_packet_acked ~default
+             [| I sp.pn; I (i64 sp.size); I (i64 sp.path_id) |]);
+        List.iter (fun fr -> notify_frame_fate c fr ~acked:true) sp.records;
+        ignore (run_op c Protoop.packet_acknowledged [| I sp.pn |]))
+      newly;
+    c.pto_backoff <- 0;
+    detect_losses c;
+    set_loss_alarm c;
+    wake c
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Loss alarm behaviour                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let on_loss_alarm c =
+  let default c _ =
+    if Hashtbl.length c.sent > 0 then begin
+      c.pto_backoff <- c.pto_backoff + 1;
+      if c.pto_backoff <= 1 then begin
+        (* tail-probe style: retransmit the oldest in-flight packet *)
+        ignore (run_op c Protoop.send_probe [||]);
+        match oldest_in_flight c with
+        | Some sp -> declare_lost c sp
+        | None -> ()
+      end
+      else begin
+        (* full retransmission timeout *)
+        ignore (run_op c Protoop.retransmission_timeout [||]);
+        let all = Hashtbl.fold (fun _ sp acc -> sp :: acc) c.sent [] in
+        List.iter (declare_lost c) all;
+        Array.iter
+          (fun p ->
+            let default _ _ =
+              Quic.Cc.on_retransmission_timeout p.cc;
+              0L
+            in
+            ignore (run_op c Protoop.cc_on_rto ~default [| I (i64 p.path_id) |]))
+          c.paths
+      end;
+      set_loss_alarm c;
+      wake c
+    end;
+    0L
+  in
+  ignore (run_op c Protoop.on_loss_timer ~default [||])
+
+let () = on_loss_alarm_ref := on_loss_alarm

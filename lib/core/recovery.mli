@@ -1,0 +1,28 @@
+(** Loss recovery: RTT estimation, ACK-range processing, loss detection and
+    the PTO/loss-timer machinery. Every decision point dispatches through a
+    protocol operation so recovery plugins can reshape the behaviour. *)
+
+open Conn_types
+
+val process_ack : t -> Quic.Frame.ack -> unit
+(** Process a received ACK frame: credit newly acknowledged packets
+    (RTT sample, congestion control, per-frame notifications), then run
+    loss detection and re-arm the loss timer. *)
+
+val set_loss_alarm : t -> unit
+(** (Re-)arm the loss/PTO timer from the oldest in-flight packet; the
+    [set_loss_timer] and [get_retransmission_delay] protoops can override
+    the schedule. *)
+
+val declare_lost : t -> sent_packet -> unit
+(** Declare one in-flight packet lost: congestion response, stats, and the
+    per-frame loss notifications that queue retransmissions. *)
+
+val detect_losses : t -> unit
+(** Run the (replaceable) packet-threshold + time-threshold loss detector
+    over the in-flight table. *)
+
+val oldest_in_flight : t -> sent_packet option
+
+val on_loss_alarm : t -> unit
+(** The loss-timer expiry behaviour: probe first, full RTO on backoff. *)

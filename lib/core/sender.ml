@@ -1,0 +1,435 @@
+(* The send path: stream table, packet building blocks, and the packet
+   assembly loop that fills each packet from acknowledgments, control
+   frames, crypto data, plugin transfers, plugin-reserved frames and
+   stream data under the Section 2.3 scheduler guarantees. *)
+
+module F = Quic.Frame
+module Sim = Netsim.Sim
+module Net = Netsim.Net
+open Conn_types
+
+let run_op = Dispatch.run_op
+
+(* ------------------------------------------------------------------ *)
+(* Packet building blocks                                              *)
+(* ------------------------------------------------------------------ *)
+
+let header_overhead c =
+  ignore c;
+  (* short header + tag; long headers add 8, accounted when used *)
+  1 + 8 + 4 + Quic.Packet.tag_len
+
+let payload_capacity c ~long =
+  c.cfg.mtu - header_overhead c - (if long then 8 else 0)
+
+(* ACK frames carry at most this many ranges on the wire; the receiver
+   tracks more internally (losses leave permanent holes since
+   retransmissions take fresh packet numbers). Too small a cap starves the
+   sender of ack information during burst-loss episodes and produces
+   spurious retransmissions. *)
+let max_wire_ack_ranges = 64
+
+let ack_frame_of c =
+  match Quic.Ackranges.ranges c.acks with
+  | [] -> None
+  | all ->
+    let ranges = List.filteri (fun i _ -> i < max_wire_ack_ranges) all in
+    let largest = (List.hd ranges).Quic.Ackranges.last in
+    (* how long we sat on the largest packet before acknowledging it, so
+       the peer's RTT sample excludes our delayed-ack timer *)
+    let delay_us =
+      let default c _ =
+        Int64.div (Int64.sub (Sim.now c.sim) c.largest_recv_at) 1000L
+      in
+      run_op c Protoop.compute_ack_delay ~default [||]
+    in
+    Some
+      (F.Ack
+         {
+           largest;
+           delay_us = Int64.max 0L delay_us;
+           ranges =
+             List.map
+               (fun r -> (r.Quic.Ackranges.first, r.Quic.Ackranges.last))
+               ranges;
+         })
+
+let stream_has_pending c =
+  Hashtbl.fold (fun _ s acc -> acc || Quic.Sendbuf.has_pending s.sendb) c.streams false
+
+let plugin_chunks_pending c =
+  Hashtbl.fold (fun _ sb acc -> acc || Quic.Sendbuf.has_pending sb) c.plugin_out false
+
+let core_has_data c =
+  stream_has_pending c
+  || Quic.Sendbuf.has_pending c.crypto_send
+  || plugin_chunks_pending c
+  || (not (Queue.is_empty c.ctrl))
+  || c.max_data_frame_pending
+
+let something_to_send c =
+  c.ack_needed || core_has_data c || Scheduler.has_pending c.sched
+
+(* ------------------------------------------------------------------ *)
+(* Stream table                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let get_stream c id =
+  match Hashtbl.find_opt c.streams id with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        stream_id = id;
+        sendb = Quic.Sendbuf.create ();
+        recvb = Quic.Recvbuf.create ();
+        max_stream_data_remote = c.local_params.Quic.Transport_params.initial_max_stream_data;
+        max_stream_data_local = c.local_params.Quic.Transport_params.initial_max_stream_data;
+        fin_delivered = false;
+        flow_sent = 0;
+      }
+    in
+    Hashtbl.replace c.streams id s;
+    c.stream_order <- c.stream_order @ [ id ];
+    ignore (run_op c Protoop.stream_opened [| I (i64 id) |]);
+    s
+
+(* ------------------------------------------------------------------ *)
+(* Built-in send policies                                              *)
+(* ------------------------------------------------------------------ *)
+
+let native_select_path c _ =
+  (* lowest-id active path with congestion window available, else path 0 *)
+  let n = Array.length c.paths in
+  let rec find k =
+    if k >= n then 0
+    else
+      let p = c.paths.(k) in
+      if p.active && Quic.Cc.available p.cc > header_overhead c then k
+      else find (k + 1)
+  in
+  i64 (find 0)
+
+let conn_flow_allowance c = Int64.to_int (Int64.sub c.max_data_remote c.data_sent)
+
+let native_schedule_next_stream c _ =
+  let allowed_new = conn_flow_allowance c > 0 in
+  let eligible id =
+    match Hashtbl.find_opt c.streams id with
+    | None -> false
+    | Some s ->
+      Quic.Sendbuf.has_retransmissions s.sendb
+      || (Quic.Sendbuf.has_new s.sendb && allowed_new)
+  in
+  let rec rotate tried order =
+    match order with
+    | [] -> -1
+    | id :: rest ->
+      if eligible id then begin
+        c.stream_order <- rest @ tried @ [ id ];
+        id
+      end
+      else rotate (tried @ [ id ]) rest
+  in
+  i64 (rotate [] c.stream_order)
+
+let native_set_spin_bit c _ =
+  (* client inverts the last received spin value, server echoes it — the
+     Spin Bit of [Trammell & Kuehlewind] that monitoring boxes observe *)
+  (match c.role with
+  | Client -> c.spin <- not c.last_spin_received
+  | Server -> c.spin <- c.last_spin_received);
+  0L
+
+(* Stream frame wire overhead estimate: type + id + offset + length. *)
+let stream_frame_overhead = 14
+
+(* ------------------------------------------------------------------ *)
+(* Packet assembly                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let build_and_send_packet c =
+  let pid = to_i (run_op c Protoop.select_path ~default:native_select_path [||]) in
+  let p =
+    match path c pid with Some p when p.active -> p | _ -> default_path c
+  in
+  let long = c.state = Handshaking in
+  let capacity = payload_capacity c ~long in
+  let overhead = header_overhead c + if long then 8 else 0 in
+  let cc_room = Quic.Cc.available p.cc - overhead in
+  (* Avoid runt packets: when the congestion window has less than a full
+     packet of room and more data than that is waiting, hold ack-eliciting
+     data until acknowledgments free window space. *)
+  let pending_bytes =
+    Hashtbl.fold
+      (fun _ s acc -> acc + Quic.Sendbuf.pending_bytes s.sendb)
+      c.streams
+      (Quic.Sendbuf.pending_bytes c.crypto_send)
+  in
+  let ae_room =
+    if cc_room >= capacity || pending_bytes <= max 0 cc_room then
+      min capacity (max 0 cc_room)
+    else 0
+  in
+  let room = ref capacity in
+  let room_ae = ref ae_room in
+  let frames = ref [] in
+  let records = ref [] in
+  let any_ae = ref false in
+  let add ?reservation frame =
+    let sz = F.wire_size frame in
+    frames := frame :: !frames;
+    records := { frame; reservation } :: !records;
+    room := !room - sz;
+    let ae =
+      match reservation with
+      | Some r -> r.Scheduler.ack_eliciting
+      | None -> F.is_ack_eliciting frame
+    in
+    if ae then begin
+      room_ae := !room_ae - sz;
+      any_ae := true
+    end
+  in
+  c.cur_has_stream <- false;
+  ignore (run_op c Protoop.before_sending_packet [||]);
+  (* acknowledgments ride along whenever owed *)
+  let ack_included = ref false in
+  if c.ack_needed then (
+    match ack_frame_of c with
+    | Some f when F.wire_size f <= !room ->
+      add f;
+      ack_included := true
+    | _ -> ());
+  (* control frames *)
+  let rec drain_ctrl () =
+    if not (Queue.is_empty c.ctrl) then begin
+      let f = Queue.peek c.ctrl in
+      let sz = F.wire_size f in
+      let fits =
+        if F.is_ack_eliciting f then sz <= !room_ae && sz <= !room
+        else sz <= !room
+      in
+      if fits then begin
+        ignore (Queue.pop c.ctrl);
+        add f;
+        drain_ctrl ()
+      end
+    end
+  in
+  drain_ctrl ();
+  (* handshake data *)
+  let rec drain_crypto () =
+    if !room_ae > 16 && Quic.Sendbuf.has_pending c.crypto_send then begin
+      match Quic.Sendbuf.next_chunk c.crypto_send ~max_len:(!room_ae - 12) with
+      | Some (off, data, _fin) ->
+        add (F.Crypto { offset = i64 off; data });
+        drain_crypto ()
+      | None -> ()
+    end
+  in
+  drain_crypto ();
+  if c.max_data_frame_pending && !room_ae > 12 then begin
+    add (F.Max_data c.max_data_local);
+    c.max_data_frame_pending <- false
+  end;
+  (* plugin bytecode transfer (PLUGIN frames) *)
+  let drain_plugin_chunks () =
+    Hashtbl.iter
+      (fun name sb ->
+        let continue = ref true in
+        while !continue && !room_ae > 64 && Quic.Sendbuf.has_pending sb do
+          match
+            Quic.Sendbuf.next_chunk sb
+              ~max_len:(!room_ae - 32 - String.length name)
+          with
+          | Some (off, data, fin) ->
+            add (F.Plugin_chunk { plugin = name; offset = i64 off; fin; data })
+          | None -> continue := false
+        done)
+      c.plugin_out
+  in
+  drain_plugin_chunks ();
+  (* plugin-reserved frames and stream data, interleaved so core frames
+     keep their guaranteed share while plugins cannot be starved either *)
+  let fill_plugins () =
+    let budget = min !room !room_ae in
+    if budget > 0 && Scheduler.has_pending c.sched then
+      let taken =
+        Scheduler.take c.sched ~max_frame:capacity ~budget ~core_has_data:false
+      in
+      List.iter
+        (fun (r : Scheduler.reservation) ->
+          let out = Bytes.make r.size '\000' in
+          let written =
+            to_i
+              (run_op c Protoop.write_frame ~param:r.ftype
+                 [| Buf (out, `Rw); I (i64 r.size); I r.cookie |])
+          in
+          Log.debug (fun m ->
+              m "write_frame 0x%x wrote %d of %d" r.Scheduler.ftype written
+                r.Scheduler.size);
+          if written > 0 && written <= r.size then
+            add ~reservation:r
+              (F.Unknown { ftype = r.ftype; raw = Bytes.sub_string out 0 written }))
+        taken
+  in
+  let fill_streams () =
+    let continue = ref true in
+    while !continue && !room_ae > stream_frame_overhead + 1 do
+      let sid =
+        to_i
+          (run_op c Protoop.schedule_next_stream ~default:native_schedule_next_stream
+             [||])
+      in
+      if sid < 0 then continue := false
+      else begin
+        let s = get_stream c sid in
+        let cap = !room_ae - stream_frame_overhead in
+        let cap =
+          to_i
+            (run_op c Protoop.stream_bytes_max
+               ~default:(fun _ args -> match args.(0) with I v -> v | _ -> 0L)
+               [| I (i64 cap) |])
+        in
+        let cap =
+          if Quic.Sendbuf.has_retransmissions s.sendb then cap
+          else min cap (conn_flow_allowance c)
+        in
+        if cap <= 0 then begin
+          if conn_flow_allowance c <= 0 then
+            ignore (run_op c Protoop.stream_data_blocked [| I (i64 sid) |]);
+          continue := false
+        end
+        else
+          match Quic.Sendbuf.next_chunk s.sendb ~max_len:cap with
+          | None -> continue := false
+          | Some (off, data, fin) ->
+            add (F.Stream { id = sid; offset = i64 off; fin; data });
+            c.cur_has_stream <- true;
+            let sent_end = off + String.length data in
+            if sent_end > s.flow_sent then begin
+              c.data_sent <-
+                Int64.add c.data_sent (i64 (sent_end - s.flow_sent));
+              s.flow_sent <- sent_end
+            end;
+            if String.length data = 0 && not fin then continue := false
+      end
+    done
+  in
+  let plugin_pending = Scheduler.has_pending c.sched in
+  let core_data = stream_has_pending c in
+  if plugin_pending && (c.plugin_turn || not core_data) then begin
+    fill_plugins ();
+    c.plugin_turn <- false
+  end;
+  fill_streams ();
+  if Scheduler.has_pending c.sched then begin
+    if core_data then c.plugin_turn <- true;
+    fill_plugins ()
+  end;
+  let frames = List.rev !frames in
+  if frames = [] then false
+  else begin
+    let payload =
+      let buf = Buffer.create capacity in
+      List.iter (F.serialize buf) frames;
+      Buffer.contents buf
+    in
+    let pn = c.next_pn in
+    c.next_pn <- Int64.add c.next_pn 1L;
+    ignore (run_op c Protoop.set_spin_bit ~default:native_set_spin_bit [||]);
+    ignore (run_op c Protoop.header_prepared [| I pn |]);
+    let header =
+      {
+        Quic.Packet.ptype = (if long then Quic.Packet.Initial else Quic.Packet.One_rtt);
+        spin = c.spin;
+        dcid = c.remote_cid;
+        scid = c.local_cid;
+        pn;
+      }
+    in
+    let key = if long then c.initial_key else c.key in
+    let wire = Quic.Packet.protect ~key { header; payload } in
+    let size = String.length wire in
+    c.cur_pn <- pn;
+    c.cur_path <- p.path_id;
+    c.cur_size <- size;
+    c.cur_payload <- payload;
+    c.stats.pkts_sent <- c.stats.pkts_sent + 1;
+    c.stats.bytes_sent <- c.stats.bytes_sent + size;
+    c.last_activity <- Sim.now c.sim;
+    c.largest_sent_at <- Sim.now c.sim;
+    let ack_eliciting = !any_ae in
+    if ack_eliciting then begin
+      Hashtbl.replace c.sent_times pn (Sim.now c.sim);
+      if Int64.rem pn 4096L = 0L then begin
+        (* bound the retained history *)
+        let horizon = Int64.sub pn 8192L in
+        Hashtbl.iter
+          (fun k _ -> if k < horizon then Hashtbl.remove c.sent_times k)
+          (Hashtbl.copy c.sent_times)
+      end;
+      let path_seq =
+        if p.path_id < Array.length c.next_path_seq then begin
+          let s = c.next_path_seq.(p.path_id) in
+          c.next_path_seq.(p.path_id) <- Int64.add s 1L;
+          s
+        end
+        else pn
+      in
+      Hashtbl.replace c.sent pn
+        {
+          pn;
+          sent_at = Sim.now c.sim;
+          size;
+          records = List.rev !records;
+          path_id = p.path_id;
+          path_seq;
+          ack_eliciting;
+        };
+      let default _ _ =
+        Quic.Cc.on_packet_sent p.cc ~size;
+        0L
+      in
+      ignore (run_op c Protoop.cc_on_packet_sent ~default [| I (i64 size) |]);
+      Recovery.set_loss_alarm c
+    end;
+    if !ack_included then begin
+      c.ack_needed <- false;
+      c.ae_since_ack <- 0;
+      (match c.ack_alarm with Some ev -> Sim.cancel ev | None -> ());
+      c.ack_alarm <- None
+    end;
+    Net.send c.net
+      {
+        Net.src = p.local_addr;
+        dst = p.remote_addr;
+        size = size + ip_udp_overhead;
+        payload = Quic_packet wire;
+      };
+    ignore
+      (run_op c Protoop.packet_was_sent
+         [| I pn; I (i64 p.path_id); I (i64 size) |]);
+    true
+  end
+
+let send_pending c =
+  if is_open c then begin
+    let budget = ref 512 in
+    while !budget > 0 && is_open c && build_and_send_packet c do
+      decr budget
+    done
+  end
+
+let wake_impl c =
+  if (not c.wake_pending) && is_open c then begin
+    ignore (run_op c Protoop.set_next_wake_time [||]);
+    c.wake_pending <- true;
+    ignore
+      (Sim.schedule c.sim ~delay:0L (fun () ->
+           c.wake_pending <- false;
+           send_pending c))
+  end
+
+let () = wake_ref := wake_impl

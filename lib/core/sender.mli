@@ -1,0 +1,30 @@
+(** The send path: stream table, packet building blocks, and the packet
+    assembly loop filling each packet under the Section 2.3 scheduler
+    guarantees. Implements {!Conn_types.wake}. *)
+
+open Conn_types
+
+val header_overhead : t -> int
+val payload_capacity : t -> long:bool -> int
+
+val ack_frame_of : t -> Quic.Frame.t option
+(** The ACK frame currently owed to the peer, if any ranges are tracked. *)
+
+val stream_has_pending : t -> bool
+val core_has_data : t -> bool
+val something_to_send : t -> bool
+
+val get_stream : t -> int -> stream
+(** Get (or open, running the [stream_opened] protoop) a stream. *)
+
+val conn_flow_allowance : t -> int
+(** Connection-level flow-control room left for new stream data, bytes. *)
+
+val build_and_send_packet : t -> bool
+(** Assemble and transmit one packet; [false] when nothing was sent. *)
+
+val send_pending : t -> unit
+(** Send packets while the engine has something to put on the wire. *)
+
+val wake_impl : t -> unit
+(** Schedule an asynchronous send pass (bound to {!Conn_types.wake_ref}). *)

@@ -1,0 +1,35 @@
+(* GF(256) arithmetic (AES polynomial 0x11b) and the deterministic RLC
+   coefficient stream, shared by the FEC plugin's bytecode helpers and any
+   native code that needs to mirror the sliding-window random linear code.
+   Standalone library: both the engine (host-side gf256_* helpers) and the
+   plugin collection link against it. *)
+
+let mul a b =
+  let a = ref a and b = ref b and p = ref 0 in
+  for _ = 0 to 7 do
+    if !b land 1 <> 0 then p := !p lxor !a;
+    let hi = !a land 0x80 in
+    a := (!a lsl 1) land 0xff;
+    if hi <> 0 then a := !a lxor 0x1b;
+    b := !b lsr 1
+  done;
+  !p
+
+let pow a n =
+  let rec go acc a n =
+    if n = 0 then acc
+    else go (if n land 1 = 1 then mul acc a else acc) (mul a a) (n lsr 1)
+  in
+  go 1 a n
+
+let inv a = if a = 0 then 0 else pow a 254
+
+(* Deterministic RLC coefficient in 1..255, identical on both peers. *)
+let rlc_coef ~seed ~sid ~row =
+  let h = ref 0xcbf29ce484222325L in
+  let mix v =
+    h := Int64.mul (Int64.logxor !h v) 0x100000001b3L
+  in
+  mix seed; mix sid; mix (Int64.of_int row);
+  let v = Int64.to_int (Int64.logand !h 0xffL) in
+  if v = 0 then 1 else v

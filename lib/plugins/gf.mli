@@ -1,0 +1,15 @@
+(** GF(256) arithmetic (AES polynomial 0x11b) and the deterministic RLC
+    coefficient stream shared by the FEC machinery on both peers. *)
+
+val mul : int -> int -> int
+(** Field multiplication; operands are taken modulo 256. *)
+
+val pow : int -> int -> int
+(** [pow a n] — [a]{^ [n]} in the field (square-and-multiply). *)
+
+val inv : int -> int
+(** Multiplicative inverse; [inv 0 = 0] by convention. *)
+
+val rlc_coef : seed:int64 -> sid:int64 -> row:int -> int
+(** The deterministic coding coefficient in 1..255 both peers regenerate
+    for a (source-symbol id, repair row) pair; never 0. *)

@@ -14,6 +14,8 @@ let () =
     @ prefixed "trust" Test_trust.tests
     @ prefixed "tcpsim" Test_tcpsim.tests
     @ prefixed "misc" Test_misc.tests
+    @ prefixed "gf" Test_gf.tests
+    @ prefixed "dispatch" Test_dispatch.tests
     @ prefixed "extras" Test_extras.tests
     @ prefixed "anchors" Test_anchors.tests
     @ prefixed "engine" Test_engine.tests)

@@ -1,0 +1,145 @@
+(* The dispatch layer in isolation: anchor ordering, the dense-array fast
+   path for built-in operations, parameterized frame operations and their
+   fallback, external-operation gating, and the Figure 3 protoop-loop
+   sanction — all with native implementations on a bare connection, no
+   pluglets or network involved. *)
+
+module Topology = Netsim.Topology
+module C = Pquic.Connection
+module D = Pquic.Dispatch
+
+let check = Alcotest.check
+
+let make_conn () =
+  let topo =
+    Topology.single_path ~seed:7L
+      { Topology.d_ms = 10.; bw_mbps = 20.; loss = 0. }
+  in
+  C.create ~sim:topo.Topology.sim ~net:topo.Topology.net
+    ~cfg:C.default_config ~role:C.Client
+    ~local_addr:(List.hd topo.Topology.client_addrs)
+    ~remote_addr:topo.Topology.server_addr ~local_cid:1L ~remote_cid:2L
+    ~local_params:Quic.Transport_params.default ()
+
+(* ids in the plugin range, clear of every built-in operation *)
+let op_a = 150
+let op_b = 151
+
+let native tag trace ret =
+  C.Native (tag, fun _ _ -> trace := tag :: !trace; ret)
+
+let test_anchor_ordering () =
+  let c = make_conn () in
+  let trace = ref [] in
+  let e = D.entry c op_a None in
+  e.C.pre <- [ native "pre1" trace 0L ];
+  e.C.pre <- native "pre2" trace 0L :: e.C.pre;
+  e.C.replace <- Some (native "replace" trace 42L);
+  e.C.post <- [ native "post" trace 0L ];
+  let r = C.run_op c op_a [||] in
+  check Alcotest.int64 "replace anchor provides the result" 42L r;
+  (* pre anchors run in attachment order, then replace, then post *)
+  check
+    Alcotest.(list string)
+    "pre -> replace -> post" [ "pre1"; "pre2"; "replace"; "post" ]
+    (List.rev !trace)
+
+let test_default_vs_replace () =
+  let c = make_conn () in
+  let default_ran = ref false in
+  let default _ _ = default_ran := true; 7L in
+  check Alcotest.int64 "default runs when no replace impl" 7L
+    (C.run_op c op_a ~default [||]);
+  check Alcotest.bool "default ran" true !default_ran;
+  default_ran := false;
+  C.register_native c op_a "override" (fun _ _ -> 9L);
+  check Alcotest.int64 "replace overrides the default" 9L
+    (C.run_op c op_a ~default [||]);
+  check Alcotest.bool "default did not run" false !default_ran
+
+let test_builtin_dense_path () =
+  let c = make_conn () in
+  check Alcotest.int "dense array covers the built-in id space"
+    Pquic.Protoop.first_plugin_op
+    (Array.length c.C.builtin_ops);
+  (* connection_init already ran at create time through the array *)
+  check Alcotest.int "no hashtable entries after create" 0
+    (Hashtbl.length c.C.ops);
+  C.register_native c Pquic.Protoop.update_rtt "muzzle" (fun _ _ -> 3L);
+  ignore (C.run_op c Pquic.Protoop.packet_was_sent [||]);
+  check Alcotest.int64 "built-in op dispatches through the array" 3L
+    (C.run_op c Pquic.Protoop.update_rtt [||]);
+  check Alcotest.int "built-in registrations stay out of the hashtable" 0
+    (Hashtbl.length c.C.ops);
+  check Alcotest.bool "find_entry sees the array entry" true
+    (D.has_entry c Pquic.Protoop.update_rtt None)
+
+let test_parameterized_fallback () =
+  let c = make_conn () in
+  let op = Pquic.Protoop.process_frame in
+  C.register_native c op "generic" (fun _ _ -> 1L);
+  (* no (op, Some 0x99) entry: falls back to the unparameterized one *)
+  check Alcotest.int64 "fallback to unparameterized entry" 1L
+    (C.run_op c op ~param:0x99 [||]);
+  let e = D.entry c op (Some 0x99) in
+  e.C.replace <- Some (C.Native ("specific", fun _ _ -> 2L));
+  check Alcotest.int64 "parameterized entry takes precedence" 2L
+    (C.run_op c op ~param:0x99 [||]);
+  check Alcotest.int64 "other params still fall back" 1L
+    (C.run_op c op ~param:0x42 [||]);
+  check Alcotest.bool "parameterized entries live in the hashtable" true
+    (Hashtbl.length c.C.ops > 0)
+
+let test_external_gating () =
+  let c = make_conn () in
+  check Alcotest.bool "no entry: no external op" true
+    (C.call_external c op_b [||] = None);
+  C.register_native c op_b "internal" (fun _ _ -> 5L);
+  check Alcotest.bool "replace anchor is not externally callable" true
+    (C.call_external c op_b [||] = None);
+  let e = D.entry c op_b None in
+  e.C.ext <- Some (C.Native ("entrypoint", fun _ _ -> 6L));
+  check Alcotest.bool "external anchor is" true
+    (C.call_external c op_b [||] = Some 6L);
+  (* run_op never invokes the external anchor *)
+  check Alcotest.int64 "run_op uses the replace anchor only" 5L
+    (C.run_op c op_b [||])
+
+let test_loop_detector_direct () =
+  let c = make_conn () in
+  C.register_native c op_a "recurse" (fun c _ -> C.run_op c op_a [||]);
+  ignore (C.run_op c op_a [||]);
+  match C.state c with
+  | C.Failed msg ->
+    check Alcotest.bool "loop named in the failure" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "direct protoop loop was not sanctioned"
+
+let test_loop_detector_indirect () =
+  let c = make_conn () in
+  C.register_native c op_a "a_calls_b" (fun c _ -> C.run_op c op_b [||]);
+  C.register_native c op_b "b_calls_a" (fun c _ -> C.run_op c op_a [||]);
+  ignore (C.run_op c op_a [||]);
+  (match C.state c with
+  | C.Failed _ -> ()
+  | _ -> Alcotest.fail "indirect protoop loop was not sanctioned");
+  (* non-recursive chains of distinct ops are fine *)
+  let c2 = make_conn () in
+  C.register_native c2 op_a "a_calls_b" (fun c _ -> C.run_op c op_b [||]);
+  C.register_native c2 op_b "leaf" (fun _ _ -> 11L);
+  check Alcotest.int64 "chained ops run" 11L (C.run_op c2 op_a [||]);
+  check Alcotest.bool "still open" true
+    (match C.state c2 with C.Failed _ -> false | _ -> true)
+
+let tests =
+  [
+    ("dispatch", [
+      Alcotest.test_case "anchor ordering" `Quick test_anchor_ordering;
+      Alcotest.test_case "default vs replace" `Quick test_default_vs_replace;
+      Alcotest.test_case "builtin dense path" `Quick test_builtin_dense_path;
+      Alcotest.test_case "parameterized fallback" `Quick test_parameterized_fallback;
+      Alcotest.test_case "external gating" `Quick test_external_gating;
+      Alcotest.test_case "loop detector (direct)" `Quick test_loop_detector_direct;
+      Alcotest.test_case "loop detector (indirect)" `Quick test_loop_detector_indirect;
+    ]);
+  ]

@@ -1,0 +1,64 @@
+(* The GF(256) field arithmetic used by the FEC plugin's random linear
+   coding, now a standalone library shared by the host helpers and the
+   plugin-side solver. *)
+
+let check = Alcotest.check
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let gf_field_axioms =
+  qtest ~count:500 "GF(256) field axioms"
+    QCheck2.Gen.(triple (int_range 0 255) (int_range 0 255) (int_range 0 255))
+    (fun (a, b, c) ->
+      Gf.mul a b = Gf.mul b a
+      && Gf.mul a (Gf.mul b c) = Gf.mul (Gf.mul a b) c
+      && Gf.mul a 1 = a
+      && Gf.mul a 0 = 0
+      && (* distributivity over xor (field addition) *)
+      Gf.mul a (b lxor c) = Gf.mul a b lxor Gf.mul a c)
+
+let gf_inverse =
+  qtest ~count:255 "multiplicative inverses" QCheck2.Gen.(int_range 1 255)
+    (fun a -> Gf.mul a (Gf.inv a) = 1)
+
+let gf_mul_inv_roundtrip =
+  (* decoding divides by the pivot coefficient: b -> b*a -> /a must be
+     the identity for every nonzero a *)
+  qtest ~count:400 "multiply then divide round-trips"
+    QCheck2.Gen.(pair (int_range 1 255) (int_range 0 255))
+    (fun (a, b) -> Gf.mul (Gf.mul b a) (Gf.inv a) = b)
+
+let test_gf_known_products () =
+  (* fixed points of the AES polynomial 0x11b *)
+  check Alcotest.int "0x53 * 0xca" 0x01 (Gf.mul 0x53 0xca);
+  check Alcotest.int "2 * 128" 0x1b (Gf.mul 2 0x80);
+  check Alcotest.int "inv 1" 1 (Gf.inv 1);
+  check Alcotest.int "inv 0 (convention)" 0 (Gf.inv 0)
+
+let test_gf_pow () =
+  check Alcotest.int "a^0" 1 (Gf.pow 7 0);
+  check Alcotest.int "a^1" 7 (Gf.pow 7 1);
+  check Alcotest.int "a^2 = a*a" (Gf.mul 7 7) (Gf.pow 7 2)
+
+(* the coefficient stream is deterministic: both FEC peers regenerate it *)
+let rlc_coef_deterministic =
+  qtest ~count:200 "rlc coefficients deterministic and nonzero"
+    QCheck2.Gen.(triple (map Int64.of_int (int_range 0 1000000))
+                   (map Int64.of_int (int_range 0 1000000)) (int_range 0 10))
+    (fun (seed, sid, row) ->
+      let a = Gf.rlc_coef ~seed ~sid ~row in
+      let b = Gf.rlc_coef ~seed ~sid ~row in
+      a = b && a >= 1 && a <= 255)
+
+let tests =
+  [
+    ("gf256", [
+      Alcotest.test_case "known products" `Quick test_gf_known_products;
+      Alcotest.test_case "pow" `Quick test_gf_pow;
+      gf_field_axioms;
+      gf_inverse;
+      gf_mul_inv_roundtrip;
+      rlc_coef_deterministic;
+    ]);
+  ]

@@ -1,5 +1,4 @@
-(* Compression, WSP experimental design, statistics and the Gf(256) field
-   used by the FEC plugin. *)
+(* Compression, WSP experimental design and statistics. *)
 
 let check = Alcotest.check
 
@@ -38,35 +37,6 @@ let test_lzss_plugin_ratio () =
     /. float_of_int (String.length bytes)
   in
   check Alcotest.bool (Printf.sprintf "ratio %.2f < 0.5" ratio) true (ratio < 0.5)
-
-(* ------------------------------ gf256 --------------------------------- *)
-
-module Gf = Pquic.Connection.Gf
-
-let gf_field_axioms =
-  qtest ~count:500 "GF(256) field axioms"
-    QCheck2.Gen.(triple (int_range 0 255) (int_range 0 255) (int_range 0 255))
-    (fun (a, b, c) ->
-      Gf.mul a b = Gf.mul b a
-      && Gf.mul a (Gf.mul b c) = Gf.mul (Gf.mul a b) c
-      && Gf.mul a 1 = a
-      && Gf.mul a 0 = 0
-      && (* distributivity over xor (field addition) *)
-      Gf.mul a (b lxor c) = Gf.mul a b lxor Gf.mul a c)
-
-let gf_inverse =
-  qtest ~count:255 "multiplicative inverses" QCheck2.Gen.(int_range 1 255)
-    (fun a -> Gf.mul a (Gf.inv a) = 1)
-
-(* the coefficient stream is deterministic: both FEC peers regenerate it *)
-let rlc_coef_deterministic =
-  qtest ~count:200 "rlc coefficients deterministic and nonzero"
-    QCheck2.Gen.(triple (map Int64.of_int (int_range 0 1000000))
-                   (map Int64.of_int (int_range 0 1000000)) (int_range 0 10))
-    (fun (seed, sid, row) ->
-      let a = Pquic.Connection.rlc_coef ~seed ~sid ~row in
-      let b = Pquic.Connection.rlc_coef ~seed ~sid ~row in
-      a = b && a >= 1 && a <= 255)
 
 (* ------------------------------- wsp ---------------------------------- *)
 
@@ -142,7 +112,6 @@ let tests =
       lzss_roundtrip;
       lzss_repetitive_shrinks;
     ]);
-    ("gf256", [ gf_field_axioms; gf_inverse; rlc_coef_deterministic ]);
     ("wsp", [
       Alcotest.test_case "count + ranges" `Quick test_wsp_count_and_ranges;
       Alcotest.test_case "space filling" `Quick test_wsp_space_filling;
