@@ -9,6 +9,8 @@ check:
 test:
 	dune runtest
 
+# Runs the Bechamel suite and refreshes BENCH_vm.json (machine-readable
+# ns/op and insns/sec, tracked across PRs).
 bench:
 	dune exec bench/main.exe
 

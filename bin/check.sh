@@ -1,6 +1,8 @@
 #!/bin/sh
-# Repo check: formatting (when an ocamlformat setup exists), full build,
-# full test suite. Exits non-zero on the first failure.
+# Repo check: formatting (when an ocamlformat setup exists), full build of
+# every target — libraries, tests, benches and examples, so bench/example
+# code cannot rot outside the default build — then the full test suite.
+# Exits non-zero on the first failure.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -11,8 +13,8 @@ else
   echo "== skipping @fmt (no .ocamlformat or ocamlformat binary)"
 fi
 
-echo "== dune build"
-dune build
+echo "== dune build @all"
+dune build @all
 
 echo "== dune runtest"
 dune runtest

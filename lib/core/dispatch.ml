@@ -40,22 +40,31 @@ let iter_entries c f =
 
 let register_native c op name fn = (entry c op None).replace <- Some (Native (name, fn))
 
+(* Region names for pluglet argument buffers, precomputed: this runs on
+   every protoop invocation, and protoops take at most five arguments. *)
+let arg_region_names = [| "arg0"; "arg1"; "arg2"; "arg3"; "arg4" |]
+
 (* Execute one pluglet implementation with the given arguments. Buffers are
    mapped into the PRE for the duration of the call; pre/post pluglets get
    read-only views (the paper grants passive pluglets no write access). *)
 let exec_pluglet c pre ~read_only (args : arg array) =
-  let regions, arg_specs =
+  let regions, arg_specs, _ =
     Array.fold_left
-      (fun (regions, specs) a ->
+      (fun (regions, specs, nregions) a ->
         match a with
-        | I v -> (regions, `I v :: specs)
+        | I v -> (regions, `I v :: specs, nregions)
         | Buf (b, perm) ->
           let perm = if read_only then `Ro else perm in
-          let name = Printf.sprintf "arg%d" (List.length regions) in
-          ((name, b, (match perm with `Ro -> Ebpf.Vm.Ro | `Rw -> Ebpf.Vm.Rw))
-           :: regions,
-            `R (List.length regions) :: specs))
-      ([], []) args
+          let name =
+            if nregions < Array.length arg_region_names then
+              arg_region_names.(nregions)
+            else "arg" ^ string_of_int nregions
+          in
+          ( (name, b, (match perm with `Ro -> Ebpf.Vm.Ro | `Rw -> Ebpf.Vm.Rw))
+            :: regions,
+            `R nregions :: specs,
+            nregions + 1 ))
+      ([], [], 0) args
   in
   let regions = List.rev regions and arg_specs = List.rev arg_specs in
   try

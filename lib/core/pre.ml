@@ -1,9 +1,13 @@
 (* Pluglet Runtime Environment (Section 2.1): one per inserted pluglet.
    Each PRE owns its registers and stack (a fresh [Ebpf.Vm]); its heap
-   points to the area shared by all pluglets of the plugin, mapped first so
-   heap pointers have the same value in every PRE of the instance. The
-   admission pipeline — decode, static verification — runs here; runtime
-   memory monitoring lives in the VM. *)
+   points to the area shared by all pluglets of the plugin. Every VM maps
+   its stack at the same window and the heap is the first region mapped
+   after it, so heap pointers have the same value in every PRE of the
+   instance. The admission pipeline — decode, static verification, link —
+   runs here, once, at creation; per-packet execution then runs the linked
+   program with no setup work, and runtime memory monitoring lives in the
+   VM. Caching instances (Section 2.5) therefore caches the linked
+   programs too, which is what keeps plugin reload cheap. *)
 
 exception Rejected of string
 
@@ -13,11 +17,12 @@ type t = {
   param : int option;
   anchor : Protoop.anchor;
   prog : Ebpf.Insn.t array;
+  linked : Ebpf.Vm.linked_prog;
   vm : Ebpf.Vm.t;
   heap_base : int64;
 }
 
-(* Verify and instantiate. [heap] is the plugin's shared memory area. *)
+(* Verify, link and instantiate. [heap] is the plugin's shared memory area. *)
 let create ~plugin_name ~(pluglet : Plugin.pluglet) ~heap =
   let prog, stack_size = Plugin.compiled pluglet in
   (match
@@ -36,6 +41,7 @@ let create ~plugin_name ~(pluglet : Plugin.pluglet) ~heap =
     param = pluglet.param;
     anchor = pluglet.anchor;
     prog;
+    linked = Ebpf.Vm.link prog;
     vm;
     heap_base = heap_region.Ebpf.Vm.base;
   }
@@ -48,7 +54,9 @@ let heap_addr t off = Int64.add t.heap_base (Int64.of_int off)
 let heap_offset t addr = Int64.to_int (Int64.sub addr t.heap_base)
 
 (* Map transient regions (packet buffers, protoop inputs) for the duration
-   of [f], which receives their base addresses in order. *)
+   of [f], which receives their base addresses in order. The VM recycles
+   the table slots of unmapped regions, so this steady per-call traffic
+   reuses the same few windows instead of growing the address space. *)
 let with_regions t regions f =
   let mapped =
     List.map
@@ -64,6 +72,6 @@ let with_regions t regions f =
     finally ();
     raise e
 
-let run t ~args = Ebpf.Vm.run t.vm ~args t.prog
+let run t ~args = Ebpf.Vm.run_linked t.vm ~args t.linked
 
 let executed_insns t = Ebpf.Vm.executed t.vm

@@ -1,10 +1,12 @@
 (** Pluglet Runtime Environment (Section 2.1): one per inserted pluglet.
 
     Each PRE owns its registers and stack (a fresh {!Ebpf.Vm}); its heap
-    points to the area shared by all pluglets of the plugin, mapped first
-    so heap pointers have the same value in every PRE of an instance. The
-    admission pipeline — compile if needed, static verification — runs at
-    creation; runtime memory monitoring lives in the VM. *)
+    points to the area shared by all pluglets of the plugin, mapped at the
+    same window in every VM so heap pointers have the same value in every
+    PRE of an instance. The admission pipeline — compile if needed, static
+    verification, link — runs once at creation; {!run} then executes the
+    cached linked program with no per-call setup, and runtime memory
+    monitoring lives in the VM. *)
 
 exception Rejected of string
 (** The verifier refused the bytecode: the whole plugin is rejected. *)
@@ -15,6 +17,7 @@ type t = {
   param : int option;
   anchor : Protoop.anchor;
   prog : Ebpf.Insn.t array;
+  linked : Ebpf.Vm.linked_prog;  (** [prog] linked once at creation *)
   vm : Ebpf.Vm.t;
   heap_base : int64;
 }
@@ -36,4 +39,7 @@ val with_regions :
     of the callback, which receives their base addresses in order. *)
 
 val run : t -> args:int64 array -> int64
+(** Execute the pluglet's linked program on its VM (the per-packet fast
+    path). *)
+
 val executed_insns : t -> int

@@ -37,6 +37,20 @@ let slots = function Ld_imm64 _ -> 2 | _ -> 1
 
 let program_slots prog = Array.fold_left (fun acc i -> acc + slots i) 0 prog
 
+(* Encoded slot position of each instruction, plus the total slot count.
+   Slot arithmetic lives here, next to the encoding that defines it; the
+   verifier and the VM linker both build on this when turning slot-relative
+   jump offsets into instruction indices. *)
+let slot_positions prog =
+  let n = Array.length prog in
+  let pos = Array.make n 0 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    pos.(i) <- !total;
+    total := !total + slots prog.(i)
+  done;
+  (pos, !total)
+
 let alu_code = function
   | Add -> 0x0 | Sub -> 0x1 | Mul -> 0x2 | Div -> 0x3 | Or -> 0x4
   | And -> 0x5 | Lsh -> 0x6 | Rsh -> 0x7 | Neg -> 0x8 | Mod -> 0x9

@@ -49,6 +49,11 @@ val slots : t -> int
 
 val program_slots : t array -> int
 
+val slot_positions : t array -> int array * int
+(** [slot_positions prog] is [(pos, total)]: the encoded slot position of
+    each instruction and the total slot count. The verifier's jump checks
+    and the VM's linker both derive instruction indices from these. *)
+
 val size_bytes : size -> int
 
 exception Decode_error of string

@@ -38,18 +38,16 @@ let error_to_string e = Fmt.str "%a" pp_error e
 
 let max_slots = 65536
 
-(* Slot position of each instruction and reverse map. *)
+(* Slot position of each instruction and the reverse map as a flat array:
+   [of_slot.(s)] is the index of the instruction starting at slot [s], or
+   [-1] when [s] falls inside a two-slot lddw. Arrays instead of a
+   hashtable: jump checking (here) and jump linking (Vm.link) are both
+   O(1) lookups with no hashing. *)
 let slot_maps prog =
-  let n = Array.length prog in
-  let pos = Array.make n 0 in
-  let total = ref 0 in
-  for i = 0 to n - 1 do
-    pos.(i) <- !total;
-    total := !total + Insn.slots prog.(i)
-  done;
-  let of_slot = Hashtbl.create (2 * n) in
-  Array.iteri (fun i p -> Hashtbl.replace of_slot p i) pos;
-  (pos, of_slot, !total)
+  let pos, total = Insn.slot_positions prog in
+  let of_slot = Array.make total (-1) in
+  Array.iteri (fun i p -> of_slot.(p) <- i) pos;
+  (pos, of_slot, total)
 
 let check_reg i errs ~what r =
   if r < 0 || r > Insn.max_reg then errs := Bad_register (i, what) :: !errs
@@ -68,8 +66,8 @@ let verify ?(stack_size = 512) ?(known_helper = fun _ -> true) prog =
     if not has_exit then errs := No_exit :: !errs;
     let check_jump i off =
       let target = pos.(i) + Insn.slots prog.(i) + off in
-      if target < 0 || target >= total || not (Hashtbl.mem of_slot target)
-      then errs := Bad_jump i :: !errs
+      if target < 0 || target >= total || of_slot.(target) < 0 then
+        errs := Bad_jump i :: !errs
     in
     let check_stack i sz base off =
       if base = Insn.fp then begin

@@ -6,7 +6,23 @@
    plugin heap, host-provided input/output buffers) mapped at synthetic
    64-bit base addresses. Any access outside a mapped region, or a write to
    a read-only region, raises [Memory_violation] — the host reacts by
-   removing the plugin and terminating the connection (Section 2.1). *)
+   removing the plugin and terminating the connection (Section 2.1).
+
+   Execution comes in two flavours sharing the ALU/jump/monitor semantics:
+
+   - [run], the reference interpreter: rebuilds the slot maps and resolves
+     every jump through them on each invocation. It is the executable
+     specification the fast path is differentially tested against.
+   - [link] + [run_linked], the production path: the program is linked
+     once (jump offsets resolved to instruction indices, immediates
+     pre-widened to 64 bits) and then each run is a tight match over a
+     flat array with no per-run setup work.
+
+   Regions occupy disjoint 4 GiB-aligned windows of address space, so the
+   window index [addr lsr 32] identifies the region: resolution is a dense
+   table lookup plus a last-hit memo, not a list scan. Windows of unmapped
+   regions are recycled, which keeps the table small even though transient
+   argument buffers are mapped and unmapped around every protoop call. *)
 
 type perm = Ro | Rw
 
@@ -14,6 +30,7 @@ type region = {
   rid : int;
   rname : string;
   base : int64;
+  window : int; (* = base lsr 32; regions never span windows *)
   mem : Bytes.t;
   perm : perm;
 }
@@ -23,11 +40,21 @@ exception Fuel_exhausted
 exception Helper_failure of string
 
 type t = {
-  mutable regions : region list;
-  helpers : (int, helper) Hashtbl.t;
+  mutable region_tbl : region option array; (* indexed by addr lsr 32 *)
+  mutable last_region : region; (* memo for same-region access streaks *)
+  mutable free_windows : int list; (* windows recycled after unmap *)
+  mutable next_window : int;
+  mutable helpers : helper option array; (* dense, indexed by helper id *)
+  stack : region; (* persistent pluglet stack, zeroed between runs *)
   stack_size : int;
+  regb : Bytes.t; (* fast-path register file: 11 x 8 raw bytes, reset per
+                     run. Raw bytes rather than an [int64 array] so the
+                     interpreter loop reads and writes registers through
+                     the bytes-access primitives, which the compiler keeps
+                     unboxed — an [int64 array] element store allocates a
+                     box on every instruction. *)
+  scratch_args : int64 array; (* r1..r5 view passed to helpers *)
   mutable next_rid : int;
-  mutable next_base : int64;
   max_insns : int;
   mutable executed : int; (* instructions executed over the VM lifetime *)
 }
@@ -36,58 +63,126 @@ and helper = t -> int64 array -> int64
 
 let region_alignment = 0x0001_0000_0000L (* 4 GiB of address space per region *)
 
+let window_bits = 32
+
+(* Window 0 is never handed out, so null-ish pluglet pointers fault. The
+   stack occupies window 1 from creation: every VM — and therefore every
+   PRE of a plugin instance — has the same memory layout, and per-run
+   stack setup is a [Bytes.fill] rather than an allocate/map/unmap cycle. *)
 let create ?(stack_size = 512) ?(max_insns = 4_000_000) () =
+  let stack =
+    {
+      rid = 0;
+      rname = "stack";
+      base = region_alignment;
+      window = 1;
+      mem = Bytes.make stack_size '\000';
+      perm = Rw;
+    }
+  in
+  let region_tbl = Array.make 8 None in
+  region_tbl.(1) <- Some stack;
   {
-    regions = [];
-    helpers = Hashtbl.create 16;
+    region_tbl;
+    last_region = stack;
+    free_windows = [];
+    next_window = 2;
+    helpers = Array.make 64 None;
+    stack;
     stack_size;
-    next_rid = 0;
-    next_base = region_alignment;
+    regb = Bytes.make 88 '\000';
+    scratch_args = Array.make 5 0L;
+    next_rid = 1;
     max_insns;
     executed = 0;
   }
 
-let register_helper vm id f = Hashtbl.replace vm.helpers id f
+let register_helper vm id f =
+  if id < 0 then invalid_arg "Vm.register_helper: negative helper id";
+  if id >= Array.length vm.helpers then begin
+    let grown =
+      Array.make (max (id + 1) (2 * Array.length vm.helpers)) None
+    in
+    Array.blit vm.helpers 0 grown 0 (Array.length vm.helpers);
+    vm.helpers <- grown
+  end;
+  vm.helpers.(id) <- Some f
 
 let map_region vm ~name ~perm mem =
+  let window =
+    match vm.free_windows with
+    | w :: rest ->
+      vm.free_windows <- rest;
+      w
+    | [] ->
+      let w = vm.next_window in
+      vm.next_window <- w + 1;
+      w
+  in
+  if window >= Array.length vm.region_tbl then begin
+    let grown =
+      Array.make (max (window + 1) (2 * Array.length vm.region_tbl)) None
+    in
+    Array.blit vm.region_tbl 0 grown 0 (Array.length vm.region_tbl);
+    vm.region_tbl <- grown
+  end;
   let r =
-    { rid = vm.next_rid; rname = name; base = vm.next_base; mem; perm }
+    {
+      rid = vm.next_rid;
+      rname = name;
+      base = Int64.shift_left (Int64.of_int window) window_bits;
+      window;
+      mem;
+      perm;
+    }
   in
   vm.next_rid <- vm.next_rid + 1;
-  vm.next_base <- Int64.add vm.next_base region_alignment;
-  vm.regions <- r :: vm.regions;
+  vm.region_tbl.(window) <- Some r;
   r
 
 let unmap_region vm r =
-  vm.regions <- List.filter (fun r' -> r'.rid <> r.rid) vm.regions
+  if r.window < Array.length vm.region_tbl then
+    match vm.region_tbl.(r.window) with
+    | Some r' when r'.rid = r.rid ->
+      vm.region_tbl.(r.window) <- None;
+      vm.free_windows <- r.window :: vm.free_windows;
+      if vm.last_region.rid = r.rid then vm.last_region <- vm.stack
+    | _ -> ()
 
-let find_region vm addr len =
-  let fits r =
-    let open Int64 in
-    unsigned_compare addr r.base >= 0
-    && unsigned_compare
-         (add addr (of_int len))
-         (add r.base (of_int (Bytes.length r.mem)))
-       <= 0
-    (* guard against wrap-around *)
-    && unsigned_compare (add addr (of_int len)) addr >= 0
-  in
-  List.find_opt fits vm.regions
+let out_of_region len addr =
+  raise
+    (Memory_violation
+       (Printf.sprintf "access of %d bytes at 0x%Lx outside any region" len
+          addr))
+
+(* O(1) region resolution: the access's window indexes the dense table;
+   the last-hit memo short-circuits the common same-region streak. *)
+let region_at vm addr len =
+  let w = Int64.to_int (Int64.shift_right_logical addr window_bits) in
+  if vm.last_region.window = w then vm.last_region
+  else
+    let tbl = vm.region_tbl in
+    if w < Array.length tbl then
+      match tbl.(w) with
+      | Some r ->
+        vm.last_region <- r;
+        r
+      | None -> out_of_region len addr
+    else out_of_region len addr
 
 let resolve vm ~write addr len =
-  match find_region vm addr len with
-  | None ->
+  let r = region_at vm addr len in
+  (* The window matched, so the offset is just the low 32 bits; a negative
+     [len] or an access running past the region end is a violation, exactly
+     as the old fits-in-one-region scan decided. *)
+  let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
+  if len < 0 || len > Bytes.length r.mem - off then out_of_region len addr;
+  if write && r.perm = Ro then
     raise
       (Memory_violation
-         (Printf.sprintf "access of %d bytes at 0x%Lx outside any region" len
-            addr))
-  | Some r ->
-    if write && r.perm = Ro then
-      raise
-        (Memory_violation
-           (Printf.sprintf "write of %d bytes at 0x%Lx in read-only region %s"
-              len addr r.rname));
-    (r, Int64.to_int (Int64.sub addr r.base))
+         (Printf.sprintf "write of %d bytes at 0x%Lx in read-only region %s"
+            len addr r.rname));
+  (r, off)
 
 let load vm addr sz =
   let len = Insn.size_bytes sz in
@@ -178,17 +273,19 @@ let jump_taken c a b =
   | Insn.Jsle -> s <= 0
   | Insn.Jset -> Int64.logand a b <> 0L
 
-(* Execute [prog] with up to five arguments in r1..r5. A fresh stack region
-   is mapped for the run and unmapped afterwards, so stack contents never
-   leak between runs. Returns r0. *)
+(* The stack is persistent but its contents never leak between runs. *)
+let reset_stack vm = Bytes.fill vm.stack.mem 0 vm.stack_size '\000'
+
+let fp_value vm = Int64.add vm.stack.base (Int64.of_int vm.stack_size)
+
+(* Reference interpreter: executes the decoded form directly, resolving
+   every jump through freshly built slot maps. Returns r0. *)
 let run vm ?(args = [||]) prog =
-  let stack = Bytes.make vm.stack_size '\000' in
-  let stack_region = map_region vm ~name:"stack" ~perm:Rw stack in
-  let pos, of_slot, _total = Verifier.slot_maps prog in
+  reset_stack vm;
+  let pos, of_slot, total = Verifier.slot_maps prog in
   let regs = Array.make 11 0L in
   Array.iteri (fun i v -> if i < 5 then regs.(i + 1) <- v) args;
-  regs.(Insn.fp) <-
-    Int64.add stack_region.base (Int64.of_int vm.stack_size);
+  regs.(Insn.fp) <- fp_value vm;
   let operand_value = function
     | Insn.Reg r -> regs.(r)
     | Insn.Imm v -> Int64.of_int32 v
@@ -197,65 +294,1119 @@ let run vm ?(args = [||]) prog =
   let pc = ref 0 in
   let result = ref 0L in
   let finished = ref false in
-  (try
-     while not !finished do
-       if !fuel <= 0 then raise Fuel_exhausted;
-       decr fuel;
-       vm.executed <- vm.executed + 1;
-       let insn = prog.(!pc) in
-       let next = !pc + 1 in
-       let goto off =
-         let target_slot = pos.(!pc) + Insn.slots insn + off in
-         match Hashtbl.find_opt of_slot target_slot with
-         | Some i -> pc := i
-         | None ->
-           (* Unreachable for verified programs. *)
-           raise (Memory_violation "jump to invalid slot")
-       in
-       (match insn with
-        | Insn.Alu64 (op, dst, operand) ->
-          regs.(dst) <- alu64 op regs.(dst) (operand_value operand);
-          pc := next
-        | Insn.Alu32 (op, dst, operand) ->
-          regs.(dst) <- alu32 op regs.(dst) (operand_value operand);
-          pc := next
-        | Insn.Ld_imm64 (dst, v) ->
-          regs.(dst) <- v;
-          pc := next
-        | Insn.Ldx (sz, dst, src, off) ->
-          regs.(dst) <- load vm (Int64.add regs.(src) (Int64.of_int off)) sz;
-          pc := next
-        | Insn.Stx (sz, dst, off, src) ->
-          store vm (Int64.add regs.(dst) (Int64.of_int off)) sz regs.(src);
-          pc := next
-        | Insn.St (sz, dst, off, imm) ->
-          store vm
-            (Int64.add regs.(dst) (Int64.of_int off))
-            sz (Int64.of_int32 imm);
-          pc := next
-        | Insn.Ja off -> goto off
-        | Insn.Jcond (c, dst, operand, off) ->
-          if jump_taken c regs.(dst) (operand_value operand) then goto off
-          else pc := next
-        | Insn.Call id -> (
-          match Hashtbl.find_opt vm.helpers id with
-          | None -> raise (Helper_failure (Printf.sprintf "helper %d missing" id))
-          | Some f ->
-            let call_args = Array.sub regs 1 5 in
-            regs.(0) <- f vm call_args;
-            (* r1-r5 are clobbered by calls, per the eBPF convention. *)
-            for r = 1 to 5 do
-              regs.(r) <- 0L
-            done;
-            pc := next)
-        | Insn.Exit ->
-          result := regs.(0);
-          finished := true)
-     done
-   with e ->
-     unmap_region vm stack_region;
-     raise e);
-  unmap_region vm stack_region;
+  while not !finished do
+    if !fuel <= 0 then raise Fuel_exhausted;
+    decr fuel;
+    vm.executed <- vm.executed + 1;
+    let insn = prog.(!pc) in
+    let next = !pc + 1 in
+    let goto off =
+      let target_slot = pos.(!pc) + Insn.slots insn + off in
+      if target_slot >= 0 && target_slot < total && of_slot.(target_slot) >= 0
+      then pc := of_slot.(target_slot)
+      else
+        (* Unreachable for verified programs. *)
+        raise (Memory_violation "jump to invalid slot")
+    in
+    match insn with
+    | Insn.Alu64 (op, dst, operand) ->
+      regs.(dst) <- alu64 op regs.(dst) (operand_value operand);
+      pc := next
+    | Insn.Alu32 (op, dst, operand) ->
+      regs.(dst) <- alu32 op regs.(dst) (operand_value operand);
+      pc := next
+    | Insn.Ld_imm64 (dst, v) ->
+      regs.(dst) <- v;
+      pc := next
+    | Insn.Ldx (sz, dst, src, off) ->
+      regs.(dst) <- load vm (Int64.add regs.(src) (Int64.of_int off)) sz;
+      pc := next
+    | Insn.Stx (sz, dst, off, src) ->
+      store vm (Int64.add regs.(dst) (Int64.of_int off)) sz regs.(src);
+      pc := next
+    | Insn.St (sz, dst, off, imm) ->
+      store vm
+        (Int64.add regs.(dst) (Int64.of_int off))
+        sz (Int64.of_int32 imm);
+      pc := next
+    | Insn.Ja off -> goto off
+    | Insn.Jcond (c, dst, operand, off) ->
+      if jump_taken c regs.(dst) (operand_value operand) then goto off
+      else pc := next
+    | Insn.Call id -> (
+      match
+        (if id >= 0 && id < Array.length vm.helpers then vm.helpers.(id)
+         else None)
+      with
+      | None -> raise (Helper_failure (Printf.sprintf "helper %d missing" id))
+      | Some f ->
+        let call_args = Array.sub regs 1 5 in
+        regs.(0) <- f vm call_args;
+        (* r1-r5 are clobbered by calls, per the eBPF convention. *)
+        for r = 1 to 5 do
+          regs.(r) <- 0L
+        done;
+        pc := next)
+    | Insn.Exit ->
+      result := regs.(0);
+      finished := true
+  done;
   !result
+
+(* ------------------------------------------------------------------ *)
+(* Link-once fast path                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The linked form of a program is a flat [int array], four slots per
+   instruction: [op; a; b; c]. Decoding an instruction is three or four
+   adjacent unboxed reads from one array — no per-instruction heap block,
+   no pointer chase, and the opcode match compiles to a single jump
+   table. Jump targets are absolute instruction indices (or -1 for a
+   target the verifier would reject, trapping lazily like the reference
+   path); register numbers, offsets and 32-bit-origin immediates are
+   plain (sign-extended) [int]s, widened with [Int64.of_int] — a register
+   sign-extend — where the ALU consumes them. True 64-bit [Ld_imm64]
+   payloads live out-of-line in [pool], read back with an unboxed
+   primitive. The hot instruction classes are fully specialized at link
+   time: one opcode per 64-bit ALU op and operand kind, per access size,
+   and per jump condition, so executing them costs one dispatch — only
+   the rare 32-bit ALU group keeps a secondary dispatch (on an operator
+   index, see [alu32_seti]). *)
+type linked_prog = {
+  ops : int array; (* 4 slots per instruction: op, a, b, c *)
+  pool : Bytes.t; (* native-endian Ld_imm64 payloads, indexed by byte *)
+}
+
+(* Opcode assignments. The [exec] match in [run_linked] must mirror this
+   table literally — it is differentially tested against the reference
+   interpreter over every instruction class (test_ebpf's generated
+   programs and ALU/jump oracles). *)
+let f_add64_rr = 0
+
+and f_add64_ri = 1
+
+and f_sub64_rr = 2
+
+and f_sub64_ri = 3
+
+and f_mul64_rr = 4
+
+and f_mul64_ri = 5
+
+and f_div64_rr = 6
+
+and f_div64_ri = 7
+
+and f_mov64_rr = 8
+
+and f_mov64_ri = 9
+
+and f_or64_rr = 10
+
+and f_or64_ri = 11
+
+and f_and64_rr = 12
+
+and f_and64_ri = 13
+
+and f_xor64_rr = 14
+
+and f_xor64_ri = 15
+
+and f_lsh64_rr = 16
+
+and f_lsh64_ri = 17
+
+and f_rsh64_rr = 18
+
+and f_rsh64_ri = 19
+
+and f_arsh64_rr = 20
+
+and f_arsh64_ri = 21
+
+and f_mod64_rr = 22
+
+and f_mod64_ri = 23
+
+and f_neg64 = 24
+
+and f_alu32_rr = 25 (* c = alu_op index *)
+
+and f_alu32_ri = 26 (* c = alu_op index *)
+
+and f_ld_imm64 = 27 (* b = pool byte offset *)
+
+and f_ldx8 = 28 (* a = dst, b = src, c = off *)
+
+and f_ldx16 = 29
+
+and f_ldx32 = 30
+
+and f_ldx64 = 31
+
+and f_stx8 = 32 (* a = dst, b = off, c = src *)
+
+and f_stx16 = 33
+
+and f_stx32 = 34
+
+and f_stx64 = 35
+
+and f_st8 = 36 (* a = dst, b = off, c = imm *)
+
+and f_st16 = 37
+
+and f_st32 = 38
+
+and f_st64 = 39
+
+and f_ja = 40 (* a = target *)
+
+and f_jeq_rr = 41 (* rr: a = dst, b = src, c = target *)
+
+and f_jeq_ri = 42 (* ri: a = dst, b = imm, c = target *)
+
+and f_jne_rr = 43
+
+and f_jne_ri = 44
+
+and f_jgt_rr = 45
+
+and f_jgt_ri = 46
+
+and f_jge_rr = 47
+
+and f_jge_ri = 48
+
+and f_jlt_rr = 49
+
+and f_jlt_ri = 50
+
+and f_jle_rr = 51
+
+and f_jle_ri = 52
+
+and f_jsgt_rr = 53
+
+and f_jsgt_ri = 54
+
+and f_jsge_rr = 55
+
+and f_jsge_ri = 56
+
+and f_jslt_rr = 57
+
+and f_jslt_ri = 58
+
+and f_jsle_rr = 59
+
+and f_jsle_ri = 60
+
+and f_jset_rr = 61
+
+and f_jset_ri = 62
+
+and f_call = 63 (* a = helper id *)
+
+and f_exit = 64
+
+and f_trap_badreg = 65
+(* an instruction naming a register outside r0..r10: executing it traps
+   exactly like the reference path's out-of-bounds array access, but it
+   must not poke past the 88-byte register file *)
+
+(* Superinstructions: the pair patterns the PLC compiler emits most when
+   shuffling locals through the stack (measured on the EWMA/RTT pluglet
+   mix). A fused opcode means "execute this instruction, then its
+   successor, in one dispatch"; the successor keeps its own four slots
+   untouched, so a jump landing on it, an overlapping fusion, and the
+   one-fuel-left edge (which executes just the first half and lets the
+   loop head trap) are all correct by construction. *)
+and f_movrr_ldx64 = 66 (* mov64_rr + ldx64 *)
+
+and f_stx64_movri = 67 (* stx64 + mov64_ri *)
+
+and f_stx64_ldx64 = 68 (* stx64 + ldx64 *)
+
+and f_movri_movrr = 69 (* mov64_ri + mov64_rr *)
+
+and f_ldx64_stx64 = 70 (* ldx64 + stx64 *)
+
+and f_movri_stx64 = 71 (* mov64_ri + stx64 *)
+
+and f_ldx64_mulrr = 72 (* ldx64 + mul64_rr *)
+
+and f_ldx64_addrr = 73 (* ldx64 + add64_rr *)
+
+(* Operator index for the generic 32-bit ALU opcodes; [alu32_seti]
+   dispatches on the same numbering. *)
+let alu_op_index = function
+  | Insn.Add -> 0
+  | Insn.Sub -> 1
+  | Insn.Mul -> 2
+  | Insn.Div -> 3
+  | Insn.Or -> 4
+  | Insn.And -> 5
+  | Insn.Lsh -> 6
+  | Insn.Rsh -> 7
+  | Insn.Neg -> 8
+  | Insn.Mod -> 9
+  | Insn.Xor -> 10
+  | Insn.Mov -> 11
+  | Insn.Arsh -> 12
+
+let reg_ok r = r >= 0 && r <= 10
+
+let link prog =
+  let pos, of_slot, total = Verifier.slot_maps prog in
+  (* Targets are stored pre-scaled by 4 — the run loop's [pc] is the
+     instruction's base index in [ops], so a taken jump is a register
+     move, with no scaling on the hot path. -1 still marks a target the
+     verifier would reject (trapped lazily, like the reference path). *)
+  let target i off =
+    let t = pos.(i) + Insn.slots prog.(i) + off in
+    if t >= 0 && t < total then 4 * of_slot.(t) else -1
+  in
+  let n = Array.length prog in
+  (* One sentinel instruction past the end: falling off the program traps
+     through the ordinary dispatch, so the run loop needs no per-step
+     bounds check on [pc] (jump targets are validated at link time and
+     sequential flow can reach at most the sentinel). *)
+  let ops = Array.make ((4 * n) + 4) 0 in
+  ops.(4 * n) <- f_trap_badreg;
+  let pool = Buffer.create 16 in
+  Array.iteri
+    (fun i insn ->
+      let base = 4 * i in
+      let set op a b c =
+        ops.(base) <- op;
+        ops.(base + 1) <- a;
+        ops.(base + 2) <- b;
+        ops.(base + 3) <- c
+      in
+      match insn with
+      | Insn.Alu64 (op, dst, Insn.Reg src) when reg_ok dst && reg_ok src ->
+        let o =
+          match op with
+          | Insn.Add -> f_add64_rr
+          | Insn.Sub -> f_sub64_rr
+          | Insn.Mul -> f_mul64_rr
+          | Insn.Div -> f_div64_rr
+          | Insn.Mov -> f_mov64_rr
+          | Insn.Or -> f_or64_rr
+          | Insn.And -> f_and64_rr
+          | Insn.Xor -> f_xor64_rr
+          | Insn.Lsh -> f_lsh64_rr
+          | Insn.Rsh -> f_rsh64_rr
+          | Insn.Arsh -> f_arsh64_rr
+          | Insn.Mod -> f_mod64_rr
+          | Insn.Neg -> f_neg64
+        in
+        set o dst src 0
+      | Insn.Alu64 (op, dst, Insn.Imm v) when reg_ok dst -> (
+        let vi = Int32.to_int v in
+        (* eBPF Div/Mod are unsigned, so by a power-of-two immediate they
+           are exactly a logical shift / a mask — and the PLC compiler
+           emits /4 and /8 on every EWMA-style update. (The sign-extended
+           [vi] is positive only when the 64-bit divisor is, so the
+           power-of-two test below is on the value the ALU would use.) *)
+        let pow2 = vi > 0 && vi land (vi - 1) = 0 in
+        match op with
+        | Insn.Div when pow2 ->
+          let rec tz k n = if n land 1 = 1 then k else tz (k + 1) (n asr 1) in
+          set f_rsh64_ri dst (tz 0 vi) 0
+        | Insn.Mod when pow2 -> set f_and64_ri dst (vi - 1) 0
+        | _ ->
+          let o =
+            match op with
+            | Insn.Add -> f_add64_ri
+            | Insn.Sub -> f_sub64_ri
+            | Insn.Mul -> f_mul64_ri
+            | Insn.Div -> f_div64_ri
+            | Insn.Mov -> f_mov64_ri
+            | Insn.Or -> f_or64_ri
+            | Insn.And -> f_and64_ri
+            | Insn.Xor -> f_xor64_ri
+            | Insn.Lsh -> f_lsh64_ri
+            | Insn.Rsh -> f_rsh64_ri
+            | Insn.Arsh -> f_arsh64_ri
+            | Insn.Mod -> f_mod64_ri
+            | Insn.Neg -> f_neg64
+          in
+          set o dst vi 0)
+      | Insn.Alu32 (op, dst, Insn.Reg src) when reg_ok dst && reg_ok src ->
+        set f_alu32_rr dst src (alu_op_index op)
+      | Insn.Alu32 (op, dst, Insn.Imm v) when reg_ok dst ->
+        set f_alu32_ri dst (Int32.to_int v) (alu_op_index op)
+      | Insn.Ld_imm64 (dst, v) when reg_ok dst ->
+        let off = Buffer.length pool in
+        Buffer.add_int64_ne pool v;
+        set f_ld_imm64 dst off 0
+      | Insn.Ldx (sz, dst, src, off) when reg_ok dst && reg_ok src ->
+        let o =
+          match sz with
+          | Insn.W8 -> f_ldx8
+          | Insn.W16 -> f_ldx16
+          | Insn.W32 -> f_ldx32
+          | Insn.W64 -> f_ldx64
+        in
+        set o dst src off
+      | Insn.Stx (sz, dst, off, src) when reg_ok dst && reg_ok src ->
+        let o =
+          match sz with
+          | Insn.W8 -> f_stx8
+          | Insn.W16 -> f_stx16
+          | Insn.W32 -> f_stx32
+          | Insn.W64 -> f_stx64
+        in
+        set o dst off src
+      | Insn.St (sz, dst, off, imm) when reg_ok dst ->
+        let o =
+          match sz with
+          | Insn.W8 -> f_st8
+          | Insn.W16 -> f_st16
+          | Insn.W32 -> f_st32
+          | Insn.W64 -> f_st64
+        in
+        set o dst off (Int32.to_int imm)
+      | Insn.Ja off -> set f_ja (target i off) 0 0
+      | Insn.Jcond (c, dst, Insn.Reg src, off) when reg_ok dst && reg_ok src
+        ->
+        let o =
+          match c with
+          | Insn.Jeq -> f_jeq_rr
+          | Insn.Jne -> f_jne_rr
+          | Insn.Jgt -> f_jgt_rr
+          | Insn.Jge -> f_jge_rr
+          | Insn.Jlt -> f_jlt_rr
+          | Insn.Jle -> f_jle_rr
+          | Insn.Jsgt -> f_jsgt_rr
+          | Insn.Jsge -> f_jsge_rr
+          | Insn.Jslt -> f_jslt_rr
+          | Insn.Jsle -> f_jsle_rr
+          | Insn.Jset -> f_jset_rr
+        in
+        set o dst src (target i off)
+      | Insn.Jcond (c, dst, Insn.Imm v, off) when reg_ok dst ->
+        let o =
+          match c with
+          | Insn.Jeq -> f_jeq_ri
+          | Insn.Jne -> f_jne_ri
+          | Insn.Jgt -> f_jgt_ri
+          | Insn.Jge -> f_jge_ri
+          | Insn.Jlt -> f_jlt_ri
+          | Insn.Jle -> f_jle_ri
+          | Insn.Jsgt -> f_jsgt_ri
+          | Insn.Jsge -> f_jsge_ri
+          | Insn.Jslt -> f_jslt_ri
+          | Insn.Jsle -> f_jsle_ri
+          | Insn.Jset -> f_jset_ri
+        in
+        set o dst (Int32.to_int v) (target i off)
+      | Insn.Call id -> set f_call id 0 0
+      | Insn.Exit -> set f_exit 0 0 0
+      | Insn.Alu64 _ | Insn.Alu32 _ | Insn.Ld_imm64 _ | Insn.Ldx _
+      | Insn.Stx _ | Insn.St _ | Insn.Jcond _ ->
+        set f_trap_badreg 0 0 0)
+    prog;
+  (* Superinstruction pass: rewrite the first opcode of the frequent
+     pairs above. Reading the successor's opcode before it is itself
+     rewritten keeps the scan one forward pass. *)
+  for i = 0 to n - 2 do
+    let a = ops.(4 * i) and b = ops.(4 * (i + 1)) in
+    let fused =
+      if a = f_mov64_rr && b = f_ldx64 then f_movrr_ldx64
+      else if a = f_stx64 && b = f_mov64_ri then f_stx64_movri
+      else if a = f_stx64 && b = f_ldx64 then f_stx64_ldx64
+      else if a = f_mov64_ri && b = f_mov64_rr then f_movri_movrr
+      else if a = f_ldx64 && b = f_stx64 then f_ldx64_stx64
+      else if a = f_mov64_ri && b = f_stx64 then f_movri_stx64
+      else if a = f_ldx64 && b = f_mul64_rr then f_ldx64_mulrr
+      else if a = f_ldx64 && b = f_add64_rr then f_ldx64_addrr
+      else -1
+    in
+    if fused >= 0 then ops.(4 * i) <- fused
+  done;
+  { ops; pool = Buffer.to_bytes pool }
+
+(* Raw native-endian 64-bit access into the register file. Indices come
+   from linked instructions, which [link] guarantees name r0..r10 only
+   (anything else became [L_trap_badreg]), so the unchecked primitives are
+   safe — and unlike an [int64 array] element store they keep the value
+   unboxed through the whole load/compute/store chain. *)
+external bytes_get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external bytes_set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+let[@inline always] rget b r = bytes_get64 b (r lsl 3)
+let[@inline always] rset b r v = bytes_set64 b (r lsl 3) v
+
+(* 64-bit ALU for the linked loop. [alu64] joins thirteen branches into
+   one int64 result, and because the Div/Mod branches end in calls to
+   [Int64.unsigned_div]/[unsigned_rem] (plain functions returning boxed
+   values) the join point is forced into a boxed representation — every
+   Add would allocate. Writing the register inside each branch removes
+   the join, so the frequent arithmetic ops stay unboxed end to end. *)
+(* Unsigned 64-bit comparison via sign-bias, using only comparison
+   primitives the compiler evaluates on unboxed values
+   ([Int64.unsigned_compare] is a plain function whose call would force
+   its operands into boxes on the interpreter's hottest path). *)
+let[@inline always] ucmp a b =
+  Int64.compare (Int64.add a Int64.min_int) (Int64.add b Int64.min_int)
+
+(* [Int64.unsigned_div]/[unsigned_rem] are stdlib functions, so a call
+   boxes both operands and the result; this is their exact algorithm
+   (signed-div of the halved dividend, then a fixup step) spelled with
+   primitives only. *)
+let[@inline always] udiv64 n d =
+  let open Int64 in
+  if d < 0L then (if ucmp n d < 0 then 0L else 1L)
+  else begin
+    let q = shift_left (div (shift_right_logical n 1) d) 1 in
+    let r = sub n (mul q d) in
+    if ucmp r d >= 0 then succ q else q
+  end
+
+let[@inline always] urem64 n d = Int64.sub n (Int64.mul (udiv64 n d) d)
+
+(* Zero-extending 32-bit register write: each 32-bit ALU branch calls it
+   directly so nothing joins in a boxed representation (a local helper
+   closure would allocate). *)
+let[@inline always] zx32 regb dst r =
+  rset regb dst (Int64.logand (Int64.of_int32 r) 0xffffffffL)
+
+(* Same dispatch keyed by [alu_op_index], for the generic 32-bit ALU
+   opcodes of the linked form (the only instruction class that keeps a
+   secondary dispatch — pluglet arithmetic is overwhelmingly 64-bit). *)
+let[@inline always] alu32_seti regb dst opi a b =
+  let a32 = Int64.to_int32 a and b32 = Int64.to_int32 b in
+  let open Int32 in
+  match opi with
+  | 0 -> zx32 regb dst (add a32 b32)
+  | 1 -> zx32 regb dst (sub a32 b32)
+  | 2 -> zx32 regb dst (mul a32 b32)
+  | 3 -> zx32 regb dst (if b32 = 0l then 0l else unsigned_div a32 b32)
+  | 9 -> zx32 regb dst (if b32 = 0l then a32 else unsigned_rem a32 b32)
+  | 4 -> zx32 regb dst (logor a32 b32)
+  | 5 -> zx32 regb dst (logand a32 b32)
+  | 10 -> zx32 regb dst (logxor a32 b32)
+  | 6 -> zx32 regb dst (shift_left a32 (Int32.to_int (logand b32 31l)))
+  | 7 ->
+    zx32 regb dst (shift_right_logical a32 (Int32.to_int (logand b32 31l)))
+  | 12 -> zx32 regb dst (shift_right a32 (Int32.to_int (logand b32 31l)))
+  | 11 -> zx32 regb dst b32
+  | _ -> zx32 regb dst (neg a32) (* 8, Neg *)
+
+(* Region resolution for the linked loop: the stack is always window 1
+   (pluglet locals, the dominant traffic), then the last-hit memo, then
+   the dense table via [region_at]. *)
+let[@inline always] region_for vm addr len =
+  let w = Int64.to_int (Int64.shift_right_logical addr window_bits) in
+  if w = 1 then vm.stack
+  else if vm.last_region.window = w then vm.last_region
+  else region_at vm addr len
+
+let ro_violation len addr r =
+  raise
+    (Memory_violation
+       (Printf.sprintf "write of %d bytes at 0x%Lx in read-only region %s"
+          len addr r.rname))
+
+(* Unchecked multi-byte accessors. The stdlib's [Bytes.get_int64_le]
+   family are plain functions, so without cross-module inlining every
+   memory instruction would pay a call and box its result; these compile
+   to single loads/stores. Bounds are checked by the callers below, and
+   [Sys.big_endian] platforms fall back to the (slow, correct) stdlib
+   accessors so the little-endian guest byte order is preserved. *)
+external bytes_get16u : Bytes.t -> int -> int = "%caml_bytes_get16u"
+external bytes_get32u : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external bytes_set16u : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+external bytes_set32u : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
+
+(* One monitor + accessor per access size, matching the size-specialized
+   linked opcodes: region lookup, bounds check, then a straight-line
+   load/store with nothing left to dispatch on. *)
+let[@inline always] load8_fast vm addr =
+  let r = region_for vm addr 1 in
+  let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
+  if 1 > Bytes.length r.mem - off then out_of_region 1 addr;
+  Int64.of_int (Char.code (Bytes.unsafe_get r.mem off))
+
+let[@inline always] load16_fast vm addr =
+  let r = region_for vm addr 2 in
+  let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
+  if 2 > Bytes.length r.mem - off then out_of_region 2 addr;
+  if Sys.big_endian then Int64.of_int (Bytes.get_uint16_le r.mem off)
+  else Int64.of_int (bytes_get16u r.mem off)
+
+let[@inline always] load32_fast vm addr =
+  let r = region_for vm addr 4 in
+  let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
+  if 4 > Bytes.length r.mem - off then out_of_region 4 addr;
+  if Sys.big_endian then
+    Int64.logand (Int64.of_int32 (Bytes.get_int32_le r.mem off)) 0xffffffffL
+  else Int64.logand (Int64.of_int32 (bytes_get32u r.mem off)) 0xffffffffL
+
+let[@inline always] load64_fast vm addr =
+  let r = region_for vm addr 8 in
+  let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
+  if 8 > Bytes.length r.mem - off then out_of_region 8 addr;
+  if Sys.big_endian then Bytes.get_int64_le r.mem off
+  else bytes_get64 r.mem off
+
+let[@inline always] store8_fast vm addr v =
+  let r = region_for vm addr 1 in
+  let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
+  if 1 > Bytes.length r.mem - off then out_of_region 1 addr;
+  if r.perm == Ro then ro_violation 1 addr r;
+  Bytes.unsafe_set r.mem off (Char.unsafe_chr (Int64.to_int v land 0xff))
+
+let[@inline always] store16_fast vm addr v =
+  let r = region_for vm addr 2 in
+  let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
+  if 2 > Bytes.length r.mem - off then out_of_region 2 addr;
+  if r.perm == Ro then ro_violation 2 addr r;
+  if Sys.big_endian then Bytes.set_uint16_le r.mem off (Int64.to_int v land 0xffff)
+  else bytes_set16u r.mem off (Int64.to_int v land 0xffff)
+
+let[@inline always] store32_fast vm addr v =
+  let r = region_for vm addr 4 in
+  let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
+  if 4 > Bytes.length r.mem - off then out_of_region 4 addr;
+  if r.perm == Ro then ro_violation 4 addr r;
+  if Sys.big_endian then Bytes.set_int32_le r.mem off (Int64.to_int32 v)
+  else bytes_set32u r.mem off (Int64.to_int32 v)
+
+let[@inline always] store64_fast vm addr v =
+  let r = region_for vm addr 8 in
+  let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
+  if 8 > Bytes.length r.mem - off then out_of_region 8 addr;
+  if r.perm == Ro then ro_violation 8 addr r;
+  if Sys.big_endian then Bytes.set_int64_le r.mem off v
+  else bytes_set64 r.mem off v
+
+(* Stack-window fast path for the linked loop. Pluglet locals dominate
+   memory traffic, the stack is mapped at window 1 for the whole VM
+   lifetime, and an in-bounds stack access cannot trap — so it needs
+   neither the region record nor an [executed] sync. The whole
+   window-plus-bounds test is one subtraction and one unsigned compare:
+   [d = addr - stack_base] is below [lim = stack length - access size + 1]
+   (precomputed per size by the run loop, clamped at 0) exactly when the
+   access lies inside the stack; any other window under- or overflows the
+   unsigned range. Everything else — other windows, out-of-bounds
+   offsets, big-endian hosts — drops to the monitored [*_fast] path
+   above, syncing [vm.executed] first because it may raise.
+   ([Sys.big_endian] folds to a constant, so the check is free.) *)
+let[@inline always] load8_m vm stk lim execd addr =
+  let d = Int64.sub addr region_alignment in
+  if ucmp d lim < 0 then
+    Int64.of_int (Char.code (Bytes.unsafe_get stk (Int64.to_int d)))
+  else begin
+    vm.executed <- execd;
+    load8_fast vm addr
+  end
+
+let[@inline always] load16_m vm stk lim execd addr =
+  let d = Int64.sub addr region_alignment in
+  if (not Sys.big_endian) && ucmp d lim < 0 then
+    Int64.of_int (bytes_get16u stk (Int64.to_int d))
+  else begin
+    vm.executed <- execd;
+    load16_fast vm addr
+  end
+
+let[@inline always] load32_m vm stk lim execd addr =
+  let d = Int64.sub addr region_alignment in
+  if (not Sys.big_endian) && ucmp d lim < 0 then
+    Int64.logand (Int64.of_int32 (bytes_get32u stk (Int64.to_int d))) 0xffffffffL
+  else begin
+    vm.executed <- execd;
+    load32_fast vm addr
+  end
+
+let[@inline always] load64_m vm stk lim execd addr =
+  let d = Int64.sub addr region_alignment in
+  if (not Sys.big_endian) && ucmp d lim < 0 then
+    bytes_get64 stk (Int64.to_int d)
+  else begin
+    vm.executed <- execd;
+    load64_fast vm addr
+  end
+
+(* The stack is always [Rw], so the stores' fast path skips the
+   permission check too. *)
+let[@inline always] store8_m vm stk lim execd addr v =
+  let d = Int64.sub addr region_alignment in
+  if ucmp d lim < 0 then
+    Bytes.unsafe_set stk (Int64.to_int d)
+      (Char.unsafe_chr (Int64.to_int v land 0xff))
+  else begin
+    vm.executed <- execd;
+    store8_fast vm addr v
+  end
+
+let[@inline always] store16_m vm stk lim execd addr v =
+  let d = Int64.sub addr region_alignment in
+  if (not Sys.big_endian) && ucmp d lim < 0 then
+    bytes_set16u stk (Int64.to_int d) (Int64.to_int v land 0xffff)
+  else begin
+    vm.executed <- execd;
+    store16_fast vm addr v
+  end
+
+let[@inline always] store32_m vm stk lim execd addr v =
+  let d = Int64.sub addr region_alignment in
+  if (not Sys.big_endian) && ucmp d lim < 0 then
+    bytes_set32u stk (Int64.to_int d) (Int64.to_int32 v)
+  else begin
+    vm.executed <- execd;
+    store32_fast vm addr v
+  end
+
+let[@inline always] store64_m vm stk lim execd addr v =
+  let d = Int64.sub addr region_alignment in
+  if (not Sys.big_endian) && ucmp d lim < 0 then
+    bytes_set64 stk (Int64.to_int d) v
+  else begin
+    vm.executed <- execd;
+    store64_fast vm addr v
+  end
+
+(* Execute a linked program. Shares the register file and helper-argument
+   scratch array of the VM, so the per-run setup is two small fills; the
+   VM is therefore not re-entrant on this path (a helper must not run the
+   *same* VM again — protoop loop detection already rules that out for
+   pluglets, whose only way back in is their own protocol operation).
+
+   The loop carries [pc] and the remaining fuel as immediate ints through
+   a tail call, keeps registers unboxed via [rget]/[rset], and inlines
+   the ALU, comparison and memory-monitor helpers so no int64 crosses a
+   function boundary on the hot path: a run allocates nothing beyond its
+   boxed result (helper calls excepted). *)
+let run_linked vm ?(args = [||]) (code : linked_prog) =
+  reset_stack vm;
+  let regb = vm.regb in
+  Bytes.fill regb 0 88 '\000';
+  let nargs = Array.length args in
+  for k = 0 to (if nargs > 5 then 4 else nargs - 1) do
+    rset regb (k + 1) args.(k)
+  done;
+  rset regb Insn.fp (fp_value vm);
+  (* [vm.executed] accounting is derived from the fuel counter instead of
+     a per-instruction store: with [k = base + fuel0 + 1], the value
+     [k - fuel] at any step is the executed count *including* the current
+     instruction (fuel is decremented in the tail call, after it). The
+     count is synced — by absolute assignment, so re-syncing is
+     idempotent — before anything that can trap or observe it: memory
+     ops that leave the stack fast path (an in-bounds stack access cannot
+     trap, so it skips the sync), helper calls, program exit, and the
+     explicit trap arms. The
+     reference path's accounting (increment before executing each
+     instruction, so a trapping instruction is already counted, and the
+     fuel-exhausted one is not) is reproduced exactly. *)
+  let stk = vm.stack.mem in
+  (* Per-access-size stack fast-path limits for [load*_m]/[store*_m]:
+     the largest in-bounds [addr - stack_base], exclusive. Clamped at 0
+     (= fast path never hit) for stacks smaller than the access. *)
+  let stklen = Bytes.length stk in
+  let lim1 = Int64.of_int stklen in
+  let lim2 = Int64.of_int (max 0 (stklen - 1)) in
+  let lim4 = Int64.of_int (max 0 (stklen - 3)) in
+  let lim8 = Int64.of_int (max 0 (stklen - 7)) in
+  let ops = code.ops in
+  let pool = code.pool in
+  let fuel0 = vm.max_insns in
+  let k = vm.executed + fuel0 + 1 in
+  let invalid_jump fuel =
+    (* Unreachable for verified programs; same lazy trap as the
+       reference path. *)
+    vm.executed <- k - fuel;
+    raise (Memory_violation "jump to invalid slot")
+  in
+  (* The opcode literals below mirror the [f_*] table next to [link];
+     the match is over a dense range, so it compiles to one jump table. *)
+  let rec exec pc fuel =
+    if fuel <= 0 then begin
+      vm.executed <- k - fuel - 1;
+      raise Fuel_exhausted
+    end;
+    let a1 = Array.unsafe_get ops (pc + 1) in
+    let a2 = Array.unsafe_get ops (pc + 2) in
+    let a3 = Array.unsafe_get ops (pc + 3) in
+    match Array.unsafe_get ops pc with
+    | 0 (* add64_rr *) ->
+      rset regb a1 (Int64.add (rget regb a1) (rget regb a2));
+      exec (pc + 4) (fuel - 1)
+    | 1 (* add64_ri *) ->
+      rset regb a1 (Int64.add (rget regb a1) (Int64.of_int a2));
+      exec (pc + 4) (fuel - 1)
+    | 2 (* sub64_rr *) ->
+      rset regb a1 (Int64.sub (rget regb a1) (rget regb a2));
+      exec (pc + 4) (fuel - 1)
+    | 3 (* sub64_ri *) ->
+      rset regb a1 (Int64.sub (rget regb a1) (Int64.of_int a2));
+      exec (pc + 4) (fuel - 1)
+    | 4 (* mul64_rr *) ->
+      rset regb a1 (Int64.mul (rget regb a1) (rget regb a2));
+      exec (pc + 4) (fuel - 1)
+    | 5 (* mul64_ri *) ->
+      rset regb a1 (Int64.mul (rget regb a1) (Int64.of_int a2));
+      exec (pc + 4) (fuel - 1)
+    | 6 (* div64_rr *) ->
+      let b = rget regb a2 in
+      rset regb a1 (if Int64.equal b 0L then 0L else udiv64 (rget regb a1) b);
+      exec (pc + 4) (fuel - 1)
+    | 7 (* div64_ri *) ->
+      rset regb a1
+        (if a2 = 0 then 0L else udiv64 (rget regb a1) (Int64.of_int a2));
+      exec (pc + 4) (fuel - 1)
+    | 8 (* mov64_rr *) ->
+      rset regb a1 (rget regb a2);
+      exec (pc + 4) (fuel - 1)
+    | 9 (* mov64_ri *) ->
+      rset regb a1 (Int64.of_int a2);
+      exec (pc + 4) (fuel - 1)
+    | 10 (* or64_rr *) ->
+      rset regb a1 (Int64.logor (rget regb a1) (rget regb a2));
+      exec (pc + 4) (fuel - 1)
+    | 11 (* or64_ri *) ->
+      rset regb a1 (Int64.logor (rget regb a1) (Int64.of_int a2));
+      exec (pc + 4) (fuel - 1)
+    | 12 (* and64_rr *) ->
+      rset regb a1 (Int64.logand (rget regb a1) (rget regb a2));
+      exec (pc + 4) (fuel - 1)
+    | 13 (* and64_ri *) ->
+      rset regb a1 (Int64.logand (rget regb a1) (Int64.of_int a2));
+      exec (pc + 4) (fuel - 1)
+    | 14 (* xor64_rr *) ->
+      rset regb a1 (Int64.logxor (rget regb a1) (rget regb a2));
+      exec (pc + 4) (fuel - 1)
+    | 15 (* xor64_ri *) ->
+      rset regb a1 (Int64.logxor (rget regb a1) (Int64.of_int a2));
+      exec (pc + 4) (fuel - 1)
+    | 16 (* lsh64_rr *) ->
+      rset regb a1
+        (Int64.shift_left (rget regb a1)
+           (Int64.to_int (Int64.logand (rget regb a2) 63L)));
+      exec (pc + 4) (fuel - 1)
+    | 17 (* lsh64_ri *) ->
+      rset regb a1 (Int64.shift_left (rget regb a1) (a2 land 63));
+      exec (pc + 4) (fuel - 1)
+    | 18 (* rsh64_rr *) ->
+      rset regb a1
+        (Int64.shift_right_logical (rget regb a1)
+           (Int64.to_int (Int64.logand (rget regb a2) 63L)));
+      exec (pc + 4) (fuel - 1)
+    | 19 (* rsh64_ri *) ->
+      rset regb a1 (Int64.shift_right_logical (rget regb a1) (a2 land 63));
+      exec (pc + 4) (fuel - 1)
+    | 20 (* arsh64_rr *) ->
+      rset regb a1
+        (Int64.shift_right (rget regb a1)
+           (Int64.to_int (Int64.logand (rget regb a2) 63L)));
+      exec (pc + 4) (fuel - 1)
+    | 21 (* arsh64_ri *) ->
+      rset regb a1 (Int64.shift_right (rget regb a1) (a2 land 63));
+      exec (pc + 4) (fuel - 1)
+    | 22 (* mod64_rr *) ->
+      let b = rget regb a2 in
+      let a = rget regb a1 in
+      rset regb a1 (if Int64.equal b 0L then a else urem64 a b);
+      exec (pc + 4) (fuel - 1)
+    | 23 (* mod64_ri *) ->
+      let a = rget regb a1 in
+      rset regb a1 (if a2 = 0 then a else urem64 a (Int64.of_int a2));
+      exec (pc + 4) (fuel - 1)
+    | 24 (* neg64 *) ->
+      rset regb a1 (Int64.neg (rget regb a1));
+      exec (pc + 4) (fuel - 1)
+    | 25 (* alu32_rr *) ->
+      alu32_seti regb a1 a3 (rget regb a1) (rget regb a2);
+      exec (pc + 4) (fuel - 1)
+    | 26 (* alu32_ri *) ->
+      alu32_seti regb a1 a3 (rget regb a1) (Int64.of_int a2);
+      exec (pc + 4) (fuel - 1)
+    | 27 (* ld_imm64 *) ->
+      rset regb a1 (bytes_get64 pool a2);
+      exec (pc + 4) (fuel - 1)
+    | 28 (* ldx8 *) ->
+      rset regb a1
+        (load8_m vm stk lim1 (k - fuel)
+           (Int64.add (rget regb a2) (Int64.of_int a3)));
+      exec (pc + 4) (fuel - 1)
+    | 29 (* ldx16 *) ->
+      rset regb a1
+        (load16_m vm stk lim2 (k - fuel)
+           (Int64.add (rget regb a2) (Int64.of_int a3)));
+      exec (pc + 4) (fuel - 1)
+    | 30 (* ldx32 *) ->
+      rset regb a1
+        (load32_m vm stk lim4 (k - fuel)
+           (Int64.add (rget regb a2) (Int64.of_int a3)));
+      exec (pc + 4) (fuel - 1)
+    | 31 (* ldx64 *) ->
+      rset regb a1
+        (load64_m vm stk lim8 (k - fuel)
+           (Int64.add (rget regb a2) (Int64.of_int a3)));
+      exec (pc + 4) (fuel - 1)
+    | 32 (* stx8 *) ->
+      store8_m vm stk lim1 (k - fuel)
+        (Int64.add (rget regb a1) (Int64.of_int a2))
+        (rget regb a3);
+      exec (pc + 4) (fuel - 1)
+    | 33 (* stx16 *) ->
+      store16_m vm stk lim2 (k - fuel)
+        (Int64.add (rget regb a1) (Int64.of_int a2))
+        (rget regb a3);
+      exec (pc + 4) (fuel - 1)
+    | 34 (* stx32 *) ->
+      store32_m vm stk lim4 (k - fuel)
+        (Int64.add (rget regb a1) (Int64.of_int a2))
+        (rget regb a3);
+      exec (pc + 4) (fuel - 1)
+    | 35 (* stx64 *) ->
+      store64_m vm stk lim8 (k - fuel)
+        (Int64.add (rget regb a1) (Int64.of_int a2))
+        (rget regb a3);
+      exec (pc + 4) (fuel - 1)
+    | 36 (* st8 *) ->
+      store8_m vm stk lim1 (k - fuel)
+        (Int64.add (rget regb a1) (Int64.of_int a2))
+        (Int64.of_int a3);
+      exec (pc + 4) (fuel - 1)
+    | 37 (* st16 *) ->
+      store16_m vm stk lim2 (k - fuel)
+        (Int64.add (rget regb a1) (Int64.of_int a2))
+        (Int64.of_int a3);
+      exec (pc + 4) (fuel - 1)
+    | 38 (* st32 *) ->
+      store32_m vm stk lim4 (k - fuel)
+        (Int64.add (rget regb a1) (Int64.of_int a2))
+        (Int64.of_int a3);
+      exec (pc + 4) (fuel - 1)
+    | 39 (* st64 *) ->
+      store64_m vm stk lim8 (k - fuel)
+        (Int64.add (rget regb a1) (Int64.of_int a2))
+        (Int64.of_int a3);
+      exec (pc + 4) (fuel - 1)
+    | 40 (* ja *) ->
+      if a1 >= 0 then exec a1 (fuel - 1) else invalid_jump fuel
+    | 41 (* jeq_rr *) ->
+      if Int64.equal (rget regb a1) (rget regb a2) then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 42 (* jeq_ri *) ->
+      if Int64.equal (rget regb a1) (Int64.of_int a2) then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 43 (* jne_rr *) ->
+      if not (Int64.equal (rget regb a1) (rget regb a2)) then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 44 (* jne_ri *) ->
+      if not (Int64.equal (rget regb a1) (Int64.of_int a2)) then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 45 (* jgt_rr *) ->
+      if ucmp (rget regb a1) (rget regb a2) > 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 46 (* jgt_ri *) ->
+      if ucmp (rget regb a1) (Int64.of_int a2) > 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 47 (* jge_rr *) ->
+      if ucmp (rget regb a1) (rget regb a2) >= 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 48 (* jge_ri *) ->
+      if ucmp (rget regb a1) (Int64.of_int a2) >= 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 49 (* jlt_rr *) ->
+      if ucmp (rget regb a1) (rget regb a2) < 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 50 (* jlt_ri *) ->
+      if ucmp (rget regb a1) (Int64.of_int a2) < 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 51 (* jle_rr *) ->
+      if ucmp (rget regb a1) (rget regb a2) <= 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 52 (* jle_ri *) ->
+      if ucmp (rget regb a1) (Int64.of_int a2) <= 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 53 (* jsgt_rr *) ->
+      if Int64.compare (rget regb a1) (rget regb a2) > 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 54 (* jsgt_ri *) ->
+      if Int64.compare (rget regb a1) (Int64.of_int a2) > 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 55 (* jsge_rr *) ->
+      if Int64.compare (rget regb a1) (rget regb a2) >= 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 56 (* jsge_ri *) ->
+      if Int64.compare (rget regb a1) (Int64.of_int a2) >= 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 57 (* jslt_rr *) ->
+      if Int64.compare (rget regb a1) (rget regb a2) < 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 58 (* jslt_ri *) ->
+      if Int64.compare (rget regb a1) (Int64.of_int a2) < 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 59 (* jsle_rr *) ->
+      if Int64.compare (rget regb a1) (rget regb a2) <= 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 60 (* jsle_ri *) ->
+      if Int64.compare (rget regb a1) (Int64.of_int a2) <= 0 then
+        if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 61 (* jset_rr *) ->
+      if not (Int64.equal (Int64.logand (rget regb a1) (rget regb a2)) 0L)
+      then if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 62 (* jset_ri *) ->
+      if
+        not (Int64.equal (Int64.logand (rget regb a1) (Int64.of_int a2)) 0L)
+      then if a3 >= 0 then exec a3 (fuel - 1) else invalid_jump fuel
+      else exec (pc + 4) (fuel - 1)
+    | 63 (* call *) ->
+      vm.executed <- k - fuel;
+      (match
+         (if a1 >= 0 && a1 < Array.length vm.helpers then vm.helpers.(a1)
+          else None)
+       with
+      | None -> raise (Helper_failure (Printf.sprintf "helper %d missing" a1))
+      | Some f ->
+        let call_args = vm.scratch_args in
+        for j = 0 to 4 do
+          call_args.(j) <- rget regb (j + 1)
+        done;
+        let res = f vm call_args in
+        rset regb 0 res;
+        (* r1-r5 are clobbered by calls, per the eBPF convention. *)
+        Bytes.fill regb 8 40 '\000');
+      exec (pc + 4) (fuel - 1)
+    | 64 (* exit *) ->
+      vm.executed <- k - fuel;
+      rget regb 0
+    | 66 (* mov64_rr + ldx64 *) ->
+      if fuel >= 2 then begin
+        rset regb a1 (rget regb a2);
+        let b1 = Array.unsafe_get ops (pc + 5) in
+        let b2 = Array.unsafe_get ops (pc + 6) in
+        let b3 = Array.unsafe_get ops (pc + 7) in
+        rset regb b1
+          (load64_m vm stk lim8
+             (k - fuel + 1)
+             (Int64.add (rget regb b2) (Int64.of_int b3)));
+        exec (pc + 8) (fuel - 2)
+      end
+      else begin
+        rset regb a1 (rget regb a2);
+        exec (pc + 4) (fuel - 1)
+      end
+    | 67 (* stx64 + mov64_ri *) ->
+      store64_m vm stk lim8 (k - fuel)
+        (Int64.add (rget regb a1) (Int64.of_int a2))
+        (rget regb a3);
+      if fuel >= 2 then begin
+        let b1 = Array.unsafe_get ops (pc + 5) in
+        let b2 = Array.unsafe_get ops (pc + 6) in
+        rset regb b1 (Int64.of_int b2);
+        exec (pc + 8) (fuel - 2)
+      end
+      else exec (pc + 4) (fuel - 1)
+    | 68 (* stx64 + ldx64 *) ->
+      store64_m vm stk lim8 (k - fuel)
+        (Int64.add (rget regb a1) (Int64.of_int a2))
+        (rget regb a3);
+      if fuel >= 2 then begin
+        let b1 = Array.unsafe_get ops (pc + 5) in
+        let b2 = Array.unsafe_get ops (pc + 6) in
+        let b3 = Array.unsafe_get ops (pc + 7) in
+        rset regb b1
+          (load64_m vm stk lim8
+             (k - fuel + 1)
+             (Int64.add (rget regb b2) (Int64.of_int b3)));
+        exec (pc + 8) (fuel - 2)
+      end
+      else exec (pc + 4) (fuel - 1)
+    | 69 (* mov64_ri + mov64_rr *) ->
+      rset regb a1 (Int64.of_int a2);
+      if fuel >= 2 then begin
+        let b1 = Array.unsafe_get ops (pc + 5) in
+        let b2 = Array.unsafe_get ops (pc + 6) in
+        rset regb b1 (rget regb b2);
+        exec (pc + 8) (fuel - 2)
+      end
+      else exec (pc + 4) (fuel - 1)
+    | 70 (* ldx64 + stx64 *) ->
+      rset regb a1
+        (load64_m vm stk lim8 (k - fuel)
+           (Int64.add (rget regb a2) (Int64.of_int a3)));
+      if fuel >= 2 then begin
+        let b1 = Array.unsafe_get ops (pc + 5) in
+        let b2 = Array.unsafe_get ops (pc + 6) in
+        let b3 = Array.unsafe_get ops (pc + 7) in
+        store64_m vm stk lim8
+          (k - fuel + 1)
+          (Int64.add (rget regb b1) (Int64.of_int b2))
+          (rget regb b3);
+        exec (pc + 8) (fuel - 2)
+      end
+      else exec (pc + 4) (fuel - 1)
+    | 71 (* mov64_ri + stx64 *) ->
+      rset regb a1 (Int64.of_int a2);
+      if fuel >= 2 then begin
+        let b1 = Array.unsafe_get ops (pc + 5) in
+        let b2 = Array.unsafe_get ops (pc + 6) in
+        let b3 = Array.unsafe_get ops (pc + 7) in
+        store64_m vm stk lim8
+          (k - fuel + 1)
+          (Int64.add (rget regb b1) (Int64.of_int b2))
+          (rget regb b3);
+        exec (pc + 8) (fuel - 2)
+      end
+      else exec (pc + 4) (fuel - 1)
+    | 72 (* ldx64 + mul64_rr *) ->
+      rset regb a1
+        (load64_m vm stk lim8 (k - fuel)
+           (Int64.add (rget regb a2) (Int64.of_int a3)));
+      if fuel >= 2 then begin
+        let b1 = Array.unsafe_get ops (pc + 5) in
+        let b2 = Array.unsafe_get ops (pc + 6) in
+        rset regb b1 (Int64.mul (rget regb b1) (rget regb b2));
+        exec (pc + 8) (fuel - 2)
+      end
+      else exec (pc + 4) (fuel - 1)
+    | 73 (* ldx64 + add64_rr *) ->
+      rset regb a1
+        (load64_m vm stk lim8 (k - fuel)
+           (Int64.add (rget regb a2) (Int64.of_int a3)));
+      if fuel >= 2 then begin
+        let b1 = Array.unsafe_get ops (pc + 5) in
+        let b2 = Array.unsafe_get ops (pc + 6) in
+        rset regb b1 (Int64.add (rget regb b1) (rget regb b2));
+        exec (pc + 8) (fuel - 2)
+      end
+      else exec (pc + 4) (fuel - 1)
+    | _ (* trap_badreg; also the fall-off-the-end sentinel, which — like
+           the reference path's failed fetch — counts the instruction and
+           traps with the array's own error *) ->
+      vm.executed <- k - fuel;
+      raise (Invalid_argument "index out of bounds")
+  in
+  exec 0 fuel0
 
 let executed vm = vm.executed

@@ -6,7 +6,13 @@
     (pluglet stack, plugin heap, host-provided buffers) mapped at synthetic
     64-bit base addresses; any access outside a mapped region, or a write
     to a read-only region, raises {!Memory_violation} — the host reacts by
-    removing the plugin and terminating the connection. *)
+    removing the plugin and terminating the connection.
+
+    The admission pipeline is {e decode → verify → link → run}: production
+    callers {!link} a verified program once and execute it with
+    {!run_linked}, which does no per-run setup work. {!run} interprets the
+    decoded form directly and is kept as the executable specification the
+    linked fast path is differentially tested against. *)
 
 type perm = Ro | Rw
 
@@ -14,6 +20,7 @@ type region = {
   rid : int;
   rname : string;
   base : int64;   (** address pluglets use to reach the region *)
+  window : int;   (** [base lsr 32]: index into the VM's region table *)
   mem : Bytes.t;
   perm : perm;
 }
@@ -30,18 +37,26 @@ exception Helper_failure of string
 type t
 
 (** A host function callable from bytecode: receives the VM (for
-    region-checked memory access) and the five argument registers. *)
+    region-checked memory access) and the five argument registers. The
+    argument array is only valid for the duration of the call. *)
 type helper = t -> int64 array -> int64
 
 val create : ?stack_size:int -> ?max_insns:int -> unit -> t
 (** [stack_size] defaults to 512 bytes, [max_insns] (the per-run fuel) to
-    4,000,000. *)
+    4,000,000. The pluglet stack is a persistent region mapped at creation
+    (always the first window, so every PRE of an instance has the same
+    layout) and zeroed between runs. *)
 
 val register_helper : t -> int -> helper -> unit
+(** Bind a helper id to its implementation in the VM's dense helper table;
+    re-registering an id replaces the previous binding. Helper ids are
+    non-negative. *)
 
 val map_region : t -> name:string -> perm:perm -> Bytes.t -> region
 (** Make [mem] addressable from bytecode; each region gets its own 4 GiB
-    window of synthetic address space, so regions never abut. *)
+    window of synthetic address space, so regions never abut. Windows of
+    unmapped regions are recycled, keeping the region table dense under
+    the per-call map/unmap traffic of protoop argument buffers. *)
 
 val unmap_region : t -> region -> unit
 
@@ -54,12 +69,35 @@ val write_bytes : t -> int64 -> Bytes.t -> unit
 val fill_bytes : t -> int64 -> int -> char -> unit
 
 val run : t -> ?args:int64 array -> Insn.t array -> int64
-(** Execute a program with up to five arguments in r1..r5; returns r0. A
-    fresh zeroed stack region is mapped for the run and unmapped afterwards,
-    so stack contents never leak between runs.
+(** Execute a program with up to five arguments in r1..r5; returns r0. The
+    stack is zeroed before the run, so stack contents never leak between
+    runs. This is the reference interpreter: it resolves jumps through
+    freshly built slot maps on every invocation — production callers use
+    {!link} and {!run_linked}.
+    @raise Memory_violation on an out-of-region or read-only access
+    @raise Fuel_exhausted when the instruction budget is spent
+    @raise Helper_failure when a helper rejects a call *)
+
+type linked_prog
+(** A program linked once for repeated execution: a flat array with one
+    specialised opcode per operation and operand kind, jump offsets
+    resolved to direct array indices, immediates pre-widened to 64 bits,
+    and the frequent adjacent instruction pairs fused. *)
+
+val link : Insn.t array -> linked_prog
+(** Link a program. Total: any jump target the verifier would reject is
+    linked to a lazy trap that raises {!Memory_violation} only if taken,
+    so linked execution agrees with {!run} even on unverified programs. *)
+
+val run_linked : t -> ?args:int64 array -> linked_prog -> int64
+(** Execute a linked program; semantics (results, traps, {!executed}
+    accounting) are identical to {!run} on the program it was linked
+    from, with no per-run setup work. The VM is not re-entrant on this
+    path: a helper must not run the same VM again.
     @raise Memory_violation on an out-of-region or read-only access
     @raise Fuel_exhausted when the instruction budget is spent
     @raise Helper_failure when a helper rejects a call *)
 
 val executed : t -> int
-(** Instructions executed over the VM's lifetime (overhead accounting). *)
+(** Instructions executed over the VM's lifetime (overhead accounting),
+    on either execution path. *)

@@ -401,6 +401,170 @@ let test_stack_isolated_between_runs () =
   ignore (Vm.run vm write);
   check i64 "fresh stack per run" 0L (Vm.run vm read)
 
+(* -------------------- linked fast path (Vm.link) --------------------- *)
+
+(* [Vm.run] is kept as the executable specification of pluglet semantics;
+   [Vm.link] + [Vm.run_linked] is the admission-pipeline fast path used by
+   the PREs. The two must agree on results, on traps and on instruction
+   accounting for every program the verifier admits. *)
+
+type outcome = Value of int64 | Trap of string
+
+let outcome_to_string = function
+  | Value v -> Printf.sprintf "value %Ld" v
+  | Trap s -> "trap [" ^ s ^ "]"
+
+(* Two helpers are registered; helper 7 is known to the verifier but never
+   registered, so calling it traps [Helper_failure] at runtime. *)
+let diff_known_helper id = id = 1 || id = 2 || id = 7
+
+let diff_vm () =
+  let vm = Vm.create ~max_insns:2_000 () in
+  Vm.register_helper vm 1 (fun _ a -> Int64.add a.(0) a.(1));
+  Vm.register_helper vm 2 (fun _ a -> Int64.mul a.(0) 3L);
+  let rw =
+    Vm.map_region vm ~name:"rw" ~perm:Vm.Rw
+      (Bytes.init 64 (fun i -> Char.chr (i * 7 mod 256)))
+  in
+  let ro =
+    Vm.map_region vm ~name:"ro" ~perm:Vm.Ro
+      (Bytes.init 32 (fun i -> Char.chr (255 - i)))
+  in
+  (vm, [| rw.Vm.base; ro.Vm.base |])
+
+let observe vm f =
+  let before = Vm.executed vm in
+  let outcome =
+    match f () with
+    | v -> Value v
+    | exception Vm.Memory_violation m -> Trap ("memory: " ^ m)
+    | exception Vm.Fuel_exhausted -> Trap "fuel"
+    | exception Vm.Helper_failure m -> Trap ("helper: " ^ m)
+  in
+  (outcome, Vm.executed vm - before)
+
+(* Run [prog] through both paths on identically prepared VMs (same region
+   layout, hence identical base addresses passed as r1/r2). *)
+let differential prog =
+  let vm_ref, args_ref = diff_vm () in
+  let vm_fast, args_fast = diff_vm () in
+  assert (args_ref = args_fast);
+  let o_ref = observe vm_ref (fun () -> Vm.run vm_ref ~args:args_ref prog) in
+  let o_fast =
+    observe vm_fast (fun () ->
+        Vm.run_linked vm_fast ~args:args_fast (Vm.link prog))
+  in
+  (o_ref, o_fast)
+
+let diff_case name prog =
+  let (o_ref, e_ref), (o_fast, e_fast) = differential (Array.of_list prog) in
+  check bool
+    (Printf.sprintf "%s: %s = %s" name (outcome_to_string o_ref)
+       (outcome_to_string o_fast))
+    true (o_ref = o_fast);
+  check int (name ^ ": executed-insn accounting") e_ref e_fast
+
+(* Instructions biased towards what the verifier admits and towards the
+   interesting memory cases: accesses through r1 (rw region), r2 (ro
+   region) and fp, with offsets that sometimes leave the region. *)
+let gen_diff_insn =
+  QCheck2.Gen.(
+    frequency
+      [
+        (5, map3 (fun op d o -> I.Alu64 (op, d, o)) gen_alu_op gen_wreg gen_operand);
+        (3, map3 (fun op d o -> I.Alu32 (op, d, o)) gen_alu_op gen_wreg gen_operand);
+        ( 2,
+          map2 (fun d v -> I.Ld_imm64 (d, v)) gen_wreg
+            (map Int64.of_int (int_range min_int max_int)) );
+        ( 2,
+          map3 (fun sz d (s, off) -> I.Ldx (sz, d, s, off)) gen_size gen_wreg
+            (pair (oneofl [ 1; 2; 10 ]) (int_range (-32) 8)) );
+        ( 2,
+          map3 (fun sz (d, off) s -> I.Stx (sz, d, off, s)) gen_size
+            (pair (oneofl [ 1; 10 ]) (int_range (-32) 8)) gen_reg );
+        ( 1,
+          map3 (fun sz (d, off) v -> I.St (sz, d, off, Int32.of_int v)) gen_size
+            (pair (oneofl [ 1; 10 ]) (int_range (-32) 8)) (int_range (-1000) 1000) );
+        (1, map (fun off -> I.Ja off) (int_range 0 3));
+        ( 2,
+          map (fun ((c, d), (o, off)) -> I.Jcond (c, d, o, off))
+            (pair (pair gen_cond gen_reg) (pair gen_operand (int_range 0 3))) );
+        (1, oneofl [ I.Call 1; I.Call 2; I.Call 7 ]);
+      ])
+
+let linked_matches_reference =
+  qcheck ~count:500 "linked fast path matches the reference interpreter"
+    QCheck2.Gen.(list_size (int_range 1 25) gen_diff_insn)
+    (fun insns ->
+      let prog = Array.of_list (insns @ [ I.Exit ]) in
+      match V.verify ~known_helper:diff_known_helper prog with
+      | Error _ -> true (* not admitted: nothing to compare *)
+      | Ok () ->
+        let (o_ref, e_ref), (o_fast, e_fast) = differential prog in
+        if o_ref = o_fast && e_ref = e_fast then true
+        else
+          QCheck2.Test.fail_reportf
+            "reference: %s after %d insns@.linked:    %s after %d insns"
+            (outcome_to_string o_ref) e_ref (outcome_to_string o_fast) e_fast)
+
+let test_differential_traps () =
+  (* fuel: a self-jump that never terminates *)
+  diff_case "fuel exhaustion"
+    [ I.Alu64 (I.Mov, 0, I.Imm 1l); I.Jcond (I.Jne, 0, I.Imm 0l, -1); I.Exit ];
+  (* memory: load from a window no region occupies *)
+  diff_case "unmapped load"
+    [ I.Ld_imm64 (1, 0xBEEF_0000_0000L); I.Ldx (I.W64, 0, 1, 0); I.Exit ];
+  (* memory: store into the read-only region (base arrives in r2) *)
+  diff_case "read-only write"
+    [ I.Alu64 (I.Mov, 0, I.Imm 5l); I.Stx (I.W8, 2, 0, 0); I.Exit ];
+  (* memory: access straddling the end of the 64-byte rw region *)
+  diff_case "straddling access" [ I.Ldx (I.W64, 0, 1, 60); I.Exit ];
+  (* helper: id 7 passes verification but is not registered *)
+  diff_case "unregistered helper" [ I.Call 7; I.Exit ];
+  (* a clean run for contrast: loop, memory traffic and a helper call *)
+  diff_case "clean mixed program"
+    [
+      I.Alu64 (I.Mov, 0, I.Imm 0l);
+      I.Alu64 (I.Mov, 3, I.Imm 10l);
+      I.Alu64 (I.Add, 0, I.Reg 3);
+      I.Alu64 (I.Sub, 3, I.Imm 1l);
+      I.Jcond (I.Jne, 3, I.Imm 0l, -3);
+      I.Stx (I.W64, 1, 8, 0);
+      I.Ldx (I.W32, 1, 1, 8);
+      I.Alu64 (I.Mov, 2, I.Imm 100l);
+      I.Call 1;
+      I.Exit;
+    ]
+
+let test_linked_lazy_jump_trap () =
+  (* an out-of-range target on a conditional jump only traps when the jump
+     is taken: linking must not reject the program eagerly (r0 starts 0) *)
+  diff_case "invalid jump not taken"
+    [ I.Jcond (I.Jeq, 0, I.Imm 1l, 100); I.Exit ];
+  diff_case "invalid jump taken" [ I.Jcond (I.Jeq, 0, I.Imm 0l, 100); I.Exit ];
+  let vm, args = diff_vm () in
+  match
+    Vm.run_linked vm ~args
+      (Vm.link [| I.Jcond (I.Jeq, 0, I.Imm 0l, 100); I.Exit |])
+  with
+  | exception Vm.Memory_violation "jump to invalid slot" -> ()
+  | exception e ->
+    Alcotest.failf "wrong trap for taken invalid jump: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "taken invalid jump did not trap"
+
+let test_linked_basics () =
+  let vm = Vm.create () in
+  let lp = Vm.link [| I.Alu64 (I.Mov, 0, I.Reg 3); I.Exit |] in
+  check i64 "args reach r3" 33L (Vm.run_linked vm ~args:[| 11L; 22L; 33L |] lp);
+  (* a linked program is reusable: second run sees the same result *)
+  check i64 "linked program reusable" 33L
+    (Vm.run_linked vm ~args:[| 11L; 22L; 33L |] lp);
+  (* the persistent stack is wiped between runs *)
+  let write = Vm.link [| I.St (I.W64, I.fp, -8, 77l); I.Exit |] in
+  let read = Vm.link [| I.Ldx (I.W64, 0, I.fp, -8); I.Exit |] in
+  ignore (Vm.run_linked vm write);
+  check i64 "fresh stack per linked run" 0L (Vm.run_linked vm read)
+
 let tests =
   [
     ("encoding", [
@@ -436,5 +600,11 @@ let tests =
       Alcotest.test_case "stack isolation" `Quick test_stack_isolated_between_runs;
       alu64_reference;
       jump_reference;
+    ]);
+    ("linked", [
+      Alcotest.test_case "basics" `Quick test_linked_basics;
+      Alcotest.test_case "trap parity" `Quick test_differential_traps;
+      Alcotest.test_case "lazy invalid jump" `Quick test_linked_lazy_jump_trap;
+      linked_matches_reference;
     ]);
   ]

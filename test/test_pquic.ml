@@ -273,6 +273,93 @@ let test_runaway_plugin_stopped () =
   | Some _ -> Alcotest.fail "spinning plugin did not kill the connection"
   | None -> ()
 
+(* -------- sanctions on the linked fast path, with accounting -------- *)
+
+(* A pluglet that behaves for 39 loop iterations and then reads an
+   unmapped address: the monitor must deliver the violation from inside
+   the linked interpreter loop, the sanction must remove the plugin and
+   fail the connection, and [Pre.executed_insns] must still account for
+   the work done before the trap. *)
+let midloop_evil =
+  let open Plc.Ast in
+  {
+    Pquic.Plugin.name = "org.test.midloop";
+    pluglets =
+      [
+        {
+          Pquic.Plugin.op = Pquic.Protoop.received_packet;
+          param = None;
+          anchor = Pquic.Protoop.Post;
+          code =
+            Pquic.Plugin.Source
+              {
+                name = "midloop";
+                params = [ "pn"; "path" ];
+                body =
+                  [
+                    Let ("x", i 0);
+                    While
+                      ( v "x" <: i 1000,
+                        [
+                          Assign ("x", v "x" +: i 1);
+                          If
+                            ( v "x" =: i 40,
+                              [
+                                Expr (Load (Ebpf.Insn.W64, Const 0xBEEF_0000_0000L));
+                              ],
+                              [] );
+                        ] );
+                    Return (v "x");
+                  ];
+              };
+        };
+      ];
+  }
+
+let sanction_conn () =
+  let topo =
+    Topology.single_path ~seed:11L { Topology.d_ms = 10.; bw_mbps = 20.; loss = 0. }
+  in
+  Pquic.Connection.create ~sim:topo.Topology.sim ~net:topo.Topology.net
+    ~cfg:Pquic.Connection.default_config ~role:Pquic.Connection.Server
+    ~local_addr:topo.Topology.server_addr
+    ~remote_addr:(List.hd topo.Topology.client_addrs) ~local_cid:1L
+    ~remote_cid:2L ~local_params:Quic.Transport_params.default ()
+
+(* Attach [plugin], fire its protoop once, assert plugin removal and
+   connection death; return how many instructions its PREs executed. *)
+let run_sanction (plugin : Pquic.Plugin.t) =
+  let name = plugin.Pquic.Plugin.name in
+  let c = sanction_conn () in
+  let inst = Pquic.Connection.build_instance plugin in
+  ignore (Pquic.Connection.attach_instance c inst);
+  check Alcotest.bool (name ^ " attached") true (Pquic.Connection.has_plugin c name);
+  let executed () =
+    List.fold_left
+      (fun acc pre -> acc + Pquic.Pre.executed_insns pre)
+      0 inst.Pquic.Connection.pres
+  in
+  let before = executed () in
+  ignore
+    (Pquic.Connection.run_op c Pquic.Protoop.received_packet
+       [| Pquic.Connection.I 1L; Pquic.Connection.I 0L |]);
+  check Alcotest.bool (name ^ " removed by the sanction") false
+    (Pquic.Connection.has_plugin c name);
+  (match Pquic.Connection.state c with
+  | Pquic.Connection.Failed _ -> ()
+  | _ -> Alcotest.failf "%s: connection not killed" name);
+  executed () - before
+
+let test_fastpath_memory_sanction () =
+  let executed = run_sanction midloop_evil in
+  (* ~40 iterations of the loop ran before the trap *)
+  check Alcotest.bool "accounting preserved across the kill" true (executed > 100)
+
+let test_fastpath_fuel_sanction () =
+  let executed = run_sanction spinning_plugin in
+  (* the spin burned its whole instruction budget before the sanction *)
+  check Alcotest.bool "fuel accounting preserved" true (executed >= 1_000)
+
 (* two plugins that replace the same protocol operation: the second one
    must be rolled back (Section 2.2), the first keeps working *)
 let replace_plugin name =
@@ -595,6 +682,8 @@ let tests =
     ("sanctions", [
       Alcotest.test_case "memory violation" `Quick test_memory_violation_kills_connection;
       Alcotest.test_case "runaway pluglet" `Quick test_runaway_plugin_stopped;
+      Alcotest.test_case "fast-path memory sanction" `Quick test_fastpath_memory_sanction;
+      Alcotest.test_case "fast-path fuel sanction" `Quick test_fastpath_fuel_sanction;
       Alcotest.test_case "replace conflict" `Quick test_replace_conflict_rolls_back;
       Alcotest.test_case "protoop loop" `Quick test_protoop_loop_detected;
       Alcotest.test_case "read-only field" `Quick test_readonly_field_write_sanctioned;
