@@ -1,4 +1,4 @@
-.PHONY: all check test bench clean
+.PHONY: all check test bench chaos clean
 
 all:
 	dune build
@@ -8,6 +8,13 @@ check:
 
 test:
 	dune runtest
+
+# Deterministic chaos sweep: seeds × adversarial fault profiles, asserting
+# the transport invariants (see bin/chaos.ml). The default is a fast smoke;
+# CHAOS_SEEDS=n runs the full sweep (e.g. CHAOS_SEEDS=100 make chaos).
+CHAOS_SEEDS ?= 25
+chaos:
+	dune exec bin/chaos.exe -- sweep --seeds $(CHAOS_SEEDS)
 
 # Runs the Bechamel suite and refreshes BENCH_vm.json (machine-readable
 # ns/op and insns/sec, tracked across PRs).

@@ -1,0 +1,470 @@
+(* Deterministic chaos harness: sweeps seeds across adversarial fault
+   profiles (bursty loss, reordering, duplication, corruption, blackouts —
+   also with the multipath + FEC plugins active) and asserts invariants on
+   every run:
+
+     I1 termination  — the transfer resolves: either the payload arrives
+                       or the connection leaves the open states before the
+                       simulated-time cap (no livelock);
+     I2 integrity    — delivered bytes are exactly the requested payload,
+                       or the connection closed with a stated reason;
+     I3 ack ranges   — both endpoints' ACK ranges stay structurally
+                       coherent (disjoint, descending, merged);
+     I4 sanctions    — plugin sanction accounting balances: no pluglet is
+                       sanctioned (and no builtin fallback fires) just
+                       because the network misbehaved;
+     I5 replay       — the whole run is bit-identical when replayed from
+                       its seed (state, stats, link counters, end time).
+
+   Any violation prints the single seed + profile that reproduces it:
+
+     dune exec bin/chaos.exe -- repro --profile <name> --seed <n>
+
+   `sweep --seeds N` scales the sweep; the Makefile smoke target keeps N
+   small, CHAOS_SEEDS=n drives the full sweep. *)
+
+module Sim = Netsim.Sim
+module Fault = Netsim.Fault
+module Link = Netsim.Link
+module Topology = Netsim.Topology
+module TP = Quic.Transport_params
+
+let pf = Printf.printf
+let spf = Printf.sprintf
+
+(* ------------------------------------------------------------------ *)
+(* Fault profiles                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type scenario = Plain | Mp_fec (* multipath + FEC plugins active *)
+
+type profile = {
+  pname : string;
+  scenario : scenario;
+  faults : Fault.profile;
+  idle_ms : int; (* idle_timeout transport parameter for both endpoints *)
+}
+
+let mild_ge = Fault.gilbert_elliott ~p_gb:0.01 ~p_bg:0.4 ~loss_bad:0.3 ()
+
+let profiles =
+  let n = Fault.none in
+  [
+    { pname = "bursty"; scenario = Plain; idle_ms = 3_000;
+      faults = { n with ge = Some (Fault.gilbert_elliott ()) } };
+    { pname = "reorder"; scenario = Plain; idle_ms = 3_000;
+      faults =
+        { n with reorder = Some { prob = 0.15; max_extra = Sim.of_ms 30. } } };
+    { pname = "duplicate"; scenario = Plain; idle_ms = 3_000;
+      faults = { n with duplicate = 0.08 } };
+    { pname = "corrupt"; scenario = Plain; idle_ms = 3_000;
+      faults = { n with corrupt = 0.05 } };
+    { pname = "blackout"; scenario = Plain; idle_ms = 3_000;
+      faults = { n with blackouts = [ (Sim.of_ms 100., Sim.of_ms 4_100.) ] } };
+    { pname = "mayhem"; scenario = Plain; idle_ms = 3_000;
+      faults =
+        {
+          ge = Some mild_ge;
+          reorder = Some { prob = 0.05; max_extra = Sim.of_ms 20. };
+          duplicate = 0.02;
+          corrupt = 0.01;
+          (* a short mid-transfer flap, below the idle timeout: the
+             connection typically rides it out and finishes; when the
+             other faults also eat the recovery probes it must still end
+             in a clean stated close, never a livelock *)
+          blackouts = [ (Sim.of_sec 0.2, Sim.of_sec 0.7) ];
+        } };
+    { pname = "mp-fec"; scenario = Mp_fec; idle_ms = 3_000;
+      faults =
+        { n with
+          ge = Some (Fault.gilbert_elliott ());
+          reorder = Some { prob = 0.05; max_extra = Sim.of_ms 20. } } };
+  ]
+
+let profile_named name = List.find_opt (fun p -> p.pname = name) profiles
+
+(* ------------------------------------------------------------------ *)
+(* One run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let transfer_size = 100_000
+let sim_cap = 120. (* seconds of simulated time before declaring livelock *)
+
+type run = {
+  completed : bool;           (* payload fully delivered (fin seen) *)
+  intact : bool;              (* delivered bytes match the request *)
+  received : int;
+  client_state : string;
+  client_reason : string;
+  server_state : string;
+  server_reason : string;
+  client : Pquic.Connection.stats option;
+  server : Pquic.Connection.stats option;
+  acks_client : (unit, string) result;
+  acks_server : (unit, string) result;
+  end_time : Sim.time;
+  still_open : bool;
+  pending_left : int;
+  link_fingerprint : string;
+  fault_counts : int * int * int * int * int; (* ge, blackout, dup, reord, corrupt *)
+}
+
+let state_string (c : Pquic.Connection.t) =
+  match c.Pquic.Connection.state with
+  | Pquic.Connection.Handshaking -> "handshaking"
+  | Pquic.Connection.Established -> "established"
+  | Pquic.Connection.Closing -> "closing"
+  | Pquic.Connection.Closed -> "closed"
+  | Pquic.Connection.Failed r -> spf "failed(%s)" r
+
+let run_case ~seed (p : profile) =
+  let path = { Topology.d_ms = 10.; bw_mbps = 5.; loss = 0. } in
+  let topo =
+    match p.scenario with
+    | Plain -> Topology.single_path ~faults:p.faults ~seed path
+    | Mp_fec ->
+      Topology.dual_path ~faults:p.faults ~seed path
+        { path with Topology.d_ms = 25. }
+  in
+  let sim = topo.Topology.sim and net = topo.Topology.net in
+  let tweak tp = { tp with TP.idle_timeout_ms = p.idle_ms } in
+  let server_ep =
+    Pquic.Endpoint.create ~tweak_params:tweak ~sim ~net
+      ~addr:topo.Topology.server_addr ~seed:0x5EedL ()
+  in
+  let extra_addrs =
+    match p.scenario with
+    | Mp_fec -> (
+      match topo.Topology.client_addrs with _ :: rest -> rest | [] -> [])
+    | Plain -> []
+  in
+  let client_ep =
+    Pquic.Endpoint.create ~tweak_params:tweak ~sim ~net
+      ~addr:(List.hd topo.Topology.client_addrs)
+      ~extra_addrs ~seed:0xC11e47L ()
+  in
+  let plugins, to_inject =
+    match p.scenario with
+    | Plain -> ([], [])
+    | Mp_fec ->
+      let fec = Plugins.Fec.xor_eos in
+      ( [ Plugins.Multipath.plugin; fec ],
+        [ Plugins.Multipath.name; (fec : Pquic.Plugin.t).Pquic.Plugin.name ] )
+  in
+  List.iter
+    (fun pl ->
+      Pquic.Endpoint.add_plugin server_ep pl;
+      Pquic.Endpoint.add_plugin client_ep pl)
+    plugins;
+  Pquic.Endpoint.listen server_ep;
+  Pquic.Endpoint.listen client_ep;
+  let server_conn = ref None in
+  server_ep.Pquic.Endpoint.on_connection <-
+    (fun c ->
+      server_conn := Some c;
+      c.Pquic.Connection.on_stream_data <-
+        (fun id _ ~fin ->
+          if fin then
+            Pquic.Connection.write_stream c ~id ~fin:true
+              (String.make transfer_size 'x')));
+  let conn =
+    Pquic.Endpoint.connect client_ep ~remote_addr:topo.Topology.server_addr
+      ~plugins_to_inject:to_inject
+  in
+  let buf = Buffer.create transfer_size in
+  let fin_seen = ref false in
+  conn.Pquic.Connection.on_established <-
+    (fun () -> Pquic.Connection.write_stream conn ~id:0 ~fin:true "GET /file");
+  conn.Pquic.Connection.on_stream_data <-
+    (fun _ data ~fin ->
+      Buffer.add_string buf data;
+      if fin then fin_seen := true);
+  let resolved () =
+    !fin_seen || not (Pquic.Connection.is_open conn)
+  in
+  let rec drive () =
+    if resolved () then ()
+    else if Sim.to_sec (Sim.now sim) > sim_cap then ()
+    else if Sim.pending sim = 0 then ()
+    else begin
+      ignore
+        (Sim.run ~until:(Int64.add (Sim.now sim) (Sim.of_sec 1.))
+           ~max_events:5_000_000 sim);
+      drive ()
+    end
+  in
+  drive ();
+  let data = Buffer.contents buf in
+  let intact =
+    !fin_seen
+    && String.length data = transfer_size
+    && String.for_all (fun ch -> ch = 'x') data
+  in
+  let link_fingerprint =
+    String.concat ";"
+      (List.concat_map
+         (fun (up, down) ->
+           List.map
+             (fun l ->
+               let s = Link.stats l in
+               spf "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d" s.Link.sent s.Link.delivered
+                 s.Link.random_losses s.Link.queue_drops s.Link.ge_losses
+                 s.Link.blackout_drops s.Link.duplicated s.Link.reordered
+                 s.Link.corrupted s.Link.queue_hwm)
+             [ up; down ])
+         topo.Topology.mid_links)
+  in
+  let fault_counts =
+    List.fold_left
+      (fun (g, b, d, r, co) (up, down) ->
+        let add acc l =
+          let g, b, d, r, co = acc in
+          let s = Link.stats l in
+          ( g + s.Link.ge_losses, b + s.Link.blackout_drops,
+            d + s.Link.duplicated, r + s.Link.reordered, co + s.Link.corrupted )
+        in
+        add (add (g, b, d, r, co) up) down)
+      (0, 0, 0, 0, 0) topo.Topology.mid_links
+  in
+  {
+    completed = !fin_seen;
+    intact;
+    received = String.length data;
+    client_state = state_string conn;
+    client_reason = conn.Pquic.Connection.close_reason;
+    server_state =
+      (match !server_conn with Some c -> state_string c | None -> "absent");
+    server_reason =
+      (match !server_conn with
+      | Some c -> c.Pquic.Connection.close_reason
+      | None -> "");
+    client = Some (Pquic.Connection.stats conn);
+    server = Option.map Pquic.Connection.stats !server_conn;
+    acks_client = Quic.Ackranges.check_coherent conn.Pquic.Connection.acks;
+    acks_server =
+      (match !server_conn with
+      | Some c -> Quic.Ackranges.check_coherent c.Pquic.Connection.acks
+      | None -> Ok ());
+    end_time = Sim.now sim;
+    still_open = Pquic.Connection.is_open conn;
+    pending_left = Sim.pending sim;
+    link_fingerprint;
+    fault_counts;
+  }
+
+(* Everything observable about a run, digestible: replaying the seed must
+   reproduce this string bit-for-bit. *)
+let fingerprint r =
+  let stats_str = function
+    | None -> "-"
+    | Some (s : Pquic.Connection.stats) ->
+      spf "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d" s.Pquic.Connection.bytes_sent
+        s.Pquic.Connection.bytes_received s.Pquic.Connection.pkts_sent
+        s.Pquic.Connection.pkts_received s.Pquic.Connection.pkts_lost
+        s.Pquic.Connection.pkts_retransmitted s.Pquic.Connection.pkts_out_of_order
+        s.Pquic.Connection.frames_recovered s.Pquic.Connection.pkts_dup_rejected
+        s.Pquic.Connection.pkts_corrupt_discarded
+        s.Pquic.Connection.persistent_congestion_events
+        s.Pquic.Connection.plugin_sanctions s.Pquic.Connection.plugin_fallbacks
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            string_of_bool r.completed;
+            string_of_bool r.intact;
+            string_of_int r.received;
+            r.client_state;
+            r.client_reason;
+            r.server_state;
+            r.server_reason;
+            stats_str r.client;
+            stats_str r.server;
+            Int64.to_string r.end_time;
+            r.link_fingerprint;
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* Invariants                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_invariants (p : profile) r =
+  let v = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> v := s :: !v) fmt in
+  (* I1: the run resolved — no livelock at the sim cap, no quiescence with
+     the connection still open (an open connection always has its idle
+     alarm pending) *)
+  if r.still_open && not r.completed then
+    bad "livelock: connection still open at t=%.1fs (%d events pending)"
+      (Sim.to_sec r.end_time) r.pending_left;
+  (* I2: bytes intact, or a stated close reason *)
+  if r.completed && not r.intact then
+    bad "payload damaged: got %d bytes (want %d intact)" r.received
+      transfer_size;
+  if (not r.completed) && not r.still_open then begin
+    if r.client_reason = "" then
+      bad "client closed without a stated reason (state %s)" r.client_state
+  end;
+  (* I3: ACK ranges stay coherent on both sides *)
+  (match r.acks_client with
+  | Ok () -> ()
+  | Error e -> bad "client ack ranges incoherent: %s" e);
+  (match r.acks_server with
+  | Ok () -> ()
+  | Error e -> bad "server ack ranges incoherent: %s" e);
+  (* I4: sanction accounting balances — network faults never look like
+     plugin misbehaviour *)
+  let sanctions = function
+    | None -> (0, 0)
+    | Some (s : Pquic.Connection.stats) ->
+      (s.Pquic.Connection.plugin_sanctions, s.Pquic.Connection.plugin_fallbacks)
+  in
+  let cs, cf = sanctions r.client and ss, sf = sanctions r.server in
+  if cs + cf + ss + sf > 0 then
+    bad
+      "plugin sanction accounting: client %d sanctions/%d fallbacks, server \
+       %d/%d under pure network faults (profile %s)"
+      cs cf ss sf p.pname;
+  List.rev !v
+
+(* ------------------------------------------------------------------ *)
+(* Sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let seed_of_index i = Int64.of_int ((i * 9973) + 7)
+
+let repro_hint p seed =
+  spf "dune exec bin/chaos.exe -- repro --profile %s --seed %Ld" p.pname seed
+
+let sweep ~seeds () =
+  let t0 = Unix.gettimeofday () in
+  let violations = ref [] in
+  let total = ref 0 in
+  List.iter
+    (fun p ->
+      let completed = ref 0 and closed = ref 0 in
+      let g, b, d, ro, co = (ref 0, ref 0, ref 0, ref 0, ref 0) in
+      for i = 0 to seeds - 1 do
+        let seed = seed_of_index i in
+        incr total;
+        let r = run_case ~seed p in
+        (* I5: bit-identical replay from the same seed *)
+        let r2 = run_case ~seed p in
+        let f1 = fingerprint r and f2 = fingerprint r2 in
+        let errs = check_invariants p r in
+        let errs =
+          if f1 <> f2 then
+            spf "replay diverged: %s vs %s" f1 f2 :: errs
+          else errs
+        in
+        if r.completed then incr completed else incr closed;
+        let cg, cb, cd, cro, cco = r.fault_counts in
+        g := !g + cg; b := !b + cb; d := !d + cd; ro := !ro + cro;
+        co := !co + cco;
+        List.iter
+          (fun e ->
+            violations :=
+              spf "[%s seed=%Ld] %s\n    %s" p.pname seed e (repro_hint p seed)
+              :: !violations)
+          errs
+      done;
+      pf "%-10s %4d runs: %4d completed, %4d closed-with-reason   (ge %d, blackout %d, dup %d, reorder %d, corrupt %d)\n"
+        p.pname seeds !completed !closed !g !b !d !ro !co)
+    profiles;
+  let violations = List.rev !violations in
+  pf "\n%d runs (each replayed once), %d invariant violations, %.1fs wall\n"
+    !total (List.length violations)
+    (Unix.gettimeofday () -. t0);
+  if violations <> [] then begin
+    pf "\nViolations:\n";
+    List.iter (fun vtext -> pf "  %s\n" vtext) violations;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Repro: one seed, verbosely                                          *)
+(* ------------------------------------------------------------------ *)
+
+let repro ~pname ~seed () =
+  match profile_named pname with
+  | None ->
+    pf "unknown profile %s (have: %s)\n" pname
+      (String.concat ", " (List.map (fun p -> p.pname) profiles));
+    exit 2
+  | Some p ->
+    let r = run_case ~seed p in
+    let r2 = run_case ~seed p in
+    let stats_line tag = function
+      | None -> pf "  %s: absent\n" tag
+      | Some (s : Pquic.Connection.stats) ->
+        pf
+          "  %s: sent %d recv %d lost %d retx %d ooo %d fec %d dup-rej %d \
+           corrupt-drop %d pc %d sanctions %d fallbacks %d\n"
+          tag s.Pquic.Connection.pkts_sent s.Pquic.Connection.pkts_received
+          s.Pquic.Connection.pkts_lost s.Pquic.Connection.pkts_retransmitted
+          s.Pquic.Connection.pkts_out_of_order
+          s.Pquic.Connection.frames_recovered
+          s.Pquic.Connection.pkts_dup_rejected
+          s.Pquic.Connection.pkts_corrupt_discarded
+          s.Pquic.Connection.persistent_congestion_events
+          s.Pquic.Connection.plugin_sanctions
+          s.Pquic.Connection.plugin_fallbacks
+    in
+    pf "profile %s, seed %Ld\n" p.pname seed;
+    pf "  completed %b, intact %b, received %d bytes\n" r.completed r.intact
+      r.received;
+    pf "  client %s (reason %S), server %s (reason %S)\n" r.client_state
+      r.client_reason r.server_state r.server_reason;
+    stats_line "client" r.client;
+    stats_line "server" r.server;
+    let g, b, d, ro, co = r.fault_counts in
+    pf "  faults injected: ge %d, blackout %d, dup %d, reorder %d, corrupt %d\n"
+      g b d ro co;
+    pf "  end t=%.3fs, fingerprint %s (replay %s)\n" (Sim.to_sec r.end_time)
+      (fingerprint r)
+      (if fingerprint r = fingerprint r2 then "identical" else "DIVERGED");
+    let errs = check_invariants p r in
+    let errs =
+      if fingerprint r <> fingerprint r2 then "replay diverged" :: errs
+      else errs
+    in
+    if errs = [] then pf "  invariants: all hold\n"
+    else begin
+      List.iter (fun e -> pf "  VIOLATION: %s\n" e) errs;
+      exit 1
+    end
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let seeds_t =
+  Arg.(value & opt int 12 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per profile.")
+
+let seed_t =
+  Arg.(
+    required
+    & opt (some int64) None
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Seed to replay (as printed by sweep).")
+
+let profile_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"NAME" ~doc:"Fault profile name.")
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let sweep_cmd =
+  cmd "sweep" "Seed-sweep all fault profiles, checking invariants"
+    Term.(const (fun seeds -> sweep ~seeds ()) $ seeds_t)
+
+let repro_cmd =
+  cmd "repro" "Replay one (profile, seed) pair verbosely"
+    Term.(const (fun pname seed -> repro ~pname ~seed ()) $ profile_t $ seed_t)
+
+let () =
+  let info = Cmd.info "chaos" ~doc:"Deterministic chaos / invariant harness" in
+  exit (Cmd.eval (Cmd.group info [ sweep_cmd; repro_cmd ]))

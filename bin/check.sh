@@ -19,4 +19,7 @@ dune build @all
 echo "== dune runtest"
 dune runtest
 
+echo "== chaos smoke (seed-sweep invariants)"
+dune exec bin/chaos.exe -- sweep --seeds 10
+
 echo "== OK"

@@ -45,6 +45,11 @@ type path = {
   cc : Quic.Cc.t;
   rtt : Quic.Rtt.t;
   mutable active : bool;
+  (* persistent congestion (RFC 9002 §7.6): the send-time span of the
+     current run of consecutive ack-eliciting losses, reset by any ack *)
+  mutable lost_span_start : Sim.time;
+  mutable lost_span_end : Sim.time;
+  mutable lost_span_valid : bool;
 }
 
 type frame_record = {
@@ -81,6 +86,11 @@ type stats = {
   mutable pkts_retransmitted : int;
   mutable pkts_out_of_order : int;
   mutable frames_recovered : int; (* packets resurrected by FEC *)
+  mutable pkts_dup_rejected : int;      (* duplicate packet numbers discarded *)
+  mutable pkts_corrupt_discarded : int; (* auth/parse failures dropped cleanly *)
+  mutable persistent_congestion_events : int;
+  mutable plugin_sanctions : int;  (* pluglets killed for misbehaviour *)
+  mutable plugin_fallbacks : int;  (* trapped replace ops served by builtin *)
 }
 
 (* Protoop arguments: plain integers or byte buffers. Buffers are mapped as
@@ -130,6 +140,10 @@ and t = {
   mutable ack_alarm : Sim.event option;
   mutable idle_alarm : Sim.event option;
   mutable last_activity : Sim.time;
+  mutable ae_sent_since_recv : bool;
+      (* RFC 9000 §10.1: the idle clock restarts on receipt, and on the
+         *first* ack-eliciting send after receiving — not on every
+         retransmission, else a blackout livelocks the connection *)
   (* receiving *)
   acks : Quic.Ackranges.t;
   mutable ack_needed : bool;
@@ -234,6 +248,11 @@ let make_stats () =
     pkts_retransmitted = 0;
     pkts_out_of_order = 0;
     frames_recovered = 0;
+    pkts_dup_rejected = 0;
+    pkts_corrupt_discarded = 0;
+    persistent_congestion_events = 0;
+    plugin_sanctions = 0;
+    plugin_fallbacks = 0;
   }
 
 (* Forward references into the orchestration layer: lower layers (helpers,

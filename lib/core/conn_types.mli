@@ -34,6 +34,11 @@ type path = {
   cc : Quic.Cc.t;
   rtt : Quic.Rtt.t;
   mutable active : bool;
+  mutable lost_span_start : Netsim.Sim.time;
+  mutable lost_span_end : Netsim.Sim.time;
+  mutable lost_span_valid : bool;
+      (** persistent congestion (RFC 9002 §7.6): send-time span of the
+          current run of consecutive ack-eliciting losses *)
 }
 
 type frame_record = {
@@ -71,6 +76,14 @@ type stats = {
   mutable pkts_retransmitted : int;
   mutable pkts_out_of_order : int;
   mutable frames_recovered : int; (** packets resurrected by FEC *)
+  mutable pkts_dup_rejected : int;
+      (** duplicate packet numbers discarded on receive *)
+  mutable pkts_corrupt_discarded : int;
+      (** auth/parse failures dropped cleanly instead of raising *)
+  mutable persistent_congestion_events : int;
+  mutable plugin_sanctions : int;  (** pluglets killed for misbehaviour *)
+  mutable plugin_fallbacks : int;
+      (** trapped replace ops served by the builtin implementation *)
 }
 
 (** Protoop arguments: plain integers or byte buffers. Buffers are mapped
@@ -120,6 +133,7 @@ and t = {
   mutable ack_alarm : Netsim.Sim.event option;
   mutable idle_alarm : Netsim.Sim.event option;
   mutable last_activity : Netsim.Sim.time;
+  mutable ae_sent_since_recv : bool;
   (* receiving *)
   acks : Quic.Ackranges.t;
   mutable ack_needed : bool;

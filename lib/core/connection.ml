@@ -40,6 +40,49 @@ let kill_plugin = Plugin_host.kill_plugin
 let inject_local_plugins = Plugin_host.inject_local_plugins
 
 (* ------------------------------------------------------------------ *)
+(* Idle timeout                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Idle timeout (the idle_timeout transport parameter): the connection
+   closes silently when nothing authenticated arrives for the negotiated
+   period. Activity rearms lazily: the alarm checks the last-activity
+   stamp when it fires rather than being rescheduled per packet. Armed
+   from connection creation so that a peer that never answers — or a
+   blackout swallowing every packet — still terminates the connection:
+   per RFC 9000 §10.1 the clock restarts on receipt and on the first
+   ack-eliciting send after receiving, NOT on every retransmission, so
+   capped PTO probes cannot keep a dead connection alive forever. *)
+let rec arm_idle_alarm c =
+  if c.idle_alarm = None && is_open c then begin
+    let period =
+      let ours = c.local_params.TP.idle_timeout_ms in
+      let theirs =
+        match c.peer_params with
+        | Some p -> p.TP.idle_timeout_ms
+        | None -> ours
+      in
+      Sim.of_ms (float_of_int (min ours theirs))
+    in
+    if period > 0L then
+      c.idle_alarm <-
+        Some
+          (Sim.schedule_at c.sim ~at:(Int64.add c.last_activity period)
+             (fun () ->
+               c.idle_alarm <- None;
+               if is_open c then
+                 if Int64.sub (Sim.now c.sim) c.last_activity >= period then begin
+                   ignore (run_op c Protoop.idle_timeout_event [||]);
+                   c.state <- Closed;
+                   c.close_reason <- "idle timeout";
+                   (match c.loss_alarm with Some ev -> Sim.cancel ev | None -> ());
+                   (match c.ack_alarm with Some ev -> Sim.cancel ev | None -> ());
+                   ignore (run_op c Protoop.connection_closed [||]);
+                   c.on_closed ()
+                 end
+                 else arm_idle_alarm c))
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -53,6 +96,9 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
       cc = Quic.Cc.create ~initial_window:cfg.initial_window ();
       rtt = Quic.Rtt.create ();
       active = true;
+      lost_span_start = 0L;
+      lost_span_end = 0L;
+      lost_span_valid = false;
     }
   in
   let c =
@@ -79,6 +125,7 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
       ack_alarm = None;
       idle_alarm = None;
       last_activity = Sim.now sim;
+      ae_sent_since_recv = false;
       acks = Quic.Ackranges.create ();
       ack_needed = false;
       ae_since_ack = 0;
@@ -134,6 +181,7 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
     }
   in
   ignore (run_op c Protoop.connection_init [||]);
+  arm_idle_alarm c;
   c
 
 (* ------------------------------------------------------------------ *)
@@ -307,12 +355,21 @@ let process_payload c ~pn payload =
       end
     | frame, next ->
       if F.is_ack_eliciting frame then ae := true;
-      ignore
-        (run_op c Protoop.process_frame ~param:(F.frame_type frame)
-           ~default:(fun c _ ->
-             process_core_frame c frame;
-             0L)
-           [| I pn |]);
+      (* a handler tripping on inconsistent data (e.g. a FEC-recovered
+         payload that dodged packet authentication) must fail the
+         connection with a stated reason, never escape the engine *)
+      (try
+         ignore
+           (run_op c Protoop.process_frame ~param:(F.frame_type frame)
+              ~default:(fun c _ ->
+                process_core_frame c frame;
+                0L)
+              [| I pn |])
+       with exn ->
+         c.stats.pkts_corrupt_discarded <- c.stats.pkts_corrupt_discarded + 1;
+         fail_connection c
+           (Printf.sprintf "frame processing trapped: %s"
+              (Printexc.to_string exn)));
       pos := next
   done;
   !ae
@@ -344,40 +401,6 @@ let process_recovered c data =
 
 let () = process_recovered_ref := process_recovered
 
-(* Idle timeout (the idle_timeout transport parameter): the connection
-   closes silently when nothing authenticated arrives for the negotiated
-   period. Activity rearms lazily: the alarm checks the last-activity
-   stamp when it fires rather than being rescheduled per packet. *)
-let rec arm_idle_alarm c =
-  if c.idle_alarm = None && is_open c then begin
-    let period =
-      let ours = c.local_params.TP.idle_timeout_ms in
-      let theirs =
-        match c.peer_params with
-        | Some p -> p.TP.idle_timeout_ms
-        | None -> ours
-      in
-      Sim.of_ms (float_of_int (min ours theirs))
-    in
-    if period > 0L then
-      c.idle_alarm <-
-        Some
-          (Sim.schedule_at c.sim ~at:(Int64.add c.last_activity period)
-             (fun () ->
-               c.idle_alarm <- None;
-               if is_open c then
-                 if Int64.sub (Sim.now c.sim) c.last_activity >= period then begin
-                   ignore (run_op c Protoop.idle_timeout_event [||]);
-                   c.state <- Closed;
-                   c.close_reason <- "idle timeout";
-                   (match c.loss_alarm with Some ev -> Sim.cancel ev | None -> ());
-                   (match c.ack_alarm with Some ev -> Sim.cancel ev | None -> ());
-                   ignore (run_op c Protoop.connection_closed [||]);
-                   c.on_closed ()
-                 end
-                 else arm_idle_alarm c))
-  end
-
 let schedule_ack_alarm c =
   if c.ack_alarm = None then
     c.ack_alarm <-
@@ -394,17 +417,34 @@ let receive_datagram c (dg : Net.datagram) =
       | Net.Ce inner -> (true, inner)
       | p -> (false, p)
     in
+    let damage, payload_in =
+      match payload_in with
+      | Net.Corrupt (inner, descr) -> (Some descr, inner)
+      | p -> (None, p)
+    in
     match payload_in with
-    | Quic_packet wire -> (
+    | Quic_packet clean_wire -> (
+      let wire =
+        match damage with
+        | None -> clean_wire
+        | Some descr -> Net.corrupt_string descr clean_wire
+      in
       let long = String.length wire > 0 && Char.code wire.[0] land 0x80 <> 0 in
       let key = if long then c.initial_key else c.key in
       match Quic.Packet.unprotect ~key wire with
       | exception (Quic.Packet.Authentication_failed | Quic.Packet.Malformed) ->
+        (* bit damage surfaces here as an auth/structure failure: discard
+           cleanly and account for it — never raise past the handler *)
+        c.stats.pkts_corrupt_discarded <- c.stats.pkts_corrupt_discarded + 1;
         Log.debug (fun m -> m "dropping unauthenticated packet")
       | { header; payload }, _ ->
         if header.Quic.Packet.dcid = c.local_cid then begin
           let pn = header.Quic.Packet.pn in
-          if not (Quic.Ackranges.contains c.acks pn) then begin
+          if Quic.Ackranges.contains c.acks pn then
+            (* duplicate packet number: the ACK ranges already cover it,
+               so the copy is rejected before touching connection state *)
+            c.stats.pkts_dup_rejected <- c.stats.pkts_dup_rejected + 1
+          else begin
             c.stats.pkts_received <- c.stats.pkts_received + 1;
             c.stats.bytes_received <- c.stats.bytes_received + String.length wire;
             if pn < c.largest_recv then
@@ -442,6 +482,7 @@ let receive_datagram c (dg : Net.datagram) =
             c.cur_has_stream <- false;
             c.cur_ecn_ce <- ce;
             c.last_activity <- Sim.now c.sim;
+            c.ae_sent_since_recv <- false;
             arm_idle_alarm c;
             Quic.Ackranges.add c.acks pn;
             ignore (run_op c Protoop.update_idle_timeout [||]);

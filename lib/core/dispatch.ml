@@ -47,7 +47,7 @@ let arg_region_names = [| "arg0"; "arg1"; "arg2"; "arg3"; "arg4" |]
 (* Execute one pluglet implementation with the given arguments. Buffers are
    mapped into the PRE for the duration of the call; pre/post pluglets get
    read-only views (the paper grants passive pluglets no write access). *)
-let exec_pluglet c pre ~read_only (args : arg array) =
+let exec_pluglet (_c : t) pre ~read_only (args : arg array) =
   let regions, arg_specs, _ =
     Array.fold_left
       (fun (regions, specs, nregions) a ->
@@ -67,7 +67,7 @@ let exec_pluglet c pre ~read_only (args : arg array) =
       ([], [], 0) args
   in
   let regions = List.rev regions and arg_specs = List.rev arg_specs in
-  try
+  match
     Pre.with_regions pre regions (fun bases ->
         let bases = Array.of_list bases in
         let vm_args =
@@ -77,20 +77,54 @@ let exec_pluglet c pre ~read_only (args : arg array) =
         in
         Pre.run pre ~args:(Array.of_list vm_args))
   with
-  | Ebpf.Vm.Memory_violation msg ->
-    !kill_plugin_ref c pre.Pre.plugin_name ("memory violation: " ^ msg);
-    0L
-  | Ebpf.Vm.Fuel_exhausted ->
-    !kill_plugin_ref c pre.Pre.plugin_name "instruction budget exhausted";
-    0L
-  | Ebpf.Vm.Helper_failure msg ->
-    !kill_plugin_ref c pre.Pre.plugin_name ("API violation: " ^ msg);
-    0L
+  | v -> Ok v
+  | exception Ebpf.Vm.Memory_violation msg -> Error ("memory violation: " ^ msg)
+  | exception Ebpf.Vm.Fuel_exhausted -> Error "instruction budget exhausted"
+  | exception Ebpf.Vm.Helper_failure msg -> Error ("API violation: " ^ msg)
 
 let run_impl c impl ~read_only args =
   match impl with
   | Native (_, fn) -> fn c args
-  | Pluglet pre -> exec_pluglet c pre ~read_only args
+  | Pluglet pre -> (
+    match exec_pluglet c pre ~read_only args with
+    | Ok v -> v
+    | Error reason ->
+      !kill_plugin_ref c pre.Pre.plugin_name reason;
+      0L)
+
+(* Run the replace anchor. A native implementation (or none) is the plain
+   path. A trapping pluglet must not leave the operation half-done: its
+   writable argument buffers are rolled back to their pre-call contents
+   and the built-in behaviour serves the operation — the connection state
+   stays coherent — before the existing sanction (plugin removal,
+   connection failure) fires. *)
+let run_replace c e ~default args =
+  match e.replace with
+  | None -> default c args
+  | Some (Native (_, fn)) -> fn c args
+  | Some (Pluglet pre) -> (
+    let saved =
+      Array.map
+        (function Buf (b, `Rw) -> Some (Bytes.copy b) | _ -> None)
+        args
+    in
+    match exec_pluglet c pre ~read_only:false args with
+    | Ok v -> v
+    | Error reason ->
+      Array.iteri
+        (fun i s ->
+          match (s, args.(i)) with
+          | Some copy, Buf (b, `Rw) ->
+            Bytes.blit copy 0 b 0 (Bytes.length b)
+          | _ -> ())
+        saved;
+      c.stats.plugin_fallbacks <- c.stats.plugin_fallbacks + 1;
+      Log.warn (fun m ->
+          m "pluglet %s trapped (%s): state rolled back, builtin serves the op"
+            pre.Pre.plugin_name reason);
+      let v = default c args in
+      !kill_plugin_ref c pre.Pre.plugin_name reason;
+      v)
 
 (* Run a protocol operation: pre anchors, then the replace anchor (pluglet
    override or built-in behaviour), then post anchors. The call stack of
@@ -119,11 +153,7 @@ let run_op c op ?param ?(default = fun _ _ -> 0L) (args : arg array) =
         | None -> entry c op None)
     in
     List.iter (fun i -> ignore (run_impl c i ~read_only:true args)) (List.rev e.pre);
-    let result =
-      match e.replace with
-      | Some i -> run_impl c i ~read_only:false args
-      | None -> default c args
-    in
+    let result = run_replace c e ~default args in
     List.iter (fun i -> ignore (run_impl c i ~read_only:true args)) (List.rev e.post);
     c.op_stack <- List.tl c.op_stack;
     result

@@ -22,12 +22,16 @@ val iter_entries : t -> (op_entry -> unit) -> unit
 val register_native : t -> Protoop.id -> string -> native -> unit
 (** Install a native implementation on the replace anchor. *)
 
-val exec_pluglet : t -> Pre.t -> read_only:bool -> arg array -> int64
+val exec_pluglet :
+  t -> Pre.t -> read_only:bool -> arg array -> (int64, string) result
 (** Execute one pluglet with the given arguments; buffers are mapped into
     the PRE for the duration of the call ([read_only] for passive anchors).
-    A VM sanction (memory violation, fuel, API misuse) kills the plugin. *)
+    A VM trap (memory violation, fuel, API misuse) is returned as [Error]
+    for the caller to sanction. *)
 
 val run_impl : t -> impl -> read_only:bool -> arg array -> int64
+(** {!exec_pluglet} (or a native call) with traps sanctioned in place:
+    used for the passive pre/post anchors. *)
 
 val run_op :
   t -> Protoop.id -> ?param:int -> ?default:(t -> arg array -> int64) ->

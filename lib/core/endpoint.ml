@@ -30,10 +30,13 @@ type t = {
   mutable plugins_to_inject : string list;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  tweak_params : TP.t -> TP.t;
+      (* final say on our transport parameters (e.g. a chaos harness
+         shrinking idle_timeout); applied by [base_params] *)
 }
 
-let create ?(cfg = Connection.default_config) ?(extra_addrs = []) ~sim ~net
-    ~addr ~seed () =
+let create ?(cfg = Connection.default_config) ?(extra_addrs = [])
+    ?(tweak_params = fun p -> p) ~sim ~net ~addr ~seed () =
   let t =
     {
       sim;
@@ -41,6 +44,7 @@ let create ?(cfg = Connection.default_config) ?(extra_addrs = []) ~sim ~net
       cfg;
       addr;
       extra_addrs;
+      tweak_params;
       conns = Hashtbl.create 8;
       available = Hashtbl.create 8;
       pre_cache = Hashtbl.create 8;
@@ -144,12 +148,13 @@ let setup_conn t c =
       | None -> None)
 
 let base_params t =
-  {
-    TP.default with
-    TP.supported_plugins = supported_plugins t;
-    TP.plugins_to_inject = t.plugins_to_inject;
-    TP.active_paths = t.extra_addrs;
-  }
+  t.tweak_params
+    {
+      TP.default with
+      TP.supported_plugins = supported_plugins t;
+      TP.plugins_to_inject = t.plugins_to_inject;
+      TP.active_paths = t.extra_addrs;
+    }
 
 (* Wire-format peek at the destination CID for demultiplexing. *)
 let dcid_of_wire wire =
@@ -162,33 +167,52 @@ let scid_of_wire wire =
 
 let handle_datagram t (dg : Net.datagram) =
   (* CE-marked datagrams arrive with their payload wrapped; route on the
-     inner packet, the connection reads the mark itself *)
+     inner packet, the connection reads the mark itself. Corrupted ones
+     are demultiplexed on the *damaged* wire image — the endpoint sees
+     what the network delivered, so a flipped CID byte may miss the
+     connection and the packet dies here, exactly as it should. *)
   let inner = match dg.Net.payload with Net.Ce p -> p | p -> p in
+  let damage, inner =
+    match inner with Net.Corrupt (p, d) -> (Some d, p) | p -> (None, p)
+  in
   match inner with
-  | Connection.Quic_packet wire -> (
+  | Connection.Quic_packet clean_wire -> (
+    let wire =
+      match damage with
+      | None -> clean_wire
+      | Some descr -> Net.corrupt_string descr clean_wire
+    in
     match dcid_of_wire wire with
     | None -> ()
     | Some dcid -> (
       match Hashtbl.find_opt t.conns dcid with
       | Some c -> Connection.receive_datagram c dg
       | None ->
-        (* a long-header packet to an unknown CID starts a new connection *)
+        (* a long-header packet to an unknown CID starts a new connection —
+           but only if it authenticates under the initial key, else a
+           corrupted packet whose damaged CID missed its connection would
+           conjure a spurious half-open server connection *)
         if Char.code wire.[0] land 0x80 <> 0 then begin
-          match scid_of_wire wire with
-          | None -> ()
-          | Some scid ->
-            let c =
-              Connection.create ~sim:t.sim ~net:t.net ~cfg:t.cfg
-                ~role:Connection.Server ~local_addr:dg.Net.dst
-                ~remote_addr:dg.Net.src ~local_cid:dcid ~remote_cid:scid
-                ~local_params:(base_params t) ()
-            in
-            c.Connection.key <-
-              Quic.Packet.derive_key ~client_cid:scid ~server_cid:dcid;
-            setup_conn t c;
-            Connection.inject_local_plugins c;
-            t.on_connection c;
-            Connection.receive_datagram c dg
+          match Quic.Packet.unprotect ~key:Connection.initial_key wire with
+          | exception
+              (Quic.Packet.Authentication_failed | Quic.Packet.Malformed) ->
+            Log.debug (fun m -> m "dropping unauthenticated initial packet")
+          | _ -> (
+            match scid_of_wire wire with
+            | None -> ()
+            | Some scid ->
+              let c =
+                Connection.create ~sim:t.sim ~net:t.net ~cfg:t.cfg
+                  ~role:Connection.Server ~local_addr:dg.Net.dst
+                  ~remote_addr:dg.Net.src ~local_cid:dcid ~remote_cid:scid
+                  ~local_params:(base_params t) ()
+              in
+              c.Connection.key <-
+                Quic.Packet.derive_key ~client_cid:scid ~server_cid:dcid;
+              setup_conn t c;
+              Connection.inject_local_plugins c;
+              t.on_connection c;
+              Connection.receive_datagram c dg)
         end))
   | _ -> ()
 

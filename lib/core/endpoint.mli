@@ -21,11 +21,15 @@ type t = {
   mutable plugins_to_inject : string list;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  tweak_params : Quic.Transport_params.t -> Quic.Transport_params.t;
+      (** final say on our transport parameters (e.g. a chaos harness
+          shrinking idle_timeout); applied when connections are built *)
 }
 
 val create :
   ?cfg:Connection.config ->
   ?extra_addrs:Netsim.Net.addr list ->
+  ?tweak_params:(Quic.Transport_params.t -> Quic.Transport_params.t) ->
   sim:Netsim.Sim.t ->
   net:Netsim.Net.t ->
   addr:Netsim.Net.addr ->

@@ -245,6 +245,9 @@ let install_helpers c inst (pre : Pre.t) =
             cc = Quic.Cc.create ~initial_window:c.cfg.initial_window ();
             rtt = Quic.Rtt.create ();
             active = true;
+            lost_span_start = 0L;
+            lost_span_end = 0L;
+            lost_span_valid = false;
           }
         in
         c.paths <- Array.append c.paths [| p |];

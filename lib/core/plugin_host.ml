@@ -32,6 +32,7 @@ let remove_plugin c name =
 
 let kill_plugin c name reason =
   Log.warn (fun m -> m "killing plugin %s: %s" name reason);
+  c.stats.plugin_sanctions <- c.stats.plugin_sanctions + 1;
   remove_plugin c name;
   fail_connection c (Printf.sprintf "plugin %s misbehaved: %s" name reason)
 

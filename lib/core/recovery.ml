@@ -110,6 +110,47 @@ let notify_frame_fate c (fr : frame_record) ~acked =
     | None -> ())
   | _ -> ()
 
+(* Persistent congestion (RFC 9002 §7.6): when the send-time span of a
+   run of consecutive ack-eliciting losses — unbroken by any ack — exceeds
+   3 × (PTO + max_ack_delay), the network was effectively dead for that
+   period; the window collapses to the minimum and slow start restarts.
+   The span accumulates in [declare_lost] and any newly acked packet on
+   the path resets it ([process_ack]). Requires at least one RTT sample so
+   the default-PTO guess cannot trigger a spurious collapse. *)
+let note_persistent_congestion c p sp =
+  if sp.ack_eliciting then begin
+    if not p.lost_span_valid then begin
+      p.lost_span_valid <- true;
+      p.lost_span_start <- sp.sent_at;
+      p.lost_span_end <- sp.sent_at
+    end
+    else begin
+      if sp.sent_at < p.lost_span_start then p.lost_span_start <- sp.sent_at;
+      if sp.sent_at > p.lost_span_end then p.lost_span_end <- sp.sent_at
+    end;
+    let duration =
+      Int64.mul 3L
+        (Int64.add (Quic.Rtt.pto p.rtt) (Sim.of_ms c.cfg.ack_delay_ms))
+    in
+    if
+      Quic.Rtt.samples p.rtt > 0
+      && Int64.sub p.lost_span_end p.lost_span_start > duration
+    then begin
+      p.lost_span_valid <- false;
+      c.stats.persistent_congestion_events <-
+        c.stats.persistent_congestion_events + 1;
+      Log.info (fun m ->
+          m "persistent congestion on path %d (span %Ldns)" p.path_id
+            (Int64.sub p.lost_span_end p.lost_span_start));
+      let default _ _ =
+        Quic.Cc.collapse p.cc;
+        0L
+      in
+      ignore
+        (run_op c Protoop.cc_on_rto ~default [| I (i64 p.path_id) |])
+    end
+  end
+
 let declare_lost c sp =
   Hashtbl.remove c.sent sp.pn;
   let p = c.paths.(min sp.path_id (Array.length c.paths - 1)) in
@@ -122,6 +163,7 @@ let declare_lost c sp =
     (run_op c Protoop.cc_on_packet_lost ~default
        [| I sp.pn; I (i64 sp.size); I (i64 sp.path_id) |]);
   c.stats.pkts_lost <- c.stats.pkts_lost + 1;
+  note_persistent_congestion c p sp;
   c.cur_pn <- sp.pn;
   ignore (run_op c Protoop.packet_lost [| I sp.pn; I (i64 sp.path_id) |]);
   List.iter (fun fr -> notify_frame_fate c fr ~acked:false) sp.records;
@@ -201,6 +243,9 @@ let process_ack c (ack : F.ack) =
            && sp.path_seq > c.largest_acked_per_path.(sp.path_id)
         then c.largest_acked_per_path.(sp.path_id) <- sp.path_seq;
         let p = c.paths.(min sp.path_id (Array.length c.paths - 1)) in
+        (* an ack breaks the run of consecutive losses: the persistent-
+           congestion span restarts from scratch (RFC 9002 §7.6.2) *)
+        p.lost_span_valid <- false;
         Quic.Cc.forget_in_flight p.cc ~size:sp.size;
         let default _ _ =
           Quic.Cc.grow_on_ack p.cc ~pn:sp.pn ~size:sp.size;
@@ -225,7 +270,11 @@ let process_ack c (ack : F.ack) =
 let on_loss_alarm c =
   let default c _ =
     if Hashtbl.length c.sent > 0 then begin
-      c.pto_backoff <- c.pto_backoff + 1;
+      (* cap the exponent: the timer already clamps its multiplier at
+         2^6, so growing the counter further only risks overflow — the
+         idle alarm, not unbounded backoff, is what ends a dead
+         connection *)
+      c.pto_backoff <- min (c.pto_backoff + 1) 6;
       if c.pto_backoff <= 1 then begin
         (* tail-probe style: retransmit the oldest in-flight packet *)
         ignore (run_op c Protoop.send_probe [||]);

@@ -358,9 +358,16 @@ let build_and_send_packet c =
     c.cur_payload <- payload;
     c.stats.pkts_sent <- c.stats.pkts_sent + 1;
     c.stats.bytes_sent <- c.stats.bytes_sent + size;
-    c.last_activity <- Sim.now c.sim;
     c.largest_sent_at <- Sim.now c.sim;
     let ack_eliciting = !any_ae in
+    (* RFC 9000 §10.1: the idle clock restarts on the *first* ack-eliciting
+       send since the last receive, not on every send — otherwise PTO
+       retransmissions into a dead link would keep the connection alive
+       forever and a blackout would livelock instead of closing idle. *)
+    if ack_eliciting && not c.ae_sent_since_recv then begin
+      c.ae_sent_since_recv <- true;
+      c.last_activity <- Sim.now c.sim
+    end;
     if ack_eliciting then begin
       Hashtbl.replace c.sent_times pn (Sim.now c.sim);
       if Int64.rem pn 4096L = 0L then begin

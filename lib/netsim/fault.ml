@@ -1,0 +1,118 @@
+(* Deterministic adversarial fault injection for links.
+
+   A fault profile composes five independent fault generators — Gilbert–
+   Elliott bursty loss, bounded reordering, duplication, byte corruption
+   and scheduled link blackouts. Each generator draws from its own named
+   RNG stream ([Rng.stream]) derived from the link's root stream, and
+   every *enabled* generator draws exactly once per packet submitted to
+   the link, whether or not an earlier generator already condemned the
+   packet. Both properties together make patterns composable: toggling
+   one fault never changes the per-packet draw sequence of another, so a
+   seed replays the same blackout + burst + reorder schedule whatever
+   subset of faults an experiment enables. *)
+
+type ge = {
+  p_gb : float;      (* P(good -> bad) per packet *)
+  p_bg : float;      (* P(bad -> good) per packet *)
+  loss_good : float; (* loss probability in the good state *)
+  loss_bad : float;  (* loss probability in the bad state *)
+}
+
+type reorder = {
+  prob : float;            (* per-packet probability of extra delay *)
+  max_extra : Sim.time;    (* bound on the extra delay (exclusive) *)
+}
+
+type profile = {
+  ge : ge option;
+  reorder : reorder option;
+  duplicate : float;                      (* per-packet copy probability *)
+  corrupt : float;                        (* per-packet corruption probability *)
+  blackouts : (Sim.time * Sim.time) list; (* [start, stop) windows, link dead *)
+}
+
+let none =
+  { ge = None; reorder = None; duplicate = 0.; corrupt = 0.; blackouts = [] }
+
+let is_none p =
+  p.ge = None && p.reorder = None && p.duplicate <= 0. && p.corrupt <= 0.
+  && p.blackouts = []
+
+(* A common bursty-loss preset: mean burst length 1/p_bg packets. *)
+let gilbert_elliott ?(p_gb = 0.02) ?(p_bg = 0.3) ?(loss_good = 0.)
+    ?(loss_bad = 0.5) () =
+  { p_gb; p_bg; loss_good; loss_bad }
+
+type drop_cause = Ge_loss | Blackout
+
+type verdict = {
+  drop : drop_cause option;
+  extra_delay : Sim.time;   (* reordering: added to the arrival time *)
+  duplicate : bool;         (* deliver a second copy *)
+  corrupt : int64 option;   (* corruption descriptor for [Net.corrupt_string] *)
+}
+
+let pass = { drop = None; extra_delay = 0L; duplicate = false; corrupt = None }
+
+type t = {
+  profile : profile;
+  ge_rng : Rng.t;
+  reorder_rng : Rng.t;
+  dup_rng : Rng.t;
+  corrupt_rng : Rng.t;
+  mutable ge_bad : bool; (* Gilbert–Elliott channel state *)
+}
+
+(* All streams are derived whether or not their fault is enabled — the
+   derivation does not advance [rng], so an unused stream costs nothing
+   and an enabled one is independent of the rest by construction. *)
+let create ~rng profile =
+  {
+    profile;
+    ge_rng = Rng.stream rng "fault.ge";
+    reorder_rng = Rng.stream rng "fault.reorder";
+    dup_rng = Rng.stream rng "fault.duplicate";
+    corrupt_rng = Rng.stream rng "fault.corrupt";
+    ge_bad = false;
+  }
+
+let in_blackout t ~now =
+  List.exists (fun (start, stop) -> now >= start && now < stop) t.profile.blackouts
+
+(* Decide the fate of one packet entering the link at [now]. Every enabled
+   generator draws exactly once, in a fixed order, before the verdicts are
+   composed — a packet killed by the blackout still consumes one draw from
+   each of the other enabled generators, keeping their patterns aligned
+   across profile variations. *)
+let judge t ~now =
+  let ge_drop =
+    match t.profile.ge with
+    | None -> false
+    | Some g ->
+      (* state transition first, then the state's loss draw *)
+      (if t.ge_bad then begin
+         if Rng.bool t.ge_rng g.p_bg then t.ge_bad <- false
+       end
+       else if Rng.bool t.ge_rng g.p_gb then t.ge_bad <- true);
+      let p = if t.ge_bad then g.loss_bad else g.loss_good in
+      p > 0. && Rng.bool t.ge_rng p
+  in
+  let extra_delay =
+    match t.profile.reorder with
+    | None -> 0L
+    | Some r ->
+      if Rng.bool t.reorder_rng r.prob && r.max_extra > 0L then
+        Int64.of_int (Rng.int t.reorder_rng (Int64.to_int r.max_extra))
+      else 0L
+  in
+  let duplicate =
+    t.profile.duplicate > 0. && Rng.bool t.dup_rng t.profile.duplicate
+  in
+  let corrupt =
+    if t.profile.corrupt > 0. && Rng.bool t.corrupt_rng t.profile.corrupt then
+      Some (Rng.next_int64 t.corrupt_rng)
+    else None
+  in
+  if in_blackout t ~now then { pass with drop = Some Blackout }
+  else if ge_drop then { pass with drop = Some Ge_loss }
+  else { drop = None; extra_delay; duplicate; corrupt }

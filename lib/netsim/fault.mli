@@ -1,0 +1,59 @@
+(** Deterministic adversarial fault injection for links.
+
+    A {!profile} composes Gilbert–Elliott bursty loss, bounded
+    reordering, duplication, byte corruption and scheduled blackouts.
+    Each enabled fault draws exactly once per packet from its own named
+    RNG stream (derived with {!Rng.stream}, which never advances the
+    link's root stream), so toggling one fault never perturbs another's
+    pattern — a seed replays the same composed schedule whatever subset
+    of faults is enabled. *)
+
+type ge = {
+  p_gb : float;      (** P(good → bad) per packet *)
+  p_bg : float;      (** P(bad → good) per packet *)
+  loss_good : float; (** loss probability in the good state *)
+  loss_bad : float;  (** loss probability in the bad state *)
+}
+
+type reorder = {
+  prob : float;          (** per-packet probability of extra delay *)
+  max_extra : Sim.time;  (** bound on the extra delay (exclusive) *)
+}
+
+type profile = {
+  ge : ge option;
+  reorder : reorder option;
+  duplicate : float;  (** per-packet copy probability; 0 disables *)
+  corrupt : float;    (** per-packet corruption probability; 0 disables *)
+  blackouts : (Sim.time * Sim.time) list;
+      (** [start, stop) windows during which the link drops everything *)
+}
+
+val none : profile
+val is_none : profile -> bool
+
+val gilbert_elliott :
+  ?p_gb:float -> ?p_bg:float -> ?loss_good:float -> ?loss_bad:float -> unit -> ge
+(** Bursty-loss preset: defaults give ~2% burst starts with mean burst
+    length 1/0.3 packets at 50% in-burst loss. *)
+
+type drop_cause = Ge_loss | Blackout
+
+type verdict = {
+  drop : drop_cause option;
+  extra_delay : Sim.time;  (** reordering: added to the arrival time *)
+  duplicate : bool;        (** deliver a second copy *)
+  corrupt : int64 option;  (** descriptor for {!Net.corrupt_string} *)
+}
+
+type t
+
+val create : rng:Rng.t -> profile -> t
+(** Derives the per-fault streams from [rng] without advancing it. *)
+
+val judge : t -> now:Sim.time -> verdict
+(** Fate of one packet entering the link at [now]. Every enabled fault
+    draws exactly once per call, even for packets condemned by an earlier
+    fault, keeping patterns aligned across profile variations. *)
+
+val in_blackout : t -> now:Sim.time -> bool

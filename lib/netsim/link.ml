@@ -7,7 +7,14 @@
    arrivals that would overflow it are congestion losses, which the paper
    notes "can still be observed due to the limited bandwidth and router
    buffers" even on lossless links. Serialization takes size*8/rate and
-   propagation adds the one-way delay. *)
+   propagation adds the one-way delay.
+
+   A link may additionally carry a [Fault.profile] — bursty loss,
+   reordering, duplication, corruption, blackouts — injected between the
+   legacy loss draw and the queue. The legacy draw keeps its original RNG
+   and draw positions, and fault streams are derived without advancing it
+   ([Rng.stream]), so a link with [Fault.none] behaves bit-identically to
+   one built before faults existed. *)
 
 type stats = {
   mutable sent : int;
@@ -16,6 +23,12 @@ type stats = {
   mutable queue_drops : int;
   mutable bytes_delivered : int;
   mutable ce_marked : int;
+  mutable ge_losses : int;
+  mutable blackout_drops : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable corrupted : int;
+  mutable queue_hwm : int;
 }
 
 type t = {
@@ -26,13 +39,14 @@ type t = {
   buffer : int;                   (* queue capacity in bytes *)
   ecn_threshold : int;            (* mark CE above this backlog; 0 = off *)
   rng : Rng.t;
+  fault : Fault.t option;
   mutable busy_until : Sim.time;
   mutable queued_bytes : int;
   stats : stats;
 }
 
 let create ~sim ~delay_ms ~rate_mbps ~loss ~rng ?(buffer = 64 * 1024)
-    ?(ecn_threshold = 0) () =
+    ?(ecn_threshold = 0) ?(faults = Fault.none) () =
   {
     sim;
     delay = Sim.of_ms delay_ms;
@@ -41,50 +55,79 @@ let create ~sim ~delay_ms ~rate_mbps ~loss ~rng ?(buffer = 64 * 1024)
     buffer;
     ecn_threshold;
     rng;
+    fault = (if Fault.is_none faults then None else Some (Fault.create ~rng faults));
     busy_until = 0L;
     queued_bytes = 0;
     stats =
       { sent = 0; delivered = 0; random_losses = 0; queue_drops = 0;
-        bytes_delivered = 0; ce_marked = 0 };
+        bytes_delivered = 0; ce_marked = 0; ge_losses = 0; blackout_drops = 0;
+        duplicated = 0; reordered = 0; corrupted = 0; queue_hwm = 0 };
   }
 
 let tx_time t size =
   if t.rate_bps <= 0. then 0L
   else Int64.of_float (float_of_int (size * 8) /. t.rate_bps *. 1e9)
 
-(* Submit a packet of [size] bytes; [deliver ~ce] runs at the far end when
-   the packet survives, with [ce] set when the router marked it Congestion
-   Experienced (queue backlog above the ECN threshold) instead of having
-   room to spare. *)
-let send_ecn t ~size deliver =
+(* Queue one surviving copy: serialization behind the packet in service,
+   then propagation (+ any reorder penalty). *)
+let enqueue t ~size ~extra_delay ~corrupt deliver =
+  let now = Sim.now t.sim in
+  let in_service = t.busy_until > now in
+  let backlog = if in_service then t.queued_bytes else 0 in
+  if in_service && backlog + size > t.buffer then
+    t.stats.queue_drops <- t.stats.queue_drops + 1
+  else begin
+    let ce = t.ecn_threshold > 0 && backlog + size > t.ecn_threshold in
+    if ce then t.stats.ce_marked <- t.stats.ce_marked + 1;
+    let start = if in_service then t.busy_until else now in
+    let tx_done = Int64.add start (tx_time t size) in
+    t.queued_bytes <- (if in_service then t.queued_bytes else 0) + size;
+    if t.queued_bytes > t.stats.queue_hwm then
+      t.stats.queue_hwm <- t.queued_bytes;
+    t.busy_until <- tx_done;
+    let arrival = Int64.add (Int64.add tx_done t.delay) extra_delay in
+    ignore
+      (Sim.schedule t.sim ~delay:(Int64.sub tx_done now) (fun () ->
+           t.queued_bytes <- t.queued_bytes - size));
+    ignore
+      (Sim.schedule t.sim ~delay:(Int64.sub arrival now) (fun () ->
+           t.stats.delivered <- t.stats.delivered + 1;
+           t.stats.bytes_delivered <- t.stats.bytes_delivered + size;
+           deliver ~ce ~corrupt))
+  end
+
+(* Submit a packet of [size] bytes; [deliver ~ce ~corrupt] runs at the far
+   end for each surviving copy, with [ce] set when the router marked it
+   Congestion Experienced and [corrupt] carrying a corruption descriptor
+   when the fault layer damaged the payload in flight. *)
+let send_full t ~size deliver =
   t.stats.sent <- t.stats.sent + 1;
   if t.loss > 0. && Rng.bool t.rng t.loss then
     t.stats.random_losses <- t.stats.random_losses + 1
-  else begin
-    let now = Sim.now t.sim in
-    let in_service = t.busy_until > now in
-    let backlog = if in_service then t.queued_bytes else 0 in
-    if in_service && backlog + size > t.buffer then
-      t.stats.queue_drops <- t.stats.queue_drops + 1
-    else begin
-      let ce = t.ecn_threshold > 0 && backlog + size > t.ecn_threshold in
-      if ce then t.stats.ce_marked <- t.stats.ce_marked + 1;
-      let start = if in_service then t.busy_until else now in
-      let tx_done = Int64.add start (tx_time t size) in
-      t.queued_bytes <- (if in_service then t.queued_bytes else 0) + size;
-      t.busy_until <- tx_done;
-      let arrival = Int64.add tx_done t.delay in
-      ignore
-        (Sim.schedule t.sim ~delay:(Int64.sub tx_done now) (fun () ->
-             t.queued_bytes <- t.queued_bytes - size));
-      ignore
-        (Sim.schedule t.sim ~delay:(Int64.sub arrival now) (fun () ->
-             t.stats.delivered <- t.stats.delivered + 1;
-             t.stats.bytes_delivered <- t.stats.bytes_delivered + size;
-             deliver ~ce))
-    end
-  end
+  else
+    match t.fault with
+    | None -> enqueue t ~size ~extra_delay:0L ~corrupt:None deliver
+    | Some f ->
+      let v = Fault.judge f ~now:(Sim.now t.sim) in
+      (match v.drop with
+      | Some Fault.Ge_loss -> t.stats.ge_losses <- t.stats.ge_losses + 1
+      | Some Fault.Blackout ->
+        t.stats.blackout_drops <- t.stats.blackout_drops + 1
+      | None ->
+        if v.extra_delay > 0L then t.stats.reordered <- t.stats.reordered + 1;
+        (match v.corrupt with
+        | Some _ -> t.stats.corrupted <- t.stats.corrupted + 1
+        | None -> ());
+        enqueue t ~size ~extra_delay:v.extra_delay ~corrupt:v.corrupt deliver;
+        if v.duplicate then begin
+          t.stats.duplicated <- t.stats.duplicated + 1;
+          (* the copy rides the queue again, undamaged and undelayed *)
+          enqueue t ~size ~extra_delay:0L ~corrupt:None deliver
+        end)
 
-let send t ~size deliver = send_ecn t ~size (fun ~ce:_ -> deliver ())
+let send_ecn t ~size deliver =
+  send_full t ~size (fun ~ce ~corrupt:_ -> deliver ~ce)
+
+let send t ~size deliver = send_full t ~size (fun ~ce:_ ~corrupt:_ -> deliver ())
 
 let stats t = t.stats

@@ -5,15 +5,26 @@
     ([buffer] bytes behind the packet in service — overflow is a
     congestion loss), is serialized at the link rate and propagated after
     the one-way delay. With [ecn_threshold] > 0 the queue marks packets
-    Congestion Experienced instead of waiting for overflow. *)
+    Congestion Experienced instead of waiting for overflow.
+
+    An optional {!Fault.profile} injects bursty loss, reordering,
+    duplication, corruption and blackouts between the legacy loss draw
+    and the queue; with [Fault.none] (the default) the link behaves
+    bit-identically to the fault-free implementation. *)
 
 type stats = {
   mutable sent : int;
   mutable delivered : int;
-  mutable random_losses : int;
-  mutable queue_drops : int;
+  mutable random_losses : int;   (** legacy uniform (NetEm-style) losses *)
+  mutable queue_drops : int;     (** drop-tail overflows *)
   mutable bytes_delivered : int;
   mutable ce_marked : int;
+  mutable ge_losses : int;       (** Gilbert–Elliott bursty losses *)
+  mutable blackout_drops : int;  (** packets eaten by a scheduled blackout *)
+  mutable duplicated : int;      (** extra copies injected *)
+  mutable reordered : int;       (** packets given a reorder delay penalty *)
+  mutable corrupted : int;       (** payloads damaged in flight *)
+  mutable queue_hwm : int;       (** queue occupancy high-water mark, bytes *)
 }
 
 type t
@@ -26,14 +37,21 @@ val create :
   rng:Rng.t ->
   ?buffer:int ->
   ?ecn_threshold:int ->
+  ?faults:Fault.profile ->
   unit ->
   t
 (** [rate_mbps <= 0.] means infinite bandwidth; [buffer] defaults to
-    64 KiB; [ecn_threshold = 0] (default) disables marking. *)
+    64 KiB; [ecn_threshold = 0] (default) disables marking; [faults]
+    defaults to {!Fault.none}. *)
+
+val send_full : t -> size:int -> (ce:bool -> corrupt:int64 option -> unit) -> unit
+(** Submit a packet; the callback runs at the far end once per surviving
+    copy (duplication can make that twice), with [ce] set when the router
+    marked it and [corrupt] carrying a corruption descriptor when the
+    fault layer damaged the payload. *)
 
 val send_ecn : t -> size:int -> (ce:bool -> unit) -> unit
-(** Submit a packet; the callback runs at the far end if it survives, with
-    [ce] set when the router marked it. *)
+(** {!send_full} without corruption visibility. *)
 
 val send : t -> size:int -> (unit -> unit) -> unit
 (** {!send_ecn} without the mark. *)

@@ -12,6 +12,42 @@ type payload += Raw of string
    threshold arrives with its payload wrapped in [Ce]. *)
 type payload += Ce of payload
 
+(* A datagram damaged in flight by a link's corruption fault arrives with
+   its payload wrapped in [Corrupt]; the descriptor deterministically
+   selects which bytes flipped (see [corrupt_string]), so a replay from
+   the same seed damages the same bits. *)
+type payload += Corrupt of payload * int64
+
+(* Apply the damage a [Corrupt] descriptor encodes to a wire image: flip
+   1–3 bytes at descriptor-derived offsets. Pure — same descriptor, same
+   string, same damage. *)
+let corrupt_string descr s =
+  let n = String.length s in
+  if n = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let flips = 1 + Int64.to_int (Int64.unsigned_rem descr 3L) in
+    let state = ref descr in
+    for _ = 1 to flips do
+      (* one SplitMix64 step per flip, seeded by the descriptor *)
+      state := Int64.add !state 0x9E3779B97F4A7C15L;
+      let z = !state in
+      let z =
+        Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+          0xBF58476D1CE4E5B9L
+      in
+      let z =
+        Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+          0x94D049BB133111EBL
+      in
+      let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+      let pos = Int64.to_int (Int64.unsigned_rem z (Int64.of_int n)) in
+      let mask = 1 + Int64.to_int (Int64.unsigned_rem (Int64.shift_right_logical z 32) 255L) in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask))
+    done;
+    Bytes.to_string b
+  end
+
 type datagram = { src : addr; dst : addr; size : int; payload : payload }
 
 type t = {
@@ -32,18 +68,32 @@ let detach t addr = Hashtbl.remove t.handlers addr
 
 (* Send a datagram; it traverses every link of the route in order and is
    dropped silently if any link loses it or no route/handler exists —
-   exactly a best-effort IP/UDP service. *)
+   exactly a best-effort IP/UDP service. Duplicating links may invoke the
+   tail of the route (and the handler) more than once; corruption wraps
+   the payload so the endpoint sees the damaged wire image. *)
 let send t dg =
   match Hashtbl.find_opt t.routes (dg.src, dg.dst) with
   | None -> ()
   | Some links ->
-    let rec hop marked = function
+    let rec hop marked damage = function
       | [] -> (
         match Hashtbl.find_opt t.handlers dg.dst with
         | Some handler ->
-          handler (if marked then { dg with payload = Ce dg.payload } else dg)
+          let payload =
+            match damage with
+            | None -> dg.payload
+            | Some descr -> Corrupt (dg.payload, descr)
+          in
+          let payload = if marked then Ce payload else payload in
+          handler { dg with payload }
         | None -> ())
       | link :: rest ->
-        Link.send_ecn link ~size:dg.size (fun ~ce -> hop (marked || ce) rest)
+        Link.send_full link ~size:dg.size (fun ~ce ~corrupt ->
+            let damage =
+              match (damage, corrupt) with
+              | None, d | d, None -> d
+              | Some a, Some b -> Some (Int64.logxor a b)
+            in
+            hop (marked || ce) damage rest)
     in
-    hop false links
+    hop false None links

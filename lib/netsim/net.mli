@@ -12,6 +12,16 @@ type payload += Ce of payload
 (** Wraps the payload of a datagram that crossed a router whose queue was
     past the ECN marking threshold. *)
 
+type payload += Corrupt of payload * int64
+(** Wraps the payload of a datagram damaged in flight by a link's
+    corruption fault; the descriptor deterministically selects the damage
+    (see {!corrupt_string}). *)
+
+val corrupt_string : int64 -> string -> string
+(** [corrupt_string descr wire] applies the damage encoded by [descr] to
+    a wire image: flips 1–3 bytes at descriptor-derived offsets. Pure —
+    a replay from the same seed damages the same bits. *)
+
 type datagram = { src : addr; dst : addr; size : int; payload : payload }
 
 type t

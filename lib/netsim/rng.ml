@@ -31,3 +31,21 @@ let bool t p = float t < p
 
 (* Derive an independent stream, e.g. one per link. *)
 let split t = create (next_int64 t)
+
+(* Derive an independent *named* stream for one purpose (e.g. the
+   Gilbert–Elliott draw of one link) without advancing [t]: the child seed
+   mixes the parent's current state with an FNV-1a hash of the name, so
+   the parent's own draw sequence — and every sibling stream — is exactly
+   what it would be had this stream never been created. This is what lets
+   a fault be toggled on a link without perturbing any other fault's
+   pattern, or the link's legacy loss pattern. *)
+let stream t name =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    name;
+  (* run the child seed through one SplitMix64 mix so that streams whose
+     names share a prefix still diverge immediately *)
+  let child = create (Int64.logxor t.state !h) in
+  create (next_int64 child)

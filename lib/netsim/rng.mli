@@ -17,4 +17,10 @@ val bool : t -> float -> bool
 (** [bool t p] is true with probability [p]. *)
 
 val split : t -> t
-(** Derive an independent stream, e.g. one per link. *)
+(** Derive an independent stream, e.g. one per link. Advances [t]. *)
+
+val stream : t -> string -> t
+(** [stream t name] derives an independent per-purpose stream from [t]'s
+    current state and [name], {e without} advancing [t]: creating (or not
+    creating) a named stream never perturbs the parent's draw sequence or
+    any sibling stream. Distinct names yield independent streams. *)

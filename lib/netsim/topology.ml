@@ -1,7 +1,11 @@
 (* The experimental topology of Figure 7: a client reaching a server over
    one or two paths through routers R1/R2 converging at R3. Each direction
    of the R1–R3 / R2–R3 segment carries the configured {delay, bandwidth,
-   loss}; access segments are fast and lossless. *)
+   loss}; access segments are fast and lossless.
+
+   A fault profile, when given, is applied to the middle segment of every
+   path (both directions) — the access links stay clean, mirroring a lab
+   where impairments are configured on the bottleneck box. *)
 
 type path_params = { d_ms : float; bw_mbps : float; loss : float }
 
@@ -26,10 +30,10 @@ let access_link ~sim ~rng () =
 (* Build a bidirectional path between [client] and [server] with the middle
    segment set to [p]. *)
 let add_path ~sim ~net ~rng ?(buffer = default_buffer) ?(ecn_threshold = 0)
-    ~client ~server p =
+    ?(faults = Fault.none) ~client ~server p =
   let mk_mid () =
     Link.create ~sim ~delay_ms:p.d_ms ~rate_mbps:p.bw_mbps ~loss:p.loss
-      ~rng:(Rng.split rng) ~buffer ~ecn_threshold ()
+      ~rng:(Rng.split rng) ~buffer ~ecn_threshold ~faults ()
   in
   let up_mid = mk_mid () and down_mid = mk_mid () in
   let up = [ access_link ~sim ~rng (); up_mid; access_link ~sim ~rng () ] in
@@ -38,25 +42,27 @@ let add_path ~sim ~net ~rng ?(buffer = default_buffer) ?(ecn_threshold = 0)
   Net.add_route net ~src:server ~dst:client down;
   (up_mid, down_mid)
 
-let single_path ?buffer ?ecn_threshold ~seed p =
+let single_path ?buffer ?ecn_threshold ?faults ~seed p =
   let sim = Sim.create () in
   let net = Net.create sim in
   let rng = Rng.create seed in
   let mids =
-    add_path ~sim ~net ~rng ?buffer ?ecn_threshold ~client:client_addr_1
-      ~server:server_addr p
+    add_path ~sim ~net ~rng ?buffer ?ecn_threshold ?faults
+      ~client:client_addr_1 ~server:server_addr p
   in
   { sim; net; client_addrs = [ client_addr_1 ]; server_addr; mid_links = [ mids ] }
 
-let dual_path ?buffer ~seed p1 p2 =
+let dual_path ?buffer ?faults ~seed p1 p2 =
   let sim = Sim.create () in
   let net = Net.create sim in
   let rng = Rng.create seed in
   let m1 =
-    add_path ~sim ~net ~rng ?buffer ~client:client_addr_1 ~server:server_addr p1
+    add_path ~sim ~net ~rng ?buffer ?faults ~client:client_addr_1
+      ~server:server_addr p1
   in
   let m2 =
-    add_path ~sim ~net ~rng ?buffer ~client:client_addr_2 ~server:server_addr p2
+    add_path ~sim ~net ~rng ?buffer ?faults ~client:client_addr_2
+      ~server:server_addr p2
   in
   { sim; net; client_addrs = [ client_addr_1; client_addr_2 ]; server_addr;
     mid_links = [ m1; m2 ] }

@@ -21,11 +21,17 @@ val server_addr : Net.addr
 val default_buffer : int
 (** A 100-packet drop-tail router queue, as a Linux default qdisc. *)
 
-val single_path : ?buffer:int -> ?ecn_threshold:int -> seed:int64 -> path_params -> t
+val single_path :
+  ?buffer:int -> ?ecn_threshold:int -> ?faults:Fault.profile -> seed:int64 ->
+  path_params -> t
+(** [faults] (default {!Fault.none}) is applied to both directions of the
+    middle segment; access links stay clean. *)
 
-val dual_path : ?buffer:int -> seed:int64 -> path_params -> path_params -> t
+val dual_path :
+  ?buffer:int -> ?faults:Fault.profile -> seed:int64 ->
+  path_params -> path_params -> t
 (** Two paths: the client owns {!client_addr_1} (via R1) and
-    {!client_addr_2} (via R2). *)
+    {!client_addr_2} (via R2). [faults] applies to every middle segment. *)
 
 val fast_link : seed:int64 -> t
 (** The 10 Gbps back-to-back servers of the Table 3 benchmark. *)

@@ -53,6 +53,29 @@ let cardinal t =
     (fun acc r -> Int64.add acc (Int64.add (Int64.sub r.last r.first) 1L))
     0L t.ranges
 
+(* Structural invariant check, for chaos/invariant harnesses: ranges must
+   be well-formed (first <= last), strictly descending and non-adjacent
+   (adjacent ranges should have been merged by [add]). Returns an error
+   description instead of raising so a sweep can report the seed. *)
+let check_coherent t =
+  let rec go = function
+    | [] -> Ok ()
+    | r :: rest ->
+      if r.first > r.last then
+        Error
+          (Printf.sprintf "inverted range [%Ld, %Ld]" r.first r.last)
+      else begin
+        match rest with
+        | next :: _ when Int64.add next.last 1L >= r.first ->
+          Error
+            (Printf.sprintf
+               "ranges overlap or touch: [%Ld, %Ld] then [%Ld, %Ld]"
+               next.first next.last r.first r.last)
+        | _ -> go rest
+      end
+  in
+  go t.ranges
+
 (* Iterate over every covered packet number, descending. *)
 let iter t f =
   List.iter

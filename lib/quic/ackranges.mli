@@ -20,3 +20,7 @@ val ranges : t -> range list
 val is_empty : t -> bool
 val cardinal : t -> int64
 val iter : t -> (int64 -> unit) -> unit
+
+val check_coherent : t -> (unit, string) result
+(** Structural invariant: ranges well-formed ([first <= last]), strictly
+    descending, non-adjacent (merged). For chaos/invariant harnesses. *)

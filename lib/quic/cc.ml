@@ -73,4 +73,9 @@ let on_retransmission_timeout t =
   t.cwnd <- t.min_cwnd;
   t.recovery_start <- -1L
 
+(* Persistent congestion (RFC 9002 §7.6): the network was unusable for
+   longer than the persistent-congestion duration, so restart from the
+   minimum window in slow start as if the connection were new. *)
+let collapse = on_retransmission_timeout
+
 let forget_in_flight t ~size = t.bytes_in_flight <- max 0 (t.bytes_in_flight - size)

@@ -39,4 +39,8 @@ val set_cwnd : t -> int -> unit
 val on_retransmission_timeout : t -> unit
 (** Collapse to the minimum window. *)
 
+val collapse : t -> unit
+(** Persistent congestion (RFC 9002 §7.6): collapse to the minimum window
+    and restart in slow start. *)
+
 val forget_in_flight : t -> size:int -> unit

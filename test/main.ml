@@ -18,4 +18,5 @@ let () =
     @ prefixed "dispatch" Test_dispatch.tests
     @ prefixed "extras" Test_extras.tests
     @ prefixed "anchors" Test_anchors.tests
-    @ prefixed "engine" Test_engine.tests)
+    @ prefixed "engine" Test_engine.tests
+    @ prefixed "chaos" Test_chaos.tests)

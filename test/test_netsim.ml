@@ -194,6 +194,120 @@ let test_topology_fig7 () =
   ignore (Sim.run sim);
   check Alcotest.int "both paths deliver" 2 !hits
 
+(* ------------------------------ fault -------------------------------- *)
+
+module Fault = Netsim.Fault
+
+(* drain a fault's verdict sequence at a fixed packet cadence *)
+let judge_seq ?(n = 500) ~seed profile =
+  let f = Fault.create ~rng:(Rng.create seed) profile in
+  List.init n (fun k -> Fault.judge f ~now:(Sim.of_ms (float_of_int k)))
+
+let test_fault_deterministic () =
+  let profile =
+    {
+      Fault.ge = Some (Fault.gilbert_elliott ());
+      reorder = Some { Fault.prob = 0.2; max_extra = Sim.of_ms 25. };
+      duplicate = 0.1;
+      corrupt = 0.1;
+      blackouts = [ (Sim.of_ms 100., Sim.of_ms 200.) ];
+    }
+  in
+  check Alcotest.bool "same seed, same verdicts" true
+    (judge_seq ~seed:42L profile = judge_seq ~seed:42L profile);
+  check Alcotest.bool "different seed, different verdicts" true
+    (judge_seq ~seed:42L profile <> judge_seq ~seed:43L profile)
+
+(* each fault draws from its own stream: enabling one must not shift
+   another's pattern for the same seed *)
+let test_fault_stream_independence () =
+  let ge_only = { Fault.none with Fault.ge = Some (Fault.gilbert_elliott ()) } in
+  let everything =
+    { ge_only with
+      Fault.reorder = Some { Fault.prob = 0.3; max_extra = Sim.of_ms 25. };
+      duplicate = 0.3;
+      corrupt = 0.3 }
+  in
+  let drops p = List.map (fun v -> v.Fault.drop) (judge_seq ~seed:9L p) in
+  check Alcotest.bool "ge pattern unmoved by other faults" true
+    (drops ge_only = drops everything);
+  (* a condemned packet masks the other verdict fields, so the duplicate
+     pattern is only observable on packets the ge generator lets through *)
+  let dup_only = { Fault.none with Fault.duplicate = 0.3 } in
+  check Alcotest.bool "duplicate pattern unmoved by ge" true
+    (List.for_all2
+       (fun alone composed ->
+         composed.Fault.drop <> None
+         || alone.Fault.duplicate = composed.Fault.duplicate)
+       (judge_seq ~seed:9L dup_only)
+       (judge_seq ~seed:9L everything))
+
+let test_fault_reorder_bounded () =
+  let max_extra = Sim.of_ms 20. in
+  let p =
+    { Fault.none with Fault.reorder = Some { Fault.prob = 0.5; max_extra } }
+  in
+  let vs = judge_seq ~seed:3L p in
+  check Alcotest.bool "some packets reordered" true
+    (List.exists (fun v -> v.Fault.extra_delay > 0L) vs);
+  check Alcotest.bool "extra delay within the bound" true
+    (List.for_all
+       (fun v -> v.Fault.extra_delay >= 0L && v.Fault.extra_delay < max_extra)
+       vs)
+
+let test_fault_blackout_window () =
+  let p =
+    { Fault.none with Fault.blackouts = [ (Sim.of_ms 10., Sim.of_ms 20.) ] }
+  in
+  let f = Fault.create ~rng:(Rng.create 1L) p in
+  check Alcotest.bool "before" false (Fault.in_blackout f ~now:(Sim.of_ms 5.));
+  check Alcotest.bool "inside" true (Fault.in_blackout f ~now:(Sim.of_ms 15.));
+  check Alcotest.bool "after" false (Fault.in_blackout f ~now:(Sim.of_ms 25.));
+  let drop now = (Fault.judge f ~now).Fault.drop in
+  check Alcotest.bool "packet inside the window eaten" true
+    (drop (Sim.of_ms 15.) = Some Fault.Blackout);
+  check Alcotest.bool "packets outside pass" true
+    (drop (Sim.of_ms 5.) = None && drop (Sim.of_ms 25.) = None)
+
+let test_link_duplicate_delivers_twice () =
+  let sim = Sim.create () in
+  let link =
+    Link.create ~sim ~delay_ms:1. ~rate_mbps:8. ~loss:0.
+      ~rng:(Rng.create 1L) ~faults:{ Fault.none with Fault.duplicate = 1.0 } ()
+  in
+  let delivered = ref 0 in
+  Link.send link ~size:1000 (fun () -> incr delivered);
+  ignore (Sim.run sim);
+  let s = Link.stats link in
+  check Alcotest.int "one copy injected" 1 s.Link.duplicated;
+  check Alcotest.int "both copies arrive" 2 !delivered;
+  check Alcotest.int "delivered counter agrees" 2 s.Link.delivered
+
+let test_link_queue_hwm () =
+  let sim = Sim.create () in
+  let link = mk_link sim in
+  check Alcotest.int "idle link: zero" 0 (Link.stats link).Link.queue_hwm;
+  for _ = 1 to 5 do
+    Link.send link ~size:1000 (fun () -> ())
+  done;
+  ignore (Sim.run sim);
+  check Alcotest.int "burst backlog recorded" 5000
+    (Link.stats link).Link.queue_hwm;
+  (* drained: the high-water mark persists after the queue empties *)
+  Link.send link ~size:1000 (fun () -> ());
+  ignore (Sim.run sim);
+  check Alcotest.int "mark persists" 5000 (Link.stats link).Link.queue_hwm
+
+let test_corrupt_string_deterministic () =
+  let s = String.make 64 'a' in
+  let d = 0x1234_5678_9abcL in
+  let c1 = Net.corrupt_string d s and c2 = Net.corrupt_string d s in
+  check Alcotest.bool "deterministic" true (c1 = c2);
+  check Alcotest.int "length preserved" (String.length s) (String.length c1);
+  check Alcotest.bool "payload damaged" true (c1 <> s);
+  check Alcotest.bool "descriptor selects the damage" true
+    (Net.corrupt_string 0x9999L s <> c1)
+
 let tests =
   [
     ("sim", [
@@ -216,5 +330,14 @@ let tests =
       Alcotest.test_case "seeded loss" `Quick test_link_loss_deterministic;
       Alcotest.test_case "routing" `Quick test_net_routing;
       Alcotest.test_case "figure 7 topology" `Quick test_topology_fig7;
+    ]);
+    ("fault", [
+      Alcotest.test_case "deterministic verdicts" `Quick test_fault_deterministic;
+      Alcotest.test_case "stream independence" `Quick test_fault_stream_independence;
+      Alcotest.test_case "reorder delay bounded" `Quick test_fault_reorder_bounded;
+      Alcotest.test_case "blackout window" `Quick test_fault_blackout_window;
+      Alcotest.test_case "duplication" `Quick test_link_duplicate_delivers_twice;
+      Alcotest.test_case "queue high-water mark" `Quick test_link_queue_hwm;
+      Alcotest.test_case "corruption deterministic" `Quick test_corrupt_string_deterministic;
     ]);
   ]

@@ -140,6 +140,32 @@ let test_ackranges_merge () =
   check (Alcotest.option Alcotest.int64) "largest" (Some 3L)
     (Quic.Ackranges.largest t)
 
+(* the chaos invariant: whatever duplicated / reordered arrival order the
+   network produces, the range set stays structurally coherent *)
+let ackranges_dup_reorder_coherent =
+  qtest ~count:300 "ackranges coherent under duplicate + reordered arrivals"
+    QCheck2.Gen.(list_size (int_range 1 80) (int_range 0 60))
+    (fun pns ->
+      let t = Quic.Ackranges.create () in
+      (* every pn arrives twice: once in arrival order, once reversed *)
+      List.iter (fun pn -> Quic.Ackranges.add t (Int64.of_int pn)) pns;
+      List.iter (fun pn -> Quic.Ackranges.add t (Int64.of_int pn)) (List.rev pns);
+      let distinct = List.sort_uniq compare pns in
+      Quic.Ackranges.check_coherent t = Ok ()
+      && Quic.Ackranges.cardinal t = Int64.of_int (List.length distinct)
+      && List.for_all
+           (fun pn -> Quic.Ackranges.contains t (Int64.of_int pn))
+           distinct)
+
+let test_check_coherent_rejects_malformed () =
+  let t = Quic.Ackranges.create () in
+  List.iter (fun pn -> Quic.Ackranges.add t pn) [ 1L; 5L; 9L ];
+  check Alcotest.bool "well-formed set accepted" true
+    (Quic.Ackranges.check_coherent t = Ok ());
+  (* an empty set is trivially coherent *)
+  check Alcotest.bool "empty set accepted" true
+    (Quic.Ackranges.check_coherent (Quic.Ackranges.create ()) = Ok ())
+
 let test_ackranges_bounded () =
   let t = Quic.Ackranges.create ~max_ranges:3 () in
   (* every even pn: each is its own range *)
@@ -239,6 +265,30 @@ let recvbuf_overlapping =
         extra;
       (* then guarantee coverage with a final full pass *)
       Quic.Recvbuf.insert rb ~offset:0 ~fin:true data;
+      Quic.Recvbuf.read rb = data && Quic.Recvbuf.is_finished rb)
+
+(* duplicated segments, fully out of order: what a duplicating + reordering
+   link hands the receiver *)
+let recvbuf_duplicate_segments =
+  qtest ~count:200 "recvbuf reassembles duplicated out-of-order segments"
+    QCheck2.Gen.(
+      pair (string_size ~gen:printable (int_range 1 1000)) (int_range 1 50))
+    (fun (data, chunk) ->
+      let segments = ref [] in
+      let pos = ref 0 in
+      while !pos < String.length data do
+        let len = min chunk (String.length data - !pos) in
+        segments := (!pos, String.sub data !pos len) :: !segments;
+        pos := !pos + len
+      done;
+      let rb = Quic.Recvbuf.create () in
+      let insert (off, seg) =
+        let fin = off + String.length seg = String.length data in
+        Quic.Recvbuf.insert rb ~offset:off ~fin seg
+      in
+      (* reversed once, then each segment again in arrival order *)
+      List.iter insert !segments;
+      List.iter insert (List.rev !segments);
       Quic.Recvbuf.read rb = data && Quic.Recvbuf.is_finished rb)
 
 let test_sendbuf_retransmit_priority () =
@@ -390,7 +440,9 @@ let tests =
     ("ackranges", [
       Alcotest.test_case "merge" `Quick test_ackranges_merge;
       Alcotest.test_case "bounded" `Quick test_ackranges_bounded;
+      Alcotest.test_case "check_coherent" `Quick test_check_coherent_rejects_malformed;
       ackranges_invariants;
+      ackranges_dup_reorder_coherent;
     ]);
     ("streambuf", [
       Alcotest.test_case "retransmit priority" `Quick test_sendbuf_retransmit_priority;
@@ -398,6 +450,7 @@ let tests =
       sendbuf_recvbuf_roundtrip;
       recvbuf_reassembly;
       recvbuf_overlapping;
+      recvbuf_duplicate_segments;
     ]);
     ("packet", [
       Alcotest.test_case "tamper detection" `Quick test_packet_tamper;
