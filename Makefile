@@ -1,4 +1,4 @@
-.PHONY: all check test bench chaos clean
+.PHONY: all check test bench bench-e2e chaos clean
 
 all:
 	dune build
@@ -20,6 +20,13 @@ chaos:
 # ns/op and insns/sec, tracked across PRs).
 bench:
 	dune exec bench/main.exe
+
+# End-to-end goodput benchmark over the simulated network: refreshes
+# BENCH_e2e.json (goodput MB/s, ns/packet, minor words/packet for 1 MB and
+# 50 MB transfers, single-path and multipath+FEC). E2E_QUICK=1 skips the
+# 50 MB scenarios.
+bench-e2e:
+	dune exec bench/e2e.exe -- $(if $(E2E_QUICK),--quick,)
 
 clean:
 	dune clean

@@ -22,4 +22,26 @@ dune runtest
 echo "== chaos smoke (seed-sweep invariants)"
 dune exec bin/chaos.exe -- sweep --seeds 10
 
+# Committed benchmark artifacts must stay well-formed: right schema tag,
+# non-empty results, strictly positive measurements. Catches hand edits
+# and half-written files; jq is optional so the check degrades gracefully.
+if command -v jq >/dev/null 2>&1; then
+  echo "== bench JSON sanity (jq)"
+  jq -e '
+    .schema == "pquic-bench-vm/1"
+    and (.results | length > 0)
+    and ([.results[] | .ns_per_op > 0] | all)
+    and (.results | has("transfer_1MB_e2e"))
+  ' BENCH_vm.json >/dev/null || { echo "BENCH_vm.json failed sanity check"; exit 1; }
+  jq -e '
+    .schema == "pquic-bench-e2e/1"
+    and (.results | length > 0)
+    and ([.results[] | .cpu_ms > 0 and .goodput_mb_s > 0
+          and .packets > 0 and .ns_per_packet > 0] | all)
+    and (.results | has("transfer_1MB_e2e"))
+  ' BENCH_e2e.json >/dev/null || { echo "BENCH_e2e.json failed sanity check"; exit 1; }
+else
+  echo "== skipping bench JSON sanity (no jq)"
+fi
+
 echo "== OK"

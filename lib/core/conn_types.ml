@@ -52,10 +52,17 @@ type path = {
   mutable lost_span_valid : bool;
 }
 
-type frame_record = {
-  frame : F.t;
-  reservation : Scheduler.reservation option; (* set for plugin frames *)
-}
+(* What a sent packet carried, for ack/loss bookkeeping. Data-bearing
+   frames record only (offset, len) against their send buffer — the
+   payload bytes are never copied into retransmit state; a loss requeues
+   the range and the retransmission re-reads the send buffer. *)
+type frame_record =
+  | R_frame of F.t * Scheduler.reservation option
+      (* control/ack/plugin-reserved frames; reservation set for the
+         latter so notify_frame protoops can fire *)
+  | R_stream of { id : int; offset : int; len : int; fin : bool }
+  | R_crypto of { offset : int; len : int }
+  | R_plugin_data of { plugin : string; offset : int; len : int; fin : bool }
 
 type sent_packet = {
   pn : int64;
@@ -130,6 +137,12 @@ and t = {
   (* recovery *)
   mutable next_pn : int64;
   sent : (int64, sent_packet) Hashtbl.t;
+  mutable ack_watermark : int64;
+      (* no pn below this is still in [sent]: pns are assigned in
+         increasing order, so once a pn has left the in-flight table it
+         never returns and the watermark only advances. Lets ack
+         processing clip ranges to the live window instead of walking
+         every acknowledged pn since the start of the connection. *)
   mutable largest_acked : int64;
   mutable largest_acked_per_path : int64 array; (* per-path largest path_seq acked *)
   mutable next_path_seq : int64 array;
@@ -154,7 +167,7 @@ and t = {
   mutable spin : bool;
   (* streams *)
   streams : (int, stream) Hashtbl.t;
-  mutable stream_order : int list;
+  stream_rr : int Queue.t; (* round-robin rotation order *)
   crypto_send : Quic.Sendbuf.t;
   crypto_recv : Quic.Recvbuf.t;
   crypto_acc : Buffer.t; (* contiguous crypto bytes read so far *)
@@ -186,6 +199,13 @@ and t = {
   mutable cur_path : int;
   mutable cur_size : int;
   mutable cur_payload : string;
+  (* send path: the payload slice of the packet just built, materialized
+     lazily from [cur_wire] — only the FEC helper ever reads it, so the
+     plain path never pays the copy. [cur_payload_len = 0] means
+     [cur_payload] is authoritative as-is. *)
+  mutable cur_wire : string;
+  mutable cur_payload_off : int;
+  mutable cur_payload_len : int;
   mutable cur_has_stream : bool;
   mutable cur_ecn_ce : bool;
   mutable recover_depth : int;
@@ -237,6 +257,16 @@ let fail_connection c reason =
     c.state <- Failed reason;
     c.close_reason <- reason
   end
+
+(* The payload of the packet currently built or processed. The send path
+   records only the wire image plus offsets; the slice is cut (and cached)
+   the first time a plugin helper actually asks for it. *)
+let current_payload c =
+  if c.cur_payload_len > 0 then begin
+    c.cur_payload <- String.sub c.cur_wire c.cur_payload_off c.cur_payload_len;
+    c.cur_payload_len <- 0
+  end;
+  c.cur_payload
 
 let make_stats () =
   {

@@ -41,10 +41,16 @@ type path = {
           current run of consecutive ack-eliciting losses *)
 }
 
-type frame_record = {
-  frame : Quic.Frame.t;
-  reservation : Scheduler.reservation option; (** set for plugin frames *)
-}
+(** What a sent packet carried, for ack/loss bookkeeping. Data-bearing
+    frames record only (offset, len) against their send buffer — payload
+    bytes are never copied into retransmit state. *)
+type frame_record =
+  | R_frame of Quic.Frame.t * Scheduler.reservation option
+      (** control/ack/plugin-reserved frames; the reservation is set for
+          the latter so notify_frame protoops can fire *)
+  | R_stream of { id : int; offset : int; len : int; fin : bool }
+  | R_crypto of { offset : int; len : int }
+  | R_plugin_data of { plugin : string; offset : int; len : int; fin : bool }
 
 type sent_packet = {
   pn : int64;
@@ -123,6 +129,9 @@ and t = {
   (* recovery *)
   mutable next_pn : int64;
   sent : (int64, sent_packet) Hashtbl.t;
+  mutable ack_watermark : int64;
+      (** no pn below this is still in [sent]; ack processing clips
+          ranges to the live window with it *)
   mutable largest_acked : int64;
   mutable largest_acked_per_path : int64 array;
   mutable next_path_seq : int64 array;
@@ -144,7 +153,7 @@ and t = {
   mutable spin : bool;
   (* streams *)
   streams : (int, stream) Hashtbl.t;
-  mutable stream_order : int list;
+  stream_rr : int Queue.t; (** round-robin rotation order *)
   crypto_send : Quic.Sendbuf.t;
   crypto_recv : Quic.Recvbuf.t;
   crypto_acc : Buffer.t;
@@ -176,6 +185,12 @@ and t = {
   mutable cur_path : int;
   mutable cur_size : int;
   mutable cur_payload : string;
+  mutable cur_wire : string;
+      (** wire image of the packet just built; [cur_payload] is sliced
+          from it on first use (see {!current_payload}) *)
+  mutable cur_payload_off : int;
+  mutable cur_payload_len : int;
+      (** 0 when [cur_payload] is authoritative as-is *)
   mutable cur_has_stream : bool;
   mutable cur_ecn_ce : bool;
   mutable recover_depth : int;
@@ -212,6 +227,10 @@ val is_open : t -> bool
 
 val fail_connection : t -> string -> unit
 (** Mark the connection failed (unless already closed). *)
+
+val current_payload : t -> string
+(** Payload of the packet currently built or processed, slicing it out
+    of [cur_wire] (and caching it) on first use. *)
 
 val make_stats : unit -> stats
 

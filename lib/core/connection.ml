@@ -115,6 +115,7 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
       paths = [| path0 |];
       next_pn = 0L;
       sent = Hashtbl.create 512;
+      ack_watermark = 0L;
       largest_acked = -1L;
       largest_acked_per_path = Array.make 8 (-1L);
       next_path_seq = Array.make 8 0L;
@@ -134,7 +135,7 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
       last_spin_received = false;
       spin = false;
       streams = Hashtbl.create 8;
-      stream_order = [];
+      stream_rr = Queue.create ();
       crypto_send = Quic.Sendbuf.create ();
       crypto_recv = Quic.Recvbuf.create ();
       crypto_acc = Buffer.create 256;
@@ -158,6 +159,9 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
       cur_path = 0;
       cur_size = 0;
       cur_payload = "";
+      cur_wire = "";
+      cur_payload_off = 0;
+      cur_payload_len = 0;
       cur_has_stream = false;
       cur_ecn_ce = false;
       recover_depth = 0;
@@ -387,10 +391,11 @@ let process_recovered c data =
       c.stats.frames_recovered <- c.stats.frames_recovered + 1;
       Quic.Ackranges.add c.acks pn;
       c.ack_needed <- true;
-      let saved_pn = c.cur_pn and saved_payload = c.cur_payload in
+      let saved_pn = c.cur_pn and saved_payload = current_payload c in
       let payload = String.sub data 4 (String.length data - 4) in
       c.cur_pn <- pn;
       c.cur_payload <- payload;
+      c.cur_payload_len <- 0;
       ignore (process_payload c ~pn payload);
       c.cur_pn <- saved_pn;
       c.cur_payload <- saved_payload;
@@ -479,6 +484,7 @@ let receive_datagram c (dg : Net.datagram) =
             c.cur_path <- pid;
             c.cur_size <- String.length wire;
             c.cur_payload <- payload;
+            c.cur_payload_len <- 0;
             c.cur_has_stream <- false;
             c.cur_ecn_ce <- ce;
             c.last_activity <- Sim.now c.sim;

@@ -70,7 +70,7 @@ let has_plugin t name = Hashtbl.mem t.available name
 
 let supported_plugins t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.available []
-  |> List.sort compare
+  |> List.sort String.compare
 
 (* Reclaim instances whose connection finished; killed (failed) connections
    do not recycle, so a misbehaving plugin's PREs are discarded. *)

@@ -210,7 +210,7 @@ let install_helpers c inst (pre : Pre.t) =
       0L);
   reg Api.h_packet_bytes (fun vm a ->
       let max = to_i a.(1) in
-      let payload = c.cur_payload in
+      let payload = current_payload c in
       let pn_prefix = Bytes.create 4 in
       Bytes.set_int32_be pn_prefix 0 (Int64.to_int32 c.cur_pn);
       let total = 4 + String.length payload in

@@ -9,6 +9,10 @@ open Conn_types
 
 let run_op = Dispatch.run_op
 
+(* Kept as a fold over the in-flight table (small: the congestion window
+   bounds it) rather than a send-order queue: several packets often share
+   a send timestamp, and the probe path must keep the seed's tie-break to
+   stay trace-compatible with the recorded experiments. *)
 let oldest_in_flight c =
   Hashtbl.fold
     (fun _ sp acc ->
@@ -63,52 +67,41 @@ let set_loss_alarm c =
 
 let notify_frame_fate c (fr : frame_record) ~acked =
   let lost = not acked in
-  let run_plugin_notify ftype raw reservation =
+  match fr with
+  | R_stream { id; offset; len; fin } -> (
+    match Hashtbl.find_opt c.streams id with
+    | None -> ()
+    | Some s ->
+      if acked then Quic.Sendbuf.on_acked s.sendb ~offset ~len ~fin
+      else begin
+        Quic.Sendbuf.on_lost s.sendb ~offset ~len ~fin;
+        c.stats.pkts_retransmitted <- c.stats.pkts_retransmitted + 1
+      end)
+  | R_crypto { offset; len } ->
+    if acked then Quic.Sendbuf.on_acked c.crypto_send ~offset ~len ~fin:false
+    else Quic.Sendbuf.on_lost c.crypto_send ~offset ~len ~fin:false
+  | R_plugin_data { plugin; offset; len; fin } -> (
+    match Hashtbl.find_opt c.plugin_out plugin with
+    | None -> ()
+    | Some sb ->
+      if acked then Quic.Sendbuf.on_acked sb ~offset ~len ~fin
+      else Quic.Sendbuf.on_lost sb ~offset ~len ~fin)
+  | R_frame (F.Max_data _, _) -> if lost then c.max_data_frame_pending <- true
+  | R_frame
+      ( (( F.Plugin_validate _ | F.Plugin_proof _ | F.Handshake_done
+         | F.Path_response _ ) as f),
+        _ ) ->
+    if lost then Queue.push f c.ctrl
+  | R_frame (F.Unknown { ftype; raw }, Some r) ->
     let args =
       [|
         I (if acked then 1L else 0L);
-        I reservation.Scheduler.cookie;
+        I r.Scheduler.cookie;
         Buf (Bytes.of_string raw, `Ro);
       |]
     in
     ignore (run_op c Protoop.notify_frame ~param:ftype args)
-  in
-  match fr.frame with
-  | F.Stream { id; offset; fin; data } -> (
-    match Hashtbl.find_opt c.streams id with
-    | None -> ()
-    | Some s ->
-      let len = String.length data in
-      if acked then
-        Quic.Sendbuf.on_acked s.sendb ~offset:(Int64.to_int offset) ~len ~fin
-      else begin
-        Quic.Sendbuf.on_lost s.sendb ~offset:(Int64.to_int offset) ~len ~fin;
-        c.stats.pkts_retransmitted <- c.stats.pkts_retransmitted + 1
-      end)
-  | F.Crypto { offset; data } ->
-    let len = String.length data in
-    if acked then
-      Quic.Sendbuf.on_acked c.crypto_send ~offset:(Int64.to_int offset) ~len
-        ~fin:false
-    else
-      Quic.Sendbuf.on_lost c.crypto_send ~offset:(Int64.to_int offset) ~len
-        ~fin:false
-  | F.Plugin_chunk { plugin; offset; fin; data } -> (
-    match Hashtbl.find_opt c.plugin_out plugin with
-    | None -> ()
-    | Some sb ->
-      let len = String.length data in
-      if acked then Quic.Sendbuf.on_acked sb ~offset:(Int64.to_int offset) ~len ~fin
-      else Quic.Sendbuf.on_lost sb ~offset:(Int64.to_int offset) ~len ~fin)
-  | F.Max_data _ -> if lost then c.max_data_frame_pending <- true
-  | F.Plugin_validate _ | F.Plugin_proof _ | F.Handshake_done
-  | F.Path_response _ ->
-    if lost then Queue.push fr.frame c.ctrl
-  | F.Unknown { ftype; raw } -> (
-    match fr.reservation with
-    | Some r -> run_plugin_notify ftype raw r
-    | None -> ())
-  | _ -> ()
+  | R_frame _ -> ()
 
 (* Persistent congestion (RFC 9002 §7.6): when the send-time span of a
    run of consecutive ack-eliciting losses — unbroken by any ack — exceeds
@@ -206,9 +199,22 @@ let detect_losses c =
 
 let process_ack c (ack : F.ack) =
   let now = Sim.now c.sim in
+  (* Advance the lowest-live-pn watermark: a pn below next_pn that is
+     not in [sent] can never reappear there, so each pn is crossed at
+     most once over the connection's lifetime. *)
+  while
+    c.ack_watermark < c.next_pn && not (Hashtbl.mem c.sent c.ack_watermark)
+  do
+    c.ack_watermark <- Int64.add c.ack_watermark 1L
+  done;
+  (* Collect newly acked packets by walking the ranges clipped to the
+     live window. Unclipped, the first range eventually spans every pn
+     since the start of the connection and ack processing goes
+     quadratic in transfer length. *)
   let newly = ref [] in
   List.iter
     (fun (first, last) ->
+      let first = if first > c.ack_watermark then first else c.ack_watermark in
       let pn = ref last in
       while !pn >= first do
         (match Hashtbl.find_opt c.sent !pn with
@@ -217,7 +223,7 @@ let process_ack c (ack : F.ack) =
         pn := Int64.sub !pn 1L
       done)
     ack.F.ranges;
-  let newly = List.sort (fun a b -> compare a.pn b.pn) !newly in
+  let newly = List.sort (fun a b -> Int64.compare a.pn b.pn) !newly in
   if newly <> [] then begin
     let largest_newly = List.nth newly (List.length newly - 1) in
     if largest_newly.pn > c.largest_acked then c.largest_acked <- largest_newly.pn;

@@ -90,7 +90,7 @@ let get_stream c id =
       }
     in
     Hashtbl.replace c.streams id s;
-    c.stream_order <- c.stream_order @ [ id ];
+    Queue.push id c.stream_rr;
     ignore (run_op c Protoop.stream_opened [| I (i64 id) |]);
     s
 
@@ -121,17 +121,20 @@ let native_schedule_next_stream c _ =
       Quic.Sendbuf.has_retransmissions s.sendb
       || (Quic.Sendbuf.has_new s.sendb && allowed_new)
   in
-  let rec rotate tried order =
-    match order with
-    | [] -> -1
-    | id :: rest ->
-      if eligible id then begin
-        c.stream_order <- rest @ tried @ [ id ];
-        id
-      end
-      else rotate (tried @ [ id ]) rest
+  (* Rotate the queue at most once around: a chosen stream ends up at the
+     back (it just got its turn) and a fruitless full rotation restores
+     the original order — the same fairness as rotating a list, without
+     its O(n²) appends. *)
+  let n = Queue.length c.stream_rr in
+  let rec rotate k =
+    if k >= n then -1
+    else begin
+      let id = Queue.pop c.stream_rr in
+      Queue.push id c.stream_rr;
+      if eligible id then id else rotate (k + 1)
+    end
   in
-  i64 (rotate [] c.stream_order)
+  i64 (rotate 0)
 
 let native_set_spin_bit c _ =
   (* client inverts the last received spin value, server echoes it — the
@@ -171,25 +174,41 @@ let build_and_send_packet c =
       min capacity (max 0 cc_room)
     else 0
   in
+  (* The packet is encoded as it is assembled: frames are written
+     straight into a pooled wire buffer behind reserved header room, and
+     stream/crypto/plugin payloads are blitted from their send buffers —
+     no intermediate frame strings or payload Buffer. The wire image is
+     byte-identical to the old serialize-then-protect path
+     (differentially tested in test_datapath). *)
+  let ptype = if long then Quic.Packet.Initial else Quic.Packet.One_rtt in
+  let w = Quic.Writer.acquire () in
+  Fun.protect ~finally:(fun () -> Quic.Writer.release w) @@ fun () ->
+  let hoff =
+    Quic.Packet.reserve_header w
+      { Quic.Packet.ptype; spin = false; dcid = 0L; scid = 0L; pn = 0L }
+  in
   let room = ref capacity in
   let room_ae = ref ae_room in
-  let frames = ref [] in
   let records = ref [] in
+  let nframes = ref 0 in
   let any_ae = ref false in
-  let add ?reservation frame =
-    let sz = F.wire_size frame in
-    frames := frame :: !frames;
-    records := { frame; reservation } :: !records;
+  let account ~ae sz =
+    incr nframes;
     room := !room - sz;
+    if ae then begin
+      room_ae := !room_ae - sz;
+      any_ae := true
+    end
+  in
+  let add ?reservation frame =
+    F.write w frame;
+    records := R_frame (frame, reservation) :: !records;
     let ae =
       match reservation with
       | Some r -> r.Scheduler.ack_eliciting
       | None -> F.is_ack_eliciting frame
     in
-    if ae then begin
-      room_ae := !room_ae - sz;
-      any_ae := true
-    end
+    account ~ae (F.size frame)
   in
   c.cur_has_stream <- false;
   ignore (run_op c Protoop.before_sending_packet [||]);
@@ -197,7 +216,7 @@ let build_and_send_packet c =
   let ack_included = ref false in
   if c.ack_needed then (
     match ack_frame_of c with
-    | Some f when F.wire_size f <= !room ->
+    | Some f when F.size f <= !room ->
       add f;
       ack_included := true
     | _ -> ());
@@ -205,7 +224,7 @@ let build_and_send_packet c =
   let rec drain_ctrl () =
     if not (Queue.is_empty c.ctrl) then begin
       let f = Queue.peek c.ctrl in
-      let sz = F.wire_size f in
+      let sz = F.size f in
       let fits =
         if F.is_ack_eliciting f then sz <= !room_ae && sz <= !room
         else sz <= !room
@@ -221,9 +240,14 @@ let build_and_send_packet c =
   (* handshake data *)
   let rec drain_crypto () =
     if !room_ae > 16 && Quic.Sendbuf.has_pending c.crypto_send then begin
-      match Quic.Sendbuf.next_chunk c.crypto_send ~max_len:(!room_ae - 12) with
-      | Some (off, data, _fin) ->
-        add (F.Crypto { offset = i64 off; data });
+      match Quic.Sendbuf.next_span c.crypto_send ~max_len:(!room_ae - 12) with
+      | Some (off, len, _fin) ->
+        let offset = i64 off in
+        F.write_crypto_header w ~offset ~len;
+        let buf, dst_off = Quic.Writer.alloc w len in
+        Quic.Sendbuf.blit c.crypto_send ~off ~len buf ~dst_off;
+        records := R_crypto { offset = off; len } :: !records;
+        account ~ae:true (F.crypto_header_size ~offset ~len + len);
         drain_crypto ()
       | None -> ()
     end
@@ -240,11 +264,19 @@ let build_and_send_packet c =
         let continue = ref true in
         while !continue && !room_ae > 64 && Quic.Sendbuf.has_pending sb do
           match
-            Quic.Sendbuf.next_chunk sb
+            Quic.Sendbuf.next_span sb
               ~max_len:(!room_ae - 32 - String.length name)
           with
-          | Some (off, data, fin) ->
-            add (F.Plugin_chunk { plugin = name; offset = i64 off; fin; data })
+          | Some (off, len, fin) ->
+            let offset = i64 off in
+            F.write_plugin_chunk_header w ~plugin:name ~offset ~fin ~len;
+            let buf, dst_off = Quic.Writer.alloc w len in
+            Quic.Sendbuf.blit sb ~off ~len buf ~dst_off;
+            records :=
+              R_plugin_data { plugin = name; offset = off; len; fin }
+              :: !records;
+            account ~ae:true
+              (F.plugin_chunk_header_size ~plugin:name ~offset + len)
           | None -> continue := false
         done)
       c.plugin_out
@@ -302,18 +334,23 @@ let build_and_send_packet c =
           continue := false
         end
         else
-          match Quic.Sendbuf.next_chunk s.sendb ~max_len:cap with
+          match Quic.Sendbuf.next_span s.sendb ~max_len:cap with
           | None -> continue := false
-          | Some (off, data, fin) ->
-            add (F.Stream { id = sid; offset = i64 off; fin; data });
+          | Some (off, len, fin) ->
+            let offset = i64 off in
+            F.write_stream_header w ~id:sid ~offset ~fin ~len;
+            let buf, dst_off = Quic.Writer.alloc w len in
+            Quic.Sendbuf.blit s.sendb ~off ~len buf ~dst_off;
+            records := R_stream { id = sid; offset = off; len; fin } :: !records;
+            account ~ae:true (F.stream_header_size ~id:sid ~offset ~len + len);
             c.cur_has_stream <- true;
-            let sent_end = off + String.length data in
+            let sent_end = off + len in
             if sent_end > s.flow_sent then begin
               c.data_sent <-
                 Int64.add c.data_sent (i64 (sent_end - s.flow_sent));
               s.flow_sent <- sent_end
             end;
-            if String.length data = 0 && not fin then continue := false
+            if len = 0 && not fin then continue := false
       end
     done
   in
@@ -328,34 +365,30 @@ let build_and_send_packet c =
     if core_data then c.plugin_turn <- true;
     fill_plugins ()
   end;
-  let frames = List.rev !frames in
-  if frames = [] then false
+  if !nframes = 0 then false
   else begin
-    let payload =
-      let buf = Buffer.create capacity in
-      List.iter (F.serialize buf) frames;
-      Buffer.contents buf
-    in
     let pn = c.next_pn in
     c.next_pn <- Int64.add c.next_pn 1L;
     ignore (run_op c Protoop.set_spin_bit ~default:native_set_spin_bit [||]);
     ignore (run_op c Protoop.header_prepared [| I pn |]);
     let header =
-      {
-        Quic.Packet.ptype = (if long then Quic.Packet.Initial else Quic.Packet.One_rtt);
-        spin = c.spin;
-        dcid = c.remote_cid;
-        scid = c.local_cid;
-        pn;
-      }
+      { Quic.Packet.ptype; spin = c.spin; dcid = c.remote_cid;
+        scid = c.local_cid; pn }
     in
     let key = if long then c.initial_key else c.key in
-    let wire = Quic.Packet.protect ~key { header; payload } in
+    Quic.Packet.patch_header w ~off:hoff header;
+    let hsize = Quic.Packet.header_size header in
+    let payload_len = Quic.Writer.length w - hsize in
+    Quic.Packet.seal ~key w;
+    let wire = Quic.Writer.contents w in
     let size = String.length wire in
     c.cur_pn <- pn;
     c.cur_path <- p.path_id;
     c.cur_size <- size;
-    c.cur_payload <- payload;
+    c.cur_payload <- "";
+    c.cur_wire <- wire;
+    c.cur_payload_off <- hsize;
+    c.cur_payload_len <- payload_len;
     c.stats.pkts_sent <- c.stats.pkts_sent + 1;
     c.stats.bytes_sent <- c.stats.bytes_sent + size;
     c.largest_sent_at <- Sim.now c.sim;
@@ -371,11 +404,15 @@ let build_and_send_packet c =
     if ack_eliciting then begin
       Hashtbl.replace c.sent_times pn (Sim.now c.sim);
       if Int64.rem pn 4096L = 0L then begin
-        (* bound the retained history *)
+        (* bound the retained history; collect then remove, without
+           copying the whole table *)
         let horizon = Int64.sub pn 8192L in
-        Hashtbl.iter
-          (fun k _ -> if k < horizon then Hashtbl.remove c.sent_times k)
-          (Hashtbl.copy c.sent_times)
+        let stale =
+          Hashtbl.fold
+            (fun k _ acc -> if k < horizon then k :: acc else acc)
+            c.sent_times []
+        in
+        List.iter (Hashtbl.remove c.sent_times) stale
       end;
       let path_seq =
         if p.path_id < Array.length c.next_path_seq then begin

@@ -2,7 +2,7 @@
    percentiles, empirical CDFs printed as the series behind the paper's
    figures. *)
 
-let sorted values = List.sort compare values
+let sorted values = List.sort Float.compare values
 
 let percentile p values =
   match sorted values with

@@ -145,8 +145,149 @@ let to_string frame =
   serialize buf frame;
   Buffer.contents buf
 
-(* Wire size of a frame. *)
+(* Wire size of a frame, by serializing it — the reference the arithmetic
+   [size] below is differentially tested against. *)
 let wire_size frame = String.length (to_string frame)
+
+(* ------------------------------------------------------------------ *)
+(* Pooled fast path: arithmetic sizes and direct-to-writer encoding.    *)
+(* The wire images must be byte-identical to [serialize]; the sender    *)
+(* uses these so a packet is encoded once, into one pooled buffer,      *)
+(* with no intermediate Buffer or string.                               *)
+(* ------------------------------------------------------------------ *)
+
+let vsize v = Varint.encoded_size v
+let vsize_int v = Varint.encoded_size (Int64.of_int v)
+
+(* Wire size computed without serializing; equals [wire_size]. *)
+let size frame =
+  vsize_int (frame_type frame)
+  +
+  match frame with
+  | Padding n -> n - 1
+  | Ping | Handshake_done -> 0
+  | Ack { largest; delay_us; ranges } -> (
+    match ranges with
+    | [] -> invalid_arg "Ack with no ranges"
+    | (first, last) :: rest ->
+      let base =
+        vsize largest + vsize delay_us
+        + vsize_int (List.length rest)
+        + vsize (Int64.sub last first)
+      in
+      let prev_first = ref first in
+      List.fold_left
+        (fun acc (first, last) ->
+          let gap = Int64.sub (Int64.sub !prev_first last) 2L in
+          prev_first := first;
+          acc + vsize gap + vsize (Int64.sub last first))
+        base rest)
+  | Crypto { offset; data } ->
+    vsize offset + vsize_int (String.length data) + String.length data
+  | Stream { id; offset; fin = _; data } ->
+    vsize_int id + vsize offset
+    + vsize_int (String.length data)
+    + String.length data
+  | Max_data v -> vsize v
+  | Max_stream_data { id; max } -> vsize_int id + vsize max
+  | Connection_close { code; reason } ->
+    vsize_int code + 2 + String.length reason
+  | Path_challenge _ | Path_response _ -> 8
+  | Plugin_validate { plugin; formula } ->
+    2 + String.length plugin + 2 + String.length formula
+  | Plugin_proof { plugin; proof } ->
+    2 + String.length plugin + 2 + String.length proof
+  | Plugin_chunk { plugin; offset; fin = _; data } ->
+    2 + String.length plugin + vsize offset + 1 + 2 + String.length data
+  | Unknown { raw; _ } -> String.length raw
+
+let write_string_16_w w s =
+  Writer.u16_be w (String.length s);
+  Writer.string w s
+
+(* Encode [frame] into [w]; byte-identical to [serialize]. *)
+let write w frame =
+  Writer.varint_int w (frame_type frame);
+  match frame with
+  | Padding n -> Writer.fill w (n - 1) '\000'
+  | Ping | Handshake_done -> ()
+  | Ack { largest; delay_us; ranges } ->
+    Writer.varint w largest;
+    Writer.varint w delay_us;
+    (match ranges with
+     | [] -> invalid_arg "Ack with no ranges"
+     | (first, last) :: rest ->
+       assert (last = largest);
+       Writer.varint_int w (List.length rest);
+       Writer.varint w (Int64.sub last first);
+       let prev_first = ref first in
+       List.iter
+         (fun (first, last) ->
+           Writer.varint w (Int64.sub (Int64.sub !prev_first last) 2L);
+           Writer.varint w (Int64.sub last first);
+           prev_first := first)
+         rest)
+  | Crypto { offset; data } ->
+    Writer.varint w offset;
+    Writer.varint_int w (String.length data);
+    Writer.string w data
+  | Stream { id; offset; fin = _; data } ->
+    Writer.varint_int w id;
+    Writer.varint w offset;
+    Writer.varint_int w (String.length data);
+    Writer.string w data
+  | Max_data v -> Writer.varint w v
+  | Max_stream_data { id; max } ->
+    Writer.varint_int w id;
+    Writer.varint w max
+  | Connection_close { code; reason } ->
+    Writer.varint_int w code;
+    write_string_16_w w reason
+  | Path_challenge v | Path_response v -> Writer.i64_be w v
+  | Plugin_validate { plugin; formula } ->
+    write_string_16_w w plugin;
+    write_string_16_w w formula
+  | Plugin_proof { plugin; proof } ->
+    write_string_16_w w plugin;
+    write_string_16_w w proof
+  | Plugin_chunk { plugin; offset; fin; data } ->
+    write_string_16_w w plugin;
+    Writer.varint w offset;
+    Writer.u8 w (if fin then 1 else 0);
+    write_string_16_w w data
+  | Unknown { raw; _ } -> Writer.string w raw
+
+(* Zero-copy variants: headers of the data-bearing frames, written apart
+   from their payload so the sender can blit stream/crypto/plugin bytes
+   straight from the send buffer into the wire buffer. *)
+
+let stream_header_size ~id ~offset ~len =
+  1 (* both stream types encode in one byte *)
+  + vsize_int id + vsize offset + vsize_int len
+
+let write_stream_header w ~id ~offset ~fin ~len =
+  Writer.varint_int w (if fin then type_stream else type_stream_nofin);
+  Writer.varint_int w id;
+  Writer.varint w offset;
+  Writer.varint_int w len
+
+let crypto_header_size ~offset ~len = 1 + vsize offset + vsize_int len
+
+let write_crypto_header w ~offset ~len =
+  Writer.varint_int w type_crypto;
+  Writer.varint w offset;
+  Writer.varint_int w len
+
+let plugin_chunk_header_size ~plugin ~offset =
+  (* 0x62 needs a 2-byte varint *)
+  2 + 2 + String.length plugin + vsize offset + 1 + 2
+
+let write_plugin_chunk_header w ~plugin ~offset ~fin ~len =
+  Writer.varint_int w type_plugin_chunk;
+  write_string_16_w w plugin;
+  Writer.varint w offset;
+  Writer.u8 w (if fin then 1 else 0);
+  Writer.u16_be w len
 
 (* Parse one frame at [pos]. For unknown types the remainder of the payload
    is captured raw and the returned position is the end of the buffer; the

@@ -72,7 +72,35 @@ val is_ack_eliciting : t -> bool
 
 val serialize : Buffer.t -> t -> unit
 val to_string : t -> string
+
 val wire_size : t -> int
+(** Wire size by serializing into a scratch buffer — the reference
+    semantics the pooled fast path is differentially tested against. *)
+
+(** {2 Pooled fast path}
+
+    Arithmetic sizes and direct-to-writer encoders, byte-identical to
+    {!serialize}/{!wire_size} (enforced by the differential tests). The
+    [*_header] variants write the data-bearing frames apart from their
+    payload so the sender can blit stream/crypto/plugin bytes straight
+    from the send buffer into the wire buffer. *)
+
+val size : t -> int
+(** Equals {!wire_size}, computed without serializing. *)
+
+val write : Writer.t -> t -> unit
+(** Byte-identical to {!serialize}. *)
+
+val stream_header_size : id:int -> offset:int64 -> len:int -> int
+val write_stream_header :
+  Writer.t -> id:int -> offset:int64 -> fin:bool -> len:int -> unit
+
+val crypto_header_size : offset:int64 -> len:int -> int
+val write_crypto_header : Writer.t -> offset:int64 -> len:int -> unit
+
+val plugin_chunk_header_size : plugin:string -> offset:int64 -> int
+val write_plugin_chunk_header :
+  Writer.t -> plugin:string -> offset:int64 -> fin:bool -> len:int -> unit
 
 val parse : string -> int -> t * int
 (** Parse one frame; returns it and the next position. For unknown types

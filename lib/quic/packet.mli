@@ -25,6 +25,35 @@ val header_size : header -> int
 val overhead : header -> int
 
 val protect : key:int64 -> t -> string
+(** Serialize and protect — the allocating reference path; {!seal} on a
+    writer must produce identical bytes (differentially tested). *)
+
+(** {2 Pooled fast path}
+
+    The sender reserves header room in its wire buffer, writes frames,
+    patches the header in place once spin/pn are final, and seals with
+    the tag — one buffer, no intermediate copy. *)
+
+val reserve_header : Writer.t -> header -> int
+(** Reserve [header_size h] bytes; returns their offset. *)
+
+val patch_header : Writer.t -> off:int -> header -> unit
+(** Fill previously reserved header room. Never grows the buffer, so it
+    is safe after the frames are written. *)
+
+val seal : key:int64 -> Writer.t -> unit
+(** Tag everything written so far and append it; the writer then holds
+    the complete wire image, byte-identical to {!protect}. *)
+
+val tag : key:int64 -> string -> int64
+(** The keyed FNV-1a packet tag (a stand-in for AES-GCM, not crypto). *)
+
+val tag_reference : key:int64 -> string -> int64
+(** Boxed-Int64 reference implementation of {!tag}; kept for the
+    differential test of the allocation-free native-int version. *)
+
+val tag_sub : key:int64 -> string -> off:int -> len:int -> int64
+val tag_bytes : key:int64 -> Bytes.t -> off:int -> len:int -> int64
 
 exception Authentication_failed
 exception Malformed

@@ -15,9 +15,17 @@ val has_retransmissions : t -> bool
 val has_new : t -> bool
 val pending_bytes : t -> int
 
+val next_span : t -> max_len:int -> (int * int * bool) option
+(** [(offset, len, fin)] of the next chunk to put on the wire, without
+    copying; retransmissions take priority over new data. Fetch the bytes
+    with {!blit}. *)
+
+val blit : t -> off:int -> len:int -> Bytes.t -> dst_off:int -> unit
+(** Copy queued bytes straight into a wire buffer. *)
+
 val next_chunk : t -> max_len:int -> (int * string * bool) option
-(** [(offset, bytes, fin)] of the next chunk to put on the wire;
-    retransmissions take priority over new data. *)
+(** Copying variant of {!next_span}, for callers outside the pooled
+    datapath (tests, reference paths). *)
 
 val on_acked : t -> offset:int -> len:int -> fin:bool -> unit
 val on_lost : t -> offset:int -> len:int -> fin:bool -> unit

@@ -39,7 +39,7 @@ let publish t ~developer (plugin : Pquic.Plugin.t) =
 let fetch t name = Hashtbl.find_opt t.plugins name
 
 let plugin_names t =
-  Hashtbl.fold (fun n _ acc -> n :: acc) t.plugins [] |> List.sort compare
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.plugins [] |> List.sort String.compare
 
 let register_pv t ~id ~key = Hashtbl.replace t.pv_keys id key
 

@@ -19,4 +19,5 @@ let () =
     @ prefixed "extras" Test_extras.tests
     @ prefixed "anchors" Test_anchors.tests
     @ prefixed "engine" Test_engine.tests
+    @ prefixed "datapath" Test_datapath.tests
     @ prefixed "chaos" Test_chaos.tests)
