@@ -22,6 +22,54 @@ dune runtest
 echo "== chaos smoke (seed-sweep invariants)"
 dune exec bin/chaos.exe -- sweep --seeds 10
 
+echo "== cross-host demo (same plugin bytecode on PQUIC and tcpsim)"
+dune exec examples/cross_host.exe >/dev/null
+
+# Dependency-direction lint for the pluginop layering: the transport-
+# neutral host library must not depend on any transport (quic, tcpsim,
+# netsim, or the hosts built on it), and the PQUIC core must not reach
+# into tcpsim. Checked both at the dune library graph (dune describe) and
+# at the source level (module-path references).
+echo "== dependency-direction lint (pluginop layering)"
+desc=$(mktemp)
+dune describe workspace > "$desc"
+deps_of() {
+  awk -v lib="$1" '
+    /\(name / { line=$0; gsub(/[()]/, "", line); split(line, a, " "); name=a[2] }
+    /\(uid /  { line=$0; gsub(/[()]/, "", line); split(line, a, " "); byuid[a[2]]=name }
+    /\(requires/ { if (name != "") collecting=name }
+    collecting != "" {
+      line=$0; gsub(/[()]/, " ", line)
+      n=split(line, w, " ")
+      for (i=1; i<=n; i++)
+        if (w[i] ~ /^[0-9a-f]+$/ && length(w[i]) == 32)
+          req[collecting] = req[collecting] " " w[i]
+      if ($0 ~ /\)\)/) collecting=""
+    }
+    END {
+      n=split(req[lib], r, " ")
+      for (i=1; i<=n; i++) if (byuid[r[i]] != "") print byuid[r[i]]
+    }
+  ' "$desc"
+}
+bad=$(deps_of pluginop | grep -Ex 'quic|tcpsim|netsim|pquic|plugins' || true)
+if [ -n "$bad" ]; then
+  echo "pluginop depends on transport libraries: $bad"; rm -f "$desc"; exit 1
+fi
+bad=$(deps_of pquic | grep -Ex 'tcpsim' || true)
+if [ -n "$bad" ]; then
+  echo "pquic (lib/core) depends on tcpsim"; rm -f "$desc"; exit 1
+fi
+rm -f "$desc"
+if grep -rn 'Quic\.\|Tcpsim\.\|Netsim\.\|Pquic\.' lib/pluginop \
+     --include='*.ml' --include='*.mli' | grep -v '(\*'; then
+  echo "lib/pluginop references a transport module"; exit 1
+fi
+if grep -rn 'Tcpsim\.' lib/core --include='*.ml' --include='*.mli' \
+     | grep -v '(\*'; then
+  echo "lib/core references tcpsim"; exit 1
+fi
+
 # Committed benchmark artifacts must stay well-formed: right schema tag,
 # non-empty results, strictly positive measurements. Catches hand edits
 # and half-written files; jq is optional so the check degrades gracefully.

@@ -100,30 +100,34 @@ type stats = {
   mutable plugin_fallbacks : int;  (* trapped replace ops served by builtin *)
 }
 
-(* Protoop arguments: plain integers or byte buffers. Buffers are mapped as
-   VM regions for pluglet implementations; native implementations access
-   the bytes directly. *)
-type arg = I of int64 | Buf of Bytes.t * [ `Ro | `Rw ]
+(* Protoop arguments and implementations come from the transport-neutral
+   pluginop library; the equations below re-export them (parametrically,
+   as OCaml requires, then abbreviated at the connection type next to [t])
+   so core code keeps writing [Native], [e.replace], [inst.plugin] — and a
+   plugin instance built here is, by type equality, attachable to any
+   other pluginop host. *)
+type arg = Pluginop.Types.arg = I of int64 | Buf of Bytes.t * [ `Ro | `Rw ]
 
-type impl = Native of string * native | Pluglet of Pre.t
-and native = t -> arg array -> int64
+type 'c host_impl = 'c Pluginop.Types.impl =
+  | Native of string * ('c -> arg array -> int64)
+  | Pluglet of Pre.t
 
-and op_entry = {
-  mutable replace : impl option;
-  mutable pre : impl list;
-  mutable post : impl list;
-  mutable ext : impl option;
+type 'c host_op_entry = 'c Pluginop.Types.op_entry = {
+  mutable replace : 'c host_impl option;
+  mutable pre : 'c host_impl list;
+  mutable post : 'c host_impl list;
+  mutable ext : 'c host_impl option;
 }
 
-and instance = {
+type 'c host_instance = 'c Pluginop.Types.instance = {
   plugin : Plugin.t;
   pool : Memory_pool.t;
   mutable pres : Pre.t list;
   opaque : (int, int) Hashtbl.t; (* opaque-data id -> heap offset *)
-  mutable bound : t option;      (* connection the instance is bound to *)
+  mutable bound : 'c option;     (* connection the instance is bound to *)
 }
 
-and t = {
+type t = {
   sim : Sim.t;
   net : Net.t;
   cfg : config;
@@ -183,15 +187,10 @@ and t = {
   mutable peer_params : TP.t option;
   (* control frames queued for the next packets *)
   ctrl : F.t Queue.t;
-  (* plugin machinery: built-in (unparameterized, id < first_plugin_op)
-     operations dispatch through a dense array so the per-packet hot path
-     never hashes; parameterized and plugin-registered ids live in the
-     hashtable *)
-  builtin_ops : op_entry option array;
-  ops : (int * int option, op_entry) Hashtbl.t;
-  mutable op_stack : (int * int option) list;
-  plugins : (string, instance) Hashtbl.t;
-  mutable plugin_order : string list;
+  (* plugin machinery: the transport-neutral protoop registry and attached
+     instances, instantiated at this connection type. The HOST closures it
+     dispatches through are built in [Host_api]. *)
+  po : t Pluginop.Types.state;
   sched : Scheduler.t;
   mutable plugin_turn : bool; (* alternate plugin-first packets *)
   (* scratch for the packet currently processed or built *)
@@ -231,6 +230,12 @@ and t = {
   mutable negotiated : bool;
   mutable close_reason : string;
 }
+
+(* The historical engine-local names, instantiated at this connection. *)
+and impl = t host_impl
+and native = t -> arg array -> int64
+and op_entry = t host_op_entry
+and instance = t host_instance
 
 let initial_key = 0x1_5151_5151L
 

@@ -92,30 +92,33 @@ type stats = {
       (** trapped replace ops served by the builtin implementation *)
 }
 
-(** Protoop arguments: plain integers or byte buffers. Buffers are mapped
-    as VM regions for pluglet implementations; native implementations
-    access the bytes directly. *)
-type arg = I of int64 | Buf of Bytes.t * [ `Ro | `Rw ]
+(** Protoop arguments and implementations, re-exported from the
+    transport-neutral [Pluginop] library (parametrically, as OCaml
+    requires, then abbreviated at the connection type next to {!t}): core
+    code keeps its constructors and field labels, and instances are
+    type-compatible with every other pluginop host. *)
+type arg = Pluginop.Types.arg = I of int64 | Buf of Bytes.t * [ `Ro | `Rw ]
 
-type impl = Native of string * native | Pluglet of Pre.t
-and native = t -> arg array -> int64
+type 'c host_impl = 'c Pluginop.Types.impl =
+  | Native of string * ('c -> arg array -> int64)
+  | Pluglet of Pre.t
 
-and op_entry = {
-  mutable replace : impl option;
-  mutable pre : impl list;
-  mutable post : impl list;
-  mutable ext : impl option;
+type 'c host_op_entry = 'c Pluginop.Types.op_entry = {
+  mutable replace : 'c host_impl option;
+  mutable pre : 'c host_impl list;
+  mutable post : 'c host_impl list;
+  mutable ext : 'c host_impl option;
 }
 
-and instance = {
+type 'c host_instance = 'c Pluginop.Types.instance = {
   plugin : Plugin.t;
   pool : Memory_pool.t;
   mutable pres : Pre.t list;
   opaque : (int, int) Hashtbl.t; (** opaque-data id -> heap offset *)
-  mutable bound : t option;      (** connection the instance is bound to *)
+  mutable bound : 'c option;     (** connection the instance is bound to *)
 }
 
-and t = {
+type t = {
   sim : Netsim.Sim.t;
   net : Netsim.Net.t;
   cfg : config;
@@ -169,15 +172,10 @@ and t = {
   mutable peer_params : Quic.Transport_params.t option;
   (* control frames queued for the next packets *)
   ctrl : Quic.Frame.t Queue.t;
-  (* plugin machinery: built-in (unparameterized, id < first_plugin_op)
-     operations dispatch through a dense array so the per-packet hot path
-     never hashes; parameterized and plugin-registered ids live in the
-     hashtable *)
-  builtin_ops : op_entry option array;
-  ops : (int * int option, op_entry) Hashtbl.t;
-  mutable op_stack : (int * int option) list;
-  plugins : (string, instance) Hashtbl.t;
-  mutable plugin_order : string list;
+  (* plugin machinery: the transport-neutral protoop registry and attached
+     instances (see [Pluginop.Types.state]); the HOST closures it
+     dispatches through are built in [Host_api] *)
+  po : t Pluginop.Types.state;
   sched : Scheduler.t;
   mutable plugin_turn : bool;
   (* scratch for the packet currently processed or built *)
@@ -214,6 +212,13 @@ and t = {
   mutable negotiated : bool;
   mutable close_reason : string;
 }
+
+(** The historical engine-local names, instantiated at this connection. *)
+and impl = t host_impl
+
+and native = t -> arg array -> int64
+and op_entry = t host_op_entry
+and instance = t host_instance
 
 val initial_key : int64
 

@@ -148,11 +148,7 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
       local_params;
       peer_params = None;
       ctrl = Queue.create ();
-      builtin_ops = Array.make Protoop.first_plugin_op None;
-      ops = Hashtbl.create 64;
-      op_stack = [];
-      plugins = Hashtbl.create 4;
-      plugin_order = [];
+      po = Pluginop.Plugin_host.create_state ~host:Host_api.host ();
       sched = Scheduler.create ~core_fraction:cfg.core_fraction ();
       plugin_turn = false;
       cur_pn = -1L;
@@ -562,6 +558,6 @@ let state c = c.state
 let stats c = c.stats
 let role c = c.role
 let now c = Sim.now c.sim
-let plugin_names c = c.plugin_order
-let has_plugin c name = Hashtbl.mem c.plugins name
+let plugin_names c = Pluginop.Plugin_host.plugin_names c.po
+let has_plugin c name = Pluginop.Plugin_host.has_plugin c.po name
 let peer_params c = c.peer_params

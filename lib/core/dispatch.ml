@@ -1,167 +1,24 @@
-(* Protocol-operation dispatch (Section 2.2).
-
-   Every step of the connection workflow funnels through [run_op]: pre
-   anchors, then the replace anchor (pluglet override or built-in
-   behaviour), then post anchors. [run_op] sits on every packet's hot
-   path, so the built-in unparameterized operations resolve through a
-   dense array indexed by protoop id — no hashing, no allocation on the
-   lookup. Parameterized operations (frame types) and plugin-registered
-   ids go through the hashtable. *)
+(* Protocol-operation dispatch (Section 2.2): thin PQUIC facade over the
+   transport-neutral engine in [Pluginop.Dispatch]. The generic engine
+   carries the per-connection plugin state [c.po] and treats [c] as an
+   opaque handle; this module pairs the two so the rest of the engine
+   (recovery, sender, connection) keeps its historical call shape. *)
 
 open Conn_types
+module D = Pluginop.Dispatch
 
-(* Set by [Plugin_host] at load time; dispatch sanctions a misbehaving
-   pluglet but the removal machinery lives above it in the module graph. *)
-let kill_plugin_ref : (t -> string -> string -> unit) ref =
-  ref (fun c name reason ->
-      fail_connection c (Printf.sprintf "plugin %s misbehaved: %s" name reason))
+let find_entry c op param = D.find_entry c.po op param
+let entry c op param = D.entry c.po op param
+let has_entry c op param = D.has_entry c.po op param
+let iter_entries c f = D.iter_entries c.po f
+let register_native c op name fn = D.register_native c.po op name fn
 
-let is_builtin c op param =
-  param = None && op >= 0 && op < Array.length c.builtin_ops
-
-let find_entry c op param =
-  if is_builtin c op param then c.builtin_ops.(op)
-  else Hashtbl.find_opt c.ops (op, param)
-
-let entry c op param =
-  match find_entry c op param with
-  | Some e -> e
-  | None ->
-    let e = { replace = None; pre = []; post = []; ext = None } in
-    if is_builtin c op param then c.builtin_ops.(op) <- Some e
-    else Hashtbl.replace c.ops (op, param) e;
-    e
-
-let has_entry c op param = find_entry c op param <> None
-
-let iter_entries c f =
-  Array.iter (function Some e -> f e | None -> ()) c.builtin_ops;
-  Hashtbl.iter (fun _ e -> f e) c.ops
-
-let register_native c op name fn = (entry c op None).replace <- Some (Native (name, fn))
-
-(* Region names for pluglet argument buffers, precomputed: this runs on
-   every protoop invocation, and protoops take at most five arguments. *)
-let arg_region_names = [| "arg0"; "arg1"; "arg2"; "arg3"; "arg4" |]
-
-(* Execute one pluglet implementation with the given arguments. Buffers are
-   mapped into the PRE for the duration of the call; pre/post pluglets get
-   read-only views (the paper grants passive pluglets no write access). *)
 let exec_pluglet (_c : t) pre ~read_only (args : arg array) =
-  let regions, arg_specs, _ =
-    Array.fold_left
-      (fun (regions, specs, nregions) a ->
-        match a with
-        | I v -> (regions, `I v :: specs, nregions)
-        | Buf (b, perm) ->
-          let perm = if read_only then `Ro else perm in
-          let name =
-            if nregions < Array.length arg_region_names then
-              arg_region_names.(nregions)
-            else "arg" ^ string_of_int nregions
-          in
-          ( (name, b, (match perm with `Ro -> Ebpf.Vm.Ro | `Rw -> Ebpf.Vm.Rw))
-            :: regions,
-            `R nregions :: specs,
-            nregions + 1 ))
-      ([], [], 0) args
-  in
-  let regions = List.rev regions and arg_specs = List.rev arg_specs in
-  match
-    Pre.with_regions pre regions (fun bases ->
-        let bases = Array.of_list bases in
-        let vm_args =
-          List.map
-            (function `I v -> v | `R idx -> bases.(idx))
-            arg_specs
-        in
-        Pre.run pre ~args:(Array.of_list vm_args))
-  with
-  | v -> Ok v
-  | exception Ebpf.Vm.Memory_violation msg -> Error ("memory violation: " ^ msg)
-  | exception Ebpf.Vm.Fuel_exhausted -> Error "instruction budget exhausted"
-  | exception Ebpf.Vm.Helper_failure msg -> Error ("API violation: " ^ msg)
+  D.exec_pluglet pre ~read_only args
 
-let run_impl c impl ~read_only args =
-  match impl with
-  | Native (_, fn) -> fn c args
-  | Pluglet pre -> (
-    match exec_pluglet c pre ~read_only args with
-    | Ok v -> v
-    | Error reason ->
-      !kill_plugin_ref c pre.Pre.plugin_name reason;
-      0L)
+let run_impl c impl ~read_only args = D.run_impl c.po c impl ~read_only args
 
-(* Run the replace anchor. A native implementation (or none) is the plain
-   path. A trapping pluglet must not leave the operation half-done: its
-   writable argument buffers are rolled back to their pre-call contents
-   and the built-in behaviour serves the operation — the connection state
-   stays coherent — before the existing sanction (plugin removal,
-   connection failure) fires. *)
-let run_replace c e ~default args =
-  match e.replace with
-  | None -> default c args
-  | Some (Native (_, fn)) -> fn c args
-  | Some (Pluglet pre) -> (
-    let saved =
-      Array.map
-        (function Buf (b, `Rw) -> Some (Bytes.copy b) | _ -> None)
-        args
-    in
-    match exec_pluglet c pre ~read_only:false args with
-    | Ok v -> v
-    | Error reason ->
-      Array.iteri
-        (fun i s ->
-          match (s, args.(i)) with
-          | Some copy, Buf (b, `Rw) ->
-            Bytes.blit copy 0 b 0 (Bytes.length b)
-          | _ -> ())
-        saved;
-      c.stats.plugin_fallbacks <- c.stats.plugin_fallbacks + 1;
-      Log.warn (fun m ->
-          m "pluglet %s trapped (%s): state rolled back, builtin serves the op"
-            pre.Pre.plugin_name reason);
-      let v = default c args in
-      !kill_plugin_ref c pre.Pre.plugin_name reason;
-      v)
+let run_op c op ?param ?default (args : arg array) =
+  D.run_op c.po c op ?param ?default args
 
-(* Run a protocol operation: pre anchors, then the replace anchor (pluglet
-   override or built-in behaviour), then post anchors. The call stack of
-   running operations is tracked; re-entering a running operation would
-   create a loop in the call graph (Fig. 3) and terminates the connection. *)
-let run_op c op ?param ?(default = fun _ _ -> 0L) (args : arg array) =
-  let key = (op, param) in
-  if List.mem key c.op_stack then begin
-    fail_connection c
-      (Printf.sprintf "protocol operation loop detected on %s" (Protoop.name op));
-    0L
-  end
-  else begin
-    c.op_stack <- key :: c.op_stack;
-    let e =
-      match find_entry c op param with
-      | Some e -> e
-      | None -> (
-        (* parameterized op with no specific entry: fall back to the
-           unparameterized default entry *)
-        match param with
-        | Some _ -> (
-          match find_entry c op None with
-          | Some e -> e
-          | None -> entry c op None)
-        | None -> entry c op None)
-    in
-    List.iter (fun i -> ignore (run_impl c i ~read_only:true args)) (List.rev e.pre);
-    let result = run_replace c e ~default args in
-    List.iter (fun i -> ignore (run_impl c i ~read_only:true args)) (List.rev e.post);
-    c.op_stack <- List.tl c.op_stack;
-    result
-  end
-
-(* Call a plugin-defined external operation (Section 2.4): only the
-   application may invoke these. *)
-let call_external c op (args : arg array) =
-  match find_entry c op None with
-  | Some { ext = Some impl; _ } -> Some (run_impl c impl ~read_only:false args)
-  | _ -> None
+let call_external c op (args : arg array) = D.call_external c.po c op args

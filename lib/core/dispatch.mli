@@ -1,5 +1,6 @@
-(** Protocol-operation dispatch (Section 2.2): the registry of anchor
-    points and the [run_op] engine every workflow step funnels through.
+(** Protocol-operation dispatch (Section 2.2): the PQUIC facade over the
+    transport-neutral engine in {!Pluginop.Dispatch}, pairing the
+    connection with its plugin state [c.po].
 
     Built-in unparameterized operations resolve through a dense array
     indexed by protoop id, so the per-packet hot path performs no hashtable
@@ -43,6 +44,3 @@ val run_op :
 val call_external : t -> Protoop.id -> arg array -> int64 option
 (** Call a plugin-defined external operation (Section 2.4); [None] when no
     pluglet sits on the external anchor. *)
-
-val kill_plugin_ref : (t -> string -> string -> unit) ref
-(** Sanction hook, bound by [Plugin_host] at load time. *)

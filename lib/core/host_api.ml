@@ -1,8 +1,10 @@
-(* The PRE↔host boundary (Section 2.3): the get/set field accessors and the
-   Table 1 helper implementations installed on each pluglet's PRE when an
-   instance is attached. Getters and setters abstract the connection
-   internals from pluglets: bytecode never hard-codes structure offsets,
-   and the host monitors (and refuses) access to specific fields. *)
+(* The PRE↔host boundary (Section 2.3), PQUIC half: the Table 1 field
+   accessors over the QUIC connection record, the QUIC-owned extra helpers
+   (frame reservation, packet access, path creation), and the HOST record
+   that plugs both into the transport-neutral machinery in [Pluginop].
+   The shared helper table (malloc, opaque data, run_protoop, time, ...)
+   lives in [Pluginop.Host_api]; it calls back through the record built
+   here for everything connection-specific. *)
 
 module TP = Quic.Transport_params
 module Sim = Netsim.Sim
@@ -20,6 +22,10 @@ let get_field c field index =
   else if field = f_rtt_min then pathf (fun p -> Quic.Rtt.min_rtt p.rtt)
   else if field = f_latest_rtt then pathf (fun p -> Quic.Rtt.latest p.rtt)
   else if field = f_rtt_var then pathf (fun p -> Quic.Rtt.variance p.rtt)
+  else if field = f_ssthresh then
+    pathf (fun p ->
+        let s = Quic.Cc.ssthresh p.cc in
+        if s = max_int then -1L else Int64.of_int s)
   else if field = f_path_active then pathf (fun p -> if p.active then 1L else 0L)
   else if field = f_path_remote_addr then
     pathf (fun p -> Int64.of_int p.remote_addr)
@@ -94,54 +100,11 @@ let set_field c field index value =
     else if field = f_path_active then p.active <- value <> 0L
     else if field = f_cwnd then Quic.Cc.set_cwnd p.cc (Int64.to_int value)
 
-let install_helpers c inst (pre : Pre.t) =
-  let heap = Memory_pool.area inst.pool in
-  let heap_off vm_addr =
-    let off = Pre.heap_offset pre vm_addr in
-    if off < 0 || off > Bytes.length heap then
-      helper_fail "address 0x%Lx outside plugin memory" vm_addr;
-    off
-  in
+(* The helpers QUIC owns outright: frame-scheduler reservations, FEC
+   packet access/recovery, multipath path creation. Installed on each PRE
+   after the shared table, through the HOST record below. *)
+let install_extra_helpers c (inst : instance) (pre : Pre.t) =
   let reg id f = Pre.register_helper pre id f in
-  reg Api.h_get (fun _ a -> get_field c (to_i a.(0)) (to_i a.(1)));
-  reg Api.h_set (fun _ a ->
-      set_field c (to_i a.(0)) (to_i a.(1)) a.(2);
-      0L);
-  reg Api.h_pl_malloc (fun _ a ->
-      match Memory_pool.alloc inst.pool (to_i a.(0)) with
-      | Some off -> Pre.heap_addr pre off
-      | None -> 0L);
-  reg Api.h_pl_free (fun _ a ->
-      if Memory_pool.free inst.pool (heap_off a.(0)) then 0L
-      else helper_fail "pl_free: invalid address 0x%Lx" a.(0));
-  reg Api.h_get_opaque_data (fun _ a ->
-      let id = to_i a.(0) and size = to_i a.(1) in
-      match Hashtbl.find_opt inst.opaque id with
-      | Some off -> Pre.heap_addr pre off
-      | None -> (
-        match Memory_pool.alloc inst.pool size with
-        | Some off ->
-          (* opaque areas start zeroed even when the pool recycles blocks *)
-          Bytes.fill (Memory_pool.area inst.pool) off size '\000';
-          Hashtbl.replace inst.opaque id off;
-          Pre.heap_addr pre off
-        | None -> 0L));
-  reg Api.h_pl_memcpy (fun vm a ->
-      let len = to_i a.(2) in
-      if len < 0 || len > 65536 then helper_fail "pl_memcpy: bad length %d" len;
-      let data = Ebpf.Vm.read_bytes vm a.(1) len in
-      let dst = a.(0) in
-      Ebpf.Vm.write_bytes vm dst data;
-      0L);
-  reg Api.h_pl_memset (fun vm a ->
-      let len = to_i a.(2) in
-      if len < 0 || len > 65536 then helper_fail "pl_memset: bad length %d" len;
-      Ebpf.Vm.fill_bytes vm a.(0) len (Char.chr (to_i a.(1) land 0xff));
-      0L);
-  reg Api.h_run_protoop (fun _ a ->
-      let op = to_i a.(0) in
-      let param = if a.(1) < 0L then None else Some (to_i a.(1)) in
-      Dispatch.run_op c op ?param [| I a.(2); I a.(3); I a.(4) |]);
   reg Api.h_reserve_frames (fun _ a ->
       let flags = to_i a.(2) in
       Scheduler.reserve c.sched
@@ -155,53 +118,6 @@ let install_helpers c inst (pre : Pre.t) =
         };
       wake c;
       0L);
-  reg Api.h_get_time (fun _ _ -> Sim.now c.sim);
-  reg Api.h_push_message (fun vm a ->
-      let len = to_i a.(1) in
-      if len < 0 || len > 65536 then helper_fail "push_message: bad length %d" len;
-      let data = Ebpf.Vm.read_bytes vm a.(0) len in
-      c.on_message (Bytes.to_string data);
-      0L);
-  reg Api.h_pl_log (fun _ a ->
-      Log.debug (fun m ->
-          m "[plugin %s] %Ld %Ld" inst.plugin.Plugin.name a.(0) a.(1));
-      0L);
-  reg Api.h_sent_time (fun _ a ->
-      match Hashtbl.find_opt c.sent_times a.(0) with
-      | Some at -> at
-      | None -> -1L);
-  reg Api.h_cmp_bytes (fun vm a ->
-      let len = to_i a.(2) in
-      if len < 0 || len > 65536 then helper_fail "cmp_bytes: bad length %d" len;
-      let x = Ebpf.Vm.read_bytes vm a.(0) len in
-      let y = Ebpf.Vm.read_bytes vm a.(1) len in
-      if Bytes.equal x y then 0L else 1L);
-  reg Api.h_gf256_mulvec (fun vm a ->
-      (* dst ^= coef * src over len bytes *)
-      let len = to_i a.(3) in
-      if len < 0 || len > 65536 then helper_fail "gf256_mulvec: bad length %d" len;
-      let coef = to_i a.(2) land 0xff in
-      let dst = Ebpf.Vm.read_bytes vm a.(0) len in
-      let src = Ebpf.Vm.read_bytes vm a.(1) len in
-      for k = 0 to len - 1 do
-        Bytes.set_uint8 dst k
-          (Bytes.get_uint8 dst k lxor Gf.mul coef (Bytes.get_uint8 src k))
-      done;
-      Ebpf.Vm.write_bytes vm a.(0) dst;
-      0L);
-  reg Api.h_gf256_scalevec (fun vm a ->
-      let len = to_i a.(2) in
-      if len < 0 || len > 65536 then helper_fail "gf256_scalevec: bad length %d" len;
-      let coef = to_i a.(1) land 0xff in
-      let dst = Ebpf.Vm.read_bytes vm a.(0) len in
-      for k = 0 to len - 1 do
-        Bytes.set_uint8 dst k (Gf.mul coef (Bytes.get_uint8 dst k))
-      done;
-      Ebpf.Vm.write_bytes vm a.(0) dst;
-      0L);
-  reg Api.h_gf256_mul (fun _ a -> i64 (Gf.mul (to_i a.(0) land 0xff) (to_i a.(1) land 0xff)));
-  reg Api.h_gf256_inv (fun _ a -> i64 (Gf.inv (to_i a.(0) land 0xff)));
-  reg Api.h_rng_coef (fun _ a -> i64 (Gf.rlc_coef ~seed:a.(0) ~sid:a.(1) ~row:(to_i a.(2))));
   reg Api.h_recover_packet (fun vm a ->
       let len = to_i a.(1) in
       if len < 4 || len > 65536 then helper_fail "recover_packet: bad length %d" len;
@@ -254,3 +170,30 @@ let install_helpers c inst (pre : Pre.t) =
         ignore (Dispatch.run_op c Protoop.create_new_path [| I (i64 p.path_id) |]);
         i64 p.path_id
       end)
+
+(* The HOST record: how PQUIC presents itself to the transport-neutral
+   plugin machinery. Everything [Pluginop] needs from a connection —
+   fields, clock, sanction, stats — goes through these closures. *)
+let host : Conn_types.t Pluginop.Types.host =
+  {
+    Pluginop.Types.host_name = "pquic";
+    now = (fun c -> Sim.now c.sim);
+    get_field;
+    set_field;
+    push_message = (fun c msg -> c.on_message msg);
+    sent_time =
+      (fun c pn ->
+        match Hashtbl.find_opt c.sent_times pn with
+        | Some at -> at
+        | None -> -1L);
+    fail = fail_connection;
+    on_sanction =
+      (fun c -> c.stats.plugin_sanctions <- c.stats.plugin_sanctions + 1);
+    on_fallback =
+      (fun c -> c.stats.plugin_fallbacks <- c.stats.plugin_fallbacks + 1);
+    on_detach = (fun c name -> Scheduler.drop_plugin c.sched name);
+    install_extra_helpers;
+  }
+
+let install_helpers c inst (pre : Pre.t) =
+  Pluginop.Host_api.install_helpers c.po c inst pre

@@ -1,5 +1,6 @@
-(** The PRE↔host boundary (Section 2.3): get/set field accessors and the
-    Table 1 helper implementations installed on each pluglet's PRE. *)
+(** The PRE↔host boundary (Section 2.3), PQUIC half: field accessors over
+    the QUIC connection, the QUIC-owned extra helpers, and the HOST record
+    handed to the transport-neutral machinery in {!Pluginop}. *)
 
 open Conn_types
 
@@ -15,6 +16,12 @@ val set_field : t -> int -> int -> int64 -> unit
 (** Write one of {!Api.writable_fields}; any other field is a policy
     violation. @raise Ebpf.Vm.Helper_failure on a read-only field. *)
 
+val host : t Pluginop.Types.host
+(** PQUIC as a pluginop host: the closures the transport-neutral plugin
+    machinery dispatches through (fields, clock, message channel,
+    sanction/stats hooks, QUIC-specific helpers). *)
+
 val install_helpers : t -> instance -> Pre.t -> unit
 (** Install the full helper table on a PRE, closing over the connection and
-    the plugin instance (its memory pool and opaque-data table). *)
+    the plugin instance (its memory pool and opaque-data table): the shared
+    {!Pluginop.Host_api} table plus the QUIC extras. *)

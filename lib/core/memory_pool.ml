@@ -1,101 +1,3 @@
-(* Plugin memory allocator: a fixed-size area split into constant-size
-   blocks with a free list, giving Θ(1) allocation and release while
-   limiting fragmentation (Section 2.3, citing Kenwright's fixed-size
-   pools). Offsets returned are relative to the start of the area; the PRE
-   maps the area as a region so offsets translate directly to VM
-   addresses. Allocations larger than one block take contiguous blocks
-   (first-fit over the bitmap — still cheap at our pool sizes). *)
-
-type t = {
-  area : Bytes.t;
-  block_size : int;
-  nblocks : int;
-  used : Bytes.t;              (* one byte per block: 0 free, 1 head, 2 cont *)
-  mutable free_hint : int;     (* rotating search start *)
-  mutable allocated_blocks : int;
-}
-
-let create ?(block_size = 64) ~size () =
-  let nblocks = size / block_size in
-  if nblocks <= 0 then invalid_arg "Memory_pool.create";
-  {
-    area = Bytes.make (nblocks * block_size) '\000';
-    block_size;
-    nblocks;
-    used = Bytes.make nblocks '\000';
-    free_hint = 0;
-    allocated_blocks = 0;
-  }
-
-let area t = t.area
-let size t = Bytes.length t.area
-
-let blocks_needed t len = (len + t.block_size - 1) / t.block_size
-
-let is_free t i = Bytes.get t.used i = '\000'
-
-let find_run t need =
-  let n = t.nblocks in
-  let rec scan start tried =
-    if tried >= n then None
-    else
-      let start = if start + need > n then 0 else start in
-      if start + need > n then None
-      else begin
-        let ok = ref true in
-        let k = ref 0 in
-        while !ok && !k < need do
-          if not (is_free t (start + !k)) then ok := false else incr k
-        done;
-        if !ok then Some start
-        else scan (start + !k + 1) (tried + !k + 1)
-      end
-  in
-  scan t.free_hint 0
-
-(* Allocate [len] bytes; returns the byte offset in the area, or None when
-   the pool is exhausted — which only hurts the plugin itself. *)
-let alloc t len =
-  if len <= 0 then None
-  else
-    let need = blocks_needed t len in
-    match find_run t need with
-    | None -> None
-    | Some start ->
-      Bytes.set t.used start '\001';
-      for k = 1 to need - 1 do
-        Bytes.set t.used (start + k) '\002'
-      done;
-      t.free_hint <- start + need;
-      t.allocated_blocks <- t.allocated_blocks + need;
-      Some (start * t.block_size)
-
-(* Free the allocation starting at byte offset [off]. Freeing an address
-   that is not an allocation head is an error reported to the caller. *)
-let free t off =
-  if off < 0 || off mod t.block_size <> 0 then false
-  else
-    let start = off / t.block_size in
-    if start >= t.nblocks || Bytes.get t.used start <> '\001' then false
-    else begin
-      Bytes.set t.used start '\000';
-      t.allocated_blocks <- t.allocated_blocks - 1;
-      let k = ref (start + 1) in
-      while !k < t.nblocks && Bytes.get t.used !k = '\002' do
-        Bytes.set t.used !k '\000';
-        t.allocated_blocks <- t.allocated_blocks - 1;
-        incr k
-      done;
-      true
-    end
-
-(* Wipe contents and allocation state — used when a cached plugin is reused
-   on a new connection, so no information leaks between connections
-   (Section 2.5). *)
-let reset t =
-  Bytes.fill t.area 0 (Bytes.length t.area) '\000';
-  Bytes.fill t.used 0 t.nblocks '\000';
-  t.free_hint <- 0;
-  t.allocated_blocks <- 0
-
-let allocated_bytes t = t.allocated_blocks * t.block_size
+(* Re-export: the plugin heap allocator lives in the transport-neutral
+   pluginop library. *)
+include Pluginop.Memory_pool

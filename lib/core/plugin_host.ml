@@ -1,128 +1,35 @@
-(* Plugin lifecycle on a connection: building instances (PREs verified and
-   compiled), attaching them to the protoop registry, sanctioning
-   misbehaving plugins, and the over-the-connection plugin exchange of
-   Section 3.4 (PLUGIN_VALIDATE / PLUGIN_PROOF / PLUGIN chunk transfer)
-   together with the both-sides plugin negotiation. *)
+(* Plugin lifecycle on a PQUIC connection, and the over-the-connection
+   plugin exchange of Section 3.4 (PLUGIN_VALIDATE / PLUGIN_PROOF / PLUGIN
+   chunk transfer) together with the both-sides plugin negotiation.
+
+   The lifecycle itself — building instances (PREs verified and compiled),
+   attaching them to the protoop registry, sanctioning misbehaving plugins
+   — is transport-neutral and lives in [Pluginop.Plugin_host]; this module
+   pairs it with the connection's plugin state [c.po]. The exchange and
+   negotiation are QUIC wire-format business and stay here. *)
 
 module F = Quic.Frame
 module TP = Quic.Transport_params
+module PH = Pluginop.Plugin_host
 open Conn_types
 
 (* Remove a plugin's pluglets from the registry and scheduler. The paper's
    sanction for a misbehaving pluglet is the removal of its plugin and the
    termination of the connection. *)
-let remove_plugin c name =
-  (match Hashtbl.find_opt c.plugins name with
-  | None -> ()
-  | Some inst ->
-    inst.bound <- None;
-    Hashtbl.remove c.plugins name;
-    c.plugin_order <- List.filter (fun n -> n <> name) c.plugin_order;
-    Scheduler.drop_plugin c.sched name;
-    let belongs = function
-      | Pluglet pre -> pre.Pre.plugin_name = name
-      | Native _ -> false
-    in
-    Dispatch.iter_entries c
-      (fun e ->
-        (match e.replace with Some i when belongs i -> e.replace <- None | _ -> ());
-        (match e.ext with Some i when belongs i -> e.ext <- None | _ -> ());
-        e.pre <- List.filter (fun i -> not (belongs i)) e.pre;
-        e.post <- List.filter (fun i -> not (belongs i)) e.post))
-
-let kill_plugin c name reason =
-  Log.warn (fun m -> m "killing plugin %s: %s" name reason);
-  c.stats.plugin_sanctions <- c.stats.plugin_sanctions + 1;
-  remove_plugin c name;
-  fail_connection c (Printf.sprintf "plugin %s misbehaved: %s" name reason)
-
-(* [Dispatch.exec_pluglet] sanctions through this hook: removal lives here,
-   above dispatch in the module graph. *)
-let () = Dispatch.kill_plugin_ref := kill_plugin
+let remove_plugin c name = PH.remove_plugin c.po c name
+let kill_plugin c name reason = PH.kill_plugin c.po c name reason
 
 (* ------------------------------------------------------------------ *)
 (* Plugin injection                                                    *)
 (* ------------------------------------------------------------------ *)
 
-exception Injection_failed of string
+exception Injection_failed = PH.Injection_failed
 
-let plugin_heap_size = 256 * 1024
-
-(* Build a fresh instance for [plugin]: every pluglet is compiled,
-   verified and linked here, once. Attaching the instance to a connection
-   (including re-attaching a cached instance, the Section 2.5 reload fast
-   path) only wipes the heap and rebinds helpers — the linked programs are
-   reused as-is. *)
-let build_instance (plugin : Plugin.t) =
-  let pool = Memory_pool.create ~size:plugin_heap_size () in
-  let inst = { plugin; pool; pres = []; opaque = Hashtbl.create 8; bound = None } in
-  let pres =
-    List.map
-      (fun pluglet ->
-        Pre.create ~plugin_name:plugin.Plugin.name ~pluglet
-          ~heap:(Memory_pool.area pool))
-      plugin.Plugin.pluglets
-  in
-  inst.pres <- pres;
-  inst
-
-(* Attach a built instance to this connection. Rolls the whole plugin back
-   if a replace anchor is already taken (Section 2.2). *)
-let attach_instance c inst =
-  let name = inst.plugin.Plugin.name in
-  if Hashtbl.mem c.plugins name then raise (Injection_failed (name ^ " already injected"));
-  Memory_pool.reset inst.pool;
-  Hashtbl.reset inst.opaque;
-  inst.bound <- Some c;
-  List.iter (fun pre -> Host_api.install_helpers c inst pre) inst.pres;
-  let attached = ref [] in
-  let rollback () =
-    List.iter
-      (fun (e, pre, anchor) ->
-        match (anchor : Protoop.anchor) with
-        | Protoop.Replace -> e.replace <- None
-        | Protoop.External -> e.ext <- None
-        | Protoop.Pre -> e.pre <- List.filter (fun i -> i != Pluglet pre) e.pre
-        | Protoop.Post -> e.post <- List.filter (fun i -> i != Pluglet pre) e.post)
-      !attached
-  in
-  (try
-     List.iter
-       (fun pre ->
-         let e = Dispatch.entry c pre.Pre.op pre.Pre.param in
-         (match pre.Pre.anchor with
-         | Protoop.Replace ->
-           (match e.replace with
-           | Some (Pluglet other) ->
-             raise
-               (Injection_failed
-                  (Printf.sprintf
-                     "replace anchor for %s already taken by plugin %s"
-                     (Protoop.name pre.Pre.op) other.Pre.plugin_name))
-           | _ -> e.replace <- Some (Pluglet pre))
-         | Protoop.External -> e.ext <- Some (Pluglet pre)
-         | Protoop.Pre -> e.pre <- Pluglet pre :: e.pre
-         | Protoop.Post -> e.post <- Pluglet pre :: e.post);
-         attached := (e, pre, pre.Pre.anchor) :: !attached)
-       inst.pres
-   with Injection_failed _ as e ->
-     rollback ();
-     inst.bound <- None;
-     raise e);
-  Hashtbl.replace c.plugins name inst;
-  c.plugin_order <- c.plugin_order @ [ name ];
-  ignore (Dispatch.run_op c Protoop.plugin_injected [||]);
-  inst
-
-let inject_plugin c plugin =
-  try
-    let inst = build_instance plugin in
-    ignore (attach_instance c inst);
-    Ok ()
-  with
-  | Injection_failed msg -> Error msg
-  | Pre.Rejected msg -> Error ("verifier rejected pluglet: " ^ msg)
-  | Plc.Compile.Error msg -> Error ("pluglet compilation failed: " ^ msg)
+let plugin_heap_size = PH.plugin_heap_size
+let build_instance = PH.build_instance
+let attach_instance c inst = PH.attach_instance c.po c inst
+let inject_plugin c plugin = PH.inject_plugin c.po c plugin
+let has_plugin c name = PH.has_plugin c.po name
 
 (* ------------------------------------------------------------------ *)
 (* Plugin negotiation                                                  *)
@@ -155,7 +62,7 @@ let negotiate_plugins c =
            hold it (Section 3.4, outcome (a)); otherwise it is transferred
            for use on subsequent connections (outcome (b)) *)
         let peer_has = List.mem name peer.TP.supported_plugins in
-        if Hashtbl.mem c.plugins name then begin
+        if has_plugin c name then begin
           if not peer_has then begin
             Log.info (fun m ->
                 m "rolling back plugin %s: peer does not hold it" name);
@@ -182,7 +89,7 @@ let negotiate_plugins c =
 let inject_local_plugins c =
   List.iter
     (fun name ->
-      if not (Hashtbl.mem c.plugins name) then
+      if not (has_plugin c name) then
         match c.acquire_instance name with
         | Some inst -> (
           try ignore (attach_instance c inst)

@@ -1,185 +1,4 @@
-(* Protocol operations: the named subroutines into which the PQUIC
-   connection workflow is decomposed (Section 2.2). Each has a
-   human-readable identifier and three anchor points — replace (at most one
-   pluglet, overrides the default), pre and post (any number of passive,
-   read-only pluglets). Four operations take a parameter (the frame type),
-   giving plugins a generic entry point for new frame types without
-   changing the caller. Plugins may also register operations absent from
-   this table (new ids), including *external* operations callable only by
-   the application (Section 2.4). *)
-
-type anchor = Replace | Pre | Post | External
-
-(* Operation identity: numeric id (usable from bytecode) + name. *)
-type id = int
-
-type param = int option (* frame type for the parameterized operations *)
-
-(* The four parameterized operations: frame handling. *)
-let parse_frame = 1
-let process_frame = 2
-let write_frame = 3
-let notify_frame = 4 (* a frame of this type was acked (arg=1) or lost (arg=0) *)
-
-(* Internal processing. *)
-let update_rtt = 10
-let process_ack_range = 11
-let detect_lost_packets = 12
-let set_loss_timer = 13
-let on_loss_timer = 14
-let retransmission_timeout = 15
-let send_probe = 16
-let cc_on_packet_sent = 17
-let cc_on_packet_acked = 18
-let cc_on_packet_lost = 19
-let cc_on_rto = 20
-let schedule_next_stream = 21
-let flow_control_check = 22
-let update_max_data = 23
-let update_max_stream_data = 24
-let stream_opened = 25
-let stream_closed = 26
-let data_received = 27
-let data_consumed = 28
-let process_transport_params = 29
-let write_transport_params = 30
-let update_ack_needed = 31
-let compute_ack_delay = 32
-let get_retransmission_delay = 33
-let stream_bytes_max = 34
-let update_pacing = 35
-let congestion_window_check = 36
-
-(* Packet management. *)
-let select_path = 40
-let prepare_packet = 41
-let predict_packet_header_size = 42
-let schedule_frames_on_sending = 43
-let finalize_and_protect_packet = 44
-let packet_was_sent = 45
-let incoming_datagram = 46
-let decode_packet_header = 47
-let unprotect_packet = 48
-let received_packet = 49
-let set_spin_bit = 50
-let get_spin_bit = 51
-let get_destination_cid = 52
-let next_packet_number = 53
-let packet_acknowledged = 54
-let packet_lost = 55
-let path_challenge_response = 56
-let create_new_path = 57
-let validate_path = 58
-let packet_number_space = 59
-
-(* Connection workflow events (empty anchor points: no default behaviour). *)
-let connection_init = 70
-let connection_established = 71
-let connection_closing = 72
-let connection_closed = 73
-let idle_timeout_event = 74
-let handshake_complete = 75
-let after_decode_frames = 76
-let before_sending_packet = 77
-let after_packet_lost = 78
-let plugin_injected = 79
-let plugin_removed = 80
-let plugin_negotiated = 81
-let cache_lookup = 82
-let wake_event = 83
-let new_connection_id = 84
-let half_open_event = 85
-let stateless_reset = 86
-let update_idle_timeout = 87
-let stream_data_blocked = 88
-let set_next_wake_time = 89
-let header_prepared = 90
-
-(* Ids >= [first_plugin_op] are free for plugin-defined operations. *)
-let first_plugin_op = 100
-
-let names : (id * string) list =
-  [
-    (parse_frame, "parse_frame");
-    (process_frame, "process_frame");
-    (write_frame, "write_frame");
-    (notify_frame, "notify_frame");
-    (update_rtt, "update_rtt");
-    (process_ack_range, "process_ack_range");
-    (detect_lost_packets, "detect_lost_packets");
-    (set_loss_timer, "set_loss_timer");
-    (on_loss_timer, "on_loss_timer");
-    (retransmission_timeout, "retransmission_timeout");
-    (send_probe, "send_probe");
-    (cc_on_packet_sent, "cc_on_packet_sent");
-    (cc_on_packet_acked, "cc_on_packet_acked");
-    (cc_on_packet_lost, "cc_on_packet_lost");
-    (cc_on_rto, "cc_on_rto");
-    (schedule_next_stream, "schedule_next_stream");
-    (flow_control_check, "flow_control_check");
-    (update_max_data, "update_max_data");
-    (update_max_stream_data, "update_max_stream_data");
-    (stream_opened, "stream_opened");
-    (stream_closed, "stream_closed");
-    (data_received, "data_received");
-    (data_consumed, "data_consumed");
-    (process_transport_params, "process_transport_params");
-    (write_transport_params, "write_transport_params");
-    (update_ack_needed, "update_ack_needed");
-    (compute_ack_delay, "compute_ack_delay");
-    (get_retransmission_delay, "get_retransmission_delay");
-    (stream_bytes_max, "stream_bytes_max");
-    (update_pacing, "update_pacing");
-    (congestion_window_check, "congestion_window_check");
-    (select_path, "select_path");
-    (prepare_packet, "prepare_packet");
-    (predict_packet_header_size, "predict_packet_header_size");
-    (schedule_frames_on_sending, "schedule_frames_on_sending");
-    (finalize_and_protect_packet, "finalize_and_protect_packet");
-    (packet_was_sent, "packet_was_sent");
-    (incoming_datagram, "incoming_datagram");
-    (decode_packet_header, "decode_packet_header");
-    (unprotect_packet, "unprotect_packet");
-    (received_packet, "received_packet");
-    (set_spin_bit, "set_spin_bit");
-    (get_spin_bit, "get_spin_bit");
-    (get_destination_cid, "get_destination_cid");
-    (next_packet_number, "next_packet_number");
-    (packet_acknowledged, "packet_acknowledged");
-    (packet_lost, "packet_lost");
-    (path_challenge_response, "path_challenge_response");
-    (create_new_path, "create_new_path");
-    (validate_path, "validate_path");
-    (packet_number_space, "packet_number_space");
-    (connection_init, "connection_init");
-    (connection_established, "connection_established");
-    (connection_closing, "connection_closing");
-    (connection_closed, "connection_closed");
-    (idle_timeout_event, "idle_timeout");
-    (handshake_complete, "handshake_complete");
-    (after_decode_frames, "after_decode_frames");
-    (before_sending_packet, "before_sending_packet");
-    (after_packet_lost, "after_packet_lost");
-    (plugin_injected, "plugin_injected");
-    (plugin_removed, "plugin_removed");
-    (plugin_negotiated, "plugin_negotiated");
-    (cache_lookup, "cache_lookup");
-    (wake_event, "wake_event");
-    (new_connection_id, "new_connection_id");
-    (half_open_event, "half_open_event");
-    (stateless_reset, "stateless_reset");
-    (update_idle_timeout, "update_idle_timeout");
-    (stream_data_blocked, "stream_data_blocked");
-    (set_next_wake_time, "set_next_wake_time");
-    (header_prepared, "header_prepared");
-  ]
-
-let name id =
-  match List.assoc_opt id names with
-  | Some n -> n
-  | None -> Printf.sprintf "plugin_op_%d" id
-
-let count = List.length names
-
-(* The parameterized operations (Section 2.2 reports four of them). *)
-let parameterized = [ parse_frame; process_frame; write_frame; notify_frame ]
+(* Re-export: the protoop id space lives in the transport-neutral
+   pluginop library; core code and plc sources keep addressing it as
+   [Pquic.Protoop]. *)
+include Pluginop.Protoop

@@ -1,0 +1,121 @@
+(* The API exposed to pluglet bytecode (Table 1): helper identifiers and
+   the field namespace of the get/set accessors. Implementations are
+   closures over the host connection, installed when a PRE is bound; this
+   module only fixes the numbering so that plc sources, every host and the
+   documentation agree.
+
+   Getters/setters abstract the connection internals from pluglets: the
+   bytecode never hard-codes structure offsets, so plugins stay compatible
+   across host versions — and across *hosts*: any transport exposing this
+   id space (PQUIC, tcpsim) runs the same bytecode — and the host can
+   monitor (and refuse) access to specific fields (Section 2.3). *)
+
+(* Helper ids — Table 1. *)
+let h_get = 1
+let h_set = 2
+let h_pl_malloc = 3
+let h_pl_free = 4
+let h_get_opaque_data = 5
+let h_pl_memcpy = 6
+let h_pl_memset = 7
+let h_run_protoop = 8
+let h_reserve_frames = 9
+
+(* Supporting helpers (the paper's API also exposes time, logging and the
+   application push channel of Section 2.4). *)
+let h_get_time = 10
+let h_push_message = 11
+let h_pl_log = 12
+let h_sent_time = 13     (* sent_time(pn) -> ns, or -1 if unknown *)
+let h_cmp_bytes = 14     (* cmp_bytes(a, b, len) -> 0 if equal *)
+
+(* Extension helpers registered for the FEC plugin (erasure-code byte-vector
+   arithmetic; control flow stays in bytecode, bulk byte operations are
+   helpers, like pl_memcpy). *)
+let h_gf256_mulvec = 20  (* dst ^= coef * src, element-wise over len bytes *)
+let h_rng_coef = 21      (* deterministic coefficient stream: rng_coef(seed, i, j) *)
+let h_recover_packet = 22 (* hand a recovered packet (pn || payload) to the engine *)
+let h_packet_bytes = 23  (* copy the packet being processed into plugin memory *)
+
+(* Extension helper registered for the multipath plugin. *)
+let h_create_path = 30   (* create_path(remote_addr) -> path_id *)
+let h_gf256_mul = 24     (* scalar GF(256) multiply *)
+let h_gf256_inv = 25     (* scalar GF(256) inverse *)
+let h_gf256_scalevec = 26 (* dst := coef * dst, element-wise over len bytes *)
+
+let helper_names =
+  [
+    ("get", h_get);
+    ("set", h_set);
+    ("pl_malloc", h_pl_malloc);
+    ("pl_free", h_pl_free);
+    ("get_opaque_data", h_get_opaque_data);
+    ("pl_memcpy", h_pl_memcpy);
+    ("pl_memset", h_pl_memset);
+    ("run_protoop", h_run_protoop);
+    ("reserve_frames", h_reserve_frames);
+    ("get_time", h_get_time);
+    ("push_message", h_push_message);
+    ("pl_log", h_pl_log);
+    ("sent_time", h_sent_time);
+    ("cmp_bytes", h_cmp_bytes);
+    ("gf256_mulvec", h_gf256_mulvec);
+    ("rng_coef", h_rng_coef);
+    ("recover_packet", h_recover_packet);
+    ("packet_bytes", h_packet_bytes);
+    ("gf256_mul", h_gf256_mul);
+    ("gf256_inv", h_gf256_inv);
+    ("gf256_scalevec", h_gf256_scalevec);
+    ("create_path", h_create_path);
+  ]
+
+let is_known_helper id = List.exists (fun (_, i) -> i = id) helper_names
+
+(* Field ids for get/set. Fields marked (path) take the path id as index. *)
+let f_cwnd = 1                  (* (path) congestion window, bytes *)
+let f_bytes_in_flight = 2       (* (path) *)
+let f_srtt = 3                  (* (path) smoothed RTT, ns *)
+let f_rtt_min = 4               (* (path) *)
+let f_latest_rtt = 5            (* (path) *)
+let f_rtt_var = 6               (* (path) *)
+let f_rtt_sample = 7            (* (path) write-only: feeds a new RTT sample *)
+let f_path_active = 8           (* (path) 0/1 *)
+let f_path_remote_addr = 9      (* (path) *)
+let f_nb_paths = 10
+let f_next_pn = 11
+let f_largest_acked = 12
+let f_state = 13                (* 0 handshaking, 1 established, 2 closing, 3 closed *)
+let f_role = 14                 (* 0 client, 1 server *)
+let f_bytes_sent = 15
+let f_bytes_received = 16
+let f_pkts_sent = 17
+let f_pkts_received = 18
+let f_pkts_lost = 19
+let f_pkts_retransmitted = 20
+let f_pkts_out_of_order = 21
+let f_ack_needed = 22
+let f_spin_bit = 23
+let f_max_data_local = 24
+let f_max_data_remote = 25
+let f_data_sent = 26
+let f_data_received = 27
+let f_mtu = 28
+let f_current_pn = 29           (* pn of the packet being processed/built *)
+let f_current_path = 30         (* path of the packet being processed/built *)
+let f_current_packet_size = 31
+let f_streams_open = 32
+let f_streams_closed = 33
+let f_handshake_rtt = 34        (* ns taken by the handshake *)
+let f_last_path_recv = 35       (* path id the last packet arrived on *)
+let f_fin_sent = 36             (* 1 when a stream reached its FIN and has
+                                   nothing left to transmit (tail reached) *)
+let f_peer_extra_addr = 37      (* peer's first extra address, or -1 *)
+let f_current_packet_has_stream = 38 (* packet being built carried stream data *)
+let f_own_extra_addr = 39       (* our own first extra address, or -1 *)
+let f_ecn_ce = 40               (* packet being processed carried a CE mark *)
+let f_ssthresh = 41             (* (path) slow-start threshold, bytes; -1 unset *)
+
+(* Fields a pluglet may write through [set]. Everything else is read-only:
+   a write attempt is a policy violation and kills the plugin, the same
+   sanction as a memory violation. *)
+let writable_fields = [ f_cwnd; f_rtt_sample; f_spin_bit; f_path_active ]

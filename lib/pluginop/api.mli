@@ -1,13 +1,14 @@
-(** The PQUIC API exposed to pluglet bytecode (Table 1): helper identifiers
-    and the field namespace of the get/set accessors. Implementations are
-    closures over the connection, installed by [Connection] when a PRE is
-    bound; this module fixes the numbering so plc sources, the engine and
-    the documentation agree.
+(** The API exposed to pluglet bytecode (Table 1): helper identifiers and
+    the field namespace of the get/set accessors. Implementations are
+    closures over the host connection, installed when a PRE is bound; this
+    module fixes the numbering so plc sources, every host and the
+    documentation agree.
 
     Getters/setters abstract the connection internals from pluglets: the
     bytecode never hard-codes structure offsets, so plugins stay compatible
-    across PQUIC versions, and the host can monitor (and refuse) access to
-    specific fields (Section 2.3). *)
+    across host versions — and across {e hosts}: any transport exposing
+    this id space (PQUIC, tcpsim) runs the same bytecode — and the host can
+    monitor (and refuse) access to specific fields (Section 2.3). *)
 
 (** {2 Helper ids — Table 1} *)
 
@@ -149,6 +150,9 @@ val f_current_packet_has_stream : int
 val f_own_extra_addr : int
 val f_ecn_ce : int
 (** 1 when the packet being processed carried a CE mark. *)
+
+val f_ssthresh : int
+(** (path) slow-start threshold in bytes; -1 while unset. *)
 
 val writable_fields : int list
 (** Everything else is read-only through [set]; writing it kills the

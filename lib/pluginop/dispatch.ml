@@ -1,0 +1,175 @@
+(* Protocol-operation dispatch (Section 2.2), generic over the host.
+
+   Every step of a pluginized connection workflow funnels through
+   [run_op]: pre anchors, then the replace anchor (pluglet override or
+   built-in behaviour), then post anchors. [run_op] sits on every packet's
+   hot path, so the built-in unparameterized operations resolve through a
+   dense array indexed by protoop id — no hashing, no allocation on the
+   lookup. Parameterized operations (frame types) and plugin-registered
+   ids go through the hashtable.
+
+   Each function takes the host-side plugin state [st] and the opaque
+   connection handle [c]; the two travel together (the transport keeps
+   [st] inside its connection record). *)
+
+open Types
+
+let is_builtin st op param =
+  param = None && op >= 0 && op < Array.length st.builtin_ops
+
+let find_entry st op param =
+  if is_builtin st op param then st.builtin_ops.(op)
+  else Hashtbl.find_opt st.ops (op, param)
+
+let entry st op param =
+  match find_entry st op param with
+  | Some e -> e
+  | None ->
+    let e = { replace = None; pre = []; post = []; ext = None } in
+    if is_builtin st op param then st.builtin_ops.(op) <- Some e
+    else Hashtbl.replace st.ops (op, param) e;
+    e
+
+let has_entry st op param = find_entry st op param <> None
+
+let iter_entries st f =
+  Array.iter (function Some e -> f e | None -> ()) st.builtin_ops;
+  Hashtbl.iter (fun _ e -> f e) st.ops
+
+let register_native st op name fn =
+  (entry st op None).replace <- Some (Native (name, fn))
+
+(* Introspection used by hosts and tests: the registry shape without
+   exposing the record fields. *)
+let builtin_capacity st = Array.length st.builtin_ops
+let hashed_entries st = Hashtbl.length st.ops
+
+(* Region names for pluglet argument buffers, precomputed: this runs on
+   every protoop invocation, and protoops take at most five arguments. *)
+let arg_region_names = [| "arg0"; "arg1"; "arg2"; "arg3"; "arg4" |]
+
+(* Execute one pluglet implementation with the given arguments. Buffers are
+   mapped into the PRE for the duration of the call; pre/post pluglets get
+   read-only views (the paper grants passive pluglets no write access). *)
+let exec_pluglet pre ~read_only (args : arg array) =
+  let regions, arg_specs, _ =
+    Array.fold_left
+      (fun (regions, specs, nregions) a ->
+        match a with
+        | I v -> (regions, `I v :: specs, nregions)
+        | Buf (b, perm) ->
+          let perm = if read_only then `Ro else perm in
+          let name =
+            if nregions < Array.length arg_region_names then
+              arg_region_names.(nregions)
+            else "arg" ^ string_of_int nregions
+          in
+          ( (name, b, (match perm with `Ro -> Ebpf.Vm.Ro | `Rw -> Ebpf.Vm.Rw))
+            :: regions,
+            `R nregions :: specs,
+            nregions + 1 ))
+      ([], [], 0) args
+  in
+  let regions = List.rev regions and arg_specs = List.rev arg_specs in
+  match
+    Pre.with_regions pre regions (fun bases ->
+        let bases = Array.of_list bases in
+        let vm_args =
+          List.map
+            (function `I v -> v | `R idx -> bases.(idx))
+            arg_specs
+        in
+        Pre.run pre ~args:(Array.of_list vm_args))
+  with
+  | v -> Ok v
+  | exception Ebpf.Vm.Memory_violation msg -> Error ("memory violation: " ^ msg)
+  | exception Ebpf.Vm.Fuel_exhausted -> Error "instruction budget exhausted"
+  | exception Ebpf.Vm.Helper_failure msg -> Error ("API violation: " ^ msg)
+
+let run_impl st c impl ~read_only args =
+  match impl with
+  | Native (_, fn) -> fn c args
+  | Pluglet pre -> (
+    match exec_pluglet pre ~read_only args with
+    | Ok v -> v
+    | Error reason ->
+      st.kill c pre.Pre.plugin_name reason;
+      0L)
+
+(* Run the replace anchor. A native implementation (or none) is the plain
+   path. A trapping pluglet must not leave the operation half-done: its
+   writable argument buffers are rolled back to their pre-call contents
+   and the built-in behaviour serves the operation — the connection state
+   stays coherent — before the existing sanction (plugin removal,
+   connection failure) fires. *)
+let run_replace st c e ~default args =
+  match e.replace with
+  | None -> default c args
+  | Some (Native (_, fn)) -> fn c args
+  | Some (Pluglet pre) -> (
+    let saved =
+      Array.map
+        (function Buf (b, `Rw) -> Some (Bytes.copy b) | _ -> None)
+        args
+    in
+    match exec_pluglet pre ~read_only:false args with
+    | Ok v -> v
+    | Error reason ->
+      Array.iteri
+        (fun i s ->
+          match (s, args.(i)) with
+          | Some copy, Buf (b, `Rw) ->
+            Bytes.blit copy 0 b 0 (Bytes.length b)
+          | _ -> ())
+        saved;
+      st.host.on_fallback c;
+      Log.warn (fun m ->
+          m "pluglet %s trapped (%s): state rolled back, builtin serves the op"
+            pre.Pre.plugin_name reason);
+      let v = default c args in
+      st.kill c pre.Pre.plugin_name reason;
+      v)
+
+(* Run a protocol operation: pre anchors, then the replace anchor (pluglet
+   override or built-in behaviour), then post anchors. The call stack of
+   running operations is tracked; re-entering a running operation would
+   create a loop in the call graph (Fig. 3) and terminates the connection. *)
+let run_op st c op ?param ?(default = fun _ _ -> 0L) (args : arg array) =
+  let key = (op, param) in
+  if List.mem key st.op_stack then begin
+    st.host.fail c
+      (Printf.sprintf "protocol operation loop detected on %s" (Protoop.name op));
+    0L
+  end
+  else begin
+    st.op_stack <- key :: st.op_stack;
+    let e =
+      match find_entry st op param with
+      | Some e -> e
+      | None -> (
+        (* parameterized op with no specific entry: fall back to the
+           unparameterized default entry *)
+        match param with
+        | Some _ -> (
+          match find_entry st op None with
+          | Some e -> e
+          | None -> entry st op None)
+        | None -> entry st op None)
+    in
+    List.iter
+      (fun i -> ignore (run_impl st c i ~read_only:true args))
+      (List.rev e.pre);
+    let result = run_replace st c e ~default args in
+    List.iter
+      (fun i -> ignore (run_impl st c i ~read_only:true args))
+      (List.rev e.post);
+    st.op_stack <- List.tl st.op_stack;
+    result
+  end
+
+(* Call a plugin-defined external operation (Section 2.4): only the
+   application may invoke these. *)
+let call_external st c op (args : arg array) =
+  match find_entry st op None with
+  | Some { ext = Some impl; _ } -> Some (run_impl st c impl ~read_only:false args)
+  | _ -> None

@@ -1,0 +1,122 @@
+(* The PRE↔host boundary (Section 2.3), transport-neutral half: the Table 1
+   helper implementations every host shares, installed on each pluglet's
+   PRE when an instance is attached. Getters and setters abstract the
+   connection internals from pluglets: bytecode never hard-codes structure
+   offsets, and the host monitors (and refuses) access to specific fields.
+
+   Field access funnels through the HOST record ([Types.host]); what a
+   field *means* is the transport's business, but the id space, the
+   writable-field policy and the sanction for violating it are fixed here
+   so the same bytecode sees the same contract on every host. Helpers a
+   transport owns outright (frame reservation, packet access, path
+   creation) arrive through [install_extra_helpers]. *)
+
+open Types
+
+let to_i = Int64.to_int
+let i64 = Int64.of_int
+let helper_fail fmt = Fmt.kstr (fun s -> raise (Ebpf.Vm.Helper_failure s)) fmt
+
+(* The generic setter: the writable-field policy check lives here, above
+   the transport, so read-only enforcement is identical on every host. *)
+let set_field st c field index value =
+  if not (List.mem field Api.writable_fields) then
+    raise
+      (Ebpf.Vm.Helper_failure (Printf.sprintf "set: field %d is read-only" field));
+  st.host.set_field c field index value
+
+let install_helpers st c inst (pre : Pre.t) =
+  let heap = Memory_pool.area inst.pool in
+  let heap_off vm_addr =
+    let off = Pre.heap_offset pre vm_addr in
+    if off < 0 || off > Bytes.length heap then
+      helper_fail "address 0x%Lx outside plugin memory" vm_addr;
+    off
+  in
+  let reg id f = Pre.register_helper pre id f in
+  reg Api.h_get (fun _ a -> st.host.get_field c (to_i a.(0)) (to_i a.(1)));
+  reg Api.h_set (fun _ a ->
+      set_field st c (to_i a.(0)) (to_i a.(1)) a.(2);
+      0L);
+  reg Api.h_pl_malloc (fun _ a ->
+      match Memory_pool.alloc inst.pool (to_i a.(0)) with
+      | Some off -> Pre.heap_addr pre off
+      | None -> 0L);
+  reg Api.h_pl_free (fun _ a ->
+      if Memory_pool.free inst.pool (heap_off a.(0)) then 0L
+      else helper_fail "pl_free: invalid address 0x%Lx" a.(0));
+  reg Api.h_get_opaque_data (fun _ a ->
+      let id = to_i a.(0) and size = to_i a.(1) in
+      match Hashtbl.find_opt inst.opaque id with
+      | Some off -> Pre.heap_addr pre off
+      | None -> (
+        match Memory_pool.alloc inst.pool size with
+        | Some off ->
+          (* opaque areas start zeroed even when the pool recycles blocks *)
+          Bytes.fill (Memory_pool.area inst.pool) off size '\000';
+          Hashtbl.replace inst.opaque id off;
+          Pre.heap_addr pre off
+        | None -> 0L));
+  reg Api.h_pl_memcpy (fun vm a ->
+      let len = to_i a.(2) in
+      if len < 0 || len > 65536 then helper_fail "pl_memcpy: bad length %d" len;
+      let data = Ebpf.Vm.read_bytes vm a.(1) len in
+      let dst = a.(0) in
+      Ebpf.Vm.write_bytes vm dst data;
+      0L);
+  reg Api.h_pl_memset (fun vm a ->
+      let len = to_i a.(2) in
+      if len < 0 || len > 65536 then helper_fail "pl_memset: bad length %d" len;
+      Ebpf.Vm.fill_bytes vm a.(0) len (Char.chr (to_i a.(1) land 0xff));
+      0L);
+  reg Api.h_run_protoop (fun _ a ->
+      let op = to_i a.(0) in
+      let param = if a.(1) < 0L then None else Some (to_i a.(1)) in
+      Dispatch.run_op st c op ?param [| I a.(2); I a.(3); I a.(4) |]);
+  reg Api.h_get_time (fun _ _ -> st.host.now c);
+  reg Api.h_push_message (fun vm a ->
+      let len = to_i a.(1) in
+      if len < 0 || len > 65536 then helper_fail "push_message: bad length %d" len;
+      let data = Ebpf.Vm.read_bytes vm a.(0) len in
+      st.host.push_message c (Bytes.to_string data);
+      0L);
+  reg Api.h_pl_log (fun _ a ->
+      Log.debug (fun m ->
+          m "[plugin %s] %Ld %Ld" inst.plugin.Plugin.name a.(0) a.(1));
+      0L);
+  reg Api.h_sent_time (fun _ a -> st.host.sent_time c a.(0));
+  reg Api.h_cmp_bytes (fun vm a ->
+      let len = to_i a.(2) in
+      if len < 0 || len > 65536 then helper_fail "cmp_bytes: bad length %d" len;
+      let x = Ebpf.Vm.read_bytes vm a.(0) len in
+      let y = Ebpf.Vm.read_bytes vm a.(1) len in
+      if Bytes.equal x y then 0L else 1L);
+  reg Api.h_gf256_mulvec (fun vm a ->
+      (* dst ^= coef * src over len bytes *)
+      let len = to_i a.(3) in
+      if len < 0 || len > 65536 then helper_fail "gf256_mulvec: bad length %d" len;
+      let coef = to_i a.(2) land 0xff in
+      let dst = Ebpf.Vm.read_bytes vm a.(0) len in
+      let src = Ebpf.Vm.read_bytes vm a.(1) len in
+      for k = 0 to len - 1 do
+        Bytes.set_uint8 dst k
+          (Bytes.get_uint8 dst k lxor Gf.mul coef (Bytes.get_uint8 src k))
+      done;
+      Ebpf.Vm.write_bytes vm a.(0) dst;
+      0L);
+  reg Api.h_gf256_scalevec (fun vm a ->
+      let len = to_i a.(2) in
+      if len < 0 || len > 65536 then helper_fail "gf256_scalevec: bad length %d" len;
+      let coef = to_i a.(1) land 0xff in
+      let dst = Ebpf.Vm.read_bytes vm a.(0) len in
+      for k = 0 to len - 1 do
+        Bytes.set_uint8 dst k (Gf.mul coef (Bytes.get_uint8 dst k))
+      done;
+      Ebpf.Vm.write_bytes vm a.(0) dst;
+      0L);
+  reg Api.h_gf256_mul (fun _ a ->
+      i64 (Gf.mul (to_i a.(0) land 0xff) (to_i a.(1) land 0xff)));
+  reg Api.h_gf256_inv (fun _ a -> i64 (Gf.inv (to_i a.(0) land 0xff)));
+  reg Api.h_rng_coef (fun _ a ->
+      i64 (Gf.rlc_coef ~seed:a.(0) ~sid:a.(1) ~row:(to_i a.(2))));
+  st.host.install_extra_helpers c inst pre

@@ -1,0 +1,138 @@
+(* Protocol plugins: a globally unique name plus pluglets and the manifest
+   linking each pluglet to a protocol operation and anchor (Section 2).
+
+   Pluglet code is either plc source (developer side: compiled, checkable
+   for termination, countable in LoC) or raw eBPF bytecode (what travels on
+   the wire — receivers only ever see platform-independent bytecode). The
+   serialized form stands in for the ELF files of Table 2; its binding
+   (name || code) is what the trust system's Merkle trees authenticate. *)
+
+type code =
+  | Source of Plc.Ast.func
+  | Bytecode of Ebpf.Insn.t array * int (* program, stack size *)
+
+type pluglet = {
+  op : Protoop.id;
+  param : int option;
+  anchor : Protoop.anchor;
+  code : code;
+}
+
+type t = { name : string; pluglets : pluglet list }
+
+exception Malformed of string
+
+(* Compile (if needed) to (bytecode, stack size). *)
+let compiled pluglet =
+  match pluglet.code with
+  | Bytecode (prog, stack) -> (prog, stack)
+  | Source f -> Plc.Compile.compile ~helpers:Api.helper_names f
+
+let anchor_code = function
+  | Protoop.Replace -> 0
+  | Protoop.Pre -> 1
+  | Protoop.Post -> 2
+  | Protoop.External -> 3
+
+let anchor_of_code = function
+  | 0 -> Protoop.Replace
+  | 1 -> Protoop.Pre
+  | 2 -> Protoop.Post
+  | 3 -> Protoop.External
+  | n -> raise (Malformed (Printf.sprintf "bad anchor %d" n))
+
+let magic = "PQPLUG1"
+
+(* Serialize name, manifest and bytecodes — the unit that is published to
+   the Plugin Repository and exchanged over connections. *)
+let serialize t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_uint16_be buf (String.length t.name);
+  Buffer.add_string buf t.name;
+  Buffer.add_uint16_be buf (List.length t.pluglets);
+  List.iter
+    (fun p ->
+      let prog, stack = compiled p in
+      Buffer.add_uint16_be buf p.op;
+      (match p.param with
+       | None -> Buffer.add_uint8 buf 0
+       | Some v ->
+         Buffer.add_uint8 buf 1;
+         Buffer.add_uint16_be buf v);
+      Buffer.add_uint8 buf (anchor_code p.anchor);
+      Buffer.add_uint16_be buf stack;
+      let code = Ebpf.Insn.encode prog in
+      Buffer.add_int32_be buf (Int32.of_int (String.length code));
+      Buffer.add_string buf code)
+    t.pluglets;
+  Buffer.contents buf
+
+let deserialize s =
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > String.length s then raise (Malformed "truncated plugin")
+  in
+  let u8 () = need 1; let v = Char.code s.[!pos] in incr pos; v in
+  let u16 () = need 2; let v = String.get_uint16_be s !pos in pos := !pos + 2; v in
+  let u32 () =
+    need 4;
+    let v = Int32.to_int (String.get_int32_be s !pos) in
+    pos := !pos + 4;
+    if v < 0 then raise (Malformed "bad length");
+    v
+  in
+  let str n = need n; let v = String.sub s !pos n in pos := !pos + n; v in
+  if String.length s < String.length magic || str (String.length magic) <> magic
+  then raise (Malformed "bad magic");
+  let name = str (u16 ()) in
+  let count = u16 () in
+  let pluglets = ref [] in
+  for _ = 1 to count do
+    let op = u16 () in
+    let param = if u8 () = 1 then Some (u16 ()) else None in
+    let anchor = anchor_of_code (u8 ()) in
+    let stack = u16 () in
+    let code_len = u32 () in
+    let prog =
+      try Ebpf.Insn.decode (str code_len)
+      with Ebpf.Insn.Decode_error m -> raise (Malformed m)
+    in
+    pluglets := { op; param; anchor; code = Bytecode (prog, stack) } :: !pluglets
+  done;
+  { name; pluglets = List.rev !pluglets }
+
+(* The binding published to validators: name || code (Section 3.1). *)
+let binding t = t.name ^ "||" ^ serialize t
+
+let elf_size t = String.length (serialize t)
+
+(* Table 2 statistics. LoC and termination verdicts need source pluglets;
+   bytecode-only pluglets count as unproven (a validator without source can
+   refuse to vouch). *)
+type stats = {
+  name : string;
+  loc : int;
+  pluglet_count : int;
+  proven_terminating : int;
+  elf_size : int;
+}
+
+let stats t =
+  let loc, proven =
+    List.fold_left
+      (fun (loc, proven) p ->
+        match p.code with
+        | Source f ->
+          ( loc + Plc.Ast.lines_of_code f,
+            proven + if Plc.Terminate.is_proven f then 1 else 0 )
+        | Bytecode _ -> (loc, proven))
+      (0, 0) t.pluglets
+  in
+  {
+    name = t.name;
+    loc;
+    pluglet_count = List.length t.pluglets;
+    proven_terminating = proven;
+    elf_size = elf_size t;
+  }

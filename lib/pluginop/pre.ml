@@ -1,0 +1,77 @@
+(* Pluglet Runtime Environment (Section 2.1): one per inserted pluglet.
+   Each PRE owns its registers and stack (a fresh [Ebpf.Vm]); its heap
+   points to the area shared by all pluglets of the plugin. Every VM maps
+   its stack at the same window and the heap is the first region mapped
+   after it, so heap pointers have the same value in every PRE of the
+   instance. The admission pipeline — decode, static verification, link —
+   runs here, once, at creation; per-packet execution then runs the linked
+   program with no setup work, and runtime memory monitoring lives in the
+   VM. Caching instances (Section 2.5) therefore caches the linked
+   programs too, which is what keeps plugin reload cheap. *)
+
+exception Rejected of string
+
+type t = {
+  plugin_name : string;
+  op : Protoop.id;
+  param : int option;
+  anchor : Protoop.anchor;
+  prog : Ebpf.Insn.t array;
+  linked : Ebpf.Vm.linked_prog;
+  vm : Ebpf.Vm.t;
+  heap_base : int64;
+}
+
+(* Verify, link and instantiate. [heap] is the plugin's shared memory area. *)
+let create ~plugin_name ~(pluglet : Plugin.pluglet) ~heap =
+  let prog, stack_size = Plugin.compiled pluglet in
+  (match
+     Ebpf.Verifier.verify ~stack_size ~known_helper:Api.is_known_helper prog
+   with
+  | Ok () -> ()
+  | Error errs ->
+    raise
+      (Rejected
+         (String.concat "; " (List.map Ebpf.Verifier.error_to_string errs))));
+  let vm = Ebpf.Vm.create ~stack_size () in
+  let heap_region = Ebpf.Vm.map_region vm ~name:"plugin_heap" ~perm:Ebpf.Vm.Rw heap in
+  {
+    plugin_name;
+    op = pluglet.op;
+    param = pluglet.param;
+    anchor = pluglet.anchor;
+    prog;
+    linked = Ebpf.Vm.link prog;
+    vm;
+    heap_base = heap_region.Ebpf.Vm.base;
+  }
+
+let register_helper t id f = Ebpf.Vm.register_helper t.vm id f
+
+(* Translate a plugin-heap offset to the address pluglets see. *)
+let heap_addr t off = Int64.add t.heap_base (Int64.of_int off)
+
+let heap_offset t addr = Int64.to_int (Int64.sub addr t.heap_base)
+
+(* Map transient regions (packet buffers, protoop inputs) for the duration
+   of [f], which receives their base addresses in order. The VM recycles
+   the table slots of unmapped regions, so this steady per-call traffic
+   reuses the same few windows instead of growing the address space. *)
+let with_regions t regions f =
+  let mapped =
+    List.map
+      (fun (name, bytes, perm) -> Ebpf.Vm.map_region t.vm ~name ~perm bytes)
+      regions
+  in
+  let finally () = List.iter (Ebpf.Vm.unmap_region t.vm) mapped in
+  match f (List.map (fun r -> r.Ebpf.Vm.base) mapped) with
+  | result ->
+    finally ();
+    result
+  | exception e ->
+    finally ();
+    raise e
+
+let run t ~args = Ebpf.Vm.run_linked t.vm ~args t.linked
+
+let executed_insns t = Ebpf.Vm.executed t.vm

@@ -1,0 +1,84 @@
+(* The transport-neutral heart of the plugin machinery: every type here is
+   parametric in ['c], the host's connection representation, which this
+   library treats as an opaque handle. A transport turns itself into a
+   plugin host by building a ['c host] record — field get/set over the
+   Table 1 id space, a clock, the application message channel and the
+   sanction hooks — and keeping a ['c state] (protoop registry + attached
+   instances) alongside its connection. PQUIC ([lib/core]) and tcpsim
+   ([lib/tcpsim]) are the two in-tree instantiations; the same bytecode
+   attaches to either (the Core QUIC direction). *)
+
+let src = Logs.Src.create "pluginop" ~doc:"transport-neutral plugin host"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Protoop arguments: plain integers or byte buffers. Buffers are mapped as
+   VM regions for pluglet implementations; native implementations access
+   the bytes directly. *)
+type arg = I of int64 | Buf of Bytes.t * [ `Ro | `Rw ]
+
+(* One implementation on an anchor: a host-native OCaml closure or a
+   verified-and-linked pluglet. *)
+type 'c impl = Native of string * ('c -> arg array -> int64) | Pluglet of Pre.t
+
+type 'c op_entry = {
+  mutable replace : 'c impl option;
+  mutable pre : 'c impl list;
+  mutable post : 'c impl list;
+  mutable ext : 'c impl option;
+}
+
+(* A built plugin instance: every pluglet compiled, verified and linked
+   once; the pool is the plugin's shared heap. Instances are host-typed
+   because attaching installs helpers that close over the connection. *)
+type 'c instance = {
+  plugin : Plugin.t;
+  pool : Memory_pool.t;
+  mutable pres : Pre.t list;
+  opaque : (int, int) Hashtbl.t; (* opaque-data id -> heap offset *)
+  mutable bound : 'c option;     (* connection the instance is bound to *)
+}
+
+(* The HOST interface: everything the plugin machinery needs from a
+   transport. Keep it small — the point (ROADMAP item 4, Core QUIC) is
+   that a new transport only supplies these closures to run the full
+   pluglet ecosystem. *)
+type 'c host = {
+  host_name : string;  (* for logs and the differential tests *)
+  now : 'c -> int64;   (* clock, ns (get_time helper) *)
+  get_field : 'c -> int -> int -> int64;
+      (* Table 1 getter: field id, index (path id for path fields).
+         Must raise [Ebpf.Vm.Helper_failure] on an unknown field. *)
+  set_field : 'c -> int -> int -> int64 -> unit;
+      (* Table 1 setter for {!Api.writable_fields}; the generic layer
+         already rejects read-only fields before calling this. *)
+  push_message : 'c -> string -> unit;
+      (* Section 2.4 asynchronous channel to the application *)
+  sent_time : 'c -> int64 -> int64; (* sent_time(pn) -> ns, or -1 *)
+  fail : 'c -> string -> unit;      (* terminate the connection (sanction) *)
+  on_sanction : 'c -> unit;         (* stats hook: a plugin was killed *)
+  on_fallback : 'c -> unit;         (* stats hook: builtin served a trap *)
+  on_detach : 'c -> string -> unit;
+      (* transport-side cleanup when a plugin leaves (e.g. PQUIC drops its
+         scheduler reservations); called by [Plugin_host.remove_plugin] *)
+  install_extra_helpers : 'c -> 'c instance -> Pre.t -> unit;
+      (* transport-specific helpers beyond the generic table (PQUIC:
+         reserve_frames, packet_bytes, recover_packet, create_path) *)
+}
+
+(* Per-connection plugin state: the protoop registry and the attached
+   instances. Built-in (unparameterized, id < [Protoop.first_plugin_op])
+   operations dispatch through a dense array so the per-packet hot path
+   never hashes; parameterized and plugin-registered ids live in the
+   hashtable. *)
+type 'c state = {
+  host : 'c host;
+  builtin_ops : 'c op_entry option array;
+  ops : (int * int option, 'c op_entry) Hashtbl.t;
+  mutable op_stack : (int * int option) list;
+  plugins : (string, 'c instance) Hashtbl.t;
+  mutable plugin_order : string list;
+  mutable kill : 'c -> string -> string -> unit;
+      (* the sanction entry point; bound by [Plugin_host.create_state] so
+         [Dispatch] (below it in the module graph) can sanction *)
+}

@@ -92,24 +92,24 @@ let notify_frame =
 (* max_message_size(): what fits in one DATAGRAM frame on this connection. *)
 let max_message_size =
   func "dg_max_message_size" []
-    [ ret (get Pquic.Api.f_mtu (i 0) -: i 64) ]
+    [ ret (get Pluginop.Api.f_mtu (i 0) -: i 64) ]
 
-let plugin : Pquic.Plugin.t =
+let plugin : Pluginop.Plugin.t =
   {
-    Pquic.Plugin.name;
+    Pluginop.Plugin.name;
     pluglets =
       [
-        pluglet ~op:op_send_message ~anchor:Pquic.Protoop.External send_message;
-        pluglet ~op:op_max_message_size ~anchor:Pquic.Protoop.External
+        pluglet ~op:op_send_message ~anchor:Pluginop.Protoop.External send_message;
+        pluglet ~op:op_max_message_size ~anchor:Pluginop.Protoop.External
           max_message_size;
-        pluglet ~op:Pquic.Protoop.write_frame ~param:frame_type
-          ~anchor:Pquic.Protoop.Replace write_frame;
-        pluglet ~op:Pquic.Protoop.parse_frame ~param:frame_type
-          ~anchor:Pquic.Protoop.Replace parse_frame;
-        pluglet ~op:Pquic.Protoop.process_frame ~param:frame_type
-          ~anchor:Pquic.Protoop.Replace process_frame;
-        pluglet ~op:Pquic.Protoop.notify_frame ~param:frame_type
-          ~anchor:Pquic.Protoop.Replace notify_frame;
+        pluglet ~op:Pluginop.Protoop.write_frame ~param:frame_type
+          ~anchor:Pluginop.Protoop.Replace write_frame;
+        pluglet ~op:Pluginop.Protoop.parse_frame ~param:frame_type
+          ~anchor:Pluginop.Protoop.Replace parse_frame;
+        pluglet ~op:Pluginop.Protoop.process_frame ~param:frame_type
+          ~anchor:Pluginop.Protoop.Replace process_frame;
+        pluglet ~op:Pluginop.Protoop.notify_frame ~param:frame_type
+          ~anchor:Pluginop.Protoop.Replace notify_frame;
       ];
   }
 

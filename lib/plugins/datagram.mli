@@ -7,10 +7,10 @@
     packets exactly this way. *)
 
 val name : string
-val plugin : Pquic.Plugin.t
+val plugin : Pluginop.Plugin.t
 
-val op_send_message : Pquic.Protoop.id
-val op_max_message_size : Pquic.Protoop.id
+val op_send_message : Pluginop.Protoop.id
+val op_max_message_size : Pluginop.Protoop.id
 
 val send :
   Pquic.Connection.t -> string -> (unit, [ `Would_block | `No_plugin ]) result

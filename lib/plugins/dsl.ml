@@ -62,8 +62,8 @@ let ret0 = Return (i 0)
 
 let func name params body : Plc.Ast.func = { name; params; body }
 
-let pluglet ?param ~op ~anchor f : Pquic.Plugin.pluglet =
-  { Pquic.Plugin.op; param; anchor; code = Pquic.Plugin.Source f }
+let pluglet ?param ~op ~anchor f : Pluginop.Plugin.pluglet =
+  { Pluginop.Plugin.op; param; anchor; code = Pluginop.Plugin.Source f }
 
 (* reserve_frames flag bits (Api): bit0 retransmittable, bit1 NOT
    ack-eliciting *)

@@ -73,10 +73,10 @@ val func : string -> string list -> block -> Plc.Ast.func
 
 val pluglet :
   ?param:int ->
-  op:Pquic.Protoop.id ->
-  anchor:Pquic.Protoop.anchor ->
+  op:Pluginop.Protoop.id ->
+  anchor:Pluginop.Protoop.anchor ->
   Plc.Ast.func ->
-  Pquic.Plugin.pluglet
+  Pluginop.Plugin.pluglet
 
 (** reserve_frames flag bits *)
 

@@ -18,13 +18,13 @@ module Tlp = struct
   let probe_delay =
     func "tlp_retransmission_delay" [ "base"; "path" ]
       [
-        Let ("inflight", get Pquic.Api.f_bytes_in_flight (v "path"));
+        Let ("inflight", get Pluginop.Api.f_bytes_in_flight (v "path"));
         If
           ( (v "inflight" >: i 0) &&: (v "inflight" <=: i 4200),
             [
               Let
                 ( "probe",
-                  (get Pquic.Api.f_srtt (v "path") *: i 2) +: i 10_000_000 );
+                  (get Pluginop.Api.f_srtt (v "path") *: i 2) +: i 10_000_000 );
               If (v "probe" <: v "base", [ ret (v "probe") ], []);
             ],
             [] );
@@ -36,14 +36,14 @@ module Tlp = struct
     func "tlp_count_probes" []
       (with_state ~id:6 ~size:16 [ bump 0; ret0 ])
 
-  let plugin : Pquic.Plugin.t =
+  let plugin : Pluginop.Plugin.t =
     {
-      Pquic.Plugin.name;
+      Pluginop.Plugin.name;
       pluglets =
         [
-          pluglet ~op:Pquic.Protoop.get_retransmission_delay
-            ~anchor:Pquic.Protoop.Replace probe_delay;
-          pluglet ~op:Pquic.Protoop.on_loss_timer ~anchor:Pquic.Protoop.Post
+          pluglet ~op:Pluginop.Protoop.get_retransmission_delay
+            ~anchor:Pluginop.Protoop.Replace probe_delay;
+          pluglet ~op:Pluginop.Protoop.on_loss_timer ~anchor:Pluginop.Protoop.Post
             count_probes;
         ];
     }
@@ -69,7 +69,7 @@ module Ecn = struct
       (state
          [
            If
-             ( get Pquic.Api.f_ecn_ce (i 0) =: i 1,
+             ( get Pluginop.Api.f_ecn_ce (i 0) =: i 1,
                [
                  bump 0;
                  reserve frame_type (i 8) fl_non_ack_eliciting (i 0);
@@ -106,15 +106,15 @@ module Ecn = struct
              ( v "count" >: fld 16,
                [
                  set_fld 16 (v "count");
-                 Let ("path", get Pquic.Api.f_last_path_recv (i 0));
-                 Let ("srtt", get Pquic.Api.f_srtt (v "path"));
+                 Let ("path", get Pluginop.Api.f_last_path_recv (i 0));
+                 Let ("srtt", get Pluginop.Api.f_srtt (v "path"));
                  (* congestion response at most once per RTT *)
                  If
                    ( get_time () -: fld 24 >: v "srtt",
                      [
                        set_fld 24 (get_time ());
-                       Let ("cwnd", get Pquic.Api.f_cwnd (v "path"));
-                       set Pquic.Api.f_cwnd (v "path") (v "cwnd" /: i 2);
+                       Let ("cwnd", get Pluginop.Api.f_cwnd (v "path"));
+                       set Pluginop.Api.f_cwnd (v "path") (v "cwnd" /: i 2);
                      ],
                      [] );
                ],
@@ -125,21 +125,21 @@ module Ecn = struct
   let notify_frame =
     func "ecn_notify_frame" [ "acked"; "cookie"; "buf" ] [ ret0 ]
 
-  let plugin : Pquic.Plugin.t =
+  let plugin : Pluginop.Plugin.t =
     {
-      Pquic.Plugin.name;
+      Pluginop.Plugin.name;
       pluglets =
         [
-          pluglet ~op:Pquic.Protoop.received_packet ~anchor:Pquic.Protoop.Post
+          pluglet ~op:Pluginop.Protoop.received_packet ~anchor:Pluginop.Protoop.Post
             on_received_packet;
-          pluglet ~op:Pquic.Protoop.write_frame ~param:frame_type
-            ~anchor:Pquic.Protoop.Replace write_frame;
-          pluglet ~op:Pquic.Protoop.parse_frame ~param:frame_type
-            ~anchor:Pquic.Protoop.Replace parse_frame;
-          pluglet ~op:Pquic.Protoop.process_frame ~param:frame_type
-            ~anchor:Pquic.Protoop.Replace process_frame;
-          pluglet ~op:Pquic.Protoop.notify_frame ~param:frame_type
-            ~anchor:Pquic.Protoop.Replace notify_frame;
+          pluglet ~op:Pluginop.Protoop.write_frame ~param:frame_type
+            ~anchor:Pluginop.Protoop.Replace write_frame;
+          pluglet ~op:Pluginop.Protoop.parse_frame ~param:frame_type
+            ~anchor:Pluginop.Protoop.Replace parse_frame;
+          pluglet ~op:Pluginop.Protoop.process_frame ~param:frame_type
+            ~anchor:Pluginop.Protoop.Replace process_frame;
+          pluglet ~op:Pluginop.Protoop.notify_frame ~param:frame_type
+            ~anchor:Pluginop.Protoop.Replace notify_frame;
         ];
     }
 end
@@ -160,8 +160,8 @@ module Aimd = struct
   let on_acked =
     func "aimd_on_acked" [ "pn"; "size"; "path" ]
       [
-        Let ("cwnd", get Pquic.Api.f_cwnd (v "path"));
-        set Pquic.Api.f_cwnd (v "path")
+        Let ("cwnd", get Pluginop.Api.f_cwnd (v "path"));
+        set Pluginop.Api.f_cwnd (v "path")
           (v "cwnd" +: (i mss *: v "size" /: v "cwnd"));
         ret0;
       ]
@@ -169,28 +169,28 @@ module Aimd = struct
   let on_lost =
     func "aimd_on_lost" [ "pn"; "size"; "path" ]
       [
-        Let ("cwnd", get Pquic.Api.f_cwnd (v "path"));
-        set Pquic.Api.f_cwnd (v "path") (v "cwnd" /: i 2);
+        Let ("cwnd", get Pluginop.Api.f_cwnd (v "path"));
+        set Pluginop.Api.f_cwnd (v "path") (v "cwnd" /: i 2);
         ret0;
       ]
 
   let on_rto =
     func "aimd_on_rto" [ "path" ]
       [
-        set Pquic.Api.f_cwnd (v "path") (i (2 * mss));
+        set Pluginop.Api.f_cwnd (v "path") (i (2 * mss));
         ret0;
       ]
 
-  let plugin : Pquic.Plugin.t =
+  let plugin : Pluginop.Plugin.t =
     {
-      Pquic.Plugin.name;
+      Pluginop.Plugin.name;
       pluglets =
         [
-          pluglet ~op:Pquic.Protoop.cc_on_packet_acked
-            ~anchor:Pquic.Protoop.Replace on_acked;
-          pluglet ~op:Pquic.Protoop.cc_on_packet_lost
-            ~anchor:Pquic.Protoop.Replace on_lost;
-          pluglet ~op:Pquic.Protoop.cc_on_rto ~anchor:Pquic.Protoop.Replace
+          pluglet ~op:Pluginop.Protoop.cc_on_packet_acked
+            ~anchor:Pluginop.Protoop.Replace on_acked;
+          pluglet ~op:Pluginop.Protoop.cc_on_packet_lost
+            ~anchor:Pluginop.Protoop.Replace on_lost;
+          pluglet ~op:Pluginop.Protoop.cc_on_rto ~anchor:Pluginop.Protoop.Replace
             on_rto;
         ];
     }

@@ -10,7 +10,7 @@
     max(2*srtt, 10 ms) — a lost tail is probed long before the full PTO. *)
 module Tlp : sig
   val name : string
-  val plugin : Pquic.Plugin.t
+  val plugin : Pluginop.Plugin.t
 end
 
 (** Explicit Congestion Notification: the receiver counts CE-marked
@@ -21,7 +21,7 @@ end
 module Ecn : sig
   val name : string
   val frame_type : int
-  val plugin : Pquic.Plugin.t
+  val plugin : Pluginop.Plugin.t
 end
 
 (** A pluggable congestion controller: pure AIMD replacing the three
@@ -30,5 +30,5 @@ end
     policy. *)
 module Aimd : sig
   val name : string
-  val plugin : Pquic.Plugin.t
+  val plugin : Pluginop.Plugin.t
 end

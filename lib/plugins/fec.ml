@@ -69,9 +69,9 @@ let capture ~k_window ~code ~mode =
   func "fec_capture" [ "pn"; "path"; "size" ]
     (s_state
        [
-         If (get Pquic.Api.f_state (i 0) <>: i 1, [ ret0 ], []);
+         If (get Pluginop.Api.f_state (i 0) <>: i 1, [ ret0 ], []);
          If
-           ( get Pquic.Api.f_current_packet_has_stream (i 0) =: i 1,
+           ( get Pluginop.Api.f_current_packet_has_stream (i 0) =: i 1,
              [
                (* lazily allocate the symbol slabs *)
                If
@@ -105,7 +105,7 @@ let capture ~k_window ~code ~mode =
                   are left unprotected *)
                If
                  ( (v "n" >: i 0)
-                   &&: (v "n" <=: get Pquic.Api.f_mtu (i 0) -: i 49),
+                   &&: (v "n" <=: get Pluginop.Api.f_mtu (i 0) -: i 49),
                    [
                      set_fld 16
                        (Bin
@@ -127,7 +127,7 @@ let capture ~k_window ~code ~mode =
              [] );
          (* end-of-stream protection: flush the residual window at a tail *)
          If
-           ( (get Pquic.Api.f_fin_sent (i 0) =: i 1) &&: (fld 0 >: i 0),
+           ( (get Pluginop.Api.f_fin_sent (i 0) =: i 1) &&: (fld 0 >: i 0),
              [ flush_call ],
              [] );
          ret0;
@@ -503,31 +503,31 @@ let process_rs ~code =
 
 (* ---------------------------------------------------------------- *)
 
-let build ?(k = default_k) ?(r = default_r) ~code ~mode () : Pquic.Plugin.t =
+let build ?(k = default_k) ?(r = default_r) ~code ~mode () : Pluginop.Plugin.t =
   (* state-layout limits: per-slot pn array (96 + 8k <= 512), repair slab
      (5 slots), receiver equations (8), window pn span (60 bits) *)
   if k < 2 || k > 50 then invalid_arg "Fec.build: k must be in [2, 50]";
   if r < 1 || r > 5 then invalid_arg "Fec.build: r must be in [1, 5]";
   {
-    Pquic.Plugin.name = plugin_name ~k ~r ~code ~mode ();
+    Pluginop.Plugin.name = plugin_name ~k ~r ~code ~mode ();
     pluglets =
       [
-        pluglet ~op:Pquic.Protoop.packet_was_sent ~anchor:Pquic.Protoop.Post
+        pluglet ~op:Pluginop.Protoop.packet_was_sent ~anchor:Pluginop.Protoop.Post
           (capture ~k_window:k ~code ~mode);
-        pluglet ~op:op_fec_flush ~anchor:Pquic.Protoop.Replace
+        pluglet ~op:op_fec_flush ~anchor:Pluginop.Protoop.Replace
           (flush ~r_repair:r ~code);
-        pluglet ~op:Pquic.Protoop.write_frame ~param:frame_type
-          ~anchor:Pquic.Protoop.Replace write_rs;
-        pluglet ~op:Pquic.Protoop.notify_frame ~param:frame_type
-          ~anchor:Pquic.Protoop.Replace notify_rs;
-        pluglet ~op:Pquic.Protoop.stream_bytes_max ~anchor:Pquic.Protoop.Replace
+        pluglet ~op:Pluginop.Protoop.write_frame ~param:frame_type
+          ~anchor:Pluginop.Protoop.Replace write_rs;
+        pluglet ~op:Pluginop.Protoop.notify_frame ~param:frame_type
+          ~anchor:Pluginop.Protoop.Replace notify_rs;
+        pluglet ~op:Pluginop.Protoop.stream_bytes_max ~anchor:Pluginop.Protoop.Replace
           cap_stream_bytes;
-        pluglet ~op:Pquic.Protoop.received_packet ~anchor:Pquic.Protoop.Post
+        pluglet ~op:Pluginop.Protoop.received_packet ~anchor:Pluginop.Protoop.Post
           recv_store;
-        pluglet ~op:Pquic.Protoop.parse_frame ~param:frame_type
-          ~anchor:Pquic.Protoop.Replace parse_rs;
-        pluglet ~op:Pquic.Protoop.process_frame ~param:frame_type
-          ~anchor:Pquic.Protoop.Replace (process_rs ~code);
+        pluglet ~op:Pluginop.Protoop.parse_frame ~param:frame_type
+          ~anchor:Pluginop.Protoop.Replace parse_rs;
+        pluglet ~op:Pluginop.Protoop.process_frame ~param:frame_type
+          ~anchor:Pluginop.Protoop.Replace (process_rs ~code);
       ];
   }
 

@@ -16,7 +16,7 @@ type mode =
   | Full (** protect the whole stream: flush every [k] source symbols *)
   | Eos  (** protect stream tails only: flush when a FIN tail is reached *)
 
-val op_fec_flush : Pquic.Protoop.id
+val op_fec_flush : Pluginop.Protoop.id
 (** The plugin-defined protocol operation computing repair symbols. *)
 
 val frame_type : int
@@ -29,10 +29,10 @@ val default_r : int
 
 val plugin_name : ?k:int -> ?r:int -> code:code -> mode:mode -> unit -> string
 
-val build : ?k:int -> ?r:int -> code:code -> mode:mode -> unit -> Pquic.Plugin.t
+val build : ?k:int -> ?r:int -> code:code -> mode:mode -> unit -> Pluginop.Plugin.t
 (** @raise Invalid_argument outside k in [2,50], r in [1,5]. *)
 
-val xor_full : Pquic.Plugin.t
-val xor_eos : Pquic.Plugin.t
-val rlc_full : Pquic.Plugin.t
-val rlc_eos : Pquic.Plugin.t
+val xor_full : Pluginop.Plugin.t
+val xor_eos : Pluginop.Plugin.t
+val rlc_full : Pluginop.Plugin.t
+val rlc_eos : Pluginop.Plugin.t

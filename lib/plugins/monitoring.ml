@@ -42,9 +42,9 @@ let on_received_packet =
   func "mon_received_packet" [ "pn"; "path" ]
     (state
        [
-         set_fld o_pkts_received (get Pquic.Api.f_pkts_received (i 0));
-         set_fld o_bytes_received (get Pquic.Api.f_bytes_received (i 0));
-         set_fld o_out_of_order (get Pquic.Api.f_pkts_out_of_order (i 0));
+         set_fld o_pkts_received (get Pluginop.Api.f_pkts_received (i 0));
+         set_fld o_bytes_received (get Pluginop.Api.f_bytes_received (i 0));
+         set_fld o_out_of_order (get Pluginop.Api.f_pkts_out_of_order (i 0));
          ret0;
        ])
 
@@ -52,8 +52,8 @@ let on_packet_sent =
   func "mon_packet_sent" [ "pn"; "path"; "size" ]
     (state
        [
-         set_fld o_pkts_sent (get Pquic.Api.f_pkts_sent (i 0));
-         set_fld o_bytes_sent (get Pquic.Api.f_bytes_sent (i 0));
+         set_fld o_pkts_sent (get Pluginop.Api.f_pkts_sent (i 0));
+         set_fld o_bytes_sent (get Pluginop.Api.f_bytes_sent (i 0));
          ret0;
        ])
 
@@ -61,8 +61,8 @@ let on_packet_lost =
   func "mon_packet_lost" [ "pn"; "path" ]
     (state
        [
-         set_fld o_pkts_lost (get Pquic.Api.f_pkts_lost (i 0));
-         set_fld o_pkts_retransmitted (get Pquic.Api.f_pkts_retransmitted (i 0));
+         set_fld o_pkts_lost (get Pluginop.Api.f_pkts_lost (i 0));
+         set_fld o_pkts_retransmitted (get Pluginop.Api.f_pkts_retransmitted (i 0));
          ret0;
        ])
 
@@ -81,20 +81,20 @@ let on_established =
     (state
        [
          set_fld o_established (i 1);
-         set_fld o_handshake_time (get Pquic.Api.f_handshake_rtt (i 0));
+         set_fld o_handshake_time (get Pluginop.Api.f_handshake_rtt (i 0));
          ret0;
        ])
 
 let on_stream_opened =
   func "mon_stream_opened" [ "id" ]
-    (state [ set_fld o_streams_opened (get Pquic.Api.f_streams_open (i 0)); ret0 ])
+    (state [ set_fld o_streams_opened (get Pluginop.Api.f_streams_open (i 0)); ret0 ])
 
 let on_stream_closed =
   func "mon_stream_closed" [ "id" ] (state [ bump o_streams_closed; ret0 ])
 
 let on_data_received =
   func "mon_data_received" [ "id"; "len" ]
-    (state [ set_fld o_data_received (get Pquic.Api.f_data_received (i 0)); ret0 ])
+    (state [ set_fld o_data_received (get Pluginop.Api.f_data_received (i 0)); ret0 ])
 
 let on_packet_acknowledged =
   func "mon_packet_acked" [ "pn" ] (state [ bump o_acks_received; ret0 ])
@@ -117,38 +117,38 @@ let on_ack_frame =
 let on_closed =
   func "mon_closed" [] (state [ push_message (v "st") (i pi_size); ret0 ])
 
-let plugin : Pquic.Plugin.t =
+let plugin : Pluginop.Plugin.t =
   {
-    Pquic.Plugin.name;
+    Pluginop.Plugin.name;
     pluglets =
       [
-        pluglet ~op:Pquic.Protoop.received_packet ~anchor:Pquic.Protoop.Post
+        pluglet ~op:Pluginop.Protoop.received_packet ~anchor:Pluginop.Protoop.Post
           on_received_packet;
-        pluglet ~op:Pquic.Protoop.packet_was_sent ~anchor:Pquic.Protoop.Post
+        pluglet ~op:Pluginop.Protoop.packet_was_sent ~anchor:Pluginop.Protoop.Post
           on_packet_sent;
-        pluglet ~op:Pquic.Protoop.packet_lost ~anchor:Pquic.Protoop.Post
+        pluglet ~op:Pluginop.Protoop.packet_lost ~anchor:Pluginop.Protoop.Post
           on_packet_lost;
-        pluglet ~op:Pquic.Protoop.update_rtt ~anchor:Pquic.Protoop.Post
+        pluglet ~op:Pluginop.Protoop.update_rtt ~anchor:Pluginop.Protoop.Post
           on_update_rtt;
-        pluglet ~op:Pquic.Protoop.connection_established
-          ~anchor:Pquic.Protoop.Post on_established;
-        pluglet ~op:Pquic.Protoop.stream_opened ~anchor:Pquic.Protoop.Post
+        pluglet ~op:Pluginop.Protoop.connection_established
+          ~anchor:Pluginop.Protoop.Post on_established;
+        pluglet ~op:Pluginop.Protoop.stream_opened ~anchor:Pluginop.Protoop.Post
           on_stream_opened;
-        pluglet ~op:Pquic.Protoop.stream_closed ~anchor:Pquic.Protoop.Post
+        pluglet ~op:Pluginop.Protoop.stream_closed ~anchor:Pluginop.Protoop.Post
           on_stream_closed;
-        pluglet ~op:Pquic.Protoop.data_received ~anchor:Pquic.Protoop.Post
+        pluglet ~op:Pluginop.Protoop.data_received ~anchor:Pluginop.Protoop.Post
           on_data_received;
-        pluglet ~op:Pquic.Protoop.packet_acknowledged
-          ~anchor:Pquic.Protoop.Post on_packet_acknowledged;
-        pluglet ~op:Pquic.Protoop.incoming_datagram ~anchor:Pquic.Protoop.Pre
+        pluglet ~op:Pluginop.Protoop.packet_acknowledged
+          ~anchor:Pluginop.Protoop.Post on_packet_acknowledged;
+        pluglet ~op:Pluginop.Protoop.incoming_datagram ~anchor:Pluginop.Protoop.Pre
           on_incoming_datagram;
-        pluglet ~op:Pquic.Protoop.on_loss_timer ~anchor:Pquic.Protoop.Post
+        pluglet ~op:Pluginop.Protoop.on_loss_timer ~anchor:Pluginop.Protoop.Post
           on_loss_timer;
-        pluglet ~op:Pquic.Protoop.retransmission_timeout
-          ~anchor:Pquic.Protoop.Post on_rto;
-        pluglet ~op:Pquic.Protoop.process_frame
-          ~param:Quic.Frame.type_ack ~anchor:Pquic.Protoop.Pre on_ack_frame;
-        pluglet ~op:Pquic.Protoop.connection_closed ~anchor:Pquic.Protoop.Post
+        pluglet ~op:Pluginop.Protoop.retransmission_timeout
+          ~anchor:Pluginop.Protoop.Post on_rto;
+        pluglet ~op:Pluginop.Protoop.process_frame
+          ~param:Quic.Frame.type_ack ~anchor:Pluginop.Protoop.Pre on_ack_frame;
+        pluglet ~op:Pluginop.Protoop.connection_closed ~anchor:Pluginop.Protoop.Post
           on_closed;
       ];
   }

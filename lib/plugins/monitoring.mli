@@ -6,7 +6,7 @@
     terminating. *)
 
 val name : string
-val plugin : Pquic.Plugin.t
+val plugin : Pluginop.Plugin.t
 
 (** A decoded PI export. *)
 type report = {

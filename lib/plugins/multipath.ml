@@ -31,12 +31,12 @@ let path_entry path = v "st" +: (path *: i 32)
 let on_established =
   func "mp_establish" []
     [
-      Let ("extra", get Pquic.Api.f_own_extra_addr (i 0));
+      Let ("extra", get Pluginop.Api.f_own_extra_addr (i 0));
       If
-        ( (get Pquic.Api.f_role (i 0) =: i 0)
+        ( (get Pluginop.Api.f_role (i 0) =: i 0)
           &&: (v "extra" <>: Const (-1L)),
         [
-          Let ("remote", get Pquic.Api.f_path_remote_addr (i 0));
+          Let ("remote", get Pluginop.Api.f_path_remote_addr (i 0));
           Let ("pid", call "create_path" [ v "remote" ]);
           callv "pl_log" [ v "pid"; v "extra" ];
           reserve t_add_address (i 4) fl_retransmittable (v "extra");
@@ -50,9 +50,9 @@ let on_established =
 let on_transport_params =
   func "mp_transport_params" []
     [
-      Let ("peer", get Pquic.Api.f_peer_extra_addr (i 0));
+      Let ("peer", get Pluginop.Api.f_peer_extra_addr (i 0));
       If
-        ( (v "peer" <>: Const (-1L)) &&: (get Pquic.Api.f_role (i 0) =: i 1),
+        ( (v "peer" <>: Const (-1L)) &&: (get Pluginop.Api.f_role (i 0) =: i 1),
           [ Expr (call "create_path" [ v "peer" ]) ],
           [] );
       ret0;
@@ -96,7 +96,7 @@ let select_path_rr =
   func "mp_select_path_rr" []
     (sched_state
        [
-         Let ("n", get Pquic.Api.f_nb_paths (i 0));
+         Let ("n", get Pluginop.Api.f_nb_paths (i 0));
          If (v "n" <=: i 1, [ ret0 ], []);
          Let ("last", fld 0);
          For
@@ -106,9 +106,9 @@ let select_path_rr =
              [
                Let ("cand", (v "last" +: i 1 +: v "k") %: v "n");
                If
-                 ( (get Pquic.Api.f_path_active (v "cand") =: i 1)
-                   &&: (get Pquic.Api.f_cwnd (v "cand")
-                        >: get Pquic.Api.f_bytes_in_flight (v "cand") +: i 1400),
+                 ( (get Pluginop.Api.f_path_active (v "cand") =: i 1)
+                   &&: (get Pluginop.Api.f_cwnd (v "cand")
+                        >: get Pluginop.Api.f_bytes_in_flight (v "cand") +: i 1400),
                    [ set_fld 0 (v "cand"); ret (v "cand") ],
                    [] );
              ] );
@@ -122,7 +122,7 @@ let select_path_rr =
 let select_path_lowest_rtt =
   func "mp_select_path_rtt" []
     [
-      Let ("n", get Pquic.Api.f_nb_paths (i 0));
+      Let ("n", get Pluginop.Api.f_nb_paths (i 0));
       If (v "n" <=: i 1, [ ret0 ], []);
       Let ("best", i 0);
       Let ("best_rtt", Const Int64.max_int);
@@ -131,11 +131,11 @@ let select_path_lowest_rtt =
           i 0,
           v "n",
           [
-            Let ("rtt", get Pquic.Api.f_srtt (v "k"));
+            Let ("rtt", get Pluginop.Api.f_srtt (v "k"));
             If
-              ( (get Pquic.Api.f_path_active (v "k") =: i 1)
-                &&: (get Pquic.Api.f_cwnd (v "k")
-                     >: get Pquic.Api.f_bytes_in_flight (v "k") +: i 1400)
+              ( (get Pluginop.Api.f_path_active (v "k") =: i 1)
+                &&: (get Pluginop.Api.f_cwnd (v "k")
+                     >: get Pluginop.Api.f_bytes_in_flight (v "k") +: i 1400)
                 &&: (v "rtt" <: v "best_rtt"),
                 [ Assign ("best", v "k"); Assign ("best_rtt", v "rtt") ],
                 [] );
@@ -197,7 +197,7 @@ let process_mp_ack =
             Let ("sample", get_time () -: v "ts" -: (v "delay_us" *: i 1000));
             If
               ( Bin (Plc.Ast.Sgt, v "sample", i 0),
-                [ set Pquic.Api.f_rtt_sample (v "path") (v "sample") ],
+                [ set Pluginop.Api.f_rtt_sample (v "path") (v "sample") ],
                 [] );
           ],
           [] );
@@ -206,46 +206,46 @@ let process_mp_ack =
 
 let common_pluglets =
   [
-    pluglet ~op:Pquic.Protoop.connection_established ~anchor:Pquic.Protoop.Post
+    pluglet ~op:Pluginop.Protoop.connection_established ~anchor:Pluginop.Protoop.Post
       on_established;
-    pluglet ~op:Pquic.Protoop.process_transport_params
-      ~anchor:Pquic.Protoop.Post on_transport_params;
-    pluglet ~op:Pquic.Protoop.write_frame ~param:t_add_address
-      ~anchor:Pquic.Protoop.Replace write_add_address;
-    pluglet ~op:Pquic.Protoop.parse_frame ~param:t_add_address
-      ~anchor:Pquic.Protoop.Replace parse_add_address;
-    pluglet ~op:Pquic.Protoop.process_frame ~param:t_add_address
-      ~anchor:Pquic.Protoop.Replace process_add_address;
-    pluglet ~op:Pquic.Protoop.notify_frame ~param:t_add_address
-      ~anchor:Pquic.Protoop.Replace notify_add_address;
-    pluglet ~op:Pquic.Protoop.received_packet ~anchor:Pquic.Protoop.Post
+    pluglet ~op:Pluginop.Protoop.process_transport_params
+      ~anchor:Pluginop.Protoop.Post on_transport_params;
+    pluglet ~op:Pluginop.Protoop.write_frame ~param:t_add_address
+      ~anchor:Pluginop.Protoop.Replace write_add_address;
+    pluglet ~op:Pluginop.Protoop.parse_frame ~param:t_add_address
+      ~anchor:Pluginop.Protoop.Replace parse_add_address;
+    pluglet ~op:Pluginop.Protoop.process_frame ~param:t_add_address
+      ~anchor:Pluginop.Protoop.Replace process_add_address;
+    pluglet ~op:Pluginop.Protoop.notify_frame ~param:t_add_address
+      ~anchor:Pluginop.Protoop.Replace notify_add_address;
+    pluglet ~op:Pluginop.Protoop.received_packet ~anchor:Pluginop.Protoop.Post
       on_received_packet;
-    pluglet ~op:Pquic.Protoop.write_frame ~param:t_mp_ack
-      ~anchor:Pquic.Protoop.Replace write_mp_ack;
-    pluglet ~op:Pquic.Protoop.parse_frame ~param:t_mp_ack
-      ~anchor:Pquic.Protoop.Replace parse_mp_ack;
-    pluglet ~op:Pquic.Protoop.process_frame ~param:t_mp_ack
-      ~anchor:Pquic.Protoop.Replace process_mp_ack;
+    pluglet ~op:Pluginop.Protoop.write_frame ~param:t_mp_ack
+      ~anchor:Pluginop.Protoop.Replace write_mp_ack;
+    pluglet ~op:Pluginop.Protoop.parse_frame ~param:t_mp_ack
+      ~anchor:Pluginop.Protoop.Replace parse_mp_ack;
+    pluglet ~op:Pluginop.Protoop.process_frame ~param:t_mp_ack
+      ~anchor:Pluginop.Protoop.Replace process_mp_ack;
   ]
 
-let plugin : Pquic.Plugin.t =
+let plugin : Pluginop.Plugin.t =
   {
-    Pquic.Plugin.name;
+    Pluginop.Plugin.name;
     pluglets =
       common_pluglets
       @ [
-          pluglet ~op:Pquic.Protoop.select_path ~anchor:Pquic.Protoop.Replace
+          pluglet ~op:Pluginop.Protoop.select_path ~anchor:Pluginop.Protoop.Replace
             select_path_rr;
         ];
   }
 
-let plugin_lowest_rtt : Pquic.Plugin.t =
+let plugin_lowest_rtt : Pluginop.Plugin.t =
   {
-    Pquic.Plugin.name = name_lowest_rtt;
+    Pluginop.Plugin.name = name_lowest_rtt;
     pluglets =
       common_pluglets
       @ [
-          pluglet ~op:Pquic.Protoop.select_path ~anchor:Pquic.Protoop.Replace
+          pluglet ~op:Pluginop.Protoop.select_path ~anchor:Pluginop.Protoop.Replace
             select_path_lowest_rtt;
         ];
   }

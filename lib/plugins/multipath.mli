@@ -8,9 +8,9 @@
 val name : string
 val name_lowest_rtt : string
 
-val plugin : Pquic.Plugin.t
+val plugin : Pluginop.Plugin.t
 (** Round-robin packet scheduler, as evaluated in Figure 9. *)
 
-val plugin_lowest_rtt : Pquic.Plugin.t
+val plugin_lowest_rtt : Pluginop.Plugin.t
 (** Lowest-smoothed-RTT scheduler — built but not evaluated, as in the
     paper. *)

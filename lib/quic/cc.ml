@@ -26,6 +26,7 @@ let create ?(mss = 1252) ?(initial_window = default_initial_window) () =
   }
 
 let cwnd t = t.cwnd
+let ssthresh t = t.ssthresh
 let bytes_in_flight t = t.bytes_in_flight
 let in_slow_start t = t.cwnd < t.ssthresh
 

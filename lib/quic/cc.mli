@@ -14,6 +14,10 @@ val default_initial_window : int
 
 val create : ?mss:int -> ?initial_window:int -> unit -> t
 val cwnd : t -> int
+
+val ssthresh : t -> int
+(** Slow-start threshold in bytes; [max_int] while no loss has set it. *)
+
 val bytes_in_flight : t -> int
 val in_slow_start : t -> bool
 val available : t -> int

@@ -33,6 +33,17 @@ let create ?(mss = 1460) ?(initial_window_segments = 10) () =
 
 let cwnd t = int_of_float t.cwnd
 
+(* ssthresh in bytes; [max_int] while still unset (infinity). *)
+let ssthresh t =
+  if Float.is_finite t.ssthresh then int_of_float t.ssthresh else max_int
+
+(* Plugin-driven window override, mirroring [Quic.Cc.set_cwnd]: floor at
+   two segments, and a window forced below ssthresh drags ssthresh down
+   with it so the host does not blast back in slow start. *)
+let set_cwnd t v =
+  t.cwnd <- Float.max (2. *. float_of_int t.mss) (float_of_int v);
+  if t.cwnd < t.ssthresh then t.ssthresh <- t.cwnd
+
 let in_slow_start t = t.cwnd < t.ssthresh
 
 let cbrt x = if x < 0. then -.((-.x) ** (1. /. 3.)) else x ** (1. /. 3.)

@@ -10,6 +10,14 @@ val create : ?mss:int -> ?initial_window_segments:int -> unit -> t
 val cwnd : t -> int
 val in_slow_start : t -> bool
 
+val ssthresh : t -> int
+(** Slow-start threshold in bytes; [max_int] while still unset. *)
+
+val set_cwnd : t -> int -> unit
+(** Plugin-driven window override (pluggable congestion control): floors
+    at two segments and drags ssthresh down when set below it, mirroring
+    [Quic.Cc.set_cwnd]. *)
+
 val on_ack : t -> now:float -> acked_bytes:int -> rtt:float -> unit
 (** Slow start adds the acked bytes (leaving early when the RTT rises a
     third above its minimum); congestion avoidance follows the cubic curve

@@ -13,6 +13,7 @@ let () =
     @ prefixed "plugins" Test_plugins.tests
     @ prefixed "trust" Test_trust.tests
     @ prefixed "tcpsim" Test_tcpsim.tests
+    @ prefixed "cross_host" Test_cross_host.tests
     @ prefixed "misc" Test_misc.tests
     @ prefixed "gf" Test_gf.tests
     @ prefixed "dispatch" Test_dispatch.tests

@@ -61,16 +61,16 @@ let test_builtin_dense_path () =
   let c = make_conn () in
   check Alcotest.int "dense array covers the built-in id space"
     Pquic.Protoop.first_plugin_op
-    (Array.length c.C.builtin_ops);
+    (Pluginop.Dispatch.builtin_capacity c.C.po);
   (* connection_init already ran at create time through the array *)
   check Alcotest.int "no hashtable entries after create" 0
-    (Hashtbl.length c.C.ops);
+    (Pluginop.Dispatch.hashed_entries c.C.po);
   C.register_native c Pquic.Protoop.update_rtt "muzzle" (fun _ _ -> 3L);
   ignore (C.run_op c Pquic.Protoop.packet_was_sent [||]);
   check Alcotest.int64 "built-in op dispatches through the array" 3L
     (C.run_op c Pquic.Protoop.update_rtt [||]);
   check Alcotest.int "built-in registrations stay out of the hashtable" 0
-    (Hashtbl.length c.C.ops);
+    (Pluginop.Dispatch.hashed_entries c.C.po);
   check Alcotest.bool "find_entry sees the array entry" true
     (D.has_entry c Pquic.Protoop.update_rtt None)
 
@@ -88,7 +88,7 @@ let test_parameterized_fallback () =
   check Alcotest.int64 "other params still fall back" 1L
     (C.run_op c op ~param:0x42 [||]);
   check Alcotest.bool "parameterized entries live in the hashtable" true
-    (Hashtbl.length c.C.ops > 0)
+    (Pluginop.Dispatch.hashed_entries c.C.po > 0)
 
 let test_external_gating () =
   let c = make_conn () in

@@ -17,11 +17,11 @@ let pool_no_overlap =
   qtest ~count:200 "pool allocations never overlap"
     QCheck2.Gen.(list_size (int_range 1 60) (int_range 1 2000))
     (fun sizes ->
-      let pool = Pquic.Memory_pool.create ~size:(256 * 1024) () in
+      let pool = Pluginop.Memory_pool.create ~size:(256 * 1024) () in
       let allocs =
         List.filter_map
           (fun size ->
-            Option.map (fun off -> (off, size)) (Pquic.Memory_pool.alloc pool size))
+            Option.map (fun off -> (off, size)) (Pluginop.Memory_pool.alloc pool size))
           sizes
       in
       let disjoint (o1, s1) (o2, s2) = o1 + s1 <= o2 || o2 + s2 <= o1 in
@@ -33,44 +33,44 @@ let pool_free_reuse =
   qtest ~count:100 "freed blocks are reusable"
     QCheck2.Gen.(int_range 1 4000)
     (fun size ->
-      let pool = Pquic.Memory_pool.create ~size:8192 () in
-      match Pquic.Memory_pool.alloc pool size with
+      let pool = Pluginop.Memory_pool.create ~size:8192 () in
+      match Pluginop.Memory_pool.alloc pool size with
       | None -> size > 8192
       | Some off ->
-        Pquic.Memory_pool.free pool off
+        Pluginop.Memory_pool.free pool off
         &&
         (* after freeing everything, the same allocation succeeds again *)
-        Pquic.Memory_pool.alloc pool size <> None)
+        Pluginop.Memory_pool.alloc pool size <> None)
 
 let test_pool_exhaustion () =
-  let pool = Pquic.Memory_pool.create ~size:1024 () in
-  (match Pquic.Memory_pool.alloc pool 2048 with
+  let pool = Pluginop.Memory_pool.create ~size:1024 () in
+  (match Pluginop.Memory_pool.alloc pool 2048 with
   | None -> ()
   | Some _ -> Alcotest.fail "oversized allocation succeeded");
-  let a = Pquic.Memory_pool.alloc pool 512 in
-  let b = Pquic.Memory_pool.alloc pool 512 in
-  let c = Pquic.Memory_pool.alloc pool 64 in
+  let a = Pluginop.Memory_pool.alloc pool 512 in
+  let b = Pluginop.Memory_pool.alloc pool 512 in
+  let c = Pluginop.Memory_pool.alloc pool 64 in
   check Alcotest.bool "pool fills up" true (a <> None && b <> None && c = None)
 
 let test_pool_double_free () =
-  let pool = Pquic.Memory_pool.create ~size:1024 () in
-  match Pquic.Memory_pool.alloc pool 100 with
+  let pool = Pluginop.Memory_pool.create ~size:1024 () in
+  match Pluginop.Memory_pool.alloc pool 100 with
   | None -> Alcotest.fail "alloc failed"
   | Some off ->
-    check Alcotest.bool "first free ok" true (Pquic.Memory_pool.free pool off);
-    check Alcotest.bool "double free rejected" false (Pquic.Memory_pool.free pool off);
+    check Alcotest.bool "first free ok" true (Pluginop.Memory_pool.free pool off);
+    check Alcotest.bool "double free rejected" false (Pluginop.Memory_pool.free pool off);
     check Alcotest.bool "interior free rejected" false
-      (Pquic.Memory_pool.free pool (off + 64))
+      (Pluginop.Memory_pool.free pool (off + 64))
 
 let test_pool_reset_wipes () =
-  let pool = Pquic.Memory_pool.create ~size:1024 () in
-  (match Pquic.Memory_pool.alloc pool 100 with
-  | Some off -> Bytes.set (Pquic.Memory_pool.area pool) off 'S'
+  let pool = Pluginop.Memory_pool.create ~size:1024 () in
+  (match Pluginop.Memory_pool.alloc pool 100 with
+  | Some off -> Bytes.set (Pluginop.Memory_pool.area pool) off 'S'
   | None -> Alcotest.fail "alloc failed");
-  Pquic.Memory_pool.reset pool;
-  check Alcotest.char "contents wiped" '\000' (Bytes.get (Pquic.Memory_pool.area pool) 0);
+  Pluginop.Memory_pool.reset pool;
+  check Alcotest.char "contents wiped" '\000' (Bytes.get (Pluginop.Memory_pool.area pool) 0);
   check Alcotest.int "allocation state cleared" 0
-    (Pquic.Memory_pool.allocated_bytes pool)
+    (Pluginop.Memory_pool.allocated_bytes pool)
 
 (* ---------------------------- scheduler ------------------------------- *)
 
@@ -122,37 +122,37 @@ let test_scheduler_oversize_dropped () =
 
 let plugin_serialize_roundtrip () =
   List.iter
-    (fun (p : Pquic.Plugin.t) ->
-      let p' = Pquic.Plugin.deserialize (Pquic.Plugin.serialize p) in
-      check Alcotest.string "name" p.Pquic.Plugin.name p'.Pquic.Plugin.name;
+    (fun (p : Pluginop.Plugin.t) ->
+      let p' = Pluginop.Plugin.deserialize (Pluginop.Plugin.serialize p) in
+      check Alcotest.string "name" p.Pluginop.Plugin.name p'.Pluginop.Plugin.name;
       check Alcotest.int "pluglet count"
-        (List.length p.Pquic.Plugin.pluglets)
-        (List.length p'.Pquic.Plugin.pluglets);
+        (List.length p.Pluginop.Plugin.pluglets)
+        (List.length p'.Pluginop.Plugin.pluglets);
       List.iter2
-        (fun (a : Pquic.Plugin.pluglet) (b : Pquic.Plugin.pluglet) ->
-          check Alcotest.int "op" a.Pquic.Plugin.op b.Pquic.Plugin.op;
-          check Alcotest.bool "anchor" true (a.Pquic.Plugin.anchor = b.Pquic.Plugin.anchor);
-          check Alcotest.bool "param" true (a.Pquic.Plugin.param = b.Pquic.Plugin.param);
+        (fun (a : Pluginop.Plugin.pluglet) (b : Pluginop.Plugin.pluglet) ->
+          check Alcotest.int "op" a.Pluginop.Plugin.op b.Pluginop.Plugin.op;
+          check Alcotest.bool "anchor" true (a.Pluginop.Plugin.anchor = b.Pluginop.Plugin.anchor);
+          check Alcotest.bool "param" true (a.Pluginop.Plugin.param = b.Pluginop.Plugin.param);
           (* compiled code identical through the roundtrip *)
-          let pa, sa = Pquic.Plugin.compiled a and pb, sb = Pquic.Plugin.compiled b in
+          let pa, sa = Pluginop.Plugin.compiled a and pb, sb = Pluginop.Plugin.compiled b in
           check Alcotest.bool "bytecode" true (pa = pb);
           check Alcotest.int "stack" sa sb)
-        p.Pquic.Plugin.pluglets p'.Pquic.Plugin.pluglets;
+        p.Pluginop.Plugin.pluglets p'.Pluginop.Plugin.pluglets;
       (* a second serialization is byte-identical (deterministic bindings) *)
-      check Alcotest.string "deterministic" (Pquic.Plugin.serialize p)
-        (Pquic.Plugin.serialize p'))
+      check Alcotest.string "deterministic" (Pluginop.Plugin.serialize p)
+        (Pluginop.Plugin.serialize p'))
     [ Plugins.Monitoring.plugin; Plugins.Datagram.plugin;
       Plugins.Multipath.plugin; Plugins.Fec.rlc_full ]
 
 let test_plugin_malformed () =
-  (match Pquic.Plugin.deserialize "garbage" with
-  | exception Pquic.Plugin.Malformed _ -> ()
+  (match Pluginop.Plugin.deserialize "garbage" with
+  | exception Pluginop.Plugin.Malformed _ -> ()
   | _ -> Alcotest.fail "garbage accepted");
   let truncated =
-    String.sub (Pquic.Plugin.serialize Plugins.Datagram.plugin) 0 20
+    String.sub (Pluginop.Plugin.serialize Plugins.Datagram.plugin) 0 20
   in
-  match Pquic.Plugin.deserialize truncated with
-  | exception Pquic.Plugin.Malformed _ -> ()
+  match Pluginop.Plugin.deserialize truncated with
+  | exception Pluginop.Plugin.Malformed _ -> ()
   | _ -> Alcotest.fail "truncated plugin accepted"
 
 (* -------------------------- live connections --------------------------- *)
@@ -225,15 +225,15 @@ let test_handshake_sets_params () =
 let evil_plugin =
   let open Plc.Ast in
   {
-    Pquic.Plugin.name = "org.test.evil";
+    Pluginop.Plugin.name = "org.test.evil";
     pluglets =
       [
         {
-          Pquic.Plugin.op = Pquic.Protoop.received_packet;
+          Pluginop.Plugin.op = Pluginop.Protoop.received_packet;
           param = None;
-          anchor = Pquic.Protoop.Post;
+          anchor = Pluginop.Protoop.Post;
           code =
-            Pquic.Plugin.Source
+            Pluginop.Plugin.Source
               {
                 name = "evil";
                 params = [ "pn"; "path" ];
@@ -254,15 +254,15 @@ let test_memory_violation_kills_connection () =
 let spinning_plugin =
   let open Plc.Ast in
   {
-    Pquic.Plugin.name = "org.test.spin";
+    Pluginop.Plugin.name = "org.test.spin";
     pluglets =
       [
         {
-          Pquic.Plugin.op = Pquic.Protoop.received_packet;
+          Pluginop.Plugin.op = Pluginop.Protoop.received_packet;
           param = None;
-          anchor = Pquic.Protoop.Post;
+          anchor = Pluginop.Protoop.Post;
           code =
-            Pquic.Plugin.Source
+            Pluginop.Plugin.Source
               { name = "spin"; params = []; body = [ While (i 1, []) ] };
         };
       ];
@@ -283,15 +283,15 @@ let test_runaway_plugin_stopped () =
 let midloop_evil =
   let open Plc.Ast in
   {
-    Pquic.Plugin.name = "org.test.midloop";
+    Pluginop.Plugin.name = "org.test.midloop";
     pluglets =
       [
         {
-          Pquic.Plugin.op = Pquic.Protoop.received_packet;
+          Pluginop.Plugin.op = Pluginop.Protoop.received_packet;
           param = None;
-          anchor = Pquic.Protoop.Post;
+          anchor = Pluginop.Protoop.Post;
           code =
-            Pquic.Plugin.Source
+            Pluginop.Plugin.Source
               {
                 name = "midloop";
                 params = [ "pn"; "path" ];
@@ -328,20 +328,20 @@ let sanction_conn () =
 
 (* Attach [plugin], fire its protoop once, assert plugin removal and
    connection death; return how many instructions its PREs executed. *)
-let run_sanction (plugin : Pquic.Plugin.t) =
-  let name = plugin.Pquic.Plugin.name in
+let run_sanction (plugin : Pluginop.Plugin.t) =
+  let name = plugin.Pluginop.Plugin.name in
   let c = sanction_conn () in
   let inst = Pquic.Connection.build_instance plugin in
   ignore (Pquic.Connection.attach_instance c inst);
   check Alcotest.bool (name ^ " attached") true (Pquic.Connection.has_plugin c name);
   let executed () =
     List.fold_left
-      (fun acc pre -> acc + Pquic.Pre.executed_insns pre)
+      (fun acc pre -> acc + Pluginop.Pre.executed_insns pre)
       0 inst.Pquic.Connection.pres
   in
   let before = executed () in
   ignore
-    (Pquic.Connection.run_op c Pquic.Protoop.received_packet
+    (Pquic.Connection.run_op c Pluginop.Protoop.received_packet
        [| Pquic.Connection.I 1L; Pquic.Connection.I 0L |]);
   check Alcotest.bool (name ^ " removed by the sanction") false
     (Pquic.Connection.has_plugin c name);
@@ -365,15 +365,15 @@ let test_fastpath_fuel_sanction () =
 let replace_plugin name =
   let open Plc.Ast in
   {
-    Pquic.Plugin.name;
+    Pluginop.Plugin.name;
     pluglets =
       [
         {
-          Pquic.Plugin.op = Pquic.Protoop.select_path;
+          Pluginop.Plugin.op = Pluginop.Protoop.select_path;
           param = None;
-          anchor = Pquic.Protoop.Replace;
+          anchor = Pluginop.Protoop.Replace;
           code =
-            Pquic.Plugin.Source
+            Pluginop.Plugin.Source
               { name = "sp"; params = []; body = [ Return (i 0) ] };
         };
       ];
@@ -397,15 +397,15 @@ let test_replace_conflict_rolls_back () =
 let looping_plugin =
   let open Plc.Ast in
   {
-    Pquic.Plugin.name = "org.test.loop";
+    Pluginop.Plugin.name = "org.test.loop";
     pluglets =
       [
         {
-          Pquic.Plugin.op = Pquic.Protoop.select_path;
+          Pluginop.Plugin.op = Pluginop.Protoop.select_path;
           param = None;
-          anchor = Pquic.Protoop.Replace;
+          anchor = Pluginop.Protoop.Replace;
           code =
-            Pquic.Plugin.Source
+            Pluginop.Plugin.Source
               {
                 name = "loop";
                 params = [];
@@ -414,7 +414,7 @@ let looping_plugin =
                     Return
                       (Call
                          ( "run_protoop",
-                           [ i Pquic.Protoop.select_path; Const (-1L); i 0; i 0; i 0 ] ));
+                           [ i Pluginop.Protoop.select_path; Const (-1L); i 0; i 0; i 0 ] ));
                   ];
               };
         };
@@ -430,21 +430,21 @@ let test_protoop_loop_detected () =
 let setter_plugin =
   let open Plc.Ast in
   {
-    Pquic.Plugin.name = "org.test.setter";
+    Pluginop.Plugin.name = "org.test.setter";
     pluglets =
       [
         {
-          Pquic.Plugin.op = Pquic.Protoop.received_packet;
+          Pluginop.Plugin.op = Pluginop.Protoop.received_packet;
           param = None;
-          anchor = Pquic.Protoop.Post;
+          anchor = Pluginop.Protoop.Post;
           code =
-            Pquic.Plugin.Source
+            Pluginop.Plugin.Source
               {
                 name = "setter";
                 params = [];
                 body =
                   [
-                    Expr (Call ("set", [ i Pquic.Api.f_pkts_sent; i 0; i 999 ]));
+                    Expr (Call ("set", [ i Pluginop.Api.f_pkts_sent; i 0; i 999 ]));
                     Return (i 0);
                   ];
               };
@@ -535,7 +535,7 @@ let test_plugin_exchange_end_to_end () =
   server.Pquic.Endpoint.prover <-
     (fun ~name ~formula -> Trust.Pvsystem.prover system ~name ~formula);
   client.Pquic.Endpoint.verifier <- Trust.Pvsystem.verifier system ~formula:"PV1|PV2";
-  server.Pquic.Endpoint.plugins_to_inject <- [ plugin.Pquic.Plugin.name ];
+  server.Pquic.Endpoint.plugins_to_inject <- [ plugin.Pluginop.Plugin.name ];
   Pquic.Endpoint.listen server;
   Pquic.Endpoint.listen client;
   let conn = Pquic.Endpoint.connect client ~remote_addr:topo.Topology.server_addr in
@@ -548,9 +548,9 @@ let test_plugin_exchange_end_to_end () =
           if fin then Pquic.Connection.write_stream c ~id ~fin:true "resp"));
   ignore (Sim.run ~until:(Sim.of_sec 30.) sim);
   check Alcotest.bool "client cached the plugin" true
-    (Pquic.Endpoint.has_plugin client plugin.Pquic.Plugin.name);
+    (Pquic.Endpoint.has_plugin client plugin.Pluginop.Plugin.name);
   check Alcotest.bool "not active on the fetching connection" false
-    (Pquic.Connection.has_plugin conn plugin.Pquic.Plugin.name)
+    (Pquic.Connection.has_plugin conn plugin.Pluginop.Plugin.name)
 
 let test_plugin_exchange_survives_loss () =
   (* the PLUGIN stream is reliable: the transfer completes over a lossy
@@ -576,7 +576,7 @@ let test_plugin_exchange_survives_loss () =
   server.Pquic.Endpoint.prover <-
     (fun ~name ~formula -> Trust.Pvsystem.prover system ~name ~formula);
   client.Pquic.Endpoint.verifier <- Trust.Pvsystem.verifier system ~formula:"PV1";
-  server.Pquic.Endpoint.plugins_to_inject <- [ plugin.Pquic.Plugin.name ];
+  server.Pquic.Endpoint.plugins_to_inject <- [ plugin.Pluginop.Plugin.name ];
   Pquic.Endpoint.listen server;
   Pquic.Endpoint.listen client;
   let conn = Pquic.Endpoint.connect client ~remote_addr:topo.Topology.server_addr in
@@ -589,7 +589,7 @@ let test_plugin_exchange_survives_loss () =
           if fin then Pquic.Connection.write_stream c ~id ~fin:true "resp"));
   ignore (Sim.run ~until:(Sim.of_sec 120.) sim);
   check Alcotest.bool "plugin cached through a lossy transfer" true
-    (Pquic.Endpoint.has_plugin client plugin.Pquic.Plugin.name)
+    (Pquic.Endpoint.has_plugin client plugin.Pluginop.Plugin.name)
 
 let fec_integrity_multi_seed =
   (* end-to-end property: whatever the loss pattern, recovered packets
@@ -619,7 +619,7 @@ let fec_integrity_multi_seed =
       let conn =
         Pquic.Endpoint.connect client ~remote_addr:topo.Topology.server_addr
           ~plugins_to_inject:
-            [ (Plugins.Fec.rlc_full : Pquic.Plugin.t).Pquic.Plugin.name ]
+            [ (Plugins.Fec.rlc_full : Pluginop.Plugin.t).Pluginop.Plugin.name ]
       in
       let received = Buffer.create 150_000 in
       let finished = ref false in
