@@ -81,6 +81,16 @@ if command -v jq >/dev/null 2>&1; then
     and ([.results[] | .ns_per_op > 0] | all)
     and (.results | has("transfer_1MB_e2e"))
   ' BENCH_vm.json >/dev/null || { echo "BENCH_vm.json failed sanity check"; exit 1; }
+  # The jit tier must be measured (the _jit bench twins exist) and must
+  # not regress below the linked tier it replaces on the per-packet path.
+  jq -e '
+    (.results | has("pre_rtt_update_jit"))
+    and (.results | has("bytecode_direct_load_jit"))
+    and (.ratios.jit_speedup_pre_rtt_update
+         >= .ratios.linked_speedup_pre_rtt_update)
+    and (.ratios.jit_speedup_bytecode_direct_load
+         >= .ratios.linked_speedup_bytecode_direct_load)
+  ' BENCH_vm.json >/dev/null || { echo "BENCH_vm.json jit tier gates failed"; exit 1; }
   jq -e '
     .schema == "pquic-bench-e2e/1"
     and (.results | length > 0)

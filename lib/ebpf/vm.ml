@@ -972,38 +972,28 @@ let[@inline always] store64_m vm stk lim execd addr v =
     store64_fast vm addr v
   end
 
-(* Execute a linked program. Shares the register file and helper-argument
-   scratch array of the VM, so the per-run setup is two small fills; the
-   VM is therefore not re-entrant on this path (a helper must not run the
-   *same* VM again — protoop loop detection already rules that out for
-   pluglets, whose only way back in is their own protocol operation).
+(* The interpreter loop proper, entered at an arbitrary [(pc, fuel)]
+   point. [run_linked] enters it at the top of the program; the closure
+   JIT below also enters it mid-program — as the low-fuel handoff when a
+   block's fuel prepayment would not be covered, and as the
+   deoptimization target for cold shapes (invalid jump targets, bad
+   register operands, failed block guards) — so both tiers share one
+   definition of the tail semantics.
 
-   The loop carries [pc] and the remaining fuel as immediate ints through
-   a tail call, keeps registers unboxed via [rget]/[rset], and inlines
-   the ALU, comparison and memory-monitor helpers so no int64 crosses a
-   function boundary on the hot path: a run allocates nothing beyond its
-   boxed result (helper calls excepted). *)
-let run_linked vm ?(args = [||]) (code : linked_prog) =
-  reset_stack vm;
+   [vm.executed] accounting is derived from the fuel counter instead of
+   a per-instruction store: with [k = base + fuel0 + 1], the value
+   [k - fuel] at any step is the executed count *including* the current
+   instruction (fuel is decremented in the tail call, after it). The
+   count is synced — by absolute assignment, so re-syncing is
+   idempotent — before anything that can trap or observe it: memory
+   ops that leave the stack fast path (an in-bounds stack access cannot
+   trap, so it skips the sync), helper calls, program exit, and the
+   explicit trap arms. The
+   reference path's accounting (increment before executing each
+   instruction, so a trapping instruction is already counted, and the
+   fuel-exhausted one is not) is reproduced exactly. *)
+let exec_linked vm (code : linked_prog) k pc0 fuel0 =
   let regb = vm.regb in
-  Bytes.fill regb 0 88 '\000';
-  let nargs = Array.length args in
-  for k = 0 to (if nargs > 5 then 4 else nargs - 1) do
-    rset regb (k + 1) args.(k)
-  done;
-  rset regb Insn.fp (fp_value vm);
-  (* [vm.executed] accounting is derived from the fuel counter instead of
-     a per-instruction store: with [k = base + fuel0 + 1], the value
-     [k - fuel] at any step is the executed count *including* the current
-     instruction (fuel is decremented in the tail call, after it). The
-     count is synced — by absolute assignment, so re-syncing is
-     idempotent — before anything that can trap or observe it: memory
-     ops that leave the stack fast path (an in-bounds stack access cannot
-     trap, so it skips the sync), helper calls, program exit, and the
-     explicit trap arms. The
-     reference path's accounting (increment before executing each
-     instruction, so a trapping instruction is already counted, and the
-     fuel-exhausted one is not) is reproduced exactly. *)
   let stk = vm.stack.mem in
   (* Per-access-size stack fast-path limits for [load*_m]/[store*_m]:
      the largest in-bounds [addr - stack_base], exclusive. Clamped at 0
@@ -1015,8 +1005,6 @@ let run_linked vm ?(args = [||]) (code : linked_prog) =
   let lim8 = Int64.of_int (max 0 (stklen - 7)) in
   let ops = code.ops in
   let pool = code.pool in
-  let fuel0 = vm.max_insns in
-  let k = vm.executed + fuel0 + 1 in
   let invalid_jump fuel =
     (* Unreachable for verified programs; same lazy trap as the
        reference path. *)
@@ -1407,6 +1395,2515 @@ let run_linked vm ?(args = [||]) (code : linked_prog) =
       vm.executed <- k - fuel;
       raise (Invalid_argument "index out of bounds")
   in
-  exec 0 fuel0
+  exec pc0 fuel0
+
+(* Execute a linked program. Shares the register file and helper-argument
+   scratch array of the VM, so the per-run setup is two small fills; the
+   VM is therefore not re-entrant on this path (a helper must not run the
+   *same* VM again — protoop loop detection already rules that out for
+   pluglets, whose only way back in is their own protocol operation).
+
+   The loop carries [pc] and the remaining fuel as immediate ints through
+   a tail call, keeps registers unboxed via [rget]/[rset], and inlines
+   the ALU, comparison and memory-monitor helpers so no int64 crosses a
+   function boundary on the hot path: a run allocates nothing beyond its
+   boxed result (helper calls excepted). *)
+let run_linked vm ?(args = [||]) (code : linked_prog) =
+  reset_stack vm;
+  let regb = vm.regb in
+  Bytes.fill regb 0 88 '\000';
+  let nargs = Array.length args in
+  for k = 0 to (if nargs > 5 then 4 else nargs - 1) do
+    rset regb (k + 1) args.(k)
+  done;
+  rset regb Insn.fp (fp_value vm);
+  let fuel0 = vm.max_insns in
+  exec_linked vm code (vm.executed + fuel0 + 1) 0 fuel0
+
+(* ------------------------------------------------------------------ *)
+(* Closure-template JIT (third tier)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The program's basic blocks are translated, once, into a graph of OCaml
+   closures of type [jit_env -> int64]: each instruction (or fused group
+   of instructions) becomes one closure specialised to its opcode and
+   operand kinds, holding its operands in its environment, and control
+   threads by tail-calling the next closure directly — no fetch, no
+   decode, no dispatch table. All mutable run state lives in [jit_env] so
+   the compiled closures are independent of any particular VM: the same
+   [jit_prog] is shared by every PRE running the same bytecode (the
+   content-addressed plugin cache relies on this). Like the linked path,
+   a jitted program is not re-entrant — one run at a time per [jit_prog].
+
+   Fuel is prepaid per block: the block head subtracts the whole block
+   length once, so instructions inside a block touch no counter, and the
+   [executed] value any instruction must expose (to helpers, traps, exit)
+   is reconstructed as [jk - jfuel - ci] with [ci] the compile-time
+   distance from the instruction to the block end. When a block head
+   finds less fuel than the block needs, or compilation meets a shape it
+   does not specialise (invalid jump target, bad register operand), the
+   run *hands off* to [exec_linked] at that exact pc with the
+   linked-equivalent fuel — both tiers then agree bit-for-bit on
+   results, traps and accounting even on unverified programs. *)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic block IR for the closure JIT                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Within one basic block, registers are evaluated symbolically into
+   pure expression trees over the block's entry state: stack slots
+   ([Jslot], a byte offset into the stack bytes), registers as of block
+   entry ([Jreg]), temporaries holding materialized risky loads
+   ([Jtmp], a byte offset into the scratch segment), and constants.
+   Slot stores and risky memory accesses stay in program order as
+   statements; everything else fuses into the trees, which the template
+   compiler then collapses into a handful of wide closures. *)
+type sx =
+  | Jcst of int64
+  | Jslot of int
+  | Jreg of int
+  | Jtmp of int
+  | Jbin of int * sx * sx (* alu index (linked opcode / 2), lhs, rhs *)
+  | Jneg of sx
+
+(* Block statements, in original program order. [Jst]/[Jtm]/[Jrg] are
+   non-trapping; [Jld]/[Jsd] carry the [ci = stop - i] needed to sync
+   [executed] exactly when the monitored access leaves the stack fast
+   path (and may therefore trap). *)
+type jstmt =
+  | Jst of int * sx (* stack slot := tree *)
+  | Jtm of int * sx (* scratch tmp := tree (pure) *)
+  | Jrg of int * sx (* register := tree (commit to the register file) *)
+  | Jld of int * sx * int64 * int (* tmp := load64 [base + off], ci *)
+  | Jsd of sx * int64 * sx * int (* store64 [base + off] := tree, ci *)
+  | Jnop
+
+type jterm =
+  | Jexit of sx * int (* return tree; ci of the exit instruction *)
+  | Jjmp of int (* unconditional, target instruction index *)
+  | Jcnd of int * sx * sx * int * int (* cond code, lhs, rhs, taken, fall *)
+  | Jdeo of int * int (* deoptimize at instruction i with ci *)
+
+(* Exact 64-bit ALU semantics, shared by compile-time constant folding
+   and the generic tree evaluator; must mirror [exec_linked]'s arms. *)
+let jx_alu c a b =
+  match c with
+  | 0 -> Int64.add a b
+  | 1 -> Int64.sub a b
+  | 2 -> Int64.mul a b
+  | 3 -> if Int64.equal b 0L then 0L else udiv64 a b
+  | 5 -> Int64.logor a b
+  | 6 -> Int64.logand a b
+  | 7 -> Int64.logxor a b
+  | 8 -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+  | 9 -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
+  | 10 -> Int64.shift_right a (Int64.to_int (Int64.logand b 63L))
+  | 11 -> if Int64.equal b 0L then a else urem64 a b
+  | _ -> b (* 4, Mov *)
+
+(* Condition codes are (linked opcode - 41) / 2; must mirror the
+   conditional-jump arms of [exec_linked]. Inlined into the terminator
+   closures, where [c] is a captured immediate. *)
+let[@inline always] jx_cond c a b =
+  match c with
+  | 0 -> Int64.equal a b
+  | 1 -> not (Int64.equal a b)
+  | 2 -> ucmp a b > 0
+  | 3 -> ucmp a b >= 0
+  | 4 -> ucmp a b < 0
+  | 5 -> ucmp a b <= 0
+  | 6 -> Int64.compare a b > 0
+  | 7 -> Int64.compare a b >= 0
+  | 8 -> Int64.compare a b < 0
+  | 9 -> Int64.compare a b <= 0
+  | _ -> not (Int64.equal (Int64.logand a b) 0L) (* 10, Jset *)
+
+let jx_log2 v =
+  (* [Some k] iff v = 2^k, v > 0. *)
+  if Int64.compare v 0L <= 0 || not (Int64.equal (Int64.logand v (Int64.pred v)) 0L)
+  then None
+  else begin
+    let k = ref 0 and x = ref v in
+    while not (Int64.equal !x 1L) do
+      x := Int64.shift_right_logical !x 1;
+      incr k
+    done;
+    Some !k
+  end
+
+(* Smart constructor: folds constants with the exact [jx_alu] semantics
+   and strength-reduces unsigned division/modulo by a power of two (the
+   unsigned semantics make the shift/mask rewrite exact). *)
+let jx_bin c a b =
+  match (a, b) with
+  | Jcst x, Jcst y -> Jcst (jx_alu c x y)
+  | _ -> (
+    match (c, b) with
+    | 3, Jcst 0L -> Jcst 0L
+    | 11, Jcst 0L -> a
+    | 3, Jcst d -> (
+      match jx_log2 d with
+      | Some 0 -> a
+      | Some k -> Jbin (9, a, Jcst (Int64.of_int k))
+      | None -> Jbin (c, a, b))
+    | 11, Jcst d -> (
+      match jx_log2 d with
+      | Some _ -> Jbin (6, a, Jcst (Int64.pred d))
+      | None -> Jbin (c, a, b))
+    | (0 | 1 | 8 | 9 | 10), Jcst 0L -> a
+    | 2, Jcst 1L -> a
+    | _ -> Jbin (c, a, b))
+
+let rec jx_size = function
+  | Jcst _ | Jslot _ | Jreg _ | Jtmp _ -> 1
+  | Jneg t -> 1 + jx_size t
+  | Jbin (_, a, b) -> 1 + jx_size a + jx_size b
+
+let rec jx_refs_slot o = function
+  | Jslot o' -> o = o'
+  | Jbin (_, a, b) -> jx_refs_slot o a || jx_refs_slot o b
+  | Jneg t -> jx_refs_slot o t
+  | _ -> false
+
+let rec jx_refs_any_slot = function
+  | Jslot _ -> true
+  | Jbin (_, a, b) -> jx_refs_any_slot a || jx_refs_any_slot b
+  | Jneg t -> jx_refs_any_slot t
+  | _ -> false
+
+let rec jx_refs_reg r = function
+  | Jreg r' -> r = r'
+  | Jbin (_, a, b) -> jx_refs_reg r a || jx_refs_reg r b
+  | Jneg t -> jx_refs_reg r t
+  | _ -> false
+
+(* Every slot read by a tree, for DSE read-tracking. *)
+let rec jx_iter_slots f = function
+  | Jslot o -> f o
+  | Jbin (_, a, b) ->
+    jx_iter_slots f a;
+    jx_iter_slots f b
+  | Jneg t -> jx_iter_slots f t
+  | _ -> ()
+
+type jit_env = {
+  mutable jvm : t;
+  mutable jregb : Bytes.t;
+  mutable jstk : Bytes.t;
+  mutable jk : int; (* executed + fuel0 + 1, as in [exec_linked] *)
+  mutable jfuel : int;
+  mutable jseg : Bytes.t; (* scratch temporaries for materialized loads *)
+  mutable jseg_off : int; (* unused; kept for layout stability *)
+}
+
+type jit_prog = {
+  jlinked : linked_prog;
+  jstack : int; (* stack size the stack-direct closures are baked for *)
+  jentry : (jit_env -> int64) option; (* None: fall back to run_linked *)
+  jenv : jit_env; (* swapped to the running VM per run; not re-entrant *)
+}
+
+(* Coded operands/commit values for the template closures: a handful of
+   small runtime matches on captured immediates (perfectly predicted
+   per call site) instead of a combinatorial explosion of build-time
+   specializations. *)
+type jopd = Kc of int64 | Ks of int | Kt of int | Kr of int
+
+type jcv = Vc of int64 | Vs of int | Vt of int | Vshr of int * int
+
+(* Dispatch arm of a compiled terminator: either a plain jump to a
+   block cell, or a jump-threaded arm that prepays the threaded blocks'
+   fuel and commits their constant register effects before dispatching
+   to the final target ([Agated (fuel, commits, target, first_pc4)]). *)
+type jarm = Aplain of int | Agated of int * (int * jcv) array * int * int
+
+(* Precompiled successor dispatch. [Dbody] jumps straight into the
+   target block's body closure, prepaying its fuel (plus any threaded
+   blocks') in one gate; register commits pending at this edge are
+   DEFERRED — they run only on the fuel-fail handoff, because the
+   target has been proven to re-commit a superset of those registers
+   at its own exits (and not to read any of them). [Dcell] is the
+   conservative edge: run the pending commits, dispatch through the
+   target's gated cell. [Dgcell] is a threaded edge to a
+   non-absorbing target: commits run eagerly, the threaded blocks'
+   fuel and constant effects are applied, then the cell. *)
+type jdisp =
+  | Dbody of int * int * (int * jcv) array * int
+    (* body idx, fuel to prepay, fail commits, fail pc4 *)
+  | Dcell of int * (int * jcv) array (* cell idx, eager commits *)
+  | Dgcell of int * int * (int * jcv) array * (int * jcv) array * int
+    (* threaded fuel, cell idx, eager commits, const commits, fail pc4 *)
+
+let jx_opd = function
+  | Jcst v -> Some (Kc v)
+  | Jslot o -> Some (Ks o)
+  | Jtmp o -> Some (Kt o)
+  | Jreg r -> Some (Kr r)
+  | _ -> None
+
+let jx_cv = function
+  | Jcst v -> Some (Vc v)
+  | Jslot o -> Some (Vs o)
+  | Jtmp o -> Some (Vt o)
+  | Jbin (9, Jslot o, Jcst k) ->
+    Some (Vshr (o, Int64.to_int (Int64.logand k 63L)))
+  | _ -> None
+
+let[@inline always] jopd_get env = function
+  | Kc v -> v
+  | Ks o -> bytes_get64 env.jstk o
+  | Kt o -> bytes_get64 env.jseg o
+  | Kr r -> rget env.jregb r
+
+let[@inline always] jcv_commit env r = function
+  | Vc v -> rset env.jregb r v
+  | Vs o -> rset env.jregb r (bytes_get64 env.jstk o)
+  | Vt o -> rset env.jregb r (bytes_get64 env.jseg o)
+  | Vshr (o, k) ->
+    rset env.jregb r (Int64.shift_right_logical (bytes_get64 env.jstk o) k)
+
+let[@inline always] jrun_commits env (carr : (int * jcv) array) =
+  for i = 0 to Array.length carr - 1 do
+    let r, v = Array.unsafe_get carr i in
+    jcv_commit env r v
+  done
+
+(* Optional last statement folded into a terminator closure (loop
+   counter increment / compared-value copy), saving one link call. *)
+type jpre = Pnone | Pincr of int * int64 | Pcopy of int * int
+
+let[@inline always] jrun_pre env = function
+  | Pnone -> ()
+  | Pincr (d, c) ->
+    let s = env.jstk in
+    bytes_set64 s d (Int64.add (bytes_get64 s d) c)
+  | Pcopy (d, a) ->
+    let s = env.jstk in
+    bytes_set64 s d (bytes_get64 s a)
+(* PQUIC_NO_JIT=1 drops every program to the linked tier: the operational
+   escape hatch, and what lets the A/B determinism check (experiments and
+   chaos fingerprints, jit on vs off) run against the same binary. *)
+let jit_enabled =
+  ref
+    (match Sys.getenv_opt "PQUIC_NO_JIT" with
+    | Some ("1" | "true" | "yes") -> false
+    | _ -> true)
+
+let jit_dummy_vm = lazy (create ~stack_size:8 ())
+
+let jit_fresh_env () =
+  {
+    jvm = Lazy.force jit_dummy_vm;
+    jregb = Bytes.create 88;
+    jstk = Bytes.create 0;
+    jk = 0;
+    jfuel = 0;
+    jseg = Bytes.create 0;
+    jseg_off = 0;
+  }
+
+let jit ?(stack_size = 512) prog =
+  let linked = link prog in
+  let env = jit_fresh_env () in
+  if (not !jit_enabled) || Sys.big_endian then
+    { jlinked = linked; jstack = stack_size; jentry = None; jenv = env }
+  else begin
+    let ops = linked.ops and pool = linked.pool in
+    let n = Array.length prog in
+    let ss = stack_size in
+    let fpv = Int64.add region_alignment (Int64.of_int ss) in
+    (* If no instruction anywhere writes r10, fp is the compile-time
+       constant [fpv] for the whole run, so fp-relative accesses with
+       statically in-bounds offsets compile to direct stack bytes ops —
+       the bounds check is hoisted all the way to compile time. The
+       verifier rejects fp writes, so every admitted pluglet qualifies;
+       the conservative whole-program scan keeps unverified programs
+       (which [run]/[run_linked] accept) correct. *)
+    let fp_written =
+      Array.exists
+        (function
+          | Insn.Alu64 (_, 10, _)
+          | Insn.Alu32 (_, 10, _)
+          | Insn.Ld_imm64 (10, _)
+          | Insn.Ldx (_, 10, _, _) -> true
+          | _ -> false)
+        prog
+    in
+    let lim1 = Int64.of_int ss
+    and lim2 = Int64.of_int (max 0 (ss - 1))
+    and lim4 = Int64.of_int (max 0 (ss - 3))
+    and lim8 = Int64.of_int (max 0 (ss - 7)) in
+    (* Fused linked opcodes cover two instructions; the JIT re-fuses with
+       its own patterns, so compile from the defused first opcode. *)
+    let base_op i =
+      match Array.unsafe_get ops (4 * i) with
+      | 66 -> f_mov64_rr
+      | 67 | 68 -> f_stx64
+      | 69 | 71 -> f_mov64_ri
+      | 70 | 72 | 73 -> f_ldx64
+      | o -> o
+    in
+    (* Basic-block leaders: the entry, every jump target, and every
+       instruction after a jump or exit. The index [n] is the sentinel
+       block (falling off the end). *)
+    let leader = Array.make (n + 1) false in
+    leader.(0) <- true;
+    leader.(n) <- true;
+    for i = 0 to n - 1 do
+      let mark t = if t >= 0 then leader.(t / 4) <- true in
+      let o = base_op i in
+      if o = f_ja then begin
+        leader.(i + 1) <- true;
+        mark ops.((4 * i) + 1)
+      end
+      else if o >= f_jeq_rr && o <= f_jset_ri then begin
+        leader.(i + 1) <- true;
+        mark ops.((4 * i) + 3)
+      end
+      else if o = f_exit then leader.(i + 1) <- true
+    done;
+    let blk_id = Array.make (n + 1) (-1) in
+    let nblocks = ref 0 in
+    for i = 0 to n do
+      if leader.(i) then begin
+        blk_id.(i) <- !nblocks;
+        incr nblocks
+      end
+    done;
+    (* Blocks are knot-tied through [cells]: closures capture the array
+       and their target's block id, and the array is filled as blocks
+       compile, so forward references resolve at run time. *)
+    let cells = Array.make !nblocks (fun (_ : jit_env) -> 0L) in
+    let goto_cell b env = (Array.unsafe_get cells b) env in
+    (* Universal escape: resume the linked interpreter at instruction [i].
+       [ci] is the block-end distance [stop - i], which is exactly the
+       fuel the linked loop would hold at [i]'s loop head minus the
+       block's remaining prepaid fuel. Used before any of [i]'s effects,
+       it is a bit-exact deoptimization. *)
+    let deopt i ci env =
+      exec_linked env.jvm linked env.jk (4 * i) (env.jfuel + ci)
+    in
+    (* One closure per instruction, specialised on the defused linked
+       opcode. [ci = stop - i] reconstructs [executed] where it is
+       observable; [next] is the successor closure. *)
+    let ins i ci (next : jit_env -> int64) : jit_env -> int64 =
+      let a1 = ops.((4 * i) + 1)
+      and a2 = ops.((4 * i) + 2)
+      and a3 = ops.((4 * i) + 3) in
+      match base_op i with
+      | 0 (* add64_rr *) ->
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.add (rget rb a1) (rget rb a2));
+          next env
+      | 1 (* add64_ri *) ->
+        let ib = Int64.of_int a2 in
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.add (rget rb a1) ib);
+          next env
+      | 2 (* sub64_rr *) ->
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.sub (rget rb a1) (rget rb a2));
+          next env
+      | 3 (* sub64_ri *) ->
+        let ib = Int64.of_int a2 in
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.sub (rget rb a1) ib);
+          next env
+      | 4 (* mul64_rr *) ->
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.mul (rget rb a1) (rget rb a2));
+          next env
+      | 5 (* mul64_ri *) ->
+        let ib = Int64.of_int a2 in
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.mul (rget rb a1) ib);
+          next env
+      | 6 (* div64_rr *) ->
+        fun env ->
+          let rb = env.jregb in
+          let b = rget rb a2 in
+          rset rb a1 (if Int64.equal b 0L then 0L else udiv64 (rget rb a1) b);
+          next env
+      | 7 (* div64_ri *) ->
+        let ib = Int64.of_int a2 in
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (if a2 = 0 then 0L else udiv64 (rget rb a1) ib);
+          next env
+      | 8 (* mov64_rr *) ->
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (rget rb a2);
+          next env
+      | 9 (* mov64_ri *) ->
+        let ib = Int64.of_int a2 in
+        fun env ->
+          rset env.jregb a1 ib;
+          next env
+      | 10 (* or64_rr *) ->
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.logor (rget rb a1) (rget rb a2));
+          next env
+      | 11 (* or64_ri *) ->
+        let ib = Int64.of_int a2 in
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.logor (rget rb a1) ib);
+          next env
+      | 12 (* and64_rr *) ->
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.logand (rget rb a1) (rget rb a2));
+          next env
+      | 13 (* and64_ri *) ->
+        let ib = Int64.of_int a2 in
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.logand (rget rb a1) ib);
+          next env
+      | 14 (* xor64_rr *) ->
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.logxor (rget rb a1) (rget rb a2));
+          next env
+      | 15 (* xor64_ri *) ->
+        let ib = Int64.of_int a2 in
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.logxor (rget rb a1) ib);
+          next env
+      | 16 (* lsh64_rr *) ->
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1
+            (Int64.shift_left (rget rb a1)
+               (Int64.to_int (Int64.logand (rget rb a2) 63L)));
+          next env
+      | 17 (* lsh64_ri *) ->
+        let sh = a2 land 63 in
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.shift_left (rget rb a1) sh);
+          next env
+      | 18 (* rsh64_rr *) ->
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1
+            (Int64.shift_right_logical (rget rb a1)
+               (Int64.to_int (Int64.logand (rget rb a2) 63L)));
+          next env
+      | 19 (* rsh64_ri *) ->
+        let sh = a2 land 63 in
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.shift_right_logical (rget rb a1) sh);
+          next env
+      | 20 (* arsh64_rr *) ->
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1
+            (Int64.shift_right (rget rb a1)
+               (Int64.to_int (Int64.logand (rget rb a2) 63L)));
+          next env
+      | 21 (* arsh64_ri *) ->
+        let sh = a2 land 63 in
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.shift_right (rget rb a1) sh);
+          next env
+      | 22 (* mod64_rr *) ->
+        fun env ->
+          let rb = env.jregb in
+          let b = rget rb a2 in
+          let a = rget rb a1 in
+          rset rb a1 (if Int64.equal b 0L then a else urem64 a b);
+          next env
+      | 23 (* mod64_ri *) ->
+        let ib = Int64.of_int a2 in
+        fun env ->
+          let rb = env.jregb in
+          let a = rget rb a1 in
+          rset rb a1 (if a2 = 0 then a else urem64 a ib);
+          next env
+      | 24 (* neg64 *) ->
+        fun env ->
+          let rb = env.jregb in
+          rset rb a1 (Int64.neg (rget rb a1));
+          next env
+      | 25 (* alu32_rr *) ->
+        fun env ->
+          let rb = env.jregb in
+          alu32_seti rb a1 a3 (rget rb a1) (rget rb a2);
+          next env
+      | 26 (* alu32_ri *) ->
+        let ib = Int64.of_int a2 in
+        fun env ->
+          let rb = env.jregb in
+          alu32_seti rb a1 a3 (rget rb a1) ib;
+          next env
+      | 27 (* ld_imm64 *) ->
+        let v = bytes_get64 pool a2 in
+        fun env ->
+          rset env.jregb a1 v;
+          next env
+      | 28 (* ldx8: a1=dst a2=src a3=off *) ->
+        if a2 = 10 && not fp_written then begin
+          let soff = ss + a3 in
+          if soff >= 0 && soff + 1 <= ss then
+            fun env ->
+              rset env.jregb a1
+                (Int64.of_int (Char.code (Bytes.unsafe_get env.jstk soff)));
+              next env
+          else
+            let addr = Int64.add fpv (Int64.of_int a3) in
+            fun env ->
+              rset env.jregb a1
+                (load8_m env.jvm env.jstk lim1 (env.jk - env.jfuel - ci) addr);
+              next env
+        end
+        else
+          let off = Int64.of_int a3 in
+          fun env ->
+            let rb = env.jregb in
+            rset rb a1
+              (load8_m env.jvm env.jstk lim1
+                 (env.jk - env.jfuel - ci)
+                 (Int64.add (rget rb a2) off));
+            next env
+      | 29 (* ldx16 *) ->
+        if a2 = 10 && not fp_written then begin
+          let soff = ss + a3 in
+          if soff >= 0 && soff + 2 <= ss then
+            fun env ->
+              rset env.jregb a1 (Int64.of_int (bytes_get16u env.jstk soff));
+              next env
+          else
+            let addr = Int64.add fpv (Int64.of_int a3) in
+            fun env ->
+              rset env.jregb a1
+                (load16_m env.jvm env.jstk lim2 (env.jk - env.jfuel - ci) addr);
+              next env
+        end
+        else
+          let off = Int64.of_int a3 in
+          fun env ->
+            let rb = env.jregb in
+            rset rb a1
+              (load16_m env.jvm env.jstk lim2
+                 (env.jk - env.jfuel - ci)
+                 (Int64.add (rget rb a2) off));
+            next env
+      | 30 (* ldx32 *) ->
+        if a2 = 10 && not fp_written then begin
+          let soff = ss + a3 in
+          if soff >= 0 && soff + 4 <= ss then
+            fun env ->
+              rset env.jregb a1
+                (Int64.logand
+                   (Int64.of_int32 (bytes_get32u env.jstk soff))
+                   0xffffffffL);
+              next env
+          else
+            let addr = Int64.add fpv (Int64.of_int a3) in
+            fun env ->
+              rset env.jregb a1
+                (load32_m env.jvm env.jstk lim4 (env.jk - env.jfuel - ci) addr);
+              next env
+        end
+        else
+          let off = Int64.of_int a3 in
+          fun env ->
+            let rb = env.jregb in
+            rset rb a1
+              (load32_m env.jvm env.jstk lim4
+                 (env.jk - env.jfuel - ci)
+                 (Int64.add (rget rb a2) off));
+            next env
+      | 31 (* ldx64 *) ->
+        if a2 = 10 && not fp_written then begin
+          let soff = ss + a3 in
+          if soff >= 0 && soff + 8 <= ss then
+            fun env ->
+              rset env.jregb a1 (bytes_get64 env.jstk soff);
+              next env
+          else
+            let addr = Int64.add fpv (Int64.of_int a3) in
+            fun env ->
+              rset env.jregb a1
+                (load64_m env.jvm env.jstk lim8 (env.jk - env.jfuel - ci) addr);
+              next env
+        end
+        else
+          let off = Int64.of_int a3 in
+          fun env ->
+            let rb = env.jregb in
+            rset rb a1
+              (load64_m env.jvm env.jstk lim8
+                 (env.jk - env.jfuel - ci)
+                 (Int64.add (rget rb a2) off));
+            next env
+      | 32 (* stx8: a1=dst a2=off a3=src *) ->
+        if a1 = 10 && not fp_written then begin
+          let soff = ss + a2 in
+          if soff >= 0 && soff + 1 <= ss then
+            fun env ->
+              Bytes.unsafe_set env.jstk soff
+                (Char.unsafe_chr (Int64.to_int (rget env.jregb a3) land 0xff));
+              next env
+          else
+            let addr = Int64.add fpv (Int64.of_int a2) in
+            fun env ->
+              store8_m env.jvm env.jstk lim1
+                (env.jk - env.jfuel - ci)
+                addr (rget env.jregb a3);
+              next env
+        end
+        else
+          let off = Int64.of_int a2 in
+          fun env ->
+            let rb = env.jregb in
+            store8_m env.jvm env.jstk lim1
+              (env.jk - env.jfuel - ci)
+              (Int64.add (rget rb a1) off)
+              (rget rb a3);
+            next env
+      | 33 (* stx16 *) ->
+        if a1 = 10 && not fp_written then begin
+          let soff = ss + a2 in
+          if soff >= 0 && soff + 2 <= ss then
+            fun env ->
+              bytes_set16u env.jstk soff
+                (Int64.to_int (rget env.jregb a3) land 0xffff);
+              next env
+          else
+            let addr = Int64.add fpv (Int64.of_int a2) in
+            fun env ->
+              store16_m env.jvm env.jstk lim2
+                (env.jk - env.jfuel - ci)
+                addr (rget env.jregb a3);
+              next env
+        end
+        else
+          let off = Int64.of_int a2 in
+          fun env ->
+            let rb = env.jregb in
+            store16_m env.jvm env.jstk lim2
+              (env.jk - env.jfuel - ci)
+              (Int64.add (rget rb a1) off)
+              (rget rb a3);
+            next env
+      | 34 (* stx32 *) ->
+        if a1 = 10 && not fp_written then begin
+          let soff = ss + a2 in
+          if soff >= 0 && soff + 4 <= ss then
+            fun env ->
+              bytes_set32u env.jstk soff (Int64.to_int32 (rget env.jregb a3));
+              next env
+          else
+            let addr = Int64.add fpv (Int64.of_int a2) in
+            fun env ->
+              store32_m env.jvm env.jstk lim4
+                (env.jk - env.jfuel - ci)
+                addr (rget env.jregb a3);
+              next env
+        end
+        else
+          let off = Int64.of_int a2 in
+          fun env ->
+            let rb = env.jregb in
+            store32_m env.jvm env.jstk lim4
+              (env.jk - env.jfuel - ci)
+              (Int64.add (rget rb a1) off)
+              (rget rb a3);
+            next env
+      | 35 (* stx64 *) ->
+        if a1 = 10 && not fp_written then begin
+          let soff = ss + a2 in
+          if soff >= 0 && soff + 8 <= ss then
+            fun env ->
+              bytes_set64 env.jstk soff (rget env.jregb a3);
+              next env
+          else
+            let addr = Int64.add fpv (Int64.of_int a2) in
+            fun env ->
+              store64_m env.jvm env.jstk lim8
+                (env.jk - env.jfuel - ci)
+                addr (rget env.jregb a3);
+              next env
+        end
+        else
+          let off = Int64.of_int a2 in
+          fun env ->
+            let rb = env.jregb in
+            store64_m env.jvm env.jstk lim8
+              (env.jk - env.jfuel - ci)
+              (Int64.add (rget rb a1) off)
+              (rget rb a3);
+            next env
+      | 36 (* st8: a1=dst a2=off a3=imm *) ->
+        let v = Int64.of_int a3 in
+        if a1 = 10 && not fp_written then begin
+          let soff = ss + a2 in
+          if soff >= 0 && soff + 1 <= ss then
+            let c = Char.unsafe_chr (a3 land 0xff) in
+            fun env ->
+              Bytes.unsafe_set env.jstk soff c;
+              next env
+          else
+            let addr = Int64.add fpv (Int64.of_int a2) in
+            fun env ->
+              store8_m env.jvm env.jstk lim1
+                (env.jk - env.jfuel - ci)
+                addr v;
+              next env
+        end
+        else
+          let off = Int64.of_int a2 in
+          fun env ->
+            let rb = env.jregb in
+            store8_m env.jvm env.jstk lim1
+              (env.jk - env.jfuel - ci)
+              (Int64.add (rget rb a1) off)
+              v;
+            next env
+      | 37 (* st16 *) ->
+        let v = Int64.of_int a3 in
+        if a1 = 10 && not fp_written then begin
+          let soff = ss + a2 in
+          if soff >= 0 && soff + 2 <= ss then
+            let iv = a3 land 0xffff in
+            fun env ->
+              bytes_set16u env.jstk soff iv;
+              next env
+          else
+            let addr = Int64.add fpv (Int64.of_int a2) in
+            fun env ->
+              store16_m env.jvm env.jstk lim2
+                (env.jk - env.jfuel - ci)
+                addr v;
+              next env
+        end
+        else
+          let off = Int64.of_int a2 in
+          fun env ->
+            let rb = env.jregb in
+            store16_m env.jvm env.jstk lim2
+              (env.jk - env.jfuel - ci)
+              (Int64.add (rget rb a1) off)
+              v;
+            next env
+      | 38 (* st32 *) ->
+        let v = Int64.of_int a3 in
+        if a1 = 10 && not fp_written then begin
+          let soff = ss + a2 in
+          if soff >= 0 && soff + 4 <= ss then
+            let iv = Int64.to_int32 v in
+            fun env ->
+              bytes_set32u env.jstk soff iv;
+              next env
+          else
+            let addr = Int64.add fpv (Int64.of_int a2) in
+            fun env ->
+              store32_m env.jvm env.jstk lim4
+                (env.jk - env.jfuel - ci)
+                addr v;
+              next env
+        end
+        else
+          let off = Int64.of_int a2 in
+          fun env ->
+            let rb = env.jregb in
+            store32_m env.jvm env.jstk lim4
+              (env.jk - env.jfuel - ci)
+              (Int64.add (rget rb a1) off)
+              v;
+            next env
+      | 39 (* st64 *) ->
+        let v = Int64.of_int a3 in
+        if a1 = 10 && not fp_written then begin
+          let soff = ss + a2 in
+          if soff >= 0 && soff + 8 <= ss then
+            fun env ->
+              bytes_set64 env.jstk soff v;
+              next env
+          else
+            let addr = Int64.add fpv (Int64.of_int a2) in
+            fun env ->
+              store64_m env.jvm env.jstk lim8
+                (env.jk - env.jfuel - ci)
+                addr v;
+              next env
+        end
+        else
+          let off = Int64.of_int a2 in
+          fun env ->
+            let rb = env.jregb in
+            store64_m env.jvm env.jstk lim8
+              (env.jk - env.jfuel - ci)
+              (Int64.add (rget rb a1) off)
+              v;
+            next env
+      | 40 (* ja *) ->
+        if a1 < 0 then deopt i ci
+        else
+          let tb = blk_id.(a1 / 4) in
+          fun env -> (Array.unsafe_get cells tb) env
+      | 63 (* call *) ->
+        fun env ->
+          let vm = env.jvm in
+          vm.executed <- env.jk - env.jfuel - ci;
+          (match
+             (if a1 >= 0 && a1 < Array.length vm.helpers then vm.helpers.(a1)
+              else None)
+           with
+          | None ->
+            raise (Helper_failure (Printf.sprintf "helper %d missing" a1))
+          | Some f ->
+            let rb = env.jregb in
+            let call_args = vm.scratch_args in
+            for j = 0 to 4 do
+              call_args.(j) <- rget rb (j + 1)
+            done;
+            let res = f vm call_args in
+            rset rb 0 res;
+            (* r1-r5 are clobbered by calls, per the eBPF convention. *)
+            Bytes.fill rb 8 40 '\000');
+          next env
+      | 64 (* exit *) ->
+        fun env ->
+          env.jvm.executed <- env.jk - env.jfuel - ci;
+          rget env.jregb 0
+      | o when o >= f_jeq_rr && o <= f_jset_ri ->
+        (* Conditional jumps close the block: both arms dispatch through
+           [cells]. An invalid taken-target deoptimizes unconditionally —
+           the linked loop re-evaluates the condition and traps (or falls
+           through) with exact semantics. *)
+        let fb = blk_id.(i + 1) in
+        if a3 < 0 then deopt i ci
+        else begin
+          let tb = blk_id.(a3 / 4) in
+          let ib = Int64.of_int a2 in
+          match o with
+          | 41 ->
+            fun env ->
+              let rb = env.jregb in
+              if Int64.equal (rget rb a1) (rget rb a2) then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 42 ->
+            fun env ->
+              let rb = env.jregb in
+              if Int64.equal (rget rb a1) ib then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 43 ->
+            fun env ->
+              let rb = env.jregb in
+              if not (Int64.equal (rget rb a1) (rget rb a2)) then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 44 ->
+            fun env ->
+              let rb = env.jregb in
+              if not (Int64.equal (rget rb a1) ib) then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 45 ->
+            fun env ->
+              let rb = env.jregb in
+              if ucmp (rget rb a1) (rget rb a2) > 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 46 ->
+            fun env ->
+              let rb = env.jregb in
+              if ucmp (rget rb a1) ib > 0 then (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 47 ->
+            fun env ->
+              let rb = env.jregb in
+              if ucmp (rget rb a1) (rget rb a2) >= 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 48 ->
+            fun env ->
+              let rb = env.jregb in
+              if ucmp (rget rb a1) ib >= 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 49 ->
+            fun env ->
+              let rb = env.jregb in
+              if ucmp (rget rb a1) (rget rb a2) < 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 50 ->
+            fun env ->
+              let rb = env.jregb in
+              if ucmp (rget rb a1) ib < 0 then (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 51 ->
+            fun env ->
+              let rb = env.jregb in
+              if ucmp (rget rb a1) (rget rb a2) <= 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 52 ->
+            fun env ->
+              let rb = env.jregb in
+              if ucmp (rget rb a1) ib <= 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 53 ->
+            fun env ->
+              let rb = env.jregb in
+              if Int64.compare (rget rb a1) (rget rb a2) > 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 54 ->
+            fun env ->
+              let rb = env.jregb in
+              if Int64.compare (rget rb a1) ib > 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 55 ->
+            fun env ->
+              let rb = env.jregb in
+              if Int64.compare (rget rb a1) (rget rb a2) >= 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 56 ->
+            fun env ->
+              let rb = env.jregb in
+              if Int64.compare (rget rb a1) ib >= 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 57 ->
+            fun env ->
+              let rb = env.jregb in
+              if Int64.compare (rget rb a1) (rget rb a2) < 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 58 ->
+            fun env ->
+              let rb = env.jregb in
+              if Int64.compare (rget rb a1) ib < 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 59 ->
+            fun env ->
+              let rb = env.jregb in
+              if Int64.compare (rget rb a1) (rget rb a2) <= 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 60 ->
+            fun env ->
+              let rb = env.jregb in
+              if Int64.compare (rget rb a1) ib <= 0 then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | 61 ->
+            fun env ->
+              let rb = env.jregb in
+              if not (Int64.equal (Int64.logand (rget rb a1) (rget rb a2)) 0L)
+              then (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+          | _ (* 62, jset_ri *) ->
+            fun env ->
+              let rb = env.jregb in
+              if not (Int64.equal (Int64.logand (rget rb a1) ib) 0L) then
+                (Array.unsafe_get cells tb) env
+              else (Array.unsafe_get cells fb) env
+        end
+      | _ (* trap_badreg and anything unspecialised *) -> deopt i ci
+    in
+    (* ---------------- symbolic block compiler ---------------- *)
+    let next_leader i =
+      let j = ref (i + 1) in
+      while not leader.(!j) do
+        incr j
+      done;
+      !j
+    in
+    let maxtmp = ref 0 in
+    (* Symbolically evaluate one block into (statements, count,
+       terminator, coded register commits, tmp count). Returns [None]
+       when the block contains a shape the symbolic tier does not
+       handle (calls, 32-bit ALU, sub-64-bit memory, fp writes); the
+       per-instruction chain then compiles it instead. *)
+    let exception Jbail in
+    let symbolize start stop =
+      if fp_written then None
+      else begin
+        try
+          let regs =
+            Array.init 11 (fun r -> if r = 10 then Jcst fpv else Jreg r)
+          in
+          let cap = (8 * (stop - start)) + 24 in
+          let stms = Array.make cap Jnop in
+          let nst = ref 0 in
+          let memo : (int, sx) Hashtbl.t = Hashtbl.create 16 in
+          let last_store : (int, int) Hashtbl.t = Hashtbl.create 16 in
+          let last_read : (int, int) Hashtbl.t = Hashtbl.create 16 in
+          let barrier = ref (-1) in
+          let ntmp = ref 0 in
+          let mark_reads t =
+            jx_iter_slots (fun o -> Hashtbl.replace last_read o !nst) t
+          in
+          let emit st =
+            if !nst >= cap then raise Jbail;
+            stms.(!nst) <- st;
+            incr nst
+          in
+          let new_tmp () =
+            let t = 8 * !ntmp in
+            incr ntmp;
+            t
+          in
+          let drop_memo_refs pred =
+            let stale =
+              Hashtbl.fold
+                (fun o mt acc -> if pred mt then o :: acc else acc)
+                memo []
+            in
+            List.iter (Hashtbl.remove memo) stale
+          in
+          (* Commit register [j]'s pending tree to the register file now.
+             Any other live tree reading [Jreg j] would silently change
+             meaning, so bail on cross-references (rare in practice). *)
+          let materialize j =
+            match regs.(j) with
+            | Jreg j' when j' = j -> ()
+            | t ->
+              for j2 = 0 to 9 do
+                if j2 <> j && jx_refs_reg j regs.(j2) then raise Jbail
+              done;
+              drop_memo_refs (jx_refs_reg j);
+              mark_reads t;
+              emit (Jrg (j, t));
+              regs.(j) <- Jreg j
+          in
+          (* A non-leaf tree physically equal to a slot's current memo
+             reads back as a cheap copy of that slot. *)
+          let norm_memo t =
+            match t with
+            | Jbin _ | Jneg _ ->
+              let found = ref t in
+              Hashtbl.iter (fun o mt -> if mt == t then found := Jslot o) memo;
+              !found
+            | _ -> t
+          in
+          let store_slot soff t0 =
+            let t =
+              match t0 with
+              | Jbin _ | Jneg _ ->
+                let found = ref t0 in
+                Hashtbl.iter
+                  (fun o mt -> if mt == t0 && o <> soff then found := Jslot o)
+                  memo;
+                !found
+              | _ -> t0
+            in
+            drop_memo_refs (jx_refs_slot soff);
+            for j = 0 to 9 do
+              match regs.(j) with
+              | Jreg j' when j' = j -> ()
+              | rt when rt == t0 || rt == t ->
+                (* The slot now holds exactly this register's value. *)
+                regs.(j) <- Jslot soff
+              | rt when jx_refs_slot soff rt -> materialize j
+              | _ -> ()
+            done;
+            mark_reads t;
+            (* DSE: the previous store to this slot is dead if nothing
+               read the slot since and no trap point intervened. *)
+            (match Hashtbl.find_opt last_store soff with
+            | Some j
+              when j > !barrier
+                   && (match Hashtbl.find_opt last_read soff with
+                      | Some rj -> rj <= j
+                      | None -> true) ->
+              stms.(j) <- Jnop
+            | _ -> ());
+            Hashtbl.replace last_store soff !nst;
+            emit (Jst (soff, t));
+            Hashtbl.replace memo soff (if jx_size t <= 24 then t else Jslot soff)
+          in
+          let split_base t off0 =
+            match t with
+            | Jbin (0, b, Jcst c) -> (b, Int64.add (Int64.of_int off0) c)
+            | Jbin (0, Jcst c, b) -> (b, Int64.add (Int64.of_int off0) c)
+            | b -> (b, Int64.of_int off0)
+          in
+          let risky_load dst srct off0 ci =
+            let base, off = split_base srct off0 in
+            (match base with
+            | Jcst _ | Jslot _ | Jreg _ | Jtmp _ -> ()
+            | _ -> raise Jbail);
+            mark_reads base;
+            let tt = new_tmp () in
+            emit (Jld (tt, base, off, ci));
+            barrier := !nst - 1;
+            regs.(dst) <- Jtmp tt
+          in
+          let risky_store dstt off0 valt ci =
+            let base, off = split_base dstt off0 in
+            (match base with
+            | Jcst _ | Jslot _ | Jreg _ | Jtmp _ -> ()
+            | _ -> raise Jbail);
+            (* The store may alias stack slots: commit every register
+               tree that reads a slot, then forget all forwarding. *)
+            for j = 0 to 9 do
+              match regs.(j) with
+              | Jreg j' when j' = j -> ()
+              | rt -> if jx_refs_any_slot rt then materialize j
+            done;
+            mark_reads base;
+            mark_reads valt;
+            emit (Jsd (base, off, valt, ci));
+            barrier := !nst - 1;
+            Hashtbl.reset memo
+          in
+          let term = ref None in
+          let i = ref start in
+          while !term = None && !i < stop do
+            let idx = !i in
+            let o = base_op idx in
+            let a1 = ops.((4 * idx) + 1)
+            and a2 = ops.((4 * idx) + 2)
+            and a3 = ops.((4 * idx) + 3) in
+            let ci = stop - idx in
+            (match o with
+            | 8 (* mov64_rr *) -> regs.(a1) <- regs.(a2)
+            | 9 (* mov64_ri *) -> regs.(a1) <- Jcst (Int64.of_int a2)
+            | 24 (* neg64 *) ->
+              regs.(a1) <-
+                (match regs.(a1) with
+                | Jcst v -> Jcst (Int64.neg v)
+                | t -> Jneg t)
+            | 27 (* ld_imm64 *) -> regs.(a1) <- Jcst (bytes_get64 pool a2)
+            | o when o <= 23 && o land 1 = 0 (* alu64_rr *) ->
+              regs.(a1) <- jx_bin (o / 2) regs.(a1) regs.(a2)
+            | o when o <= 23 (* alu64_ri *) ->
+              regs.(a1) <- jx_bin (o / 2) regs.(a1) (Jcst (Int64.of_int a2))
+            | 31 (* ldx64 *) ->
+              if a2 = 10 then begin
+                let soff = ss + a3 in
+                if soff >= 0 && soff + 8 <= ss then
+                  regs.(a1) <-
+                    (match Hashtbl.find_opt memo soff with
+                    | Some t -> t
+                    | None -> Jslot soff)
+                else risky_load a1 (Jcst fpv) a3 ci
+              end
+              else risky_load a1 regs.(a2) a3 ci
+            | 35 (* stx64 *) ->
+              if a1 = 10 then begin
+                let soff = ss + a2 in
+                if soff >= 0 && soff + 8 <= ss then store_slot soff regs.(a3)
+                else risky_store (Jcst fpv) a2 regs.(a3) ci
+              end
+              else risky_store regs.(a1) a2 regs.(a3) ci
+            | 39 (* st64 *) ->
+              let v = Jcst (Int64.of_int a3) in
+              if a1 = 10 then begin
+                let soff = ss + a2 in
+                if soff >= 0 && soff + 8 <= ss then store_slot soff v
+                else risky_store (Jcst fpv) a2 v ci
+              end
+              else risky_store regs.(a1) a2 v ci
+            | 40 (* ja *) ->
+              term := Some (if a1 < 0 then Jdeo (idx, ci) else Jjmp (a1 / 4))
+            | 64 (* exit *) -> term := Some (Jexit (regs.(0), ci))
+            | o when o >= f_jeq_rr && o <= f_jset_ri ->
+              if a3 < 0 then term := Some (Jdeo (idx, ci))
+              else begin
+                let lhs = regs.(a1) in
+                let rhs =
+                  if (o - f_jeq_rr) land 1 = 0 then regs.(a2)
+                  else Jcst (Int64.of_int a2)
+                in
+                let c = (o - f_jeq_rr) / 2 in
+                match (lhs, rhs) with
+                | Jcst a, Jcst b ->
+                  term := Some (Jjmp (if jx_cond c a b then a3 / 4 else idx + 1))
+                | _ -> term := Some (Jcnd (c, lhs, rhs, a3 / 4, idx + 1))
+              end
+            | _ -> raise Jbail);
+            incr i
+          done;
+          let term =
+            match !term with Some t -> t | None -> Jjmp stop (* fallthrough *)
+          in
+          (* Normalize conditional operands to coded form, spilling
+             complex trees to scratch temporaries (never to registers —
+             the register file must stay exact at block exits). *)
+          let norm_opd t =
+            let t = norm_memo t in
+            match jx_opd t with
+            | Some _ -> t
+            | None ->
+              mark_reads t;
+              let tt = new_tmp () in
+              emit (Jtm (tt, t));
+              Jtmp tt
+          in
+          let term =
+            match term with
+            | Jcnd (c, lhs, rhs, ti, fi) ->
+              let lhs = norm_opd lhs in
+              let rhs = norm_opd rhs in
+              Jcnd (c, lhs, rhs, ti, fi)
+            | t -> t
+          in
+          (* Exit commits: every written register must land in the
+             register file at every block exit (except [Jexit], where
+             registers are no longer observable), so a fuel-failing
+             successor can hand off to the linked interpreter exactly. *)
+          let commits =
+            match term with
+            | Jexit _ -> [||]
+            | _ ->
+              let coded = ref [] in
+              let rgs = ref [] in
+              for j = 0 to 9 do
+                match regs.(j) with
+                | Jreg j' when j' = j -> ()
+                | t -> (
+                  let t = norm_memo t in
+                  match
+                    (match term with Jdeo _ -> None | _ -> jx_cv t)
+                  with
+                  | Some cv -> coded := (j, cv) :: !coded
+                  | None -> rgs := (j, t) :: !rgs)
+              done;
+              (* [Jrg] stmts run in sequence and write the register
+                 file; a tree reading a register that another pending
+                 [Jrg] writes would change meaning. Bail on that. *)
+              List.iter
+                (fun ((j, t) : int * sx) ->
+                  List.iter
+                    (fun ((r, _) : int * sx) ->
+                      if r <> j && jx_refs_reg r t then raise Jbail)
+                    !rgs)
+                !rgs;
+              List.iter
+                (fun (j, t) ->
+                  mark_reads t;
+                  emit (Jrg (j, t)))
+                (List.rev !rgs);
+              Array.of_list (List.rev !coded)
+          in
+          Some (stms, !nst, term, commits, !ntmp)
+        with Jbail -> None
+      end
+    in
+    (* Phase 1: symbolize every block up front, so terminator builders
+       can inspect successor blocks (loop-head inlining, commit
+       absorption) regardless of compile order. *)
+    let sym = Array.make (n + 1) None in
+    let blen_of = Array.make (n + 1) 0 in
+    begin
+      let st = ref 0 in
+      for i = 1 to n do
+        if leader.(i) then begin
+          sym.(!st) <- symbolize !st i;
+          blen_of.(!st) <- i - !st;
+          (match sym.(!st) with
+          | Some (_, _, _, _, ntmps) -> if ntmps > !maxtmp then maxtmp := ntmps
+          | None -> ());
+          st := i
+        end
+      done
+    end;
+    let leader_of_blk = Array.make !nblocks n in
+    for i = 0 to n do
+      if leader.(i) then leader_of_blk.(blk_id.(i)) <- i
+    done;
+    (* Block bodies (fuel already prepaid), for direct dispatch that
+       bypasses the gated cell; filled as blocks compile. *)
+    let bodies = Array.make !nblocks (fun (_ : jit_env) -> 0L) in
+    (* Generic tree evaluator: per-node closures, operator specialised
+       at build time. Only reached by shapes the templates miss. *)
+    let rec mk_ev t : jit_env -> int64 =
+      match t with
+      | Jcst v -> fun _ -> v
+      | Jslot o -> fun env -> bytes_get64 env.jstk o
+      | Jreg r -> fun env -> rget env.jregb r
+      | Jtmp o -> fun env -> bytes_get64 env.jseg o
+      | Jneg e ->
+        let f = mk_ev e in
+        fun env -> Int64.neg (f env)
+      | Jbin (c, a, b) -> (
+        let fa = mk_ev a and fb = mk_ev b in
+        match c with
+        | 0 -> fun env -> Int64.add (fa env) (fb env)
+        | 1 -> fun env -> Int64.sub (fa env) (fb env)
+        | 2 -> fun env -> Int64.mul (fa env) (fb env)
+        | 3 ->
+          fun env ->
+            let bv = fb env in
+            if Int64.equal bv 0L then 0L else udiv64 (fa env) bv
+        | 5 -> fun env -> Int64.logor (fa env) (fb env)
+        | 6 -> fun env -> Int64.logand (fa env) (fb env)
+        | 7 -> fun env -> Int64.logxor (fa env) (fb env)
+        | 8 ->
+          fun env ->
+            Int64.shift_left (fa env) (Int64.to_int (Int64.logand (fb env) 63L))
+        | 9 ->
+          fun env ->
+            Int64.shift_right_logical (fa env)
+              (Int64.to_int (Int64.logand (fb env) 63L))
+        | 10 ->
+          fun env ->
+            Int64.shift_right (fa env) (Int64.to_int (Int64.logand (fb env) 63L))
+        | 11 ->
+          fun env ->
+            let bv = fb env in
+            let av = fa env in
+            if Int64.equal bv 0L then av else urem64 av bv
+        | _ -> fb (* mov *))
+    in
+    (* Generic one-statement thunk for shapes without a micro-op. *)
+    let stmt_thunk st : jit_env -> unit =
+      match st with
+      | Jnop -> fun _ -> ()
+      | Jst (d, t) ->
+        let ev = mk_ev t in
+        fun env -> bytes_set64 env.jstk d (ev env)
+      | Jtm (d, t) ->
+        let ev = mk_ev t in
+        fun env -> bytes_set64 env.jseg d (ev env)
+      | Jrg (r, t) ->
+        let ev = mk_ev t in
+        fun env -> rset env.jregb r (ev env)
+      | Jld (d, base, off, ci) ->
+        let evb = mk_ev base in
+        fun env ->
+          let addr = Int64.add (evb env) off in
+          bytes_set64 env.jseg d
+            (load64_m env.jvm env.jstk lim8 (env.jk - env.jfuel - ci) addr)
+      | Jsd (base, off, v, ci) ->
+        let evb = mk_ev base and evv = mk_ev v in
+        fun env ->
+          let addr = Int64.add (evb env) off in
+          store64_m env.jvm env.jstk lim8 (env.jk - env.jfuel - ci) addr
+            (evv env)
+    in
+    (* One closure per statement, specialised on the common shapes so a
+       whole PLC statement (EWMA update, mul-store-sub, accumulate)
+       costs one call with a stable target — every link's indirect call
+       always lands on the same successor, so nothing mispredicts.
+       Links are unit-typed and compose into a chain run once per block
+       entry. *)
+    let mk_stmt_link st (rest : jit_env -> int64) : jit_env -> int64 =
+      match st with
+      | Jnop -> rest
+      | Jst (d, t) -> (
+        match t with
+        | Jcst v ->
+          fun env ->
+            bytes_set64 env.jstk d v;
+            rest env
+        | Jslot a ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (bytes_get64 s a);
+            rest env
+        | Jtmp a ->
+          fun env ->
+            bytes_set64 env.jstk d (bytes_get64 env.jseg a);
+            rest env
+        | Jreg r ->
+          fun env ->
+            bytes_set64 env.jstk d (rget env.jregb r);
+            rest env
+        | Jbin (0, Jslot a, Jcst c) | Jbin (0, Jcst c, Jslot a) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.add (bytes_get64 s a) c);
+            rest env
+        | Jbin (1, Jslot a, Jcst c) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.sub (bytes_get64 s a) c);
+            rest env
+        | Jbin (1, Jcst c, Jslot a) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.sub c (bytes_get64 s a));
+            rest env
+        | Jneg (Jslot a) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.neg (bytes_get64 s a));
+            rest env
+        | Jbin (2, Jslot a, Jcst c) | Jbin (2, Jcst c, Jslot a) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.mul (bytes_get64 s a) c);
+            rest env
+        | Jbin (6, Jslot a, Jcst c) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.logand (bytes_get64 s a) c);
+            rest env
+        | Jbin (9, Jslot a, Jcst k) ->
+          let sh = Int64.to_int (Int64.logand k 63L) in
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.shift_right_logical (bytes_get64 s a) sh);
+            rest env
+        | Jbin (8, Jslot a, Jcst k) ->
+          let sh = Int64.to_int (Int64.logand k 63L) in
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.shift_left (bytes_get64 s a) sh);
+            rest env
+        | Jbin (10, Jslot a, Jcst k) ->
+          let sh = Int64.to_int (Int64.logand k 63L) in
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.shift_right (bytes_get64 s a) sh);
+            rest env
+        | Jbin (0, Jslot a, Jslot b) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.add (bytes_get64 s a) (bytes_get64 s b));
+            rest env
+        | Jbin (1, Jslot a, Jslot b) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.sub (bytes_get64 s a) (bytes_get64 s b));
+            rest env
+        | Jbin (2, Jslot a, Jslot b) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.mul (bytes_get64 s a) (bytes_get64 s b));
+            rest env
+        | Jbin (0, Jslot a, Jtmp tb) | Jbin (0, Jtmp tb, Jslot a) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d
+              (Int64.add (bytes_get64 s a) (bytes_get64 env.jseg tb));
+            rest env
+        | Jbin (0, Jbin (0, Jslot a, Jtmp t1), Jtmp t2) ->
+          fun env ->
+            let s = env.jstk in
+            let g = env.jseg in
+            bytes_set64 s d
+              (Int64.add
+                 (Int64.add (bytes_get64 s a) (bytes_get64 g t1))
+                 (bytes_get64 g t2));
+            rest env
+        | Jbin (9, Jbin (2, Jslot a, Jcst c), Jcst k) ->
+          (* x*c >> k : the strength-reduced div-by-pow2 of a product *)
+          let sh = Int64.to_int (Int64.logand k 63L) in
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d
+              (Int64.shift_right_logical (Int64.mul (bytes_get64 s a) c) sh);
+            rest env
+        | Jbin
+            ( 0,
+              Jbin (9, Jbin (2, Jslot a, Jcst c1), Jcst k1),
+              Jbin (9, Jslot b, Jcst k2) ) ->
+          (* EWMA: (a*c1 >> k1) + (b >> k2) — the srtt/rttvar shape *)
+          let s1 = Int64.to_int (Int64.logand k1 63L) in
+          let s2 = Int64.to_int (Int64.logand k2 63L) in
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d
+              (Int64.add
+                 (Int64.shift_right_logical (Int64.mul (bytes_get64 s a) c1) s1)
+                 (Int64.shift_right_logical (bytes_get64 s b) s2));
+            rest env
+        | _ ->
+          let th = stmt_thunk st in
+          fun env ->
+            th env;
+            rest env)
+      | Jtm (d, Jslot a) ->
+        fun env ->
+          bytes_set64 env.jseg d (bytes_get64 env.jstk a);
+          rest env
+      | Jrg (r, Jcst v) ->
+        fun env ->
+          rset env.jregb r v;
+          rest env
+      | Jrg (r, Jslot a) ->
+        fun env ->
+          rset env.jregb r (bytes_get64 env.jstk a);
+          rest env
+      | Jld (d, Jslot p, off, ci) ->
+        fun env ->
+          let s = env.jstk in
+          let addr = Int64.add (bytes_get64 s p) off in
+          bytes_set64 env.jseg d
+            (load64_m env.jvm s lim8 (env.jk - env.jfuel - ci) addr);
+          rest env
+      | Jld (d, Jcst b, off, ci) ->
+        let addr = Int64.add b off in
+        fun env ->
+          bytes_set64 env.jseg d
+            (load64_m env.jvm env.jstk lim8 (env.jk - env.jfuel - ci) addr);
+          rest env
+      | _ ->
+        let th = stmt_thunk st in
+        fun env ->
+          th env;
+          rest env
+    in
+    (* Adjacent-statement fusion: two stores whose shapes commonly occur
+       back-to-back in compiled PLC code collapse into one closure. *)
+    let mk_link2 s1 s2 =
+      match (s1, s2) with
+      | Jst (d1, (Jbin (2, Jslot a, Jcst c) as m)), Jst (d2, Jbin (1, Jslot b, m'))
+        when m' == m ->
+        (* d1 := a*c; d2 := b - (a*c) — compute the product once *)
+        Some
+          (fun (rest : jit_env -> int64) env ->
+            let s = env.jstk in
+            let p = Int64.mul (bytes_get64 s a) c in
+            bytes_set64 s d1 p;
+            bytes_set64 s d2 (Int64.sub (bytes_get64 s b) p);
+            rest env)
+      | ( Jst
+            ( d1,
+              Jbin
+                ( 0,
+                  Jbin (9, Jbin (2, Jslot a1, Jcst c1), Jcst k1),
+                  Jbin (9, Jslot b1, Jcst k2) ) ),
+          Jst (d2, Jbin (9, Jbin (2, Jslot a2, Jcst c2), Jcst k3)) ) ->
+        let s1h = Int64.to_int (Int64.logand k1 63L) in
+        let s2h = Int64.to_int (Int64.logand k2 63L) in
+        let s3h = Int64.to_int (Int64.logand k3 63L) in
+        Some
+          (fun rest env ->
+            let s = env.jstk in
+            bytes_set64 s d1
+              (Int64.add
+                 (Int64.shift_right_logical (Int64.mul (bytes_get64 s a1) c1) s1h)
+                 (Int64.shift_right_logical (bytes_get64 s b1) s2h));
+            bytes_set64 s d2
+              (Int64.shift_right_logical (Int64.mul (bytes_get64 s a2) c2) s3h);
+            rest env)
+      | ( Jst (d1, Jslot a1),
+          Jst
+            ( d2,
+              Jbin
+                ( 0,
+                  Jbin (9, Jbin (2, Jslot a2, Jcst c2), Jcst k1),
+                  Jbin (9, Jslot b2, Jcst k2) ) ) ) ->
+        let s1h = Int64.to_int (Int64.logand k1 63L) in
+        let s2h = Int64.to_int (Int64.logand k2 63L) in
+        Some
+          (fun rest env ->
+            let s = env.jstk in
+            bytes_set64 s d1 (bytes_get64 s a1);
+            bytes_set64 s d2
+              (Int64.add
+                 (Int64.shift_right_logical (Int64.mul (bytes_get64 s a2) c2) s1h)
+                 (Int64.shift_right_logical (bytes_get64 s b2) s2h));
+            rest env)
+      | Jst (d1, Jcst v1), Jst (d2, Jcst v2) ->
+        Some
+          (fun rest env ->
+            let s = env.jstk in
+            bytes_set64 s d1 v1;
+            bytes_set64 s d2 v2;
+            rest env)
+      | Jst (d1, Jslot a1), Jst (d2, Jslot a2) ->
+        Some
+          (fun rest env ->
+            let s = env.jstk in
+            bytes_set64 s d1 (bytes_get64 s a1);
+            bytes_set64 s d2 (bytes_get64 s a2);
+            rest env)
+      | _ -> None
+    in
+    (* Four-statement superop: the full RTT-estimator update
+       (rttvar EWMA, srtt decay product, compared-value copy, srtt
+       EWMA) as one closure — the hottest block shape the PLC compiler
+       emits for the paper's monitoring pluglets. *)
+    let mk_link4 s1 s2 s3 s4 =
+      match (s1, s2, s3, s4) with
+      | ( Jst
+            ( d1,
+              Jbin
+                ( 0,
+                  Jbin (9, Jbin (2, Jslot a1, Jcst c1), Jcst k1),
+                  Jbin (9, Jslot b1, Jcst k2) ) ),
+          Jst (d2, Jbin (9, Jbin (2, Jslot a2, Jcst c2), Jcst k3)),
+          Jst (d3, Jslot a3),
+          Jst
+            ( d4,
+              Jbin
+                ( 0,
+                  Jbin (9, Jbin (2, Jslot a4, Jcst c4), Jcst k4),
+                  Jbin (9, Jslot b4, Jcst k5) ) ) ) ->
+        let s1h = Int64.to_int (Int64.logand k1 63L) in
+        let s2h = Int64.to_int (Int64.logand k2 63L) in
+        let s3h = Int64.to_int (Int64.logand k3 63L) in
+        let s4h = Int64.to_int (Int64.logand k4 63L) in
+        let s5h = Int64.to_int (Int64.logand k5 63L) in
+        Some
+          (fun (rest : jit_env -> int64) env ->
+            let s = env.jstk in
+            bytes_set64 s d1
+              (Int64.add
+                 (Int64.shift_right_logical (Int64.mul (bytes_get64 s a1) c1) s1h)
+                 (Int64.shift_right_logical (bytes_get64 s b1) s2h));
+            bytes_set64 s d2
+              (Int64.shift_right_logical (Int64.mul (bytes_get64 s a2) c2) s3h);
+            bytes_set64 s d3 (bytes_get64 s a3);
+            bytes_set64 s d4
+              (Int64.add
+                 (Int64.shift_right_logical (Int64.mul (bytes_get64 s a4) c4) s4h)
+                 (Int64.shift_right_logical (bytes_get64 s b4) s5h));
+            rest env)
+      | _ -> None
+    in
+    (* Compose the statement vector into a single closure chain ending
+       in [tail] (the block's terminator): an empty block costs
+       nothing, and every link tail-calls a fixed successor. *)
+    let rec mk_chain stms pos bound (tail : jit_env -> int64) :
+        jit_env -> int64 =
+      if pos >= bound then tail
+      else
+        match stms.(pos) with
+        | Jnop -> mk_chain stms (pos + 1) bound tail
+        | st -> (
+          let nexts = ref [] in
+          let p2 = ref (pos + 1) in
+          let nnx = ref 0 in
+          while !nnx < 3 && !p2 < bound do
+            (match stms.(!p2) with
+            | Jnop -> ()
+            | st2 ->
+              nexts := (st2, !p2) :: !nexts;
+              incr nnx);
+            incr p2
+          done;
+          match !nexts with
+          | [ (s4, _); (s3, _); (s2, p2i) ] -> (
+            match mk_link4 st s2 s3 s4 with
+            | Some mk -> mk (mk_chain stms !p2 bound tail)
+            | None -> (
+              match mk_link2 st s2 with
+              | Some mk -> mk (mk_chain stms (p2i + 1) bound tail)
+              | None -> mk_stmt_link st (mk_chain stms (pos + 1) bound tail)))
+          | [ _; (s2, p2i) ] | [ (s2, p2i) ] -> (
+            match mk_link2 st s2 with
+            | Some mk -> mk (mk_chain stms (p2i + 1) bound tail)
+            | None -> mk_stmt_link st (mk_chain stms (pos + 1) bound tail))
+          | _ -> mk_stmt_link st (mk_chain stms (pos + 1) bound tail))
+    in
+    (* Jump threading: follow chains of blocks whose only effects are
+       constant register moves and statically decidable jumps, so a
+       terminator dispatches straight to the far target, prepaying the
+       threaded fuel and committing the constant effects. *)
+    let scan_pure idx cregs =
+      if idx >= n then None
+      else begin
+        let stop = next_leader idx in
+        let tmp = Array.copy cregs in
+        let i = ref idx and ok = ref true and nx = ref (-1) in
+        while !ok && !i < stop do
+          let o = base_op !i in
+          let a1 = ops.((4 * !i) + 1)
+          and a2 = ops.((4 * !i) + 2)
+          and a3 = ops.((4 * !i) + 3) in
+          (match o with
+          | 9 -> if a1 <> 10 then tmp.(a1) <- Some (Int64.of_int a2) else ok := false
+          | 27 -> if a1 <> 10 then tmp.(a1) <- Some (bytes_get64 pool a2) else ok := false
+          | 8 -> (
+            if a1 = 10 then ok := false
+            else
+              match tmp.(a2) with
+              | Some v -> tmp.(a1) <- Some v
+              | None -> ok := false)
+          | 40 -> if a1 >= 0 then nx := a1 / 4 else ok := false
+          | o when o >= f_jeq_rr && o <= f_jset_ri ->
+            if a3 < 0 then ok := false
+            else begin
+              let lhs = tmp.(a1) in
+              let rhs =
+                if (o - f_jeq_rr) land 1 = 0 then tmp.(a2)
+                else Some (Int64.of_int a2)
+              in
+              match (lhs, rhs) with
+              | Some a, Some b ->
+                nx := (if jx_cond ((o - f_jeq_rr) / 2) a b then a3 / 4 else !i + 1)
+              | _ -> ok := false
+            end
+          | _ -> ok := false);
+          incr i
+        done;
+        if !ok then begin
+          if !nx = -1 then nx := stop;
+          Array.blit tmp 0 cregs 0 11;
+          Some (stop - idx, !nx)
+        end
+        else None
+      end
+    in
+    let arm_of ti =
+      if ti >= n then Aplain blk_id.(n)
+      else begin
+        let cregs = Array.make 11 None in
+        let rec go idx fuel hops visited =
+          if idx >= n || hops >= 4 || List.mem idx visited then (idx, fuel)
+          else
+            match scan_pure idx cregs with
+            | Some (f, nx) -> go nx (fuel + f) (hops + 1) (idx :: visited)
+            | None -> (idx, fuel)
+        in
+        let tgt, fuel = go ti 0 0 [] in
+        if fuel = 0 then Aplain blk_id.(ti)
+        else begin
+          let commits = ref [] in
+          for r = 9 downto 0 do
+            match cregs.(r) with
+            | Some v -> commits := (r, Vc v) :: !commits
+            | None -> ()
+          done;
+          let carr = Array.of_list !commits in
+          if Array.length carr > 3 then Aplain blk_id.(ti)
+          else Agated (fuel, carr, blk_id.(tgt), 4 * ti)
+        end
+      end
+    in
+    (* A loop-head block with no statements and a coded conditional can
+       be inlined into its predecessors' terminators: one closure tests
+       the loop condition and dispatches, saving a cell hop per
+       iteration. *)
+    let head_inline ti =
+      if ti >= n then None
+      else
+        match sym.(ti) with
+        | Some (_, 0, Jcnd (c, lhs, rhs, hti, hfi), hcarr, 0) -> (
+          match (jx_opd lhs, jx_opd rhs) with
+          | Some kl, Some kr ->
+            Some (blen_of.(ti), 4 * ti, hcarr, c, kl, kr, hti, hfi)
+          | _ -> None)
+        | _ -> None
+    in
+    let regs_of carr = Array.to_list (Array.map fst carr) in
+    (* Commit deferral: registers written by a block normally land in
+       the register file at every exit. If the successor (a) never
+       reads any of them and (b) re-commits a superset of them on every
+       one of its own non-exit paths out, the predecessor's commits can
+       be skipped entirely on the taken edge — they run only on that
+       edge's fuel-fail handoff. Slots and scratch temporaries are kept
+       exact at every boundary, so the deferred recipes stay evaluable
+       right up to the handoff. *)
+    let block_absorbs start pending =
+      match sym.(start) with
+      | None -> false
+      | Some (stms, nstm, term, carr, _) ->
+        let tree_ok t = not (List.exists (fun r -> jx_refs_reg r t) pending) in
+        let stmt_ok = function
+          | Jnop -> true
+          | Jst (_, t) | Jtm (_, t) | Jrg (_, t) -> tree_ok t
+          | Jld (_, b, _, _) -> tree_ok b
+          | Jsd (b, _, v, _) -> tree_ok b && tree_ok v
+        in
+        let opd_ok = function Kr r -> not (List.mem r pending) | _ -> true in
+        let covered () =
+          List.for_all
+            (fun r -> Array.exists (fun (r2, _) -> r2 = r) carr)
+            pending
+        in
+        let ok = ref true in
+        for i = 0 to nstm - 1 do
+          if not (stmt_ok stms.(i)) then ok := false
+        done;
+        !ok
+        && (match term with
+           | Jexit (t, _) -> tree_ok t
+           | Jdeo _ -> false
+           | Jjmp _ -> covered ()
+           | Jcnd (_, lhs, rhs, _, _) ->
+             (match (jx_opd lhs, jx_opd rhs) with
+             | Some kl, Some kr -> opd_ok kl && opd_ok kr
+             | _ -> false)
+             && covered ())
+    in
+    (* Turn a terminator arm into a dispatch descriptor, deciding
+       per-edge whether the pending commits defer. *)
+    let build_disp pending parr arm =
+      let d =
+        match arm with
+        | Aplain tb ->
+          let ts = leader_of_blk.(tb) in
+          if ts < n && block_absorbs ts pending then
+            Dbody (tb, blen_of.(ts), parr, 4 * ts)
+          else Dcell (tb, parr)
+        | Agated (gf, gc, gt, gp) ->
+          let ts = leader_of_blk.(gt) in
+          let allp = List.sort_uniq compare (pending @ regs_of gc) in
+          if ts < n && block_absorbs ts allp then
+            Dbody (gt, gf + blen_of.(ts), parr, gp)
+          else Dgcell (gf, gt, parr, gc, gp)
+      in
+      d
+    in
+    (* Bake a dispatch descriptor into its own closure so terminator
+       arms cost one predicted indirect call, no tag match. Bodies and
+       cells are looked up at call time: forward edges are filled in by
+       the time any program runs. *)
+    let disp_closure d : jit_env -> int64 =
+      match d with
+      | Dbody (bidx, need, fc, fpc) ->
+        fun env ->
+          let f = env.jfuel in
+          if f >= need then begin
+            env.jfuel <- f - need;
+            (Array.unsafe_get bodies bidx) env
+          end
+          else begin
+            jrun_commits env fc;
+            exec_linked env.jvm linked env.jk fpc f
+          end
+      | Dcell (cidx, pend) ->
+        fun env ->
+          jrun_commits env pend;
+          (Array.unsafe_get cells cidx) env
+      | Dgcell (gf, gt, pend, gc, gp) ->
+        fun env ->
+          jrun_commits env pend;
+          let f = env.jfuel in
+          if f >= gf then begin
+            env.jfuel <- f - gf;
+            jrun_commits env gc;
+            (Array.unsafe_get cells gt) env
+          end
+          else exec_linked env.jvm linked env.jk gp f
+    in
+    let edge pending parr arm = disp_closure (build_disp pending parr arm) in
+    (* own + inlined-head commits, later (head) entries winning. *)
+    let merge_commits a b =
+      let keep =
+        List.filter
+          (fun ((r, _) : int * jcv) ->
+            not (Array.exists (fun (r2, _) -> r2 = r) b))
+          (Array.to_list a)
+      in
+      Array.append (Array.of_list keep) b
+    in
+    (* Compile a symbolized block to a single closure: the statement
+       chain tail-calls straight into the terminator (folded trailing
+       copy/incr, inlined loop-head gate, operand-specialised compare,
+       per-edge dispatch closures). An empty block IS its terminator. *)
+    let mk_symbolic_body (stms, nstm, term, carr, _) =
+      let pregs = regs_of carr in
+      let last =
+        let l = ref (nstm - 1) in
+        while !l >= 0 && (match stms.(!l) with Jnop -> true | _ -> false) do
+          decr l
+        done;
+        !l
+      in
+      match term with
+      | Jexit (t, ci) ->
+        let tail =
+          match t with
+          | Jslot o ->
+            fun env ->
+              env.jvm.executed <- env.jk - env.jfuel - ci;
+              bytes_get64 env.jstk o
+          | Jcst v ->
+            fun env ->
+              env.jvm.executed <- env.jk - env.jfuel - ci;
+              v
+          | _ ->
+            let ev = mk_ev t in
+            fun env ->
+              env.jvm.executed <- env.jk - env.jfuel - ci;
+              ev env
+        in
+        mk_chain stms 0 nstm tail
+      | Jdeo (i, ci) ->
+        mk_chain stms 0 nstm (fun env ->
+            exec_linked env.jvm linked env.jk (4 * i) (env.jfuel + ci))
+      | Jcnd (c, lhs, rhs, ti, fi) ->
+        let kl = match jx_opd lhs with Some k -> k | None -> assert false in
+        let kr = match jx_opd rhs with Some k -> k | None -> assert false in
+        let tf = edge pregs carr (arm_of ti) in
+        let ff = edge pregs carr (arm_of fi) in
+        let pre, bound =
+          match ((if last >= 0 then stms.(last) else Jnop), lhs) with
+          | Jst (d, Jbin (0, Jslot d', Jcst inc)), Jslot x
+            when d' = d && x = d ->
+            (Pincr (d, inc), last)
+          | Jst (d, Jslot a), Jslot x when x = d || x = a -> (Pcopy (d, a), last)
+          | _ -> (Pnone, nstm)
+        in
+        let tail =
+          match (kl, kr) with
+          | Ks la, Ks rb ->
+            fun env ->
+              jrun_pre env pre;
+              let s = env.jstk in
+              (if jx_cond c (bytes_get64 s la) (bytes_get64 s rb) then tf
+               else ff)
+                env
+          | Ks la, Kc vb ->
+            fun env ->
+              jrun_pre env pre;
+              (if jx_cond c (bytes_get64 env.jstk la) vb then tf else ff) env
+          | _ ->
+            fun env ->
+              jrun_pre env pre;
+              let a = jopd_get env kl and b = jopd_get env kr in
+              (if jx_cond c a b then tf else ff) env
+        in
+        mk_chain stms 0 bound tail
+      | Jjmp t -> (
+        (* The inlined head's coded operands name register state at head
+           entry, but this block's own commits are still pending when the
+           compare runs: a [Kr] of a pending register must read the
+           committed value, not the stale register file. Substitute the
+           commit's value form; refuse the inline when none exists. *)
+        let subst_pending k =
+          match k with
+          | Kr r -> (
+            match Array.find_opt (fun (r2, _) -> r2 = r) carr with
+            | None -> Some k
+            | Some (_, Vc v) -> Some (Kc v)
+            | Some (_, Vs o) -> Some (Ks o)
+            | Some (_, Vt o) -> Some (Kt o)
+            | Some (_, Vshr _) -> None)
+          | k -> Some k
+        in
+        let inlined =
+          match head_inline t with
+          | None -> None
+          | Some (hfuel, hpc, hcarr, hc, hl, hr, hti, hfi) -> (
+            match (subst_pending hl, subst_pending hr) with
+            | Some hl, Some hr ->
+              Some (hfuel, hpc, hcarr, hc, hl, hr, hti, hfi)
+            | _ -> None)
+        in
+        match inlined with
+        | Some (hfuel, hpc, hcarr, hc, hl, hr, hti, hfi) ->
+          let ownh = merge_commits carr hcarr in
+          let pall = regs_of ownh in
+          let tf = edge pall ownh (arm_of hti) in
+          let ff = edge pall ownh (arm_of hfi) in
+          let pre, bound =
+            match ((if last >= 0 then stms.(last) else Jnop), hl) with
+            | Jst (d, Jbin (0, Jslot d', Jcst inc)), Ks x
+              when d' = d && x = d ->
+              (Pincr (d, inc), last)
+            | Jst (d, Jslot a), Ks x when x = d || x = a -> (Pcopy (d, a), last)
+            | _ -> (Pnone, nstm)
+          in
+          let tail =
+            match (hl, hr) with
+            | Ks la, Ks rb ->
+              fun env ->
+                jrun_pre env pre;
+                let f = env.jfuel in
+                if f >= hfuel then begin
+                  env.jfuel <- f - hfuel;
+                  let s = env.jstk in
+                  (if jx_cond hc (bytes_get64 s la) (bytes_get64 s rb) then
+                     tf
+                   else ff)
+                    env
+                end
+                else begin
+                  jrun_commits env carr;
+                  exec_linked env.jvm linked env.jk hpc f
+                end
+            | Ks la, Kc vb ->
+              fun env ->
+                jrun_pre env pre;
+                let f = env.jfuel in
+                if f >= hfuel then begin
+                  env.jfuel <- f - hfuel;
+                  (if jx_cond hc (bytes_get64 env.jstk la) vb then tf else ff)
+                    env
+                end
+                else begin
+                  jrun_commits env carr;
+                  exec_linked env.jvm linked env.jk hpc f
+                end
+            | _ ->
+              fun env ->
+                jrun_pre env pre;
+                let f = env.jfuel in
+                if f >= hfuel then begin
+                  env.jfuel <- f - hfuel;
+                  let a = jopd_get env hl and b = jopd_get env hr in
+                  (if jx_cond hc a b then tf else ff) env
+                end
+                else begin
+                  jrun_commits env carr;
+                  exec_linked env.jvm linked env.jk hpc f
+                end
+          in
+          mk_chain stms 0 bound tail
+        | None ->
+          let d = edge pregs carr (arm_of t) in
+          mk_chain stms 0 nstm d)
+    in
+    (* Whole-loop mega template: the tight pointer-chasing accumulate
+       loop ("acc += m64[p]; acc += m64[p+8]" with an inlined counter
+       head) gets a single native loop. The per-iteration bounds checks
+       collapse to one non-raising region guard hoisted out of the
+       loop, together with the base pointer, the loop bound and the
+       loads (nothing in the loop can remap regions or write memory);
+       register commits are deferred to the loop's exits. Any guard
+       miss falls back to the block's generic micro-op body with the
+       exact monitored semantics. *)
+    let try_mega start ((stms, nstm, term, carr, _) as info) blen selfpc =
+      let nn = ref [] in
+      for i = nstm - 1 downto 0 do
+        match stms.(i) with Jnop -> () | st -> nn := st :: !nn
+      done;
+      match (!nn, term) with
+      | ( [
+            Jst (d1, Jslot acc0);
+            Jld (t0, Jslot p0, o1, _);
+            Jst (d1b, Jbin (0, Jslot acc1, Jtmp t0b));
+            Jst (d2, Jslot p1);
+            Jld (t1, Jslot p2, o2, _);
+            Jst (accw, Jbin (0, Jbin (0, Jslot acc2, Jtmp t0c), Jtmp t1b));
+            Jst (dk, Jbin (0, Jslot dkb, Jcst kinc));
+          ],
+          Jjmp jt )
+        when d1b = d1 && accw = acc0 && acc0 = acc1 && acc1 = acc2 && t0b = t0
+             && t0c = t0 && t1b = t1 && p0 = p1 && p1 = p2 && dkb = dk
+             && p0 <> d1 && p0 <> d2 && p0 <> accw && p0 <> dk
+             && accw <> dk && accw <> d1 && accw <> d2
+             && d1 <> d2 && d1 <> dk && d2 <> dk
+             && Int64.compare o1 0L >= 0 && Int64.compare o2 0L >= 0 -> (
+        match head_inline jt with
+        | Some (hfuel, hpc, hcarr, hc, Ks hls, hr, hti, hfi)
+          when hls = dk && (hti = start || hfi = start) -> (
+          let bnd =
+            match hr with
+            | Ks o when o <> d1 && o <> d2 && o <> accw && o <> dk && o <> p0
+              ->
+              Some hr
+            | Kc _ -> Some hr
+            | _ -> None
+          in
+          match bnd with
+          | None -> None
+          | Some bnd ->
+            let self_taken = hti = start in
+            let other_ti = if self_taken then hfi else hti in
+            let ownh = merge_commits carr hcarr in
+            let pall = regs_of ownh in
+            let od = edge pall ownh (arm_of other_ti) in
+            let hi =
+              Int64.add (if Int64.compare o1 o2 < 0 then o2 else o1) 7L
+            in
+            let hi_i = Int64.to_int hi in
+            let oi1 = Int64.to_int o1 and oi2 = Int64.to_int o2 in
+            let iterf = hfuel + blen in
+            let slow = mk_symbolic_body info in
+            let body env =
+              let s = env.jstk in
+              let bp = bytes_get64 s p0 in
+              let wlo = Int64.to_int (Int64.shift_right_logical bp 32) in
+              let whi =
+                Int64.to_int (Int64.shift_right_logical (Int64.add bp hi) 32)
+              in
+              let tbl = env.jvm.region_tbl in
+              if wlo = whi && wlo < Array.length tbl then begin
+                match Array.unsafe_get tbl wlo with
+                | Some r ->
+                  let off = Int64.to_int (Int64.logand bp 0xffff_ffffL) in
+                  if off + hi_i < Bytes.length r.mem then begin
+                    let m = r.mem in
+                    let v0 = bytes_get64 m (off + oi1) in
+                    let v1 = bytes_get64 m (off + oi2) in
+                    let g = env.jseg in
+                    bytes_set64 g t0 v0;
+                    bytes_set64 g t1 v1;
+                    bytes_set64 s d2 bp;
+                    let bound =
+                      match bnd with
+                      | Ks o -> bytes_get64 s o
+                      | Kc v -> v
+                      | _ -> 0L
+                    in
+                    let rec go () =
+                      let acc0v = bytes_get64 s accw in
+                      let a1v = Int64.add acc0v v0 in
+                      let acc = Int64.add a1v v1 in
+                      bytes_set64 s d1 a1v;
+                      bytes_set64 s accw acc;
+                      let k = Int64.add (bytes_get64 s dk) kinc in
+                      bytes_set64 s dk k;
+                      let f = env.jfuel in
+                      if f >= iterf && jx_cond hc k bound = self_taken
+                      then begin
+                        env.jfuel <- f - iterf;
+                        go ()
+                      end
+                      else cold f k
+                    and cold f k =
+                      if f >= hfuel then begin
+                        env.jfuel <- f - hfuel;
+                        if jx_cond hc k bound = self_taken then begin
+                          jrun_commits env ownh;
+                          exec_linked env.jvm linked env.jk selfpc env.jfuel
+                        end
+                        else od env
+                      end
+                      else begin
+                        jrun_commits env carr;
+                        exec_linked env.jvm linked env.jk hpc f
+                      end
+                    in
+                    go ()
+                  end
+                  else slow env
+                | None -> slow env
+              end
+              else slow env
+            in
+            Some body)
+        | _ -> None)
+      | _ -> None
+    in
+    (* Second whole-loop template: the RTT-estimator cycle. A block of
+       pure slot arithmetic (two EWMAs, a decay product, a copy, the
+       loop-counter increment) jumps through an inlined counter head to
+       a small compare block (sample product, difference, sign test)
+       whose fall-through edge leads straight back. The whole cycle
+       compiles to one closed native loop with a single combined fuel
+       gate; every deviation (counter exhausted, fuel short, negative
+       difference) exits through the exact per-edge dispatch closures,
+       so commits, instruction accounting and deopt stay bit-exact. *)
+    let try_cycle start (stms, nstm, term, carr, (_ : int)) =
+      let nn = ref [] in
+      for i = nstm - 1 downto 0 do
+        match stms.(i) with Jnop -> () | st -> nn := st :: !nn
+      done;
+      match (!nn, term) with
+      | ( [
+            Jst
+              ( d1,
+                Jbin
+                  ( 0,
+                    Jbin (9, Jbin (2, Jslot a1, Jcst c1), Jcst k1),
+                    Jbin (9, Jslot b1, Jcst k2) ) );
+            Jst (d2, Jbin (9, Jbin (2, Jslot a2, Jcst c2), Jcst k3));
+            Jst (d3, Jslot a3);
+            Jst
+              ( d4,
+                Jbin
+                  ( 0,
+                    Jbin (9, Jbin (2, Jslot a4, Jcst c4), Jcst k4),
+                    Jbin (9, Jslot b4, Jcst k5) ) );
+            Jst (dk, Jbin (0, Jslot dkb, Jcst kinc));
+          ],
+          Jjmp jt )
+        when dkb = dk -> (
+        match head_inline jt with
+        | Some (hfuel, hpc, hcarr, hc, Ks hls, hr, hti, hfi) when hls = dk
+          -> (
+          let ownh = merge_commits carr hcarr in
+          let pall = regs_of ownh in
+          (* Find the continue arm: a deferred direct edge into a
+             mul/sub/copy compare block with a deferred edge back. *)
+          let probe arm =
+            match build_disp pall ownh (arm_of arm) with
+            | Dbody (mb, mneed, _, _) -> (
+              let ml = leader_of_blk.(mb) in
+              if ml >= n || ml = start then None
+              else
+                match sym.(ml) with
+                | Some (mstms, mnstm, Jcnd (mc, mlhs, mrhs, mti, mfi), mcarr, _)
+                  -> (
+                  let mn = ref [] in
+                  for i = mnstm - 1 downto 0 do
+                    match mstms.(i) with
+                    | Jnop -> ()
+                    | st -> mn := st :: !mn
+                  done;
+                  match (!mn, jx_opd mlhs, jx_opd mrhs) with
+                  | ( [
+                        Jst (md1, Jbin (2, Jslot ma, Jcst mcst));
+                        Jst (md2, Jbin (1, Jslot mbs, Jbin (2, Jslot ma', Jcst mcst')));
+                        Jst (md3, Jslot ma3);
+                      ],
+                      Some (Ks mls),
+                      Some (Kc mrv) )
+                    when ma' = ma && mcst' = mcst ->
+                    let mpregs = regs_of mcarr in
+                    let back a =
+                      match build_disp mpregs mcarr (arm_of a) with
+                      | Dbody (bb, bneed, _, _)
+                        when leader_of_blk.(bb) = start ->
+                        Some bneed
+                      | _ -> None
+                    in
+                    let pick =
+                      match back mti with
+                      | Some bneed -> Some (true, bneed, mfi)
+                      | None -> (
+                        match back mfi with
+                        | Some bneed -> Some (false, bneed, mti)
+                        | None -> None)
+                    in
+                    (match pick with
+                    | Some (back_is_ti, backneed, mother_arm) ->
+                      Some
+                        ( mb, mneed, backneed, back_is_ti, mother_arm, mc,
+                          mls, mrv, md1, md2, md3, ma, mbs, ma3, mcst,
+                          mpregs, mcarr )
+                    | None -> None)
+                  | _ -> None)
+                | _ -> None)
+            | _ -> None
+          in
+          let cont =
+            match probe hti with
+            | Some m -> Some (true, m)
+            | None -> (
+              match probe hfi with Some m -> Some (false, m) | None -> None)
+          in
+          match cont with
+          | Some
+              ( cont_is_ti,
+                ( _mb, mneed, backneed, back_is_ti, mother_arm, mc, mls,
+                  mrv, md1, md2, md3, ma, mbs, ma3, mcst, mpregs, mcarr ) )
+            -> (
+            let writes = [ d1; d2; d3; d4; dk; md1; md2; md3 ] in
+            let bnd =
+              match hr with
+              | Ks o when not (List.mem o writes) -> Some hr
+              | Kc _ -> Some hr
+              | _ -> None
+            in
+            match bnd with
+            | None -> None
+            | Some bnd ->
+              let exit_arm = if cont_is_ti then hfi else hti in
+              let contc = edge pall ownh (arm_of (if cont_is_ti then hti else hfi)) in
+              let exitc = edge pall ownh (arm_of exit_arm) in
+              let motherc = edge mpregs mcarr (arm_of mother_arm) in
+              (* Diamond support: if the deviating arm runs one tiny
+                 pure block (e.g. negate the difference) and jumps
+                 straight back to the loop, keep it in-loop — commits,
+                 fuel and the loop-bound slot are replicated exactly,
+                 with any shortfall replayed through the generic edge. *)
+              let writes_slot o xstms xnstm =
+                let w = ref false in
+                for i = 0 to xnstm - 1 do
+                  match xstms.(i) with
+                  | Jst (d, _) when d = o -> w := true
+                  | _ -> ()
+                done;
+                !w
+              in
+              let probe_x pend gc pref gt =
+                let xl = leader_of_blk.(gt) in
+                if xl >= n || xl = start then None
+                else
+                  match sym.(xl) with
+                  | Some (xstms, xnstm, Jjmp xt, xcarr, _) -> (
+                    match build_disp (regs_of xcarr) xcarr (arm_of xt) with
+                    | Dbody (bb, xneed, _, _)
+                      when leader_of_blk.(bb) = start
+                           && (match bnd with
+                              | Ks o -> not (writes_slot o xstms xnstm)
+                              | _ -> true) ->
+                      let xchain = mk_chain xstms 0 xnstm (fun _ -> 0L) in
+                      Some (pend, gc, pref + blen_of.(xl) + xneed, xchain)
+                    | _ -> None)
+                  | _ -> None
+              in
+              let minline =
+                match build_disp mpregs mcarr (arm_of mother_arm) with
+                | Dgcell (gf, gt, pend, gc, _) -> probe_x pend gc gf gt
+                | Dbody (bb, need, _, _) ->
+                  probe_x [||] [||] (need - blen_of.(leader_of_blk.(bb))) bb
+                | Dcell _ -> None
+              in
+              let s1h = Int64.to_int (Int64.logand k1 63L) in
+              let s2h = Int64.to_int (Int64.logand k2 63L) in
+              let s3h = Int64.to_int (Int64.logand k3 63L) in
+              let s4h = Int64.to_int (Int64.logand k4 63L) in
+              let s5h = Int64.to_int (Int64.logand k5 63L) in
+              let iterf = hfuel + mneed + backneed in
+              (* [go]/[cold] close only over template constants and are
+                 built once at compile time: re-entering the loop after
+                 an excursion (negative difference, fuel pause) costs no
+                 allocation. *)
+              let rec go env s bound =
+                bytes_set64 s d1
+                  (Int64.add
+                     (Int64.shift_right_logical
+                        (Int64.mul (bytes_get64 s a1) c1)
+                        s1h)
+                     (Int64.shift_right_logical (bytes_get64 s b1) s2h));
+                bytes_set64 s d2
+                  (Int64.shift_right_logical
+                     (Int64.mul (bytes_get64 s a2) c2)
+                     s3h);
+                bytes_set64 s d3 (bytes_get64 s a3);
+                bytes_set64 s d4
+                  (Int64.add
+                     (Int64.shift_right_logical
+                        (Int64.mul (bytes_get64 s a4) c4)
+                        s4h)
+                     (Int64.shift_right_logical (bytes_get64 s b4) s5h));
+                let k = Int64.add (bytes_get64 s dk) kinc in
+                bytes_set64 s dk k;
+                let f = env.jfuel in
+                if f >= iterf && jx_cond hc k bound = cont_is_ti then begin
+                  let pr = Int64.mul (bytes_get64 s ma) mcst in
+                  bytes_set64 s md1 pr;
+                  bytes_set64 s md2 (Int64.sub (bytes_get64 s mbs) pr);
+                  bytes_set64 s md3 (bytes_get64 s ma3);
+                  if jx_cond mc (bytes_get64 s mls) mrv = back_is_ti
+                  then begin
+                    env.jfuel <- f - iterf;
+                    go env s bound
+                  end
+                  else begin
+                    let f' = f - hfuel - mneed in
+                    match minline with
+                    | Some (pend, gc, xcost, xchain) when f' >= xcost ->
+                      jrun_commits env pend;
+                      jrun_commits env gc;
+                      ignore (xchain env);
+                      env.jfuel <- f' - xcost;
+                      go env s bound
+                    | _ ->
+                      env.jfuel <- f';
+                      motherc env
+                  end
+                end
+                else cold env f k bound
+              and cold env f k bound =
+                if f >= hfuel then begin
+                  env.jfuel <- f - hfuel;
+                  if jx_cond hc k bound = cont_is_ti then contc env
+                  else exitc env
+                end
+                else begin
+                  jrun_commits env carr;
+                  exec_linked env.jvm linked env.jk hpc f
+                end
+              in
+              let body env =
+                let s = env.jstk in
+                let bound =
+                  match bnd with
+                  | Ks o -> bytes_get64 s o
+                  | Kc v -> v
+                  | _ -> 0L
+                in
+                go env s bound
+              in
+              Some body)
+          | None -> None)
+        | _ -> None)
+      | _ -> None
+    in
+    let compile_block start stop =
+      let blen = stop - start in
+      let pc4 = 4 * start in
+      let body =
+        match sym.(start) with
+        | None ->
+          let rec build i next =
+            if i < start then next else build (i - 1) (ins i (stop - i) next)
+          in
+          build (stop - 1) (goto_cell blk_id.(stop))
+        | Some info -> (
+          match try_mega start info blen pc4 with
+          | Some b -> b
+          | None -> (
+            match try_cycle start info with
+            | Some b -> b
+            | None -> mk_symbolic_body info))
+      in
+      bodies.(blk_id.(start)) <- body;
+      cells.(blk_id.(start)) <-
+        (fun env ->
+          let f = env.jfuel in
+          if f >= blen then begin
+            env.jfuel <- f - blen;
+            body env
+          end
+          else exec_linked env.jvm linked env.jk pc4 f)
+    in
+    let start = ref 0 in
+    for i = 1 to n do
+      if leader.(i) then begin
+        compile_block !start i;
+        start := i
+      end
+    done;
+    (* Sentinel block: falling off the end. The linked loop's own fuel
+       check and sentinel trap provide the exact semantics. *)
+    cells.(blk_id.(n)) <-
+      (fun env -> exec_linked env.jvm linked env.jk (4 * n) env.jfuel);
+    let entry = cells.(blk_id.(0)) in
+    if !maxtmp > 0 then env.jseg <- Bytes.create (8 * !maxtmp);
+    ignore env.jseg_off;
+    {
+      jlinked = linked;
+      jstack = stack_size;
+      jentry = Some (fun e -> entry e);
+      jenv = env;
+    }
+  end
+
+let jit_linked jp = jp.jlinked
+let jit_compiled jp = jp.jentry <> None
+
+(* Share one compilation between PREs: the block closures only ever touch
+   the [jit_env] they are passed, so a clone is the same closures over a
+   fresh mutable environment — each holder gets its own run state (and
+   thus its own non-re-entrancy domain) for the cost of two small
+   allocations. The content-addressed program cache relies on this. *)
+let jit_clone jp =
+  let env = jit_fresh_env () in
+  env.jseg <- Bytes.create (Bytes.length jp.jenv.jseg);
+  { jp with jenv = env }
+
+(* Execute a jitted program: the same prologue as [run_linked], then the
+   entry block closure. A VM whose stack size differs from the one the
+   stack-direct closures were baked for falls back to the linked tier
+   (same semantics, no recompilation). *)
+let run_jit vm ?(args = [||]) jp =
+  match jp.jentry with
+  | Some entry when vm.stack_size = jp.jstack ->
+    reset_stack vm;
+    let regb = vm.regb in
+    Bytes.fill regb 0 88 '\000';
+    let nargs = Array.length args in
+    for k = 0 to (if nargs > 5 then 4 else nargs - 1) do
+      rset regb (k + 1) args.(k)
+    done;
+    rset regb Insn.fp (fp_value vm);
+    let fuel0 = vm.max_insns in
+    let env = jp.jenv in
+    env.jvm <- vm;
+    env.jregb <- regb;
+    env.jstk <- vm.stack.mem;
+    env.jk <- vm.executed + fuel0 + 1;
+    env.jfuel <- fuel0;
+    entry env
+  | _ -> run_linked vm ~args jp.jlinked
 
 let executed vm = vm.executed

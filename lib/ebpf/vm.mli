@@ -98,6 +98,55 @@ val run_linked : t -> ?args:int64 array -> linked_prog -> int64
     @raise Fuel_exhausted when the instruction budget is spent
     @raise Helper_failure when a helper rejects a call *)
 
+type jit_prog
+(** A program compiled by the closure-template JIT (the third execution
+    tier): basic blocks become chains of OCaml closures specialised per
+    opcode and operand kind, threaded by direct closure reference, with
+    stack bounds checks resolved at compile time where the frame pointer
+    is provably never rewritten. A [jit_prog] holds no VM state, so one
+    compilation is shared by every VM running the same bytecode (the
+    content-addressed plugin cache relies on this) — but execution is not
+    re-entrant: one run at a time per [jit_prog]. *)
+
+val jit_enabled : bool ref
+(** When false, {!jit} produces an uncompiled program and {!run_jit}
+    falls back to {!run_linked} — keeping the reference tiers
+    differentially testable and the JIT switchable at runtime.
+    Default: true, unless the environment sets [PQUIC_NO_JIT=1]. *)
+
+val jit : ?stack_size:int -> Insn.t array -> jit_prog
+(** Compile a program for {!run_jit}. [stack_size] (default 512) must
+    match the stack size of the VMs the program will run on; a mismatch
+    is detected at run time and falls back to the linked tier. Like
+    {!link}, compilation is total: shapes the JIT does not specialise
+    (invalid jump targets, bad register operands) deoptimise into the
+    linked interpreter at the exact faulting instruction, so execution
+    agrees with {!run} even on unverified programs. *)
+
+val jit_clone : jit_prog -> jit_prog
+(** Same compiled closures over a fresh mutable run environment: cheap
+    (two small allocations, no recompilation), and gives each holder its
+    own non-re-entrancy domain. This is how the content-addressed program
+    cache hands one compilation to many PREs. *)
+
+val jit_linked : jit_prog -> linked_prog
+(** The linked form backing a jitted program (also its deoptimisation
+    target) — callers needing the second tier get it without re-linking. *)
+
+val jit_compiled : jit_prog -> bool
+(** Whether closure compilation actually ran ([jit_enabled] was set and
+    the platform is little-endian); if false, {!run_jit} executes on the
+    linked tier. *)
+
+val run_jit : t -> ?args:int64 array -> jit_prog -> int64
+(** Execute a jitted program; semantics (results, traps, {!executed}
+    accounting) are identical to {!run} on the program it was compiled
+    from. Not re-entrant (helpers must not re-run the same VM or
+    [jit_prog]).
+    @raise Memory_violation on an out-of-region or read-only access
+    @raise Fuel_exhausted when the instruction budget is spent
+    @raise Helper_failure when a helper rejects a call *)
+
 val executed : t -> int
 (** Instructions executed over the VM's lifetime (overhead accounting),
-    on either execution path. *)
+    on any execution path. *)

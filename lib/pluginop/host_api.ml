@@ -98,10 +98,7 @@ let install_helpers st c inst (pre : Pre.t) =
       let coef = to_i a.(2) land 0xff in
       let dst = Ebpf.Vm.read_bytes vm a.(0) len in
       let src = Ebpf.Vm.read_bytes vm a.(1) len in
-      for k = 0 to len - 1 do
-        Bytes.set_uint8 dst k
-          (Bytes.get_uint8 dst k lxor Gf.mul coef (Bytes.get_uint8 src k))
-      done;
+      Gf.mulvec ~coef ~src ~dst ~len;
       Ebpf.Vm.write_bytes vm a.(0) dst;
       0L);
   reg Api.h_gf256_scalevec (fun vm a ->

@@ -28,6 +28,15 @@ let compiled pluglet =
   | Bytecode (prog, stack) -> (prog, stack)
   | Source f -> Plc.Compile.compile ~helpers:Api.helper_names f
 
+(* Content address of a pluglet's executable form: digest of the encoded
+   bytecode plus the stack size it was compiled for. Two pluglets with
+   the same key run the same program on the same frame layout, so the
+   PREs' program cache can share one verified+jitted compilation between
+   them — across plugins, instances and connections. *)
+let code_key prog stack_size =
+  Digest.to_hex (Digest.string (Ebpf.Insn.encode prog))
+  ^ ":" ^ string_of_int stack_size
+
 let anchor_code = function
   | Protoop.Replace -> 0
   | Protoop.Pre -> 1

@@ -27,6 +27,11 @@ val compiled : pluglet -> Ebpf.Insn.t array * int
 (** The pluglet's bytecode and stack size, compiling source on demand.
     @raise Plc.Compile.Error when source compilation fails *)
 
+val code_key : Ebpf.Insn.t array -> int -> string
+(** Content address of an executable form (bytecode digest + stack size):
+    the key under which the PREs' program cache shares one verified,
+    linked and jitted compilation between identical pluglets. *)
+
 val serialize : t -> string
 (** Deterministic wire form — the unit published to the Plugin Repository
     and exchanged over connections. *)

@@ -67,11 +67,14 @@ exception Injection_failed of string
 
 let plugin_heap_size = 256 * 1024
 
-(* Build a fresh instance for [plugin]: every pluglet is compiled,
-   verified and linked here, once. Attaching the instance to a connection
-   (including re-attaching a cached instance, the Section 2.5 reload fast
-   path) only wipes the heap and rebinds helpers — the linked programs are
-   reused as-is. *)
+(* Build a fresh instance for [plugin]: every pluglet is admitted here —
+   compiled, verified, linked and jitted through the PREs'
+   content-addressed program cache, so building the same bytecode again
+   (another connection, a reload) reuses the compiled closures and only
+   pays for fresh run environments. Attaching the instance to a
+   connection (including re-attaching a cached instance, the Section 2.5
+   reload fast path) only wipes the heap and rebinds helpers — the
+   jitted programs are reused as-is. *)
 let build_instance (plugin : Plugin.t) =
   let pool = Memory_pool.create ~size:plugin_heap_size () in
   let inst = { plugin; pool; pres = []; opaque = Hashtbl.create 8; bound = None } in

@@ -18,21 +18,49 @@ type t = {
   anchor : Protoop.anchor;
   prog : Ebpf.Insn.t array;
   linked : Ebpf.Vm.linked_prog;
+  jit : Ebpf.Vm.jit_prog;
   vm : Ebpf.Vm.t;
   heap_base : int64;
 }
 
-(* Verify, link and instantiate. [heap] is the plugin's shared memory area. *)
+(* Content-addressed program cache: bytecode digest + stack size
+   ([Plugin.code_key], suffixed with the jit switch) -> the verified,
+   linked and jitted compilation. A hit skips the whole admission
+   pipeline — verification (same bytecode, same verdict), linking and
+   closure compilation — and shares the compiled closures via
+   [Vm.jit_clone], so reloading a cached plugin or injecting the same
+   pluglet on another connection only pays for a fresh run environment. *)
+let program_cache : (string, Ebpf.Vm.jit_prog) Hashtbl.t = Hashtbl.create 32
+let cache_hits = ref 0
+let cache_stats () = (Hashtbl.length program_cache, !cache_hits)
+
+let admit prog stack_size =
+  let key =
+    Plugin.code_key prog stack_size
+    ^ if !Ebpf.Vm.jit_enabled then ":jit" else ":linked"
+  in
+  match Hashtbl.find_opt program_cache key with
+  | Some master ->
+    incr cache_hits;
+    Ebpf.Vm.jit_clone master
+  | None ->
+    (match
+       Ebpf.Verifier.verify ~stack_size ~known_helper:Api.is_known_helper prog
+     with
+    | Ok () -> ()
+    | Error errs ->
+      raise
+        (Rejected
+           (String.concat "; " (List.map Ebpf.Verifier.error_to_string errs))));
+    let master = Ebpf.Vm.jit ~stack_size prog in
+    Hashtbl.add program_cache key master;
+    Ebpf.Vm.jit_clone master
+
+(* Verify, link, jit and instantiate (through the program cache). [heap]
+   is the plugin's shared memory area. *)
 let create ~plugin_name ~(pluglet : Plugin.pluglet) ~heap =
   let prog, stack_size = Plugin.compiled pluglet in
-  (match
-     Ebpf.Verifier.verify ~stack_size ~known_helper:Api.is_known_helper prog
-   with
-  | Ok () -> ()
-  | Error errs ->
-    raise
-      (Rejected
-         (String.concat "; " (List.map Ebpf.Verifier.error_to_string errs))));
+  let jit = admit prog stack_size in
   let vm = Ebpf.Vm.create ~stack_size () in
   let heap_region = Ebpf.Vm.map_region vm ~name:"plugin_heap" ~perm:Ebpf.Vm.Rw heap in
   {
@@ -41,7 +69,8 @@ let create ~plugin_name ~(pluglet : Plugin.pluglet) ~heap =
     param = pluglet.param;
     anchor = pluglet.anchor;
     prog;
-    linked = Ebpf.Vm.link prog;
+    linked = Ebpf.Vm.jit_linked jit;
+    jit;
     vm;
     heap_base = heap_region.Ebpf.Vm.base;
   }
@@ -72,6 +101,8 @@ let with_regions t regions f =
     finally ();
     raise e
 
-let run t ~args = Ebpf.Vm.run_linked t.vm ~args t.linked
+(* The per-packet fast path: the jitted tier when compiled, the linked
+   tier otherwise (run_jit falls back by itself). *)
+let run t ~args = Ebpf.Vm.run_jit t.vm ~args t.jit
 
 let executed_insns t = Ebpf.Vm.executed t.vm

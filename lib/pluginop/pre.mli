@@ -4,9 +4,11 @@
     points to the area shared by all pluglets of the plugin, mapped at the
     same window in every VM so heap pointers have the same value in every
     PRE of an instance. The admission pipeline — compile if needed, static
-    verification, link — runs once at creation; {!run} then executes the
-    cached linked program with no per-call setup, and runtime memory
-    monitoring lives in the VM. *)
+    verification, link, closure JIT — runs once per distinct bytecode: a
+    content-addressed program cache shares the compiled program between
+    identical pluglets, so re-admission only pays for a fresh run
+    environment. {!run} then executes the jitted program with no per-call
+    setup, and runtime memory monitoring lives in the VM. *)
 
 exception Rejected of string
 (** The verifier refused the bytecode: the whole plugin is rejected. *)
@@ -17,7 +19,9 @@ type t = {
   param : int option;
   anchor : Protoop.anchor;
   prog : Ebpf.Insn.t array;
-  linked : Ebpf.Vm.linked_prog;  (** [prog] linked once at creation *)
+  linked : Ebpf.Vm.linked_prog;  (** the jitted program's linked form *)
+  jit : Ebpf.Vm.jit_prog;
+    (** compiled once per distinct bytecode (content-addressed cache) *)
   vm : Ebpf.Vm.t;
   heap_base : int64;
 }
@@ -25,6 +29,11 @@ type t = {
 val create : plugin_name:string -> pluglet:Plugin.pluglet -> heap:Bytes.t -> t
 (** @raise Rejected when verification fails
     @raise Plc.Compile.Error when source compilation fails *)
+
+val cache_stats : unit -> int * int
+(** [(entries, hits)] of the content-addressed program cache — distinct
+    compiled programs, and admissions served without re-verifying,
+    re-linking or re-jitting. *)
 
 val register_helper : t -> int -> Ebpf.Vm.helper -> unit
 

@@ -24,6 +24,50 @@ let pow a n =
 
 let inv a = if a = 0 then 0 else pow a 254
 
+(* dst ^= coef * src, byte by byte: the specification for the
+   word-parallel kernel below, and the oracle its parity test checks
+   against. *)
+let mulvec_ref ~coef ~src ~dst ~len =
+  let coef = coef land 0xff in
+  for k = 0 to len - 1 do
+    Bytes.set_uint8 dst k
+      (Bytes.get_uint8 dst k lxor mul coef (Bytes.get_uint8 src k))
+  done
+
+external get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+(* Word-parallel dst ^= coef * src: eight byte lanes per native int64 op.
+   The per-word product is built like [mul], but xtime runs on all eight
+   lanes at once — the top-bit mask picks the lanes that overflow, and
+   [(hi >>> 7) * 0x1b] rebuilds the reduction byte in exactly those lanes
+   (each product term stays below 256, so lanes cannot carry into each
+   other). The FEC repair path XOR-accumulates coef*symbol over whole
+   1300-byte symbols, which is where the 8x width pays. *)
+let mulvec ~coef ~src ~dst ~len =
+  if len < 0 || len > Bytes.length src || len > Bytes.length dst then
+    invalid_arg "Gf.mulvec";
+  let coef = coef land 0xff in
+  let words = len lsr 3 in
+  for w = 0 to words - 1 do
+    let o = w lsl 3 in
+    let x = ref (get64 src o) and c = ref coef and p = ref 0L in
+    while !c <> 0 do
+      if !c land 1 <> 0 then p := Int64.logxor !p !x;
+      let hi = Int64.logand !x 0x8080_8080_8080_8080L in
+      x :=
+        Int64.logxor
+          (Int64.shift_left (Int64.logand !x 0x7f7f_7f7f_7f7f_7f7fL) 1)
+          (Int64.mul (Int64.shift_right_logical hi 7) 0x1bL);
+      c := !c lsr 1
+    done;
+    set64 dst o (Int64.logxor (get64 dst o) !p)
+  done;
+  for k = words lsl 3 to len - 1 do
+    Bytes.set_uint8 dst k
+      (Bytes.get_uint8 dst k lxor mul coef (Bytes.get_uint8 src k))
+  done
+
 (* Deterministic RLC coefficient in 1..255, identical on both peers. *)
 let rlc_coef ~seed ~sid ~row =
   let h = ref 0xcbf29ce484222325L in

@@ -10,6 +10,16 @@ val pow : int -> int -> int
 val inv : int -> int
 (** Multiplicative inverse; [inv 0 = 0] by convention. *)
 
+val mulvec : coef:int -> src:Bytes.t -> dst:Bytes.t -> len:int -> unit
+(** [dst.(k) <- dst.(k) lxor coef*src.(k)] for [k < len] — the FEC
+    XOR-accumulate step — computed eight byte lanes per native word
+    (SWAR xtime). Equivalent to {!mulvec_ref}.
+    @raise Invalid_argument when [len] overruns either buffer. *)
+
+val mulvec_ref : coef:int -> src:Bytes.t -> dst:Bytes.t -> len:int -> unit
+(** Byte-at-a-time specification of {!mulvec}, kept as the parity
+    oracle. *)
+
 val rlc_coef : seed:int64 -> sid:int64 -> row:int -> int
 (** The deterministic coding coefficient in 1..255 both peers regenerate
     for a (source-symbol id, repair row) pair; never 0. *)

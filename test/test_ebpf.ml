@@ -401,11 +401,12 @@ let test_stack_isolated_between_runs () =
   ignore (Vm.run vm write);
   check i64 "fresh stack per run" 0L (Vm.run vm read)
 
-(* -------------------- linked fast path (Vm.link) --------------------- *)
+(* ---------------- execution tiers (link, jit) ------------------------ *)
 
 (* [Vm.run] is kept as the executable specification of pluglet semantics;
-   [Vm.link] + [Vm.run_linked] is the admission-pipeline fast path used by
-   the PREs. The two must agree on results, on traps and on instruction
+   [Vm.link] + [Vm.run_linked] is the admission-pipeline fast path, and
+   [Vm.jit] + [Vm.run_jit] the closure-compiled tier the PREs actually
+   execute. All three must agree on results, on traps and on instruction
    accounting for every program the verifier admits. *)
 
 type outcome = Value of int64 | Trap of string
@@ -443,26 +444,37 @@ let observe vm f =
   in
   (outcome, Vm.executed vm - before)
 
-(* Run [prog] through both paths on identically prepared VMs (same region
-   layout, hence identical base addresses passed as r1/r2). *)
+(* Run [prog] through all three tiers on identically prepared VMs (same
+   region layout, hence identical base addresses passed as r1/r2). *)
 let differential prog =
   let vm_ref, args_ref = diff_vm () in
   let vm_fast, args_fast = diff_vm () in
-  assert (args_ref = args_fast);
+  let vm_jit, args_jit = diff_vm () in
+  assert (args_ref = args_fast && args_ref = args_jit);
   let o_ref = observe vm_ref (fun () -> Vm.run vm_ref ~args:args_ref prog) in
   let o_fast =
     observe vm_fast (fun () ->
         Vm.run_linked vm_fast ~args:args_fast (Vm.link prog))
   in
-  (o_ref, o_fast)
+  let o_jit =
+    observe vm_jit (fun () -> Vm.run_jit vm_jit ~args:args_jit (Vm.jit prog))
+  in
+  (o_ref, o_fast, o_jit)
 
 let diff_case name prog =
-  let (o_ref, e_ref), (o_fast, e_fast) = differential (Array.of_list prog) in
+  let (o_ref, e_ref), (o_fast, e_fast), (o_jit, e_jit) =
+    differential (Array.of_list prog)
+  in
   check bool
-    (Printf.sprintf "%s: %s = %s" name (outcome_to_string o_ref)
+    (Printf.sprintf "%s: %s = %s (linked)" name (outcome_to_string o_ref)
        (outcome_to_string o_fast))
     true (o_ref = o_fast);
-  check int (name ^ ": executed-insn accounting") e_ref e_fast
+  check int (name ^ ": linked executed-insn accounting") e_ref e_fast;
+  check bool
+    (Printf.sprintf "%s: %s = %s (jit)" name (outcome_to_string o_ref)
+       (outcome_to_string o_jit))
+    true (o_ref = o_jit);
+  check int (name ^ ": jit executed-insn accounting") e_ref e_jit
 
 (* Instructions biased towards what the verifier admits and towards the
    interesting memory cases: accesses through r1 (rw region), r2 (ro
@@ -493,19 +505,25 @@ let gen_diff_insn =
       ])
 
 let linked_matches_reference =
-  qcheck ~count:500 "linked fast path matches the reference interpreter"
+  qcheck ~count:500 "linked and jit tiers match the reference interpreter"
     QCheck2.Gen.(list_size (int_range 1 25) gen_diff_insn)
     (fun insns ->
       let prog = Array.of_list (insns @ [ I.Exit ]) in
       match V.verify ~known_helper:diff_known_helper prog with
       | Error _ -> true (* not admitted: nothing to compare *)
       | Ok () ->
-        let (o_ref, e_ref), (o_fast, e_fast) = differential prog in
-        if o_ref = o_fast && e_ref = e_fast then true
+        let (o_ref, e_ref), (o_fast, e_fast), (o_jit, e_jit) =
+          differential prog
+        in
+        if
+          o_ref = o_fast && e_ref = e_fast && o_ref = o_jit && e_ref = e_jit
+        then true
         else
           QCheck2.Test.fail_reportf
-            "reference: %s after %d insns@.linked:    %s after %d insns"
-            (outcome_to_string o_ref) e_ref (outcome_to_string o_fast) e_fast)
+            "reference: %s after %d insns@.linked:    %s after %d \
+             insns@.jit:       %s after %d insns"
+            (outcome_to_string o_ref) e_ref (outcome_to_string o_fast) e_fast
+            (outcome_to_string o_jit) e_jit)
 
 let test_differential_traps () =
   (* fuel: a self-jump that never terminates *)
@@ -552,6 +570,87 @@ let test_linked_lazy_jump_trap () =
     Alcotest.failf "wrong trap for taken invalid jump: %s" (Printexc.to_string e)
   | _ -> Alcotest.fail "taken invalid jump did not trap"
 
+(* Edge cases aimed at the jit's block structure: backward edges and
+   self-loops (cell dispatch and fuel accounting), traps inside the linked
+   tier's fused instruction pairs (deoptimization re-entry points), and
+   accesses that leave the argument regions' windows in both directions. *)
+let test_jit_block_edges () =
+  (* backward jump spanning several blocks, with memory traffic inside *)
+  diff_case "backward jump with stores"
+    [
+      I.Alu64 (I.Mov, 3, I.Imm 6l);
+      I.Alu64 (I.Mov, 0, I.Imm 0l);
+      I.Stx (I.W64, 1, 0, 3);
+      I.Ldx (I.W32, 4, 1, 0);
+      I.Alu64 (I.Add, 0, I.Reg 4);
+      I.Alu64 (I.Sub, 3, I.Imm 1l);
+      I.Jcond (I.Jne, 3, I.Imm 0l, -5);
+      I.Exit;
+    ];
+  (* unconditional jump to self: pure fuel burn, trap accounting must
+     agree down to the instruction *)
+  diff_case "jump to self" [ I.Ja (-1); I.Exit ];
+  (* conditional jump to itself that never flips: same, via the
+     conditional cell path *)
+  diff_case "conditional self-loop"
+    [ I.Alu64 (I.Mov, 3, I.Imm 1l); I.Jcond (I.Jne, 3, I.Imm 0l, -1); I.Exit ];
+  (* trap in the first half of an ldx64+add64 fused pair *)
+  diff_case "trap in fused pair, first half"
+    [
+      I.Alu64 (I.Mov, 3, I.Imm 2l);
+      I.Ldx (I.W64, 0, 1, 60);
+      I.Alu64 (I.Add, 0, I.Reg 3);
+      I.Exit;
+    ];
+  (* trap in the second half of an stx64+ldx64 fused pair: the store
+     lands, then the load straddles the ro region *)
+  diff_case "trap in fused pair, second half"
+    [
+      I.Alu64 (I.Mov, 3, I.Imm 9l);
+      I.Stx (I.W64, 1, 0, 3);
+      I.Ldx (I.W64, 0, 2, 28);
+      I.Exit;
+    ];
+  (* leaving the argument buffer's window on both sides *)
+  diff_case "arg buffer overrun" [ I.Ldx (I.W64, 0, 1, 4096); I.Exit ];
+  diff_case "arg buffer underrun" [ I.Ldx (I.W64, 0, 1, -8); I.Exit ]
+
+(* Regression: a block the symbolizer refuses (sub-64-bit load) runs as a
+   per-instruction closure chain; its conditional dispatches through the
+   block cells into a pure mov/ja block whose jeq successor gets inlined
+   into the terminator. The inlined compare must see the pending mov
+   commit, not the stale register file (shrunk from the datagram
+   plugin's parse pluglet). *)
+let test_jit_pending_commit_regression () =
+  diff_case "per-insn head into threaded mov/jeq chain"
+    [
+      I.Stx (I.W64, I.fp, -8, 1);
+      I.Stx (I.W64, I.fp, -16, 2);
+      I.Ldx (I.W64, 0, I.fp, -8);
+      I.Ldx (I.W16, 0, 0, 0);
+      I.Stx (I.W64, I.fp, -24, 0);
+      I.Ldx (I.W64, 0, I.fp, -24);
+      I.Stx (I.W64, I.fp, -32, 0);
+      I.Alu64 (I.Mov, 0, I.Imm 2l);
+      I.Alu64 (I.Mov, 1, I.Reg 0);
+      I.Ldx (I.W64, 0, I.fp, -32);
+      I.Alu64 (I.Add, 0, I.Reg 1);
+      I.Stx (I.W64, I.fp, -32, 0);
+      I.Ldx (I.W64, 0, I.fp, -16);
+      I.Alu64 (I.Mov, 1, I.Reg 0);
+      I.Ldx (I.W64, 0, I.fp, -32);
+      I.Jcond (I.Jgt, 0, I.Reg 1, 2);
+      I.Alu64 (I.Mov, 0, I.Imm 0l);
+      I.Ja 1;
+      I.Alu64 (I.Mov, 0, I.Imm 1l);
+      I.Jcond (I.Jeq, 0, I.Imm 0l, 3);
+      I.Alu64 (I.Mov, 0, I.Imm 0l);
+      I.Exit;
+      I.Ja 0;
+      I.Ldx (I.W64, 0, I.fp, -24);
+      I.Exit;
+    ]
+
 let test_linked_basics () =
   let vm = Vm.create () in
   let lp = Vm.link [| I.Alu64 (I.Mov, 0, I.Reg 3); I.Exit |] in
@@ -564,6 +663,57 @@ let test_linked_basics () =
   let read = Vm.link [| I.Ldx (I.W64, 0, I.fp, -8); I.Exit |] in
   ignore (Vm.run_linked vm write);
   check i64 "fresh stack per linked run" 0L (Vm.run_linked vm read)
+
+let test_jit_basics () =
+  let vm = Vm.create () in
+  let jp = Vm.jit [| I.Alu64 (I.Mov, 0, I.Reg 3); I.Exit |] in
+  check bool "closure compilation ran" true (Vm.jit_compiled jp);
+  check i64 "args reach r3" 33L (Vm.run_jit vm ~args:[| 11L; 22L; 33L |] jp);
+  check i64 "jitted program reusable" 33L
+    (Vm.run_jit vm ~args:[| 11L; 22L; 33L |] jp);
+  (* a clone shares the compiled program (physically) over fresh run
+     state, and runs *)
+  let c = Vm.jit_clone jp in
+  check bool "clone shares the linked program" true
+    (Vm.jit_linked c == Vm.jit_linked jp);
+  check i64 "clone runs" 33L (Vm.run_jit vm ~args:[| 11L; 22L; 33L |] c);
+  (* the persistent stack is wiped between runs, as in the other tiers *)
+  let write = Vm.jit [| I.St (I.W64, I.fp, -8, 77l); I.Exit |] in
+  let read = Vm.jit [| I.Ldx (I.W64, 0, I.fp, -8); I.Exit |] in
+  ignore (Vm.run_jit vm write);
+  check i64 "fresh stack per jit run" 0L (Vm.run_jit vm read)
+
+(* The PREs' content-addressed program cache: admitting the same bytecode
+   twice verifies and compiles once, and hands out clones that share the
+   compiled program but not their run environments. *)
+let test_program_cache () =
+  let module P = Pluginop.Plugin in
+  let module Pre = Pluginop.Pre in
+  let prog = [| I.Alu64 (I.Mov, 0, I.Imm 7l); I.Exit |] in
+  let mk () =
+    Pre.create ~plugin_name:"org.test.cache"
+      ~pluglet:
+        {
+          P.op = 150;
+          param = None;
+          anchor = Pluginop.Protoop.Replace;
+          code = P.Bytecode (prog, 64);
+        }
+      ~heap:(Bytes.create 64)
+  in
+  let _, hits0 = Pre.cache_stats () in
+  let a = mk () in
+  let b = mk () in
+  let _, hits1 = Pre.cache_stats () in
+  check bool "second admission hits the cache" true (hits1 >= hits0 + 1);
+  check bool "admissions share the compiled program" true
+    (a.Pre.linked == b.Pre.linked);
+  check bool "the key is content-addressed" true
+    (P.code_key prog 64 = P.code_key (Array.copy prog) 64);
+  check bool "stack size is part of the key" true
+    (P.code_key prog 64 <> P.code_key prog 128);
+  check i64 "first instance runs" 7L (Pre.run a ~args:[||]);
+  check i64 "cached instance runs" 7L (Pre.run b ~args:[||])
 
 let tests =
   [
@@ -606,5 +756,12 @@ let tests =
       Alcotest.test_case "trap parity" `Quick test_differential_traps;
       Alcotest.test_case "lazy invalid jump" `Quick test_linked_lazy_jump_trap;
       linked_matches_reference;
+    ]);
+    ("jit", [
+      Alcotest.test_case "basics" `Quick test_jit_basics;
+      Alcotest.test_case "block edges" `Quick test_jit_block_edges;
+      Alcotest.test_case "pending-commit regression" `Quick
+        test_jit_pending_commit_regression;
+      Alcotest.test_case "program cache" `Quick test_program_cache;
     ]);
   ]

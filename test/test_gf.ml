@@ -41,6 +41,53 @@ let test_gf_pow () =
   check Alcotest.int "a^1" 7 (Gf.pow 7 1);
   check Alcotest.int "a^2 = a*a" (Gf.mul 7 7) (Gf.pow 7 2)
 
+(* the word-parallel XOR-accumulate kernel must agree with the byte-wise
+   specification on every coefficient, length (odd tails included) and
+   content — lengths straddle the 8-byte word boundary on purpose *)
+let mulvec_parity =
+  qtest ~count:500 "mulvec matches byte-wise reference"
+    QCheck2.Gen.(
+      triple (int_range 0 255) (int_range 0 40)
+        (pair (list_size (int_range 0 40) (int_range 0 255))
+           (list_size (int_range 0 40) (int_range 0 255))))
+    (fun (coef, len, (src_l, dst_l)) ->
+      let of_list l pad =
+        let b = Bytes.make pad '\000' in
+        List.iteri (fun i v -> if i < pad then Bytes.set_uint8 b i v) l;
+        b
+      in
+      let n = max len (max (List.length src_l) (List.length dst_l)) in
+      let src = of_list src_l n in
+      let d1 = of_list dst_l n in
+      let d2 = Bytes.copy d1 in
+      let len = min len n in
+      Gf.mulvec ~coef ~src ~dst:d1 ~len;
+      Gf.mulvec_ref ~coef ~src ~dst:d2 ~len;
+      Bytes.equal d1 d2)
+
+let test_mulvec_fixed () =
+  (* 1300-byte FEC symbol, the production shape: whole words plus a
+     4-byte tail *)
+  let src = Bytes.init 1300 (fun i -> Char.chr (i * 7 land 0xff)) in
+  let d1 = Bytes.init 1300 (fun i -> Char.chr (i * 13 land 0xff)) in
+  let d2 = Bytes.copy d1 in
+  Gf.mulvec ~coef:0x53 ~src ~dst:d1 ~len:1300;
+  Gf.mulvec_ref ~coef:0x53 ~src ~dst:d2 ~len:1300;
+  check Alcotest.bool "1300B parity" true (Bytes.equal d1 d2);
+  (* coef 0 and 1 are the identity-shaped edges *)
+  let d3 = Bytes.copy d1 in
+  Gf.mulvec ~coef:0 ~src ~dst:d3 ~len:1300;
+  check Alcotest.bool "coef 0 is a no-op" true (Bytes.equal d1 d3);
+  Gf.mulvec ~coef:1 ~src ~dst:d3 ~len:1300;
+  let d4 = Bytes.copy d1 in
+  Gf.mulvec_ref ~coef:1 ~src ~dst:d4 ~len:1300;
+  check Alcotest.bool "coef 1 xors src" true (Bytes.equal d3 d4);
+  check Alcotest.bool "len overrun rejected" true
+    (try
+       Gf.mulvec ~coef:2 ~src ~dst:(Bytes.create 4) ~len:8;
+       false
+     with Invalid_argument _ -> true)
+
 (* the coefficient stream is deterministic: both FEC peers regenerate it *)
 let rlc_coef_deterministic =
   qtest ~count:200 "rlc coefficients deterministic and nonzero"
@@ -59,6 +106,8 @@ let tests =
       gf_field_axioms;
       gf_inverse;
       gf_mul_inv_roundtrip;
+      mulvec_parity;
+      Alcotest.test_case "mulvec fixed shapes" `Quick test_mulvec_fixed;
       rlc_coef_deterministic;
     ]);
   ]
