@@ -1,0 +1,58 @@
+(* Minimal repro: does the 4-store int64 loop box under classic mode? *)
+external bytes_get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external bytes_set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+type env = { mutable jfuel : int; jstk : Bytes.t }
+
+let mk d1 a1 c1i s1h b1 s2h d2 a2 c2i s3h d3 a3 d4 a4 c4i s4h b4 s5h dk kinci
+    bound iterf hfuel (contc : env -> int64) =
+  let body env =
+    let s = env.jstk in
+    let rec go () =
+      bytes_set64 s d1
+        (Int64.add
+           (Int64.shift_right_logical
+              (Int64.mul (bytes_get64 s a1) (Int64.of_int c1i))
+              s1h)
+           (Int64.shift_right_logical (bytes_get64 s b1) s2h));
+      bytes_set64 s d2
+        (Int64.shift_right_logical
+           (Int64.mul (bytes_get64 s a2) (Int64.of_int c2i))
+           s3h);
+      bytes_set64 s d3 (bytes_get64 s a3);
+      bytes_set64 s d4
+        (Int64.add
+           (Int64.shift_right_logical
+              (Int64.mul (bytes_get64 s a4) (Int64.of_int c4i))
+              s4h)
+           (Int64.shift_right_logical (bytes_get64 s b4) s5h));
+      let k = Int64.add (bytes_get64 s dk) (Int64.of_int kinci) in
+      bytes_set64 s dk k;
+      let f = env.jfuel in
+      if f >= iterf && Int64.compare k bound < 0 then begin
+        env.jfuel <- f - iterf;
+        go ()
+      end
+      else cold f k
+    and cold f k =
+      if f >= hfuel then begin
+        env.jfuel <- f - hfuel;
+        ignore k;
+        contc env
+      end
+      else 0L
+    in
+    go ()
+  in
+  body
+
+let () =
+  let e = { jfuel = 10_000_000; jstk = Bytes.make 512 '\x01' } in
+  let body =
+    mk 472 464 3 2 456 2 456 448 7 3 448 440 504 504 7 3 496 3 480 1 64L 74 3
+      (fun _ -> 7L)
+  in
+  let w0 = Gc.minor_words () in
+  ignore (body e);
+  let w1 = Gc.minor_words () in
+  Printf.printf "alloc for ~135k iters: %.0f words\n" (w1 -. w0)

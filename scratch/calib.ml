@@ -1,0 +1,47 @@
+(* Calibrate: cost of an indirect closure-chain call + Bytes slot traffic. *)
+
+type env = { mutable stk : Bytes.t; mutable fuel : int }
+
+external bytes_get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external bytes_set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+(* stmt closure: d := a + b over slots *)
+let add_ss d a b (next : env -> int64) =
+  fun env ->
+    let s = env.stk in
+    bytes_set64 s d (Int64.add (bytes_get64 s a) (bytes_get64 s b));
+    next env
+
+let ewma d a c1 k2 b k3 (next : env -> int64) =
+  fun env ->
+    let s = env.stk in
+    bytes_set64 s d
+      (Int64.add
+         (Int64.shift_right_logical (Int64.mul (bytes_get64 s a) c1) k2)
+         (Int64.shift_right_logical (bytes_get64 s b) k3));
+    next env
+
+let fin = fun (env : env) -> bytes_get64 env.stk 0
+
+let () =
+  let env = { stk = Bytes.make 128 '\x01'; fuel = 1_000_000_000 } in
+  (* chain of 64 add stmts *)
+  let rec build n next = if n = 0 then next else build (n - 1) (add_ss 8 16 24 next) in
+  let chain64 = build 64 fin in
+  let rec builde n next = if n = 0 then next else builde (n - 1) (ewma 8 16 7L 3 24 3 next) in
+  let echain64 = builde 64 fin in
+  let time name iters f =
+    let best = ref infinity in
+    for _ = 1 to 20 do
+      let c0 = Sys.time () in
+      for _ = 1 to iters do ignore (f env) done;
+      let c1 = Sys.time () in
+      let t = (c1 -. c0) /. float iters in
+      if t < !best then best := t
+    done;
+    Printf.printf "%s: %.1f ns total, %.2f ns/stmt\n%!" name (!best *. 1e9)
+      (!best *. 1e9 /. 64.)
+  in
+  time "add_chain64" 20000 chain64;
+  time "ewma_chain64" 20000 echain64;
+  ignore env.fuel

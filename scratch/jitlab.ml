@@ -1,0 +1,145 @@
+(* Throwaway perf lab for the closure JIT: differential smoke + interleaved
+   timing of the two ISSUE-target programs. Not part of the PR. *)
+
+let pre_rtt_program =
+  let open Plc.Ast in
+  let f =
+    {
+      name = "bench_rtt";
+      params = [];
+      body =
+        [
+          Let ("srtt", Const 100_000_000L);
+          Let ("rttvar", Const 50_000_000L);
+          For
+            ( "k",
+              i 1,
+              i 65,
+              [
+                Let ("sample", v "k" *: i 1_000_000);
+                Let ("diff", v "srtt" -: v "sample");
+                If
+                  ( Bin (Slt, v "diff", i 0),
+                    [ Assign ("diff", i 0 -: v "diff") ],
+                    [] );
+                Assign ("rttvar", (v "rttvar" *: i 3 /: i 4) +: (v "diff" /: i 4));
+                Assign ("srtt", (v "srtt" *: i 7 /: i 8) +: (v "sample" /: i 8));
+              ] );
+          Return (v "srtt" +: v "rttvar");
+        ];
+    }
+  in
+  Plc.Compile.compile ~helpers:Pquic.Api.helper_names f
+
+let bytecode_direct =
+  let open Plc.Ast in
+  let f =
+    {
+      name = "bench_direct";
+      params = [ "base" ];
+      body =
+        [
+          Let ("acc", i 0);
+          For
+            ( "k",
+              i 0,
+              i 64,
+              [
+                Assign
+                  ( "acc",
+                    v "acc"
+                    +: Load (Ebpf.Insn.W64, v "base")
+                    +: Load (Ebpf.Insn.W64, v "base" +: i 8) );
+              ] );
+          Return (v "acc");
+        ];
+    }
+  in
+  Plc.Compile.compile ~helpers:Pquic.Api.helper_names f
+
+let interleaved_pair ?(rounds = 24) ~iters fast slow =
+  let bf = ref infinity and bs = ref infinity in
+  for _ = 1 to rounds do
+    let c0 = Sys.time () in
+    for _ = 1 to iters do
+      ignore (fast ())
+    done;
+    let c1 = Sys.time () in
+    for _ = 1 to iters do
+      ignore (slow ())
+    done;
+    let c2 = Sys.time () in
+    let f = (c1 -. c0) /. float iters and s = (c2 -. c1) /. float iters in
+    if f < !bf then bf := f;
+    if s < !bs then bs := s
+  done;
+  (!bf *. 1e9, !bs *. 1e9)
+
+let check name a b = if a <> b then Printf.printf "MISMATCH %s: %Ld <> %Ld\n%!" name a b
+
+let alloc_per name f =
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 100 do ignore (f ()) done;
+  let w1 = Gc.minor_words () in
+  Printf.printf "%s: %.1f words/run\n%!" name ((w1 -. w0) /. 100.)
+
+let () =
+  (* pre_rtt *)
+  let prog, stack = pre_rtt_program in
+  let vm = Ebpf.Vm.create ~stack_size:stack () in
+  let linked = Ebpf.Vm.link prog in
+  let jp = Ebpf.Vm.jit ~stack_size:stack prog in
+  Printf.printf "pre_rtt: compiled=%b stack=%d n=%d\n%!"
+    (Ebpf.Vm.jit_compiled jp) stack (Array.length prog);
+  let rl = Ebpf.Vm.run_linked vm linked in
+  let rj = Ebpf.Vm.run_jit vm jp in
+  check "pre_rtt result" rl rj;
+  let e0 = Ebpf.Vm.executed vm in
+  ignore (Ebpf.Vm.run_linked vm linked);
+  let e1 = Ebpf.Vm.executed vm in
+  ignore (Ebpf.Vm.run_jit vm jp);
+  let e2 = Ebpf.Vm.executed vm in
+  Printf.printf "pre_rtt insns: linked=%d jit=%d\n%!" (e1 - e0) (e2 - e1);
+  if e1 - e0 <> e2 - e1 then Printf.printf "ACCOUNTING MISMATCH\n%!";
+  let fast () = Ebpf.Vm.run_jit vm jp in
+  let slow () = Ebpf.Vm.run_linked vm linked in
+  alloc_per "pre_rtt jit alloc" fast;
+  alloc_per "pre_rtt linked alloc" slow;
+  let f, s = interleaved_pair ~iters:2000 fast slow in
+  Printf.printf "pre_rtt: jit %.1f ns, linked %.1f ns, speedup %.2fx\n%!" f s (s /. f);
+
+  (* bytecode_direct *)
+  let prog, stack = bytecode_direct in
+  let vm = Ebpf.Vm.create ~stack_size:stack () in
+  let region =
+    Ebpf.Vm.map_region vm ~name:"state" ~perm:Ebpf.Vm.Rw (Bytes.make 16 '\x07')
+  in
+  let base = region.Ebpf.Vm.base in
+  let linked = Ebpf.Vm.link prog in
+  let jp = Ebpf.Vm.jit ~stack_size:stack prog in
+  Printf.printf "direct: compiled=%b stack=%d n=%d\n%!"
+    (Ebpf.Vm.jit_compiled jp) stack (Array.length prog);
+  let rl = Ebpf.Vm.run_linked vm ~args:[| base |] linked in
+  let rj = Ebpf.Vm.run_jit vm ~args:[| base |] jp in
+  check "direct result" rl rj;
+  let e0 = Ebpf.Vm.executed vm in
+  ignore (Ebpf.Vm.run_linked vm ~args:[| base |] linked);
+  let e1 = Ebpf.Vm.executed vm in
+  ignore (Ebpf.Vm.run_jit vm ~args:[| base |] jp);
+  let e2 = Ebpf.Vm.executed vm in
+  Printf.printf "direct insns: linked=%d jit=%d\n%!" (e1 - e0) (e2 - e1);
+  if e1 - e0 <> e2 - e1 then Printf.printf "ACCOUNTING MISMATCH\n%!";
+  let fast () = Ebpf.Vm.run_jit vm ~args:[| base |] jp in
+  let slow () = Ebpf.Vm.run_linked vm ~args:[| base |] linked in
+  alloc_per "direct jit alloc" fast;
+  alloc_per "direct linked alloc" slow;
+  let f, s = interleaved_pair ~iters:6000 fast slow in
+  Printf.printf "direct: jit %.1f ns, linked %.1f ns, speedup %.2fx\n%!" f s (s /. f)
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "dump" then begin
+    let prog, _ = pre_rtt_program in
+    Format.printf "=== pre_rtt ===@.%a@." Ebpf.Insn.pp_program prog;
+    let prog, _ = bytecode_direct in
+    Format.printf "=== direct ===@.%a@." Ebpf.Insn.pp_program prog
+  end

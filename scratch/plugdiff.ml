@@ -1,0 +1,356 @@
+(* Differential: every real pluglet bytecode under run / run_linked /
+   run_jit with deterministic stub helpers. *)
+
+module Vm = Ebpf.Vm
+
+type outcome = Value of int64 | Trap of string
+
+let outcome_to_string = function
+  | Value v -> Printf.sprintf "value %Ld" v
+  | Trap s -> "trap [" ^ s ^ "]"
+
+let mk_vm stack_size =
+  let vm = Vm.create ~stack_size ~max_insns:200_000 () in
+  (* deterministic stub for every helper id the pluglets might call *)
+  for id = 0 to 127 do
+    Vm.register_helper vm id (fun _ a ->
+        let h = ref (Int64.of_int (id * 2654435761)) in
+        Array.iter
+          (fun v -> h := Int64.mul (Int64.logxor !h v) 0x100000001b3L)
+          a;
+        !h)
+  done;
+  let r1 =
+    Vm.map_region vm ~name:"buf1" ~perm:Vm.Rw
+      (Bytes.init 256 (fun i -> Char.chr (i * 11 mod 256)))
+  in
+  let r2 =
+    Vm.map_region vm ~name:"buf2" ~perm:Vm.Ro
+      (Bytes.init 128 (fun i -> Char.chr (255 - i)))
+  in
+  (vm, [| r1.Vm.base; r2.Vm.base; 7L; 1300L; 3L |])
+
+let observe vm f =
+  let before = Vm.executed vm in
+  let o =
+    match f () with
+    | v -> Value v
+    | exception Vm.Memory_violation m -> Trap ("memory: " ^ m)
+    | exception Vm.Fuel_exhausted -> Trap "fuel"
+    | exception Vm.Helper_failure m -> Trap ("helper: " ^ m)
+  in
+  (o, Vm.executed vm - before)
+
+let check name prog stack_size =
+  let vm1, a1 = mk_vm stack_size in
+  let vm2, a2 = mk_vm stack_size in
+  let vm3, a3 = mk_vm stack_size in
+  let o1 = observe vm1 (fun () -> Vm.run vm1 ~args:a1 prog) in
+  let o2 = observe vm2 (fun () -> Vm.run_linked vm2 ~args:a2 (Vm.link prog)) in
+  let o3 =
+    observe vm3 (fun () ->
+        Vm.run_jit vm3 ~args:a3 (Vm.jit ~stack_size prog))
+  in
+  if o1 <> o2 || o1 <> o3 then begin
+    let p (o, e) = Printf.sprintf "%s / %d insns" (outcome_to_string o) e in
+    Printf.printf "MISMATCH %s:\n  ref    %s\n  linked %s\n  jit    %s\n" name
+      (p o1) (p o2) (p o3)
+  end
+  else Printf.printf "ok %s (%s)\n" name (outcome_to_string (fst o1))
+
+let plugin (p : Pluginop.Plugin.t) =
+  List.iteri
+    (fun i (pl : Pluginop.Plugin.pluglet) ->
+      let prog, stack = Pluginop.Plugin.compiled pl in
+      check (Printf.sprintf "%s[%d] op=%d" p.name i pl.op) prog stack)
+    p.pluglets
+
+let () =
+  plugin Plugins.Monitoring.plugin;
+  plugin Plugins.Datagram.plugin;
+  plugin Plugins.Multipath.plugin;
+  plugin Plugins.Fec.rlc_full;
+  plugin Plugins.Fec.xor_full;
+  plugin Plugins.Extras.Tlp.plugin;
+  plugin Plugins.Extras.Ecn.plugin;
+  plugin Plugins.Extras.Aimd.plugin
+
+let () =
+  match Sys.argv with
+  | [| _; "dump"; pname; istr |] ->
+    let p =
+      List.find
+        (fun (p : Pluginop.Plugin.t) -> p.name = pname)
+        [ Plugins.Monitoring.plugin; Plugins.Datagram.plugin;
+          Plugins.Multipath.plugin; Plugins.Fec.rlc_full;
+          Plugins.Extras.Tlp.plugin; Plugins.Extras.Ecn.plugin;
+          Plugins.Extras.Aimd.plugin ]
+    in
+    let pl = List.nth p.pluglets (int_of_string istr) in
+    let prog, stack = Pluginop.Plugin.compiled pl in
+    Printf.printf "stack=%d n=%d\n" stack (Array.length prog);
+    Array.iteri
+      (fun i insn -> Format.printf "%3d: %a@." i Ebpf.Insn.pp insn)
+      prog
+  | _ -> ()
+
+let () =
+  if Array.length Sys.argv = 2 && Sys.argv.(1) = "mini" then begin
+    let module I = Ebpf.Insn in
+    let progs =
+      [
+        ( "w16 load via slot base",
+          [| I.Stx (I.W64, I.fp, -8, 1);
+             I.Ldx (I.W64, 0, I.fp, -8);
+             I.Ldx (I.W16, 0, 0, 0);
+             I.Exit |] );
+        ( "w8 load via slot base",
+          [| I.Stx (I.W64, I.fp, -8, 1);
+             I.Ldx (I.W64, 0, I.fp, -8);
+             I.Ldx (I.W8, 0, 0, 0);
+             I.Exit |] );
+        ( "w32 load via slot base",
+          [| I.Stx (I.W64, I.fp, -8, 1);
+             I.Ldx (I.W64, 0, I.fp, -8);
+             I.Ldx (I.W32, 0, 0, 0);
+             I.Exit |] );
+        ( "w64 load via slot base",
+          [| I.Stx (I.W64, I.fp, -8, 1);
+             I.Ldx (I.W64, 0, I.fp, -8);
+             I.Ldx (I.W64, 0, 0, 0);
+             I.Exit |] );
+        ( "ja+0 empty block",
+          [| I.Alu64 (I.Mov, 0, I.Imm 5l); I.Ja 0; I.Exit |] );
+        ( "cmp slot vs huge arg",
+          [| I.Stx (I.W64, I.fp, -16, 2);
+             I.Alu64 (I.Mov, 0, I.Imm 2818l);
+             I.Stx (I.W64, I.fp, -32, 0);
+             I.Ldx (I.W64, 1, I.fp, -16);
+             I.Ldx (I.W64, 0, I.fp, -32);
+             I.Jcond (I.Jgt, 0, I.Reg 1, 2);
+             I.Alu64 (I.Mov, 0, I.Imm 0l);
+             I.Ja 1;
+             I.Alu64 (I.Mov, 0, I.Imm 1l);
+             I.Jcond (I.Jeq, 0, I.Imm 0l, 2);
+             I.Alu64 (I.Mov, 0, I.Imm 0l);
+             I.Exit;
+             I.Ldx (I.W64, 0, I.fp, -32);
+             I.Exit |] );
+      ]
+    in
+    List.iter (fun (name, prog) -> check name prog 512) progs
+  end
+
+let () =
+  if Array.length Sys.argv = 2 && Sys.argv.(1) = "shrink" then begin
+    let module I = Ebpf.Insn in
+    (* datagram[3] replica, then simplified variants *)
+    let full =
+      [| I.Stx (I.W64, I.fp, -8, 1);              (* 0 *)
+         I.Stx (I.W64, I.fp, -16, 2);             (* 1 *)
+         I.Ldx (I.W64, 0, I.fp, -16);             (* 2 *)
+         I.Stx (I.W64, I.fp, -24, 0);             (* 3 *)
+         I.Alu64 (I.Mov, 0, I.Imm 2l);            (* 4 *)
+         I.Alu64 (I.Mov, 1, I.Reg 0);             (* 5 *)
+         I.Ldx (I.W64, 0, I.fp, -24);             (* 6 *)
+         I.Jcond (I.Jlt, 0, I.Reg 1, 2);          (* 7 -> 10 *)
+         I.Alu64 (I.Mov, 0, I.Imm 0l);            (* 8 *)
+         I.Ja 1;                                  (* 9 -> 11 *)
+         I.Alu64 (I.Mov, 0, I.Imm 1l);            (* 10 *)
+         I.Jcond (I.Jeq, 0, I.Imm 0l, 3);         (* 11 -> 15 *)
+         I.Alu64 (I.Mov, 0, I.Imm 0l);            (* 12 *)
+         I.Exit;                                  (* 13 *)
+         I.Ja 0;                                  (* 14 -> 15 *)
+         I.Ldx (I.W64, 0, I.fp, -8);              (* 15 *)
+         I.Ldx (I.W16, 0, 0, 0);                  (* 16 *)
+         I.Stx (I.W64, I.fp, -24, 0);             (* 17 *)
+         I.Ldx (I.W64, 0, I.fp, -24);             (* 18 *)
+         I.Stx (I.W64, I.fp, -32, 0);             (* 19 *)
+         I.Alu64 (I.Mov, 0, I.Imm 2l);            (* 20 *)
+         I.Alu64 (I.Mov, 1, I.Reg 0);             (* 21 *)
+         I.Ldx (I.W64, 0, I.fp, -32);             (* 22 *)
+         I.Alu64 (I.Add, 0, I.Reg 1);             (* 23 *)
+         I.Stx (I.W64, I.fp, -32, 0);             (* 24 *)
+         I.Ldx (I.W64, 0, I.fp, -16);             (* 25 *)
+         I.Alu64 (I.Mov, 1, I.Reg 0);             (* 26 *)
+         I.Ldx (I.W64, 0, I.fp, -32);             (* 27 *)
+         I.Jcond (I.Jgt, 0, I.Reg 1, 2);          (* 28 -> 31 *)
+         I.Alu64 (I.Mov, 0, I.Imm 0l);            (* 29 *)
+         I.Ja 1;                                  (* 30 -> 32 *)
+         I.Alu64 (I.Mov, 0, I.Imm 1l);            (* 31 *)
+         I.Jcond (I.Jeq, 0, I.Imm 0l, 3);         (* 32 -> 36 *)
+         I.Alu64 (I.Mov, 0, I.Imm 0l);            (* 33 *)
+         I.Exit;                                  (* 34 *)
+         I.Ja 0;                                  (* 35 -> 36 *)
+         I.Ldx (I.W64, 0, I.fp, -24);             (* 36 *)
+         I.Stx (I.W64, I.fp, -32, 0);             (* 37 *)
+         I.Alu64 (I.Mov, 0, I.Imm 2l);            (* 38 *)
+         I.Alu64 (I.Mov, 1, I.Reg 0);             (* 39 *)
+         I.Ldx (I.W64, 0, I.fp, -32);             (* 40 *)
+         I.Alu64 (I.Add, 0, I.Reg 1);             (* 41 *)
+         I.Exit;                                  (* 42 *)
+         I.Alu64 (I.Mov, 0, I.Imm 0l);            (* 43 *)
+         I.Exit |]                                (* 44 *)
+    in
+    check "replica full" full 512;
+    (* drop the first diamond: start at 15 *)
+    let tail =
+      [| I.Stx (I.W64, I.fp, -8, 1);
+         I.Stx (I.W64, I.fp, -16, 2);
+         I.Ldx (I.W64, 0, I.fp, -8);
+         I.Ldx (I.W16, 0, 0, 0);
+         I.Stx (I.W64, I.fp, -24, 0);
+         I.Ldx (I.W64, 0, I.fp, -24);
+         I.Stx (I.W64, I.fp, -32, 0);
+         I.Alu64 (I.Mov, 0, I.Imm 2l);
+         I.Alu64 (I.Mov, 1, I.Reg 0);
+         I.Ldx (I.W64, 0, I.fp, -32);
+         I.Alu64 (I.Add, 0, I.Reg 1);
+         I.Stx (I.W64, I.fp, -32, 0);
+         I.Ldx (I.W64, 0, I.fp, -16);
+         I.Alu64 (I.Mov, 1, I.Reg 0);
+         I.Ldx (I.W64, 0, I.fp, -32);
+         I.Jcond (I.Jgt, 0, I.Reg 1, 2);
+         I.Alu64 (I.Mov, 0, I.Imm 0l);
+         I.Ja 1;
+         I.Alu64 (I.Mov, 0, I.Imm 1l);
+         I.Jcond (I.Jeq, 0, I.Imm 0l, 3);
+         I.Alu64 (I.Mov, 0, I.Imm 0l);
+         I.Exit;
+         I.Ja 0;
+         I.Ldx (I.W64, 0, I.fp, -24);
+         I.Exit |]
+    in
+    check "replica tail" tail 512
+  end
+
+let () =
+  if Array.length Sys.argv = 2 && Sys.argv.(1) = "shrink2" then begin
+    let module I = Ebpf.Insn in
+    let p1 =
+      (* w16 load -> slot, branch, read slot in later block *)
+      [| I.Stx (I.W64, I.fp, -8, 1);
+         I.Ldx (I.W64, 0, I.fp, -8);
+         I.Ldx (I.W16, 0, 0, 0);
+         I.Stx (I.W64, I.fp, -24, 0);
+         I.Jcond (I.Jeq, 0, I.Imm 0l, 1);
+         I.Ja 0;
+         I.Ldx (I.W64, 0, I.fp, -24);
+         I.Exit |]
+    in
+    check "w16->slot, cross-block read" p1 512;
+    let p2 =
+      (* same but w64 load *)
+      [| I.Stx (I.W64, I.fp, -8, 1);
+         I.Ldx (I.W64, 0, I.fp, -8);
+         I.Ldx (I.W64, 0, 0, 0);
+         I.Stx (I.W64, I.fp, -24, 0);
+         I.Jcond (I.Jeq, 0, I.Imm 0l, 1);
+         I.Ja 0;
+         I.Ldx (I.W64, 0, I.fp, -24);
+         I.Exit |]
+    in
+    check "w64->slot, cross-block read" p2 512;
+    let p3 =
+      (* no load: const -> slot, cross-block read *)
+      [| I.Alu64 (I.Mov, 0, I.Imm 2816l);
+         I.Stx (I.W64, I.fp, -24, 0);
+         I.Jcond (I.Jeq, 0, I.Imm 0l, 1);
+         I.Ja 0;
+         I.Ldx (I.W64, 0, I.fp, -24);
+         I.Exit |]
+    in
+    check "const->slot, cross-block read" p3 512
+  end
+
+let () =
+  if Array.length Sys.argv = 2 && Sys.argv.(1) = "shrink3" then begin
+    let module I = Ebpf.Insn in
+    let mk w16 =
+      [| I.Stx (I.W64, I.fp, -8, 1);
+         I.Stx (I.W64, I.fp, -16, 2);
+         I.Ldx (I.W64, 0, I.fp, -8);
+         I.Ldx ((if w16 then I.W16 else I.W64), 0, 0, 0);
+         I.Stx (I.W64, I.fp, -24, 0);
+         I.Ldx (I.W64, 0, I.fp, -24);
+         I.Stx (I.W64, I.fp, -32, 0);
+         I.Alu64 (I.Mov, 0, I.Imm 2l);
+         I.Alu64 (I.Mov, 1, I.Reg 0);
+         I.Ldx (I.W64, 0, I.fp, -32);
+         I.Alu64 (I.Add, 0, I.Reg 1);
+         I.Stx (I.W64, I.fp, -32, 0);
+         I.Ldx (I.W64, 0, I.fp, -16);
+         I.Alu64 (I.Mov, 1, I.Reg 0);
+         I.Ldx (I.W64, 0, I.fp, -32);
+         I.Jcond (I.Jgt, 0, I.Reg 1, 2);
+         I.Alu64 (I.Mov, 0, I.Imm 0l);
+         I.Ja 1;
+         I.Alu64 (I.Mov, 0, I.Imm 1l);
+         I.Jcond (I.Jeq, 0, I.Imm 0l, 3);
+         I.Alu64 (I.Mov, 0, I.Imm 0l);
+         I.Exit;
+         I.Ja 0;
+         I.Ldx (I.W64, 0, I.fp, -24);
+         I.Exit |]
+    in
+    check "tail w16" (mk true) 512;
+    check "tail w64" (mk false) 512;
+    (* cut the mov-juggle: direct slot cmp *)
+    let v2 =
+      [| I.Stx (I.W64, I.fp, -16, 2);
+         I.Alu64 (I.Mov, 0, I.Imm 2816l);
+         I.Stx (I.W64, I.fp, -24, 0);
+         I.Ldx (I.W64, 1, I.fp, -16);
+         I.Ldx (I.W64, 0, I.fp, -24);
+         I.Jcond (I.Jgt, 0, I.Reg 1, 2);
+         I.Alu64 (I.Mov, 0, I.Imm 0l);
+         I.Ja 1;
+         I.Alu64 (I.Mov, 0, I.Imm 1l);
+         I.Jcond (I.Jeq, 0, I.Imm 0l, 3);
+         I.Alu64 (I.Mov, 0, I.Imm 0l);
+         I.Exit;
+         I.Ja 0;
+         I.Ldx (I.W64, 0, I.fp, -24);
+         I.Exit |]
+    in
+    check "v2 symbolizable head" v2 512
+  end
+
+let () =
+  if Array.length Sys.argv = 2 && Sys.argv.(1) = "shrink4" then begin
+    let module I = Ebpf.Insn in
+    let mk last =
+      [| I.Stx (I.W64, I.fp, -8, 1);
+         I.Stx (I.W64, I.fp, -16, 2);
+         I.Ldx (I.W64, 0, I.fp, -8);
+         I.Ldx (I.W16, 0, 0, 0);
+         I.Stx (I.W64, I.fp, -24, 0);
+         I.Ldx (I.W64, 0, I.fp, -24);
+         I.Stx (I.W64, I.fp, -32, 0);
+         I.Alu64 (I.Mov, 0, I.Imm 2l);
+         I.Alu64 (I.Mov, 1, I.Reg 0);
+         I.Ldx (I.W64, 0, I.fp, -32);
+         I.Alu64 (I.Add, 0, I.Reg 1);
+         I.Stx (I.W64, I.fp, -32, 0);
+         I.Ldx (I.W64, 0, I.fp, -16);
+         I.Alu64 (I.Mov, 1, I.Reg 0);
+         I.Ldx (I.W64, 0, I.fp, -32);
+         I.Jcond (I.Jgt, 0, I.Reg 1, 2);
+         I.Alu64 (I.Mov, 0, I.Imm 0l);
+         I.Ja 1;
+         I.Alu64 (I.Mov, 0, I.Imm 1l);
+         I.Jcond (I.Jeq, 0, I.Imm 0l, 3);
+         I.Alu64 (I.Mov, 0, I.Imm 0l);
+         I.Exit;
+         I.Ja 0;
+         last;
+         I.Exit |]
+    in
+    (* probe A: constant in the jeq-taken block — if jit returns 7 the
+       dispatch path is right and the slot read was stale; if 0, the jeq
+       itself misdispatched. *)
+    check "probe A: const tail" (mk (I.Alu64 (I.Mov, 0, I.Imm 7l))) 512;
+    (* probe B: read the other slot *)
+    check "probe B: read fp-32" (mk (I.Ldx (I.W64, 0, I.fp, -32))) 512;
+    check "probe orig: read fp-24" (mk (I.Ldx (I.W64, 0, I.fp, -24))) 512
+  end

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+# Splice vm.ml: replace closure-chain statement compiler with uop emitter.
+import io, sys
+
+PATH = "/root/repo/lib/ebpf/vm.ml"
+src = io.open(PATH, encoding="utf-8").read().splitlines(keepends=True)
+
+def find(marker):
+    for i, l in enumerate(src):
+        if l.rstrip("\n") == marker:
+            return i
+    raise SystemExit("marker not found: " + marker)
+
+S1 = """    (* Generic one-statement thunk for shapes without a micro-op. *)
+    let stmt_thunk st : jit_env -> unit =
+      match st with
+      | Jnop -> fun _ -> ()
+      | Jst (d, t) ->
+        let ev = mk_ev t in
+        fun env -> bytes_set64 env.jstk d (ev env)
+      | Jtm (d, t) ->
+        let ev = mk_ev t in
+        fun env -> bytes_set64 env.jseg d (ev env)
+      | Jrg (r, t) ->
+        let ev = mk_ev t in
+        fun env -> rset env.jregb r (ev env)
+      | Jld (d, base, off, ci) ->
+        let evb = mk_ev base in
+        fun env ->
+          let addr = Int64.add (evb env) off in
+          bytes_set64 env.jseg d
+            (load64_m env.jvm env.jstk lim8 (env.jk - env.jfuel - ci) addr)
+      | Jsd (base, off, v, ci) ->
+        let evb = mk_ev base and evv = mk_ev v in
+        fun env ->
+          let addr = Int64.add (evb env) off in
+          store64_m env.jvm env.jstk lim8 (env.jk - env.jfuel - ci) addr
+            (evv env)
+    in
+    (* Lower a block's statement vector to a micro-op program (see
+       [jrun_uops]); adjacent-op fusion (mul/store/sub) carries over as
+       a single micro-op. *)
+    let emit_uops stms nstm =
+      let buf = ref [] and nops = ref 0 in
+      let ps = ref [] and np = ref 0 in
+      let xl = ref [] and nx = ref 0 in
+      let addp v =
+        let i = !np in
+        ps := v :: !ps;
+        incr np;
+        i
+      in
+      let addx f =
+        let i = !nx in
+        xl := f :: !xl;
+        incr nx;
+        i
+      in
+      let push op x1 x2 x3 x4 x5 =
+        buf := (op, x1, x2, x3, x4, x5) :: !buf;
+        incr nops
+      in
+      let xtr st = push 25 (addx (stmt_thunk st)) 0 0 0 0 in
+      let sh6 k = Int64.to_int (Int64.logand k 63L) in
+      let emit1 st =
+        match st with
+        | Jnop -> ()
+        | Jst (d, t) -> (
+          match t with
+          | Jcst v -> push 1 d (addp v) 0 0 0
+          | Jslot a -> push 2 d a 0 0 0
+          | Jtmp a -> push 3 d a 0 0 0
+          | Jreg r -> push 4 d r 0 0 0
+          | Jbin (0, Jslot a, Jslot b) -> push 5 d a b 0 0
+          | Jbin (1, Jslot a, Jslot b) -> push 6 d a b 0 0
+          | Jbin (2, Jslot a, Jslot b) -> push 7 d a b 0 0
+          | Jbin (0, Jslot a, Jcst c) -> push 8 d a (addp c) 0 0
+          | Jbin (0, Jcst c, Jslot a) -> push 8 d a (addp c) 0 0
+          | Jbin (1, Jslot a, Jcst c) -> push 8 d a (addp (Int64.neg c)) 0 0
+          | Jbin (1, Jcst c, Jslot a) -> push 9 d a (addp c) 0 0
+          | Jneg (Jslot a) -> push 9 d a (addp 0L) 0 0
+          | Jbin (2, Jslot a, Jcst c) -> push 10 d a (addp c) 0 0
+          | Jbin (2, Jcst c, Jslot a) -> push 10 d a (addp c) 0 0
+          | Jbin (6, Jslot a, Jcst c) -> push 11 d a (addp c) 0 0
+          | Jbin (9, Jslot a, Jcst k) -> push 12 d a (sh6 k) 0 0
+          | Jbin (8, Jslot a, Jcst k) -> push 13 d a (sh6 k) 0 0
+          | Jbin (10, Jslot a, Jcst k) -> push 14 d a (sh6 k) 0 0
+          | Jbin (9, Jbin (2, Jslot a, Jcst c), Jcst k) ->
+            push 15 d a (addp c) (sh6 k) 0
+          | Jbin
+              ( 0,
+                Jbin (9, Jbin (2, Jslot a, Jcst c1), Jcst k1),
+                Jbin (9, Jslot b2, Jcst k2) ) ->
+            push 16 d a (addp c1) (sh6 k1 lor (sh6 k2 lsl 8)) b2
+          | Jbin (0, Jbin (0, Jslot a, Jtmp t1), Jtmp t2) ->
+            push 18 d a t1 t2 0
+          | Jbin (0, Jslot a, Jtmp tb) -> push 19 d a tb 0 0
+          | Jbin (0, Jtmp tb, Jslot a) -> push 19 d a tb 0 0
+          | _ -> xtr st)
+        | Jtm (d, t) -> (
+          match t with Jslot a -> push 22 d a 0 0 0 | _ -> xtr st)
+        | Jrg (r, t) -> (
+          match t with
+          | Jcst v -> push 23 r (addp v) 0 0 0
+          | Jslot a -> push 24 r a 0 0 0
+          | _ -> xtr st)
+        | Jld (d, base, off, ci) -> (
+          match base with
+          | Jslot a -> push 20 d a (addp off) ci 0
+          | Jcst bc -> push 21 d 0 (addp (Int64.add bc off)) ci 0
+          | _ -> xtr st)
+        | Jsd _ -> xtr st
+      in
+      let i = ref 0 in
+      while !i < nstm do
+        (match stms.(!i) with
+        | Jnop -> ()
+        | st -> (
+          let j = ref (!i + 1) in
+          while
+            !j < nstm && (match stms.(!j) with Jnop -> true | _ -> false)
+          do
+            incr j
+          done;
+          match (st, if !j < nstm then stms.(!j) else Jnop) with
+          | ( Jst (d1, (Jbin (2, Jslot a, Jcst c) as m)),
+              Jst (d2, Jbin (1, Jslot b, m')) )
+            when m' == m ->
+            push 17 d1 a (addp c) d2 b;
+            i := !j
+          | _ -> emit1 st));
+        incr i
+      done;
+      let u = Array.make (max 1 (6 * !nops)) 0 in
+      List.iteri
+        (fun ridx (op, x1, x2, x3, x4, x5) ->
+          let b = 6 * (!nops - 1 - ridx) in
+          u.(b) <- op;
+          u.(b + 1) <- x1;
+          u.(b + 2) <- x2;
+          u.(b + 3) <- x3;
+          u.(b + 4) <- x4;
+          u.(b + 5) <- x5)
+        !buf;
+      let p = Array.of_list (List.rev !ps) in
+      let xs = Array.of_list (List.rev !xl) in
+      (6 * !nops, u, p, xs)
+    in
+"""
+
+a = find("    (* One closure per statement, specialised on the common shapes so a")
+b = find("    (* Jump threading: follow chains of blocks whose only effects are")
+src = src[:a] + [S1] + src[b:]
+
+io.open(PATH, "w", encoding="utf-8").write("".join(src))
+print("spliced S1 ok")

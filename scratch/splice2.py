@@ -1,0 +1,407 @@
+#!/usr/bin/env python3
+# Splice vm.ml: head_inline (sym-based) + commit absorption + dispatch,
+# mk_symbolic_body, try_mega rewrite, compile_block.
+import io
+
+PATH = "/root/repo/lib/ebpf/vm.ml"
+src = io.open(PATH, encoding="utf-8").read().splitlines(keepends=True)
+
+def find(marker):
+    # Match whole lines, or the first line of an already-spliced blob.
+    for i, l in enumerate(src):
+        if l.split("\n")[0] == marker:
+            return i
+    raise SystemExit("marker not found: " + marker)
+
+S2 = """    (* A loop-head block with no statements and a coded conditional can
+       be inlined into its predecessors' terminators: one closure tests
+       the loop condition and dispatches, saving a cell hop per
+       iteration. *)
+    let head_inline ti =
+      if ti >= n then None
+      else
+        match sym.(ti) with
+        | Some (_, 0, Jcnd (c, lhs, rhs, hti, hfi), hcarr, 0) -> (
+          match (jx_opd lhs, jx_opd rhs) with
+          | Some kl, Some kr ->
+            Some (blen_of.(ti), 4 * ti, hcarr, c, kl, kr, hti, hfi)
+          | _ -> None)
+        | _ -> None
+    in
+    let regs_of carr = Array.to_list (Array.map fst carr) in
+    (* Commit deferral: registers written by a block normally land in
+       the register file at every exit. If the successor (a) never
+       reads any of them and (b) re-commits a superset of them on every
+       one of its own non-exit paths out, the predecessor's commits can
+       be skipped entirely on the taken edge — they run only on that
+       edge's fuel-fail handoff. Slots and scratch temporaries are kept
+       exact at every boundary, so the deferred recipes stay evaluable
+       right up to the handoff. *)
+    let block_absorbs start pending =
+      match sym.(start) with
+      | None -> false
+      | Some (stms, nstm, term, carr, _) ->
+        let tree_ok t = not (List.exists (fun r -> jx_refs_reg r t) pending) in
+        let stmt_ok = function
+          | Jnop -> true
+          | Jst (_, t) | Jtm (_, t) | Jrg (_, t) -> tree_ok t
+          | Jld (_, b, _, _) -> tree_ok b
+          | Jsd (b, _, v, _) -> tree_ok b && tree_ok v
+        in
+        let opd_ok = function Kr r -> not (List.mem r pending) | _ -> true in
+        let covered () =
+          List.for_all
+            (fun r -> Array.exists (fun (r2, _) -> r2 = r) carr)
+            pending
+        in
+        let ok = ref true in
+        for i = 0 to nstm - 1 do
+          if not (stmt_ok stms.(i)) then ok := false
+        done;
+        !ok
+        && (match term with
+           | Jexit (t, _) -> tree_ok t
+           | Jdeo _ -> false
+           | Jjmp _ -> covered ()
+           | Jcnd (_, lhs, rhs, _, _) ->
+             (match (jx_opd lhs, jx_opd rhs) with
+             | Some kl, Some kr -> opd_ok kl && opd_ok kr
+             | _ -> false)
+             && covered ())
+    in
+    (* Turn a terminator arm into a dispatch descriptor, deciding
+       per-edge whether the pending commits defer. *)
+    let build_disp pending parr arm =
+      match arm with
+      | Aplain tb ->
+        let ts = leader_of_blk.(tb) in
+        if ts < n && block_absorbs ts pending then
+          Dbody (tb, blen_of.(ts), parr, 4 * ts)
+        else Dcell (tb, parr)
+      | Agated (gf, gc, gt, gp) ->
+        let ts = leader_of_blk.(gt) in
+        let allp = List.sort_uniq compare (pending @ regs_of gc) in
+        if ts < n && block_absorbs ts allp then
+          Dbody (gt, gf + blen_of.(ts), parr, gp)
+        else Dgcell (gf, gt, parr, gc, gp)
+    in
+    let jdispatch env d =
+      match d with
+      | Dbody (bidx, need, fc, fpc) ->
+        let f = env.jfuel in
+        if f >= need then begin
+          env.jfuel <- f - need;
+          (Array.unsafe_get bodies bidx) env
+        end
+        else begin
+          jrun_commits env fc;
+          exec_linked env.jvm linked env.jk fpc f
+        end
+      | Dcell (cidx, pend) ->
+        jrun_commits env pend;
+        (Array.unsafe_get cells cidx) env
+      | Dgcell (gf, gt, pend, gc, gp) ->
+        jrun_commits env pend;
+        let f = env.jfuel in
+        if f >= gf then begin
+          env.jfuel <- f - gf;
+          jrun_commits env gc;
+          (Array.unsafe_get cells gt) env
+        end
+        else exec_linked env.jvm linked env.jk gp f
+    in
+    (* own + inlined-head commits, later (head) entries winning. *)
+    let merge_commits a b =
+      let keep =
+        List.filter
+          (fun ((r, _) : int * jcv) ->
+            not (Array.exists (fun (r2, _) -> r2 = r) b))
+          (Array.to_list a)
+      in
+      Array.append (Array.of_list keep) b
+    in
+"""
+
+S3 = """    (* Compile a symbolized block to a single closure: run the micro-op
+       program, then the terminator inline (inlined loop-head gate,
+       operand-specialised compare, precomputed dispatch). *)
+    let mk_symbolic_body (stms, nstm, term, carr, _) =
+      let nu, u, p, xs = emit_uops stms nstm in
+      let pregs = regs_of carr in
+      match term with
+      | Jexit (t, ci) -> (
+        match t with
+        | Jslot o ->
+          fun env ->
+            jrun_uops env nu u p xs lim8;
+            env.jvm.executed <- env.jk - env.jfuel - ci;
+            bytes_get64 env.jstk o
+        | Jcst v ->
+          fun env ->
+            jrun_uops env nu u p xs lim8;
+            env.jvm.executed <- env.jk - env.jfuel - ci;
+            v
+        | _ ->
+          let ev = mk_ev t in
+          fun env ->
+            jrun_uops env nu u p xs lim8;
+            env.jvm.executed <- env.jk - env.jfuel - ci;
+            ev env)
+      | Jdeo (i, ci) ->
+        fun env ->
+          jrun_uops env nu u p xs lim8;
+          exec_linked env.jvm linked env.jk (4 * i) (env.jfuel + ci)
+      | Jcnd (c, lhs, rhs, ti, fi) -> (
+        let kl = match jx_opd lhs with Some k -> k | None -> assert false in
+        let kr = match jx_opd rhs with Some k -> k | None -> assert false in
+        let td = build_disp pregs carr (arm_of ti) in
+        let fd = build_disp pregs carr (arm_of fi) in
+        match (kl, kr) with
+        | Ks la, Ks rb ->
+          fun env ->
+            jrun_uops env nu u p xs lim8;
+            let s = env.jstk in
+            jdispatch env
+              (if jx_cond c (bytes_get64 s la) (bytes_get64 s rb) then td
+               else fd)
+        | Ks la, Kc vb ->
+          fun env ->
+            jrun_uops env nu u p xs lim8;
+            jdispatch env
+              (if jx_cond c (bytes_get64 env.jstk la) vb then td else fd)
+        | _ ->
+          fun env ->
+            jrun_uops env nu u p xs lim8;
+            let a = jopd_get env kl and b = jopd_get env kr in
+            jdispatch env (if jx_cond c a b then td else fd))
+      | Jjmp t -> (
+        match head_inline t with
+        | Some (hfuel, hpc, hcarr, hc, hl, hr, hti, hfi) -> (
+          let ownh = merge_commits carr hcarr in
+          let pall = regs_of ownh in
+          let td = build_disp pall ownh (arm_of hti) in
+          let fd = build_disp pall ownh (arm_of hfi) in
+          match (hl, hr) with
+          | Ks la, Ks rb ->
+            fun env ->
+              jrun_uops env nu u p xs lim8;
+              let f = env.jfuel in
+              if f >= hfuel then begin
+                env.jfuel <- f - hfuel;
+                let s = env.jstk in
+                jdispatch env
+                  (if jx_cond hc (bytes_get64 s la) (bytes_get64 s rb) then
+                     td
+                   else fd)
+              end
+              else begin
+                jrun_commits env carr;
+                exec_linked env.jvm linked env.jk hpc f
+              end
+          | Ks la, Kc vb ->
+            fun env ->
+              jrun_uops env nu u p xs lim8;
+              let f = env.jfuel in
+              if f >= hfuel then begin
+                env.jfuel <- f - hfuel;
+                jdispatch env
+                  (if jx_cond hc (bytes_get64 env.jstk la) vb then td else fd)
+              end
+              else begin
+                jrun_commits env carr;
+                exec_linked env.jvm linked env.jk hpc f
+              end
+          | _ ->
+            fun env ->
+              jrun_uops env nu u p xs lim8;
+              let f = env.jfuel in
+              if f >= hfuel then begin
+                env.jfuel <- f - hfuel;
+                let a = jopd_get env hl and b = jopd_get env hr in
+                jdispatch env (if jx_cond hc a b then td else fd)
+              end
+              else begin
+                jrun_commits env carr;
+                exec_linked env.jvm linked env.jk hpc f
+              end)
+        | None ->
+          let d = build_disp pregs carr (arm_of t) in
+          if nu = 0 then fun env -> jdispatch env d
+          else
+            fun env ->
+              jrun_uops env nu u p xs lim8;
+              jdispatch env d)
+    in
+"""
+
+S4 = """    (* Whole-loop mega template: the tight pointer-chasing accumulate
+       loop ("acc += m64[p]; acc += m64[p+8]" with an inlined counter
+       head) gets a single native loop. The per-iteration bounds checks
+       collapse to one non-raising region guard hoisted out of the
+       loop, together with the base pointer, the loop bound and the
+       loads (nothing in the loop can remap regions or write memory);
+       register commits are deferred to the loop's exits. Any guard
+       miss falls back to the block's generic micro-op body with the
+       exact monitored semantics. *)
+    let try_mega start ((stms, nstm, term, carr, _) as info) blen selfpc =
+      let nn = ref [] in
+      for i = nstm - 1 downto 0 do
+        match stms.(i) with Jnop -> () | st -> nn := st :: !nn
+      done;
+      match (!nn, term) with
+      | ( [
+            Jst (d1, Jslot acc0);
+            Jld (t0, Jslot p0, o1, _);
+            Jst (d1b, Jbin (0, Jslot acc1, Jtmp t0b));
+            Jst (d2, Jslot p1);
+            Jld (t1, Jslot p2, o2, _);
+            Jst (accw, Jbin (0, Jbin (0, Jslot acc2, Jtmp t0c), Jtmp t1b));
+            Jst (dk, Jbin (0, Jslot dkb, Jcst kinc));
+          ],
+          Jjmp jt )
+        when d1b = d1 && accw = acc0 && acc0 = acc1 && acc1 = acc2 && t0b = t0
+             && t0c = t0 && t1b = t1 && p0 = p1 && p1 = p2 && dkb = dk
+             && p0 <> d1 && p0 <> d2 && p0 <> accw && p0 <> dk
+             && accw <> dk && accw <> d1 && accw <> d2
+             && d1 <> d2 && d1 <> dk && d2 <> dk
+             && Int64.compare o1 0L >= 0 && Int64.compare o2 0L >= 0 -> (
+        match head_inline jt with
+        | Some (hfuel, hpc, hcarr, hc, Ks hls, hr, hti, hfi)
+          when hls = dk && (hti = start || hfi = start) -> (
+          let bnd =
+            match hr with
+            | Ks o when o <> d1 && o <> d2 && o <> accw && o <> dk && o <> p0
+              ->
+              Some hr
+            | Kc _ -> Some hr
+            | _ -> None
+          in
+          match bnd with
+          | None -> None
+          | Some bnd ->
+            let self_taken = hti = start in
+            let other_ti = if self_taken then hfi else hti in
+            let ownh = merge_commits carr hcarr in
+            let pall = regs_of ownh in
+            let od = build_disp pall ownh (arm_of other_ti) in
+            let hi =
+              Int64.add (if Int64.compare o1 o2 < 0 then o2 else o1) 7L
+            in
+            let hi_i = Int64.to_int hi in
+            let oi1 = Int64.to_int o1 and oi2 = Int64.to_int o2 in
+            let iterf = hfuel + blen in
+            let slow = mk_symbolic_body info in
+            let body env =
+              let s = env.jstk in
+              let bp = bytes_get64 s p0 in
+              let wlo = Int64.to_int (Int64.shift_right_logical bp 32) in
+              let whi =
+                Int64.to_int (Int64.shift_right_logical (Int64.add bp hi) 32)
+              in
+              let tbl = env.jvm.region_tbl in
+              if wlo = whi && wlo < Array.length tbl then begin
+                match Array.unsafe_get tbl wlo with
+                | Some r ->
+                  let off = Int64.to_int (Int64.logand bp 0xffff_ffffL) in
+                  if off + hi_i < Bytes.length r.mem then begin
+                    let m = r.mem in
+                    let v0 = bytes_get64 m (off + oi1) in
+                    let v1 = bytes_get64 m (off + oi2) in
+                    let g = env.jseg in
+                    bytes_set64 g t0 v0;
+                    bytes_set64 g t1 v1;
+                    bytes_set64 s d2 bp;
+                    let bound =
+                      match bnd with
+                      | Ks o -> bytes_get64 s o
+                      | Kc v -> v
+                      | _ -> 0L
+                    in
+                    let rec go () =
+                      let acc0v = bytes_get64 s accw in
+                      let a1v = Int64.add acc0v v0 in
+                      let acc = Int64.add a1v v1 in
+                      bytes_set64 s d1 a1v;
+                      bytes_set64 s accw acc;
+                      let k = Int64.add (bytes_get64 s dk) kinc in
+                      bytes_set64 s dk k;
+                      let f = env.jfuel in
+                      if f >= iterf && jx_cond hc k bound = self_taken
+                      then begin
+                        env.jfuel <- f - iterf;
+                        go ()
+                      end
+                      else cold f k
+                    and cold f k =
+                      if f >= hfuel then begin
+                        env.jfuel <- f - hfuel;
+                        if jx_cond hc k bound = self_taken then begin
+                          jrun_commits env ownh;
+                          exec_linked env.jvm linked env.jk selfpc env.jfuel
+                        end
+                        else jdispatch env od
+                      end
+                      else begin
+                        jrun_commits env carr;
+                        exec_linked env.jvm linked env.jk hpc f
+                      end
+                    in
+                    go ()
+                  end
+                  else slow env
+                | None -> slow env
+              end
+              else slow env
+            in
+            Some body)
+        | _ -> None)
+      | _ -> None
+    in
+"""
+
+S5 = """    let compile_block start stop =
+      let blen = stop - start in
+      let pc4 = 4 * start in
+      let body =
+        match sym.(start) with
+        | None ->
+          let rec build i next =
+            if i < start then next else build (i - 1) (ins i (stop - i) next)
+          in
+          build (stop - 1) (goto_cell blk_id.(stop))
+        | Some info -> (
+          match try_mega start info blen pc4 with
+          | Some b -> b
+          | None -> mk_symbolic_body info)
+      in
+      bodies.(blk_id.(start)) <- body;
+      cells.(blk_id.(start)) <-
+        (fun env ->
+          let f = env.jfuel in
+          if f >= blen then begin
+            env.jfuel <- f - blen;
+            body env
+          end
+          else exec_linked env.jvm linked env.jk pc4 f)
+    in
+"""
+
+# Work back-to-front so earlier indices stay valid.
+a5 = find("    let compile_block start stop =")
+b5 = find("    let start = ref 0 in")
+src = src[:a5] + [S5] + src[b5:]
+
+a4 = find("    (* Whole-loop mega template: the tight pointer-chasing accumulate")
+b4 = find("    let compile_block start stop =")
+src = src[:a4] + [S4] + src[b4:]
+
+a3 = find("    (* Shared terminator template: optional fused last statement, own")
+b3 = find("    (* Whole-loop mega template: the tight pointer-chasing accumulate")
+src = src[:a3] + [S3] + src[b3:]
+
+a2 = find("    (* A loop-head block with no statements and a coded conditional can")
+b2 = find("    (* Compile a symbolized block to a single closure: run the micro-op")
+src = src[:a2] + [S2] + src[b2:]
+
+io.open(PATH, "w", encoding="utf-8").write("".join(src))
+print("spliced S2-S5 ok")

@@ -1,0 +1,441 @@
+#!/usr/bin/env python3
+# Splice vm.ml: replace the micro-op interpreter with specialized
+# stable-target closure chains (unit-typed), re-add terminator pre-fold.
+import io
+
+PATH = "/root/repo/lib/ebpf/vm.ml"
+src = io.open(PATH, encoding="utf-8").read().splitlines(keepends=True)
+
+def find(marker):
+    for i, l in enumerate(src):
+        if l.split("\n")[0] == marker:
+            return i
+    raise SystemExit("marker not found: " + marker)
+
+# ---- module level: jrun_uops -> jpre/jrun_pre ----
+M = """(* Optional last statement folded into a terminator closure (loop
+   counter increment / compared-value copy), saving one link call. *)
+type jpre = Pnone | Pincr of int * int64 | Pcopy of int * int
+
+let[@inline always] jrun_pre env = function
+  | Pnone -> ()
+  | Pincr (d, c) ->
+    let s = env.jstk in
+    bytes_set64 s d (Int64.add (bytes_get64 s d) c)
+  | Pcopy (d, a) ->
+    let s = env.jstk in
+    bytes_set64 s d (bytes_get64 s a)
+"""
+
+# ---- chain compiler (replaces emit_uops) ----
+C = """    (* One closure per statement, specialised on the common shapes so a
+       whole PLC statement (EWMA update, mul-store-sub, accumulate)
+       costs one call with a stable target — every link's indirect call
+       always lands on the same successor, so nothing mispredicts.
+       Links are unit-typed and compose into a chain run once per block
+       entry. *)
+    let mk_stmt_link st (rest : jit_env -> unit) : jit_env -> unit =
+      match st with
+      | Jnop -> rest
+      | Jst (d, t) -> (
+        match t with
+        | Jcst v ->
+          fun env ->
+            bytes_set64 env.jstk d v;
+            rest env
+        | Jslot a ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (bytes_get64 s a);
+            rest env
+        | Jtmp a ->
+          fun env ->
+            bytes_set64 env.jstk d (bytes_get64 env.jseg a);
+            rest env
+        | Jreg r ->
+          fun env ->
+            bytes_set64 env.jstk d (rget env.jregb r);
+            rest env
+        | Jbin (0, Jslot a, Jcst c) | Jbin (0, Jcst c, Jslot a) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.add (bytes_get64 s a) c);
+            rest env
+        | Jbin (1, Jslot a, Jcst c) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.sub (bytes_get64 s a) c);
+            rest env
+        | Jbin (1, Jcst c, Jslot a) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.sub c (bytes_get64 s a));
+            rest env
+        | Jneg (Jslot a) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.neg (bytes_get64 s a));
+            rest env
+        | Jbin (2, Jslot a, Jcst c) | Jbin (2, Jcst c, Jslot a) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.mul (bytes_get64 s a) c);
+            rest env
+        | Jbin (6, Jslot a, Jcst c) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.logand (bytes_get64 s a) c);
+            rest env
+        | Jbin (9, Jslot a, Jcst k) ->
+          let sh = Int64.to_int (Int64.logand k 63L) in
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.shift_right_logical (bytes_get64 s a) sh);
+            rest env
+        | Jbin (8, Jslot a, Jcst k) ->
+          let sh = Int64.to_int (Int64.logand k 63L) in
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.shift_left (bytes_get64 s a) sh);
+            rest env
+        | Jbin (10, Jslot a, Jcst k) ->
+          let sh = Int64.to_int (Int64.logand k 63L) in
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.shift_right (bytes_get64 s a) sh);
+            rest env
+        | Jbin (0, Jslot a, Jslot b) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.add (bytes_get64 s a) (bytes_get64 s b));
+            rest env
+        | Jbin (1, Jslot a, Jslot b) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.sub (bytes_get64 s a) (bytes_get64 s b));
+            rest env
+        | Jbin (2, Jslot a, Jslot b) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d (Int64.mul (bytes_get64 s a) (bytes_get64 s b));
+            rest env
+        | Jbin (0, Jslot a, Jtmp tb) | Jbin (0, Jtmp tb, Jslot a) ->
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d
+              (Int64.add (bytes_get64 s a) (bytes_get64 env.jseg tb));
+            rest env
+        | Jbin (0, Jbin (0, Jslot a, Jtmp t1), Jtmp t2) ->
+          fun env ->
+            let s = env.jstk in
+            let g = env.jseg in
+            bytes_set64 s d
+              (Int64.add
+                 (Int64.add (bytes_get64 s a) (bytes_get64 g t1))
+                 (bytes_get64 g t2));
+            rest env
+        | Jbin (9, Jbin (2, Jslot a, Jcst c), Jcst k) ->
+          (* x*c >> k : the strength-reduced div-by-pow2 of a product *)
+          let sh = Int64.to_int (Int64.logand k 63L) in
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d
+              (Int64.shift_right_logical (Int64.mul (bytes_get64 s a) c) sh);
+            rest env
+        | Jbin
+            ( 0,
+              Jbin (9, Jbin (2, Jslot a, Jcst c1), Jcst k1),
+              Jbin (9, Jslot b, Jcst k2) ) ->
+          (* EWMA: (a*c1 >> k1) + (b >> k2) — the srtt/rttvar shape *)
+          let s1 = Int64.to_int (Int64.logand k1 63L) in
+          let s2 = Int64.to_int (Int64.logand k2 63L) in
+          fun env ->
+            let s = env.jstk in
+            bytes_set64 s d
+              (Int64.add
+                 (Int64.shift_right_logical (Int64.mul (bytes_get64 s a) c1) s1)
+                 (Int64.shift_right_logical (bytes_get64 s b) s2));
+            rest env
+        | _ ->
+          let th = stmt_thunk st in
+          fun env ->
+            th env;
+            rest env)
+      | Jtm (d, Jslot a) ->
+        fun env ->
+          bytes_set64 env.jseg d (bytes_get64 env.jstk a);
+          rest env
+      | Jrg (r, Jcst v) ->
+        fun env ->
+          rset env.jregb r v;
+          rest env
+      | Jrg (r, Jslot a) ->
+        fun env ->
+          rset env.jregb r (bytes_get64 env.jstk a);
+          rest env
+      | Jld (d, Jslot p, off, ci) ->
+        fun env ->
+          let s = env.jstk in
+          let addr = Int64.add (bytes_get64 s p) off in
+          bytes_set64 env.jseg d
+            (load64_m env.jvm s lim8 (env.jk - env.jfuel - ci) addr);
+          rest env
+      | Jld (d, Jcst b, off, ci) ->
+        let addr = Int64.add b off in
+        fun env ->
+          bytes_set64 env.jseg d
+            (load64_m env.jvm env.jstk lim8 (env.jk - env.jfuel - ci) addr);
+          rest env
+      | _ ->
+        let th = stmt_thunk st in
+        fun env ->
+          th env;
+          rest env
+    in
+    (* Adjacent-statement fusion: two stores whose shapes commonly occur
+       back-to-back in compiled PLC code collapse into one closure. *)
+    let mk_link2 s1 s2 =
+      match (s1, s2) with
+      | Jst (d1, (Jbin (2, Jslot a, Jcst c) as m)), Jst (d2, Jbin (1, Jslot b, m'))
+        when m' == m ->
+        (* d1 := a*c; d2 := b - (a*c) — compute the product once *)
+        Some
+          (fun (rest : jit_env -> unit) env ->
+            let s = env.jstk in
+            let p = Int64.mul (bytes_get64 s a) c in
+            bytes_set64 s d1 p;
+            bytes_set64 s d2 (Int64.sub (bytes_get64 s b) p);
+            rest env)
+      | ( Jst
+            ( d1,
+              Jbin
+                ( 0,
+                  Jbin (9, Jbin (2, Jslot a1, Jcst c1), Jcst k1),
+                  Jbin (9, Jslot b1, Jcst k2) ) ),
+          Jst (d2, Jbin (9, Jbin (2, Jslot a2, Jcst c2), Jcst k3)) ) ->
+        let s1h = Int64.to_int (Int64.logand k1 63L) in
+        let s2h = Int64.to_int (Int64.logand k2 63L) in
+        let s3h = Int64.to_int (Int64.logand k3 63L) in
+        Some
+          (fun rest env ->
+            let s = env.jstk in
+            bytes_set64 s d1
+              (Int64.add
+                 (Int64.shift_right_logical (Int64.mul (bytes_get64 s a1) c1) s1h)
+                 (Int64.shift_right_logical (bytes_get64 s b1) s2h));
+            bytes_set64 s d2
+              (Int64.shift_right_logical (Int64.mul (bytes_get64 s a2) c2) s3h);
+            rest env)
+      | ( Jst (d1, Jslot a1),
+          Jst
+            ( d2,
+              Jbin
+                ( 0,
+                  Jbin (9, Jbin (2, Jslot a2, Jcst c2), Jcst k1),
+                  Jbin (9, Jslot b2, Jcst k2) ) ) ) ->
+        let s1h = Int64.to_int (Int64.logand k1 63L) in
+        let s2h = Int64.to_int (Int64.logand k2 63L) in
+        Some
+          (fun rest env ->
+            let s = env.jstk in
+            bytes_set64 s d1 (bytes_get64 s a1);
+            bytes_set64 s d2
+              (Int64.add
+                 (Int64.shift_right_logical (Int64.mul (bytes_get64 s a2) c2) s1h)
+                 (Int64.shift_right_logical (bytes_get64 s b2) s2h));
+            rest env)
+      | Jst (d1, Jcst v1), Jst (d2, Jcst v2) ->
+        Some
+          (fun rest env ->
+            let s = env.jstk in
+            bytes_set64 s d1 v1;
+            bytes_set64 s d2 v2;
+            rest env)
+      | Jst (d1, Jslot a1), Jst (d2, Jslot a2) ->
+        Some
+          (fun rest env ->
+            let s = env.jstk in
+            bytes_set64 s d1 (bytes_get64 s a1);
+            bytes_set64 s d2 (bytes_get64 s a2);
+            rest env)
+      | _ -> None
+    in
+    let rec mk_chain stms pos bound : jit_env -> unit =
+      if pos >= bound then fun _ -> ()
+      else
+        match stms.(pos) with
+        | Jnop -> mk_chain stms (pos + 1) bound
+        | st -> (
+          let p2 = ref (pos + 1) in
+          while
+            !p2 < bound && (match stms.(!p2) with Jnop -> true | _ -> false)
+          do
+            incr p2
+          done;
+          match (if !p2 < bound then mk_link2 st stms.(!p2) else None) with
+          | Some mk -> mk (mk_chain stms (!p2 + 1) bound)
+          | None -> mk_stmt_link st (mk_chain stms (pos + 1) bound))
+    in
+"""
+
+# ---- mk_symbolic_body (chain + pre-fold version) ----
+B = """    (* Compile a symbolized block to a single closure: run the micro-op
+       chain, then the terminator inline (folded trailing copy/incr,
+       inlined loop-head gate, operand-specialised compare, precomputed
+       dispatch). *)
+    let mk_symbolic_body (stms, nstm, term, carr, _) =
+      let pregs = regs_of carr in
+      let last =
+        let l = ref (nstm - 1) in
+        while !l >= 0 && (match stms.(!l) with Jnop -> true | _ -> false) do
+          decr l
+        done;
+        !l
+      in
+      match term with
+      | Jexit (t, ci) -> (
+        let chain = mk_chain stms 0 nstm in
+        match t with
+        | Jslot o ->
+          fun env ->
+            chain env;
+            env.jvm.executed <- env.jk - env.jfuel - ci;
+            bytes_get64 env.jstk o
+        | Jcst v ->
+          fun env ->
+            chain env;
+            env.jvm.executed <- env.jk - env.jfuel - ci;
+            v
+        | _ ->
+          let ev = mk_ev t in
+          fun env ->
+            chain env;
+            env.jvm.executed <- env.jk - env.jfuel - ci;
+            ev env)
+      | Jdeo (i, ci) ->
+        let chain = mk_chain stms 0 nstm in
+        fun env ->
+          chain env;
+          exec_linked env.jvm linked env.jk (4 * i) (env.jfuel + ci)
+      | Jcnd (c, lhs, rhs, ti, fi) -> (
+        let kl = match jx_opd lhs with Some k -> k | None -> assert false in
+        let kr = match jx_opd rhs with Some k -> k | None -> assert false in
+        let td = build_disp pregs carr (arm_of ti) in
+        let fd = build_disp pregs carr (arm_of fi) in
+        let pre, bound =
+          match ((if last >= 0 then stms.(last) else Jnop), lhs) with
+          | Jst (d, Jbin (0, Jslot d', Jcst inc)), Jslot x
+            when d' = d && x = d ->
+            (Pincr (d, inc), last)
+          | Jst (d, Jslot a), Jslot x when x = d || x = a -> (Pcopy (d, a), last)
+          | _ -> (Pnone, nstm)
+        in
+        let chain = mk_chain stms 0 bound in
+        match (kl, kr) with
+        | Ks la, Ks rb ->
+          fun env ->
+            chain env;
+            jrun_pre env pre;
+            let s = env.jstk in
+            jdispatch env
+              (if jx_cond c (bytes_get64 s la) (bytes_get64 s rb) then td
+               else fd)
+        | Ks la, Kc vb ->
+          fun env ->
+            chain env;
+            jrun_pre env pre;
+            jdispatch env
+              (if jx_cond c (bytes_get64 env.jstk la) vb then td else fd)
+        | _ ->
+          fun env ->
+            chain env;
+            jrun_pre env pre;
+            let a = jopd_get env kl and b = jopd_get env kr in
+            jdispatch env (if jx_cond c a b then td else fd))
+      | Jjmp t -> (
+        match head_inline t with
+        | Some (hfuel, hpc, hcarr, hc, hl, hr, hti, hfi) -> (
+          let ownh = merge_commits carr hcarr in
+          let pall = regs_of ownh in
+          let td = build_disp pall ownh (arm_of hti) in
+          let fd = build_disp pall ownh (arm_of hfi) in
+          let pre, bound =
+            match ((if last >= 0 then stms.(last) else Jnop), hl) with
+            | Jst (d, Jbin (0, Jslot d', Jcst inc)), Ks x
+              when d' = d && x = d ->
+              (Pincr (d, inc), last)
+            | Jst (d, Jslot a), Ks x when x = d || x = a -> (Pcopy (d, a), last)
+            | _ -> (Pnone, nstm)
+          in
+          let chain = mk_chain stms 0 bound in
+          match (hl, hr) with
+          | Ks la, Ks rb ->
+            fun env ->
+              chain env;
+              jrun_pre env pre;
+              let f = env.jfuel in
+              if f >= hfuel then begin
+                env.jfuel <- f - hfuel;
+                let s = env.jstk in
+                jdispatch env
+                  (if jx_cond hc (bytes_get64 s la) (bytes_get64 s rb) then
+                     td
+                   else fd)
+              end
+              else begin
+                jrun_commits env carr;
+                exec_linked env.jvm linked env.jk hpc f
+              end
+          | Ks la, Kc vb ->
+            fun env ->
+              chain env;
+              jrun_pre env pre;
+              let f = env.jfuel in
+              if f >= hfuel then begin
+                env.jfuel <- f - hfuel;
+                jdispatch env
+                  (if jx_cond hc (bytes_get64 env.jstk la) vb then td else fd)
+              end
+              else begin
+                jrun_commits env carr;
+                exec_linked env.jvm linked env.jk hpc f
+              end
+          | _ ->
+            fun env ->
+              chain env;
+              jrun_pre env pre;
+              let f = env.jfuel in
+              if f >= hfuel then begin
+                env.jfuel <- f - hfuel;
+                let a = jopd_get env hl and b = jopd_get env hr in
+                jdispatch env (if jx_cond hc a b then td else fd)
+              end
+              else begin
+                jrun_commits env carr;
+                exec_linked env.jvm linked env.jk hpc f
+              end)
+        | None ->
+          let d = build_disp pregs carr (arm_of t) in
+          if last < 0 then fun env -> jdispatch env d
+          else
+            let chain = mk_chain stms 0 nstm in
+            fun env ->
+              chain env;
+              jdispatch env d)
+    in
+"""
+
+a = find("(* Micro-op interpreter: a block's statements compile to a flat")
+b = find("let jit_enabled = ref true")
+src = src[:a] + [M] + src[b:]
+
+a = find("    (* Lower a block's statement vector to a micro-op program (see")
+b = find("    (* Jump threading: follow chains of blocks whose only effects are")
+src = src[:a] + [C] + src[b:]
+
+a = find("    (* Compile a symbolized block to a single closure: run the micro-op")
+b = find("    (* Whole-loop mega template: the tight pointer-chasing accumulate")
+src = src[:a] + [B] + src[b:]
+
+io.open(PATH, "w", encoding="utf-8").write("".join(src))
+print("spliced chain version ok")
