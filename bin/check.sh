@@ -22,6 +22,10 @@ dune runtest
 echo "== chaos smoke (seed-sweep invariants)"
 dune exec bin/chaos.exe -- sweep --seeds 10
 
+echo "== scenario-matrix smoke (migration through nat+tracker)"
+dune exec bin/chaos.exe -- matrix --seeds 3 \
+  --cells bursty/nat+tracker/plain,bursty/nat+tracker/mpfec
+
 echo "== cross-host demo (same plugin bytecode on PQUIC and tcpsim)"
 dune exec examples/cross_host.exe >/dev/null
 

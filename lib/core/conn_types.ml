@@ -32,11 +32,17 @@ type config = {
   trust_formula : string;   (* validation requirement sent with PLUGIN_VALIDATE *)
   core_fraction : float;    (* share of the window guaranteed to core frames
                                when plugins compete (Section 2.3) *)
+  cid_pool : int;           (* spare CIDs issued to the peer at establish
+                               (NEW_CONNECTION_ID). 0 disables the whole
+                               migration machinery — RFC 9000 §9.5: an
+                               endpoint without spare CIDs cannot migrate —
+                               and keeps legacy behaviour bit-identical. *)
 }
 
 let default_config =
   { mtu = 1280; initial_window = Quic.Cc.default_initial_window;
-    ack_delay_ms = 25.; trust_formula = "PV1"; core_fraction = 0.5 }
+    ack_delay_ms = 25.; trust_formula = "PV1"; core_fraction = 0.5;
+    cid_pool = 0 }
 
 type path = {
   path_id : int;
@@ -50,6 +56,22 @@ type path = {
   mutable lost_span_start : Sim.time;
   mutable lost_span_end : Sim.time;
   mutable lost_span_valid : bool;
+}
+
+(* RFC 9000 §9 path validation: an unvalidated remote address observed on
+   authenticated packets. PATH_CHALLENGE probes carry [challenge]; only a
+   matching PATH_RESPONSE commits the address onto the path. Until then
+   the candidate may carry nothing but probes, clamped to 3× the bytes
+   received from it (§8.1 anti-amplification). *)
+type path_candidate = {
+  cand_addr : Net.addr;
+  challenge : int64;
+  rotate_to : (int64 * int64) option;
+      (* (seq, cid) of the spare we will adopt towards the peer on commit *)
+  mutable probes : int;
+  mutable last_probe_at : Sim.time;
+  mutable cand_rx : int; (* bytes received from the candidate address *)
+  mutable cand_tx : int; (* probe bytes sent to it (amplification credit) *)
 }
 
 (* What a sent packet carried, for ack/loss bookkeeping. Data-bearing
@@ -98,6 +120,14 @@ type stats = {
   mutable persistent_congestion_events : int;
   mutable plugin_sanctions : int;  (* pluglets killed for misbehaviour *)
   mutable plugin_fallbacks : int;  (* trapped replace ops served by builtin *)
+  (* migration / path validation (all stay 0 with cid_pool = 0) *)
+  mutable cids_issued : int;       (* NEW_CONNECTION_ID frames queued *)
+  mutable cids_retired : int;      (* local CIDs retired by the peer *)
+  mutable cids_rotated : int;      (* times we switched the CID we send to *)
+  mutable paths_validated : int;   (* candidates committed by PATH_RESPONSE *)
+  mutable path_probes : int;       (* PATH_CHALLENGE probe packets sent *)
+  mutable unvalidated_tx : int;    (* non-probe packets sent to a candidate
+                                      address — must stay 0 (invariant I6) *)
 }
 
 (* Protoop arguments and implementations come from the transport-neutral
@@ -138,6 +168,23 @@ type t = {
   initial_key : int64;
   mutable key : int64;
   mutable paths : path array;
+  (* CID set (RFC 9000 §5.1): CIDs we issued for the peer to address us
+     with (newest first, including the handshake CID at seq 0), spare CIDs
+     the peer issued us, and the sequence number of the CID we currently
+     send to. The candidate tracks §9 path validation in flight. *)
+  mutable local_cids : (int64 * int64) list;   (* (seq, cid), newest first *)
+  mutable cid_seq : int64;                     (* next local seq to issue *)
+  mutable remote_spares : (int64 * int64) list; (* (seq, cid), oldest first *)
+  mutable remote_cid_seq : int64;              (* seq of [remote_cid] *)
+  mutable candidate : path_candidate option;
+  mutable challenge_ctr : int64;
+  mutable last_reprobe_at : Sim.time;
+  mutable last_rotate_at : Sim.time;
+  mutable gen_cid : unit -> int64;
+      (* CID source; the endpoint overrides it with its own RNG so issued
+         CIDs are registered in (and collision-free across) its demux *)
+  mutable on_cid_issued : int64 -> unit;
+  mutable on_cid_retired : int64 -> unit;
   (* recovery *)
   mutable next_pn : int64;
   sent : (int64, sent_packet) Hashtbl.t;
@@ -156,6 +203,10 @@ type t = {
   mutable loss_alarm : Sim.event option;
   mutable ack_alarm : Sim.event option;
   mutable idle_alarm : Sim.event option;
+  mutable stall_alarm : Sim.event option;
+      (* client downlink-stall watchdog (armed only with cid_pool > 0):
+         a pure receiver never arms the PTO clock, so silence on the
+         return path must be noticed here to trigger the reprobe escape *)
   mutable last_activity : Sim.time;
   mutable ae_sent_since_recv : bool;
       (* RFC 9000 §10.1: the idle clock restarts on receipt, and on the
@@ -288,7 +339,24 @@ let make_stats () =
     persistent_congestion_events = 0;
     plugin_sanctions = 0;
     plugin_fallbacks = 0;
+    cids_issued = 0;
+    cids_retired = 0;
+    cids_rotated = 0;
+    paths_validated = 0;
+    path_probes = 0;
+    unvalidated_tx = 0;
   }
+
+(* Is [cid] one of the CIDs this connection answers to? *)
+let has_local_cid c cid = List.exists (fun (_, x) -> x = cid) c.local_cids
+
+(* Fresh unpredictable-to-on-path-observers challenge material, derived
+   from the connection key so replays stay deterministic per seed. *)
+let next_challenge c =
+  c.challenge_ctr <- Int64.add c.challenge_ctr 1L;
+  Quic.Packet.tag
+    ~key:(Int64.logxor c.key c.local_cid)
+    (Int64.to_string c.challenge_ctr)
 
 (* Forward references into the orchestration layer: lower layers (helpers,
    recovery) must wake the sender or hand back a recovered packet, but the
@@ -299,3 +367,35 @@ let wake_ref : (t -> unit) ref = ref (fun _ -> ())
 let wake c = !wake_ref c
 
 let process_recovered_ref : (t -> string -> unit) ref = ref (fun _ _ -> ())
+
+(* Adopt [(seq, cid)] as the CID we address the peer with, retiring the
+   one in use and every spare at or below the adopted sequence number.
+   Adoption is strictly monotonic in seq: [remote_cid_seq] never moves
+   backwards, so together with the [seq > remote_cid_seq] insert guard on
+   NEW_CONNECTION_ID a requeued retransmission can never re-insert a
+   sequence number whose Retire the peer already processed — rotating to
+   such a ghost CID would blackhole every packet until idle timeout. The
+   retires for skipped spares keep the peer's replenishment counting
+   honest (one fresh CID per retired seq). *)
+let adopt_remote_cid c (seq, cid) =
+  Queue.push (F.Retire_connection_id c.remote_cid_seq) c.ctrl;
+  List.iter
+    (fun (s, _) -> if s < seq then Queue.push (F.Retire_connection_id s) c.ctrl)
+    c.remote_spares;
+  c.remote_spares <- List.filter (fun (s, _) -> s > seq) c.remote_spares;
+  c.remote_cid <- cid;
+  c.remote_cid_seq <- seq;
+  c.last_rotate_at <- Sim.now c.sim;
+  c.stats.cids_rotated <- c.stats.cids_rotated + 1
+
+(* A spare we may rotate to: unused, and ahead of the current sequence. *)
+let adoptable_spare c =
+  List.find_opt
+    (fun (s, cid) -> s > c.remote_cid_seq && cid <> c.remote_cid)
+    c.remote_spares
+
+let reprobe_ref : (t -> unit) ref = ref (fun _ -> ())
+(* Client-side stall escape (implemented by [Sender]): rotate to a spare
+   CID and revalidate the path with a long-header PATH_CHALLENGE probe.
+   [Recovery] calls it when consecutive PTOs suggest the 4-tuple died
+   (NAT rebinding, stateful-firewall blackhole). *)

@@ -23,6 +23,11 @@ type config = {
   trust_formula : string;   (** validation requirement sent with PLUGIN_VALIDATE *)
   core_fraction : float;    (** share of the window guaranteed to core frames
                                 when plugins compete (Section 2.3) *)
+  cid_pool : int;
+      (** spare CIDs issued to the peer at establish (NEW_CONNECTION_ID).
+          0 (the default) disables the whole migration machinery — RFC
+          9000 §9.5: an endpoint without spare CIDs cannot migrate — and
+          keeps legacy behaviour bit-identical. *)
 }
 
 val default_config : config
@@ -40,6 +45,21 @@ type path = {
       (** persistent congestion (RFC 9002 §7.6): send-time span of the
           current run of consecutive ack-eliciting losses *)
 }
+
+type path_candidate = {
+  cand_addr : Netsim.Net.addr;
+  challenge : int64;
+  rotate_to : (int64 * int64) option;
+      (** (seq, cid) of the spare adopted towards the peer on commit *)
+  mutable probes : int;
+  mutable last_probe_at : Netsim.Sim.time;
+  mutable cand_rx : int;
+  mutable cand_tx : int;
+}
+(** RFC 9000 §9 path validation: an unvalidated remote address observed on
+    authenticated packets. Only a PATH_RESPONSE matching [challenge]
+    commits it onto the path; until then it carries nothing but probes,
+    clamped to 3× [cand_rx] (§8.1 anti-amplification). *)
 
 (** What a sent packet carried, for ack/loss bookkeeping. Data-bearing
     frames record only (offset, len) against their send buffer — payload
@@ -90,6 +110,13 @@ type stats = {
   mutable plugin_sanctions : int;  (** pluglets killed for misbehaviour *)
   mutable plugin_fallbacks : int;
       (** trapped replace ops served by the builtin implementation *)
+  mutable cids_issued : int;       (** NEW_CONNECTION_ID frames queued *)
+  mutable cids_retired : int;      (** local CIDs retired by the peer *)
+  mutable cids_rotated : int;      (** times the CID sent to changed *)
+  mutable paths_validated : int;   (** candidates committed by PATH_RESPONSE *)
+  mutable path_probes : int;       (** PATH_CHALLENGE probe packets sent *)
+  mutable unvalidated_tx : int;
+      (** non-probe packets sent to a candidate address — must stay 0 *)
 }
 
 (** Protoop arguments and implementations, re-exported from the
@@ -129,6 +156,18 @@ type t = {
   initial_key : int64;
   mutable key : int64;
   mutable paths : path array;
+  (* CID set (RFC 9000 §5.1) and §9 path-validation state *)
+  mutable local_cids : (int64 * int64) list;  (** (seq, cid), newest first *)
+  mutable cid_seq : int64;
+  mutable remote_spares : (int64 * int64) list;  (** (seq, cid), oldest first *)
+  mutable remote_cid_seq : int64;
+  mutable candidate : path_candidate option;
+  mutable challenge_ctr : int64;
+  mutable last_reprobe_at : Netsim.Sim.time;
+  mutable last_rotate_at : Netsim.Sim.time;
+  mutable gen_cid : unit -> int64;
+  mutable on_cid_issued : int64 -> unit;
+  mutable on_cid_retired : int64 -> unit;
   (* recovery *)
   mutable next_pn : int64;
   sent : (int64, sent_packet) Hashtbl.t;
@@ -144,6 +183,10 @@ type t = {
   mutable loss_alarm : Netsim.Sim.event option;
   mutable ack_alarm : Netsim.Sim.event option;
   mutable idle_alarm : Netsim.Sim.event option;
+  mutable stall_alarm : Netsim.Sim.event option;
+      (** client downlink-stall watchdog (armed only with [cid_pool] > 0):
+          a pure receiver never arms the PTO clock, so return-path silence
+          is noticed here and escalated to the reprobe escape *)
   mutable last_activity : Netsim.Sim.time;
   mutable ae_sent_since_recv : bool;
   (* receiving *)
@@ -239,6 +282,22 @@ val current_payload : t -> string
 
 val make_stats : unit -> stats
 
+val has_local_cid : t -> int64 -> bool
+(** Is [cid] one of the CIDs this connection answers to? *)
+
+val next_challenge : t -> int64
+(** Fresh PATH_CHALLENGE material, derived deterministically from the
+    connection key and a per-connection counter. *)
+
+val adopt_remote_cid : t -> int64 * int64 -> unit
+(** Adopt [(seq, cid)] as the CID we address the peer with, retiring the
+    current one and every spare with a sequence number ≤ [seq]. Adoption
+    is strictly monotonic in [seq] so retransmitted NEW_CONNECTION_ID
+    frames can never resurrect an already-retired sequence number. *)
+
+val adoptable_spare : t -> (int64 * int64) option
+(** A spare eligible for rotation: unused and ahead of [remote_cid_seq]. *)
+
 (** {2 Forward references}
 
     Filled in by the upper layers at load time; lower layers call through
@@ -251,3 +310,8 @@ val wake : t -> unit
 val process_recovered_ref : (t -> string -> unit) ref
 (** Hand a FEC-recovered packet (pn || payload) back to the receive path
     (implemented by [Connection]). *)
+
+val reprobe_ref : (t -> unit) ref
+(** Client-side stall escape (implemented by [Sender]): rotate to a spare
+    CID and revalidate the path with a long-header PATH_CHALLENGE probe;
+    called by [Recovery] when consecutive PTOs suggest the 4-tuple died. *)

@@ -82,6 +82,41 @@ let rec arm_idle_alarm c =
                  else arm_idle_alarm c))
   end
 
+(* Downlink-stall watchdog (client with spare CIDs only): a pure receiver
+   has nothing in flight, so a middlebox silently blackholing the return
+   path never trips the PTO machinery — the connection would ride
+   straight into the idle timeout. Watch for receive silence a few PTOs
+   long and escalate to the same rotate-and-reprobe escape the RTO path
+   uses. Armed while Handshaking too (RFC 9002 §6.2.2.1 in spirit): a
+   client whose crypto is fully acked is a pure receiver mid-handshake,
+   and behind a short-lived NAT binding the server's reply can only get
+   through if the client keeps sending. Never armed with cid_pool = 0,
+   so legacy runs see no new events. *)
+let rec arm_stall_alarm c =
+  if
+    c.cfg.cid_pool > 0 && c.role = Client && c.stall_alarm = None
+    && (c.state = Established || c.state = Handshaking)
+  then begin
+    let pto = Quic.Rtt.pto (default_path c).rtt in
+    let period = Int64.mul 3L pto in
+    let at =
+      let target = Int64.add c.last_activity period in
+      (* re-arms during an ongoing stall must not busy-loop on the stale
+         activity clock *)
+      let floor = Int64.add (Sim.now c.sim) pto in
+      if target > floor then target else floor
+    in
+    c.stall_alarm <-
+      Some
+        (Sim.schedule_at c.sim ~at (fun () ->
+             c.stall_alarm <- None;
+             if c.state = Established || c.state = Handshaking then begin
+               if Int64.sub (Sim.now c.sim) c.last_activity >= period then
+                 !reprobe_ref c;
+               arm_stall_alarm c
+             end))
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -113,6 +148,27 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
       initial_key;
       key = 0L;
       paths = [| path0 |];
+      local_cids = [ (0L, local_cid) ];
+      cid_seq = 1L;
+      remote_spares = [];
+      remote_cid_seq = 0L;
+      candidate = None;
+      challenge_ctr = 0L;
+      last_reprobe_at = 0L;
+      last_rotate_at = 0L;
+      gen_cid =
+        (* standalone fallback: a LCG walk from the handshake CID; the
+           endpoint overrides this with its own RNG so issued CIDs land
+           in its demux table *)
+        (let ctr = ref local_cid in
+         fun () ->
+           ctr :=
+             Int64.add
+               (Int64.mul !ctr 6364136223846793005L)
+               1442695040888963407L;
+           !ctr);
+      on_cid_issued = ignore;
+      on_cid_retired = ignore;
       next_pn = 0L;
       sent = Hashtbl.create 512;
       ack_watermark = 0L;
@@ -125,6 +181,7 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
       loss_alarm = None;
       ack_alarm = None;
       idle_alarm = None;
+      stall_alarm = None;
       last_activity = Sim.now sim;
       ae_sent_since_recv = false;
       acks = Quic.Ackranges.create ();
@@ -185,6 +242,23 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
   c
 
 (* ------------------------------------------------------------------ *)
+(* CID issuance (RFC 9000 §5.1.1)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Mint a spare CID for the peer: register it locally (and with the
+   endpoint demux via [on_cid_issued]) and queue the NEW_CONNECTION_ID
+   announcement. *)
+let issue_new_cid c =
+  let seq = c.cid_seq in
+  c.cid_seq <- Int64.add c.cid_seq 1L;
+  let cid = c.gen_cid () in
+  c.local_cids <- (seq, cid) :: c.local_cids;
+  c.stats.cids_issued <- c.stats.cids_issued + 1;
+  c.on_cid_issued cid;
+  Queue.push (F.New_connection_id { seq; cid }) c.ctrl;
+  ignore (run_op c Protoop.new_connection_id [| I seq; I cid |])
+
+(* ------------------------------------------------------------------ *)
 (* Handshake                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -196,6 +270,8 @@ let establish c =
     ignore (run_op c Protoop.connection_established [||]);
     Plugin_host.negotiate_plugins c;
     c.on_established ();
+    for _ = 1 to c.cfg.cid_pool do issue_new_cid c done;
+    arm_stall_alarm c;
     wake c
   end
 
@@ -263,6 +339,35 @@ let maybe_update_max_data c =
     wake c
   end
 
+(* PATH_RESPONSE matched the candidate's challenge: the new address is
+   validated (RFC 9000 §9.3) — move the default path there and, when a
+   spare CID was earmarked, rotate the CID we address the peer with
+   (§9.5) while retiring the old one. If another path already covers the
+   address (multipath created it meanwhile), just drop the candidate. *)
+let commit_candidate c cand =
+  let already =
+    Array.exists (fun p -> p.remote_addr = cand.cand_addr) c.paths
+  in
+  if not already then begin
+    Log.info (fun m ->
+        m "path validated: %d -> %d" (default_path c).remote_addr
+          cand.cand_addr);
+    (default_path c).remote_addr <- cand.cand_addr;
+    match cand.rotate_to with
+    | Some (seq, cid) when cid <> c.remote_cid && seq > c.remote_cid_seq ->
+      adopt_remote_cid c (seq, cid)
+    | _ -> ()
+  end;
+  c.candidate <- None;
+  c.stats.paths_validated <- c.stats.paths_validated + 1;
+  (* §9.4: the path changed under us — a backed-off loss timer aimed at
+     the dead 4-tuple must not outlive it, or retransmissions fire long
+     after the fresh NAT binding has expired again *)
+  c.pto_backoff <- 0;
+  Recovery.set_loss_alarm c;
+  ignore (run_op c Protoop.validate_path [| I (i64 cand.cand_addr) |]);
+  wake c
+
 let process_core_frame c frame =
   match frame with
   | F.Padding _ | F.Ping -> ()
@@ -295,7 +400,29 @@ let process_core_frame c frame =
     end
   | F.Handshake_done -> if c.role = Client then establish c
   | F.Path_challenge v -> Queue.push (F.Path_response v) c.ctrl
-  | F.Path_response _ -> ignore (run_op c Protoop.validate_path [||])
+  | F.Path_response v ->
+    (match c.candidate with
+    | Some cand when cand.challenge = v -> commit_candidate c cand
+    | _ -> ());
+    ignore (run_op c Protoop.validate_path [||])
+  | F.New_connection_id { seq; cid } ->
+    (* a spare the peer lets us rotate to; duplicates (retransmission,
+       dup faults) and already-retired sequence numbers are dropped *)
+    if
+      c.cfg.cid_pool > 0 && cid <> c.remote_cid
+      && seq > c.remote_cid_seq
+      && not (List.exists (fun (s, _) -> s = seq) c.remote_spares)
+    then c.remote_spares <- c.remote_spares @ [ (seq, cid) ]
+  | F.Retire_connection_id seq -> (
+    (* the peer stopped using one of our CIDs: drop it from the set (and
+       the endpoint demux) and mint a replacement so its pool stays full *)
+    match List.find_opt (fun (s, _) -> s = seq) c.local_cids with
+    | None -> ()
+    | Some (_, cid) ->
+      c.local_cids <- List.filter (fun (s, _) -> s <> seq) c.local_cids;
+      c.stats.cids_retired <- c.stats.cids_retired + 1;
+      c.on_cid_retired cid;
+      if c.cfg.cid_pool > 0 && is_open c then issue_new_cid c)
   | F.Plugin_validate { plugin; formula } ->
     Plugin_host.handle_plugin_validate c ~name:plugin ~formula
   | F.Plugin_proof { plugin; proof } ->
@@ -345,11 +472,23 @@ let process_payload c ~pn payload =
         end
         else begin
           Log.debug (fun m -> m "plugin frame 0x%x consumed %d" ftype consumed);
-          if not non_ae then ae := true;
-          let frame_body = Bytes.sub body 0 consumed in
-          ignore
-            (run_op c Protoop.process_frame ~param:ftype
-               [| Buf (frame_body, `Ro); I (i64 consumed); I pn |]);
+          if Dispatch.is_running c Protoop.process_frame (Some ftype) then
+            (* replaying a recovered packet from inside this very frame
+               type's handler: a repair symbol can protect a packet that
+               itself carries a repair symbol (stream data and FEC_RS
+               frames share packets). Re-dispatching would be sanctioned
+               as an op-graph loop, and the frame is redundant by
+               construction — its window was covered by the symbol that
+               recovered it — so it is dropped, not re-processed. *)
+            Log.debug (fun m ->
+                m "skipping recovered frame 0x%x (handler on op stack)" ftype)
+          else begin
+            if not non_ae then ae := true;
+            let frame_body = Bytes.sub body 0 consumed in
+            ignore
+              (run_op c Protoop.process_frame ~param:ftype
+                 [| Buf (frame_body, `Ro); I (i64 consumed); I pn |])
+          end;
           pos := !pos + varint_len_at payload !pos + consumed
         end
       end
@@ -410,6 +549,58 @@ let schedule_ack_alarm c =
              c.ack_alarm <- None;
              if c.ack_needed && is_open c then Sender.send_pending c))
 
+(* An authenticated packet arrived from an address no path covers, with
+   the migration machinery enabled: start (or keep probing) a §9 path
+   candidate instead of following the address blindly. [probe_scid] is
+   the source CID of a long-header probe — the peer naming the CID it
+   wants us to rotate to. *)
+let note_new_source c ~src ~probe_scid ~dgsize =
+  match c.candidate with
+  | Some cand when cand.cand_addr = src ->
+    cand.cand_rx <- cand.cand_rx + dgsize;
+    let pto = Quic.Rtt.pto (default_path c).rtt in
+    if Int64.sub (Sim.now c.sim) cand.last_probe_at >= pto then
+      Sender.send_path_probe c cand
+  | _ ->
+    let rotate_to =
+      match probe_scid with
+      | Some scid when scid <> c.remote_cid -> (
+        match
+          List.find_opt
+            (fun (s, cid) -> cid = scid && s > c.remote_cid_seq)
+            c.remote_spares
+        with
+        | Some _ as named -> named
+        | None ->
+          (* the peer named a CID we have not seen announced (its
+             NEW_CONNECTION_ID may still be in flight); the authenticated
+             long header is proof of ownership, so adopt it under a
+             synthetic next sequence number *)
+          Some (Int64.add c.remote_cid_seq 1L, scid))
+      | Some _ -> None
+        (* the probe names the CID we already use: keep it — a stateful
+           firewall on the new flow admits exactly the probe's CID pair,
+           so switching to a different spare here would blackhole our
+           challenge *)
+      | None -> adoptable_spare c
+    in
+    let cand =
+      {
+        cand_addr = src;
+        challenge = next_challenge c;
+        rotate_to;
+        probes = 0;
+        last_probe_at = 0L;
+        cand_rx = dgsize;
+        cand_tx = 0;
+      }
+    in
+    c.candidate <- Some cand;
+    Log.info (fun m ->
+        m "new source %d: validating (was %d)" src
+          (default_path c).remote_addr);
+    Sender.send_path_probe c cand
+
 let receive_datagram c (dg : Net.datagram) =
   if is_open c then begin
     ignore (run_op c Protoop.incoming_datagram [| I (i64 dg.Net.size) |]);
@@ -439,7 +630,7 @@ let receive_datagram c (dg : Net.datagram) =
         c.stats.pkts_corrupt_discarded <- c.stats.pkts_corrupt_discarded + 1;
         Log.debug (fun m -> m "dropping unauthenticated packet")
       | { header; payload }, _ ->
-        if header.Quic.Packet.dcid = c.local_cid then begin
+        if has_local_cid c header.Quic.Packet.dcid then begin
           let pn = header.Quic.Packet.pn in
           if Quic.Ackranges.contains c.acks pn then
             (* duplicate packet number: the ACK ranges already cover it,
@@ -463,11 +654,28 @@ let receive_datagram c (dg : Net.datagram) =
                 c.paths;
               if !found >= 0 then !found
               else if pn < c.largest_recv then 0 (* stale straggler: ignore *)
+              else if c.cfg.cid_pool > 0 && c.state = Established then begin
+                (* RFC 9000 §9: never follow an unvalidated address — a
+                   source address is spoofable. Challenge it; only the
+                   matching PATH_RESPONSE commits it (see
+                   [commit_candidate]). Data keeps flowing to the old
+                   address meanwhile. *)
+                let probe_scid =
+                  if header.Quic.Packet.ptype <> Quic.Packet.One_rtt then
+                    Some header.Quic.Packet.scid
+                  else None
+                in
+                note_new_source c ~src:dg.Net.src ~probe_scid
+                  ~dgsize:dg.Net.size;
+                0
+              end
               else begin
                 (* the newest authenticated packet, from an unknown source
                    address: the connection is bound to CIDs, not to a
                    4-tuple, so follow the peer there (NAT rebinding,
-                   Section 4.3) *)
+                   Section 4.3). Without spare CIDs (cid_pool = 0) this
+                   legacy follow is the only option — §9.5 forbids real
+                   migration without them. *)
                 Log.info (fun m ->
                     m "peer migrated: %d -> %d" (default_path c).remote_addr
                       dg.Net.src);
@@ -486,6 +694,7 @@ let receive_datagram c (dg : Net.datagram) =
             c.last_activity <- Sim.now c.sim;
             c.ae_sent_since_recv <- false;
             arm_idle_alarm c;
+            arm_stall_alarm c;
             Quic.Ackranges.add c.acks pn;
             ignore (run_op c Protoop.update_idle_timeout [||]);
             ignore (run_op c Protoop.received_packet [| I pn; I (i64 pid) |]);

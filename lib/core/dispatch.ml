@@ -10,6 +10,7 @@ module D = Pluginop.Dispatch
 let find_entry c op param = D.find_entry c.po op param
 let entry c op param = D.entry c.po op param
 let has_entry c op param = D.has_entry c.po op param
+let is_running c op param = D.is_running c.po op param
 let iter_entries c f = D.iter_entries c.po f
 let register_native c op name fn = D.register_native c.po op name fn
 

@@ -17,6 +17,12 @@ val find_entry : t -> Protoop.id -> int option -> op_entry option
 
 val has_entry : t -> Protoop.id -> int option -> bool
 
+val is_running : t -> Protoop.id -> int option -> bool
+(** Whether (op, param) is on the running-operation stack — used by the
+    engine to avoid re-dispatching an operation from inside itself (a
+    FEC-recovered packet replaying a frame of the type being processed),
+    which {!run_op} would sanction as a protocol-operation loop. *)
+
 val iter_entries : t -> (op_entry -> unit) -> unit
 (** Iterate every registered entry (dense array and hashtable). *)
 

@@ -136,6 +136,11 @@ let provide_plugin t name ~formula =
 
 let setup_conn t c =
   Hashtbl.replace t.conns (Connection.local_cid c) c;
+  (* CID agility: spare CIDs issued by the connection must reach the
+     demultiplexer, so packets addressed to a rotated CID still find it. *)
+  c.Connection.gen_cid <- (fun () -> fresh_cid t);
+  c.Connection.on_cid_issued <- (fun cid -> Hashtbl.replace t.conns cid c);
+  c.Connection.on_cid_retired <- (fun cid -> Hashtbl.remove t.conns cid);
   c.Connection.provide_plugin <- provide_plugin t;
   c.Connection.verify_plugin <- (fun ~name ~bytes ~proof -> t.verifier ~name ~bytes ~proof);
   c.Connection.on_plugin_received <- (fun plugin -> add_plugin t plugin);
@@ -188,11 +193,16 @@ let handle_datagram t (dg : Net.datagram) =
       match Hashtbl.find_opt t.conns dcid with
       | Some c -> Connection.receive_datagram c dg
       | None ->
-        (* a long-header packet to an unknown CID starts a new connection —
+        (* an Initial packet to an unknown CID starts a new connection —
            but only if it authenticates under the initial key, else a
            corrupted packet whose damaged CID missed its connection would
-           conjure a spurious half-open server connection *)
-        if Char.code wire.[0] land 0x80 <> 0 then begin
+           conjure a spurious half-open server connection. Handshake-type
+           long headers (reprobe PATH_CHALLENGEs aimed at a CID the peer
+           already retired) never create connections — they are stale. *)
+        if Char.code wire.[0] land 0xe0 <> 0xc0 then
+          Log.debug (fun m ->
+              m "dropping packet to unknown cid %Lx (not an initial)" dcid)
+        else begin
           match Quic.Packet.unprotect ~key:Connection.initial_key wire with
           | exception
               (Quic.Packet.Authentication_failed | Quic.Packet.Malformed) ->
@@ -241,4 +251,10 @@ let connect ?(plugins_to_inject = []) t ~remote_addr =
   Connection.start_client c;
   c
 
-let connection_count t = Hashtbl.length t.conns
+(* Connections, not table entries: a connection with spare CIDs is
+   registered under each of them. *)
+let connection_count t =
+  Hashtbl.fold
+    (fun _ c acc -> if List.memq c acc then acc else c :: acc)
+    t.conns []
+  |> List.length

@@ -89,7 +89,8 @@ let notify_frame_fate c (fr : frame_record) ~acked =
   | R_frame (F.Max_data _, _) -> if lost then c.max_data_frame_pending <- true
   | R_frame
       ( (( F.Plugin_validate _ | F.Plugin_proof _ | F.Handshake_done
-         | F.Path_response _ ) as f),
+         | F.Path_response _ | F.New_connection_id _
+         | F.Retire_connection_id _ ) as f),
         _ ) ->
     if lost then Queue.push f c.ctrl
   | R_frame (F.Unknown { ftype; raw }, Some r) ->
@@ -300,7 +301,12 @@ let on_loss_alarm c =
               0L
             in
             ignore (run_op c Protoop.cc_on_rto ~default [| I (i64 p.path_id) |]))
-          c.paths
+          c.paths;
+        (* repeated timeouts can mean the 4-tuple itself died (NAT
+           rebinding behind a stateful middlebox): a client with spare
+           CIDs rotates and revalidates the path (no-op with
+           cid_pool = 0 — see [Sender.rotate_and_reprobe]) *)
+        !reprobe_ref c
       end;
       set_loss_alarm c;
       wake c

@@ -445,6 +445,13 @@ let build_and_send_packet c =
       (match c.ack_alarm with Some ev -> Sim.cancel ev | None -> ());
       c.ack_alarm <- None
     end;
+    (* I6 tripwire: the normal send loop must never target an address
+       still under §9 validation — candidates only ever receive dedicated
+       probes (send_path_probe), so this stays 0 by construction *)
+    (match c.candidate with
+    | Some cand when cand.cand_addr = p.remote_addr ->
+      c.stats.unvalidated_tx <- c.stats.unvalidated_tx + 1
+    | _ -> ());
     Net.send c.net
       {
         Net.src = p.local_addr;
@@ -477,3 +484,119 @@ let wake_impl c =
   end
 
 let () = wake_ref := wake_impl
+
+(* ------------------------------------------------------------------ *)
+(* Path validation probes (RFC 9000 §9)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Build and send one dedicated probe packet, outside the normal send
+   loop: not congestion-controlled, not recorded for retransmission (a
+   lost probe is simply re-sent on the next trigger) and not counted
+   against the idle clock — probes into a dead path must not keep the
+   connection alive (§10.1). Returns the datagram size incl. overhead. *)
+let send_probe_packet c ~ptype ~dcid ~scid ~dst frames =
+  let w = Quic.Writer.acquire () in
+  Fun.protect ~finally:(fun () -> Quic.Writer.release w) @@ fun () ->
+  let pn = c.next_pn in
+  c.next_pn <- Int64.add pn 1L;
+  let header = { Quic.Packet.ptype; spin = c.spin; dcid; scid; pn } in
+  let hoff = Quic.Packet.reserve_header w header in
+  List.iter (F.write w) frames;
+  Quic.Packet.patch_header w ~off:hoff header;
+  let key = if ptype = Quic.Packet.One_rtt then c.key else c.initial_key in
+  Quic.Packet.seal ~key w;
+  let wire = Quic.Writer.contents w in
+  c.stats.pkts_sent <- c.stats.pkts_sent + 1;
+  c.stats.bytes_sent <- c.stats.bytes_sent + String.length wire;
+  c.stats.path_probes <- c.stats.path_probes + 1;
+  let size = String.length wire + ip_udp_overhead in
+  Net.send c.net
+    { Net.src = (default_path c).local_addr; dst; size;
+      payload = Quic_packet wire };
+  size
+
+(* Pull owed PATH_RESPONSEs out of the control queue: §9.3 requires a
+   response to return to the address its challenge came from, which for
+   a candidate is not the current path. *)
+let drain_path_responses c =
+  let keep = Queue.create () in
+  let resp = ref [] in
+  Queue.iter
+    (fun f ->
+      match f with
+      | F.Path_response _ -> resp := f :: !resp
+      | f -> Queue.push f keep)
+    c.ctrl;
+  Queue.clear c.ctrl;
+  Queue.transfer keep c.ctrl;
+  List.rev !resp
+
+(* Probe an unvalidated candidate address: PATH_CHALLENGE (plus any owed
+   PATH_RESPONSEs) in a dedicated short-header packet, addressed with the
+   spare CID earmarked for rotation. Clamped by §8.1 anti-amplification:
+   at most 3× the bytes the candidate has sent us. *)
+let send_path_probe c (cand : path_candidate) =
+  let responses = drain_path_responses c in
+  let frames = F.Path_challenge cand.challenge :: responses in
+  let est =
+    List.fold_left
+      (fun acc f -> acc + F.size f)
+      (13 + Quic.Packet.tag_len + ip_udp_overhead)
+      frames
+  in
+  if cand.cand_tx + est > 3 * cand.cand_rx then
+    (* out of amplification credit: hold the responses for the next
+       trigger, once the candidate has sent us more bytes *)
+    List.iter (fun f -> Queue.push f c.ctrl) responses
+  else begin
+    let dcid =
+      match cand.rotate_to with Some (_, cid) -> cid | None -> c.remote_cid
+    in
+    let size =
+      send_probe_packet c ~ptype:Quic.Packet.One_rtt ~dcid ~scid:c.local_cid
+        ~dst:cand.cand_addr frames
+    in
+    cand.cand_tx <- cand.cand_tx + size;
+    cand.probes <- cand.probes + 1;
+    cand.last_probe_at <- Sim.now c.sim
+  end
+
+(* Client-side stall escape: consecutive PTOs with the migration
+   machinery enabled suggest the 4-tuple died under us — a NAT silently
+   rebound behind a stateful firewall that now blackholes our short
+   headers. Rotate to a spare CID (at most once per stall episode, §9.5)
+   and revalidate with a long-header PATH_CHALLENGE: the long header
+   re-opens stateful-firewall pinholes and names the CID pair of the new
+   flow. Rotation is best-effort: with the spare pool momentarily drained
+   (replenishment frames may themselves be stuck behind the stall) the
+   probe still goes out under the current CID — going dark would turn a
+   rebinding into a death sentence. *)
+let rotate_and_reprobe c =
+  if
+    c.role = Client && c.cfg.cid_pool > 0
+    && (c.state = Established || c.state = Handshaking)
+  then begin
+    let now = Sim.now c.sim in
+    let pto = Quic.Rtt.pto (default_path c).rtt in
+    if Int64.sub now c.last_reprobe_at >= pto then begin
+      (* at most one rotation per stall episode (§9.5) *)
+      if c.last_rotate_at < c.last_activity then begin
+        (match adoptable_spare c with
+        | None -> ()
+        | Some pair -> adopt_remote_cid c pair);
+        c.last_rotate_at <- now
+      end;
+      c.last_reprobe_at <- now;
+      let scid =
+        match c.local_cids with (_, cid) :: _ -> cid | [] -> c.local_cid
+      in
+      Log.debug (fun m ->
+          m "reprobe dcid=%Lx scid=%Lx" c.remote_cid scid);
+      ignore
+        (send_probe_packet c ~ptype:Quic.Packet.Handshake ~dcid:c.remote_cid
+           ~scid ~dst:(default_path c).remote_addr
+           [ F.Path_challenge (next_challenge c) ])
+    end
+  end
+
+let () = reprobe_ref := rotate_and_reprobe

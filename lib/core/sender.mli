@@ -28,3 +28,16 @@ val send_pending : t -> unit
 
 val wake_impl : t -> unit
 (** Schedule an asynchronous send pass (bound to {!Conn_types.wake_ref}). *)
+
+val send_path_probe : t -> path_candidate -> unit
+(** Probe an unvalidated candidate address with PATH_CHALLENGE (plus any
+    queued PATH_RESPONSEs, which must return to the candidate source —
+    RFC 9000 §9.3). The probe packet bypasses congestion control and loss
+    bookkeeping, and is clamped to 3× the bytes received from the
+    candidate (§8.1 anti-amplification). *)
+
+val rotate_and_reprobe : t -> unit
+(** Client-side stall escape (bound to {!Conn_types.reprobe_ref}): on a
+    full RTO, rotate to a spare destination CID — at most once per stall
+    episode — and send a long-header PATH_CHALLENGE probe that re-opens
+    stateful middlebox pinholes on the path. No-op when [cid_pool] is 0. *)

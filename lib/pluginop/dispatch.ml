@@ -32,6 +32,12 @@ let entry st op param =
 
 let has_entry st op param = find_entry st op param <> None
 
+(* Whether (op, param) sits on the running-operation stack. Hosts use this
+   to avoid re-dispatching an operation from within itself — e.g. a
+   FEC-recovered packet replaying a frame of the very type whose handler
+   triggered the recovery — which [run_op] would sanction as a loop. *)
+let is_running st op param = List.mem (op, param) st.op_stack
+
 let iter_entries st f =
   Array.iter (function Some e -> f e | None -> ()) st.builtin_ops;
   Hashtbl.iter (fun _ e -> f e) st.ops

@@ -26,6 +26,10 @@ type t =
   | Handshake_done
   | Path_challenge of int64
   | Path_response of int64
+  | New_connection_id of { seq : int64; cid : int64 }
+      (* a spare CID the peer may rotate to on migration (RFC 9000 §5.1.1);
+         fixed 8-byte CIDs in this implementation *)
+  | Retire_connection_id of int64 (* sequence number being retired *)
   | Plugin_validate of { plugin : string; formula : string }
   | Plugin_proof of { plugin : string; proof : string }
   | Plugin_chunk of { plugin : string; offset : int64; fin : bool; data : string }
@@ -45,6 +49,8 @@ let type_connection_close = 0x1c
 let type_handshake_done = 0x1e
 let type_path_challenge = 0x1a
 let type_path_response = 0x1b
+let type_new_connection_id = 0x18
+let type_retire_connection_id = 0x19
 let type_plugin_validate = 0x60
 let type_plugin_proof = 0x61
 let type_plugin_chunk = 0x62
@@ -68,6 +74,8 @@ let frame_type = function
   | Handshake_done -> type_handshake_done
   | Path_challenge _ -> type_path_challenge
   | Path_response _ -> type_path_response
+  | New_connection_id _ -> type_new_connection_id
+  | Retire_connection_id _ -> type_retire_connection_id
   | Plugin_validate _ -> type_plugin_validate
   | Plugin_proof _ -> type_plugin_proof
   | Plugin_chunk _ -> type_plugin_chunk
@@ -127,6 +135,10 @@ let serialize buf frame =
     Varint.write_int buf code;
     write_string_16 buf reason
   | Path_challenge v | Path_response v -> Buffer.add_int64_be buf v
+  | New_connection_id { seq; cid } ->
+    Varint.write buf seq;
+    Buffer.add_int64_be buf cid
+  | Retire_connection_id seq -> Varint.write buf seq
   | Plugin_validate { plugin; formula } ->
     write_string_16 buf plugin;
     write_string_16 buf formula
@@ -193,6 +205,8 @@ let size frame =
   | Connection_close { code; reason } ->
     vsize_int code + 2 + String.length reason
   | Path_challenge _ | Path_response _ -> 8
+  | New_connection_id { seq; _ } -> vsize seq + 8
+  | Retire_connection_id seq -> vsize seq
   | Plugin_validate { plugin; formula } ->
     2 + String.length plugin + 2 + String.length formula
   | Plugin_proof { plugin; proof } ->
@@ -244,6 +258,10 @@ let write w frame =
     Writer.varint_int w code;
     write_string_16_w w reason
   | Path_challenge v | Path_response v -> Writer.i64_be w v
+  | New_connection_id { seq; cid } ->
+    Writer.varint w seq;
+    Writer.i64_be w cid
+  | Retire_connection_id seq -> Writer.varint w seq
   | Plugin_validate { plugin; formula } ->
     write_string_16_w w plugin;
     write_string_16_w w formula
@@ -354,6 +372,15 @@ let parse s pos =
     ((if ftype = type_path_challenge then Path_challenge v else Path_response v),
      pos + 8)
   end
+  else if ftype = type_new_connection_id then begin
+    let seq, pos = Varint.read s pos in
+    if pos + 8 > String.length s then raise Varint.Truncated;
+    let cid = String.get_int64_be s pos in
+    (New_connection_id { seq; cid }, pos + 8)
+  end
+  else if ftype = type_retire_connection_id then
+    let seq, pos = Varint.read s pos in
+    (Retire_connection_id seq, pos)
   else if ftype = type_plugin_validate then begin
     let plugin, pos = read_string_16 s pos in
     let formula, pos = read_string_16 s pos in
@@ -393,6 +420,9 @@ let pp ppf = function
   | Handshake_done -> Fmt.string ppf "HANDSHAKE_DONE"
   | Path_challenge _ -> Fmt.string ppf "PATH_CHALLENGE"
   | Path_response _ -> Fmt.string ppf "PATH_RESPONSE"
+  | New_connection_id { seq; cid } ->
+    Fmt.pf ppf "NEW_CONNECTION_ID(seq=%Ld, cid=%Lx)" seq cid
+  | Retire_connection_id seq -> Fmt.pf ppf "RETIRE_CONNECTION_ID(%Ld)" seq
   | Plugin_validate { plugin; _ } -> Fmt.pf ppf "PLUGIN_VALIDATE(%s)" plugin
   | Plugin_proof { plugin; _ } -> Fmt.pf ppf "PLUGIN_PROOF(%s)" plugin
   | Plugin_chunk { plugin; offset; fin; data } ->

@@ -27,6 +27,10 @@ type t =
   | Handshake_done
   | Path_challenge of int64
   | Path_response of int64
+  | New_connection_id of { seq : int64; cid : int64 }
+      (** a spare CID the peer may rotate to on migration (RFC 9000
+          §5.1.1); fixed 8-byte CIDs in this implementation *)
+  | Retire_connection_id of int64  (** sequence number being retired *)
   | Plugin_validate of { plugin : string; formula : string }
       (** request a plugin, pinning the required validation formula *)
   | Plugin_proof of { plugin : string; proof : string }
@@ -52,6 +56,8 @@ val type_connection_close : int
 val type_handshake_done : int
 val type_path_challenge : int
 val type_path_response : int
+val type_new_connection_id : int
+val type_retire_connection_id : int
 val type_plugin_validate : int
 val type_plugin_proof : int
 val type_plugin_chunk : int

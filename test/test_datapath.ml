@@ -68,6 +68,13 @@ let gen_frame =
       map (fun v -> F.Path_challenge (Int64.of_int v)) (int_range 0 max_int);
       map (fun v -> F.Path_response (Int64.of_int v)) (int_range 0 max_int);
       map2
+        (fun seq cid ->
+          F.New_connection_id { seq = Int64.of_int seq; cid = Int64.of_int cid })
+        (int_range 0 100_000) (int_range 0 max_int);
+      map
+        (fun seq -> F.Retire_connection_id (Int64.of_int seq))
+        (int_range 0 100_000);
+      map2
         (fun plugin formula -> F.Plugin_validate { plugin; formula })
         str str;
       map2 (fun plugin proof -> F.Plugin_proof { plugin; proof }) str str;

@@ -287,6 +287,66 @@ let test_nat_rebinding () =
   check Alcotest.bool "client really moved" true
     (conn.Pquic.Connection.paths.(0).Pquic.Connection.local_addr = addr2)
 
+let test_hostile_rebinding () =
+  (* a NAT whose binding dies mid-transfer, with CID rotation enabled: the
+     server's short headers to the stale public address are blackholed, the
+     client's stall watchdog revalidates the fresh 4-tuple (PATH_CHALLENGE /
+     PATH_RESPONSE, RFC 9000 §9) and the transfer completes — with zero
+     plugin sanctions, since none of this is the plugins' fault *)
+  let module Net = Netsim.Net in
+  let module Mbox = Netsim.Middlebox in
+  let topo =
+    Topology.single_path ~seed:5L { Topology.d_ms = 10.; bw_mbps = 20.; loss = 0. }
+  in
+  let sim = topo.Topology.sim and net = topo.Topology.net in
+  let addr1 = List.hd topo.Topology.client_addrs in
+  let srv = topo.Topology.server_addr in
+  let nat =
+    Mbox.nat ~inside:addr1 ~public_base:700 ~idle_timeout:(Sim.of_sec 5.) ()
+  in
+  Net.interpose net ~src:addr1 ~dst:srv [ Mbox.nat_up nat ];
+  (match Net.route net ~src:srv ~dst:addr1 with
+  | Some links -> Net.add_fallback_route net ~src:srv links
+  | None -> Alcotest.fail "no return route");
+  Net.interpose_fallback net ~src:srv [ Mbox.nat_down nat ];
+  let cfg =
+    { Pquic.Connection.default_config with Pquic.Connection.cid_pool = 2 }
+  in
+  let server = Pquic.Endpoint.create ~cfg ~sim ~net ~addr:srv ~seed:1L () in
+  let client = Pquic.Endpoint.create ~cfg ~sim ~net ~addr:addr1 ~seed:2L () in
+  Pquic.Endpoint.listen server;
+  Pquic.Endpoint.listen client;
+  let sconn = ref None in
+  server.Pquic.Endpoint.on_connection <-
+    (fun c ->
+      if !sconn = None then sconn := Some c;
+      c.Pquic.Connection.on_stream_data <-
+        (fun id _ ~fin ->
+          if fin then
+            Pquic.Connection.write_stream c ~id ~fin:true
+              (String.make 300_000 'x')));
+  let conn = Pquic.Endpoint.connect client ~remote_addr:srv in
+  let done_ = ref false in
+  conn.Pquic.Connection.on_established <-
+    (fun () ->
+      Pquic.Connection.write_stream conn ~id:0 ~fin:true "GET";
+      ignore
+        (Sim.schedule sim ~delay:(Sim.of_ms 100.) (fun () ->
+             Mbox.nat_force_expire nat)));
+  conn.Pquic.Connection.on_stream_data <-
+    (fun _ _ ~fin -> if fin then done_ := true);
+  ignore (Sim.run ~until:(Sim.of_sec 30.) sim);
+  check Alcotest.bool "transfer survives the hostile rebinding" true !done_;
+  check Alcotest.bool "nat really rebound" true (Mbox.nat_rebindings nat >= 1);
+  (match !sconn with
+  | None -> Alcotest.fail "no server connection"
+  | Some sc ->
+    let st = Pquic.Connection.stats sc and ct = Pquic.Connection.stats conn in
+    check Alcotest.bool "server validated the new path" true
+      (st.Pquic.Connection.paths_validated >= 1);
+    check Alcotest.int "no server sanctions" 0 st.Pquic.Connection.plugin_sanctions;
+    check Alcotest.int "no client sanctions" 0 ct.Pquic.Connection.plugin_sanctions)
+
 let test_oversized_transport_params () =
   (* hundreds of plugin names make the params blob span several CRYPTO
      packets: the handshake must reassemble it *)
@@ -369,6 +429,7 @@ let tests =
       Alcotest.test_case "upload direction" `Quick test_large_request_small_response;
       Alcotest.test_case "forged packet ignored" `Quick test_wrong_key_ignored;
       Alcotest.test_case "nat rebinding" `Quick test_nat_rebinding;
+      Alcotest.test_case "hostile rebinding" `Quick test_hostile_rebinding;
       Alcotest.test_case "oversized transport params" `Quick test_oversized_transport_params;
       Alcotest.test_case "idle timeout" `Quick test_idle_timeout;
       Alcotest.test_case "activity defeats idle" `Quick test_active_connection_never_idles;

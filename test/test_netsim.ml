@@ -308,6 +308,144 @@ let test_corrupt_string_deterministic () =
   check Alcotest.bool "descriptor selects the damage" true
     (Net.corrupt_string 0x9999L s <> c1)
 
+(* ------------------------- middleboxes ------------------------------- *)
+
+module Mbox = Netsim.Middlebox
+
+let ms = Sim.of_ms
+
+let nat_dg ~src ~dst = { Net.src; dst; size = 100; payload = Net.Raw "x" }
+
+let expect_pass name = function
+  | Ok (d : Net.datagram) -> d
+  | Error e -> Alcotest.failf "%s dropped: %s" name e
+
+let expect_drop name cause = function
+  | Ok (_ : Net.datagram) -> Alcotest.failf "%s passed the middlebox" name
+  | Error e -> check Alcotest.string name cause e
+
+let test_nat_rewrite_and_expiry () =
+  let n = Mbox.nat ~inside:1 ~public_base:500 ~idle_timeout:(ms 50.) () in
+  let up = Mbox.nat_up n and down = Mbox.nat_down n in
+  let d = expect_pass "outbound" (up.Net.process ~now:0L (nat_dg ~src:1 ~dst:100)) in
+  check Alcotest.int "rewritten to first public" 500 d.Net.src;
+  let d =
+    expect_pass "reply" (down.Net.process ~now:(ms 5.) (nat_dg ~src:100 ~dst:500))
+  in
+  check Alcotest.int "rewritten back inside" 1 d.Net.dst;
+  (* inbound traffic does not refresh the idle clock, so the binding is
+     dead 50ms after the last *outbound* packet *)
+  expect_drop "reply after idle expiry" "expired_binding"
+    (down.Net.process ~now:(ms 100.) (nat_dg ~src:100 ~dst:500));
+  let d =
+    expect_pass "outbound after expiry"
+      (up.Net.process ~now:(ms 100.) (nat_dg ~src:1 ~dst:100))
+  in
+  check Alcotest.int "silent rebind to next public" 501 d.Net.src;
+  check Alcotest.int "rebinding accounted" 1 (Mbox.nat_rebindings n);
+  expect_drop "reply to stale public" "no_binding"
+    (down.Net.process ~now:(ms 101.) (nat_dg ~src:100 ~dst:500));
+  let d =
+    expect_pass "reply to live public"
+      (down.Net.process ~now:(ms 101.) (nat_dg ~src:100 ~dst:501))
+  in
+  check Alcotest.int "live binding delivers inside" 1 d.Net.dst
+
+let test_nat_max_lifetime () =
+  let n =
+    Mbox.nat ~inside:1 ~public_base:500 ~idle_timeout:(ms 1000.)
+      ~max_lifetime:(ms 20.) ()
+  in
+  let up = Mbox.nat_up n in
+  let d = expect_pass "first" (up.Net.process ~now:0L (nat_dg ~src:1 ~dst:100)) in
+  check Alcotest.int "first public" 500 d.Net.src;
+  let d =
+    expect_pass "within lifetime" (up.Net.process ~now:(ms 10.) (nat_dg ~src:1 ~dst:100))
+  in
+  check Alcotest.int "binding stable" 500 d.Net.src;
+  (* activity at 10ms keeps the idle clock happy, but the hard lifetime
+     cap rebinds anyway *)
+  let d =
+    expect_pass "past lifetime" (up.Net.process ~now:(ms 25.) (nat_dg ~src:1 ~dst:100))
+  in
+  check Alcotest.int "carrier-grade churn rebinds" 501 d.Net.src;
+  Mbox.nat_force_expire n;
+  let d =
+    expect_pass "after force-expire"
+      (up.Net.process ~now:(ms 26.) (nat_dg ~src:1 ~dst:100))
+  in
+  check Alcotest.int "force-expire rebinds" 502 d.Net.src;
+  check Alcotest.int "two rebindings" 2 (Mbox.nat_rebindings n)
+
+(* Wire layout of lib/quic/packet.ml: byte0 bit7 = long header, 8-byte
+   big-endian DCID at offset 1, SCID at offset 9 on long headers. *)
+let long_wire ~dcid ~scid =
+  let b = Bytes.make 21 '\000' in
+  Bytes.set b 0 (Char.chr 0xc0);
+  Bytes.set_int64_be b 1 dcid;
+  Bytes.set_int64_be b 9 scid;
+  Bytes.to_string b
+
+let short_wire ~dcid =
+  let b = Bytes.make 13 '\000' in
+  Bytes.set b 0 (Char.chr 0x40);
+  Bytes.set_int64_be b 1 dcid;
+  Bytes.to_string b
+
+let test_tracker_pinholes () =
+  let tr =
+    Mbox.flow_tracker
+      ~wire_of:(function Net.Raw s -> Some s | _ -> None)
+      ()
+  in
+  let up = Mbox.tracker_up tr and down = Mbox.tracker_down tr in
+  let dg ~src ~dst wire =
+    { Net.src; dst; size = String.length wire; payload = Net.Raw wire }
+  in
+  expect_drop "short before any long" "unknown_flow"
+    (up.Net.process ~now:0L (dg ~src:1 ~dst:100 (short_wire ~dcid:0xAAL)));
+  ignore
+    (expect_pass "client long"
+       (up.Net.process ~now:0L (dg ~src:1 ~dst:100 (long_wire ~dcid:0xAAL ~scid:0xBBL))));
+  check Alcotest.int "one flow tracked" 1 (Mbox.tracker_flows tr);
+  ignore
+    (expect_pass "client short, learned dcid"
+       (up.Net.process ~now:0L (dg ~src:1 ~dst:100 (short_wire ~dcid:0xAAL))));
+  expect_drop "client short, foreign dcid" "unknown_cid"
+    (up.Net.process ~now:0L (dg ~src:1 ~dst:100 (short_wire ~dcid:0xCCL)));
+  (* the reverse direction shares the flow's learned CID set *)
+  ignore
+    (expect_pass "server short, learned scid"
+       (down.Net.process ~now:0L (dg ~src:100 ~dst:1 (short_wire ~dcid:0xBBL))));
+  expect_drop "server short, foreign dcid" "unknown_cid"
+    (down.Net.process ~now:0L (dg ~src:100 ~dst:1 (short_wire ~dcid:0xDDL)));
+  (* server-side long headers pass but never open pinholes *)
+  ignore
+    (expect_pass "server long passes"
+       (down.Net.process ~now:0L (dg ~src:100 ~dst:2 (long_wire ~dcid:0x11L ~scid:0x22L))));
+  expect_drop "server long opened no pinhole" "unknown_flow"
+    (down.Net.process ~now:0L (dg ~src:100 ~dst:2 (short_wire ~dcid:0x11L)));
+  (* payloads the extractor declines pass unexamined *)
+  ignore
+    (expect_pass "opaque payload"
+       (up.Net.process ~now:0L
+          { Net.src = 3; dst = 100; size = 4; payload = Net.Ce (Net.Raw "") }))
+
+let test_policer_token_bucket () =
+  let p = Mbox.policer ~rate_mbps:0.8 ~burst:1000 () in
+  let node = Mbox.policer_node p in
+  let dg = { Net.src = 1; dst = 100; size = 500; payload = Net.Raw "x" } in
+  let admitted now =
+    match node.Net.process ~now dg with Ok _ -> true | Error _ -> false
+  in
+  check Alcotest.bool "burst admits first" true (admitted 0L);
+  check Alcotest.bool "burst admits second" true (admitted 0L);
+  check Alcotest.bool "bucket empty" false (admitted 0L);
+  (* 0.8 Mbps = 100 bytes/ms: 6ms refills one more 500-byte datagram *)
+  check Alcotest.bool "refill admits one" true (admitted (ms 6.));
+  check Alcotest.bool "empty again" false (admitted (ms 6.));
+  check Alcotest.int "drops accounted" 2 (Mbox.policer_dropped p)
+
 let tests =
   [
     ("sim", [
@@ -339,5 +477,11 @@ let tests =
       Alcotest.test_case "duplication" `Quick test_link_duplicate_delivers_twice;
       Alcotest.test_case "queue high-water mark" `Quick test_link_queue_hwm;
       Alcotest.test_case "corruption deterministic" `Quick test_corrupt_string_deterministic;
+    ]);
+    ("middlebox", [
+      Alcotest.test_case "nat rewrite and expiry" `Quick test_nat_rewrite_and_expiry;
+      Alcotest.test_case "nat max lifetime" `Quick test_nat_max_lifetime;
+      Alcotest.test_case "tracker pinholes" `Quick test_tracker_pinholes;
+      Alcotest.test_case "policer token bucket" `Quick test_policer_token_bucket;
     ]);
   ]
