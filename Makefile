@@ -1,4 +1,4 @@
-.PHONY: all check test bench bench-e2e chaos clean
+.PHONY: all check test bench bench-e2e bench-server chaos clean
 
 all:
 	dune build
@@ -27,6 +27,14 @@ bench:
 # 50 MB scenarios.
 bench-e2e:
 	dune exec bench/e2e.exe -- $(if $(E2E_QUICK),--quick,)
+
+# Massive-concurrency server-engine benchmark: refreshes BENCH_server.json
+# (accepts/sec, dispatch + receive ns/datagram, bytes/idle connection and
+# plugin-cache hit rate over 10k/100k/1M concurrent connections, plus
+# timer-wheel arm/cancel/fire micro-costs). `-- --smoke` runs a 1k-conn
+# sweep without touching the JSON.
+bench-server:
+	dune exec bench/server.exe
 
 clean:
 	dune clean

@@ -29,6 +29,9 @@ dune exec bin/chaos.exe -- matrix --seeds 3 \
 echo "== cross-host demo (same plugin bytecode on PQUIC and tcpsim)"
 dune exec examples/cross_host.exe >/dev/null
 
+echo "== server-engine smoke (1k concurrent connections, no JSON refresh)"
+dune exec bench/server.exe -- --smoke >/dev/null
+
 # Dependency-direction lint for the pluginop layering: the transport-
 # neutral host library must not depend on any transport (quic, tcpsim,
 # netsim, or the hosts built on it), and the PQUIC core must not reach
@@ -102,6 +105,22 @@ if command -v jq >/dev/null 2>&1; then
           and .packets > 0 and .ns_per_packet > 0] | all)
     and (.results | has("transfer_1MB_e2e"))
   ' BENCH_e2e.json >/dev/null || { echo "BENCH_e2e.json failed sanity check"; exit 1; }
+  jq -e '
+    .schema == "pquic-bench-server/1"
+    and (.cells | length > 0)
+    and ([.cells[] | .dispatch_ns > 0 and .receive_ns > 0
+          and .accept_per_sec > 0 and .bytes_per_conn > 0] | all)
+    and ([.cells[] | .conns] | index(10000) != null)
+    and (.timer.arm_ns > 0 and .timer.fire_ns > 0)
+  ' BENCH_server.json >/dev/null || { echo "BENCH_server.json failed sanity check"; exit 1; }
+  # Engine acceptance gates: at the 10k-connection cell the per-datagram
+  # dispatch must stay under 1 us and the global plugin cache must serve
+  # a same-plugin population at >= 99% hit rate.
+  jq -e '
+    [.cells[] | select(.conns == 10000)] | length > 0
+    and (.[0].dispatch_ns <= 1000)
+    and (.[0].plugin_cache.hit_rate >= 0.99)
+  ' BENCH_server.json >/dev/null || { echo "BENCH_server.json engine gates failed"; exit 1; }
 else
   echo "== skipping bench JSON sanity (no jq)"
 fi

@@ -37,12 +37,17 @@ type config = {
                                migration machinery — RFC 9000 §9.5: an
                                endpoint without spare CIDs cannot migrate —
                                and keeps legacy behaviour bit-identical. *)
+  lean : bool;              (* shrink per-connection hash tables for massive
+                               concurrency benchmarks. Off by default: bucket
+                               counts influence Hashtbl fold order, which the
+                               recorded experiment fingerprints are sensitive
+                               to. *)
 }
 
 let default_config =
   { mtu = 1280; initial_window = Quic.Cc.default_initial_window;
     ack_delay_ms = 25.; trust_formula = "PV1"; core_fraction = 0.5;
-    cid_pool = 0 }
+    cid_pool = 0; lean = false }
 
 type path = {
   path_id : int;
@@ -200,13 +205,23 @@ type t = {
   mutable largest_sent_at : Sim.time;
   sent_times : (int64, Sim.time) Hashtbl.t; (* retained past c.sent removal *)
   mutable pto_backoff : int;
-  mutable loss_alarm : Sim.event option;
-  mutable ack_alarm : Sim.event option;
-  mutable idle_alarm : Sim.event option;
-  mutable stall_alarm : Sim.event option;
+  (* Alarms are intrusive nodes in the node-wide hierarchical timer
+     wheel (one wheel per simulator, shared by every connection on it):
+     arm / cancel / re-arm are allocation-free pointer surgery instead
+     of one simulator-heap event per armed alarm. *)
+  wheel : Engine.Timer_wheel.t;
+  loss_alarm : Engine.Timer_wheel.alarm;
+  ack_alarm : Engine.Timer_wheel.alarm;
+  idle_alarm : Engine.Timer_wheel.alarm;
+  stall_alarm : Engine.Timer_wheel.alarm;
       (* client downlink-stall watchdog (armed only with cid_pool > 0):
          a pure receiver never arms the PTO clock, so silence on the
          return path must be noticed here to trigger the reprobe escape *)
+  mutable idle_period : Sim.time;
+      (* period captured at arm time: the wheel's fire callback is fixed
+         at construction, so the value each old per-arm closure captured
+         lives in the record instead *)
+  mutable stall_period : Sim.time;
   mutable last_activity : Sim.time;
   mutable ae_sent_since_recv : bool;
       (* RFC 9000 §10.1: the idle clock restarts on receipt, and on the

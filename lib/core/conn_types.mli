@@ -28,6 +28,11 @@ type config = {
           0 (the default) disables the whole migration machinery — RFC
           9000 §9.5: an endpoint without spare CIDs cannot migrate — and
           keeps legacy behaviour bit-identical. *)
+  lean : bool;
+      (** shrink per-connection hash tables for massive-concurrency
+          benchmarks. Off by default: bucket counts influence Hashtbl
+          fold order, which the recorded experiment fingerprints are
+          sensitive to. *)
 }
 
 val default_config : config
@@ -180,13 +185,23 @@ type t = {
   mutable largest_sent_at : Netsim.Sim.time;
   sent_times : (int64, Netsim.Sim.time) Hashtbl.t;
   mutable pto_backoff : int;
-  mutable loss_alarm : Netsim.Sim.event option;
-  mutable ack_alarm : Netsim.Sim.event option;
-  mutable idle_alarm : Netsim.Sim.event option;
-  mutable stall_alarm : Netsim.Sim.event option;
+  (* Alarms live in the node-wide hierarchical timer wheel ([wheel],
+     shared per simulator): each is a reusable intrusive node, so arm /
+     cancel / re-arm are allocation-free pointer surgery instead of
+     simulator-heap churn. *)
+  wheel : Engine.Timer_wheel.t;
+  loss_alarm : Engine.Timer_wheel.alarm;
+  ack_alarm : Engine.Timer_wheel.alarm;
+  idle_alarm : Engine.Timer_wheel.alarm;
+  stall_alarm : Engine.Timer_wheel.alarm;
       (** client downlink-stall watchdog (armed only with [cid_pool] > 0):
           a pure receiver never arms the PTO clock, so return-path silence
           is noticed here and escalated to the reprobe escape *)
+  mutable idle_period : Netsim.Sim.time;
+      (** idle period captured at arm time (the fire callback is fixed,
+          so the period the old per-arm closure captured lives here) *)
+  mutable stall_period : Netsim.Sim.time;
+      (** receive-silence span captured when the stall watchdog was armed *)
   mutable last_activity : Netsim.Sim.time;
   mutable ae_sent_since_recv : bool;
   (* receiving *)

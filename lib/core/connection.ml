@@ -43,6 +43,8 @@ let inject_local_plugins = Plugin_host.inject_local_plugins
 (* Idle timeout                                                        *)
 (* ------------------------------------------------------------------ *)
 
+module TW = Engine.Timer_wheel
+
 (* Idle timeout (the idle_timeout transport parameter): the connection
    closes silently when nothing authenticated arrives for the negotiated
    period. Activity rearms lazily: the alarm checks the last-activity
@@ -52,8 +54,8 @@ let inject_local_plugins = Plugin_host.inject_local_plugins
    per RFC 9000 §10.1 the clock restarts on receipt and on the first
    ack-eliciting send after receiving, NOT on every retransmission, so
    capped PTO probes cannot keep a dead connection alive forever. *)
-let rec arm_idle_alarm c =
-  if c.idle_alarm = None && is_open c then begin
+let arm_idle_alarm c =
+  if (not (TW.is_armed c.idle_alarm)) && is_open c then begin
     let period =
       let ours = c.local_params.TP.idle_timeout_ms in
       let theirs =
@@ -63,24 +65,26 @@ let rec arm_idle_alarm c =
       in
       Sim.of_ms (float_of_int (min ours theirs))
     in
-    if period > 0L then
-      c.idle_alarm <-
-        Some
-          (Sim.schedule_at c.sim ~at:(Int64.add c.last_activity period)
-             (fun () ->
-               c.idle_alarm <- None;
-               if is_open c then
-                 if Int64.sub (Sim.now c.sim) c.last_activity >= period then begin
-                   ignore (run_op c Protoop.idle_timeout_event [||]);
-                   c.state <- Closed;
-                   c.close_reason <- "idle timeout";
-                   (match c.loss_alarm with Some ev -> Sim.cancel ev | None -> ());
-                   (match c.ack_alarm with Some ev -> Sim.cancel ev | None -> ());
-                   ignore (run_op c Protoop.connection_closed [||]);
-                   c.on_closed ()
-                 end
-                 else arm_idle_alarm c))
+    if period > 0L then begin
+      c.idle_period <- period;
+      TW.arm c.wheel c.idle_alarm ~at:(Int64.add c.last_activity period)
+    end
   end
+
+(* Fire callback, bound once at creation (the period the old per-arm
+   closure captured lives in [c.idle_period]). *)
+let on_idle_alarm c =
+  if is_open c then
+    if Int64.sub (Sim.now c.sim) c.last_activity >= c.idle_period then begin
+      ignore (run_op c Protoop.idle_timeout_event [||]);
+      c.state <- Closed;
+      c.close_reason <- "idle timeout";
+      TW.cancel c.wheel c.loss_alarm;
+      TW.cancel c.wheel c.ack_alarm;
+      ignore (run_op c Protoop.connection_closed [||]);
+      c.on_closed ()
+    end
+    else arm_idle_alarm c
 
 (* Downlink-stall watchdog (client with spare CIDs only): a pure receiver
    has nothing in flight, so a middlebox silently blackholing the return
@@ -92,9 +96,10 @@ let rec arm_idle_alarm c =
    and behind a short-lived NAT binding the server's reply can only get
    through if the client keeps sending. Never armed with cid_pool = 0,
    so legacy runs see no new events. *)
-let rec arm_stall_alarm c =
+let arm_stall_alarm c =
   if
-    c.cfg.cid_pool > 0 && c.role = Client && c.stall_alarm = None
+    c.cfg.cid_pool > 0 && c.role = Client
+    && (not (TW.is_armed c.stall_alarm))
     && (c.state = Established || c.state = Handshaking)
   then begin
     let pto = Quic.Rtt.pto (default_path c).rtt in
@@ -106,15 +111,15 @@ let rec arm_stall_alarm c =
       let floor = Int64.add (Sim.now c.sim) pto in
       if target > floor then target else floor
     in
-    c.stall_alarm <-
-      Some
-        (Sim.schedule_at c.sim ~at (fun () ->
-             c.stall_alarm <- None;
-             if c.state = Established || c.state = Handshaking then begin
-               if Int64.sub (Sim.now c.sim) c.last_activity >= period then
-                 !reprobe_ref c;
-               arm_stall_alarm c
-             end))
+    c.stall_period <- period;
+    TW.arm c.wheel c.stall_alarm ~at
+  end
+
+let on_stall_alarm c =
+  if c.state = Established || c.state = Handshaking then begin
+    if Int64.sub (Sim.now c.sim) c.last_activity >= c.stall_period then
+      !reprobe_ref c;
+    arm_stall_alarm c
   end
 
 (* ------------------------------------------------------------------ *)
@@ -170,18 +175,21 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
       on_cid_issued = ignore;
       on_cid_retired = ignore;
       next_pn = 0L;
-      sent = Hashtbl.create 512;
+      sent = Hashtbl.create (if cfg.lean then 8 else 512);
       ack_watermark = 0L;
       largest_acked = -1L;
       largest_acked_per_path = Array.make 8 (-1L);
       next_path_seq = Array.make 8 0L;
       largest_sent_at = 0L;
-      sent_times = Hashtbl.create 1024;
+      sent_times = Hashtbl.create (if cfg.lean then 16 else 1024);
       pto_backoff = 0;
-      loss_alarm = None;
-      ack_alarm = None;
-      idle_alarm = None;
-      stall_alarm = None;
+      wheel = TW.shared sim;
+      loss_alarm = TW.alarm (fun () -> ());
+      ack_alarm = TW.alarm (fun () -> ());
+      idle_alarm = TW.alarm (fun () -> ());
+      stall_alarm = TW.alarm (fun () -> ());
+      idle_period = 0L;
+      stall_period = 0L;
       last_activity = Sim.now sim;
       ae_sent_since_recv = false;
       acks = Quic.Ackranges.create ();
@@ -237,6 +245,11 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
       close_reason = "";
     }
   in
+  TW.set_fire c.loss_alarm (fun () -> Recovery.on_loss_alarm c);
+  TW.set_fire c.idle_alarm (fun () -> on_idle_alarm c);
+  TW.set_fire c.stall_alarm (fun () -> on_stall_alarm c);
+  TW.set_fire c.ack_alarm (fun () ->
+      if c.ack_needed && is_open c then Sender.send_pending c);
   ignore (run_op c Protoop.connection_init [||]);
   arm_idle_alarm c;
   c
@@ -393,8 +406,8 @@ let process_core_frame c frame =
     if c.state <> Closed then begin
       c.state <- Closed;
       c.close_reason <- reason;
-      (match c.loss_alarm with Some ev -> Sim.cancel ev | None -> ());
-      (match c.ack_alarm with Some ev -> Sim.cancel ev | None -> ());
+      TW.cancel c.wheel c.loss_alarm;
+      TW.cancel c.wheel c.ack_alarm;
       ignore (run_op c Protoop.connection_closed [||]);
       c.on_closed ()
     end
@@ -542,12 +555,8 @@ let process_recovered c data =
 let () = process_recovered_ref := process_recovered
 
 let schedule_ack_alarm c =
-  if c.ack_alarm = None then
-    c.ack_alarm <-
-      Some
-        (Sim.schedule c.sim ~delay:(Sim.of_ms c.cfg.ack_delay_ms) (fun () ->
-             c.ack_alarm <- None;
-             if c.ack_needed && is_open c then Sender.send_pending c))
+  if not (TW.is_armed c.ack_alarm) then
+    TW.arm_delay c.wheel c.ack_alarm ~delay:(Sim.of_ms c.cfg.ack_delay_ms)
 
 (* An authenticated packet arrived from an address no path covers, with
    the migration machinery enabled: start (or keep probing) a §9 path
@@ -740,8 +749,8 @@ let close c ~reason =
       (Sim.schedule c.sim ~delay:(Int64.mul 3L pto) (fun () ->
            if c.state <> Closed then begin
              c.state <- Closed;
-             (match c.loss_alarm with Some ev -> Sim.cancel ev | None -> ());
-             (match c.ack_alarm with Some ev -> Sim.cancel ev | None -> ());
+             TW.cancel c.wheel c.loss_alarm;
+             TW.cancel c.wheel c.ack_alarm;
              ignore (run_op c Protoop.connection_closed [||]);
              c.on_closed ()
            end))

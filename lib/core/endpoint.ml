@@ -1,13 +1,20 @@
 (* A PQUIC endpoint: binds network addresses, demultiplexes incoming
    packets to connections by destination connection ID, accepts new
-   connections (server role), and owns the node-local plugin machinery —
-   the *local cache* of available plugins and the cross-connection PRE
-   cache of Section 2.5 (cached instances are reused without verifying or
-   compiling the pluglets again; their heap is wiped before reuse). *)
+   connections (server role), and fronts the node-scope plugin machinery
+   ([Node]) — the local cache of available plugins and the
+   cross-connection PRE cache of Section 2.5.
+
+   Demultiplexing is an O(1) probe of an open-addressed table keyed by
+   the *full* CID bytes ([Engine.Conn_table]): every CID a connection
+   answers to — the handshake CID and every spare issued for rotation —
+   maps to it, and retirement removes exactly that key. The lookup runs
+   directly against the CID bytes inside the wire image, so routing a
+   datagram allocates nothing. *)
 
 module Sim = Netsim.Sim
 module Net = Netsim.Net
 module TP = Quic.Transport_params
+module Table = Engine.Conn_table
 
 let src = Logs.Src.create "pquic.endpoint"
 
@@ -19,113 +26,51 @@ type t = {
   cfg : Connection.config;
   addr : Net.addr;
   mutable extra_addrs : Net.addr list;
-  conns : (int64, Connection.t) Hashtbl.t;
-  available : (string, Plugin.t) Hashtbl.t;
-  pre_cache : (string, Connection.instance Queue.t) Hashtbl.t;
-  mutable outstanding : (Connection.t * Connection.instance) list;
+  conns : Connection.t Table.t;
+  node : Node.t;
   rng : Netsim.Rng.t;
   mutable prover : name:string -> formula:string -> string option;
   mutable verifier : name:string -> bytes:string -> proof:string -> bool;
   mutable on_connection : Connection.t -> unit;
   mutable plugins_to_inject : string list;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
+  mutable accepted : int;
   tweak_params : TP.t -> TP.t;
       (* final say on our transport parameters (e.g. a chaos harness
          shrinking idle_timeout); applied by [base_params] *)
 }
 
-let create ?(cfg = Connection.default_config) ?(extra_addrs = [])
+let create ?(cfg = Connection.default_config) ?(extra_addrs = []) ?node
     ?(tweak_params = fun p -> p) ~sim ~net ~addr ~seed () =
-  let t =
-    {
-      sim;
-      net;
-      cfg;
-      addr;
-      extra_addrs;
-      tweak_params;
-      conns = Hashtbl.create 8;
-      available = Hashtbl.create 8;
-      pre_cache = Hashtbl.create 8;
-      outstanding = [];
-      rng = Netsim.Rng.create seed;
-      prover = (fun ~name:_ ~formula:_ -> None);
-      verifier = (fun ~name:_ ~bytes:_ ~proof:_ -> false);
-      on_connection = ignore;
-      plugins_to_inject = [];
-      cache_hits = 0;
-      cache_misses = 0;
-    }
-  in
-  t
+  let node = match node with Some n -> n | None -> Node.create () in
+  {
+    sim;
+    net;
+    cfg;
+    addr;
+    extra_addrs;
+    tweak_params;
+    conns = Table.create ();
+    node;
+    rng = Netsim.Rng.create seed;
+    prover = (fun ~name:_ ~formula:_ -> None);
+    verifier = (fun ~name:_ ~bytes:_ ~proof:_ -> false);
+    on_connection = ignore;
+    plugins_to_inject = [];
+    accepted = 0;
+  }
 
 let fresh_cid t = Netsim.Rng.next_int64 t.rng
 
-(* Make a plugin available in the node's local plugin cache: it can be
-   injected locally and served to peers that request it. *)
-let add_plugin t (plugin : Plugin.t) = Hashtbl.replace t.available plugin.Plugin.name plugin
-
-let has_plugin t name = Hashtbl.mem t.available name
-
-let supported_plugins t =
-  Hashtbl.fold (fun name _ acc -> name :: acc) t.available []
-  |> List.sort String.compare
-
-(* Reclaim instances whose connection finished; killed (failed) connections
-   do not recycle, so a misbehaving plugin's PREs are discarded. *)
-let recycle t =
-  let keep, recyclable =
-    List.partition
-      (fun (c, _) ->
-        match Connection.state c with
-        | Connection.Closed -> false
-        | Connection.Failed _ -> false
-        | _ -> true)
-      t.outstanding
-  in
-  t.outstanding <- keep;
-  List.iter
-    (fun (c, inst) ->
-      match Connection.state c with
-      | Connection.Failed _ -> ()
-      | _ ->
-        let name = (inst.Connection.plugin : Plugin.t).Plugin.name in
-        let q =
-          match Hashtbl.find_opt t.pre_cache name with
-          | Some q -> q
-          | None ->
-            let q = Queue.create () in
-            Hashtbl.replace t.pre_cache name q;
-            q
-        in
-        Queue.push inst q)
-    recyclable
-
-(* Fetch an injectable instance: cached PREs when available (no
-   verification, no compilation — the Section 2.5 fast path), otherwise a
-   fresh build of a locally available plugin. *)
-let acquire_instance t name =
-  recycle t;
-  match Hashtbl.find_opt t.pre_cache name with
-  | Some q when not (Queue.is_empty q) ->
-    t.cache_hits <- t.cache_hits + 1;
-    Some (Queue.pop q)
-  | _ -> (
-    match Hashtbl.find_opt t.available name with
-    | None -> None
-    | Some plugin -> (
-      t.cache_misses <- t.cache_misses + 1;
-      try Some (Connection.build_instance plugin) with
-      | Pre.Rejected msg ->
-        Log.warn (fun m -> m "plugin %s rejected: %s" name msg);
-        None
-      | Plc.Compile.Error msg ->
-        Log.warn (fun m -> m "plugin %s failed to compile: %s" name msg);
-        None))
+(* Node-scope plugin machinery, delegated (see [Node]). *)
+let add_plugin t plugin = Node.add_plugin t.node plugin
+let has_plugin t name = Node.has_plugin t.node name
+let supported_plugins t = Node.supported_plugins t.node
+let acquire_instance t name = Node.acquire_instance t.node name
+let cache_hits t = t.node.Node.hits
+let cache_misses t = t.node.Node.misses
 
 let provide_plugin t name ~formula =
-  match Hashtbl.find_opt t.available name with
+  match Node.find_plugin t.node name with
   | None -> None
   | Some plugin -> (
     match t.prover ~name ~formula with
@@ -135,22 +80,19 @@ let provide_plugin t name ~formula =
       Some (compressed, proof))
 
 let setup_conn t c =
-  Hashtbl.replace t.conns (Connection.local_cid c) c;
+  Table.add t.conns (Table.key_of_cid (Connection.local_cid c)) c;
   (* CID agility: spare CIDs issued by the connection must reach the
      demultiplexer, so packets addressed to a rotated CID still find it. *)
   c.Connection.gen_cid <- (fun () -> fresh_cid t);
-  c.Connection.on_cid_issued <- (fun cid -> Hashtbl.replace t.conns cid c);
-  c.Connection.on_cid_retired <- (fun cid -> Hashtbl.remove t.conns cid);
+  c.Connection.on_cid_issued <-
+    (fun cid -> Table.add t.conns (Table.key_of_cid cid) c);
+  c.Connection.on_cid_retired <-
+    (fun cid -> Table.remove t.conns (Table.key_of_cid cid));
   c.Connection.provide_plugin <- provide_plugin t;
   c.Connection.verify_plugin <- (fun ~name ~bytes ~proof -> t.verifier ~name ~bytes ~proof);
   c.Connection.on_plugin_received <- (fun plugin -> add_plugin t plugin);
   c.Connection.acquire_instance <-
-    (fun name ->
-      match acquire_instance t name with
-      | Some inst ->
-        t.outstanding <- (c, inst) :: t.outstanding;
-        Some inst
-      | None -> None)
+    (fun name -> Node.acquire_instance t.node ~bind:c name)
 
 let base_params t =
   t.tweak_params
@@ -161,14 +103,47 @@ let base_params t =
       TP.active_paths = t.extra_addrs;
     }
 
-(* Wire-format peek at the destination CID for demultiplexing. *)
-let dcid_of_wire wire =
-  if String.length wire >= 9 then Some (String.get_int64_be wire 1) else None
-
+(* Wire-format peek at the source CID of a long header (accept path). *)
 let scid_of_wire wire =
   if String.length wire >= 17 && Char.code wire.[0] land 0x80 <> 0 then
     Some (String.get_int64_be wire 9)
   else None
+
+(* Accept path: an authenticated Initial to an unknown CID creates the
+   server-side connection. Split out of [handle_datagram] so the server
+   engine can reuse it behind its own routing. *)
+let accept_initial t (dg : Net.datagram) wire ~dcid =
+  (* an Initial packet to an unknown CID starts a new connection — but
+     only if it authenticates under the initial key, else a corrupted
+     packet whose damaged CID missed its connection would conjure a
+     spurious half-open server connection. Handshake-type long headers
+     (reprobe PATH_CHALLENGEs aimed at a CID the peer already retired)
+     never create connections — they are stale. *)
+  if Char.code wire.[0] land 0xe0 <> 0xc0 then
+    Log.debug (fun m ->
+        m "dropping packet to unknown cid %Lx (not an initial)" dcid)
+  else begin
+    match Quic.Packet.unprotect ~key:Connection.initial_key wire with
+    | exception (Quic.Packet.Authentication_failed | Quic.Packet.Malformed) ->
+      Log.debug (fun m -> m "dropping unauthenticated initial packet")
+    | _ -> (
+      match scid_of_wire wire with
+      | None -> ()
+      | Some scid ->
+        let c =
+          Connection.create ~sim:t.sim ~net:t.net ~cfg:t.cfg
+            ~role:Connection.Server ~local_addr:dg.Net.dst
+            ~remote_addr:dg.Net.src ~local_cid:dcid ~remote_cid:scid
+            ~local_params:(base_params t) ()
+        in
+        c.Connection.key <-
+          Quic.Packet.derive_key ~client_cid:scid ~server_cid:dcid;
+        setup_conn t c;
+        Connection.inject_local_plugins c;
+        t.accepted <- t.accepted + 1;
+        t.on_connection c;
+        Connection.receive_datagram c dg)
+  end
 
 let handle_datagram t (dg : Net.datagram) =
   (* CE-marked datagrams arrive with their payload wrapped; route on the
@@ -176,54 +151,19 @@ let handle_datagram t (dg : Net.datagram) =
      are demultiplexed on the *damaged* wire image — the endpoint sees
      what the network delivered, so a flipped CID byte may miss the
      connection and the packet dies here, exactly as it should. *)
-  let inner = match dg.Net.payload with Net.Ce p -> p | p -> p in
-  let damage, inner =
-    match inner with Net.Corrupt (p, d) -> (Some d, p) | p -> (None, p)
-  in
-  match inner with
-  | Connection.Quic_packet clean_wire -> (
-    let wire =
-      match damage with
-      | None -> clean_wire
-      | Some descr -> Net.corrupt_string descr clean_wire
-    in
-    match dcid_of_wire wire with
-    | None -> ()
-    | Some dcid -> (
-      match Hashtbl.find_opt t.conns dcid with
+  let route wire =
+    if String.length wire >= 9 then begin
+      (* route on the CID bytes in place — no key allocation *)
+      match Table.find_sub t.conns wire 1 8 with
       | Some c -> Connection.receive_datagram c dg
       | None ->
-        (* an Initial packet to an unknown CID starts a new connection —
-           but only if it authenticates under the initial key, else a
-           corrupted packet whose damaged CID missed its connection would
-           conjure a spurious half-open server connection. Handshake-type
-           long headers (reprobe PATH_CHALLENGEs aimed at a CID the peer
-           already retired) never create connections — they are stale. *)
-        if Char.code wire.[0] land 0xe0 <> 0xc0 then
-          Log.debug (fun m ->
-              m "dropping packet to unknown cid %Lx (not an initial)" dcid)
-        else begin
-          match Quic.Packet.unprotect ~key:Connection.initial_key wire with
-          | exception
-              (Quic.Packet.Authentication_failed | Quic.Packet.Malformed) ->
-            Log.debug (fun m -> m "dropping unauthenticated initial packet")
-          | _ -> (
-            match scid_of_wire wire with
-            | None -> ()
-            | Some scid ->
-              let c =
-                Connection.create ~sim:t.sim ~net:t.net ~cfg:t.cfg
-                  ~role:Connection.Server ~local_addr:dg.Net.dst
-                  ~remote_addr:dg.Net.src ~local_cid:dcid ~remote_cid:scid
-                  ~local_params:(base_params t) ()
-              in
-              c.Connection.key <-
-                Quic.Packet.derive_key ~client_cid:scid ~server_cid:dcid;
-              setup_conn t c;
-              Connection.inject_local_plugins c;
-              t.on_connection c;
-              Connection.receive_datagram c dg)
-        end))
+        accept_initial t dg wire ~dcid:(String.get_int64_be wire 1)
+    end
+  in
+  match (match dg.Net.payload with Net.Ce p -> p | p -> p) with
+  | Connection.Quic_packet wire -> route wire
+  | Net.Corrupt (Connection.Quic_packet clean, descr) ->
+    route (Net.corrupt_string descr clean)
   | _ -> ()
 
 (* Bind all our addresses so packets reach the demultiplexer. *)
@@ -252,9 +192,17 @@ let connect ?(plugins_to_inject = []) t ~remote_addr =
   c
 
 (* Connections, not table entries: a connection with spare CIDs is
-   registered under each of them. *)
+   registered under each of them, so dedup by handshake CID (unique and
+   stable across rotation) rather than pairwise — this runs against
+   million-entry tables in the server bench. *)
 let connection_count t =
-  Hashtbl.fold
-    (fun _ c acc -> if List.memq c acc then acc else c :: acc)
-    t.conns []
-  |> List.length
+  let seen = Hashtbl.create 64 in
+  Table.fold t.conns
+    (fun acc _ c ->
+      let cid = Connection.local_cid c in
+      if Hashtbl.mem seen cid then acc
+      else begin
+        Hashtbl.add seen cid ();
+        acc + 1
+      end)
+    0

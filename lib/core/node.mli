@@ -1,0 +1,48 @@
+(** Node-scope plugin machinery, shared by every endpoint of a host.
+
+    Owns the local cache of available plugins and the cross-connection
+    instance (PRE) cache of Section 2.5. Historically both lived
+    per-[Endpoint]; lifting them to node scope means a host with many
+    listening endpoints — or a server engine with sharded accept paths —
+    verifies, compiles and instantiates each distinct plugin once, and
+    recycled instances are reusable by any connection on the node. The
+    compiled-program layer below this (bytecode digest → verified + jitted
+    program, see {!Pre.cache_counters}) is process-global already; this
+    module adds the instance layer (plugin name → wiped, reusable
+    instances) with hit/miss/evict accounting. *)
+
+type t = {
+  available : (string, Plugin.t) Hashtbl.t;
+  instances : (string, Connection.instance Queue.t) Hashtbl.t;
+      (** recycled instances by plugin name, ready for re-attachment *)
+  mutable outstanding : (Connection.t * Connection.instance) list;
+      (** instances bound to live connections, reclaimed by {!recycle} *)
+  mutable instance_capacity : int;  (** cached instances kept per plugin *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+val create : ?instance_capacity:int -> unit -> t
+(** [instance_capacity] bounds cached instances per plugin (default 256). *)
+
+val add_plugin : t -> Plugin.t -> unit
+val has_plugin : t -> string -> bool
+val find_plugin : t -> string -> Plugin.t option
+val supported_plugins : t -> string list
+
+val recycle : t -> unit
+(** Reclaim instances whose connection closed; failed connections do not
+    recycle (a misbehaving plugin's PREs are discarded). *)
+
+val acquire_instance :
+  t -> ?bind:Connection.t -> string -> Connection.instance option
+(** Fetch an injectable instance: a cached one when available (no
+    verification, no compilation — the Section 2.5 fast path), otherwise
+    a fresh build of a locally available plugin. With [bind] the
+    instance is tracked as outstanding against that connection and
+    reclaimed by {!recycle} when it closes. *)
+
+type counters = { hits : int; misses : int; evictions : int; cached : int }
+
+val counters : t -> counters

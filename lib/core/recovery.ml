@@ -25,8 +25,7 @@ let on_loss_alarm_ref : (t -> unit) ref = ref (fun _ -> ())
 
 let set_loss_alarm c =
   let default c _ =
-    (match c.loss_alarm with Some ev -> Sim.cancel ev | None -> ());
-    c.loss_alarm <- None;
+    Engine.Timer_wheel.cancel c.wheel c.loss_alarm;
     (match oldest_in_flight c with
     | None -> ()
     | Some sp ->
@@ -52,11 +51,7 @@ let set_loss_alarm c =
           (Int64.add sp.sent_at timeout)
           (Int64.add (Sim.now c.sim) 1_000_000L)
       in
-      c.loss_alarm <-
-        Some
-          (Sim.schedule_at c.sim ~at:fire_at (fun () ->
-               c.loss_alarm <- None;
-               !on_loss_alarm_ref c)));
+      Engine.Timer_wheel.arm c.wheel c.loss_alarm ~at:fire_at);
     0L
   in
   ignore (run_op c Protoop.set_loss_timer ~default [||])

@@ -442,8 +442,7 @@ let build_and_send_packet c =
     if !ack_included then begin
       c.ack_needed <- false;
       c.ae_since_ack <- 0;
-      (match c.ack_alarm with Some ev -> Sim.cancel ev | None -> ());
-      c.ack_alarm <- None
+      Engine.Timer_wheel.cancel c.wheel c.ack_alarm
     end;
     (* I6 tripwire: the normal send loop must never target an address
        still under §9 validation — candidates only ever receive dedicated

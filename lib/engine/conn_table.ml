@@ -1,0 +1,149 @@
+(* Open-addressed hash table from CID bytes to connections.
+
+   Slot states are encoded in the key array itself using two physically
+   unique sentinel strings (empty / tombstone), so a probe touches one
+   array and compares small strings. FNV-1a hashing runs over the key
+   bytes wherever they live — a standalone string or a window of a
+   datagram — so the dispatch path never allocates the key. *)
+
+type 'a t = {
+  mutable keys : string array;
+  mutable vals : 'a option array;
+  mutable live : int;
+  mutable tombs : int;
+  mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+}
+
+(* Distinct allocations: compared with (==) only. *)
+let empty_slot = String.make 1 '\000'
+let tombstone = String.make 1 '\000'
+
+let is_free k = k == empty_slot
+let is_tomb k = k == tombstone
+
+let round_pow2 n =
+  let c = ref 16 in
+  while !c < n do
+    c := !c * 2
+  done;
+  !c
+
+let create ?(initial = 16) () =
+  let cap = round_pow2 initial in
+  {
+    keys = Array.make cap empty_slot;
+    vals = Array.make cap None;
+    live = 0;
+    tombs = 0;
+    mask = cap - 1;
+  }
+
+let length t = t.live
+
+let key_of_cid cid =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 cid;
+  Bytes.unsafe_to_string b
+
+let fnv_prime = 0x01000193
+let fnv_seed = 0x811c9dc5
+
+let hash_sub buf pos len =
+  let h = ref fnv_seed in
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Char.code (String.unsafe_get buf i)) * fnv_prime
+  done;
+  let h = !h land max_int in
+  h lxor (h lsr 17)
+
+let hash key = hash_sub key 0 (String.length key)
+
+let eq_sub key buf pos len =
+  String.length key = len
+  &&
+  let i = ref 0 in
+  while
+    !i < len && String.unsafe_get key !i = String.unsafe_get buf (pos + !i)
+  do
+    incr i
+  done;
+  !i = len
+
+(* Find the slot holding [key], or -1. *)
+let probe_find t h key pos len =
+  let i = ref (h land t.mask) in
+  let found = ref (-1) in
+  let stop = ref false in
+  while not !stop do
+    let k = t.keys.(!i) in
+    if is_free k then stop := true
+    else begin
+      if (not (is_tomb k)) && eq_sub k key pos len then begin
+        found := !i;
+        stop := true
+      end
+      else i := (!i + 1) land t.mask
+    end
+  done;
+  !found
+
+let rec grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = (t.mask + 1) * 2 in
+  t.keys <- Array.make cap empty_slot;
+  t.vals <- Array.make cap None;
+  t.mask <- cap - 1;
+  t.live <- 0;
+  t.tombs <- 0;
+  Array.iteri
+    (fun i k ->
+      if (not (is_free k)) && not (is_tomb k) then
+        match old_vals.(i) with Some v -> add t k v | None -> ())
+    old_keys
+
+and add t key v =
+  if (t.live + t.tombs) * 2 >= t.mask + 1 then grow t;
+  let h = hash key in
+  let existing = probe_find t h key 0 (String.length key) in
+  if existing >= 0 then t.vals.(existing) <- Some v
+  else begin
+    (* Claim the first free-or-tombstone slot on the probe path. *)
+    let i = ref (h land t.mask) in
+    while not (is_free t.keys.(!i) || is_tomb t.keys.(!i)) do
+      i := (!i + 1) land t.mask
+    done;
+    if is_tomb t.keys.(!i) then t.tombs <- t.tombs - 1;
+    t.keys.(!i) <- key;
+    t.vals.(!i) <- Some v;
+    t.live <- t.live + 1
+  end
+
+let find_sub t buf pos len =
+  let i = probe_find t (hash_sub buf pos len) buf pos len in
+  if i < 0 then None else t.vals.(i)
+
+let find t key = find_sub t key 0 (String.length key)
+let mem t key = probe_find t (hash key) key 0 (String.length key) >= 0
+
+let remove t key =
+  let i = probe_find t (hash key) key 0 (String.length key) in
+  if i >= 0 then begin
+    t.keys.(i) <- tombstone;
+    t.vals.(i) <- None;
+    t.live <- t.live - 1;
+    t.tombs <- t.tombs + 1
+  end
+
+let iter t f =
+  Array.iteri
+    (fun i k ->
+      if (not (is_free k)) && not (is_tomb k) then
+        match t.vals.(i) with Some v -> f k v | None -> ())
+    t.keys
+
+let fold t f init =
+  let acc = ref init in
+  iter t (fun k v -> acc := f !acc k v);
+  !acc
+
+let stats t = (t.live, t.mask + 1, t.tombs)

@@ -1,0 +1,36 @@
+(** Open-addressed connection table keyed by full connection-ID bytes.
+
+    Built for the datagram-dispatch fast path: lookup is linear-probe
+    open addressing over a flat string-key array, and [find_sub] probes
+    directly against a CID sitting inside a wire-format datagram
+    without allocating the key. Full-byte keying means rotated CIDs of
+    any length coexist without the silent truncation collisions of an
+    int64-keyed table. *)
+
+type 'a t
+
+val create : ?initial:int -> unit -> 'a t
+(** [initial] is rounded up to a power of two (default 16). *)
+
+val length : 'a t -> int
+
+val key_of_cid : int64 -> string
+(** The 8-byte big-endian encoding of a 64-bit CID — the same bytes the
+    wire format carries. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace. *)
+
+val find : 'a t -> string -> 'a option
+
+val find_sub : 'a t -> string -> int -> int -> 'a option
+(** [find_sub t buf pos len] looks up the key [String.sub buf pos len]
+    without building the substring. *)
+
+val mem : 'a t -> string -> bool
+val remove : 'a t -> string -> unit
+val iter : 'a t -> (string -> 'a -> unit) -> unit
+val fold : 'a t -> ('b -> string -> 'a -> 'b) -> 'b -> 'b
+
+val stats : 'a t -> int * int * int
+(** (live entries, capacity, tombstones). *)

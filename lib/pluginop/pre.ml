@@ -29,10 +29,35 @@ type t = {
    pipeline — verification (same bytecode, same verdict), linking and
    closure compilation — and shares the compiled closures via
    [Vm.jit_clone], so reloading a cached plugin or injecting the same
-   pluglet on another connection only pays for a fresh run environment. *)
+   pluglet on another connection only pays for a fresh run environment.
+   The cache is process-global (node scope): every endpoint and every
+   connection admitting the same bytecode shares one compilation.
+   Bounded FIFO: entries beyond [capacity] evict the oldest admission. *)
 let program_cache : (string, Ebpf.Vm.jit_prog) Hashtbl.t = Hashtbl.create 32
+let admission_order : string Queue.t = Queue.create ()
 let cache_hits = ref 0
+let cache_misses = ref 0
+let cache_evictions = ref 0
+let cache_capacity = ref 4096
+
+type cache_counters = {
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
 let cache_stats () = (Hashtbl.length program_cache, !cache_hits)
+
+let cache_counters () =
+  {
+    entries = Hashtbl.length program_cache;
+    hits = !cache_hits;
+    misses = !cache_misses;
+    evictions = !cache_evictions;
+  }
+
+let set_cache_capacity n = cache_capacity := max 1 n
 
 let admit prog stack_size =
   let key =
@@ -44,6 +69,7 @@ let admit prog stack_size =
     incr cache_hits;
     Ebpf.Vm.jit_clone master
   | None ->
+    incr cache_misses;
     (match
        Ebpf.Verifier.verify ~stack_size ~known_helper:Api.is_known_helper prog
      with
@@ -53,7 +79,16 @@ let admit prog stack_size =
         (Rejected
            (String.concat "; " (List.map Ebpf.Verifier.error_to_string errs))));
     let master = Ebpf.Vm.jit ~stack_size prog in
+    while Hashtbl.length program_cache >= !cache_capacity
+          && not (Queue.is_empty admission_order) do
+      let oldest = Queue.pop admission_order in
+      if Hashtbl.mem program_cache oldest then begin
+        Hashtbl.remove program_cache oldest;
+        incr cache_evictions
+      end
+    done;
     Hashtbl.add program_cache key master;
+    Queue.push key admission_order;
     Ebpf.Vm.jit_clone master
 
 (* Verify, link, jit and instantiate (through the program cache). [heap]

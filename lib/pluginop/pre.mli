@@ -35,6 +35,21 @@ val cache_stats : unit -> int * int
     compiled programs, and admissions served without re-verifying,
     re-linking or re-jitting. *)
 
+type cache_counters = {
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val cache_counters : unit -> cache_counters
+(** Full counters of the node-scope program cache: [hits] admissions
+    served from cache, [misses] full verify+link+jit compilations,
+    [evictions] entries dropped by the FIFO capacity bound. *)
+
+val set_cache_capacity : int -> unit
+(** Bound the program cache (default 4096 entries, min 1). *)
+
 val register_helper : t -> int -> Ebpf.Vm.helper -> unit
 
 val heap_addr : t -> int -> int64

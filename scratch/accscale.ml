@@ -1,0 +1,90 @@
+(* Scaling probe for the server-engine accept path: times each phase at
+   doubling populations to spot super-linear growth. *)
+
+module Net = Netsim.Net
+module Sim = Netsim.Sim
+module P = Quic.Packet
+module F = Quic.Frame
+module TP = Quic.Transport_params
+module Server = Pquic.Server
+
+let scid_of i = Int64.add 0x1_0000_0000L (Int64.of_int i)
+let dcid_of i = Int64.add 0x2_0000_0000L (Int64.of_int i)
+
+let client_hello =
+  lazy
+    (let tp = TP.encode TP.default in
+     let len = String.length tp in
+     let b = Buffer.create (len + 2) in
+     Buffer.add_uint16_be b len;
+     Buffer.add_string b tp;
+     F.to_string (F.Crypto { offset = 0L; data = Buffer.contents b }))
+
+let forge_initial i =
+  P.protect ~key:Pquic.Connection.initial_key
+    {
+      P.header =
+        {
+          P.ptype = P.Initial;
+          spin = false;
+          dcid = dcid_of i;
+          scid = scid_of i;
+          pn = 0L;
+        };
+      payload = Lazy.force client_hello;
+    }
+
+let dg wire =
+  {
+    Net.src = 2;
+    dst = 1;
+    size = String.length wire;
+    payload = Pquic.Connection.Quic_packet wire;
+  }
+
+let cell n =
+  let sim = Sim.create () in
+  let net = Net.create sim in
+  Net.add_fallback_route net ~src:1 [];
+  let sink = ref 0 in
+  Net.attach net 2 (fun _ -> incr sink);
+  let cfg =
+    { Pquic.Connection.default_config with Pquic.Connection.lean = true }
+  in
+  let srv = Server.create ~cfg ~sim ~net ~addr:1 ~seed:7L () in
+  Server.listen srv;
+  let initials = Array.init n forge_initial in
+  let t0 = Sys.time () in
+  let feed_cpu = ref 0.0 and run_cpu = ref 0.0 in
+  let k = ref 0 in
+  let b0 = ref (Sys.time ()) in
+  while !k < n do
+    let stop = min n (!k + 1000) in
+    let f0 = Sys.time () in
+    while !k < stop do
+      Server.handle_datagram srv (dg initials.(!k));
+      incr k
+    done;
+    let f1 = Sys.time () in
+    ignore (Sim.run ~until:(Int64.add (Sim.now sim) (Sim.of_ms 1.)) sim);
+    let f2 = Sys.time () in
+    feed_cpu := !feed_cpu +. (f1 -. f0);
+    run_cpu := !run_cpu +. (f2 -. f1);
+    if !k mod 5000 = 0 then begin
+      Printf.printf "    [%6d] block %5.2fs\n%!" !k (Sys.time () -. !b0);
+      b0 := Sys.time ()
+    end
+  done;
+  let total = Sys.time () -. t0 in
+  let st = Gc.quick_stat () in
+  let w = Engine.Timer_wheel.counters srv.Server.wheel in
+  Printf.printf
+    "%7d conns: total %6.2fs feed %6.2fs simrun %6.2fs  (%5.0f/s)  majors %d minors %d  arms %d fires %d casc %d drv %d  sink %d\n%!"
+    n total !feed_cpu !run_cpu
+    (float_of_int n /. total)
+    st.Gc.major_collections st.Gc.minor_collections w.Engine.Timer_wheel.arms
+    w.Engine.Timer_wheel.fires w.Engine.Timer_wheel.cascades
+    w.Engine.Timer_wheel.drivers !sink
+
+let () =
+  List.iter cell [ 50_000 ]

@@ -1,0 +1,62 @@
+(* breakdown: raw receive vs server-routed dispatch on idle conns *)
+module Sim = Netsim.Sim
+module Net = Netsim.Net
+module P = Quic.Packet
+module F = Quic.Frame
+module TP = Quic.Transport_params
+let scid_of i = Int64.add 0x1_0000_0000L (Int64.of_int i)
+let dcid_of i = Int64.add 0x2_0000_0000L (Int64.of_int i)
+let client_hello =
+  let blob = TP.encode TP.default in
+  let buf = Buffer.create (String.length blob + 2) in
+  Buffer.add_uint16_be buf (String.length blob);
+  Buffer.add_string buf blob;
+  F.to_string (F.Crypto { offset = 0L; data = Buffer.contents buf })
+let forge_initial i =
+  P.protect ~key:Pquic.Connection.initial_key
+    { P.header = { P.ptype = P.Initial; spin = false; dcid = dcid_of i; scid = scid_of i; pn = 0L };
+      payload = client_hello }
+let forge_short i ~pn payload =
+  P.protect ~key:(P.derive_key ~client_cid:(scid_of i) ~server_cid:(dcid_of i))
+    { P.header = { P.ptype = P.One_rtt; spin = false; dcid = dcid_of i; scid = 0L; pn }; payload }
+let ack_payload = F.to_string (F.Ack { F.largest = 7L; delay_us = 0L; ranges = [ (0L, 7L) ] })
+let dg wire = { Net.src = 2; dst = 1; size = String.length wire; payload = Pquic.Connection.Quic_packet wire }
+let () =
+  let sim = Sim.create () in
+  let net = Net.create sim in
+  Net.add_fallback_route net ~src:1 [];
+  Net.attach net 2 (fun _ -> ());
+  let cfg = { Pquic.Connection.default_config with Pquic.Connection.lean = true } in
+  let srv = Pquic.Server.create ~cfg ~sim ~net ~addr:1 ~seed:7L () in
+  Pquic.Server.listen srv;
+  let n = 1000 in
+  for i = 0 to n - 1 do Pquic.Server.handle_datagram srv (dg (forge_initial i)) done;
+  ignore (Sim.run ~until:(Sim.now sim) sim);
+  for i = 0 to n - 1 do Pquic.Server.handle_datagram srv (dg (forge_short i ~pn:1L ack_payload)) done;
+  ignore (Sim.run ~until:(Sim.now sim) sim);
+  Printf.printf "accepted=%d\n" (Pquic.Server.accepted srv);
+  let rounds = 100 in
+  let pkts = Array.init (n*rounds) (fun j ->
+      forge_short (j mod n) ~pn:(Int64.of_int (2 + j / n)) ack_payload) in
+  (* direct receive on the connection, no routing/sharding *)
+  let conns = Array.init n (fun i ->
+      match Engine.Conn_table.find srv.Pquic.Server.ep.Pquic.Endpoint.conns
+              (Engine.Conn_table.key_of_cid (dcid_of i)) with
+      | Some c -> c | None -> assert false) in
+  let half = n * rounds / 2 in
+  Gc.minor ();
+  let t0 = Sys.time () in
+  for j = 0 to half - 1 do
+    Pquic.Connection.receive_datagram conns.(j mod n) (dg pkts.(j));
+    if j mod 10_000 = 9_999 then ignore (Sim.run ~until:(Sim.now sim) sim)
+  done;
+  ignore (Sim.run ~until:(Sim.now sim) sim);
+  let direct = Sys.time () -. t0 in
+  let t1 = Sys.time () in
+  for j = half to (n*rounds) - 1 do
+    Pquic.Server.handle_datagram srv (dg pkts.(j))
+  done;
+  ignore (Sim.run ~until:(Sim.now sim) sim);
+  let routed = Sys.time () -. t1 in
+  Printf.printf "direct receive: %.0f ns/pkt\nserver routed:  %.0f ns/pkt\n"
+    (direct *. 1e9 /. float_of_int half) (routed *. 1e9 /. float_of_int half)

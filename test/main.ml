@@ -21,4 +21,5 @@ let () =
     @ prefixed "anchors" Test_anchors.tests
     @ prefixed "engine" Test_engine.tests
     @ prefixed "datapath" Test_datapath.tests
-    @ prefixed "chaos" Test_chaos.tests)
+    @ prefixed "chaos" Test_chaos.tests
+    @ prefixed "server" Test_server_engine.tests)

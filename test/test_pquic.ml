@@ -497,7 +497,7 @@ let test_cache_reuse_and_isolation () =
   run_one ();
   run_one ();
   check Alcotest.int "cache hits on the second connection" 1
-    client.Pquic.Endpoint.cache_hits;
+    (Pquic.Endpoint.cache_hits client);
   check Alcotest.int "both connections reported" 2 (List.length !reports);
   (* isolation: the second connection's counters restart from zero *)
   match !reports with
