@@ -17,10 +17,16 @@
    ns of CPU per packet, and GC minor words allocated per packet — the
    allocation figure is what the pooled writer datapath is accountable
    for. Runs are best-of-N on CPU time (Sys.time), immune to steal on a
-   contended host; GC counters come from the same runs. *)
+   contended host; GC counters come from the same runs.
+
+   A separate instrumented pass per scenario turns on the engine's
+   receive-side profile (Conn_types.rx_profile) to isolate the cost of
+   [receive_datagram] alone — rx ns and rx minor words per received
+   datagram — the figures the zero-copy Reader datapath is accountable
+   for, as distinct from the whole-transfer numbers above. *)
 
 let runs_1mb = 5
-let runs_50mb = 2
+let runs_50mb = 3
 
 type result = {
   name : string;
@@ -29,6 +35,8 @@ type result = {
   packets : int;           (* client + server packets sent, from the best run *)
   minor_words : float;     (* GC minor words allocated during the best run *)
   dct_s : float;           (* simulated transfer time, sanity reference *)
+  rx_ns_pkt : float;       (* receive path only: ns per received datagram *)
+  rx_words_pkt : float;    (* receive path only: minor words per datagram *)
 }
 
 let scenario ~multipath ~fec ~size seed =
@@ -54,11 +62,33 @@ let scenario ~multipath ~fec ~size seed =
   in
   Exp.Runner.quic_transfer ~topo ~plugins ~to_inject ~multipath ~size ()
 
+(* One extra run with the engine's receive profile on: per-datagram wall
+   ns (Unix.gettimeofday has the resolution Sys.time lacks at ~20 us per
+   datagram) and per-datagram minor words, accumulated inside
+   [Connection.receive_datagram] only. *)
+let rx_pass ~multipath ~fec ~size =
+  let open Pquic.Conn_types in
+  rx_clock := Unix.gettimeofday;
+  Gc.compact ();
+  rx_profile_reset ();
+  rx_profile := true;
+  let r = scenario ~multipath ~fec ~size 42L in
+  rx_profile := false;
+  (match r with
+  | None -> failwith "rx pass: transfer did not complete"
+  | Some _ -> ());
+  let n = float_of_int (max 1 !rx_packets) in
+  (!rx_seconds *. 1e9 /. n, !rx_minor_words /. n)
+
 let run ~name ~multipath ~fec ~size ~runs () =
   let best = ref infinity and kept = ref None in
   for k = 1 to runs do
     let seed = Int64.of_int (41 + k) in
-    Gc.minor ();
+    (* start every run from a compacted heap: scenarios run back to back,
+       and the major-heap state a late scenario inherits from earlier ones
+       otherwise dominates run-to-run variance (±30% on a contended host,
+       always against whichever scenario runs last) *)
+    Gc.compact ();
     let w0 = Gc.minor_words () in
     let c0 = Sys.time () in
     let r = scenario ~multipath ~fec ~size seed in
@@ -84,10 +114,15 @@ let run ~name ~multipath ~fec ~size ~runs () =
               packets = pkts;
               minor_words = words;
               dct_s = r.Exp.Runner.dct;
+              rx_ns_pkt = 0.;
+              rx_words_pkt = 0.;
             }
       end
   done;
-  match !kept with Some r -> r | None -> assert false
+  let rx_ns, rx_words = rx_pass ~multipath ~fec ~size in
+  match !kept with
+  | Some r -> { r with rx_ns_pkt = rx_ns; rx_words_pkt = rx_words }
+  | None -> assert false
 
 let goodput_mb_s r = float_of_int r.size /. 1e6 /. r.cpu_s
 
@@ -103,9 +138,9 @@ let write_json path results =
   out "{\n";
   out "  \"schema\": \"pquic-bench-e2e/1\",\n";
   out
-    "  \"method\": \"best-of-N CPU-time simulated transfers; goodput is \
-     payload MB per CPU second, allocations from Gc.minor_words over the \
-     best run\",\n";
+    "  \"method\": \"best-of-N CPU-time simulated transfers from a \
+     compacted heap (Gc.compact before each run); goodput is payload MB \
+     per CPU second, allocations from Gc.minor_words over the best run\",\n";
   out "  \"results\": {\n";
   let n = List.length results in
   List.iteri
@@ -113,9 +148,10 @@ let write_json path results =
       out
         "    %S: { \"size_bytes\": %d, \"cpu_ms\": %.3f, \"goodput_mb_s\": \
          %.3f, \"packets\": %d, \"ns_per_packet\": %.1f, \
-         \"minor_words_per_packet\": %.1f, \"sim_dct_s\": %.4f }%s\n"
+         \"minor_words_per_packet\": %.1f, \"rx_ns_per_packet\": %.1f, \
+         \"rx_minor_words_per_packet\": %.1f, \"sim_dct_s\": %.4f }%s\n"
         r.name r.size (r.cpu_s *. 1e3) (goodput_mb_s r) r.packets
-        (ns_per_packet r) (words_per_packet r)
+        (ns_per_packet r) (words_per_packet r) r.rx_ns_pkt r.rx_words_pkt
         r.dct_s
         (if i = n - 1 then "" else ","))
     results;
@@ -125,12 +161,13 @@ let write_json path results =
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
-  Printf.printf "%-22s %10s %12s %10s %14s\n" "scenario" "cpu" "goodput"
-    "ns/pkt" "minor w/pkt";
-  Printf.printf "%s\n" (String.make 72 '-');
+  Printf.printf "%-22s %10s %12s %10s %14s %10s %12s\n" "scenario" "cpu"
+    "goodput" "ns/pkt" "minor w/pkt" "rx ns/pkt" "rx w/pkt";
+  Printf.printf "%s\n" (String.make 96 '-');
   let show r =
-    Printf.printf "%-22s %8.1fms %9.2fMB/s %9.0f %13.1f\n" r.name
-      (r.cpu_s *. 1e3) (goodput_mb_s r) (ns_per_packet r) (words_per_packet r);
+    Printf.printf "%-22s %8.1fms %9.2fMB/s %9.0f %13.1f %9.0f %11.1f\n" r.name
+      (r.cpu_s *. 1e3) (goodput_mb_s r) (ns_per_packet r) (words_per_packet r)
+      r.rx_ns_pkt r.rx_words_pkt;
     r
   in
   let results =

@@ -105,6 +105,20 @@ if command -v jq >/dev/null 2>&1; then
           and .packets > 0 and .ns_per_packet > 0] | all)
     and (.results | has("transfer_1MB_e2e"))
   ' BENCH_e2e.json >/dev/null || { echo "BENCH_e2e.json failed sanity check"; exit 1; }
+  # Receive-side gates: the rx profile must be measured for every
+  # scenario, and the zero-copy receive path bounds the mp+FEC tax — the
+  # heaviest pluginized scenario must stay within 1.6x of the single-path
+  # baseline per packet (was 1.67x before the view parser; ratcheting
+  # toward the 1.3x target as the pluglet exec path gets cheaper), and
+  # its per-packet allocations under 3438 minor words (a 40% cut from the
+  # copying parser's 5730).
+  jq -e '
+    ([.results[] | .rx_ns_per_packet > 0 and .rx_minor_words_per_packet > 0]
+     | all)
+    and (.results.transfer_50MB_mp_fec.ns_per_packet
+         <= 1.6 * .results.transfer_50MB_e2e.ns_per_packet)
+    and (.results.transfer_50MB_mp_fec.minor_words_per_packet <= 3438)
+  ' BENCH_e2e.json >/dev/null || { echo "BENCH_e2e.json receive-side gates failed"; exit 1; }
   jq -e '
     .schema == "pquic-bench-server/1"
     and (.cells | length > 0)
@@ -123,6 +137,19 @@ if command -v jq >/dev/null 2>&1; then
   ' BENCH_server.json >/dev/null || { echo "BENCH_server.json engine gates failed"; exit 1; }
 else
   echo "== skipping bench JSON sanity (no jq)"
+fi
+
+# Zero-copy lint for the frame codec: the only String.sub sites allowed
+# in frame.ml are the reference parser and of_view, fenced by the
+# REFERENCE-PARSER markers — a String.sub creeping back into the view
+# parse path would silently re-introduce the per-frame payload copies.
+echo "== zero-copy lint (frame.ml parse paths)"
+bad=$(awk '/REFERENCE-PARSER-BEGIN/{ref=1} /REFERENCE-PARSER-END/{ref=0; next}
+           !ref && /String\.sub/ {print FILENAME ":" FNR ": " $0}' \
+      lib/quic/frame.ml)
+if [ -n "$bad" ]; then
+  echo "String.sub outside the reference-parser block in frame.ml:"
+  echo "$bad"; exit 1
 fi
 
 echo "== OK"

@@ -141,7 +141,10 @@ type stats = {
    so core code keeps writing [Native], [e.replace], [inst.plugin] — and a
    plugin instance built here is, by type equality, attachable to any
    other pluginop host. *)
-type arg = Pluginop.Types.arg = I of int64 | Buf of Bytes.t * [ `Ro | `Rw ]
+type arg = Pluginop.Types.arg =
+  | I of int64
+  | Buf of Bytes.t * [ `Ro | `Rw ]
+  | View of Bytes.t * int * int
 
 type 'c host_impl = 'c Pluginop.Types.impl =
   | Native of string * ('c -> arg array -> int64)
@@ -264,16 +267,21 @@ type t = {
   mutable cur_path : int;
   mutable cur_size : int;
   mutable cur_payload : string;
-  (* send path: the payload slice of the packet just built, materialized
-     lazily from [cur_wire] — only the FEC helper ever reads it, so the
-     plain path never pays the copy. [cur_payload_len = 0] means
-     [cur_payload] is authoritative as-is. *)
+  (* the payload slice of the packet just built (send) or being processed
+     (receive), materialized lazily from [cur_wire] — only the FEC helper
+     ever reads it as a string, and [blit_current_payload] serves it
+     without materializing at all, so the plain path never pays the copy.
+     [cur_payload_len = 0] means [cur_payload] is authoritative as-is. *)
   mutable cur_wire : string;
   mutable cur_payload_off : int;
   mutable cur_payload_len : int;
   mutable cur_has_stream : bool;
   mutable cur_ecn_ce : bool;
   mutable recover_depth : int;
+  mutable rx_scratch : Pluginop.Memory_pool.t option;
+  (* pooled receive scratch, created lazily on the first FEC recovery:
+     stages the recovered packet image across the frame replay so the
+     fast path never allocates it *)
   (* plugin exchange *)
   plugin_out : (string, Quic.Sendbuf.t) Hashtbl.t;
   plugin_in : (string, Quic.Recvbuf.t) Hashtbl.t;
@@ -329,15 +337,40 @@ let fail_connection c reason =
     c.close_reason <- reason
   end
 
-(* The payload of the packet currently built or processed. The send path
-   records only the wire image plus offsets; the slice is cut (and cached)
-   the first time a plugin helper actually asks for it. *)
+(* The payload of the packet currently built or processed. Both
+   directions record only the wire image plus offsets; the slice is cut
+   (and cached) the first time a plugin helper actually asks for the
+   string. *)
 let current_payload c =
   if c.cur_payload_len > 0 then begin
     c.cur_payload <- String.sub c.cur_wire c.cur_payload_off c.cur_payload_len;
     c.cur_payload_len <- 0
   end;
   c.cur_payload
+
+let current_payload_length c =
+  if c.cur_payload_len > 0 then c.cur_payload_len
+  else String.length c.cur_payload
+
+(* Copy the current payload into [dst] without materializing the slice —
+   the packet_bytes helper serves plugins straight from the wire image. *)
+let blit_current_payload c dst dst_off =
+  if c.cur_payload_len > 0 then
+    Bytes.blit_string c.cur_wire c.cur_payload_off dst dst_off
+      c.cur_payload_len
+  else
+    Bytes.blit_string c.cur_payload 0 dst dst_off (String.length c.cur_payload)
+
+(* The per-connection receive scratch pool: 16 KiB, enough to stage the
+   deepest recovery recursion the engine allows, and only ever created
+   when a repair actually fires. *)
+let rx_scratch c =
+  match c.rx_scratch with
+  | Some p -> p
+  | None ->
+    let p = Pluginop.Memory_pool.create ~block_size:64 ~size:16384 () in
+    c.rx_scratch <- Some p;
+    p
 
 let make_stats () =
   {
@@ -381,7 +414,27 @@ let next_challenge c =
 let wake_ref : (t -> unit) ref = ref (fun _ -> ())
 let wake c = !wake_ref c
 
-let process_recovered_ref : (t -> string -> unit) ref = ref (fun _ _ -> ())
+(* Receive-path profiling, sampled by [Connection.receive_datagram] when
+   [rx_profile] is on: wall-clock and minor-heap words spent across
+   datagram processing, for the rx_* breakdowns in BENCH_e2e. The clock
+   is injectable — benches install [Unix.gettimeofday]; the [Sys.time]
+   default keeps the library free of the unix dependency. Off, the cost
+   is one branch per datagram. *)
+let rx_profile = ref false
+let rx_clock : (unit -> float) ref = ref Sys.time
+let rx_seconds = ref 0.0
+let rx_minor_words = ref 0.0
+let rx_packets = ref 0
+
+let rx_profile_reset () =
+  rx_seconds := 0.0;
+  rx_minor_words := 0.0;
+  rx_packets := 0
+
+(* The recovered packet image [pn(4) || payload] is borrowed: valid only
+   for the duration of the call (it lives in the rx scratch pool). *)
+let process_recovered_ref : (t -> Bytes.t -> off:int -> len:int -> unit) ref =
+  ref (fun _ _ ~off:_ ~len:_ -> ())
 
 (* Adopt [(seq, cid)] as the CID we address the peer with, retiring the
    one in use and every spare at or below the adopted sequence number.

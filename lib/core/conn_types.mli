@@ -129,7 +129,10 @@ type stats = {
     requires, then abbreviated at the connection type next to {!t}): core
     code keeps its constructors and field labels, and instances are
     type-compatible with every other pluginop host. *)
-type arg = Pluginop.Types.arg = I of int64 | Buf of Bytes.t * [ `Ro | `Rw ]
+type arg = Pluginop.Types.arg =
+  | I of int64
+  | Buf of Bytes.t * [ `Ro | `Rw ]
+  | View of Bytes.t * int * int
 
 type 'c host_impl = 'c Pluginop.Types.impl =
   | Native of string * ('c -> arg array -> int64)
@@ -242,14 +245,18 @@ type t = {
   mutable cur_size : int;
   mutable cur_payload : string;
   mutable cur_wire : string;
-      (** wire image of the packet just built; [cur_payload] is sliced
-          from it on first use (see {!current_payload}) *)
+      (** wire image of the packet just built or being processed;
+          [cur_payload] is sliced from it on first use (see
+          {!current_payload}) *)
   mutable cur_payload_off : int;
   mutable cur_payload_len : int;
       (** 0 when [cur_payload] is authoritative as-is *)
   mutable cur_has_stream : bool;
   mutable cur_ecn_ce : bool;
   mutable recover_depth : int;
+  mutable rx_scratch : Pluginop.Memory_pool.t option;
+      (** pooled receive scratch, created lazily on the first FEC
+          recovery; stages the recovered image across the frame replay *)
   (* plugin exchange *)
   plugin_out : (string, Quic.Sendbuf.t) Hashtbl.t;
   plugin_in : (string, Quic.Recvbuf.t) Hashtbl.t;
@@ -295,6 +302,17 @@ val current_payload : t -> string
 (** Payload of the packet currently built or processed, slicing it out
     of [cur_wire] (and caching it) on first use. *)
 
+val current_payload_length : t -> int
+(** Length of {!current_payload} without materializing the slice. *)
+
+val blit_current_payload : t -> Bytes.t -> int -> unit
+(** Copy the current payload into a buffer at the given offset without
+    materializing the slice — the packet_bytes helper serves plugins
+    straight from the wire image. *)
+
+val rx_scratch : t -> Pluginop.Memory_pool.t
+(** The connection's receive scratch pool, created on first use. *)
+
 val make_stats : unit -> stats
 
 val has_local_cid : t -> int64 -> bool
@@ -322,9 +340,24 @@ val wake_ref : (t -> unit) ref
 val wake : t -> unit
 (** Schedule a send pass (implemented by [Sender]). *)
 
-val process_recovered_ref : (t -> string -> unit) ref
-(** Hand a FEC-recovered packet (pn || payload) back to the receive path
-    (implemented by [Connection]). *)
+(** {2 Receive-path profiling}
+
+    Sampled by [Connection.receive_datagram] per datagram while
+    [rx_profile] is on; the clock is injectable so benches can install
+    [Unix.gettimeofday] (the [Sys.time] default is too coarse per-packet
+    but keeps this library free of the unix dependency). *)
+
+val rx_profile : bool ref
+val rx_clock : (unit -> float) ref
+val rx_seconds : float ref
+val rx_minor_words : float ref
+val rx_packets : int ref
+val rx_profile_reset : unit -> unit
+
+val process_recovered_ref : (t -> Bytes.t -> off:int -> len:int -> unit) ref
+(** Hand a FEC-recovered packet image [pn(4) || payload] back to the
+    receive path (implemented by [Connection]). The bytes are borrowed —
+    valid only for the duration of the call. *)
 
 val reprobe_ref : (t -> unit) ref
 (** Client-side stall escape (implemented by [Sender]): rotate to a spare

@@ -226,6 +226,7 @@ let create ~sim ~net ~cfg ~role ~local_addr ~remote_addr ~local_cid ~remote_cid
       cur_has_stream = false;
       cur_ecn_ce = false;
       recover_depth = 0;
+      rx_scratch = None;
       plugin_out = Hashtbl.create 4;
       plugin_in = Hashtbl.create 4;
       plugin_proofs = [];
@@ -326,8 +327,10 @@ let try_handshake_progress c =
 (* Frame processing                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let deliver_stream_data c s =
-  let data = Quic.Recvbuf.read s.recvb in
+(* Deliver [data] (already drained from the reassembly buffer, or handed
+   straight through by the in-order fast path) to the application, with
+   the data_received / stream_closed protoop anchors around it. *)
+let deliver_stream_payload c s data =
   let finished = Quic.Recvbuf.is_finished s.recvb && not s.fin_delivered in
   if data <> "" || finished then begin
     if finished then s.fin_delivered <- true;
@@ -338,6 +341,9 @@ let deliver_stream_data c s =
     if finished then
       ignore (run_op c Protoop.stream_closed [| I (i64 s.stream_id) |])
   end
+
+let deliver_stream_data c s =
+  deliver_stream_payload c s (Quic.Recvbuf.read s.recvb)
 
 let maybe_update_max_data c =
   if Int64.to_float c.data_received > 0.5 *. Int64.to_float c.max_data_local
@@ -448,40 +454,75 @@ let process_core_frame c frame =
 (* Receiving                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let varint_len_at s pos = 1 lsl (Char.code s.[pos] lsr 6)
+(* The data-bearing frame views, processed straight out of the datagram:
+   stream and crypto payloads cross into the reassembly buffers through
+   [Recvbuf.insert_sub] — the single copy of the receive path. *)
+let process_core_view c buf view =
+  match view with
+  | F.V_frame frame -> process_core_frame c frame
+  | F.V_crypto { offset; off; len } ->
+    Quic.Recvbuf.insert_sub c.crypto_recv ~offset:(Int64.to_int offset)
+      ~fin:false buf ~off ~len;
+    try_handshake_progress c
+  | F.V_stream { id; offset; fin; off; len } ->
+    c.cur_has_stream <- true;
+    let s = Sender.get_stream c id in
+    let offset = Int64.to_int offset in
+    if Quic.Recvbuf.insert_inline s.recvb ~offset ~fin ~len then begin
+      (* in-order arrival with nothing buffered ahead: the payload goes
+         from the wire window to the application in this one copy,
+         skipping the reassembly stage-and-read round trip *)
+      c.data_received <- Int64.add c.data_received (i64 len);
+      deliver_stream_payload c s (String.sub buf off len)
+    end
+    else begin
+      let before = Quic.Recvbuf.contiguous s.recvb in
+      Quic.Recvbuf.insert_sub s.recvb ~offset ~fin buf ~off ~len;
+      let after = Quic.Recvbuf.contiguous s.recvb in
+      c.data_received <-
+        Int64.add c.data_received (i64 (max 0 (after - before)));
+      deliver_stream_data c s
+    end;
+    maybe_update_max_data c
+  | F.V_unknown _ -> assert false (* handled by the caller via protoops *)
 
-(* Process the frames of a (possibly recovered) packet payload. Returns
-   whether any frame was ack-eliciting. *)
-let process_payload c ~pn payload =
-  let len = String.length payload in
-  let pos = ref 0 in
+(* Process the frames of a packet payload, given as the [off, limit)
+   window of [buf] — the wire datagram on the normal path, the staged
+   image on the FEC recovery path. Frames parse as views through a pooled
+   [Reader]; plugin frames hand the pluglet a read-only sub-view of the
+   shared wire region instead of a copied body. Returns whether any frame
+   was ack-eliciting. *)
+let process_payload c ~pn buf ~off ~limit =
+  let r = Quic.Reader.acquire () in
+  Quic.Reader.reset r buf ~pos:off ~limit;
+  let wire_b = Bytes.unsafe_of_string buf in
   let ae = ref false in
-  while !pos < len && is_open c do
-    match F.parse payload !pos with
+  Fun.protect ~finally:(fun () -> Quic.Reader.release r) @@ fun () ->
+  while (not (Quic.Reader.at_end r)) && is_open c do
+    match F.parse_view r with
     | exception _ ->
       fail_connection c "malformed frame";
-      pos := len
-    | F.Unknown { ftype; raw }, _ ->
+      Quic.Reader.seek r limit
+    | F.V_unknown { ftype; off = foff; len = flen } ->
       if not (Dispatch.has_entry c Protoop.parse_frame (Some ftype)) then begin
         fail_connection c (Printf.sprintf "unknown frame type 0x%x" ftype);
-        pos := len
+        Quic.Reader.seek r limit
       end
       else begin
-        let body = Bytes.of_string raw in
         let ret =
           to_i
             (run_op c Protoop.parse_frame ~param:ftype
-               [| Buf (body, `Ro); I (i64 (Bytes.length body)) |])
+               [| View (wire_b, foff, flen); I (i64 flen) |])
         in
         (* bit 28 of the parse result marks a non-ack-eliciting frame
            (MP_ACK-style); the low bits give the consumed length *)
         let non_ae = ret land 0x10000000 <> 0 in
         let consumed = ret land 0x0FFFFFFF in
-        if consumed <= 0 || consumed > Bytes.length body then begin
+        if consumed <= 0 || consumed > flen then begin
           if is_open c then
             fail_connection c
               (Printf.sprintf "plugin failed to parse frame 0x%x" ftype);
-          pos := len
+          Quic.Reader.seek r limit
         end
         else begin
           Log.debug (fun m -> m "plugin frame 0x%x consumed %d" ftype consumed);
@@ -497,56 +538,68 @@ let process_payload c ~pn payload =
                 m "skipping recovered frame 0x%x (handler on op stack)" ftype)
           else begin
             if not non_ae then ae := true;
-            let frame_body = Bytes.sub body 0 consumed in
             ignore
               (run_op c Protoop.process_frame ~param:ftype
-                 [| Buf (frame_body, `Ro); I (i64 consumed); I pn |])
+                 [| View (wire_b, foff, consumed); I (i64 consumed); I pn |])
           end;
-          pos := !pos + varint_len_at payload !pos + consumed
+          Quic.Reader.seek r (foff + consumed)
         end
       end
-    | frame, next ->
-      if F.is_ack_eliciting frame then ae := true;
+    | view ->
+      if F.view_is_ack_eliciting view then ae := true;
       (* a handler tripping on inconsistent data (e.g. a FEC-recovered
          payload that dodged packet authentication) must fail the
          connection with a stated reason, never escape the engine *)
       (try
          ignore
-           (run_op c Protoop.process_frame ~param:(F.frame_type frame)
+           (run_op c Protoop.process_frame ~param:(F.view_type view)
               ~default:(fun c _ ->
-                process_core_frame c frame;
+                process_core_view c buf view;
                 0L)
               [| I pn |])
        with exn ->
          c.stats.pkts_corrupt_discarded <- c.stats.pkts_corrupt_discarded + 1;
          fail_connection c
            (Printf.sprintf "frame processing trapped: %s"
-              (Printexc.to_string exn)));
-      pos := next
+              (Printexc.to_string exn)))
   done;
   !ae
 
-(* A FEC plugin recovered a lost packet: [data] is pn(4 bytes) || payload.
-   The packet is processed as if it had been received, and its number is
-   acknowledged so the peer does not retransmit (QUIC-FEC behaviour). *)
-let process_recovered c data =
-  if String.length data >= 4 && c.recover_depth < 8 then begin
+(* A FEC plugin recovered a lost packet: [buf]'s [off, off+len) window is
+   pn(4 bytes) || payload, staged in the connection's rx scratch pool and
+   borrowed for the duration of this call. The packet is processed as if
+   it had been received, and its number is acknowledged so the peer does
+   not retransmit (QUIC-FEC behaviour). The replay swaps the current-
+   packet scratch to the recovered image — as a view, so the payload
+   string materializes only if a pluglet actually asks for it — and
+   restores the interrupted packet's scratch afterwards. *)
+let process_recovered c buf ~off ~len =
+  if len >= 4 && c.recover_depth < 8 then begin
     let pn =
-      Int64.logand (Int64.of_int32 (String.get_int32_be data 0)) 0xffffffffL
+      Int64.logand (Int64.of_int32 (Bytes.get_int32_be buf off)) 0xffffffffL
     in
     if not (Quic.Ackranges.contains c.acks pn) then begin
       c.recover_depth <- c.recover_depth + 1;
       c.stats.frames_recovered <- c.stats.frames_recovered + 1;
       Quic.Ackranges.add c.acks pn;
       c.ack_needed <- true;
-      let saved_pn = c.cur_pn and saved_payload = current_payload c in
-      let payload = String.sub data 4 (String.length data - 4) in
+      let saved_pn = c.cur_pn
+      and saved_payload = c.cur_payload
+      and saved_wire = c.cur_wire
+      and saved_off = c.cur_payload_off
+      and saved_len = c.cur_payload_len in
+      let image = Bytes.unsafe_to_string buf in
       c.cur_pn <- pn;
-      c.cur_payload <- payload;
-      c.cur_payload_len <- 0;
-      ignore (process_payload c ~pn payload);
+      c.cur_payload <- "";
+      c.cur_wire <- image;
+      c.cur_payload_off <- off + 4;
+      c.cur_payload_len <- len - 4;
+      ignore (process_payload c ~pn image ~off:(off + 4) ~limit:(off + len));
       c.cur_pn <- saved_pn;
       c.cur_payload <- saved_payload;
+      c.cur_wire <- saved_wire;
+      c.cur_payload_off <- saved_off;
+      c.cur_payload_len <- saved_len;
       c.recover_depth <- c.recover_depth - 1;
       wake c
     end
@@ -610,7 +663,7 @@ let note_new_source c ~src ~probe_scid ~dgsize =
           (default_path c).remote_addr);
     Sender.send_path_probe c cand
 
-let receive_datagram c (dg : Net.datagram) =
+let receive_datagram_inner c (dg : Net.datagram) =
   if is_open c then begin
     ignore (run_op c Protoop.incoming_datagram [| I (i64 dg.Net.size) |]);
     let ce, payload_in =
@@ -632,13 +685,13 @@ let receive_datagram c (dg : Net.datagram) =
       in
       let long = String.length wire > 0 && Char.code wire.[0] land 0x80 <> 0 in
       let key = if long then c.initial_key else c.key in
-      match Quic.Packet.unprotect ~key wire with
+      match Quic.Packet.unprotect_view ~key wire with
       | exception (Quic.Packet.Authentication_failed | Quic.Packet.Malformed) ->
         (* bit damage surfaces here as an auth/structure failure: discard
            cleanly and account for it — never raise past the handler *)
         c.stats.pkts_corrupt_discarded <- c.stats.pkts_corrupt_discarded + 1;
         Log.debug (fun m -> m "dropping unauthenticated packet")
-      | { header; payload }, _ ->
+      | header, poff, plen ->
         if has_local_cid c header.Quic.Packet.dcid then begin
           let pn = header.Quic.Packet.pn in
           if Quic.Ackranges.contains c.acks pn then
@@ -696,8 +749,12 @@ let receive_datagram c (dg : Net.datagram) =
             c.cur_pn <- pn;
             c.cur_path <- pid;
             c.cur_size <- String.length wire;
-            c.cur_payload <- payload;
-            c.cur_payload_len <- 0;
+            (* the payload stays a view into the wire datagram; the string
+               in [cur_payload] materializes only if a pluglet asks *)
+            c.cur_payload <- "";
+            c.cur_wire <- wire;
+            c.cur_payload_off <- poff;
+            c.cur_payload_len <- plen;
             c.cur_has_stream <- false;
             c.cur_ecn_ce <- ce;
             c.last_activity <- Sim.now c.sim;
@@ -707,7 +764,7 @@ let receive_datagram c (dg : Net.datagram) =
             Quic.Ackranges.add c.acks pn;
             ignore (run_op c Protoop.update_idle_timeout [||]);
             ignore (run_op c Protoop.received_packet [| I pn; I (i64 pid) |]);
-            let ae = process_payload c ~pn payload in
+            let ae = process_payload c ~pn wire ~off:poff ~limit:(poff + plen) in
             ignore (run_op c Protoop.after_decode_frames [||]);
             if ae && is_open c then begin
               c.ack_needed <- true;
@@ -723,6 +780,19 @@ let receive_datagram c (dg : Net.datagram) =
         end)
     | _ -> ()
   end
+
+(* Optional receive-side profiling: one branch per datagram when off,
+   wall-clock + minor-allocation sampling when a bench turns it on. *)
+let receive_datagram c (dg : Net.datagram) =
+  if !rx_profile then begin
+    let t0 = !rx_clock () in
+    let w0 = Gc.minor_words () in
+    receive_datagram_inner c dg;
+    rx_seconds := !rx_seconds +. (!rx_clock () -. t0);
+    rx_minor_words := !rx_minor_words +. (Gc.minor_words () -. w0);
+    incr rx_packets
+  end
+  else receive_datagram_inner c dg
 
 (* ------------------------------------------------------------------ *)
 (* Application interface                                                *)

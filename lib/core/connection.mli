@@ -75,5 +75,9 @@ val peer_params : t -> Quic.Transport_params.t option
 
 (**/**)
 
-val process_recovered : t -> string -> unit
-(** FEC hook: re-process a recovered packet ([pn] (4 bytes) || payload). *)
+val process_recovered : t -> Bytes.t -> off:int -> len:int -> unit
+(** FEC hook: re-process a recovered packet whose image —
+    [pn] (4 bytes) || payload — sits in the [off, off+len) window of a
+    borrowed scratch buffer. The buffer is only read for the duration of
+    the call; the payload string materializes lazily, if a pluglet asks
+    for the packet bytes during the replay. *)

@@ -12,23 +12,38 @@ open Conn_types
 
 let helper_fail fmt = Fmt.kstr (fun s -> raise (Ebpf.Vm.Helper_failure s)) fmt
 
+(* Per-path fields, split out so the bad-index default shares one [path]
+   lookup. A separate function rather than a [pathf f] combinator inside
+   [get_field]: that closure captured [c] and [index] and so was heap-
+   allocated on every call — and [h_get] runs a dozen times per received
+   packet on a pluginized connection. *)
+let get_path_field c field index =
+  let open Api in
+  match path c index with
+  | None -> -1L
+  | Some p ->
+    if field = f_cwnd then Int64.of_int (Quic.Cc.cwnd p.cc)
+    else if field = f_bytes_in_flight then
+      Int64.of_int (Quic.Cc.bytes_in_flight p.cc)
+    else if field = f_srtt then Quic.Rtt.smoothed p.rtt
+    else if field = f_rtt_min then Quic.Rtt.min_rtt p.rtt
+    else if field = f_latest_rtt then Quic.Rtt.latest p.rtt
+    else if field = f_rtt_var then Quic.Rtt.variance p.rtt
+    else if field = f_ssthresh then (
+      let s = Quic.Cc.ssthresh p.cc in
+      if s = max_int then -1L else Int64.of_int s)
+    else if field = f_path_active then if p.active then 1L else 0L
+    else if field = f_path_remote_addr then Int64.of_int p.remote_addr
+    else
+      (* f_rtt_sample is write-only; reads keep raising as before *)
+      raise
+        (Ebpf.Vm.Helper_failure (Printf.sprintf "get: unknown field %d" field))
+
 let get_field c field index =
   let open Api in
-  let pathf f = match path c index with Some p -> f p | None -> -1L in
-  if field = f_cwnd then pathf (fun p -> Int64.of_int (Quic.Cc.cwnd p.cc))
-  else if field = f_bytes_in_flight then
-    pathf (fun p -> Int64.of_int (Quic.Cc.bytes_in_flight p.cc))
-  else if field = f_srtt then pathf (fun p -> Quic.Rtt.smoothed p.rtt)
-  else if field = f_rtt_min then pathf (fun p -> Quic.Rtt.min_rtt p.rtt)
-  else if field = f_latest_rtt then pathf (fun p -> Quic.Rtt.latest p.rtt)
-  else if field = f_rtt_var then pathf (fun p -> Quic.Rtt.variance p.rtt)
-  else if field = f_ssthresh then
-    pathf (fun p ->
-        let s = Quic.Cc.ssthresh p.cc in
-        if s = max_int then -1L else Int64.of_int s)
-  else if field = f_path_active then pathf (fun p -> if p.active then 1L else 0L)
-  else if field = f_path_remote_addr then
-    pathf (fun p -> Int64.of_int p.remote_addr)
+  if (field >= f_cwnd && field <= f_path_remote_addr && field <> f_rtt_sample)
+     || field = f_ssthresh
+  then get_path_field c field index
   else if field = f_nb_paths then Int64.of_int (Array.length c.paths)
   else if field = f_next_pn then c.next_pn
   else if field = f_largest_acked then c.largest_acked
@@ -104,8 +119,8 @@ let set_field c field index value =
    packet access/recovery, multipath path creation. Installed on each PRE
    after the shared table, through the HOST record below. *)
 let install_extra_helpers c (inst : instance) (pre : Pre.t) =
-  let reg id f = Pre.register_helper pre id f in
-  reg Api.h_reserve_frames (fun _ a ->
+  let reg ?arity id f = Pre.register_helper ?arity pre id f in
+  reg ~arity:4 Api.h_reserve_frames (fun _ a ->
       let flags = to_i a.(2) in
       Scheduler.reserve c.sched
         {
@@ -118,26 +133,39 @@ let install_extra_helpers c (inst : instance) (pre : Pre.t) =
         };
       wake c;
       0L);
-  reg Api.h_recover_packet (fun vm a ->
+  reg ~arity:2 Api.h_recover_packet (fun vm a ->
       let len = to_i a.(1) in
       if len < 4 || len > 65536 then helper_fail "recover_packet: bad length %d" len;
-      let data = Ebpf.Vm.read_bytes vm a.(0) len in
-      !process_recovered_ref c (Bytes.to_string data);
+      let src, soff = Ebpf.Vm.direct vm ~write:false a.(0) len in
+      (* stage the recovered image out of the VM region before replaying:
+         the replay re-enters pluglets that may rewrite plugin memory
+         under the borrowed range. Pooled scratch; heap only if a burst
+         of nested recoveries exhausts the pool. *)
+      let pool = rx_scratch c in
+      (match Memory_pool.alloc pool len with
+      | Some off ->
+        let area = Memory_pool.area pool in
+        Bytes.blit src soff area off len;
+        Fun.protect
+          ~finally:(fun () -> ignore (Memory_pool.free pool off))
+          (fun () -> !process_recovered_ref c area ~off ~len)
+      | None ->
+        let data = Bytes.sub src soff len in
+        !process_recovered_ref c data ~off:0 ~len);
       0L);
-  reg Api.h_packet_bytes (fun vm a ->
+  reg ~arity:2 Api.h_packet_bytes (fun vm a ->
       let max = to_i a.(1) in
-      let payload = current_payload c in
-      let pn_prefix = Bytes.create 4 in
-      Bytes.set_int32_be pn_prefix 0 (Int64.to_int32 c.cur_pn);
-      let total = 4 + String.length payload in
+      let total = 4 + current_payload_length c in
       if total > max then 0L
       else begin
-        Ebpf.Vm.write_bytes vm a.(0) pn_prefix;
-        Ebpf.Vm.write_bytes vm (Int64.add a.(0) 4L)
-          (Bytes.of_string payload);
+        (* pn prefix + payload blitted straight into plugin memory — the
+           packet image never materializes on the host side *)
+        let dst, off = Ebpf.Vm.direct vm ~write:true a.(0) total in
+        Bytes.set_int32_be dst off (Int64.to_int32 c.cur_pn);
+        blit_current_payload c dst (off + 4);
         i64 total
       end);
-  reg Api.h_create_path (fun _ a ->
+  reg ~arity:1 Api.h_create_path (fun _ a ->
       let remote = to_i a.(0) in
       (* reuse an existing path to the same remote if present *)
       let existing = ref (-1) in

@@ -14,12 +14,14 @@ let run_op = Dispatch.run_op
    a send timestamp, and the probe path must keep the seed's tie-break to
    stay trace-compatible with the recorded experiments. *)
 let oldest_in_flight c =
-  Hashtbl.fold
-    (fun _ sp acc ->
-      match acc with
-      | None -> Some sp
-      | Some best -> if sp.sent_at < best.sent_at then Some sp else Some best)
-    c.sent None
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ sp ->
+      match !best with
+      | None -> best := Some sp
+      | Some b -> if sp.sent_at < b.sent_at then best := Some sp)
+    c.sent;
+  !best
 
 let on_loss_alarm_ref : (t -> unit) ref = ref (fun _ -> ())
 
@@ -93,7 +95,10 @@ let notify_frame_fate c (fr : frame_record) ~acked =
       [|
         I (if acked then 1L else 0L);
         I r.Scheduler.cookie;
-        Buf (Bytes.of_string raw, `Ro);
+        (* Ro regions are unwritable by both the monitor and every native
+           path, so aliasing the immutable string is safe — no copy per
+           notification *)
+        Buf (Bytes.unsafe_of_string raw, `Ro);
       |]
     in
     ignore (run_op c Protoop.notify_frame ~param:ftype args)

@@ -32,6 +32,8 @@ type region = {
   base : int64;
   window : int; (* = base lsr 32; regions never span windows *)
   mem : Bytes.t;
+  roff : int; (* first byte of the mapped sub-view within [mem] *)
+  rlen : int; (* view length: pluglet addresses cover base..base+rlen *)
   perm : perm;
 }
 
@@ -45,6 +47,13 @@ type t = {
   mutable free_windows : int list; (* windows recycled after unmap *)
   mutable next_window : int;
   mutable helpers : helper option array; (* dense, indexed by helper id *)
+  mutable helper_arity : int array; (* parallel to [helpers]: how many of
+                                       r1..r5 the helper reads (0..5). The
+                                       call opcode copies only that many
+                                       into [scratch_args] and zeroes the
+                                       rest — most helpers take one or two
+                                       arguments, so the default of 5
+                                       boxes int64s that are never read. *)
   stack : region; (* persistent pluglet stack, zeroed between runs *)
   stack_size : int;
   regb : Bytes.t; (* fast-path register file: 11 x 8 raw bytes, reset per
@@ -53,6 +62,8 @@ type t = {
                      the bytes-access primitives, which the compiler keeps
                      unboxed — an [int64 array] element store allocates a
                      box on every instruction. *)
+  fp0 : int64; (* stack base + size: r10's initial value, boxed once at
+                  creation — computing it per run boxes two temporaries *)
   scratch_args : int64 array; (* r1..r5 view passed to helpers *)
   mutable next_rid : int;
   max_insns : int;
@@ -77,6 +88,8 @@ let create ?(stack_size = 512) ?(max_insns = 4_000_000) () =
       base = region_alignment;
       window = 1;
       mem = Bytes.make stack_size '\000';
+      roff = 0;
+      rlen = stack_size;
       perm = Rw;
     }
   in
@@ -88,27 +101,44 @@ let create ?(stack_size = 512) ?(max_insns = 4_000_000) () =
     free_windows = [];
     next_window = 2;
     helpers = Array.make 64 None;
+    helper_arity = Array.make 64 5;
     stack;
     stack_size;
     regb = Bytes.make 88 '\000';
+    fp0 = Int64.add region_alignment (Int64.of_int stack_size);
     scratch_args = Array.make 5 0L;
     next_rid = 1;
     max_insns;
     executed = 0;
   }
 
-let register_helper vm id f =
+let register_helper ?(arity = 5) vm id f =
   if id < 0 then invalid_arg "Vm.register_helper: negative helper id";
+  if arity < 0 || arity > 5 then
+    invalid_arg "Vm.register_helper: arity outside 0..5";
   if id >= Array.length vm.helpers then begin
-    let grown =
-      Array.make (max (id + 1) (2 * Array.length vm.helpers)) None
-    in
+    let n = max (id + 1) (2 * Array.length vm.helpers) in
+    let grown = Array.make n None in
     Array.blit vm.helpers 0 grown 0 (Array.length vm.helpers);
-    vm.helpers <- grown
+    vm.helpers <- grown;
+    let grown_a = Array.make n 5 in
+    Array.blit vm.helper_arity 0 grown_a 0 (Array.length vm.helper_arity);
+    vm.helper_arity <- grown_a
   end;
-  vm.helpers.(id) <- Some f
+  vm.helpers.(id) <- Some f;
+  vm.helper_arity.(id) <- arity
 
-let map_region vm ~name ~perm mem =
+(* [off]/[len] map a sub-view of [mem]: the pluglet sees addresses
+   base..base+len covering mem[off..off+len). The default is the whole
+   buffer. Sub-views are how host-owned wire buffers are exposed without
+   copying: the monitor bounds are exactly those of the old copied slice. *)
+
+(* [map_sub] is the required-argument form: the protoop marshalling path
+   maps a few regions per pluglet execution and the optional-argument
+   boxing of [map_region] is measurable there. *)
+let map_sub vm ~name ~perm mem ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length mem then
+    invalid_arg "Vm.map_region: sub-view outside the backing buffer";
   let window =
     match vm.free_windows with
     | w :: rest ->
@@ -133,12 +163,18 @@ let map_region vm ~name ~perm mem =
       base = Int64.shift_left (Int64.of_int window) window_bits;
       window;
       mem;
+      roff = off;
+      rlen = len;
       perm;
     }
   in
   vm.next_rid <- vm.next_rid + 1;
   vm.region_tbl.(window) <- Some r;
   r
+
+let map_region vm ~name ~perm ?(off = 0) ?len mem =
+  let len = match len with Some l -> l | None -> Bytes.length mem - off in
+  map_sub vm ~name ~perm mem ~off ~len
 
 let unmap_region vm r =
   if r.window < Array.length vm.region_tbl then
@@ -148,6 +184,22 @@ let unmap_region vm r =
       vm.free_windows <- r.window :: vm.free_windows;
       if vm.last_region.rid = r.rid then vm.last_region <- vm.stack
     | _ -> ()
+
+(* Bulk unmap for the marshalling fast path: capture a mark before mapping
+   the call's transient regions, unmap everything at-or-above it after —
+   no list of region handles to build. Sound because a given VM is never
+   re-entered while a pluglet runs (each PRE owns its VM, and re-entering
+   the same protoop is sanctioned as a loop), so every region with
+   [rid >= mark] belongs to the current call. *)
+let rid_mark vm = vm.next_rid
+
+let unmap_above vm mark =
+  let tbl = vm.region_tbl in
+  for w = 0 to Array.length tbl - 1 do
+    match tbl.(w) with
+    | Some r when r.rid >= mark -> unmap_region vm r
+    | _ -> ()
+  done
 
 let out_of_region len addr =
   raise
@@ -176,13 +228,13 @@ let resolve vm ~write addr len =
      [len] or an access running past the region end is a violation, exactly
      as the old fits-in-one-region scan decided. *)
   let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
-  if len < 0 || len > Bytes.length r.mem - off then out_of_region len addr;
+  if len < 0 || len > r.rlen - off then out_of_region len addr;
   if write && r.perm = Ro then
     raise
       (Memory_violation
          (Printf.sprintf "write of %d bytes at 0x%Lx in read-only region %s"
             len addr r.rname));
-  (r, off)
+  (r, r.roff + off)
 
 let load vm addr sz =
   let len = Insn.size_bytes sz in
@@ -217,6 +269,13 @@ let write_bytes vm addr b =
 let fill_bytes vm addr len c =
   let r, off = resolve vm ~write:true addr len in
   Bytes.fill r.mem off len c
+
+(* Borrow the backing bytes of a range: same monitor checks as
+   [read_bytes]/[write_bytes] but no copy. The returned offset is valid
+   only until the region is unmapped. *)
+let direct vm ~write addr len =
+  let r, off = resolve vm ~write addr len in
+  (r.mem, off)
 
 let u64_of_i32 v = Int64.logand (Int64.of_int32 v) 0xffffffffL
 
@@ -274,9 +333,10 @@ let jump_taken c a b =
   | Insn.Jset -> Int64.logand a b <> 0L
 
 (* The stack is persistent but its contents never leak between runs. *)
-let reset_stack vm = Bytes.fill vm.stack.mem 0 vm.stack_size '\000'
+let reset_stack vm =
+  if vm.stack_size > 0 then Bytes.fill vm.stack.mem 0 vm.stack_size '\000'
 
-let fp_value vm = Int64.add vm.stack.base (Int64.of_int vm.stack_size)
+let fp_value vm = vm.fp0
 
 (* Reference interpreter: executes the decoded form directly, resolving
    every jump through freshly built slot maps. Returns r0. *)
@@ -340,7 +400,10 @@ let run vm ?(args = [||]) prog =
       with
       | None -> raise (Helper_failure (Printf.sprintf "helper %d missing" id))
       | Some f ->
-        let call_args = Array.sub regs 1 5 in
+        let ar = vm.helper_arity.(id) in
+        let call_args =
+          Array.init 5 (fun i -> if i < ar then regs.(i + 1) else 0L)
+        in
         regs.(0) <- f vm call_args;
         (* r1-r5 are clobbered by calls, per the eBPF convention. *)
         for r = 1 to 5 do
@@ -829,20 +892,23 @@ external bytes_set32u : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
 let[@inline always] load8_fast vm addr =
   let r = region_for vm addr 1 in
   let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
-  if 1 > Bytes.length r.mem - off then out_of_region 1 addr;
+  if 1 > r.rlen - off then out_of_region 1 addr;
+  let off = r.roff + off in
   Int64.of_int (Char.code (Bytes.unsafe_get r.mem off))
 
 let[@inline always] load16_fast vm addr =
   let r = region_for vm addr 2 in
   let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
-  if 2 > Bytes.length r.mem - off then out_of_region 2 addr;
+  if 2 > r.rlen - off then out_of_region 2 addr;
+  let off = r.roff + off in
   if Sys.big_endian then Int64.of_int (Bytes.get_uint16_le r.mem off)
   else Int64.of_int (bytes_get16u r.mem off)
 
 let[@inline always] load32_fast vm addr =
   let r = region_for vm addr 4 in
   let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
-  if 4 > Bytes.length r.mem - off then out_of_region 4 addr;
+  if 4 > r.rlen - off then out_of_region 4 addr;
+  let off = r.roff + off in
   if Sys.big_endian then
     Int64.logand (Int64.of_int32 (Bytes.get_int32_le r.mem off)) 0xffffffffL
   else Int64.logand (Int64.of_int32 (bytes_get32u r.mem off)) 0xffffffffL
@@ -850,21 +916,24 @@ let[@inline always] load32_fast vm addr =
 let[@inline always] load64_fast vm addr =
   let r = region_for vm addr 8 in
   let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
-  if 8 > Bytes.length r.mem - off then out_of_region 8 addr;
+  if 8 > r.rlen - off then out_of_region 8 addr;
+  let off = r.roff + off in
   if Sys.big_endian then Bytes.get_int64_le r.mem off
   else bytes_get64 r.mem off
 
 let[@inline always] store8_fast vm addr v =
   let r = region_for vm addr 1 in
   let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
-  if 1 > Bytes.length r.mem - off then out_of_region 1 addr;
+  if 1 > r.rlen - off then out_of_region 1 addr;
+  let off = r.roff + off in
   if r.perm == Ro then ro_violation 1 addr r;
   Bytes.unsafe_set r.mem off (Char.unsafe_chr (Int64.to_int v land 0xff))
 
 let[@inline always] store16_fast vm addr v =
   let r = region_for vm addr 2 in
   let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
-  if 2 > Bytes.length r.mem - off then out_of_region 2 addr;
+  if 2 > r.rlen - off then out_of_region 2 addr;
+  let off = r.roff + off in
   if r.perm == Ro then ro_violation 2 addr r;
   if Sys.big_endian then Bytes.set_uint16_le r.mem off (Int64.to_int v land 0xffff)
   else bytes_set16u r.mem off (Int64.to_int v land 0xffff)
@@ -872,7 +941,8 @@ let[@inline always] store16_fast vm addr v =
 let[@inline always] store32_fast vm addr v =
   let r = region_for vm addr 4 in
   let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
-  if 4 > Bytes.length r.mem - off then out_of_region 4 addr;
+  if 4 > r.rlen - off then out_of_region 4 addr;
+  let off = r.roff + off in
   if r.perm == Ro then ro_violation 4 addr r;
   if Sys.big_endian then Bytes.set_int32_le r.mem off (Int64.to_int32 v)
   else bytes_set32u r.mem off (Int64.to_int32 v)
@@ -880,7 +950,8 @@ let[@inline always] store32_fast vm addr v =
 let[@inline always] store64_fast vm addr v =
   let r = region_for vm addr 8 in
   let off = Int64.to_int (Int64.logand addr 0xffff_ffffL) in
-  if 8 > Bytes.length r.mem - off then out_of_region 8 addr;
+  if 8 > r.rlen - off then out_of_region 8 addr;
+  let off = r.roff + off in
   if r.perm == Ro then ro_violation 8 addr r;
   if Sys.big_endian then Bytes.set_int64_le r.mem off v
   else bytes_set64 r.mem off v
@@ -1277,8 +1348,15 @@ let exec_linked vm (code : linked_prog) k pc0 fuel0 =
       | None -> raise (Helper_failure (Printf.sprintf "helper %d missing" a1))
       | Some f ->
         let call_args = vm.scratch_args in
-        for j = 0 to 4 do
+        (* Copy only the registers the helper declared it reads: each
+           copied register boxes an int64, and most helpers read one or
+           two. The tail stores of the constant zero allocate nothing. *)
+        let ar = vm.helper_arity.(a1) in
+        for j = 0 to ar - 1 do
           call_args.(j) <- rget regb (j + 1)
+        done;
+        for j = ar to 4 do
+          call_args.(j) <- 0L
         done;
         let res = f vm call_args in
         rset regb 0 res;
@@ -2268,8 +2346,14 @@ let jit ?(stack_size = 512) prog =
           | Some f ->
             let rb = env.jregb in
             let call_args = vm.scratch_args in
-            for j = 0 to 4 do
+            (* Same truncation as the linked tier: copy (and box) only the
+               helper's declared arity, zero the rest with the constant. *)
+            let ar = vm.helper_arity.(a1) in
+            for j = 0 to ar - 1 do
               call_args.(j) <- rget rb (j + 1)
+            done;
+            for j = ar to 4 do
+              call_args.(j) <- 0L
             done;
             let res = f vm call_args in
             rset rb 0 res;
@@ -3526,10 +3610,10 @@ let jit ?(stack_size = 512) prog =
                 match Array.unsafe_get tbl wlo with
                 | Some r ->
                   let off = Int64.to_int (Int64.logand bp 0xffff_ffffL) in
-                  if off + hi_i < Bytes.length r.mem then begin
+                  if off + hi_i < r.rlen then begin
                     let m = r.mem in
-                    let v0 = bytes_get64 m (off + oi1) in
-                    let v1 = bytes_get64 m (off + oi2) in
+                    let v0 = bytes_get64 m (r.roff + off + oi1) in
+                    let v1 = bytes_get64 m (r.roff + off + oi2) in
                     let g = env.jseg in
                     bytes_set64 g t0 v0;
                     bytes_set64 g t1 v1;
@@ -3898,9 +3982,14 @@ let run_jit vm ?(args = [||]) jp =
     rset regb Insn.fp (fp_value vm);
     let fuel0 = vm.max_insns in
     let env = jp.jenv in
-    env.jvm <- vm;
-    env.jregb <- regb;
-    env.jstk <- vm.stack.mem;
+    (* A PRE runs its program on the same VM every time: skip the three
+       pointer stores (and their write barriers) once the env is bound.
+       [jregb] and [jstk] are derived from [jvm], so one check covers all. *)
+    if env.jvm != vm then begin
+      env.jvm <- vm;
+      env.jregb <- regb;
+      env.jstk <- vm.stack.mem
+    end;
     env.jk <- vm.executed + fuel0 + 1;
     env.jfuel <- fuel0;
     entry env

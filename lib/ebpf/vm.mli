@@ -22,6 +22,8 @@ type region = {
   base : int64;   (** address pluglets use to reach the region *)
   window : int;   (** [base lsr 32]: index into the VM's region table *)
   mem : Bytes.t;
+  roff : int;     (** first byte of the mapped sub-view within [mem] *)
+  rlen : int;     (** view length: bytecode addresses span [base, base+rlen) *)
   perm : perm;
 }
 
@@ -47,18 +49,40 @@ val create : ?stack_size:int -> ?max_insns:int -> unit -> t
     (always the first window, so every PRE of an instance has the same
     layout) and zeroed between runs. *)
 
-val register_helper : t -> int -> helper -> unit
+val register_helper : ?arity:int -> t -> int -> helper -> unit
 (** Bind a helper id to its implementation in the VM's dense helper table;
     re-registering an id replaces the previous binding. Helper ids are
-    non-negative. *)
+    non-negative. [arity] (0–5, default 5) declares how many argument
+    registers the helper reads: the call opcode copies only that many into
+    the argument array and zeroes the rest, so helpers with a declared
+    arity never observe stale register contents — and the common one- and
+    two-argument helpers skip most of the per-call r1–r5 boxing. *)
 
-val map_region : t -> name:string -> perm:perm -> Bytes.t -> region
+val map_region :
+  t -> name:string -> perm:perm -> ?off:int -> ?len:int -> Bytes.t -> region
 (** Make [mem] addressable from bytecode; each region gets its own 4 GiB
     window of synthetic address space, so regions never abut. Windows of
     unmapped regions are recycled, keeping the region table dense under
-    the per-call map/unmap traffic of protoop argument buffers. *)
+    the per-call map/unmap traffic of protoop argument buffers.
+    [off]/[len] restrict the mapping to a sub-view of [mem] (default: the
+    whole buffer): bytecode address [base + k] reaches [mem.[off + k]] and
+    the monitor bounds accesses to [k < len] — this is how host-owned wire
+    buffers are exposed zero-copy with the bounds of the old copied slice. *)
 
 val unmap_region : t -> region -> unit
+
+val map_sub :
+  t -> name:string -> perm:perm -> Bytes.t -> off:int -> len:int -> region
+(** {!map_region} with required sub-view bounds — the alloc-free form the
+    per-call protoop marshalling uses (no optional-argument boxing). *)
+
+val rid_mark : t -> int
+(** A monotonic mark covering every region mapped so far. *)
+
+val unmap_above : t -> int -> unit
+(** Unmap every region mapped at or after the given {!rid_mark}. Sound for
+    per-call transient regions because a VM is never re-entered while its
+    pluglet runs. *)
 
 val read_bytes : t -> int64 -> int -> Bytes.t
 (** Region-checked read used by helpers (pl_memcpy & co.): the access must
@@ -67,6 +91,14 @@ val read_bytes : t -> int64 -> int -> Bytes.t
 
 val write_bytes : t -> int64 -> Bytes.t -> unit
 val fill_bytes : t -> int64 -> int -> char -> unit
+
+val direct : t -> write:bool -> int64 -> int -> Bytes.t * int
+(** [direct vm ~write addr len] performs the same monitor checks as
+    {!read_bytes}/{!write_bytes} but returns the backing buffer and the
+    translated offset instead of copying, so helpers can blit straight
+    between regions and host buffers. The borrow is valid only until the
+    region is unmapped.
+    @raise Memory_violation on an out-of-region or read-only access. *)
 
 val run : t -> ?args:int64 array -> Insn.t array -> int64
 (** Execute a program with up to five arguments in r1..r5; returns r0. The

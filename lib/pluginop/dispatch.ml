@@ -17,9 +17,14 @@ open Types
 let is_builtin st op param =
   param = None && op >= 0 && op < Array.length st.builtin_ops
 
+(* The (op, param) pair packed into one immediate int — shared by the
+   running-operation stack and the hashed registry (see {!Types.state}). *)
+let stack_key op param =
+  (op lsl 21) lor (match param with None -> 0 | Some p -> p + 1)
+
 let find_entry st op param =
   if is_builtin st op param then st.builtin_ops.(op)
-  else Hashtbl.find_opt st.ops (op, param)
+  else Hashtbl.find_opt st.ops (stack_key op param)
 
 let entry st op param =
   match find_entry st op param with
@@ -27,7 +32,7 @@ let entry st op param =
   | None ->
     let e = { replace = None; pre = []; post = []; ext = None } in
     if is_builtin st op param then st.builtin_ops.(op) <- Some e
-    else Hashtbl.replace st.ops (op, param) e;
+    else Hashtbl.replace st.ops (stack_key op param) e;
     e
 
 let has_entry st op param = find_entry st op param <> None
@@ -35,8 +40,15 @@ let has_entry st op param = find_entry st op param <> None
 (* Whether (op, param) sits on the running-operation stack. Hosts use this
    to avoid re-dispatching an operation from within itself — e.g. a
    FEC-recovered packet replaying a frame of the very type whose handler
-   triggered the recovery — which [run_op] would sanction as a loop. *)
-let is_running st op param = List.mem (op, param) st.op_stack
+   triggered the recovery — which [run_op] would sanction as a loop.
+
+   Stack frames are int-encoded ([op lsl 21 lor (param + 1)], see
+   {!Types.state}) so pushing and scanning allocate nothing. *)
+let on_stack st key =
+  let rec scan i = i >= 0 && (st.op_stack.(i) = key || scan (i - 1)) in
+  scan (st.op_sp - 1)
+
+let is_running st op param = on_stack st (stack_key op param)
 
 let iter_entries st f =
   Array.iter (function Some e -> f e | None -> ()) st.builtin_ops;
@@ -54,43 +66,77 @@ let hashed_entries st = Hashtbl.length st.ops
    every protoop invocation, and protoops take at most five arguments. *)
 let arg_region_names = [| "arg0"; "arg1"; "arg2"; "arg3"; "arg4" |]
 
+(* Reusable marshalling scratch for the VM argument vector. Protoops take
+   at most five arguments; both run tiers copy the vector into the VM's
+   registers in their prologue, before the first instruction (and so
+   before any helper can re-enter dispatch), which makes one shared
+   scratch safe even when pluglets nest through run_protoop. Unused slots
+   are zeroed so the registers end up exactly as a right-sized vector
+   would leave them. *)
+let vm_args_scratch = Array.make 5 0L
+
 (* Execute one pluglet implementation with the given arguments. Buffers are
    mapped into the PRE for the duration of the call; pre/post pluglets get
-   read-only views (the paper grants passive pluglets no write access). *)
+   read-only views (the paper grants passive pluglets no write access).
+   [View] arguments map a read-only sub-view of a host buffer — the
+   zero-copy path for wire-borrowed frame bodies. The whole marshalling
+   path is imperative and allocation-free apart from the region records
+   themselves: this runs several times per received packet. *)
 let exec_pluglet pre ~read_only (args : arg array) =
-  let regions, arg_specs, _ =
-    Array.fold_left
-      (fun (regions, specs, nregions) a ->
-        match a with
-        | I v -> (regions, `I v :: specs, nregions)
-        | Buf (b, perm) ->
-          let perm = if read_only then `Ro else perm in
-          let name =
-            if nregions < Array.length arg_region_names then
-              arg_region_names.(nregions)
-            else "arg" ^ string_of_int nregions
-          in
-          ( (name, b, (match perm with `Ro -> Ebpf.Vm.Ro | `Rw -> Ebpf.Vm.Rw))
-            :: regions,
-            `R nregions :: specs,
-            nregions + 1 ))
-      ([], [], 0) args
-  in
-  let regions = List.rev regions and arg_specs = List.rev arg_specs in
+  let vm = pre.Pre.vm in
+  let mark = Ebpf.Vm.rid_mark vm in
+  let n = Array.length args in
+  let vargs = if n <= 5 then vm_args_scratch else Array.make n 0L in
+  let nregions = ref 0 in
   match
-    Pre.with_regions pre regions (fun bases ->
-        let bases = Array.of_list bases in
-        let vm_args =
-          List.map
-            (function `I v -> v | `R idx -> bases.(idx))
-            arg_specs
+    for i = 0 to n - 1 do
+      (match args.(i) with
+      | I v -> vargs.(i) <- v
+      | Buf (b, perm) ->
+        let perm =
+          if read_only then Ebpf.Vm.Ro
+          else match perm with `Ro -> Ebpf.Vm.Ro | `Rw -> Ebpf.Vm.Rw
         in
-        Pre.run pre ~args:(Array.of_list vm_args))
+        let name =
+          if !nregions < Array.length arg_region_names then
+            arg_region_names.(!nregions)
+          else "arg" ^ string_of_int !nregions
+        in
+        let r =
+          Ebpf.Vm.map_sub vm ~name ~perm b ~off:0 ~len:(Bytes.length b)
+        in
+        vargs.(i) <- r.Ebpf.Vm.base;
+        incr nregions
+      | View (b, off, len) ->
+        let name =
+          if !nregions < Array.length arg_region_names then
+            arg_region_names.(!nregions)
+          else "arg" ^ string_of_int !nregions
+        in
+        let r = Ebpf.Vm.map_sub vm ~name ~perm:Ebpf.Vm.Ro b ~off ~len in
+        vargs.(i) <- r.Ebpf.Vm.base;
+        incr nregions)
+    done;
+    for i = n to Array.length vargs - 1 do
+      vargs.(i) <- 0L
+    done;
+    Pre.run pre ~args:vargs
   with
-  | v -> Ok v
-  | exception Ebpf.Vm.Memory_violation msg -> Error ("memory violation: " ^ msg)
-  | exception Ebpf.Vm.Fuel_exhausted -> Error "instruction budget exhausted"
-  | exception Ebpf.Vm.Helper_failure msg -> Error ("API violation: " ^ msg)
+  | v ->
+    Ebpf.Vm.unmap_above vm mark;
+    Ok v
+  | exception Ebpf.Vm.Memory_violation msg ->
+    Ebpf.Vm.unmap_above vm mark;
+    Error ("memory violation: " ^ msg)
+  | exception Ebpf.Vm.Fuel_exhausted ->
+    Ebpf.Vm.unmap_above vm mark;
+    Error "instruction budget exhausted"
+  | exception Ebpf.Vm.Helper_failure msg ->
+    Ebpf.Vm.unmap_above vm mark;
+    Error ("API violation: " ^ msg)
+  | exception e ->
+    Ebpf.Vm.unmap_above vm mark;
+    raise e
 
 let run_impl st c impl ~read_only args =
   match impl with
@@ -140,15 +186,31 @@ let run_replace st c e ~default args =
    override or built-in behaviour), then post anchors. The call stack of
    running operations is tracked; re-entering a running operation would
    create a loop in the call graph (Fig. 3) and terminates the connection. *)
-let run_op st c op ?param ?(default = fun _ _ -> 0L) (args : arg array) =
-  let key = (op, param) in
-  if List.mem key st.op_stack then begin
+(* Pre/post anchor lists are stored most-recently-attached first; the
+   anchors run in attachment order, i.e. reversed — walked recursively so
+   the common empty/singleton cases build no intermediate list. *)
+let rec run_anchors st c impls args =
+  match impls with
+  | [] -> ()
+  | [ i ] -> ignore (run_impl st c i ~read_only:true args)
+  | i :: rest ->
+    run_anchors st c rest args;
+    ignore (run_impl st c i ~read_only:true args)
+
+and run_op st c op ?param ?(default = fun _ _ -> 0L) (args : arg array) =
+  let key = stack_key op param in
+  if on_stack st key then begin
     st.host.fail c
       (Printf.sprintf "protocol operation loop detected on %s" (Protoop.name op));
     0L
   end
+  else if st.op_sp >= Array.length st.op_stack then begin
+    st.host.fail c "protocol operation stack overflow";
+    0L
+  end
   else begin
-    st.op_stack <- key :: st.op_stack;
+    st.op_stack.(st.op_sp) <- key;
+    st.op_sp <- st.op_sp + 1;
     let e =
       match find_entry st op param with
       | Some e -> e
@@ -162,14 +224,10 @@ let run_op st c op ?param ?(default = fun _ _ -> 0L) (args : arg array) =
           | None -> entry st op None)
         | None -> entry st op None)
     in
-    List.iter
-      (fun i -> ignore (run_impl st c i ~read_only:true args))
-      (List.rev e.pre);
+    run_anchors st c e.pre args;
     let result = run_replace st c e ~default args in
-    List.iter
-      (fun i -> ignore (run_impl st c i ~read_only:true args))
-      (List.rev e.post);
-    st.op_stack <- List.tl st.op_stack;
+    run_anchors st c e.post args;
+    st.op_sp <- st.op_sp - 1;
     result
   end
 

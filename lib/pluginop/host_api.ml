@@ -33,19 +33,23 @@ let install_helpers st c inst (pre : Pre.t) =
       helper_fail "address 0x%Lx outside plugin memory" vm_addr;
     off
   in
-  let reg id f = Pre.register_helper pre id f in
-  reg Api.h_get (fun _ a -> st.host.get_field c (to_i a.(0)) (to_i a.(1)));
-  reg Api.h_set (fun _ a ->
+  (* [arity] declares how many argument registers each helper reads, so
+     the call opcode skips boxing the registers the helper ignores —
+     [h_get] alone runs a dozen times per received packet. *)
+  let reg ?arity id f = Pre.register_helper ?arity pre id f in
+  reg ~arity:2 Api.h_get (fun _ a ->
+      st.host.get_field c (to_i a.(0)) (to_i a.(1)));
+  reg ~arity:3 Api.h_set (fun _ a ->
       set_field st c (to_i a.(0)) (to_i a.(1)) a.(2);
       0L);
-  reg Api.h_pl_malloc (fun _ a ->
+  reg ~arity:1 Api.h_pl_malloc (fun _ a ->
       match Memory_pool.alloc inst.pool (to_i a.(0)) with
       | Some off -> Pre.heap_addr pre off
       | None -> 0L);
-  reg Api.h_pl_free (fun _ a ->
+  reg ~arity:1 Api.h_pl_free (fun _ a ->
       if Memory_pool.free inst.pool (heap_off a.(0)) then 0L
       else helper_fail "pl_free: invalid address 0x%Lx" a.(0));
-  reg Api.h_get_opaque_data (fun _ a ->
+  reg ~arity:2 Api.h_get_opaque_data (fun _ a ->
       let id = to_i a.(0) and size = to_i a.(1) in
       match Hashtbl.find_opt inst.opaque id with
       | Some off -> Pre.heap_addr pre off
@@ -57,63 +61,75 @@ let install_helpers st c inst (pre : Pre.t) =
           Hashtbl.replace inst.opaque id off;
           Pre.heap_addr pre off
         | None -> 0L));
-  reg Api.h_pl_memcpy (fun vm a ->
+  reg ~arity:3 Api.h_pl_memcpy (fun vm a ->
       let len = to_i a.(2) in
       if len < 0 || len > 65536 then helper_fail "pl_memcpy: bad length %d" len;
-      let data = Ebpf.Vm.read_bytes vm a.(1) len in
-      let dst = a.(0) in
-      Ebpf.Vm.write_bytes vm dst data;
+      (* same monitor checks, no staging copy; Bytes.blit is overlap-safe,
+         matching the read-everything-then-write semantics of the old
+         snapshot path *)
+      let src, soff = Ebpf.Vm.direct vm ~write:false a.(1) len in
+      let dst, doff = Ebpf.Vm.direct vm ~write:true a.(0) len in
+      Bytes.blit src soff dst doff len;
       0L);
-  reg Api.h_pl_memset (fun vm a ->
+  reg ~arity:3 Api.h_pl_memset (fun vm a ->
       let len = to_i a.(2) in
       if len < 0 || len > 65536 then helper_fail "pl_memset: bad length %d" len;
       Ebpf.Vm.fill_bytes vm a.(0) len (Char.chr (to_i a.(1) land 0xff));
       0L);
-  reg Api.h_run_protoop (fun _ a ->
+  reg ~arity:5 Api.h_run_protoop (fun _ a ->
       let op = to_i a.(0) in
       let param = if a.(1) < 0L then None else Some (to_i a.(1)) in
       Dispatch.run_op st c op ?param [| I a.(2); I a.(3); I a.(4) |]);
-  reg Api.h_get_time (fun _ _ -> st.host.now c);
-  reg Api.h_push_message (fun vm a ->
+  reg ~arity:0 Api.h_get_time (fun _ _ -> st.host.now c);
+  reg ~arity:2 Api.h_push_message (fun vm a ->
       let len = to_i a.(1) in
       if len < 0 || len > 65536 then helper_fail "push_message: bad length %d" len;
-      let data = Ebpf.Vm.read_bytes vm a.(0) len in
-      st.host.push_message c (Bytes.to_string data);
+      let b, off = Ebpf.Vm.direct vm ~write:false a.(0) len in
+      st.host.push_message c (Bytes.sub_string b off len);
       0L);
-  reg Api.h_pl_log (fun _ a ->
+  reg ~arity:2 Api.h_pl_log (fun _ a ->
       Log.debug (fun m ->
           m "[plugin %s] %Ld %Ld" inst.plugin.Plugin.name a.(0) a.(1));
       0L);
-  reg Api.h_sent_time (fun _ a -> st.host.sent_time c a.(0));
-  reg Api.h_cmp_bytes (fun vm a ->
+  reg ~arity:1 Api.h_sent_time (fun _ a -> st.host.sent_time c a.(0));
+  reg ~arity:3 Api.h_cmp_bytes (fun vm a ->
       let len = to_i a.(2) in
       if len < 0 || len > 65536 then helper_fail "cmp_bytes: bad length %d" len;
-      let x = Ebpf.Vm.read_bytes vm a.(0) len in
-      let y = Ebpf.Vm.read_bytes vm a.(1) len in
-      if Bytes.equal x y then 0L else 1L);
-  reg Api.h_gf256_mulvec (fun vm a ->
+      let x, xo = Ebpf.Vm.direct vm ~write:false a.(0) len in
+      let y, yo = Ebpf.Vm.direct vm ~write:false a.(1) len in
+      let k = ref 0 in
+      while !k < len && Bytes.get x (xo + !k) = Bytes.get y (yo + !k) do
+        incr k
+      done;
+      if !k = len then 0L else 1L);
+  reg ~arity:4 Api.h_gf256_mulvec (fun vm a ->
       (* dst ^= coef * src over len bytes *)
       let len = to_i a.(3) in
       if len < 0 || len > 65536 then helper_fail "gf256_mulvec: bad length %d" len;
       let coef = to_i a.(2) land 0xff in
-      let dst = Ebpf.Vm.read_bytes vm a.(0) len in
-      let src = Ebpf.Vm.read_bytes vm a.(1) len in
-      Gf.mulvec ~coef ~src ~dst ~len;
-      Ebpf.Vm.write_bytes vm a.(0) dst;
+      let dst, doff = Ebpf.Vm.direct vm ~write:true a.(0) len in
+      let src, soff = Ebpf.Vm.direct vm ~write:false a.(1) len in
+      if dst == src && soff < doff + len && doff < soff + len && soff <> doff
+      then begin
+        (* partially overlapping vectors in one region: snapshot the source
+           to keep the read-all-then-write semantics of the copying path *)
+        let s = Bytes.sub src soff len in
+        Gf.mulvec_off ~coef ~src:s ~soff:0 ~dst ~doff ~len
+      end
+      else Gf.mulvec_off ~coef ~src ~soff ~dst ~doff ~len;
       0L);
-  reg Api.h_gf256_scalevec (fun vm a ->
+  reg ~arity:3 Api.h_gf256_scalevec (fun vm a ->
       let len = to_i a.(2) in
       if len < 0 || len > 65536 then helper_fail "gf256_scalevec: bad length %d" len;
       let coef = to_i a.(1) land 0xff in
-      let dst = Ebpf.Vm.read_bytes vm a.(0) len in
-      for k = 0 to len - 1 do
+      let dst, off = Ebpf.Vm.direct vm ~write:true a.(0) len in
+      for k = off to off + len - 1 do
         Bytes.set_uint8 dst k (Gf.mul coef (Bytes.get_uint8 dst k))
       done;
-      Ebpf.Vm.write_bytes vm a.(0) dst;
       0L);
-  reg Api.h_gf256_mul (fun _ a ->
+  reg ~arity:2 Api.h_gf256_mul (fun _ a ->
       i64 (Gf.mul (to_i a.(0) land 0xff) (to_i a.(1) land 0xff)));
-  reg Api.h_gf256_inv (fun _ a -> i64 (Gf.inv (to_i a.(0) land 0xff)));
-  reg Api.h_rng_coef (fun _ a ->
+  reg ~arity:1 Api.h_gf256_inv (fun _ a -> i64 (Gf.inv (to_i a.(0) land 0xff)));
+  reg ~arity:3 Api.h_rng_coef (fun _ a ->
       i64 (Gf.rlc_coef ~seed:a.(0) ~sid:a.(1) ~row:(to_i a.(2))));
   st.host.install_extra_helpers c inst pre

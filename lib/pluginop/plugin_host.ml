@@ -44,7 +44,8 @@ let create_state ~host () =
       host;
       builtin_ops = Array.make Protoop.first_plugin_op None;
       ops = Hashtbl.create 16;
-      op_stack = [];
+      op_stack = Array.make 256 0;
+      op_sp = 0;
       plugins = Hashtbl.create 4;
       plugin_order = [];
       kill = (fun _ _ _ -> ());

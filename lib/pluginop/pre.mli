@@ -7,8 +7,8 @@
     verification, link, closure JIT — runs once per distinct bytecode: a
     content-addressed program cache shares the compiled program between
     identical pluglets, so re-admission only pays for a fresh run
-    environment. {!run} then executes the jitted program with no per-call
-    setup, and runtime memory monitoring lives in the VM. *)
+    environment. {!run} then executes the program with no per-call setup,
+    and runtime memory monitoring lives in the VM. *)
 
 exception Rejected of string
 (** The verifier refused the bytecode: the whole plugin is rejected. *)
@@ -50,7 +50,9 @@ val cache_counters : unit -> cache_counters
 val set_cache_capacity : int -> unit
 (** Bound the program cache (default 4096 entries, min 1). *)
 
-val register_helper : t -> int -> Ebpf.Vm.helper -> unit
+val register_helper : ?arity:int -> t -> int -> Ebpf.Vm.helper -> unit
+(** See {!Ebpf.Vm.register_helper}: [arity] declares how many argument
+    registers the helper reads (default 5), trimming per-call boxing. *)
 
 val heap_addr : t -> int -> int64
 (** Translate a plugin-heap offset to the address pluglets see. *)
@@ -58,12 +60,19 @@ val heap_addr : t -> int -> int64
 val heap_offset : t -> int64 -> int
 
 val with_regions :
-  t -> (string * Bytes.t * Ebpf.Vm.perm) list -> (int64 list -> 'a) -> 'a
+  t ->
+  (string * Bytes.t * Ebpf.Vm.perm * int * int) list ->
+  (int64 list -> 'a) ->
+  'a
 (** Map transient regions (packet buffers, protoop inputs) for the duration
-    of the callback, which receives their base addresses in order. *)
+    of the callback, which receives their base addresses in order. Each
+    entry is [(name, bytes, perm, off, len)]: the pluglet sees the
+    [off, off+len) sub-view of [bytes] — pass [0, Bytes.length bytes] for
+    a whole-buffer mapping. *)
 
 val run : t -> args:int64 array -> int64
-(** Execute the pluglet's linked program on its VM (the per-packet fast
-    path). *)
+(** Execute the pluglet's jitted program on its VM (the per-packet fast
+    path); falls back to the linked tier when closure compilation is
+    off. *)
 
 val executed_insns : t -> int

@@ -14,8 +14,14 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 (* Protoop arguments: plain integers or byte buffers. Buffers are mapped as
    VM regions for pluglet implementations; native implementations access
-   the bytes directly. *)
-type arg = I of int64 | Buf of Bytes.t * [ `Ro | `Rw ]
+   the bytes directly. [View] is a read-only sub-window [off, off+len) of a
+   host-owned buffer (typically the received wire datagram): it is mapped
+   as an Ro sub-view region — the pluglet sees addresses 0..len with the
+   exact bounds a copied slice would have had, but no copy is taken. *)
+type arg =
+  | I of int64
+  | Buf of Bytes.t * [ `Ro | `Rw ]
+  | View of Bytes.t * int * int
 
 (* One implementation on an anchor: a host-native OCaml closure or a
    verified-and-linked pluglet. *)
@@ -74,8 +80,19 @@ type 'c host = {
 type 'c state = {
   host : 'c host;
   builtin_ops : 'c op_entry option array;
-  ops : (int * int option, 'c op_entry) Hashtbl.t;
-  mutable op_stack : (int * int option) list;
+  ops : (int, 'c op_entry) Hashtbl.t;
+  (* keyed by the same [op lsl 21 lor (param + 1)] encoding as [op_stack]
+     below: an immediate int key hashes in a few instructions and the
+     lookup allocates nothing, where an [(int * int option)] tuple key
+     cost a 3-word allocation plus a structural hash on every dispatch *)
+  (* The running-operation stack, as a preallocated int stack: each frame
+     is [op lsl 21 lor (param + 1)] ([lor 0] when unparameterized). The
+     encoding keeps the per-dispatch bookkeeping allocation-free — run_op
+     sits on every frame of every packet. Depth is bounded by the op-graph
+     loop check itself (a repeated op terminates the connection), 256 is
+     far beyond any legal chain. *)
+  op_stack : int array;
+  mutable op_sp : int;
   plugins : (string, 'c instance) Hashtbl.t;
   mutable plugin_order : string list;
   mutable kill : 'c -> string -> string -> unit;

@@ -44,14 +44,33 @@ external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
    (each product term stays below 256, so lanes cannot carry into each
    other). The FEC repair path XOR-accumulates coef*symbol over whole
    1300-byte symbols, which is where the 8x width pays. *)
-let mulvec ~coef ~src ~dst ~len =
-  if len < 0 || len > Bytes.length src || len > Bytes.length dst then
-    invalid_arg "Gf.mulvec";
+let mulvec_off ~coef ~src ~soff ~dst ~doff ~len =
+  if
+    len < 0 || soff < 0 || doff < 0
+    || soff + len > Bytes.length src
+    || doff + len > Bytes.length dst
+  then invalid_arg "Gf.mulvec";
   let coef = coef land 0xff in
   let words = len lsr 3 in
+  if coef = 1 then begin
+    (* XOR fast path: multiplying by 1 is the whole of XOR-style codes
+       (the paper's XOR-EOS plugin), so the per-word product loop reduces
+       to one unboxed xor per lane word — this runs once per protected
+       packet on both the encode and the recovery side. *)
+    for w = 0 to words - 1 do
+      let o = w lsl 3 in
+      set64 dst (doff + o)
+        (Int64.logxor (get64 dst (doff + o)) (get64 src (soff + o)))
+    done;
+    for k = words lsl 3 to len - 1 do
+      Bytes.set_uint8 dst (doff + k)
+        (Bytes.get_uint8 dst (doff + k) lxor Bytes.get_uint8 src (soff + k))
+    done
+  end
+  else begin
   for w = 0 to words - 1 do
     let o = w lsl 3 in
-    let x = ref (get64 src o) and c = ref coef and p = ref 0L in
+    let x = ref (get64 src (soff + o)) and c = ref coef and p = ref 0L in
     while !c <> 0 do
       if !c land 1 <> 0 then p := Int64.logxor !p !x;
       let hi = Int64.logand !x 0x8080_8080_8080_8080L in
@@ -61,12 +80,16 @@ let mulvec ~coef ~src ~dst ~len =
           (Int64.mul (Int64.shift_right_logical hi 7) 0x1bL);
       c := !c lsr 1
     done;
-    set64 dst o (Int64.logxor (get64 dst o) !p)
+    set64 dst (doff + o)
+      (Int64.logxor (get64 dst (doff + o)) !p)
   done;
   for k = words lsl 3 to len - 1 do
-    Bytes.set_uint8 dst k
-      (Bytes.get_uint8 dst k lxor mul coef (Bytes.get_uint8 src k))
+    Bytes.set_uint8 dst (doff + k)
+      (Bytes.get_uint8 dst (doff + k) lxor mul coef (Bytes.get_uint8 src (soff + k)))
   done
+  end
+
+let mulvec ~coef ~src ~dst ~len = mulvec_off ~coef ~src ~soff:0 ~dst ~doff:0 ~len
 
 (* Deterministic RLC coefficient in 1..255, identical on both peers. *)
 let rlc_coef ~seed ~sid ~row =

@@ -16,6 +16,13 @@ val mulvec : coef:int -> src:Bytes.t -> dst:Bytes.t -> len:int -> unit
     (SWAR xtime). Equivalent to {!mulvec_ref}.
     @raise Invalid_argument when [len] overruns either buffer. *)
 
+val mulvec_off :
+  coef:int -> src:Bytes.t -> soff:int -> dst:Bytes.t -> doff:int ->
+  len:int -> unit
+(** {!mulvec} over the sub-ranges starting at [soff]/[doff]: the in-place
+    form the host helpers use to accumulate straight between VM regions
+    with no staging copies. The ranges must not partially overlap. *)
+
 val mulvec_ref : coef:int -> src:Bytes.t -> dst:Bytes.t -> len:int -> unit
 (** Byte-at-a-time specification of {!mulvec}, kept as the parity
     oracle. *)

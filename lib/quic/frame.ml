@@ -90,12 +90,6 @@ let write_string_16 buf s =
   Buffer.add_uint16_be buf (String.length s);
   Buffer.add_string buf s
 
-let read_string_16 s pos =
-  if pos + 2 > String.length s then raise Varint.Truncated;
-  let len = String.get_uint16_be s pos in
-  if pos + 2 + len > String.length s then raise Varint.Truncated;
-  (String.sub s (pos + 2) len, pos + 2 + len)
-
 let serialize buf frame =
   Varint.write_int buf (frame_type frame);
   match frame with
@@ -307,6 +301,159 @@ let write_plugin_chunk_header w ~plugin ~offset ~fin ~len =
   Writer.u8 w (if fin then 1 else 0);
   Writer.u16_be w len
 
+(* ------------------------------------------------------------------ *)
+(* View-based parsing: the zero-copy receive path. A [view] names the   *)
+(* payload bytes of a data-bearing frame by offset + length into the    *)
+(* datagram the [Reader] walks, so parsing allocates no payload copy;   *)
+(* the small control frames (ACK, MAX_DATA, ...) build their usual      *)
+(* [t] value — they carry no payload to copy. A view borrows the        *)
+(* datagram: it dies with it, and bytes that must survive packet        *)
+(* processing are blitted out at the reassembly boundary               *)
+(* ([Recvbuf.insert_sub]) or materialized through [of_view].            *)
+(* ------------------------------------------------------------------ *)
+
+type view =
+  | V_frame of t
+      (* a payload-free frame, parsed eagerly into its [t] shape *)
+  | V_crypto of { offset : int64; off : int; len : int }
+  | V_stream of { id : int; offset : int64; fin : bool; off : int; len : int }
+  | V_unknown of { ftype : int; off : int; len : int }
+      (* [off..off+len) is the rest of the packet payload; a plugin's
+         parse protoop decides how many bytes the frame consumed *)
+
+let view_type = function
+  | V_frame f -> frame_type f
+  | V_crypto _ -> type_crypto
+  | V_stream { fin; _ } -> if fin then type_stream else type_stream_nofin
+  | V_unknown { ftype; _ } -> ftype
+
+let view_is_ack_eliciting = function
+  | V_frame f -> is_ack_eliciting f
+  | V_crypto _ | V_stream _ | V_unknown _ -> true
+
+let read_string_16_r r =
+  let len = Reader.u16_be r in
+  Reader.take r len
+
+(* Parse one frame through [r]; must agree with the reference [parse]
+   below on every input — value, cursor advance and raising alike
+   (test/test_datapath.ml holds the differential). *)
+let parse_view r =
+  let ftype = Reader.varint_int r in
+  if ftype = type_padding then begin
+    (* swallow the run of padding *)
+    let start = Reader.pos r in
+    while Reader.peek r = 0 do Reader.skip r 1 done;
+    V_frame (Padding (Reader.pos r - start + 1))
+  end
+  else if ftype = type_ping then V_frame Ping
+  else if ftype = type_handshake_done then V_frame Handshake_done
+  else if ftype = type_ack then begin
+    let largest = Reader.varint r in
+    let delay_us = Reader.varint r in
+    let count = Reader.varint_int r in
+    let first_len = Reader.varint r in
+    let first_range = (Int64.sub largest first_len, largest) in
+    let rec ranges k prev_first acc =
+      if k = 0 then List.rev acc
+      else begin
+        let gap = Reader.varint r in
+        let len = Reader.varint r in
+        let last = Int64.sub (Int64.sub prev_first gap) 2L in
+        let first = Int64.sub last len in
+        ranges (k - 1) first ((first, last) :: acc)
+      end
+    in
+    let rest = ranges count (fst first_range) [] in
+    V_frame (Ack { largest; delay_us; ranges = first_range :: rest })
+  end
+  else if ftype = type_crypto then begin
+    let offset = Reader.varint r in
+    let len = Reader.varint_int r in
+    if len < 0 || len > Reader.remaining r then raise Varint.Truncated;
+    let off = Reader.pos r in
+    Reader.skip r len;
+    V_crypto { offset; off; len }
+  end
+  else if ftype = type_stream || ftype = type_stream_nofin then begin
+    let id = Reader.varint_int r in
+    let offset = Reader.varint r in
+    let len = Reader.varint_int r in
+    if len < 0 || len > Reader.remaining r then raise Varint.Truncated;
+    let off = Reader.pos r in
+    Reader.skip r len;
+    V_stream { id; offset; fin = ftype = type_stream; off; len }
+  end
+  else if ftype = type_max_data then V_frame (Max_data (Reader.varint r))
+  else if ftype = type_max_stream_data then begin
+    let id = Reader.varint_int r in
+    let max = Reader.varint r in
+    V_frame (Max_stream_data { id; max })
+  end
+  else if ftype = type_connection_close then begin
+    let code = Reader.varint_int r in
+    let reason = read_string_16_r r in
+    V_frame (Connection_close { code; reason })
+  end
+  else if ftype = type_path_challenge || ftype = type_path_response then begin
+    let v = Reader.i64_be r in
+    V_frame (if ftype = type_path_challenge then Path_challenge v
+             else Path_response v)
+  end
+  else if ftype = type_new_connection_id then begin
+    let seq = Reader.varint r in
+    let cid = Reader.i64_be r in
+    V_frame (New_connection_id { seq; cid })
+  end
+  else if ftype = type_retire_connection_id then
+    V_frame (Retire_connection_id (Reader.varint r))
+  else if ftype = type_plugin_validate then begin
+    let plugin = read_string_16_r r in
+    let formula = read_string_16_r r in
+    V_frame (Plugin_validate { plugin; formula })
+  end
+  else if ftype = type_plugin_proof then begin
+    let plugin = read_string_16_r r in
+    let proof = read_string_16_r r in
+    V_frame (Plugin_proof { plugin; proof })
+  end
+  else if ftype = type_plugin_chunk then begin
+    let plugin = read_string_16_r r in
+    let offset = Reader.varint r in
+    let fin = Reader.u8 r <> 0 in
+    let data = read_string_16_r r in
+    V_frame (Plugin_chunk { plugin; offset; fin; data })
+  end
+  else begin
+    let off = Reader.pos r in
+    let len = Reader.remaining r in
+    Reader.seek r (Reader.limit r);
+    V_unknown { ftype; off; len }
+  end
+
+(* REFERENCE-PARSER-BEGIN
+   The allocating parser — kept as the reference semantics the view
+   parser is differentially tested against — and the view materializer.
+   These are the only String.sub sites allowed in this file; bin/check.sh
+   lints everything outside this section. *)
+
+let read_string_16 s pos =
+  if pos + 2 > String.length s then raise Varint.Truncated;
+  let len = String.get_uint16_be s pos in
+  if pos + 2 + len > String.length s then raise Varint.Truncated;
+  (String.sub s (pos + 2) len, pos + 2 + len)
+
+(* Materialize a view into the equivalent allocating frame; [s] is the
+   datagram the view indexes. *)
+let of_view s = function
+  | V_frame f -> f
+  | V_crypto { offset; off; len } ->
+    Crypto { offset; data = String.sub s off len }
+  | V_stream { id; offset; fin; off; len } ->
+    Stream { id; offset; fin; data = String.sub s off len }
+  | V_unknown { ftype; off; len } ->
+    Unknown { ftype; raw = String.sub s off len }
+
 (* Parse one frame at [pos]. For unknown types the remainder of the payload
    is captured raw and the returned position is the end of the buffer; the
    engine re-adjusts it from the plugin's parse protoop result. *)
@@ -402,6 +549,8 @@ let parse s pos =
   else
     (Unknown { ftype; raw = String.sub s pos (String.length s - pos) },
      String.length s)
+
+(* REFERENCE-PARSER-END *)
 
 let pp ppf = function
   | Padding n -> Fmt.pf ppf "PADDING(%d)" n

@@ -108,6 +108,37 @@ val plugin_chunk_header_size : plugin:string -> offset:int64 -> int
 val write_plugin_chunk_header :
   Writer.t -> plugin:string -> offset:int64 -> fin:bool -> len:int -> unit
 
+(** {2 Zero-copy view parsing}
+
+    The receive-side mirror of the pooled fast path: data-bearing frames
+    parse as {e views} — offsets + lengths into the datagram a {!Reader}
+    walks — with no payload copy; payload-free control frames parse into
+    their usual {!t} shape. A view borrows the datagram: it is valid only
+    while that string is alive, and payload that must survive packet
+    processing is blitted out at the reassembly boundary
+    ([Recvbuf.insert_sub]) or materialized with {!of_view}. *)
+
+type view =
+  | V_frame of t  (** a payload-free frame, parsed eagerly *)
+  | V_crypto of { offset : int64; off : int; len : int }
+  | V_stream of { id : int; offset : int64; fin : bool; off : int; len : int }
+  | V_unknown of { ftype : int; off : int; len : int }
+      (** [off..off+len) is the rest of the packet payload; the plugin's
+          parse protoop decides how much the frame consumed *)
+
+val parse_view : Reader.t -> view
+(** Parse one frame through the reader, advancing it. Agrees with the
+    reference {!parse} on every input — value, cursor advance and raising
+    alike (differentially tested).
+    @raise Varint.Truncated on malformed input. *)
+
+val view_type : view -> int
+val view_is_ack_eliciting : view -> bool
+
+val of_view : string -> view -> t
+(** Materialize a view into the equivalent allocating frame; the string is
+    the datagram the view indexes. *)
+
 val parse : string -> int -> t * int
 (** Parse one frame; returns it and the next position. For unknown types
     the remainder of the payload is captured raw and the position is the

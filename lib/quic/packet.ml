@@ -141,8 +141,11 @@ let seal ~key w =
 exception Authentication_failed
 exception Malformed
 
-(* Parse and verify; raises on tampering or wrong key. *)
-let unprotect ~key s =
+(* Parse and verify without copying the payload: returns the header and
+   the payload window [off, off+len) inside [s]. Raises on tampering or
+   wrong key. The zero-copy receive path parses frames as views straight
+   out of this window. *)
+let unprotect_view ~key s =
   let n = String.length s in
   if n < 1 + 8 + 4 + tag_len then raise Malformed;
   let b0 = Char.code s.[0] in
@@ -165,8 +168,13 @@ let unprotect ~key s =
   let received_tag = String.get_int64_be s (n - tag_len) in
   let expected = tag_sub ~key s ~off:0 ~len:(n - tag_len) in
   if received_tag <> expected then raise Authentication_failed;
-  let payload = String.sub s hsize (n - hsize - tag_len) in
-  ({ header = { ptype; spin; dcid; scid; pn }; payload }, n)
+  ({ ptype; spin; dcid; scid; pn }, hsize, n - hsize - tag_len)
+
+(* Parse and verify; raises on tampering or wrong key. The allocating
+   reference shape, delegating to [unprotect_view]. *)
+let unprotect ~key s =
+  let header, off, len = unprotect_view ~key s in
+  ({ header; payload = String.sub s off len }, String.length s)
 
 (* Connection keys are derived from the pair of connection IDs during the
    simulated handshake. *)

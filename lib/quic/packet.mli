@@ -63,6 +63,12 @@ val unprotect : key:int64 -> string -> t * int
     @raise Authentication_failed on tampering or a wrong key
     @raise Malformed on a truncated packet *)
 
+val unprotect_view : key:int64 -> string -> header * int * int
+(** Parse and verify without copying: returns the header and the payload
+    window [(off, len)] inside the wire string — the zero-copy receive
+    path parses frame views straight out of that window. Raises exactly
+    as {!unprotect} does. *)
+
 val derive_key : client_cid:int64 -> server_cid:int64 -> int64
 (** The 1-RTT key both peers derive from the connection IDs exchanged in
     the (simulated) handshake. *)

@@ -11,28 +11,59 @@ type t = {
 let create () =
   { segments = []; read_offset = 0; fin_offset = None; highest = 0 }
 
-let insert t ~offset ~fin data =
-  if fin then begin
-    let final = offset + String.length data in
-    match t.fin_offset with
-    | Some f when f <> final -> invalid_arg "Recvbuf.insert: inconsistent FIN"
-    | _ -> t.fin_offset <- Some final
-  end;
-  if String.length data > 0 && offset + String.length data > t.read_offset then begin
-    let rec ins = function
-      | [] -> [ (offset, data) ]
-      | (o, d) :: rest ->
-        if offset < o then (offset, data) :: (o, d) :: rest else (o, d) :: ins rest
-    in
-    t.segments <- ins t.segments
-  end;
-  (* advance the contiguous frontier *)
+let note_fin t ~final =
+  match t.fin_offset with
+  | Some f when f <> final -> invalid_arg "Recvbuf.insert: inconsistent FIN"
+  | _ -> t.fin_offset <- Some final
+
+let store t ~offset data =
+  let rec ins = function
+    | [] -> [ (offset, data) ]
+    | (o, d) :: rest ->
+      if offset < o then (offset, data) :: (o, d) :: rest else (o, d) :: ins rest
+  in
+  t.segments <- ins t.segments
+
+(* advance the contiguous frontier *)
+let advance t =
   let rec frontier pos = function
     | [] -> pos
     | (o, d) :: rest ->
       if o > pos then pos else frontier (max pos (o + String.length d)) rest
   in
   t.highest <- frontier (max t.highest t.read_offset) t.segments
+
+let insert t ~offset ~fin data =
+  if fin then note_fin t ~final:(offset + String.length data);
+  if String.length data > 0 && offset + String.length data > t.read_offset then
+    store t ~offset data;
+  advance t
+
+(* The single copy of the zero-copy receive path: a frame view's payload
+   crosses from the borrowed datagram into the reassembly buffer here.
+   Duplicates entirely below the read offset are dropped without
+   materializing at all. *)
+let insert_sub t ~offset ~fin s ~off ~len =
+  if fin then note_fin t ~final:(offset + len);
+  if len > 0 && offset + len > t.read_offset then
+    store t ~offset (String.sub s off len);
+  advance t
+
+(* In-order fast path: when a frame lands exactly at the read offset with
+   nothing buffered ahead of it, the host can hand its payload straight to
+   the application without staging it in the segment list — the common
+   case of a bulk transfer arriving in order. This only moves the
+   bookkeeping; the caller performs the single payload copy itself (it
+   owns the borrowed wire buffer) and delivers, exactly as a
+   store-then-[read] round trip would have. *)
+let insert_inline t ~offset ~fin ~len =
+  if offset = t.read_offset && t.segments = [] then begin
+    if fin then note_fin t ~final:(offset + len);
+    t.read_offset <- offset + len;
+    if t.highest < t.read_offset then t.highest <- t.read_offset;
+    true
+  end
+  else false
 
 (* Read all contiguous data available past the read offset. *)
 let read t =

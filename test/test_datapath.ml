@@ -87,6 +87,82 @@ let gen_frame =
         (int_range 0x30 0x5f) str;
     ]
 
+(* ----------------------- reader differentials ------------------------ *)
+
+module R = Quic.Reader
+
+(* Outcome of one parse step, comparable across the reference parser and
+   the view parser: the materialized frame plus the cursor advance, or
+   the exception the parser raised. *)
+let reference_step s pos =
+  match F.parse s pos with
+  | f, next -> Ok (f, next)
+  | exception Quic.Varint.Truncated -> Error "truncated"
+  | exception Invalid_argument _ -> Error "invalid"
+
+let view_step s r =
+  match F.parse_view r with
+  | v -> Ok (F.of_view s v, R.pos r)
+  | exception Quic.Varint.Truncated -> Error "truncated"
+  | exception Invalid_argument _ -> Error "invalid"
+
+let step_eq = function
+  | Ok (f, n), Ok (f', n') -> f = f' && n = n'
+  | Error e, Error e' -> e = e'
+  | _ -> false
+
+(* Well-formed frame sequences: [parse_view] must agree with the
+   reference [parse] on every step — same frame once materialized, same
+   cursor advance — all the way to the end of the payload. *)
+let view_matches_parse =
+  qtest ~count:500 "Frame.parse_view = parse"
+    QCheck2.Gen.(list_size (int_range 1 8) gen_frame)
+    (fun frames ->
+      let s = String.concat "" (List.map F.to_string frames) in
+      let r = R.acquire () in
+      R.reset r s ~pos:0 ~limit:(String.length s);
+      let ok = ref true in
+      let pos = ref 0 in
+      while !ok && !pos < String.length s do
+        let reference = reference_step s !pos in
+        let viewed = view_step s r in
+        ok := step_eq (reference, viewed);
+        match reference with
+        | Ok (_, next) -> pos := next
+        | Error _ -> pos := String.length s
+      done;
+      R.release r;
+      !ok)
+
+(* Truncated input: parsing through a reader whose [limit] clips the
+   datagram must behave exactly like the reference parser on a copied
+   prefix of the same length — same value or same exception. This is the
+   window-bounds property the zero-copy receive path rests on. *)
+let view_truncation_matches =
+  qtest ~count:500 "parse_view at limit = parse of prefix"
+    QCheck2.Gen.(pair gen_frame (int_range 0 1000))
+    (fun (f, cut) ->
+      let s = F.to_string f in
+      let cut = cut mod (String.length s + 1) in
+      let reference = reference_step (String.sub s 0 cut) 0 in
+      let r = R.acquire () in
+      R.reset r s ~pos:0 ~limit:cut;
+      let viewed = view_step s r in
+      R.release r;
+      step_eq (reference, viewed))
+
+(* Corrupted input: on arbitrary bytes both parsers must still agree —
+   value and cursor when they accept, exception when they reject. *)
+let view_corruption_matches =
+  qtest ~count:1000 "parse_view = parse on random bytes"
+    QCheck2.Gen.(string_size (int_range 0 64))
+    (fun s ->
+      let r = R.acquire () in
+      R.reset r s ~pos:0 ~limit:(String.length s);
+      let viewed = view_step s r in
+      R.release r;
+      step_eq (reference_step s 0, viewed))
+
 (* ---------------------- encoder differentials ------------------------ *)
 
 let size_matches_wire_size =
@@ -211,6 +287,23 @@ let test_writer_pool () =
   check Alcotest.int "recycled writer is reset" 0 (W.length c);
   W.release c
 
+let test_reader_pool () =
+  let out0 = R.outstanding () in
+  let a = R.acquire () in
+  let b = R.acquire () in
+  R.reset a "abc" ~pos:0 ~limit:3;
+  R.reset b "defg" ~pos:1 ~limit:4;
+  check Alcotest.int "outstanding tracks acquires" (out0 + 2) (R.outstanding ());
+  check Alcotest.int "cursor reads through the window" (Char.code 'a') (R.u8 a);
+  R.release a;
+  R.release b;
+  check Alcotest.int "releases balance" out0 (R.outstanding ());
+  let reused0 = R.reused () in
+  let c = R.acquire () in
+  check Alcotest.int "served from the free list" (reused0 + 1) (R.reused ());
+  check Alcotest.int "recycled reader is empty" 0 (R.remaining c);
+  R.release c
+
 let test_memory_pool_balance () =
   let pool = Pquic.Memory_pool.create ~size:4096 () in
   check Alcotest.int "fresh pool empty" 0 (Pquic.Memory_pool.allocated_bytes pool);
@@ -270,8 +363,35 @@ let test_minor_words_per_packet () =
     if per_pkt >= 6000. then
       Alcotest.failf "minor words per packet %.0f over the 6000 ceiling" per_pkt
 
+(* Receive-side allocation fence, on the engine's own [rx_profile]
+   counters (wall spent inside [process_datagram] plus the minor words it
+   allocated): the zero-copy receive path parses frames as views and sits
+   near 1.2k minor words per received packet; the copying parser sat near
+   3k. Ceiling at ~2x so GC-accounting noise cannot flake while a return
+   of the per-frame String.sub copies would still trip it. *)
+let test_rx_minor_words_per_packet () =
+  ignore (transfer ~size:(64 * 1024));
+  (* warm-up: connection tables, writer/reader pools *)
+  Gc.minor ();
+  let open Pquic.Conn_types in
+  rx_profile_reset ();
+  rx_profile := true;
+  let r = transfer ~size:(512 * 1024) in
+  rx_profile := false;
+  match r with
+  | None -> Alcotest.fail "transfer did not complete"
+  | Some _ ->
+    if !rx_packets = 0 then Alcotest.fail "rx profile saw no packets";
+    let per_pkt = !rx_minor_words /. float_of_int !rx_packets in
+    if per_pkt >= 2500. then
+      Alcotest.failf "rx minor words per packet %.0f over the 2500 ceiling"
+        per_pkt
+
 let tests =
   [
+    ( "reader",
+      [ view_matches_parse; view_truncation_matches; view_corruption_matches ]
+    );
     ( "encoders",
       [
         size_matches_wire_size;
@@ -286,6 +406,7 @@ let tests =
     ( "pool",
       [
         Alcotest.test_case "writer free list balances" `Quick test_writer_pool;
+        Alcotest.test_case "reader free list balances" `Quick test_reader_pool;
         Alcotest.test_case "memory pool returns balance" `Quick
           test_memory_pool_balance;
         Alcotest.test_case "writer pool balanced across transfer" `Quick
@@ -295,5 +416,7 @@ let tests =
       [
         Alcotest.test_case "minor words per packet ceiling" `Slow
           test_minor_words_per_packet;
+        Alcotest.test_case "rx minor words per packet ceiling" `Slow
+          test_rx_minor_words_per_packet;
       ] );
   ]
